@@ -1,0 +1,110 @@
+"""A2 — ablation: the delegated-authentication proxy (§IV-A.1).
+
+The paper motivates delegation with two numbers we can produce: request
+latency for users (the Barreto scheme "increases the latency for users
+to access their devices") and cloud load (the scheme "does not scale").
+We replay an access workload through three configurations:
+
+* cloud-only (no proxy, every request to the cloud over the WAN);
+* proxy without SSO cache;
+* full XLF proxy (delegation + SSO token cache + LAN/WAN split).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.metrics import format_table
+from repro.security.device.auth import DelegationProxy
+from repro.service.identity import IdentityManager, UserRole
+from repro.service.oauth import OAuthServer
+from repro.sim import Simulator
+
+N_USERS = 20
+N_DEVICES = 5
+REQUESTS_PER_USER = 30
+LAN_FRACTION = 0.8
+
+
+def build_proxy(sim):
+    identity = IdentityManager()
+    for i in range(N_USERS):
+        identity.register(f"user{i}", f"pw-{i}-long-enough",
+                          role=UserRole.BASIC)
+    oauth = OAuthServer(sim)
+    return DelegationProxy(sim, identity, oauth)
+
+
+def run_workload(mode):
+    """mode: "cloud-only" | "proxy-nocache" | "proxy-full"."""
+    sim = Simulator(seed=7)
+    proxy = build_proxy(sim)
+    rng = sim.rng.stream("auth-workload")
+    total_latency = 0.0
+    cloud_requests = 0
+    n = 0
+    for i in range(N_USERS):
+        for r in range(REQUESTS_PER_USER):
+            device = f"device-{rng.randrange(N_DEVICES)}"
+            lan = rng.random() < LAN_FRACTION
+            if mode == "cloud-only":
+                origin = "wan"          # everything goes to the cloud
+            else:
+                origin = "lan" if lan else "wan"
+            if mode != "proxy-full":
+                # No SSO cache: clear between requests.
+                proxy._sso_cache.clear()
+            decision = proxy.authenticate(
+                f"user{i}", f"pw-{i}-long-enough", device, origin)
+            assert decision.granted
+            total_latency += decision.latency_s
+            if decision.authenticated_by == "cloud":
+                cloud_requests += 1
+            n += 1
+    return {
+        "mean_latency_ms": total_latency / n * 1000,
+        "cloud_requests": cloud_requests,
+        "cache_hit_rate": proxy.cache_hits / n,
+    }
+
+
+@pytest.fixture(scope="module")
+def workload_results():
+    return {mode: run_workload(mode)
+            for mode in ("cloud-only", "proxy-nocache", "proxy-full")}
+
+
+def test_a2_delegation_table(benchmark, workload_results):
+    benchmark.pedantic(lambda: run_workload("proxy-full"),
+                       rounds=1, iterations=1)
+    rows = [
+        [mode,
+         f"{r['mean_latency_ms']:.1f} ms",
+         r["cloud_requests"],
+         f"{r['cache_hit_rate']:.0%}"]
+        for mode, r in workload_results.items()
+    ]
+    emit("A2 — authentication delegation: latency and cloud offload "
+         f"({N_USERS} users x {REQUESTS_PER_USER} requests, "
+         f"{LAN_FRACTION:.0%} from the LAN)",
+         format_table(
+             ["configuration", "mean auth latency", "cloud auth requests",
+              "SSO cache hit rate"],
+             rows))
+
+
+def test_a2_proxy_cuts_latency(benchmark, workload_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert workload_results["proxy-full"]["mean_latency_ms"] < \
+        workload_results["cloud-only"]["mean_latency_ms"] / 2
+
+
+def test_a2_proxy_offloads_cloud(benchmark, workload_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert workload_results["proxy-full"]["cloud_requests"] < \
+        workload_results["cloud-only"]["cloud_requests"] * 0.3
+
+
+def test_a2_cache_carries_the_win(benchmark, workload_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert workload_results["proxy-full"]["cache_hit_rate"] > 0.5
+    assert workload_results["proxy-nocache"]["cache_hit_rate"] == 0.0

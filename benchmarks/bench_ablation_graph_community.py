@@ -1,0 +1,94 @@
+"""A5 — ablation: graph-based community learning across a fleet (§IV-D).
+
+"Users running the same IoT devices and similar automation applications
+could be considered as a group or community, which should present
+similar behaviors" — so an infected device should (a) fail to join its
+type-peers' community and (b) score far from its peer-group centroid.
+
+Fleet: several identical homes, one of them hit by a (DDoS-less) Mirai
+infection; features are purely traffic-observable.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.graphlearn import CommunityModel
+from repro.metrics import format_table, score_detection
+from repro.scenarios import run_fleet
+
+
+@pytest.fixture(scope="module")
+def fleet_model():
+    fleet = run_fleet(n_homes=4, infected_homes=(1,), duration_s=240.0)
+    names = sorted(fleet.features)
+    matrix = np.array([fleet.features[n] for n in names])
+    scale = np.maximum(np.abs(matrix).max(axis=0), 1e-9)
+    model = CommunityModel(similarity_scale=0.5, edge_threshold=0.3)
+    for name in names:
+        model.add_entity(name,
+                         (np.array(fleet.features[name]) / scale).tolist())
+    model.build()
+    return fleet, model
+
+
+def test_a5_community_table(benchmark, fleet_model):
+    fleet, model = fleet_model
+    benchmark.pedantic(model.build, rounds=1, iterations=1)
+    rows = []
+    for index, community in enumerate(model.communities):
+        types = {}
+        for member in community:
+            t = fleet.device_types[member]
+            types[t] = types.get(t, 0) + 1
+        infected_members = sorted(set(community) & fleet.infected)
+        rows.append([
+            index, len(community),
+            ", ".join(f"{t}x{c}" for t, c in sorted(types.items())),
+            ", ".join(infected_members) or "-",
+        ])
+    emit("A5 — fleet communities (4 homes x 8 devices, home01 infected)",
+         format_table(["community", "size", "composition",
+                       "infected members"], rows))
+    assert len(model.communities) >= 3
+
+
+def test_a5_infected_devices_isolated_from_their_peers(benchmark,
+                                                       fleet_model):
+    fleet, model = fleet_model
+    isolated = benchmark.pedantic(
+        lambda: set(model.small_communities(max_size=1)),
+        rounds=1, iterations=1)
+    # Every isolated device is infected; infected devices never sit in
+    # the big clean clusters with their type peers.
+    assert isolated <= fleet.infected or not isolated
+    for name in fleet.infected:
+        community_index = model.community_of(name)
+        community = model.communities[community_index]
+        clean_peers = {
+            other for other in fleet.device_types
+            if fleet.device_types[other] == fleet.device_types[name]
+            and other not in fleet.infected
+        }
+        assert not (set(community) & clean_peers), (
+            f"{name} still clusters with clean peers"
+        )
+
+
+def test_a5_peer_group_scores_rank_infected_first(benchmark, fleet_model):
+    fleet, model = fleet_model
+    scores = benchmark.pedantic(
+        lambda: model.peer_group_scores(fleet.device_types),
+        rounds=1, iterations=1)
+    ranked = sorted(scores, key=lambda n: -scores[n])
+    top = set(ranked[:len(fleet.infected)])
+    metrics = score_detection(top, fleet.infected)
+    emit("A5 — peer-group anomaly ranking (top scores)",
+         format_table(
+             ["device", "peer-group distance", "infected?"],
+             [[n, f"{scores[n]:.3f}",
+               "YES" if n in fleet.infected else ""]
+              for n in ranked[:6]]))
+    assert metrics.recall == 1.0, (
+        f"infected devices not at the top of the ranking: {ranked[:4]}"
+    )

@@ -1,0 +1,100 @@
+"""A1 — ablation: traffic shaping vs. the passive observer (§IV-B.1).
+
+Sweeps the shaping knobs (off / delays / cover / full) against the
+Apthorpe-style adversary and reports the privacy/overhead trade-off the
+paper's design discussion promises: "the existing algorithm could
+balance the adversary confidence and the bandwidth overhead".
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.attacks import PassiveTrafficAnalyst
+from repro.core import XLF, XlfConfig
+from repro.metrics import format_table
+from repro.network.dns import DnsMode
+from repro.scenarios import ResidentActivity, SmartHome, SmartHomeConfig
+from repro.security.network.shaping import ShapingConfig
+
+SWEEP = [
+    ("off", ShapingConfig.off()),
+    ("delays(3s)", ShapingConfig.delays_only(3.0)),
+    ("cover(1.5x)", ShapingConfig.cover_only(1.5)),
+    ("pad(1KiB)", ShapingConfig(pad_to_bytes=1024)),
+    ("full", ShapingConfig.full(max_delay_s=3.0, rate=1.5, pad_to=1024)),
+]
+
+
+def run_point(shaping):
+    home = SmartHome(SmartHomeConfig(seed=31, dns_mode=DnsMode.DOT))
+    analyst = PassiveTrafficAnalyst(home)
+    analyst.launch()
+    home.run(5.0)
+    shaper = None
+    if shaping.enabled:
+        config = XlfConfig(enable_device_layer=False,
+                           enable_service_layer=False,
+                           cross_layer=False, shaping=shaping)
+        xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+                  home.all_lan_links, config)
+        shaper = xlf.traffic_shaper
+    activity = ResidentActivity(home)
+    activity.start(mean_action_interval_s=45.0)
+    home.run(400.0)
+    truth = [(t, device) for t, device, _cmd in activity.actions]
+    return {
+        "identification": analyst.identification_accuracy(),
+        "events": analyst.event_inference_metrics(truth, tolerance_s=8.0),
+        "overhead": shaper.bandwidth_overhead if shaper else 0.0,
+        "delay": shaper.mean_added_delay if shaper else 0.0,
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    return {label: run_point(config) for label, config in SWEEP}
+
+
+def test_a1_shaping_tradeoff_table(benchmark, sweep_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for label, _config in SWEEP:
+        r = sweep_results[label]
+        rows.append([
+            label,
+            f"{r['identification']:.2f}",
+            f"{r['events'].precision:.2f}",
+            f"{r['events'].recall:.2f}",
+            f"{r['events'].f1:.2f}",
+            f"{r['overhead']:.2f}x",
+            f"{r['delay']:.2f}s",
+        ])
+    emit("A1 — traffic shaping vs. passive inference (privacy/overhead "
+         "trade-off)",
+         format_table(
+             ["shaping", "device-id acc", "event precision", "event recall",
+              "event F1", "bw overhead", "mean delay"],
+             rows))
+
+
+def test_a1_full_shaping_defeats_event_inference(benchmark, sweep_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    off = sweep_results["off"]["events"]
+    full = sweep_results["full"]["events"]
+    assert full.f1 < off.f1
+    assert full.f1 <= 0.3
+
+
+def test_a1_cover_traffic_costs_bandwidth(benchmark, sweep_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert sweep_results["cover(1.5x)"]["overhead"] > 1.0
+    assert sweep_results["off"]["overhead"] == 0.0
+    # Delays are free in bytes.
+    assert sweep_results["delays(3s)"]["overhead"] == 0.0
+
+
+def test_a1_identification_degrades_monotonically_to_full(benchmark,
+                                                          sweep_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert sweep_results["full"]["identification"] <= \
+        sweep_results["off"]["identification"]

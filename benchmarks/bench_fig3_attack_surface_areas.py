@@ -1,0 +1,109 @@
+"""F3 — regenerate Fig. 3 (IoT attack surface areas by layer).
+
+Fig. 3 maps OWASP attack classes onto the three layers.  We regenerate
+it empirically: each implemented attack runs against a fully-defended
+home, and the layers whose sensors raised signals during the attack are
+recorded.  The emitted matrix is the figure; the assertion checks it
+against each attack's declared surface layers.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.attacks import (
+    EventSpoofing,
+    MaliciousOtaUpdate,
+    MiraiBotnet,
+    PhysicalPolicyExploit,
+    RogueSmartApp,
+)
+from repro.core import XLF, XlfConfig
+from repro.core.signals import Layer
+from repro.device.device import Vulnerabilities
+from repro.metrics import format_table
+from repro.scenarios import SmartHome, SmartHomeConfig
+
+
+CASES = [
+    (MiraiBotnet, {}, 250.0, {"device", "network"}),
+    (MaliciousOtaUpdate,
+     {"devices": [("thermostat", Vulnerabilities(unsigned_firmware=True)),
+                  ("smart_lock", Vulnerabilities())]},
+     60.0, {"device"}),
+    (EventSpoofing, {"cloud_verify_event_integrity": False}, 60.0,
+     {"service"}),
+    (RogueSmartApp, {"cloud_coarse_grants": True}, 60.0, {"service"}),
+    (PhysicalPolicyExploit, {}, 300.0, {"service"}),
+]
+
+
+def observe_attack(attack_cls, config_kwargs, duration):
+    home = SmartHome(SmartHomeConfig(**config_kwargs))
+    home.run(5.0)
+    attack = attack_cls(home)
+    if isinstance(attack, PhysicalPolicyExploit):
+        attack.install_policy_app()
+    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+              home.all_lan_links, XlfConfig.full())
+    xlf.refresh_allowlists()
+    if xlf.analytics is not None:
+        xlf.analytics.add_context_provider("outdoor_temperature",
+                                           lambda: 55.0)
+        xlf.analytics.watch_context("temperature", "outdoor_temperature",
+                                    20.0)
+    baseline_counts = {}
+    for signal in xlf.bus.signals:
+        key = (signal.layer, signal.signal_type)
+        baseline_counts[key] = baseline_counts.get(key, 0) + 1
+    attack.launch()
+    home.run(5.0 + duration)
+    layers = set()
+    signal_types = set()
+    for signal in xlf.bus.signals:
+        # Exclude static-audit noise present before the attack.
+        if signal.timestamp <= attack.launched_at:
+            continue
+        layers.add(signal.layer)
+        signal_types.add(f"{signal.layer.value}:{signal.signal_type.value}")
+    return attack, layers, signal_types
+
+
+@pytest.fixture(scope="module")
+def surface_matrix():
+    results = []
+    for attack_cls, config_kwargs, duration, expected in CASES:
+        attack, layers, signal_types = observe_attack(
+            attack_cls, config_kwargs, duration)
+        results.append((attack, layers, signal_types, expected))
+    return results
+
+
+def test_fig3_attack_surface_matrix(benchmark, surface_matrix):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for attack, layers, signal_types, _expected in surface_matrix:
+        marks = {
+            layer: "X" if layer in layers else ""
+            for layer in (Layer.DEVICE, Layer.NETWORK, Layer.SERVICE)
+        }
+        rows.append([
+            attack.name,
+            marks[Layer.DEVICE], marks[Layer.NETWORK], marks[Layer.SERVICE],
+            ", ".join(sorted(signal_types)[:4]),
+        ])
+    emit("Fig. 3 — attack surface areas: layers whose sensors observed "
+         "each attack",
+         format_table(["attack", "device", "network", "service",
+                       "signals (sample)"], rows))
+    assert rows
+
+
+def test_fig3_matches_declared_surfaces(benchmark, surface_matrix):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for attack, layers, _signal_types, expected in surface_matrix:
+        observed = {layer.value for layer in layers}
+        missing = expected - observed
+        assert not missing, (
+            f"{attack.name}: expected surface layers {expected}, "
+            f"observed {observed}"
+        )

@@ -1,0 +1,104 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Not a paper artifact — engineering telemetry for the reproduction
+itself: how fast the event kernel, the gateway NAT path, the cipher
+block ops, and the correlator run.  These are the knobs that bound how
+large a world the laptop-scale simulation can carry.
+"""
+
+from repro.core import CoreBus, CrossLayerCorrelator
+from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
+from repro.crypto import get_cipher
+from repro.network import Gateway, Link, Node, Packet
+from repro.security.network.fingerprint import levenshtein
+from repro.sim import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    def schedule_and_run():
+        sim = Simulator()
+        for i in range(2000):
+            sim.timeout(i * 0.001)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(schedule_and_run)
+    assert processed == 2000
+
+
+def test_process_switch_throughput(benchmark):
+    def ping_pong():
+        sim = Simulator()
+        count = [0]
+
+        def worker():
+            for _ in range(500):
+                yield sim.timeout(0.001)
+                count[0] += 1
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        return count[0]
+
+    assert benchmark(ping_pong) == 1000
+
+
+def test_gateway_nat_path(benchmark):
+    def build():
+        sim = Simulator()
+        lan = Link(sim, "wifi")
+        wan = Link(sim, "wan")
+        gw = Gateway(sim)
+        gw.connect_lan(lan)
+        gw.connect_wan(wan)
+        inside = Node(sim, "in")
+        inside.add_interface(lan, gw.assign_address())
+        outside = Node(sim, "out")
+        outside.add_interface(wan, "198.51.100.9")
+        return sim, inside
+
+    def nat_500_packets():
+        sim, inside = build()
+        for i in range(500):
+            inside.send(Packet(src="", dst="198.51.100.9",
+                               sport=1000 + i, dport=80))
+        sim.run()
+        return inside.packets_sent
+
+    assert benchmark(nat_500_packets) == 500
+
+
+def test_aes_block_rate(benchmark):
+    cipher = get_cipher("AES")
+    block = bytes(16)
+    benchmark(cipher.encrypt_block, block)
+
+
+def test_present_block_rate(benchmark):
+    cipher = get_cipher("PRESENT")
+    block = bytes(8)
+    benchmark(cipher.encrypt_block, block)
+
+
+def test_levenshtein_rate(benchmark):
+    a = tuple(range(40))
+    b = tuple(range(2, 42))
+    assert benchmark(levenshtein, a, b) == 4
+
+
+def test_correlator_signal_rate(benchmark):
+    def process_signals():
+        bus = CoreBus(Simulator())
+        correlator = CrossLayerCorrelator(bus)
+        for i in range(300):
+            bus.report(SecuritySignal.make(
+                Layer.DEVICE, SignalType.AUTH_FAILURE, "t",
+                f"dev-{i % 10}", float(i), severity=Severity.INFO))
+            bus.report(SecuritySignal.make(
+                Layer.NETWORK, SignalType.SCAN_PATTERN, "t",
+                f"dev-{i % 10}", float(i), severity=Severity.CRITICAL))
+        return len(correlator.alerts)
+
+    alerts = benchmark(process_signals)
+    assert alerts > 0

@@ -1,0 +1,60 @@
+"""T1 — regenerate Table I (device-layer components) from the catalog.
+
+Paper artifact: "Various components in the device layer of a typical
+home network system; computation, storage, and power limit the security
+functions that can be implemented on the device."
+
+We reproduce the table verbatim from :mod:`repro.device.profiles` and
+extend it with the consequence the caption asserts: the capability
+class each row falls into and the security functions XLF can afford to
+deploy there.
+"""
+
+from benchmarks.conftest import emit
+from repro.device.hardware import HardwareModel
+from repro.device.profiles import DEVICE_CATALOG, DeviceClass, table_i_rows
+from repro.metrics import format_table
+from repro.security.device.encryption import cipher_for_class
+
+
+def build_table():
+    rows = []
+    for profile, paper_row in zip(DEVICE_CATALOG.values(), table_i_rows()):
+        cipher = cipher_for_class(profile.device_class)
+        functions = []
+        if cipher is not None:
+            functions.append(f"enc:{cipher.name}")
+        if profile.device_class in (DeviceClass.EMBEDDED,
+                                    DeviceClass.APPLICATION):
+            functions.append("tls")
+        if profile.device_class != DeviceClass.TAG:
+            functions.append("auth-delegate")
+        hardware = HardwareModel(profile)
+        fits_dpi = hardware.fits(ram=64 * 1024)
+        if fits_dpi:
+            functions.append("local-dpi")
+        rows.append(list(paper_row) + [
+            profile.device_class.value, "+".join(functions) or "(none)"])
+    return rows
+
+
+def test_table1_regenerates_every_row(benchmark):
+    rows = benchmark(build_table)
+    assert len(rows) == 20  # every Table I row present
+    emit("Table I — device layer components (paper columns + derived)",
+         format_table(
+             ["Device Type", "Chipset", "Core Freq.", "RAM", "Flash",
+              "Power", "class", "XLF functions feasible"],
+             rows))
+    # Caption claim: resources gate the functions.  Tags get nothing;
+    # application-class devices get the full stack.
+    by_name = {r[0]: r for r in rows}
+    assert by_name["HID Glass Tag Ultra (RFID)"][7] == "(none)"
+    assert "tls" in by_name["iPhone 6s Plus"][7]
+    assert "enc:PRESENT" in by_name["Philips Hue Ligh tbulb"][7]
+
+
+def test_capability_classes_span_five_orders_of_magnitude(benchmark):
+    freqs = benchmark(
+        lambda: [p.core_freq_hz for p in DEVICE_CATALOG.values()])
+    assert max(freqs) / min(freqs) > 1e4

@@ -1,0 +1,168 @@
+"""T2 — regenerate Table II (device-layer attack surface enumeration).
+
+Paper artifact: rows of (Device, Vulnerability, Attack, Impact).  We
+regenerate it *empirically*: each implemented attack runs against an
+undefended home whose devices carry the corresponding vulnerability,
+and a row is emitted only if the attack actually achieved its impact.
+A second column block shows the same attacks against an XLF-defended
+home.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.attacks import (
+    BufferOverflowExploit,
+    DnsCachePoisoning,
+    Rickrolling,
+    EventSpoofing,
+    MaliciousOtaUpdate,
+    MiraiBotnet,
+    MitmCredentialTheft,
+    PhysicalPolicyExploit,
+    RogueSmartApp,
+    UpnpCredentialHarvest,
+    WebCommandInjection,
+)
+from repro.device.webadmin import WebAdminInterface
+from repro.core import XLF, XlfConfig
+from repro.device.device import Vulnerabilities
+from repro.metrics import format_table
+from repro.scenarios import SmartHome, SmartHomeConfig
+
+
+ATTACK_MATRIX = [
+    # (attack factory, home config kwargs, run seconds[, warmup seconds])
+    (MiraiBotnet, {}, 250.0),
+    # Long enough for the redirected device's next telemetry beat to hit
+    # the attacker address (and the NAC to block it).
+    (DnsCachePoisoning, {}, 120.0),
+    (MitmCredentialTheft, {}, 150.0),
+    (MaliciousOtaUpdate,
+     {"devices": [("thermostat", Vulnerabilities(unsigned_firmware=True)),
+                  ("smart_lock", Vulnerabilities()),
+                  ("camera", Vulnerabilities(default_credentials=True,
+                                             open_telnet=True))]},
+     60.0),
+    (EventSpoofing, {"cloud_verify_event_integrity": False}, 60.0),
+    (RogueSmartApp, {"cloud_coarse_grants": True}, 60.0),
+    (PhysicalPolicyExploit, {}, 300.0),
+    (UpnpCredentialHarvest,
+     {"devices": [("fridge", Vulnerabilities(unprotected_channel=True)),
+                  ("smart_bulb", Vulnerabilities())]},
+     30.0),
+    (WebCommandInjection,
+     {"devices": [("camera", Vulnerabilities(default_credentials=True))]},
+     120.0),
+    (BufferOverflowExploit,
+     {"devices": [("thermostat", Vulnerabilities(buffer_overflow=True))]},
+     120.0),
+    # Rickrolling: the silence audit needs a learned cadence, so warm up.
+    (Rickrolling, {}, 500.0, 300.0),
+]
+
+
+def _pre_attack_setup(attack_cls, home):
+    """Per-attack world preparation before launch."""
+    if attack_cls is WebCommandInjection:
+        WebAdminInterface(home.device("camera-1"), command_injection=True)
+
+
+def run_attack(attack_cls, config_kwargs, duration, defended, warmup=0.0):
+    home = SmartHome(SmartHomeConfig(**config_kwargs))
+    home.run(5.0)
+    _pre_attack_setup(attack_cls, home)
+    attack = attack_cls(home)
+    if isinstance(attack, PhysicalPolicyExploit):
+        attack.install_policy_app()
+    xlf = None
+    if defended:
+        xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+                  home.all_lan_links, XlfConfig.full())
+        xlf.refresh_allowlists()
+        if xlf.analytics is not None:
+            xlf.analytics.add_context_provider("outdoor_temperature",
+                                               lambda: 55.0)
+            xlf.analytics.watch_context("temperature",
+                                        "outdoor_temperature", 20.0)
+    if warmup:
+        home.run(home.sim.now + warmup)
+    attack.launch()
+    home.run(home.sim.now + duration)
+    outcome = attack.outcome()
+    detected = False
+    if xlf is not None:
+        # Correlated alerts, or audit signals naming a compromised device
+        # (static audits fire at install time — e.g. the open-UPnP flag).
+        detected = bool(xlf.alerts) or any(
+            signal.device in outcome.compromised_devices
+            for signal in xlf.bus.signals
+        )
+    # "Impact blocked" also counts flows to attacker infrastructure
+    # (the 198.18.0.0/15 benchmark range) dropped by constrained access:
+    # e.g. DNS poisoning still flips the cache, but the redirected
+    # traffic never reaches the attacker.
+    impact_blocked = False
+    if xlf is not None and xlf.constrained_access is not None:
+        impact_blocked = any(
+            dst.startswith("198.18.")
+            for _t, _device, dst in xlf.constrained_access.blocked
+        )
+    return attack, outcome, detected, impact_blocked
+
+
+def _defense_verdict(outcome, defended_outcome, detected, impact_blocked):
+    parts = []
+    if outcome.succeeded and not defended_outcome.succeeded:
+        parts.append("blocked")
+    elif impact_blocked:
+        parts.append("impact-blocked")
+    if detected:
+        parts.append("detected")
+    return "+".join(parts) if parts else "-"
+
+
+def build_table2():
+    rows = []
+    for entry in ATTACK_MATRIX:
+        attack_cls, config_kwargs, duration = entry[:3]
+        warmup = entry[3] if len(entry) > 3 else 0.0
+        attack, outcome, _, _ = run_attack(attack_cls, config_kwargs,
+                                           duration, defended=False,
+                                           warmup=warmup)
+        _, defended_outcome, detected, impact_blocked = run_attack(
+            attack_cls, config_kwargs, duration, defended=True,
+            warmup=warmup)
+        vulnerability, method, impact = attack.table_ii_row
+        rows.append([
+            ", ".join(sorted(outcome.compromised_devices)) or "(observer)",
+            vulnerability,
+            method,
+            impact if outcome.succeeded else "(not reproduced)",
+            "yes" if outcome.succeeded else "no",
+            _defense_verdict(outcome, defended_outcome, detected,
+                             impact_blocked),
+        ])
+    return rows
+
+
+@pytest.fixture(scope="module")
+def table2_rows():
+    return build_table2()
+
+
+def test_table2_attack_surface(benchmark, table2_rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit("Table II — attack surface enumeration (empirical)",
+         format_table(
+             ["Device(s)", "Vulnerability", "Attack", "Impact",
+              "undefended", "with XLF"],
+             table2_rows))
+    assert len(table2_rows) == len(ATTACK_MATRIX)
+    # Every enumerated attack reproduces against the undefended home.
+    assert all(row[4] == "yes" for row in table2_rows)
+
+
+def test_xlf_blocks_or_detects_every_attack(benchmark, table2_rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert all(row[5] != "-" for row in table2_rows)

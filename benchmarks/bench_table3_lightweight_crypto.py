@@ -1,0 +1,79 @@
+"""T3 — regenerate Table III (lightweight cryptographic algorithms).
+
+Paper columns (Algorithm, Key Size, Block Size, Structure, No. of
+Rounds) come straight from the registry, which binds each row to a
+working implementation.  We extend with measured columns: pure-Python
+encryption throughput and the known-answer-validation status.
+
+Shape claims: the lightweight ciphers beat AES per byte on
+microcontroller budgets (fewer logical operations per block at small
+block sizes), and every row is backed by an implementation whose
+round-trip works.
+"""
+
+import time
+
+from benchmarks.conftest import emit
+from repro.crypto import CIPHER_REGISTRY, table_iii_rows
+from repro.metrics import format_table
+
+
+def measure_throughput(spec, seconds=0.05):
+    cipher = spec.instantiate()
+    block = bytes(cipher.block_size)
+    n = 0
+    start = time.perf_counter()
+    while time.perf_counter() - start < seconds:
+        cipher.encrypt_block(block)
+        n += 1
+    elapsed = time.perf_counter() - start
+    return n * cipher.block_size / elapsed  # bytes/sec
+
+
+def build_rows():
+    rows = []
+    order = [row[0] for row in table_iii_rows()]
+    for paper_name, paper_row in zip(order, table_iii_rows()):
+        spec = next(s for s in CIPHER_REGISTRY.values()
+                    if s.paper_name == paper_name)
+        throughput = measure_throughput(spec)
+        rows.append(list(paper_row) + [
+            f"{throughput / 1024:.1f}",
+            "KAT" if spec.validated else "struct",
+        ])
+    return rows
+
+
+def test_table3_regenerates_all_16_rows(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    assert len(rows) == 16
+    emit("Table III — lightweight cryptographic algorithms "
+         "(paper columns + measured)",
+         format_table(
+             ["Algorithm", "Key Size", "Block Size", "Structure",
+              "No. of Rounds", "KiB/s (pure py)", "validation"],
+             rows))
+    names = [r[0] for r in rows]
+    assert names[0] == "AES" and "HEIGHT" in names and "Pride" in names
+
+
+def test_lightweight_ciphers_cheaper_than_aes_per_block(benchmark):
+    """TEA/XTEA/RC5 do far less work per block than AES — the reason
+    Table III exists.  (PRESENT trades per-block cost for tiny state,
+    its win is hardware gates, not software cycles.)"""
+    aes = benchmark.pedantic(
+        lambda: measure_throughput(CIPHER_REGISTRY["aes"]),
+        rounds=1, iterations=1)
+    for name in ("tea", "xtea", "rc5", "lea"):
+        light = measure_throughput(CIPHER_REGISTRY[name])
+        assert light > aes, f"{name} slower than AES in software"
+
+
+def test_every_row_backed_by_working_cipher(benchmark):
+    def roundtrip_all():
+        for spec in CIPHER_REGISTRY.values():
+            cipher = spec.instantiate()
+            block = bytes(range(cipher.block_size))
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    benchmark.pedantic(roundtrip_all, rounds=1, iterations=1)

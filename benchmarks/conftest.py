@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+the tables).  Assertions encode the *shape* claims, not absolute
+numbers — see EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def emit(title: str, text: str) -> None:
+    """Print a reproduction artifact with a recognizable banner."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")

@@ -1,0 +1,47 @@
+"""Fleet-scale community learning (§IV-D's graph-based module).
+
+A service provider watches many homes running the same device types.
+Same-type devices form behavioural communities; an infected device
+drops out of its community and tops the peer-distance ranking — no
+signatures, no labels, just group knowledge.
+
+Run:  python examples/fleet_anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro.core.graphlearn import CommunityModel
+from repro.scenarios import run_fleet
+
+print("Simulating 4 homes x 8 devices; Mirai infects home01...")
+fleet = run_fleet(n_homes=4, infected_homes=(1,), duration_s=240.0)
+
+names = sorted(fleet.features)
+matrix = np.array([fleet.features[n] for n in names])
+scale = np.maximum(np.abs(matrix).max(axis=0), 1e-9)
+
+model = CommunityModel(similarity_scale=0.5, edge_threshold=0.3)
+for name in names:
+    model.add_entity(name, (np.array(fleet.features[name]) / scale).tolist())
+model.build()
+
+print(f"\nCommunities found: {len(model.communities)}")
+for index, community in enumerate(model.communities):
+    types = sorted({fleet.device_types[m] for m in community})
+    flag = " <-- isolated!" if len(community) == 1 else ""
+    print(f"  community {index}: {len(community):2d} devices "
+          f"({', '.join(types)}){flag}")
+
+print("\nPeer-group anomaly ranking (distance from same-type centroid):")
+scores = model.peer_group_scores(fleet.device_types)
+for name in sorted(scores, key=lambda n: -scores[n])[:6]:
+    marker = "  INFECTED" if name in fleet.infected else ""
+    print(f"  {name:24s} {scores[name]:.3f}{marker}")
+
+isolated = set(model.small_communities(max_size=1))
+print(f"\nground truth infected: {sorted(fleet.infected)}")
+print(f"isolated by community detection: {sorted(isolated)}")
+assert isolated <= fleet.infected
+print("\nEvery isolated device really is infected — the community "
+      "structure alone\nseparates compromised devices from their "
+      "behavioural peers.")

@@ -1,0 +1,57 @@
+"""Link-layer hardening: PPSK and replay protection (§II-B).
+
+Chains two results: the UPnP harvest leaks a Wi-Fi credential; whether
+that ends the game depends on the link-security mode.  And a captured
+(encrypted!) unlock command cannot be replayed past 802.15.4-style
+frame counters.
+
+Run:  python examples/link_layer_hardening.py
+"""
+
+from repro.attacks import UpnpCredentialHarvest
+from repro.device.device import Vulnerabilities
+from repro.network import Link, Node, Packet, ReplayGuard, WirelessSecurity
+from repro.scenarios import SmartHome, SmartHomeConfig
+from repro.sim import Simulator
+
+# --- step 1: harvest a credential via the unprotected UPnP responder ----
+home = SmartHome(SmartHomeConfig(devices=[
+    ("fridge", Vulnerabilities(unprotected_channel=True)),
+    ("smart_lock", Vulnerabilities()),
+]))
+home.run(5.0)
+attack = UpnpCredentialHarvest(home)
+attack.launch()
+home.run(30.0)
+leaked = attack.outcome().details["wifi_psks"]
+print(f"UPnP harvest leaked: {leaked}")
+assert leaked
+
+# --- step 2: what the leak buys, by wireless mode ------------------------
+leaked_psk = next(iter(leaked.values()))
+for mode in ("shared-psk", "ppsk"):
+    sim = Simulator()
+    wlan = Link(sim, "wifi", name="wlan")
+    security = WirelessSecurity(wlan, mode=mode,
+                                network_psk=leaked_psk)
+    if mode == "ppsk":
+        security.enroll("fridge-1")  # the fridge gets its own key
+    intruder = Node(sim, "intruder")
+    admitted = security.join(intruder, "10.0.0.66", leaked_psk)
+    print(f"  {mode:11s}: attacker with the leaked key "
+          f"{'JOINS THE NETWORK' if admitted else 'is rejected'}")
+
+# --- step 3: replay protection on the command channel --------------------
+print("\nReplaying a captured (still-encrypted) unlock command:")
+guard = ReplayGuard()
+unlock = guard.stamp(Packet(
+    src="cloud", dst="10.0.0.3", src_device="cloud",
+    payload={"kind": "command", "command": "unlock"}, encrypted=True))
+print(f"  legitimate delivery accepted: {guard.accept(unlock)}")
+print(f"  verbatim replay accepted:     {guard.accept(unlock)}")
+print(f"  replays dropped:              {guard.replays_dropped}")
+
+print("\nPPSK turns a leaked credential from a network compromise into a "
+      "single-device\nincident, and frame counters kill replay without "
+      "touching the ciphertext —\nthe two 802.15.4/PPSK properties §II-B "
+      "calls out.")

@@ -1,0 +1,61 @@
+"""Defense-in-depth walkthrough: the same botnet, four defense postures.
+
+Shows the Fig. 4 argument concretely: each layer alone sees a slice of
+a Mirai infection; XLF's cross-layer correlation turns the slices into
+one confident verdict.
+
+Run:  python examples/smart_home_botnet_defense.py
+"""
+
+from repro.attacks import MiraiBotnet
+from repro.core import XLF, Layer, XlfConfig
+from repro.metrics import format_table, score_detection, time_to_detection
+from repro.scenarios import SmartHome
+
+POSTURES = [
+    ("undefended", None),
+    ("device layer only", XlfConfig.only(Layer.DEVICE)),
+    ("network layer only", XlfConfig.only(Layer.NETWORK)),
+    ("service layer only", XlfConfig.only(Layer.SERVICE)),
+    ("full XLF (cross-layer)", XlfConfig.full()),
+]
+
+rows = []
+for label, xlf_config in POSTURES:
+    home = SmartHome()
+    home.run(5.0)
+    xlf = None
+    if xlf_config is not None:
+        xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+                  home.all_lan_links, xlf_config)
+        xlf.refresh_allowlists()
+    attack = MiraiBotnet(home)
+    attack.launch()
+    home.run(300.0)
+    truth = attack.outcome().compromised_devices
+    if xlf is None:
+        rows.append([label, len(truth), "-", "-", "-", "-"])
+        continue
+    detected = {a.device for a in xlf.alerts if a.device}
+    metrics = score_detection(detected, truth)
+    latency = time_to_detection(attack.launched_at,
+                                [a.timestamp for a in xlf.alerts])
+    rows.append([
+        label,
+        len(truth),
+        f"{metrics.precision:.2f}",
+        f"{metrics.recall:.2f}",
+        f"{metrics.f1:.2f}",
+        f"{latency:.0f}s" if latency is not None else "never",
+    ])
+
+print(format_table(
+    ["defense posture", "infected", "precision", "recall", "F1",
+     "time to detect"],
+    rows,
+    title="Mirai botnet vs. defense postures (device-level detection)",
+))
+print("\nSingle layers either miss evidence (device/service) or alert "
+      "without context (network);\nthe cross-layer correlator needs "
+      "corroboration from two layers before raising an alert,\nwhich is "
+      "what keeps precision at 1.0 without losing recall.")

@@ -1,0 +1,74 @@
+"""Traffic privacy: the Apthorpe-style observer vs. XLF traffic shaping.
+
+Reproduces the §IV-B.1 story: a passive WAN observer identifies devices
+and infers user activity from metadata alone; shaping (random delays +
+cover traffic + padding) buys privacy at a bandwidth price.
+
+Run:  python examples/traffic_privacy.py
+"""
+
+from repro.attacks import PassiveTrafficAnalyst
+from repro.core import XLF, XlfConfig
+from repro.metrics import format_table
+from repro.network.dns import DnsMode
+from repro.scenarios import ResidentActivity, SmartHome, SmartHomeConfig
+from repro.security.network.shaping import ShapingConfig
+
+# With plaintext DNS, device identification is trivially 1.0 no matter
+# how traffic is shaped — the qname names the vendor.  This example runs
+# DNS-over-TLS so identification must rely on the rate/size signatures
+# shaping is designed to blunt; DNS hardening itself is the
+# constrained-access function's job (§IV-A.3).
+
+CONFIGS = [
+    ("no shaping", ShapingConfig.off()),
+    ("delays only", ShapingConfig.delays_only(max_delay_s=3.0)),
+    ("cover only", ShapingConfig.cover_only(rate=1.5)),
+    ("full shaping", ShapingConfig.full(max_delay_s=3.0, rate=1.5,
+                                        pad_to=1024)),
+]
+
+rows = []
+for label, shaping in CONFIGS:
+    home = SmartHome(SmartHomeConfig(seed=11, dns_mode=DnsMode.DOT))
+    # Attach the observer before anything runs: the pairing-time DNS
+    # queries are part of what it exploits.
+    analyst = PassiveTrafficAnalyst(home)
+    analyst.launch()
+    home.run(5.0)
+    if shaping.enabled:
+        xlf_config = XlfConfig(enable_device_layer=False,
+                               enable_service_layer=False,
+                               cross_layer=False, shaping=shaping)
+        xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+                  home.all_lan_links, xlf_config)
+        shaper = xlf.traffic_shaper
+    else:
+        shaper = None
+
+    activity = ResidentActivity(home)
+    activity.start(mean_action_interval_s=40.0)
+    home.run(400.0)
+
+    truth = [(t, device) for t, device, _cmd in activity.actions]
+    identification = analyst.identification_accuracy()
+    events = analyst.event_inference_metrics(truth, tolerance_s=8.0)
+    overhead = shaper.bandwidth_overhead if shaper else 0.0
+    rows.append([
+        label,
+        f"{identification:.2f}",
+        f"{events.precision:.2f}",
+        f"{events.recall:.2f}",
+        f"{overhead:.2f}x",
+    ])
+
+print(format_table(
+    ["shaping", "device id accuracy", "event precision", "event recall",
+     "bandwidth overhead"],
+    rows,
+    title="Passive observer vs. XLF traffic shaping "
+          "(same home, same resident activity)",
+))
+print("\nReading: cover traffic floods the observer's event inference with "
+      "chaff (precision falls),\npadding+delays blunt the size/timing "
+      "signatures — at a measurable bandwidth cost.")

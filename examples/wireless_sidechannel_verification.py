@@ -1,0 +1,55 @@
+"""HoMonit-style wireless side-channel verification (§IV-B.3, §IV-C.2).
+
+The gateway cannot read encrypted device traffic — but it can
+*fingerprint* it: each device event leaves a characteristic packet
+sequence.  After a learning phase, the gateway cross-checks what the
+platform claims happened against what the radio actually saw:
+
+* a spoofed event = a platform claim with no radio evidence;
+* a hidden command = radio evidence with no platform claim.
+
+Run:  python examples/wireless_sidechannel_verification.py
+"""
+
+from repro.scenarios import SmartHome
+from repro.security.network.homonit import HomonitMonitor
+
+home = SmartHome()
+monitor = HomonitMonitor(home.sim)
+for link in home.all_lan_links:
+    link.add_observer(monitor.observe)
+home.run(5.0)
+
+bulb = home.device("smart_bulb-1")
+
+# --- learning phase: label the bulb's on/off bursts --------------------
+print("Learning fingerprints from labelled events...")
+for command, label in (("on", "state:on"), ("off", "state:off")) * 2:
+    monitor.begin_learning(bulb.name, label)
+    bulb.execute_command(command)
+    home.run(home.sim.now + 3.0)
+    monitor.end_learning(bulb.name, bulb.spec.type_name)
+print(f"fingerprints learned for {bulb.name}: "
+      f"{monitor.fingerprints_learned(bulb.name)}")
+
+# --- monitoring: honest event -------------------------------------------
+home.run(home.sim.now + 10.0)
+bulb.execute_command("on")
+monitor.note_claimed_event(bulb.name, "state:on")
+home.run(home.sim.now + 10.0)
+
+# --- monitoring: a spoofed claim (no device traffic at all) -----------
+monitor.note_claimed_event(bulb.name, "state:off")
+home.run(home.sim.now + 10.0)
+
+mismatches = monitor.audit(tolerance_s=8.0)
+print(f"\nclaimed events:  {[(round(t,1), l) for t, d, l in monitor.claimed_events]}")
+print(f"inferred events: {[(round(t,1), l) for t, d, l in monitor.inferred_events]}")
+print("\naudit mismatches:")
+for t, device, label, kind in mismatches:
+    print(f"  t={t:7.1f}s {device:14s} {label:12s} -> {kind}")
+
+kinds = {kind for _t, _d, _l, kind in mismatches}
+assert "claim-without-radio-evidence" in kinds, kinds
+print("\nThe spoofed 'state:off' claim had no matching radio burst — the "
+      "side channel\ncaught the lie without decrypting a single packet.")

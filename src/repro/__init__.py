@@ -1,0 +1,28 @@
+"""Reproduction of "XLF: A Cross-layer Framework to Secure the Internet
+of Things (IoT)" (Wang, Mohaisen, Chen — ICDCS 2019).
+
+Subpackages
+-----------
+``repro.sim``
+    Deterministic discrete-event simulation kernel.
+``repro.device`` / ``repro.network`` / ``repro.service``
+    The three IoT layers of the paper's Fig. 1, built as simulation
+    substrates.
+``repro.crypto``
+    The Table III lightweight cipher suite, modes, hashes, MACs, KDF.
+``repro.security``
+    XLF's per-layer security functions (paper §IV-A/B/C).
+``repro.core``
+    The XLF Core: signal bus, cross-layer correlator, MKL, graph
+    learning, token policy, and the :class:`~repro.core.framework.XLF`
+    facade (paper §IV-D).
+``repro.attacks``
+    The adversary suite from the paper's attack-surface analysis.
+``repro.scenarios`` / ``repro.metrics``
+    Prebuilt worlds, workloads, and evaluation metrics.
+
+See README.md for a quickstart, DESIGN.md for the architecture, and
+EXPERIMENTS.md for the per-artifact reproduction record.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,38 @@
+"""Adversary suite: every attack from the paper's Tables II / Fig. 3.
+
+Each attack is a scripted adversary that exploits a specific
+vulnerability switch on a device, the network, or the platform.  Every
+attack records its ground truth (which devices it actually compromised
+or which facts it inferred), so benchmarks can score defenses honestly.
+"""
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.attacks.mirai import MiraiBotnet
+from repro.attacks.mitm import MitmCredentialTheft
+from repro.attacks.firmware import MaliciousOtaUpdate
+from repro.attacks.traffic_analysis import PassiveTrafficAnalyst
+from repro.attacks.event_spoof import EventSpoofing
+from repro.attacks.rogue_app import RogueSmartApp
+from repro.attacks.dns_poison import DnsCachePoisoning
+from repro.attacks.policy_exploit import PhysicalPolicyExploit
+from repro.attacks.upnp import UpnpCredentialHarvest
+from repro.attacks.web_exploit import WebCommandInjection
+from repro.attacks.overflow import BufferOverflowExploit
+from repro.attacks.rickroll import Rickrolling
+
+__all__ = [
+    "Attack",
+    "AttackOutcome",
+    "MiraiBotnet",
+    "MitmCredentialTheft",
+    "MaliciousOtaUpdate",
+    "PassiveTrafficAnalyst",
+    "EventSpoofing",
+    "RogueSmartApp",
+    "DnsCachePoisoning",
+    "PhysicalPolicyExploit",
+    "UpnpCredentialHarvest",
+    "WebCommandInjection",
+    "BufferOverflowExploit",
+    "Rickrolling",
+]

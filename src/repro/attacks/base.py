@@ -1,0 +1,45 @@
+"""Common attack interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Set, Tuple
+
+if TYPE_CHECKING:  # import cycle: scenarios.fleet drives attacks
+    from repro.scenarios.smarthome import SmartHome
+
+
+@dataclass
+class AttackOutcome:
+    """What the attack achieved, by its own ground truth."""
+
+    succeeded: bool
+    compromised_devices: Set[str] = field(default_factory=set)
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+class Attack:
+    """Base class: launch against a SmartHome, then report the outcome."""
+
+    name: str = "abstract-attack"
+    # The paper's layer mapping (Fig. 3): which layers' attack surface
+    # this attack exercises.
+    surface_layers: Tuple[str, ...] = ()
+    # The Table II row shape: (vulnerability, attack, impact).
+    table_ii_row: Tuple[str, str, str] = ("", "", "")
+
+    def __init__(self, home: "SmartHome"):
+        self.home = home
+        self.sim = home.sim
+        self.launched_at: float = -1.0
+
+    def launch(self) -> None:
+        """Schedule the attack's behaviour; does not run the sim."""
+        self.launched_at = self.sim.now
+        self._launch()
+
+    def _launch(self) -> None:
+        raise NotImplementedError
+
+    def outcome(self) -> AttackOutcome:
+        raise NotImplementedError

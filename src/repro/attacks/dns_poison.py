@@ -1,0 +1,81 @@
+"""DNS cache poisoning (paper §IV-A.3).
+
+A LAN-resident attacker observes a device's (plaintext) DNS query and
+races a forged answer pointing the vendor hostname at an attacker
+server.  Succeeds exactly when the home runs PLAIN DNS; DNSSEC and
+DoT/DoH kill it — which is what the constrained-access experiment
+measures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.network.dns import DnsAnswer, DnsQuery, DnsResolver
+from repro.network.node import Node
+from repro.network.packet import Packet
+
+
+class DnsCachePoisoning(Attack):
+    name = "dns-cache-poisoning"
+    surface_layers = ("network", "device")
+    table_ii_row = (
+        "Plaintext, unauthenticated DNS",
+        "Forged answers race the resolver",
+        "Device traffic redirected to the attacker",
+    )
+
+    ATTACKER_SERVER = "198.18.0.53"
+
+    def __init__(self, home, target_device_name: Optional[str] = None):
+        super().__init__(home)
+        self.target = (home.device(target_device_name)
+                       if target_device_name else home.devices[0])
+        lan = self.target.interfaces[0].link
+        self.attacker = Node(self.sim, "dns-poisoner")
+        self.attacker.add_interface(lan, home.gateway.assign_address())
+        lan.add_observer(self._race_queries)
+        self.poisoned: List[str] = []
+        self._resolver: Optional[DnsResolver] = None
+
+    def _launch(self) -> None:
+        """Force a fresh resolution (cache expiry) on the target device."""
+        # The device's resolver was created at build time; recreate a
+        # reference by re-resolving through a new stub with a fresh cache.
+        self._resolver = DnsResolver(
+            self.target, self.home.dns_server.address,
+            mode=self.home.config.dns_mode, client_port=5360,
+        )
+
+        def repair(address):
+            if address is not None:
+                self.target.pair_with_cloud(address, self.target.device_id)
+
+        self._resolver.resolve(self.target.spec.cloud_hostname, repair)
+
+    def _race_queries(self, packet: Packet) -> None:
+        payload = packet.payload
+        if not isinstance(payload, DnsQuery) or packet.encrypted:
+            return
+        if packet.src_device != self.target.name:
+            return
+        # Forge an answer with the observed txid, spoofed server source.
+        forged = Packet(
+            src=self.home.dns_server.address, dst=packet.src,
+            sport=53, dport=packet.sport,
+            protocol="udp", app_protocol="dns", size_bytes=120,
+            payload=DnsAnswer(payload.qname, self.ATTACKER_SERVER,
+                              payload.txid),
+        )
+        self.attacker.interfaces[0].link.transmit(forged)
+        self.poisoned.append(payload.qname)
+
+    def outcome(self) -> AttackOutcome:
+        redirected = self.target.cloud_address == self.ATTACKER_SERVER
+        return AttackOutcome(
+            succeeded=redirected,
+            compromised_devices={self.target.name} if redirected else set(),
+            details={"forged_answers": len(self.poisoned),
+                     "cloud_address": self.target.cloud_address},
+        )

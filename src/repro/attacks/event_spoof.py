@@ -1,0 +1,82 @@
+"""Event spoofing (Fernandes et al.; paper §IV-C.2).
+
+"Since the integrity of the events is not protected, malicious actors
+could easily launch spoofing event attacks."  A LAN attacker raises
+events for a victim device id — e.g. convincing the platform the lock
+reported "locked" while the door stands open, or faking motion to
+trigger automations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.network.node import Node
+from repro.network.packet import Packet
+from repro.service.cloud import CloudPlatform
+
+
+class EventSpoofing(Attack):
+    name = "event-spoofing"
+    surface_layers = ("service", "network")
+    table_ii_row = (
+        "Unprotected event integrity",
+        "Forged device events injected at the platform",
+        "Automations act on attacker-chosen state",
+    )
+
+    def __init__(self, home, target_device_name: Optional[str] = None,
+                 spoofed_attribute: str = "state",
+                 spoofed_value: str = "unlocked",
+                 repetitions: int = 3,
+                 interval_s: float = 5.0):
+        super().__init__(home)
+        self.target = (home.device(target_device_name)
+                       if target_device_name
+                       else home.devices_of_type("smart_lock")[0])
+        self.spoofed_attribute = spoofed_attribute
+        self.spoofed_value = spoofed_value
+        self.repetitions = repetitions
+        self.interval_s = interval_s
+        lan = self.target.interfaces[0].link
+        self.attacker = Node(self.sim, "event-spoofer")
+        self.attacker.add_interface(lan, home.gateway.assign_address())
+        self.sent = 0
+
+    def _launch(self) -> None:
+        self.sim.process(self._spoof_loop(), name="event-spoofer")
+
+    def _spoof_loop(self):
+        device_id = self.home.device_ids[self.target.name]
+        for _ in range(self.repetitions):
+            self.attacker.send(Packet(
+                src="", dst=self.home.vendor_addresses[
+                    self.target.spec.cloud_hostname],
+                sport=4444, dport=CloudPlatform.DEVICE_PORT,
+                protocol="tcp", app_protocol="mqtts",
+                size_bytes=self.target.spec.event_size_bytes,
+                payload={"kind": "event", "device_id": device_id,
+                         "attribute": self.spoofed_attribute,
+                         "value": self.spoofed_value},
+            ))
+            self.sent += 1
+            yield self.sim.timeout(self.interval_s)
+
+    def outcome(self) -> AttackOutcome:
+        device_id = self.home.device_ids[self.target.name]
+        shadow = self.home.cloud.handler(device_id).shadow_state
+        fooled = shadow == self.spoofed_value and \
+            self.target.state != self.spoofed_value
+        accepted = any(
+            e.device_id == device_id and e.value == self.spoofed_value
+            and not e.authentic
+            for e in self.home.cloud.bus.events_published
+        )
+        return AttackOutcome(
+            succeeded=fooled or accepted,
+            compromised_devices={self.target.name} if (fooled or accepted)
+            else set(),
+            details={"events_sent": self.sent, "shadow_state": shadow,
+                     "accepted_by_bus": accepted},
+        )

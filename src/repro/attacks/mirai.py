@@ -1,0 +1,138 @@
+"""Mirai-style botnet: scan -> dictionary login -> infect -> C2 -> DDoS.
+
+The Nokia-report attack class of §IV-B.3.  The attacker gains a LAN
+foothold (a compromised laptop on the home WiFi), dictionary-attacks
+telnet across the LAN, infects devices with default credentials and an
+open telnet port, and drives the bots through C2 beaconing, secondary
+scanning, and a flood against an external victim — the behavioural
+phases XLF's layers each see a different slice of.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.device.device import IoTDevice
+from repro.device.os import DEFAULT_CREDENTIALS
+from repro.network.node import Node
+from repro.network.packet import Packet
+
+
+class _FootholdNode(Node):
+    """The attacker's LAN foothold; records telnet replies."""
+
+    def __init__(self, sim, name="foothold-laptop"):
+        super().__init__(sim, name)
+        self.successful_logins: Set[str] = set()
+
+    def handle_packet(self, packet, interface):
+        payload = packet.payload
+        if isinstance(payload, dict) and payload.get("login") == "ok":
+            self.successful_logins.add(packet.src)
+
+
+class MiraiBotnet(Attack):
+    """The full botnet lifecycle."""
+
+    name = "mirai-botnet"
+    surface_layers = ("device", "network")
+    table_ii_row = (
+        "Default credentials + open telnet",
+        "Dictionary scan, bot infection, DDoS",
+        "Device conscripted into a botnet",
+    )
+
+    C2_ADDRESS = "198.18.0.66"      # external C2 server
+    VICTIM_ADDRESS = "198.18.0.99"  # DDoS victim
+    BEACON_INTERVAL_S = 20.0
+    DDOS_DELAY_S = 120.0
+    DDOS_DURATION_S = 30.0
+    DDOS_RATE_PPS = 40.0
+
+    def __init__(self, home, scan_interval_s: float = 0.5,
+                 run_ddos: bool = True):
+        super().__init__(home)
+        self.scan_interval_s = scan_interval_s
+        self.run_ddos = run_ddos
+        self.infected: List[IoTDevice] = []
+        lan = next(iter(home.lan_links.values()))
+        self.foothold = _FootholdNode(self.sim)
+        self.foothold.add_interface(lan, home.gateway.assign_address())
+
+    # -- phases --------------------------------------------------------------------
+    def _launch(self) -> None:
+        self.sim.process(self._scan_and_infect(), name="mirai:scan")
+
+    def _scan_and_infect(self):
+        """Phase 1: walk the LAN, try the credential dictionary."""
+        targets = [d for d in self.home.devices]
+        for device in targets:
+            for username, password in DEFAULT_CREDENTIALS[:4]:
+                self.foothold.send(Packet(
+                    src="", dst=device.address,
+                    sport=31337, dport=IoTDevice.TELNET_PORT,
+                    protocol="tcp", app_protocol="telnet", size_bytes=60,
+                    payload={"username": username, "password": password,
+                             "action": "infect", "payload": "mirai-bot"},
+                ))
+                yield self.sim.timeout(self.scan_interval_s)
+        # Give replies time to land, then start bot behaviour.
+        yield self.sim.timeout(2.0)
+        for device in targets:
+            if device.infected:
+                self.infected.append(device)
+                self.sim.process(self._bot_loop(device),
+                                 name=f"mirai:bot:{device.name}")
+
+    def _bot_loop(self, device: IoTDevice):
+        """Phase 2+3: C2 beaconing, secondary scanning, then the flood."""
+        started = self.sim.now
+        rng = self.sim.rng.stream(f"mirai:{device.name}")
+        while device.infected:
+            # C2 beacon: plaintext, keyword-laden (what DPI catches).
+            device.send(Packet(
+                src="", dst=self.C2_ADDRESS, sport=31337, dport=443,
+                protocol="tcp", app_protocol="https", size_bytes=90,
+                payload={"report": "mirai loader beacon c2.evil attack ready"},
+                encrypted=False,
+            ))
+            # Secondary scanning: probe random LAN addresses.
+            for _ in range(4):
+                probe_host = rng.randint(2, 60)
+                device.send(Packet(
+                    src="", dst=f"10.0.0.{probe_host}", sport=31337,
+                    dport=IoTDevice.TELNET_PORT, protocol="tcp",
+                    app_protocol="telnet", size_bytes=60,
+                    payload={"username": "admin", "password": "admin"},
+                ))
+                yield self.sim.timeout(0.3)
+            if (self.run_ddos
+                    and self.sim.now - started >= self.DDOS_DELAY_S):
+                yield from self._flood(device)
+                return
+            yield self.sim.timeout(self.BEACON_INTERVAL_S)
+
+    def _flood(self, device: IoTDevice):
+        """Phase 4: the DDoS flood."""
+        end = self.sim.now + self.DDOS_DURATION_S
+        interval = 1.0 / self.DDOS_RATE_PPS
+        while self.sim.now < end and device.infected:
+            device.send(Packet(
+                src="", dst=self.VICTIM_ADDRESS, sport=31337, dport=80,
+                protocol="udp", app_protocol="http", size_bytes=512,
+                payload={"flood": "x" * 64}, encrypted=False,
+            ))
+            yield self.sim.timeout(interval)
+
+    def outcome(self) -> AttackOutcome:
+        infected_names = {d.name for d in self.home.devices if d.infected}
+        ever_infected = {d.name for d in self.infected} | infected_names
+        return AttackOutcome(
+            succeeded=bool(ever_infected),
+            compromised_devices=ever_infected,
+            details={
+                "logins": sorted(self.foothold.successful_logins),
+                "still_infected": sorted(infected_names),
+            },
+        )

@@ -1,0 +1,88 @@
+"""MitM credential theft (Table II: smart light bulb / oven rows).
+
+Builds on DNS poisoning: redirect a device's cloud flow to an attacker
+server, then harvest what arrives.  Two outcomes, matching Table II:
+
+* a device with ``plaintext_traffic`` leaks payloads outright;
+* a device with ``weak_tls_validation`` would complete a TLS handshake
+  against the attacker's self-signed certificate (modelled via the
+  certificate layer in :mod:`repro.network.protocols.tls`).
+
+Detection-wise this produces exactly the cross-layer picture the paper
+wants: the network layer sees flows to an unknown destination while the
+service layer sees the device go silent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.attacks.dns_poison import DnsCachePoisoning
+from repro.network.node import Node
+from repro.network.protocols.tls import Certificate
+
+
+class _HarvestServer(Node):
+    """The attacker's fake cloud endpoint."""
+
+    def __init__(self, sim, name="mitm-harvester"):
+        super().__init__(sim, name)
+        self.harvested: List[object] = []
+        self.fake_certificate = Certificate(
+            subject="*.example.com", issuer="self-signed",
+            public_id=b"mitm", signature=b"none",
+        )
+
+    def handle_packet(self, packet, interface):
+        if not packet.encrypted and packet.payload is not None:
+            self.harvested.append(packet.payload)
+
+
+class MitmCredentialTheft(Attack):
+    name = "mitm-credential-theft"
+    surface_layers = ("device", "network")
+    table_ii_row = (
+        "Static password / unvalidated TLS",
+        "MitM via traffic redirection",
+        "Credentials and telemetry stolen",
+    )
+
+    def __init__(self, home, target_device_name: Optional[str] = None):
+        super().__init__(home)
+        candidates = [
+            d for d in home.devices
+            if d.vulnerabilities.plaintext_traffic
+            or d.vulnerabilities.weak_tls_validation
+        ]
+        if target_device_name is not None:
+            self.target = home.device(target_device_name)
+        elif candidates:
+            self.target = candidates[0]
+        else:
+            self.target = home.devices[0]
+        self.harvester = _HarvestServer(self.sim)
+        self.home.internet.attach_service(
+            self.harvester, address=DnsCachePoisoning.ATTACKER_SERVER
+        )
+        self.poisoner = DnsCachePoisoning(home, self.target.name)
+
+    def _launch(self) -> None:
+        self.poisoner.launch()
+
+    def outcome(self) -> AttackOutcome:
+        redirected = self.poisoner.outcome().succeeded
+        stolen = list(self.harvester.harvested)
+        succeeded = redirected and (
+            bool(stolen) or self.target.vulnerabilities.weak_tls_validation
+        )
+        return AttackOutcome(
+            succeeded=succeeded,
+            compromised_devices={self.target.name} if succeeded else set(),
+            details={
+                "redirected": redirected,
+                "plaintext_payloads_stolen": len(stolen),
+                "tls_bypass_possible":
+                    self.target.vulnerabilities.weak_tls_validation,
+            },
+        )

@@ -1,0 +1,79 @@
+"""Buffer-overflow exploitation (Table II, wall-pad row).
+
+"Wall pad | Buffer overflow | Value manipulation, shellcode exe. |
+Housebreaking, monitoring" — the attacker sends a command packet whose
+value field overflows the device's fixed-size buffer, smuggling
+shellcode into execution.  Works only against firmware with the
+``buffer_overflow`` flaw; patched firmware truncates/rejects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.device.device import IoTDevice
+from repro.network.node import Node
+from repro.network.packet import Packet
+
+
+class BufferOverflowExploit(Attack):
+    name = "buffer-overflow-exploit"
+    surface_layers = ("device",)
+    table_ii_row = (
+        "Unchecked command buffer",
+        "Oversized value field with embedded shellcode",
+        "Shellcode execution; housebreaking/monitoring",
+    )
+
+    SHELLCODE = "spy-implant"
+
+    def __init__(self, home, target_device_name: Optional[str] = None):
+        super().__init__(home)
+        candidates = [d for d in home.devices
+                      if d.vulnerabilities.buffer_overflow]
+        if target_device_name is not None:
+            self.target = home.device(target_device_name)
+        elif candidates:
+            self.target = candidates[0]
+        else:
+            self.target = home.devices[0]
+        lan = self.target.interfaces[0].link
+        self.attacker = Node(self.sim, "overflow-attacker")
+        self.attacker.add_interface(lan, home.gateway.assign_address())
+
+    EXFIL_ADDRESS = "198.18.0.90"
+
+    def _launch(self) -> None:
+        overflow = "A" * (IoTDevice.COMMAND_BUFFER_BYTES * 4)
+        self.attacker.send(Packet(
+            src="", dst=self.target.address,
+            sport=31338, dport=IoTDevice.CONTROL_PORT,
+            protocol="tcp", app_protocol="http",
+            size_bytes=IoTDevice.COMMAND_BUFFER_BYTES * 4 + 60,
+            payload={"kind": "command", "command": "on",
+                     "value": overflow, "shellcode": self.SHELLCODE},
+        ))
+        self.sim.process(self._monitoring_loop(), name="spy-implant")
+
+    def _monitoring_loop(self):
+        """The "housebreaking, monitoring" impact: the implant streams
+        surveillance data to the attacker."""
+        yield self.sim.timeout(2.0)
+        while self.target.infected:
+            self.target.send(Packet(
+                src="", dst=self.EXFIL_ADDRESS, sport=31338, dport=443,
+                protocol="tcp", app_protocol="https", size_bytes=600,
+                payload={"surveillance": self.target.state},
+                encrypted=False,
+            ))
+            yield self.sim.timeout(10.0)
+
+    def outcome(self) -> AttackOutcome:
+        infected = (self.target.infected
+                    and self.target.infection_payload == self.SHELLCODE)
+        return AttackOutcome(
+            succeeded=infected,
+            compromised_devices={self.target.name} if infected else set(),
+            details={"target": self.target.name},
+        )

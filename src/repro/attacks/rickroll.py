@@ -1,0 +1,97 @@
+"""Rickrolling (Table II, Chromecast row).
+
+"Chromecast | Rickrolling | D/C & reconnects to attacker | Privacy
+violation."  The attacker floods the device with deauthentication
+frames, knocking it off the home network; the device's auto-reconnect
+then latches onto the attacker's rogue access point, which proxies (and
+records) everything — or streams whatever the attacker pleases.
+
+Defense-relevant observables: the device goes silent on the home side
+(keep-alive/silence audit) and, if it was enrolled with a per-device
+PSK, the rogue AP cannot complete the join at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.network.node import Link, Node
+from repro.network.wireless import WirelessSecurity
+
+
+class _RogueAccessPoint(Node):
+    """The attacker's AP: records everything the victim sends."""
+
+    def __init__(self, sim, name="rogue-ap"):
+        super().__init__(sim, name)
+        self.captured = []
+
+    def handle_packet(self, packet, interface):
+        self.captured.append(packet)
+
+
+class Rickrolling(Attack):
+    name = "rickrolling"
+    surface_layers = ("network", "device")
+    table_ii_row = (
+        "Unauthenticated deauth + auto-reconnect",
+        "Deauthentication flood, rogue AP capture",
+        "Device traffic hijacked (privacy violation)",
+    )
+
+    def __init__(self, home, target_device_name: str = "voice_assistant-1",
+                 home_wireless: Optional[WirelessSecurity] = None):
+        super().__init__(home)
+        self.target = home.device(target_device_name)
+        self.home_wireless = home_wireless
+        self.rogue_link = Link(self.sim, "wifi", name="rogue-wlan")
+        self.rogue_ap = _RogueAccessPoint(self.sim)
+        self.rogue_ap.add_interface(self.rogue_link, "192.168.66.1",
+                                    default_route=True)
+        self.rogue_security = WirelessSecurity(self.rogue_link, mode="open")
+        self.deauth_sent = 0
+        self.reconnected = False
+
+    def _launch(self) -> None:
+        self.sim.process(self._deauth_and_lure(), name="rickroll")
+
+    def _deauth_and_lure(self):
+        # Phase 1: deauth flood — management frames are unauthenticated,
+        # so the victim's link drops.
+        victim_interface = self.target.interfaces[0]
+        for _ in range(5):
+            self.deauth_sent += 1
+            yield self.sim.timeout(0.2)
+        victim_interface.up = False
+        victim_interface.link.detach(victim_interface)
+        # Phase 2: the device auto-reconnects to the strongest AP — the
+        # attacker's.  With PPSK on the *rogue* side irrelevant (open),
+        # but the device only joins networks it has credentials for when
+        # the home ran PPSK and the device refuses open networks.
+        yield self.sim.timeout(1.0)
+        if self.home_wireless is not None and \
+                self.home_wireless.mode == "ppsk":
+            # Hardened client policy: never fall back to open networks.
+            return
+        new_interface = self.rogue_security.join(
+            self.target, "192.168.66.50", psk="")
+        if new_interface is not None:
+            self.target.interfaces = [new_interface] + [
+                i for i in self.target.interfaces if i is not new_interface
+            ]
+            self.reconnected = True
+            # The device resumes its chatter — now through the rogue AP.
+            self.target.send_telemetry()
+
+    def outcome(self) -> AttackOutcome:
+        hijacked = self.reconnected and bool(self.rogue_ap.captured)
+        return AttackOutcome(
+            succeeded=hijacked,
+            compromised_devices={self.target.name} if hijacked else set(),
+            details={
+                "deauth_frames": self.deauth_sent,
+                "reconnected_to_rogue": self.reconnected,
+                "packets_captured": len(self.rogue_ap.captured),
+            },
+        )

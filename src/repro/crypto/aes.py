@@ -1,0 +1,165 @@
+"""AES-128/192/256 (faithful, FIPS-197).
+
+The S-box is generated algorithmically (multiplicative inverse in
+GF(2^8) followed by the affine transform) rather than embedded as a
+table, which makes the implementation self-checking: a transcription
+error would break the FIPS-197 known-answer tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.crypto.base import BlockCipher
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _build_sboxes():
+    # Multiplicative inverses via brute force (runs once at import).
+    inverse = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if _gf_mul(x, y) == 1:
+                inverse[x] = y
+                break
+    sbox = [0] * 256
+    for x in range(256):
+        b = inverse[x]
+        s = 0
+        for i in range(8):
+            bit = (
+                (b >> i)
+                ^ (b >> ((i + 4) % 8))
+                ^ (b >> ((i + 5) % 8))
+                ^ (b >> ((i + 6) % 8))
+                ^ (b >> ((i + 7) % 8))
+                ^ (0x63 >> i)
+            ) & 1
+            s |= bit << i
+        sbox[x] = s
+    inv_sbox = [0] * 256
+    for x, s in enumerate(sbox):
+        inv_sbox[s] = x
+    return sbox, inv_sbox
+
+
+_SBOX, _INV_SBOX = _build_sboxes()
+_RCON = [0x01]
+for _ in range(13):
+    _RCON.append(_gf_mul(_RCON[-1], 2))
+
+
+class Aes(BlockCipher):
+    """AES with 128/192/256-bit keys."""
+
+    name = "AES"
+    block_size_bits = 128
+    key_size_bits = (128, 192, 256)
+    structure = "SPN"
+
+    _ROUNDS = {128: 10, 192: 12, 256: 14}
+
+    @classmethod
+    def rounds_for_key_bits(cls, key_bits: int) -> int:
+        return cls._ROUNDS[key_bits]
+
+    def _setup(self, key: bytes) -> None:
+        nk = len(key) // 4
+        nr = self._ROUNDS[len(key) * 8]
+        words: List[List[int]] = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]  # noqa: E203
+        for i in range(nk, 4 * (nr + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([w ^ t for w, t in zip(words[i - nk], temp)])
+        self._round_keys = [
+            sum(words[4 * r : 4 * r + 4], []) for r in range(nr + 1)  # noqa: E203
+        ]
+        self._nr = nr
+
+    # -- state helpers (state is a flat 16-list, column-major like FIPS) --
+    @staticmethod
+    def _add_round_key(state, rk):
+        return [s ^ k for s, k in zip(state, rk)]
+
+    @staticmethod
+    def _sub_bytes(state, box):
+        return [box[b] for b in state]
+
+    @staticmethod
+    def _shift_rows(state):
+        out = list(state)
+        for row in range(1, 4):
+            cells = [state[row + 4 * col] for col in range(4)]
+            cells = cells[row:] + cells[:row]
+            for col in range(4):
+                out[row + 4 * col] = cells[col]
+        return out
+
+    @staticmethod
+    def _inv_shift_rows(state):
+        out = list(state)
+        for row in range(1, 4):
+            cells = [state[row + 4 * col] for col in range(4)]
+            cells = cells[-row:] + cells[:-row]
+            for col in range(4):
+                out[row + 4 * col] = cells[col]
+        return out
+
+    @staticmethod
+    def _mix_columns(state, matrix):
+        out = [0] * 16
+        for col in range(4):
+            column = state[4 * col : 4 * col + 4]  # noqa: E203
+            for row in range(4):
+                acc = 0
+                for k in range(4):
+                    acc ^= _gf_mul(matrix[row][k], column[k])
+                out[4 * col + row] = acc
+        return out
+
+    _MIX = [[2, 3, 1, 1], [1, 2, 3, 1], [1, 1, 2, 3], [3, 1, 1, 2]]
+    _INV_MIX = [[14, 11, 13, 9], [9, 14, 11, 13], [13, 9, 14, 11], [11, 13, 9, 14]]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        state = list(self._check_block(block))
+        state = self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, self._nr):
+            state = self._sub_bytes(state, _SBOX)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state, self._MIX)
+            state = self._add_round_key(state, self._round_keys[rnd])
+        state = self._sub_bytes(state, _SBOX)
+        state = self._shift_rows(state)
+        state = self._add_round_key(state, self._round_keys[self._nr])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        state = list(self._check_block(block))
+        state = self._add_round_key(state, self._round_keys[self._nr])
+        for rnd in range(self._nr - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            state = self._sub_bytes(state, _INV_SBOX)
+            state = self._add_round_key(state, self._round_keys[rnd])
+            state = self._mix_columns(state, self._INV_MIX)
+        state = self._inv_shift_rows(state)
+        state = self._sub_bytes(state, _INV_SBOX)
+        state = self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

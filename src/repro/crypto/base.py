@@ -1,0 +1,117 @@
+"""Block-cipher base class and helpers shared by the cipher suite."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+class CryptoError(ValueError):
+    """Base error for the crypto package."""
+
+
+class KeySizeError(CryptoError):
+    """Raised when a key of unsupported length is supplied."""
+
+
+class BlockSizeError(CryptoError):
+    """Raised when plaintext/ciphertext is not block-aligned."""
+
+
+class BlockCipher:
+    """Abstract block cipher.
+
+    Subclasses define class attributes ``name``, ``block_size_bits``,
+    ``key_size_bits`` (tuple of supported sizes), ``structure`` (one of
+    ``"SPN"``, ``"Feistel"``, ``"GFS"``, ``"ARX"``, ``"hybrid"``) and
+    ``rounds_for_key`` mapping key size to round count, and implement
+    :meth:`encrypt_block` / :meth:`decrypt_block` on ``bytes`` of exactly
+    one block.
+    """
+
+    name: str = "abstract"
+    block_size_bits: int = 0
+    key_size_bits: Tuple[int, ...] = ()
+    structure: str = "?"
+
+    def __init__(self, key: bytes):
+        if not isinstance(key, (bytes, bytearray)):
+            raise CryptoError(f"key must be bytes, got {type(key).__name__}")
+        key = bytes(key)
+        if len(key) * 8 not in self.key_size_bits:
+            raise KeySizeError(
+                f"{self.name}: key must be one of {self.key_size_bits} bits, "
+                f"got {len(key) * 8}"
+            )
+        self.key = key
+        self._setup(key)
+
+    # -- subclass hooks ----------------------------------------------------
+    def _setup(self, key: bytes) -> None:
+        """Key schedule; subclasses override."""
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        raise NotImplementedError
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        """Block size in bytes."""
+        return self.block_size_bits // 8
+
+    @property
+    def rounds(self) -> int:
+        """Round count for the instantiated key size."""
+        return self.rounds_for_key_bits(len(self.key) * 8)
+
+    @classmethod
+    def rounds_for_key_bits(cls, key_bits: int) -> int:
+        """Round count for a given key size; uniform by default."""
+        return getattr(cls, "num_rounds", 0)
+
+    def _check_block(self, block: bytes) -> bytes:
+        if not isinstance(block, (bytes, bytearray)):
+            raise CryptoError(f"block must be bytes, got {type(block).__name__}")
+        block = bytes(block)
+        if len(block) != self.block_size:
+            raise BlockSizeError(
+                f"{self.name}: block must be {self.block_size} bytes, "
+                f"got {len(block)}"
+            )
+        return block
+
+
+def rotl(value: int, shift: int, width: int) -> int:
+    """Rotate ``value`` left by ``shift`` within ``width`` bits."""
+    shift %= width
+    mask = (1 << width) - 1
+    return ((value << shift) | (value >> (width - shift))) & mask
+
+
+def rotr(value: int, shift: int, width: int) -> int:
+    """Rotate ``value`` right by ``shift`` within ``width`` bits."""
+    return rotl(value, width - (shift % width), width)
+
+
+def bytes_to_words(data: bytes, word_bytes: int, byteorder: str = "big") -> list:
+    """Split ``data`` into integers of ``word_bytes`` each."""
+    if len(data) % word_bytes:
+        raise CryptoError("data length not a multiple of the word size")
+    return [
+        int.from_bytes(data[i : i + word_bytes], byteorder)  # noqa: E203
+        for i in range(0, len(data), word_bytes)
+    ]
+
+
+def words_to_bytes(words: Sequence[int], word_bytes: int, byteorder: str = "big") -> bytes:
+    """Inverse of :func:`bytes_to_words`."""
+    return b"".join(int(w).to_bytes(word_bytes, byteorder) for w in words)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise CryptoError(f"xor length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))

@@ -1,0 +1,109 @@
+"""Lightweight hash constructions (paper §IV-A.2 / NIST LWC report).
+
+Two constructions built from the cipher suite itself:
+
+* :class:`DaviesMeyerHash` — Merkle–Damgård over a Davies–Meyer
+  compression function instantiated with any block cipher whose key size
+  is at least its block size (the classic route to a hash on a device
+  that already carries a cipher).
+* :class:`SpongeHash` — a sponge whose permutation is a fixed-key
+  instance of PRESENT, the SPONGENT design pattern.
+
+These are the hashes the XLF framework uses for firmware fingerprints
+and message digests on constrained devices; they are not claimed to be
+collision-resistant at modern security margins.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.crypto.base import BlockCipher, CryptoError, xor_bytes
+from repro.crypto.present import Present
+
+
+def _md_pad(message: bytes, block_size: int) -> bytes:
+    """Merkle–Damgård strengthening: 0x80, zeros, 8-byte length."""
+    length = len(message)
+    padded = message + b"\x80"
+    while (len(padded) + 8) % block_size:
+        padded += b"\x00"
+    return padded + (length * 8).to_bytes(8, "big")
+
+
+class DaviesMeyerHash:
+    """H_i = E_{m_i}(H_{i-1}) xor H_{i-1}; digest = final chaining value."""
+
+    def __init__(self, cipher_cls: Type[BlockCipher] = Present, key_bits: int = None):
+        self.cipher_cls = cipher_cls
+        self.key_bits = key_bits or max(cipher_cls.key_size_bits)
+        if self.key_bits not in cipher_cls.key_size_bits:
+            raise CryptoError(f"{cipher_cls.name} does not support {self.key_bits}-bit keys")
+        self.block_size = cipher_cls.block_size_bits // 8
+        self.key_size = self.key_bits // 8
+        self.digest_size = self.block_size
+
+    def digest(self, message: bytes) -> bytes:
+        chaining = bytes(self.block_size)  # all-zero IV
+        padded = _md_pad(message, self.key_size)
+        for i in range(0, len(padded), self.key_size):
+            block_key = padded[i : i + self.key_size]  # noqa: E203
+            encrypted = self.cipher_cls(block_key).encrypt_block(chaining)
+            chaining = xor_bytes(encrypted, chaining)
+        return chaining
+
+    def hexdigest(self, message: bytes) -> str:
+        return self.digest(message).hex()
+
+
+class SpongeHash:
+    """Sponge over the PRESENT permutation (SPONGENT pattern).
+
+    State = cipher block (64 bits is small; we chain two lanes for a
+    128-bit state with a 32-bit rate), absorbing then squeezing
+    ``digest_size`` bytes.
+    """
+
+    RATE = 4  # bytes absorbed/squeezed per permutation call
+    digest_size = 16
+
+    def __init__(self, digest_size: int = 16):
+        if digest_size < 8 or digest_size > 64:
+            raise CryptoError("digest size must be 8..64 bytes")
+        self.digest_size = digest_size
+        # Fixed-key PRESENT instances act as two independent permutations.
+        self._perm_a = Present(bytes(10))
+        self._perm_b = Present(bytes([0x5C] * 10))
+
+    def _permute(self, state: bytes) -> bytes:
+        a = self._perm_a.encrypt_block(state[:8])
+        b = self._perm_b.encrypt_block(state[8:])
+        # Cross-mix the lanes so the state acts as one 128-bit permutation.
+        return b + xor_bytes(a, b)
+
+    def digest(self, message: bytes) -> bytes:
+        state = bytes(16)
+        padded = message + b"\x01"
+        while len(padded) % self.RATE:
+            padded += b"\x00"
+        for i in range(0, len(padded), self.RATE):
+            chunk = padded[i : i + self.RATE]  # noqa: E203
+            state = xor_bytes(state[: self.RATE], chunk) + state[self.RATE :]  # noqa: E203
+            state = self._permute(state)
+        out = b""
+        while len(out) < self.digest_size:
+            out += state[: self.RATE]
+            state = self._permute(state)
+        return out[: self.digest_size]
+
+    def hexdigest(self, message: bytes) -> str:
+        return self.digest(message).hex()
+
+
+def lightweight_digest(message: bytes, flavor: str = "sponge") -> bytes:
+    """Convenience wrapper used throughout the framework."""
+    if flavor == "sponge":
+        return SpongeHash().digest(message)
+    if flavor == "davies-meyer":
+        return DaviesMeyerHash().digest(message)
+    raise CryptoError(f"unknown hash flavor {flavor!r}")

@@ -1,0 +1,135 @@
+"""HIGHT — the CHES 2006 generalized-Feistel cipher for RFID/USN devices.
+
+64-bit block, 128-bit key, 32 rounds.  The round structure, whitening,
+and auxiliary functions F0/F1 follow the published design; the subkey
+constants use the spec's LFSR construction (x^7 + x^3 + 1) but are not
+validated against published test vectors, so the registry marks this
+implementation ``validated=False``.  See ``tests/crypto`` for the
+round-trip and diffusion properties exercised.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.base import BlockCipher, rotl
+
+
+def _f0(x: int) -> int:
+    return rotl(x, 1, 8) ^ rotl(x, 2, 8) ^ rotl(x, 7, 8)
+
+
+def _f1(x: int) -> int:
+    return rotl(x, 3, 8) ^ rotl(x, 4, 8) ^ rotl(x, 6, 8)
+
+
+def _delta_constants():
+    """128 seven-bit constants from the LFSR x^7 + x^3 + 1."""
+    s = [0, 1, 0, 1, 1, 0, 1]  # s0..s6, delta_0 = 0b1011010 = 0x5A
+    delta = [sum(s[i] << i for i in range(7))]
+    bits = list(s)
+    for i in range(1, 128):
+        bits.append(bits[i + 2] ^ bits[i - 1])
+        delta.append(sum(bits[i + j] << j for j in range(7)))
+    return delta
+
+
+_DELTA = _delta_constants()
+_MASK8 = 0xFF
+
+
+class Hight(BlockCipher):
+    """HIGHT (the paper's Table III spells it "HEIGHT")."""
+
+    name = "HIGHT"
+    block_size_bits = 64
+    key_size_bits = (128,)
+    structure = "GFS"
+    num_rounds = 32
+
+    def _setup(self, key: bytes) -> None:
+        mk = list(key)  # MK[0..15]
+        # Whitening keys.
+        self._wk = [mk[i + 12] for i in range(4)] + [mk[i] for i in range(4)]
+        # Subkeys.
+        sk = [0] * 128
+        for i in range(8):
+            for j in range(8):
+                sk[16 * i + j] = (mk[(j - i) % 8] + _DELTA[16 * i + j]) & _MASK8
+            for j in range(8):
+                sk[16 * i + j + 8] = (mk[((j - i) % 8) + 8] + _DELTA[16 * i + j + 8]) & _MASK8
+        self._sk = sk
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        p = list(self._check_block(block))
+        wk, sk = self._wk, self._sk
+        x = [
+            (p[0] + wk[0]) & _MASK8,
+            p[1],
+            p[2] ^ wk[1],
+            p[3],
+            (p[4] + wk[2]) & _MASK8,
+            p[5],
+            p[6] ^ wk[3],
+            p[7],
+        ]
+        for i in range(32):
+            x = [
+                x[7] ^ ((_f0(x[6]) + sk[4 * i + 3]) & _MASK8),
+                x[0],
+                (x[1] + (_f1(x[0]) ^ sk[4 * i])) & _MASK8,
+                x[2],
+                x[3] ^ ((_f0(x[2]) + sk[4 * i + 1]) & _MASK8),
+                x[4],
+                (x[5] + (_f1(x[4]) ^ sk[4 * i + 2])) & _MASK8,
+                x[6],
+            ]
+        # Undo the last swap per the spec's final transform, then whiten.
+        x = [x[1], x[2], x[3], x[4], x[5], x[6], x[7], x[0]]
+        c = [
+            (x[0] + wk[4]) & _MASK8,
+            x[1],
+            x[2] ^ wk[5],
+            x[3],
+            (x[4] + wk[6]) & _MASK8,
+            x[5],
+            x[6] ^ wk[7],
+            x[7],
+        ]
+        return bytes(c)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        c = list(self._check_block(block))
+        wk, sk = self._wk, self._sk
+        x = [
+            (c[0] - wk[4]) & _MASK8,
+            c[1],
+            c[2] ^ wk[5],
+            c[3],
+            (c[4] - wk[6]) & _MASK8,
+            c[5],
+            c[6] ^ wk[7],
+            c[7],
+        ]
+        # Redo the final swap.
+        x = [x[7], x[0], x[1], x[2], x[3], x[4], x[5], x[6]]
+        for i in range(31, -1, -1):
+            x = [
+                x[1],
+                (x[2] - (_f1(x[1]) ^ sk[4 * i])) & _MASK8,
+                x[3],
+                x[4] ^ ((_f0(x[3]) + sk[4 * i + 1]) & _MASK8),
+                x[5],
+                (x[6] - (_f1(x[5]) ^ sk[4 * i + 2])) & _MASK8,
+                x[7],
+                x[0] ^ ((_f0(x[7]) + sk[4 * i + 3]) & _MASK8),
+            ]
+        p = [
+            (x[0] - wk[0]) & _MASK8,
+            x[1],
+            x[2] ^ wk[1],
+            x[3],
+            (x[4] - wk[2]) & _MASK8,
+            x[5],
+            x[6] ^ wk[3],
+            x[7],
+        ]
+        return bytes(p)

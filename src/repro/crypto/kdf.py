@@ -1,0 +1,31 @@
+"""Key derivation for device provisioning and session keys."""
+
+from __future__ import annotations
+
+from repro.crypto.base import CryptoError
+from repro.crypto.mac import HmacLite
+
+
+def derive_key(master: bytes, context: str, length: int = 16) -> bytes:
+    """HKDF-expand style derivation over the lightweight HMAC.
+
+    ``context`` namespaces the derived key ("session:gw1", "fw-signing",
+    ...); distinct contexts always yield independent keys.
+    """
+    if length < 1 or length > 255 * 16:
+        raise CryptoError(f"bad derived key length {length}")
+    prk = HmacLite(master).mac(b"xlf-kdf-extract:" + context.encode("utf-8"))
+    out = b""
+    block = b""
+    counter = 1
+    mac = HmacLite(prk)
+    while len(out) < length:
+        block = mac.mac(block + context.encode("utf-8") + bytes([counter]))
+        out += block
+        counter += 1
+    return out[:length]
+
+
+def session_key(master: bytes, device_id: str, epoch: int, length: int = 16) -> bytes:
+    """Per-device, per-epoch session key (rotated by the auth proxy)."""
+    return derive_key(master, f"session:{device_id}:{epoch}", length)

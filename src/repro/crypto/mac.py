@@ -1,0 +1,54 @@
+"""Message authentication codes over the lightweight suite."""
+
+from __future__ import annotations
+
+import hmac as _compare
+
+from repro.crypto.base import BlockCipher, CryptoError, xor_bytes
+from repro.crypto.hashes import SpongeHash
+
+
+class HmacLite:
+    """HMAC over :class:`SpongeHash` (RFC 2104 construction)."""
+
+    BLOCK = 32  # bytes; pad/ipad width for the sponge
+
+    def __init__(self, key: bytes, digest_size: int = 16):
+        if not key:
+            raise CryptoError("empty MAC key")
+        self._hash = SpongeHash(digest_size)
+        if len(key) > self.BLOCK:
+            key = self._hash.digest(key)
+        self._key = key.ljust(self.BLOCK, b"\x00")
+
+    def mac(self, message: bytes) -> bytes:
+        ipad = bytes(b ^ 0x36 for b in self._key)
+        opad = bytes(b ^ 0x5C for b in self._key)
+        inner = self._hash.digest(ipad + message)
+        return self._hash.digest(opad + inner)
+
+    def verify(self, message: bytes, tag: bytes) -> bool:
+        return _compare.compare_digest(self.mac(message), tag)
+
+
+class CbcMac:
+    """Classic CBC-MAC with length prepending (secure for our fixed-length
+    framework messages; length-extension caveats documented)."""
+
+    def __init__(self, cipher: BlockCipher):
+        self.cipher = cipher
+        self.block_size = cipher.block_size
+
+    def mac(self, message: bytes) -> bytes:
+        bs = self.block_size
+        # Prepend the length block to close the variable-length gap.
+        data = len(message).to_bytes(bs, "big") + message
+        if len(data) % bs:
+            data += b"\x00" * (bs - len(data) % bs)
+        state = bytes(bs)
+        for i in range(0, len(data), bs):
+            state = self.cipher.encrypt_block(xor_bytes(state, data[i : i + bs]))  # noqa: E203
+        return state
+
+    def verify(self, message: bytes, tag: bytes) -> bool:
+        return _compare.compare_digest(self.mac(message), tag)

@@ -1,0 +1,128 @@
+"""Block-cipher modes of operation and PKCS#7 padding."""
+
+from __future__ import annotations
+
+from repro.crypto.base import BlockCipher, BlockSizeError, CryptoError, xor_bytes
+
+
+def pkcs7_pad(data: bytes, block_size: int) -> bytes:
+    """Pad ``data`` to a multiple of ``block_size`` (always adds padding)."""
+    if not 1 <= block_size <= 255:
+        raise CryptoError(f"block size {block_size} out of PKCS#7 range")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int) -> bytes:
+    """Strip PKCS#7 padding, validating it fully."""
+    if not data or len(data) % block_size:
+        raise CryptoError("invalid padded length")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size:
+        raise CryptoError("invalid padding byte")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise CryptoError("corrupt padding")
+    return data[:-pad_len]
+
+
+class _Mode:
+    """Common plumbing for modes wrapping a block cipher."""
+
+    def __init__(self, cipher: BlockCipher):
+        self.cipher = cipher
+        self.block_size = cipher.block_size
+
+    def _check_aligned(self, data: bytes) -> None:
+        if len(data) % self.block_size:
+            raise BlockSizeError(
+                f"data length {len(data)} not a multiple of block size "
+                f"{self.block_size}"
+            )
+
+
+class EcbMode(_Mode):
+    """Electronic codebook — included for completeness and benchmarks only."""
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        padded = pkcs7_pad(plaintext, self.block_size)
+        bs = self.block_size
+        return b"".join(
+            self.cipher.encrypt_block(padded[i : i + bs])  # noqa: E203
+            for i in range(0, len(padded), bs)
+        )
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        self._check_aligned(ciphertext)
+        bs = self.block_size
+        padded = b"".join(
+            self.cipher.decrypt_block(ciphertext[i : i + bs])  # noqa: E203
+            for i in range(0, len(ciphertext), bs)
+        )
+        return pkcs7_unpad(padded, bs)
+
+
+class CbcMode(_Mode):
+    """Cipher block chaining with an explicit IV."""
+
+    def encrypt(self, plaintext: bytes, iv: bytes) -> bytes:
+        if len(iv) != self.block_size:
+            raise CryptoError(f"IV must be {self.block_size} bytes")
+        padded = pkcs7_pad(plaintext, self.block_size)
+        bs = self.block_size
+        out = []
+        previous = iv
+        for i in range(0, len(padded), bs):
+            block = self.cipher.encrypt_block(xor_bytes(padded[i : i + bs], previous))  # noqa: E203
+            out.append(block)
+            previous = block
+        return b"".join(out)
+
+    def decrypt(self, ciphertext: bytes, iv: bytes) -> bytes:
+        if len(iv) != self.block_size:
+            raise CryptoError(f"IV must be {self.block_size} bytes")
+        self._check_aligned(ciphertext)
+        bs = self.block_size
+        out = []
+        previous = iv
+        for i in range(0, len(ciphertext), bs):
+            block = ciphertext[i : i + bs]  # noqa: E203
+            out.append(xor_bytes(self.cipher.decrypt_block(block), previous))
+            previous = block
+        return pkcs7_unpad(b"".join(out), bs)
+
+
+class CtrMode(_Mode):
+    """Counter mode — turns the block cipher into a stream cipher.
+
+    The nonce occupies the high half of the counter block and the counter
+    the low half, so short-block ciphers (64-bit) still get 2**32 blocks
+    per nonce before wrap, which the caller is responsible for respecting.
+    """
+
+    def _keystream_block(self, nonce: int, counter: int) -> bytes:
+        bs = self.block_size
+        half = bs // 2
+        block = nonce.to_bytes(bs - half, "big") + counter.to_bytes(half, "big")
+        return self.cipher.encrypt_block(block)
+
+    def _crypt(self, data: bytes, nonce: int) -> bytes:
+        bs = self.block_size
+        half_bits = (bs // 2) * 8
+        max_counter = 1 << half_bits
+        nonce_max = 1 << ((bs - bs // 2) * 8)
+        if not 0 <= nonce < nonce_max:
+            raise CryptoError(f"nonce out of range for {bs}-byte blocks")
+        out = bytearray()
+        for counter, i in enumerate(range(0, len(data), bs)):
+            if counter >= max_counter:
+                raise CryptoError("CTR counter exhausted for this nonce")
+            ks = self._keystream_block(nonce, counter)
+            chunk = data[i : i + bs]  # noqa: E203
+            out.extend(x ^ y for x, y in zip(chunk, ks))
+        return bytes(out)
+
+    def encrypt(self, plaintext: bytes, nonce: int) -> bytes:
+        return self._crypt(plaintext, nonce)
+
+    def decrypt(self, ciphertext: bytes, nonce: int) -> bytes:
+        return self._crypt(ciphertext, nonce)

@@ -1,0 +1,90 @@
+"""PRESENT — the CHES 2007 ultra-lightweight SPN (faithful).
+
+64-bit block, 80- or 128-bit key, 31 rounds plus a final key whitening.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.base import BlockCipher
+
+_SBOX = [0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2]
+_INV_SBOX = [0] * 16
+for _i, _s in enumerate(_SBOX):
+    _INV_SBOX[_s] = _i
+
+# Bit-permutation layer: bit i of the state moves to position P(i).
+_PERM = [0] * 64
+for _i in range(64):
+    _PERM[_i] = (_i // 4) + (_i % 4) * 16
+_INV_PERM = [0] * 64
+for _i, _p in enumerate(_PERM):
+    _INV_PERM[_p] = _i
+
+
+def _sbox_layer(state: int, box) -> int:
+    out = 0
+    for nibble in range(16):
+        out |= box[(state >> (4 * nibble)) & 0xF] << (4 * nibble)
+    return out
+
+
+def _perm_layer(state: int, perm) -> int:
+    out = 0
+    for bit in range(64):
+        if (state >> bit) & 1:
+            out |= 1 << perm[bit]
+    return out
+
+
+class Present(BlockCipher):
+    """PRESENT-80/128."""
+
+    name = "PRESENT"
+    block_size_bits = 64
+    key_size_bits = (80, 128)
+    structure = "SPN"
+    num_rounds = 31
+
+    def _setup(self, key: bytes) -> None:
+        key_bits = len(key) * 8
+        register = int.from_bytes(key, "big")
+        round_keys = []
+        if key_bits == 80:
+            for round_counter in range(1, 33):
+                round_keys.append(register >> 16)
+                # Rotate the 80-bit register left by 61.
+                register = ((register << 61) | (register >> 19)) & ((1 << 80) - 1)
+                # S-box on the top nibble.
+                top = _SBOX[(register >> 76) & 0xF]
+                register = (register & ~(0xF << 76)) | (top << 76)
+                # XOR round counter into bits 19..15.
+                register ^= round_counter << 15
+        else:
+            for round_counter in range(1, 33):
+                round_keys.append(register >> 64)
+                register = ((register << 61) | (register >> 67)) & ((1 << 128) - 1)
+                hi = _SBOX[(register >> 124) & 0xF]
+                lo = _SBOX[(register >> 120) & 0xF]
+                register = (
+                    (register & ~(0xFF << 120)) | (hi << 124) | (lo << 120)
+                )
+                register ^= round_counter << 62
+        self._round_keys = round_keys
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        state = int.from_bytes(self._check_block(block), "big")
+        for rnd in range(31):
+            state ^= self._round_keys[rnd]
+            state = _sbox_layer(state, _SBOX)
+            state = _perm_layer(state, _PERM)
+        state ^= self._round_keys[31]
+        return state.to_bytes(8, "big")
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        state = int.from_bytes(self._check_block(block), "big")
+        state ^= self._round_keys[31]
+        for rnd in range(30, -1, -1):
+            state = _perm_layer(state, _INV_PERM)
+            state = _sbox_layer(state, _INV_SBOX)
+            state ^= self._round_keys[rnd]
+        return state.to_bytes(8, "big")

@@ -1,0 +1,159 @@
+"""PRIDE — 64-bit SPN with bit-sliced linear layers (structure-faithful).
+
+Published PRIDE: 64-bit block, 128-bit key (64 whitening + 64 schedule),
+20 rounds, 4-bit S-box, and four interleaved 16-bit linear mixers.  This
+variant keeps the parameters and the two-level (S-layer + 16-bit mixer)
+structure; the S-box and mixer matrices are design-family stand-ins, so
+it registers ``validated=False``.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.base import BlockCipher, rotl
+
+# A 4-bit SPN S-box in the PRIDE design family (structure-faithful; the
+# published constants are not embedded — see the module docstring).
+_SBOX = [0x0, 0x4, 0x8, 0xF, 0x1, 0x5, 0xE, 0x9, 0x2, 0x7, 0xA, 0xC, 0xB, 0xD, 0x6, 0x3]
+_INV_SBOX = [0] * 16
+for _i, _s in enumerate(_SBOX):
+    _INV_SBOX[_s] = _i
+
+_MASK16 = 0xFFFF
+_MASK64 = (1 << 64) - 1
+
+
+def _mix16(x: int, r1: int, r2: int) -> int:
+    return x ^ rotl(x, r1, 16) ^ rotl(x, r2, 16)
+
+
+def _mix16_inverse_table(r1: int, r2: int):
+    # The map is linear over GF(2); build the inverse by Gaussian elimination.
+    cols = [_mix16(1 << i, r1, r2) for i in range(16)]
+    rows = []
+    for i in range(16):
+        row = 0
+        for j in range(16):
+            if (cols[j] >> i) & 1:
+                row |= 1 << j
+        rows.append(row)
+    inv = [1 << i for i in range(16)]
+    for col in range(16):
+        pivot = next(r for r in range(col, 16) if (rows[r] >> col) & 1)
+        rows[col], rows[pivot] = rows[pivot], rows[col]
+        inv[col], inv[pivot] = inv[pivot], inv[col]
+        for r in range(16):
+            if r != col and (rows[r] >> col) & 1:
+                rows[r] ^= rows[col]
+                inv[r] ^= inv[col]
+
+    def apply(x):
+        out = 0
+        for i in range(16):
+            if bin(inv[i] & x).count("1") & 1:
+                out |= 1 << i
+        return out
+
+    return [apply(v) for v in range(1 << 16)]
+
+
+# Rotation pairs chosen invertible over GF(2) (odd number of terms).
+_MIX_PARAMS = [(1, 3), (2, 5), (3, 7), (4, 9)]
+_MIX_INVERSES = None  # built lazily: the tables are 4 x 64 KiB
+
+# Cross-lane interleave (PRIDE's bit-sliced transpose): bit i of the state
+# moves to position (i // 4) + (i % 4) * 16, sending each nibble's four
+# bits to four different 16-bit lanes.
+_SHUFFLE = [(i // 4) + (i % 4) * 16 for i in range(64)]
+_SHUFFLE_INV = [0] * 64
+for _i, _p in enumerate(_SHUFFLE):
+    _SHUFFLE_INV[_p] = _i
+
+
+def _shuffle_bits(state: int, table) -> int:
+    out = 0
+    for bit in range(64):
+        if (state >> bit) & 1:
+            out |= 1 << table[bit]
+    return out
+
+
+def _ensure_inverses():
+    global _MIX_INVERSES
+    if _MIX_INVERSES is None:
+        _MIX_INVERSES = [_mix16_inverse_table(r1, r2) for r1, r2 in _MIX_PARAMS]
+
+
+class Pride(BlockCipher):
+    """PRIDE (structure-faithful)."""
+
+    name = "Pride"
+    block_size_bits = 64
+    key_size_bits = (128,)
+    structure = "SPN"
+    num_rounds = 20
+
+    def _setup(self, key: bytes) -> None:
+        _ensure_inverses()
+        self._whitening = int.from_bytes(key[:8], "big")
+        k1 = key[8:]
+        round_keys = []
+        for i in range(self.num_rounds):
+            # PRIDE-style schedule: add round-dependent constants to
+            # alternating bytes of k1.
+            rk = bytearray(k1)
+            rk[1] = (rk[1] + 193 * (i + 1)) & 0xFF
+            rk[3] = (rk[3] + 165 * (i + 1)) & 0xFF
+            rk[5] = (rk[5] + 81 * (i + 1)) & 0xFF
+            rk[7] = (rk[7] + 197 * (i + 1)) & 0xFF
+            round_keys.append(int.from_bytes(bytes(rk), "big"))
+        self._round_keys = round_keys
+
+    @staticmethod
+    def _sub(state: int, box) -> int:
+        out = 0
+        for nib in range(16):
+            out |= box[(state >> (4 * nib)) & 0xF] << (4 * nib)
+        return out
+
+    @staticmethod
+    def _linear(state: int) -> int:
+        out = 0
+        for lane in range(4):
+            word = (state >> (16 * lane)) & _MASK16
+            r1, r2 = _MIX_PARAMS[lane]
+            out |= _mix16(word, r1, r2) << (16 * lane)
+        return out
+
+    @staticmethod
+    def _linear_inv(state: int) -> int:
+        out = 0
+        for lane in range(4):
+            word = (state >> (16 * lane)) & _MASK16
+            out |= _MIX_INVERSES[lane][word] << (16 * lane)
+        return out
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        state = int.from_bytes(self._check_block(block), "big")
+        state ^= self._whitening
+        for i in range(self.num_rounds):
+            state ^= self._round_keys[i]
+            state = self._sub(state, _SBOX)
+            if i != self.num_rounds - 1:  # last round omits the linear layer
+                state = _shuffle_bits(state, _SHUFFLE)
+                state = self._linear(state)
+                state = _shuffle_bits(state, _SHUFFLE_INV)
+        state ^= self._whitening
+        return state.to_bytes(8, "big")
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        state = int.from_bytes(self._check_block(block), "big")
+        state ^= self._whitening
+        for i in range(self.num_rounds - 1, -1, -1):
+            if i != self.num_rounds - 1:
+                state = _shuffle_bits(state, _SHUFFLE)
+                state = self._linear_inv(state)
+                state = _shuffle_bits(state, _SHUFFLE_INV)
+            state = self._sub(state, _INV_SBOX)
+            state ^= self._round_keys[i]
+        state ^= self._whitening
+        return state.to_bytes(8, "big")

@@ -1,0 +1,94 @@
+"""TEA and XTEA — the Tiny Encryption Algorithm family.
+
+Faithful implementations of the original specifications (Wheeler &
+Needham): 64-bit block, 128-bit key, 64 Feistel rounds (32 cycles).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.base import BlockCipher, bytes_to_words, words_to_bytes
+
+_MASK32 = 0xFFFFFFFF
+_DELTA = 0x9E3779B9
+
+
+class Tea(BlockCipher):
+    """Original TEA."""
+
+    name = "TEA"
+    block_size_bits = 64
+    key_size_bits = (128,)
+    structure = "Feistel"
+    num_rounds = 64  # counted as Feistel rounds; 32 cycles of two
+
+    CYCLES = 32
+
+    def _setup(self, key: bytes) -> None:
+        self._k = bytes_to_words(key, 4)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        block = self._check_block(block)
+        v0, v1 = bytes_to_words(block, 4)
+        k0, k1, k2, k3 = self._k
+        total = 0
+        for _ in range(self.CYCLES):
+            total = (total + _DELTA) & _MASK32
+            v0 = (v0 + (((v1 << 4) + k0) ^ (v1 + total) ^ ((v1 >> 5) + k1))) & _MASK32
+            v1 = (v1 + (((v0 << 4) + k2) ^ (v0 + total) ^ ((v0 >> 5) + k3))) & _MASK32
+        return words_to_bytes([v0, v1], 4)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        block = self._check_block(block)
+        v0, v1 = bytes_to_words(block, 4)
+        k0, k1, k2, k3 = self._k
+        total = (_DELTA * self.CYCLES) & _MASK32
+        for _ in range(self.CYCLES):
+            v1 = (v1 - (((v0 << 4) + k2) ^ (v0 + total) ^ ((v0 >> 5) + k3))) & _MASK32
+            v0 = (v0 - (((v1 << 4) + k0) ^ (v1 + total) ^ ((v1 >> 5) + k1))) & _MASK32
+            total = (total - _DELTA) & _MASK32
+        return words_to_bytes([v0, v1], 4)
+
+
+class Xtea(BlockCipher):
+    """XTEA — TEA's successor with a corrected key schedule."""
+
+    name = "XTEA"
+    block_size_bits = 64
+    key_size_bits = (128,)
+    structure = "Feistel"
+    num_rounds = 64
+
+    CYCLES = 32
+
+    def _setup(self, key: bytes) -> None:
+        self._k = bytes_to_words(key, 4)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        block = self._check_block(block)
+        v0, v1 = bytes_to_words(block, 4)
+        k = self._k
+        total = 0
+        for _ in range(self.CYCLES):
+            v0 = (
+                v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))
+            ) & _MASK32
+            total = (total + _DELTA) & _MASK32
+            v1 = (
+                v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))
+            ) & _MASK32
+        return words_to_bytes([v0, v1], 4)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        block = self._check_block(block)
+        v0, v1 = bytes_to_words(block, 4)
+        k = self._k
+        total = (_DELTA * self.CYCLES) & _MASK32
+        for _ in range(self.CYCLES):
+            v1 = (
+                v1 - ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))
+            ) & _MASK32
+            total = (total - _DELTA) & _MASK32
+            v0 = (
+                v0 - ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))
+            ) & _MASK32
+        return words_to_bytes([v0, v1], 4)

@@ -1,0 +1,41 @@
+"""Device layer substrate (paper §II-A, Table I).
+
+Simulated IoT devices parameterised by the paper's Table I hardware
+catalog: a hardware model (CPU, RAM, flash), an energy model (battery or
+mains), firmware images with signing, a resident OS with a file cache,
+and sensors reading a shared physical environment.
+"""
+
+from repro.device.profiles import (
+    DEVICE_CATALOG,
+    DeviceClass,
+    DeviceProfile,
+    get_profile,
+    table_i_rows,
+)
+from repro.device.hardware import HardwareModel
+from repro.device.energy import EnergyModel
+from repro.device.firmware import FirmwareImage, FirmwareSigner, FirmwareStore
+from repro.device.sensors import Environment, Sensor, SENSOR_TYPES
+from repro.device.os import ResidentOS
+from repro.device.device import IoTDevice
+from repro.device.webadmin import WebAdminInterface
+
+__all__ = [
+    "DEVICE_CATALOG",
+    "DeviceProfile",
+    "DeviceClass",
+    "get_profile",
+    "table_i_rows",
+    "HardwareModel",
+    "EnergyModel",
+    "FirmwareImage",
+    "FirmwareSigner",
+    "FirmwareStore",
+    "Environment",
+    "Sensor",
+    "SENSOR_TYPES",
+    "ResidentOS",
+    "IoTDevice",
+    "WebAdminInterface",
+]

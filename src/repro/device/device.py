@@ -1,0 +1,418 @@
+"""The IoT device actor.
+
+An :class:`IoTDevice` combines a Table I hardware profile, an energy
+model, a resident OS, a firmware store, sensors, and a network
+interface.  Device *types* (bulb, lock, camera, ...) define their
+states, commands, telemetry cadence, and cloud endpoint — the cadence
+and packet sizes are each type's traffic signature, which is what both
+the HoMonit-style defender and the Apthorpe-style adversary key on.
+
+Vulnerability flags reproduce Table II: a device can ship with default
+credentials, an open telnet port, skipped TLS validation, unsigned
+firmware acceptance, or plaintext traffic.  The attacks package
+exploits exactly these flags; XLF's functions detect/mitigate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.device.energy import EnergyModel
+from repro.device.firmware import FirmwareImage, FirmwareSigner, FirmwareStore
+from repro.device.hardware import HardwareModel
+from repro.device.os import ResidentOS
+from repro.device.profiles import DeviceProfile, get_profile
+from repro.device.sensors import Environment, Sensor
+from repro.network.links import LinkTechnology
+from repro.network.node import Interface, Node
+from repro.network.packet import Packet
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class Vulnerabilities:
+    """Table II switchboard; all False = hardened device."""
+
+    default_credentials: bool = False
+    open_telnet: bool = False
+    weak_tls_validation: bool = False
+    unsigned_firmware: bool = False
+    plaintext_traffic: bool = False
+    buffer_overflow: bool = False      # wall pad row
+    unprotected_channel: bool = False  # coffee machine row (UPnP listener)
+
+    def any(self) -> bool:
+        return any(getattr(self, f) for f in self.__dataclass_fields__)
+
+    def listed(self) -> List[str]:
+        return [f for f in self.__dataclass_fields__ if getattr(self, f)]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A device type: its states, commands, telemetry, and cloud home."""
+
+    type_name: str
+    profile_name: str                 # Table I profile to instantiate
+    link: str                         # link technology name
+    cloud_hostname: str               # vendor cloud; leaks identity via DNS
+    states: Tuple[str, ...]           # e.g. ("off", "on")
+    initial_state: str
+    commands: Dict[str, str]          # command -> resulting state
+    sensor_types: Tuple[str, ...] = ()
+    telemetry_interval_s: float = 30.0
+    telemetry_size_bytes: int = 120
+    event_size_bytes: int = 200
+    os_name: str = "Contiki"
+    # Constrained (802.15.4-class) devices speak CoAP; the rest MQTT/TLS.
+    app_protocol: str = "mqtts"
+
+    def __post_init__(self):
+        if self.initial_state not in self.states:
+            raise ValueError(
+                f"{self.type_name}: initial state {self.initial_state!r} "
+                f"not in {self.states}"
+            )
+        for command, state in self.commands.items():
+            if state not in self.states:
+                raise ValueError(
+                    f"{self.type_name}: command {command!r} targets unknown "
+                    f"state {state!r}"
+                )
+
+
+# The standard smart-home device types used by scenarios and benches.
+# Distinct vendors/clouds and distinct telemetry signatures are what make
+# DNS- and rate-based device identification work.
+DEVICE_TYPES: Dict[str, DeviceSpec] = {
+    spec.type_name: spec
+    for spec in [
+        DeviceSpec(
+            type_name="smart_bulb", profile_name="Philips Hue Lightbulb",
+            link="zigbee", cloud_hostname="bridge.hue.example.com",
+            states=("off", "on"), initial_state="off",
+            commands={"on": "on", "off": "off"},
+            telemetry_interval_s=60.0, telemetry_size_bytes=90,
+            event_size_bytes=140, app_protocol="coap",
+        ),
+        DeviceSpec(
+            type_name="smart_lock", profile_name="Nest Smoke Detector",
+            link="z-wave", cloud_hostname="locks.august.example.com",
+            states=("locked", "unlocked"), initial_state="locked",
+            commands={"lock": "locked", "unlock": "unlocked"},
+            telemetry_interval_s=120.0, telemetry_size_bytes=70,
+            event_size_bytes=180,
+        ),
+        DeviceSpec(
+            type_name="thermostat", profile_name="Nest Learning Thermostat",
+            link="wifi", cloud_hostname="home.nest.example.com",
+            states=("idle", "heating", "cooling"), initial_state="idle",
+            commands={"heat": "heating", "cool": "cooling", "idle": "idle"},
+            sensor_types=("temperature", "humidity"),
+            telemetry_interval_s=30.0, telemetry_size_bytes=150,
+            event_size_bytes=220, os_name="Linux",
+        ),
+        DeviceSpec(
+            type_name="camera", profile_name="Samsung Smart Cam",
+            link="wifi", cloud_hostname="stream.dropcam.example.com",
+            states=("idle", "streaming", "recording"), initial_state="idle",
+            commands={"stream": "streaming", "record": "recording",
+                      "stop": "idle"},
+            sensor_types=("motion", "light"),
+            telemetry_interval_s=5.0, telemetry_size_bytes=900,
+            event_size_bytes=1200, os_name="Linux",
+        ),
+        DeviceSpec(
+            type_name="smoke_detector", profile_name="Nest Smoke Detector",
+            link="6lowpan", cloud_hostname="alerts.nest.example.com",
+            states=("clear", "alarm"), initial_state="clear",
+            commands={"hush": "clear"},
+            sensor_types=("smoke",),
+            telemetry_interval_s=300.0, telemetry_size_bytes=60,
+            event_size_bytes=160, app_protocol="coap",
+        ),
+        DeviceSpec(
+            type_name="smart_plug", profile_name="Sensor Devices",
+            link="wifi", cloud_hostname="plugs.kasa.example.com",
+            states=("off", "on"), initial_state="off",
+            commands={"on": "on", "off": "off"},
+            sensor_types=("power",),
+            telemetry_interval_s=45.0, telemetry_size_bytes=100,
+            event_size_bytes=130,
+        ),
+        DeviceSpec(
+            type_name="voice_assistant", profile_name="Google Chromecast",
+            link="wifi", cloud_hostname="assistant.echo.example.com",
+            states=("idle", "listening", "responding"), initial_state="idle",
+            commands={"wake": "listening", "respond": "responding",
+                      "sleep": "idle"},
+            telemetry_interval_s=10.0, telemetry_size_bytes=300,
+            event_size_bytes=500, os_name="Linux",
+        ),
+        DeviceSpec(
+            type_name="fridge", profile_name="Samsung Smart TV",
+            link="wifi", cloud_hostname="kitchen.family-hub.example.com",
+            states=("closed", "open"), initial_state="closed",
+            commands={"open": "open", "close": "closed"},
+            sensor_types=("temperature",),
+            telemetry_interval_s=90.0, telemetry_size_bytes=200,
+            event_size_bytes=250, os_name="Linux",
+        ),
+    ]
+}
+
+
+def get_device_spec(type_name: str) -> DeviceSpec:
+    if type_name not in DEVICE_TYPES:
+        raise KeyError(
+            f"unknown device type {type_name!r}; known: {sorted(DEVICE_TYPES)}"
+        )
+    return DEVICE_TYPES[type_name]
+
+
+class IoTDevice(Node):
+    """One simulated IoT device."""
+
+    CLOUD_PORT = 8883       # device->cloud telemetry/event channel
+    CONTROL_PORT = 9000     # cloud->device commands arrive here
+    TELNET_PORT = 23
+    UPNP_PORT = 1900
+    COMMAND_BUFFER_BYTES = 64  # the wall-pad row's unchecked buffer
+
+    def __init__(self, sim: Simulator, name: str, spec: DeviceSpec,
+                 environment: Environment,
+                 vulnerabilities: Vulnerabilities = Vulnerabilities(),
+                 firmware_signer: Optional[FirmwareSigner] = None):
+        super().__init__(sim, name)
+        self.spec = spec
+        self.profile: DeviceProfile = get_profile(spec.profile_name)
+        self.hardware = HardwareModel(self.profile)
+        self.energy = EnergyModel(self.profile)
+        self.os = ResidentOS(spec.os_name)
+        self.environment = environment
+        self.vulnerabilities = vulnerabilities
+        self.state = spec.initial_state
+        self.sensors: Dict[str, Sensor] = {
+            s: Sensor(environment, s, noise_std=0.1, name=f"{name}:{s}")
+            for s in spec.sensor_types
+        }
+        base_image = FirmwareImage(
+            vendor=spec.cloud_hostname.split(".")[1],
+            model=spec.type_name, version="1.0.0", payload=b"factory-firmware",
+        )
+        if firmware_signer is not None:
+            base_image = firmware_signer.sign(base_image)
+        self.firmware = FirmwareStore(
+            current=base_image,
+            verifier=firmware_signer,
+            verify_signatures=not vulnerabilities.unsigned_firmware,
+        )
+        # Credential provisioning per the vulnerability switchboard.
+        if vulnerabilities.default_credentials:
+            self.os.add_credential("admin", "admin")
+        else:
+            self.os.add_credential("admin", f"strong-{name}-passphrase")
+        if vulnerabilities.open_telnet:
+            self.os.register_service(self.TELNET_PORT, "telnet")
+            self.bind(self.TELNET_PORT, self._handle_telnet)
+        # The Table II coffee-machine row: an unprotected UPnP responder
+        # that hands out configuration — including the Wi-Fi passphrase.
+        self.wifi_psk = f"home-wifi-psk-{id(environment) & 0xFFFF:04x}"
+        if vulnerabilities.unprotected_channel:
+            self.os.register_service(self.UPNP_PORT, "upnp")
+            self.bind(self.UPNP_PORT, self._handle_upnp)
+        self.bind(self.CONTROL_PORT, self._handle_command_packet)
+        # Cloud wiring (filled at pairing time).
+        self.cloud_address: Optional[str] = None
+        self.device_id: Optional[str] = None
+        self.infected = False
+        self.infection_payload: Optional[str] = None
+        self.state_history: List[Tuple[float, str]] = [(sim.now, self.state)]
+        self.events_emitted = 0
+        self.telemetry_sent = 0
+        self._event_listeners: List[Callable[[dict], None]] = []
+        self._telemetry_process = None
+
+    # -- pairing / cloud ----------------------------------------------------
+    def pair_with_cloud(self, cloud_address: str, device_id: str) -> None:
+        self.cloud_address = cloud_address
+        self.device_id = device_id
+
+    def start(self) -> None:
+        """Begin the telemetry loop."""
+        if self._telemetry_process is None:
+            self._telemetry_process = self.sim.process(
+                self._telemetry_loop(), name=f"{self.name}:telemetry"
+            )
+
+    def _telemetry_loop(self):
+        rng = self.sim.rng.stream(f"telemetry:{self.name}")
+        while True:
+            jitter = rng.uniform(-0.1, 0.1) * self.spec.telemetry_interval_s
+            yield self.sim.timeout(max(0.1, self.spec.telemetry_interval_s + jitter))
+            if self.energy.depleted:
+                return
+            self.send_telemetry()
+
+    def send_telemetry(self) -> None:
+        if self.cloud_address is None:
+            return
+        readings = {name: sensor.read() for name, sensor in self.sensors.items()}
+        payload = {
+            "kind": "telemetry",
+            "device_id": self.device_id,
+            "state": self.state,
+            "readings": readings,
+        }
+        self.telemetry_sent += 1
+        self._send_to_cloud(payload, self.spec.telemetry_size_bytes)
+
+    def emit_event(self, attribute: str, value: Any) -> None:
+        """State-change events toward the service layer."""
+        payload = {
+            "kind": "event",
+            "device_id": self.device_id,
+            "attribute": attribute,
+            "value": value,
+        }
+        self.events_emitted += 1
+        for listener in self._event_listeners:
+            listener(payload)
+        self._send_to_cloud(payload, self.spec.event_size_bytes)
+
+    def on_event(self, listener: Callable[[dict], None]) -> None:
+        self._event_listeners.append(listener)
+
+    def _send_to_cloud(self, payload: dict, size: int) -> None:
+        if self.cloud_address is None or not self.interfaces:
+            return
+        app_protocol = self.spec.app_protocol
+        packet = Packet(
+            src="", dst=self.cloud_address,
+            sport=self.CONTROL_PORT, dport=self.CLOUD_PORT,
+            protocol="udp" if app_protocol == "coap" else "tcp",
+            app_protocol=app_protocol,
+            size_bytes=size, payload=payload,
+            encrypted=not self.vulnerabilities.plaintext_traffic,
+        )
+        self.send(packet)
+
+    # -- commands -----------------------------------------------------------
+    def execute_command(self, command: str, source: str = "local") -> bool:
+        """Run a command against the device state machine."""
+        if command not in self.spec.commands:
+            return False
+        new_state = self.spec.commands[command]
+        if new_state != self.state:
+            self.state = new_state
+            self.state_history.append((self.sim.now, new_state))
+            self.emit_event("state", new_state)
+            self._apply_physical_effect(new_state)
+        return True
+
+    def _apply_physical_effect(self, state: str) -> None:
+        """Device actuation feeds back into the physical environment."""
+        if self.spec.type_name == "smart_bulb":
+            self.environment.set("light", 800.0 if state == "on" else 100.0)
+        elif self.spec.type_name == "thermostat" and state == "heating":
+            self.environment.drift_temperature(+2.0)
+        elif self.spec.type_name == "thermostat" and state == "cooling":
+            self.environment.drift_temperature(-2.0)
+        elif self.spec.type_name == "smart_plug":
+            delta = 60.0 if state == "on" else -60.0
+            self.environment.set(
+                "power", max(0.0, self.environment.power_draw_w + delta)
+            )
+
+    def _handle_command_packet(self, packet: Packet, interface: Interface) -> None:
+        payload = packet.payload
+        if not isinstance(payload, dict):
+            return
+        kind = payload.get("kind")
+        if kind == "command":
+            # The wall-pad row: a fixed-size value buffer with no bounds
+            # check.  Vulnerable firmware lets an oversized "value" field
+            # smash into executable state.
+            value = payload.get("value", "")
+            if (self.vulnerabilities.buffer_overflow
+                    and isinstance(value, (str, bytes))
+                    and len(value) > self.COMMAND_BUFFER_BYTES):
+                shellcode = payload.get("shellcode")
+                if shellcode:
+                    self.infected = True
+                    self.infection_payload = str(shellcode)
+                    self.os.spawn_process(str(shellcode))
+                return
+            self.execute_command(payload.get("command", ""), source="network")
+        elif kind == "ota":
+            self._handle_ota(packet, payload)
+
+    def _handle_ota(self, packet: Packet, payload: dict) -> None:
+        image = payload.get("image")
+        if not isinstance(image, FirmwareImage):
+            return
+        installed = self.firmware.install(image)
+        result = {
+            "kind": "ota_result",
+            "device_id": self.device_id,
+            "campaign": payload.get("campaign"),
+            "ok": installed,
+        }
+        self._send_to_cloud(result, 80)
+
+    # -- telnet (the Mirai entry point) ------------------------------------
+    def _handle_telnet(self, packet: Packet, interface: Interface) -> None:
+        payload = packet.payload
+        if not isinstance(payload, dict):
+            return
+        username = payload.get("username", "")
+        password = payload.get("password", "")
+        reply_size = 40
+        if self.os.check_login(username, password):
+            action = payload.get("action")
+            if action == "infect":
+                self.infected = True
+                self.infection_payload = payload.get("payload", "bot")
+                self.os.spawn_process(self.infection_payload)
+            reply = packet.reply_template(reply_size, {"login": "ok"})
+        else:
+            reply = packet.reply_template(reply_size, {"login": "denied"})
+        reply.app_protocol = "telnet"
+        self.send(reply)
+
+    def _handle_upnp(self, packet: Packet, interface: Interface) -> None:
+        payload = packet.payload
+        if not isinstance(payload, dict) or payload.get("st") != "ssdp:all":
+            return
+        reply = packet.reply_template(180, {
+            "device": self.spec.type_name,
+            "model": self.profile.name,
+            "config": {"wifi_ssid": "home-net", "wifi_psk": self.wifi_psk},
+        })
+        reply.app_protocol = "upnp"
+        self.send(reply)
+
+    # -- energy ---------------------------------------------------------------
+    def on_transmit(self, packet: Packet, technology: LinkTechnology) -> None:
+        self.energy.consume_radio(packet.size_bytes, technology.energy_per_byte_j)
+
+    def disinfect(self) -> None:
+        if self.infected and self.infection_payload:
+            self.os.kill_process(self.infection_payload)
+        self.infected = False
+        self.infection_payload = None
+
+    def harden(self) -> None:
+        """Apply XLF device-layer remediations in one step."""
+        self.vulnerabilities = Vulnerabilities()
+        self.firmware.verify_signatures = True
+        self.os.stop_service(self.TELNET_PORT)
+        self.unbind(self.TELNET_PORT)
+        self.os.stop_service(self.UPNP_PORT)
+        self.unbind(self.UPNP_PORT)
+        for credential in list(self.os.credentials):
+            if credential.is_weak:
+                self.os.rotate_credential(
+                    credential.username, f"rotated-{self.name}-secret"
+                )

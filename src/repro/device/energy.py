@@ -1,0 +1,58 @@
+"""Energy model: batteries drain, mains power doesn't.
+
+Battery capacity is in joules.  CPU work and radio transmission both
+drain it; a drained battery takes the device offline, which matters for
+the shaping ablation (cover traffic costs battery on battery devices).
+"""
+
+from __future__ import annotations
+
+from repro.device.profiles import DeviceProfile
+
+# Representative figures.
+_DEFAULT_BATTERY_J = 5000.0        # a small Li-ion / coin-cell budget
+_CPU_POWER_W = {                    # active power by device class
+    "tag": 0.0005,
+    "mcu": 0.01,
+    "embedded": 0.5,
+    "application": 2.0,
+}
+
+
+class EnergyModel:
+    """Tracks remaining energy for one device."""
+
+    def __init__(self, profile: DeviceProfile,
+                 battery_joules: float = _DEFAULT_BATTERY_J):
+        self.profile = profile
+        self.mains_powered = not profile.battery_powered
+        self.capacity_j = float("inf") if self.mains_powered else battery_joules
+        self.remaining_j = self.capacity_j
+        self.cpu_energy_j = 0.0
+        self.radio_energy_j = 0.0
+
+    @property
+    def depleted(self) -> bool:
+        return self.remaining_j <= 0
+
+    @property
+    def fraction_remaining(self) -> float:
+        if self.mains_powered:
+            return 1.0
+        return max(0.0, self.remaining_j / self.capacity_j)
+
+    def _drain(self, joules: float) -> None:
+        if joules < 0:
+            raise ValueError("negative energy")
+        if not self.mains_powered:
+            self.remaining_j -= joules
+
+    def consume_cpu(self, seconds: float) -> None:
+        joules = seconds * _CPU_POWER_W[self.profile.device_class.value]
+        self.cpu_energy_j += joules
+        self._drain(joules)
+
+    def consume_radio(self, size_bytes: int, energy_per_byte_j: float) -> None:
+        joules = size_bytes * energy_per_byte_j
+        self.radio_energy_j += joules
+        self._drain(joules)

@@ -1,0 +1,122 @@
+"""Firmware images, signing, and the device-side firmware store.
+
+Models the §III-C OTA attack surface precisely: images carry a version,
+payload, digest, and (optionally) a vendor signature.  A device-side
+:class:`FirmwareStore` enforces — or fails to enforce — signature
+validation and downgrade protection, the two switches whose absence
+Table II's "firmware modulation" attack exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.crypto.hashes import lightweight_digest
+from repro.crypto.mac import HmacLite
+
+
+class FirmwareError(RuntimeError):
+    """Firmware validation or installation failure."""
+
+
+def parse_version(version: str) -> Tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in version.split("."))
+    except ValueError:
+        raise FirmwareError(f"malformed version {version!r}") from None
+
+
+@dataclass(frozen=True)
+class FirmwareImage:
+    """One firmware build."""
+
+    vendor: str
+    model: str
+    version: str
+    payload: bytes
+    signature: Optional[bytes] = None
+    # Behavioural flags the simulation interprets when the image runs:
+    malicious: bool = False
+    capabilities: Tuple[str, ...] = ()
+
+    @property
+    def digest(self) -> bytes:
+        return lightweight_digest(
+            self.vendor.encode() + self.model.encode()
+            + self.version.encode() + self.payload
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def version_tuple(self) -> Tuple[int, ...]:
+        return parse_version(self.version)
+
+
+class FirmwareSigner:
+    """The vendor's signing key (MAC stand-in for a signature scheme)."""
+
+    def __init__(self, vendor: str, secret: bytes):
+        self.vendor = vendor
+        self._mac = HmacLite(secret)
+
+    def sign(self, image: FirmwareImage) -> FirmwareImage:
+        signature = self._mac.mac(image.digest)
+        return FirmwareImage(
+            vendor=image.vendor, model=image.model, version=image.version,
+            payload=image.payload, signature=signature,
+            malicious=image.malicious, capabilities=image.capabilities,
+        )
+
+    def verify(self, image: FirmwareImage) -> bool:
+        if image.signature is None:
+            return False
+        return self._mac.verify(image.digest, image.signature)
+
+
+@dataclass
+class FirmwareStore:
+    """Device-side firmware state and update policy.
+
+    ``verify_signatures=False`` and ``allow_downgrade=True`` reproduce
+    the vulnerable configurations in the paper's Table II.
+    """
+
+    current: FirmwareImage
+    verifier: Optional[FirmwareSigner] = None
+    verify_signatures: bool = True
+    allow_downgrade: bool = False
+    history: List[str] = field(default_factory=list)
+    rejected: List[Tuple[str, str]] = field(default_factory=list)  # (version, reason)
+
+    def validate(self, image: FirmwareImage) -> Optional[str]:
+        """Reason the image would be rejected, or None if acceptable."""
+        if image.model != self.current.model:
+            return "wrong-model"
+        if self.verify_signatures:
+            if self.verifier is None:
+                return "no-verifier-provisioned"
+            if not self.verifier.verify(image):
+                return "bad-signature"
+        if not self.allow_downgrade and (
+            image.version_tuple <= self.current.version_tuple
+        ):
+            return "downgrade"
+        return None
+
+    def install(self, image: FirmwareImage) -> bool:
+        """Attempt installation; returns True on success."""
+        reason = self.validate(image)
+        if reason is not None:
+            self.rejected.append((image.version, reason))
+            return False
+        self.history.append(self.current.version)
+        self.current = image
+        return True
+
+    @property
+    def compromised(self) -> bool:
+        return self.current.malicious

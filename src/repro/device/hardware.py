@@ -1,0 +1,104 @@
+"""Hardware resource model: CPU time, RAM, flash.
+
+The Table I insight — "computation, storage, and power limit the
+security functions that can be implemented on the device" — becomes
+executable here: work is expressed in CPU cycles and converted into
+simulated seconds by the profile's clock rate; allocations are tracked
+against RAM/flash and fail when they don't fit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.device.profiles import DeviceProfile
+
+
+class ResourceExhausted(RuntimeError):
+    """An allocation or workload did not fit the device's resources."""
+
+
+class HardwareModel:
+    """Resource accounting for one device."""
+
+    # Interpreted-Python cost factor: rough cycles-per-byte scaling used
+    # to translate benchmark measurements onto device-class budgets.
+    def __init__(self, profile: DeviceProfile):
+        self.profile = profile
+        self._ram_allocations: Dict[str, int] = {}
+        self._flash_allocations: Dict[str, int] = {}
+        self.cpu_seconds_used = 0.0
+
+    # -- CPU -------------------------------------------------------------
+    def execute_cycles(self, cycles: float) -> float:
+        """Return the wall-clock (simulated) seconds ``cycles`` take."""
+        if cycles < 0:
+            raise ValueError("negative cycle count")
+        seconds = cycles / self.profile.core_freq_hz
+        self.cpu_seconds_used += seconds
+        return seconds
+
+    def crypto_time(self, cycles_per_byte: float, n_bytes: int) -> float:
+        """Time to run a crypto primitive over ``n_bytes``."""
+        return self.execute_cycles(cycles_per_byte * n_bytes)
+
+    # -- memory -----------------------------------------------------------
+    @property
+    def ram_used(self) -> int:
+        return sum(self._ram_allocations.values())
+
+    @property
+    def ram_free(self) -> Optional[int]:
+        if self.profile.ram_bytes is None:
+            return None
+        return self.profile.ram_bytes - self.ram_used
+
+    def allocate_ram(self, tag: str, size: int) -> None:
+        if size < 0:
+            raise ValueError("negative allocation")
+        if tag in self._ram_allocations:
+            raise ResourceExhausted(f"RAM tag {tag!r} already allocated")
+        if self.profile.ram_bytes is not None and (
+            self.ram_used + size > self.profile.ram_bytes
+        ):
+            raise ResourceExhausted(
+                f"{self.profile.name}: RAM allocation {tag!r} of {size}B "
+                f"exceeds {self.profile.ram_bytes}B"
+            )
+        self._ram_allocations[tag] = size
+
+    def free_ram(self, tag: str) -> None:
+        self._ram_allocations.pop(tag, None)
+
+    # -- flash --------------------------------------------------------------
+    @property
+    def flash_used(self) -> int:
+        return sum(self._flash_allocations.values())
+
+    def store_flash(self, tag: str, size: int) -> None:
+        if size < 0:
+            raise ValueError("negative store")
+        current = self._flash_allocations.get(tag, 0)
+        if self.profile.flash_bytes is not None and (
+            self.flash_used - current + size > self.profile.flash_bytes
+        ):
+            raise ResourceExhausted(
+                f"{self.profile.name}: flash write {tag!r} of {size}B "
+                f"exceeds {self.profile.flash_bytes}B"
+            )
+        self._flash_allocations[tag] = size
+
+    def erase_flash(self, tag: str) -> None:
+        self._flash_allocations.pop(tag, None)
+
+    def fits(self, ram: int = 0, flash: int = 0) -> bool:
+        """Feasibility check without allocating."""
+        ram_ok = (
+            self.profile.ram_bytes is None
+            or self.ram_used + ram <= self.profile.ram_bytes
+        )
+        flash_ok = (
+            self.profile.flash_bytes is None
+            or self.flash_used + flash <= self.profile.flash_bytes
+        )
+        return ram_ok and flash_ok

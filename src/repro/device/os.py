@@ -1,0 +1,138 @@
+"""The resident software layer: a tiny OS model (paper §II-A).
+
+Models the bits of RIOT/Contiki/TinyOS the framework interacts with: a
+file cache for "frequently used OS files or other important files", a
+credential store (with the weak-default options Table II enumerates),
+and a service table for what listens on which port.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+SUPPORTED_OSES = ("RIOT", "Contiki", "TinyOS", "Linux", "RTOS")
+
+# The "known default credentials" dictionary Mirai-style scanners carry.
+DEFAULT_CREDENTIALS = [
+    ("admin", "admin"),
+    ("root", "root"),
+    ("admin", "1234"),
+    ("admin", "password"),
+    ("user", "user"),
+    ("root", "xc3511"),
+    ("root", "vizxv"),
+]
+
+
+@dataclass
+class Credential:
+    username: str
+    password: str
+
+    @property
+    def is_default(self) -> bool:
+        return (self.username, self.password) in DEFAULT_CREDENTIALS
+
+    @property
+    def is_weak(self) -> bool:
+        return self.is_default or len(self.password) < 8
+
+
+class FileCache:
+    """LRU cache for OS files, sized in bytes."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(v) for v in self._entries.values())
+
+    def put(self, path: str, content: bytes) -> None:
+        if len(content) > self.capacity_bytes:
+            raise ValueError(f"file {path!r} larger than the whole cache")
+        if path in self._entries:
+            del self._entries[path]
+        self._entries[path] = content
+        while self.used_bytes > self.capacity_bytes:
+            self._entries.popitem(last=False)
+
+    def get(self, path: str) -> Optional[bytes]:
+        if path in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(path)
+            return self._entries[path]
+        self.misses += 1
+        return None
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ResidentOS:
+    """Per-device OS state."""
+
+    def __init__(self, os_name: str = "Contiki",
+                 cache_bytes: int = 4096):
+        if os_name not in SUPPORTED_OSES:
+            raise ValueError(
+                f"unsupported OS {os_name!r}; choose from {SUPPORTED_OSES}"
+            )
+        self.os_name = os_name
+        self.cache = FileCache(cache_bytes)
+        self.credentials: List[Credential] = []
+        self.services: Dict[int, str] = {}   # port -> service name
+        self.processes: List[str] = []
+
+    # -- credentials ----------------------------------------------------------
+    def add_credential(self, username: str, password: str) -> Credential:
+        credential = Credential(username, password)
+        self.credentials.append(credential)
+        return credential
+
+    def check_login(self, username: str, password: str) -> bool:
+        return any(
+            c.username == username and c.password == password
+            for c in self.credentials
+        )
+
+    @property
+    def has_default_credentials(self) -> bool:
+        return any(c.is_default for c in self.credentials)
+
+    def rotate_credential(self, username: str, new_password: str) -> bool:
+        for i, credential in enumerate(self.credentials):
+            if credential.username == username:
+                self.credentials[i] = Credential(username, new_password)
+                return True
+        return False
+
+    # -- services ---------------------------------------------------------------
+    def register_service(self, port: int, name: str) -> None:
+        self.services[port] = name
+
+    def stop_service(self, port: int) -> None:
+        self.services.pop(port, None)
+
+    @property
+    def open_ports(self) -> List[int]:
+        return sorted(self.services)
+
+    def spawn_process(self, name: str) -> None:
+        self.processes.append(name)
+
+    def kill_process(self, name: str) -> bool:
+        if name in self.processes:
+            self.processes.remove(name)
+            return True
+        return False

@@ -1,0 +1,184 @@
+"""The Table I device catalog.
+
+Every row of the paper's Table I ("Various components in the device
+layer of a typical home network system") as a :class:`DeviceProfile`,
+with the prose fields normalised into numbers the hardware and energy
+models can consume.  "Computation, storage, and power limit the
+security functions that can be implemented on the device" — the
+``device_class`` property encodes that gradient and drives which
+ciphers/functions XLF deploys per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+
+class DeviceClass(Enum):
+    """Capability tiers derived from Table I's spread."""
+
+    TAG = "tag"                  # RFID tags: no general-purpose CPU
+    MICROCONTROLLER = "mcu"      # kHz-MHz cores, KB of RAM
+    EMBEDDED = "embedded"        # hundreds of MHz, MBs of RAM
+    APPLICATION = "application"  # GHz-class application processors
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One Table I row, normalised."""
+
+    name: str
+    chipset: str
+    core_freq_hz: float
+    ram_bytes: Optional[int]          # None where the paper prints NA
+    flash_bytes: Optional[int]
+    power: str                        # "Battery" | "AC Power" | "NA"
+    paper_row: Tuple[str, str, str, str, str, str]  # verbatim Table I strings
+
+    @property
+    def device_class(self) -> DeviceClass:
+        if self.ram_bytes is not None and self.ram_bytes < 1024:
+            return DeviceClass.TAG
+        if self.core_freq_hz < 1e6:
+            return DeviceClass.TAG
+        if self.core_freq_hz < 100e6:
+            return DeviceClass.MICROCONTROLLER
+        if self.core_freq_hz < 1e9:
+            return DeviceClass.EMBEDDED
+        return DeviceClass.APPLICATION
+
+    @property
+    def battery_powered(self) -> bool:
+        return self.power.lower() == "battery"
+
+    def supports_payload(self, ram_needed: int) -> bool:
+        """Whether a working set fits (unknown RAM treated as embedded-class)."""
+        if self.ram_bytes is None:
+            return ram_needed <= 64 * 1024 * 1024
+        return ram_needed <= self.ram_bytes
+
+
+def _kb(n: float) -> int:
+    return int(n * 1024)
+
+
+def _mb(n: float) -> int:
+    return int(n * 1024 * 1024)
+
+
+def _gb(n: float) -> int:
+    return int(n * 1024 * 1024 * 1024)
+
+
+# Every row of Table I.  paper_row preserves the printed strings
+# (including "Ligh tbulb" style artifacts normalised to sane names but
+# the data columns verbatim).
+DEVICE_CATALOG: Dict[str, DeviceProfile] = {
+    profile.name: profile
+    for profile in [
+        DeviceProfile(
+            "HID Glass Tag Ultra (RFID)", "EM 4305", 134.2e3, 64, None, "NA",
+            ("HID Glass Tag Ultra (RFID)", "EM 4305", "134.2 kHz", "512 bit RW", "NA", "NA"),
+        ),
+        DeviceProfile(
+            "HID Piccolino Tag (RFID)", "I-Code SLIx, SLIx-S", 13.56e6, 256, None, "NA",
+            ("HID Piccolino Tag (RFID)", "I-Code SLIx, SLIx-S", "13.56Mhz", "2048 bit RW", "NA", "NA"),
+        ),
+        DeviceProfile(
+            "Sensor Devices", "Microcontroller", 16e6, _kb(8), _kb(64), "Battery",
+            ("Sensor Devices", "Microcontroller", "4 - 32Mhz", "4 - 16KB", "16 - 128KB", "Battery"),
+        ),
+        DeviceProfile(
+            "Google Chromecast", "ARM Cortex-A7", 1.2e9, _mb(512), _mb(256), "NA",
+            ("Google Chromecast", "ARM Cortex-A7", "1.2Ghz", "512MB", "256MB", "NA"),
+        ),
+        DeviceProfile(
+            "NETGEAR Router", "Broadcom BCM4709A", 1.0e9, _mb(256), _kb(128), "AC Power",
+            ("NETGEAR Router", "Broadcom BCM4709A", "1.0Ghz", "256MB", "128KB", "AC Power"),
+        ),
+        DeviceProfile(
+            "Gateway WISE-3310", "ARM Cortex-A9", 1.0e9, None, _gb(4), "AC Power",
+            ("Gateway WISE-3310", "ARM Cortex-A9", "1.0Ghz", "NA", "4GB", "AC Power"),
+        ),
+        DeviceProfile(
+            "REX2 Smart Meter", "Teridian 71M6531F SoC", 10e6, _kb(4), _kb(256), "Battery",
+            ("REX2 Smart Meter", "Teridian 71M6531F SoC", "10Mhz", "4KB", "256KB", "Battery"),
+        ),
+        DeviceProfile(
+            "Philips Hue Lightbulb", "TI CC2530 SoC", 32e6, _kb(8), _kb(256), "Battery",
+            ("Philips Hue Ligh tbulb", "TI CC2530 SoC", "32Mhz", "8KB", "256KB", "Battery"),
+        ),
+        DeviceProfile(
+            "Nest Smoke Detector", "ARM Cortex-M0", 48e6, _kb(16), _kb(128), "Battery",
+            ("Nest Smoke Detector", "ARM Cortex-M0", "48Mhz", "16KB RAM", "128KB", "Battery"),
+        ),
+        DeviceProfile(
+            "Nest Learning Thermostat", "ARM Cortex-A8", 800e6, _mb(512), _gb(2), "Battery",
+            ("Nest Learning Thermostat", "ARM Cortex-A8", "800Mhz", "512MB RAM", "2GB", "Battery"),
+        ),
+        DeviceProfile(
+            "Samsung Smart Cam", "GM812x SoC", 540e6, None, _gb(64), "AC Power",
+            ("Samsung Smart Cam", "GM812x SoC", "Up to 540Mhz", "N/A", "Up to 64GB", "AC Power"),
+        ),
+        DeviceProfile(
+            "Samsung Smart TV", "ARM-based Exynos SoC", 1.3e9, _gb(1), None, "AC Power",
+            ("Samsung Smart TV", "ARM-based Exonys SoC", "1.3Ghz", "1GB", "N/A", "AC Power"),
+        ),
+        DeviceProfile(
+            "OORT Bluetooth Smart Controller", "ARM Cortex-M0", 50e6, _kb(32), _kb(256), "Battery",
+            ("OORT Bluetooth Smart Controller", "ARM Cortex-M0", "50Mhz", "16KB/32KB", "Up to 256KB", "Battery"),
+        ),
+        DeviceProfile(
+            "Dacor Android Oven", "PowerVR SGX 540 graphics", 1e9, _mb(512), None, "AC Power",
+            ("Dacor Android Oven", "PowerVR SGX 540 graphics", "1Ghz", "512MB", "NA", "AC Power"),
+        ),
+        DeviceProfile(
+            "Fitbit Smart Wrist Band Flex", "ARM Cortex-M3", 32e6, _kb(16), _kb(128), "Battery",
+            ("Fitbit Smart Wrist Band Flex", "ARM Cortex-M3", "32Mhz", "16KB", "128KB", "Battery"),
+        ),
+        DeviceProfile(
+            "LG Watch Urbane 2nd Edition", "Snapdragon 400 chipset", 1.2e9, _mb(768), _gb(4), "Battery",
+            ("LG Watch Urbane 2nd Edition", "Snapdragon 400 chipset", "1.2Ghz", "768MB", "4GB", "Battery"),
+        ),
+        DeviceProfile(
+            "Samsung Watch Gear S2", "MSM8x26", 1.2e9, _mb(512), _gb(4), "Battery",
+            ("Samsung Watch Gear S2", "MSM8x26", "1.2Ghz", "512MB RAM", "4GB", "Battery"),
+        ),
+        DeviceProfile(
+            "Apple Watch", "S1", 520e6, _mb(512), _gb(8), "Battery",
+            ("Apple Watch", "S1", "520Mhz", "512MB RAM", "8GB", "Battery"),
+        ),
+        DeviceProfile(
+            "iPhone 6s Plus", "A9/64-bit/M9 coprocessor", 1.85e9, _gb(2), _gb(128), "Battery",
+            ("iPhone 6s Plus", "A9/64-bit/M9 coprocessor", "1.85Ghz", "2GB", "Up to 128GB", "Battery"),
+        ),
+        DeviceProfile(
+            "12.9-inch iPad Pro", "A9X/64-bit/M9 coprocessor", 1.85e9, _gb(4), _gb(256), "Battery",
+            ("12.9-inch iPad Pro", "A9X/64-bit/M9 coprocessor", "1.85Ghz", "4GB", "Up to 256GB", "Battery"),
+        ),
+    ]
+}
+
+
+def get_profile(name: str) -> DeviceProfile:
+    """Fetch a catalog profile by exact or case-insensitive name."""
+    if name in DEVICE_CATALOG:
+        return DEVICE_CATALOG[name]
+    lowered = {k.lower(): v for k, v in DEVICE_CATALOG.items()}
+    if name.lower() in lowered:
+        return lowered[name.lower()]
+    raise KeyError(f"unknown device profile {name!r}")
+
+
+def table_i_rows() -> List[Tuple[str, str, str, str, str, str]]:
+    """The paper's Table I, row for row."""
+    return [p.paper_row for p in DEVICE_CATALOG.values()]
+
+
+def profiles_by_class() -> Dict[DeviceClass, List[DeviceProfile]]:
+    grouped: Dict[DeviceClass, List[DeviceProfile]] = {c: [] for c in DeviceClass}
+    for profile in DEVICE_CATALOG.values():
+        grouped[profile.device_class].append(profile)
+    return grouped

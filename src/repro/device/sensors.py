@@ -1,0 +1,113 @@
+"""The shared physical environment and the sensors that read it.
+
+A single :class:`Environment` instance holds ground-truth physical
+state (temperature, motion, smoke, light, power draw) that all devices
+in a home share.  Sensors read it with noise; actuators write it.  The
+§IV-C.3 policy-exploitation attack (heat the room to pop the window
+lock) works by writing this state from outside the platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.sim import Simulator
+
+SENSOR_TYPES = ("temperature", "motion", "smoke", "light", "humidity", "power")
+
+
+@dataclass
+class Environment:
+    """Ground-truth physical state of one home."""
+
+    sim: Simulator
+    temperature_f: float = 70.0
+    motion: bool = False
+    smoke: bool = False
+    light_lux: float = 300.0
+    humidity_pct: float = 40.0
+    power_draw_w: float = 150.0
+    _listeners: List[Callable[[str, float], None]] = field(default_factory=list)
+
+    def read(self, quantity: str) -> float:
+        values: Dict[str, float] = {
+            "temperature": self.temperature_f,
+            "motion": 1.0 if self.motion else 0.0,
+            "smoke": 1.0 if self.smoke else 0.0,
+            "light": self.light_lux,
+            "humidity": self.humidity_pct,
+            "power": self.power_draw_w,
+        }
+        if quantity not in values:
+            raise KeyError(f"unknown physical quantity {quantity!r}")
+        return values[quantity]
+
+    def set(self, quantity: str, value: float) -> None:
+        if quantity == "temperature":
+            self.temperature_f = value
+        elif quantity == "motion":
+            self.motion = bool(value)
+        elif quantity == "smoke":
+            self.smoke = bool(value)
+        elif quantity == "light":
+            self.light_lux = value
+        elif quantity == "humidity":
+            self.humidity_pct = value
+        elif quantity == "power":
+            self.power_draw_w = value
+        else:
+            raise KeyError(f"unknown physical quantity {quantity!r}")
+        for listener in self._listeners:
+            listener(quantity, value)
+
+    def on_change(self, listener: Callable[[str, float], None]) -> None:
+        self._listeners.append(listener)
+
+    def drift_temperature(self, delta: float) -> None:
+        self.set("temperature", self.temperature_f + delta)
+
+    def start_dynamics(self, outdoor_f: Callable[[], float],
+                       tau_s: float = 600.0,
+                       step_s: float = 30.0) -> None:
+        """First-order thermal relaxation toward the outdoor temperature.
+
+        Without active heating/cooling, the indoor reading decays toward
+        ``outdoor_f()`` with time constant ``tau_s`` — the "static
+        environment with predictive patterns" §IV-C.3 assumes, and the
+        backdrop that makes an attacker's heat injection stand out.
+        """
+        if tau_s <= 0 or step_s <= 0:
+            raise ValueError("tau and step must be positive")
+
+        def relax():
+            alpha = step_s / tau_s
+            target = outdoor_f()
+            new_temp = self.temperature_f + alpha * (target - self.temperature_f)
+            self.set("temperature", new_temp)
+
+        self.sim.every(step_s, relax, name="environment-dynamics")
+
+
+class Sensor:
+    """A noisy reader of one physical quantity."""
+
+    def __init__(self, environment: Environment, quantity: str,
+                 noise_std: float = 0.0, name: str = ""):
+        if quantity not in SENSOR_TYPES:
+            raise KeyError(f"unknown sensor type {quantity!r}")
+        self.environment = environment
+        self.quantity = quantity
+        self.noise_std = noise_std
+        self.name = name or f"{quantity}-sensor"
+        self.readings_taken = 0
+
+    def read(self) -> float:
+        self.readings_taken += 1
+        value = self.environment.read(self.quantity)
+        if self.noise_std > 0:
+            rng = self.environment.sim.rng.stream(f"sensor:{self.name}")
+            value += rng.gauss(0.0, self.noise_std)
+        if self.quantity in ("motion", "smoke"):
+            value = 1.0 if value >= 0.5 else 0.0
+        return value

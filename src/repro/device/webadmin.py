@@ -1,0 +1,123 @@
+"""Embedded web administration interfaces (paper §III-A).
+
+Costin et al. (cited by the paper) found "serious vulnerabilities in at
+least 24% of the web interfaces of IoT devices", exploitable via
+command injection and friends.  This module models the admin UI that
+routers/cameras/NAS-class devices expose: login, status, settings, and
+a diagnostics endpoint whose *vulnerable* variant passes its argument
+to a shell — the classic embedded-web command injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.node import Interface
+from repro.network.packet import Packet
+from repro.network.protocols.http import HttpRequest, HttpResponse
+
+
+@dataclass
+class WebSession:
+    token: str
+    username: str
+
+
+class WebAdminInterface:
+    """The device's embedded HTTP admin UI.
+
+    ``command_injection=True`` makes ``/diag/ping`` interpret shell
+    metacharacters in its ``host`` parameter — Table II's wall-pad
+    "value manipulation, shellcode exe." realised over HTTP.
+    """
+
+    HTTP_PORT = 80
+
+    def __init__(self, device, command_injection: bool = False,
+                 session_fixation: bool = False):
+        self.device = device
+        self.command_injection = command_injection
+        self.session_fixation = session_fixation
+        self._sessions: Dict[str, WebSession] = {}
+        self._session_serial = 0
+        self.request_log: List[Tuple[str, str, int]] = []
+        self.injected_commands: List[str] = []
+        device.os.register_service(self.HTTP_PORT, "web-admin")
+        device.bind(self.HTTP_PORT, self._on_packet)
+
+    # -- HTTP plumbing over the simulated network -----------------------------
+    def _on_packet(self, packet: Packet, interface: Interface) -> None:
+        request = packet.payload
+        if not isinstance(request, HttpRequest):
+            return
+        response = self.handle(request)
+        reply = packet.reply_template(response.wire_size, response)
+        reply.app_protocol = "http"
+        self.device.send(reply)
+
+    # -- routing ------------------------------------------------------------------
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        handler = {
+            ("POST", "/login"): self._login,
+            ("GET", "/status"): self._status,
+            ("POST", "/diag/ping"): self._diag_ping,
+            ("POST", "/settings"): self._settings,
+        }.get((request.method, request.path))
+        if handler is None:
+            response = HttpResponse(404, body="not found")
+        else:
+            response = handler(request)
+        self.request_log.append((request.method, request.path,
+                                 response.status))
+        return response
+
+    def _login(self, request: HttpRequest) -> HttpResponse:
+        body = request.body or {}
+        username = body.get("username", "")
+        password = body.get("password", "")
+        if not self.device.os.check_login(username, password):
+            return HttpResponse(401, body="bad credentials")
+        if self.session_fixation and "session" in body:
+            token = body["session"]  # attacker-chosen token accepted!
+        else:
+            self._session_serial += 1
+            token = f"sess-{self.device.name}-{self._session_serial}"
+        self._sessions[token] = WebSession(token, username)
+        return HttpResponse(200, body={"session": token})
+
+    def _authenticated(self, request: HttpRequest) -> Optional[WebSession]:
+        token = request.headers.get("Cookie", "")
+        return self._sessions.get(token)
+
+    def _status(self, request: HttpRequest) -> HttpResponse:
+        if not self._authenticated(request):
+            return HttpResponse(401, body="login required")
+        return HttpResponse(200, body={
+            "state": self.device.state,
+            "firmware": self.device.firmware.current.version,
+            "uptime_s": self.device.sim.now,
+        })
+
+    def _settings(self, request: HttpRequest) -> HttpResponse:
+        if not self._authenticated(request):
+            return HttpResponse(401, body="login required")
+        return HttpResponse(200, body="saved")
+
+    def _diag_ping(self, request: HttpRequest) -> HttpResponse:
+        if not self._authenticated(request):
+            return HttpResponse(401, body="login required")
+        host = str((request.body or {}).get("host", ""))
+        dangerous = any(c in host for c in (";", "|", "&", "`", "$("))
+        if not dangerous:
+            return HttpResponse(200, body=f"PING {host}: 3 packets, 0% loss")
+        if not self.command_injection:
+            return HttpResponse(400, body="invalid host")
+        # The vulnerable firmware splices the parameter into a shell line.
+        injected = host.split(";", 1)[-1].strip() if ";" in host else host
+        self.injected_commands.append(injected)
+        if "bot" in injected or "wget" in injected:
+            self.device.infected = True
+            self.device.infection_payload = "web-bot"
+            self.device.os.spawn_process("web-bot")
+        return HttpResponse(200, body="PING ...; sh: executed")

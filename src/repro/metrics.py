@@ -1,0 +1,106 @@
+"""Evaluation metrics: detection quality, privacy, overheads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Precision / recall / F1 over a set-valued detection task."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "tp": self.true_positives,
+            "fp": self.false_positives,
+            "fn": self.false_negatives,
+            "precision": round(self.precision, 3),
+            "recall": round(self.recall, 3),
+            "f1": round(self.f1, 3),
+        }
+
+
+def score_detection(detected: Iterable[str],
+                    ground_truth: Iterable[str],
+                    universe: Optional[Iterable[str]] = None
+                    ) -> DetectionMetrics:
+    """Score a set of flagged entities against the truly-bad set."""
+    detected_set = set(detected)
+    truth_set = set(ground_truth)
+    tp = len(detected_set & truth_set)
+    fp = len(detected_set - truth_set)
+    fn = len(truth_set - detected_set)
+    return DetectionMetrics(tp, fp, fn)
+
+
+def classification_accuracy(predictions: Sequence, truth: Sequence) -> float:
+    """Fraction correct; scores the traffic-analysis adversary."""
+    if len(predictions) != len(truth):
+        raise ValueError("length mismatch")
+    if not predictions:
+        return 0.0
+    return sum(p == t for p, t in zip(predictions, truth)) / len(predictions)
+
+
+def time_to_detection(attack_start: float,
+                      alert_times: Iterable[float]) -> Optional[float]:
+    """Seconds from attack start to the first alert at/after it."""
+    after = [t for t in alert_times if t >= attack_start]
+    return (min(after) - attack_start) if after else None
+
+
+@dataclass(frozen=True)
+class OverheadMetrics:
+    """Bandwidth/latency cost of a defense."""
+
+    extra_bytes_ratio: float      # chaff+padding bytes per real byte
+    mean_added_latency_s: float
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "bandwidth_overhead": round(self.extra_bytes_ratio, 3),
+            "mean_added_latency_s": round(self.mean_added_latency_s, 4),
+        }
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence], title: str = "") -> str:
+    """Plain-text table used by every benchmark's report output."""
+    columns = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        str(h).ljust(columns[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * c for c in columns))
+    for row in rows:
+        lines.append(" | ".join(
+            str(cell).ljust(columns[i]) for i, cell in enumerate(row)
+        ))
+    return "\n".join(lines)

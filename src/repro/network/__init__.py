@@ -1,0 +1,43 @@
+"""Network layer substrate (paper §II-B, Fig. 2).
+
+A message-granularity packet network running on the simulation kernel:
+link technologies with bandwidth/latency/energy budgets, nodes with
+interfaces, a smart-home gateway with NAT and firewall, DNS (plain,
+DNSSEC, DoT/DoH), and capture taps producing the flow records that both
+the XLF network-layer functions and the traffic-analysis adversaries
+consume.
+"""
+
+from repro.network.packet import FlowKey, Packet
+from repro.network.stack import StackLayer, protocol_stack_map, stack_layer_of
+from repro.network.links import LINK_TECHNOLOGIES, LinkTechnology
+from repro.network.node import Interface, Link, Node
+from repro.network.gateway import FirewallRule, Gateway
+from repro.network.dns import DnsMode, DnsRecord, DnsResolver, DnsServer
+from repro.network.capture import FlowRecord, PacketCapture
+from repro.network.internet import Internet
+from repro.network.wireless import ReplayGuard, WirelessSecurity
+
+__all__ = [
+    "Packet",
+    "FlowKey",
+    "StackLayer",
+    "protocol_stack_map",
+    "stack_layer_of",
+    "LinkTechnology",
+    "LINK_TECHNOLOGIES",
+    "Node",
+    "Interface",
+    "Link",
+    "Gateway",
+    "FirewallRule",
+    "DnsServer",
+    "DnsResolver",
+    "DnsRecord",
+    "DnsMode",
+    "PacketCapture",
+    "FlowRecord",
+    "Internet",
+    "WirelessSecurity",
+    "ReplayGuard",
+]

@@ -1,0 +1,137 @@
+"""Traffic capture: packet logs and flow records.
+
+The substrate both sides consume: XLF's network monitor aggregates flow
+records for anomaly detection, and the Apthorpe-style passive adversary
+reads the same capture to infer device identity and activity.  Captures
+observe packets via link observer taps, so they see sizes, timing, and
+addressing — and payloads only when packets are unencrypted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.network.packet import FlowKey, Packet
+from repro.sim import Simulator
+
+
+@dataclass
+class CapturedPacket:
+    """What a passive observer can record about one packet."""
+
+    timestamp: float
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    protocol: str
+    app_protocol: str
+    size_bytes: int
+    encrypted: bool
+    payload: object  # None when the packet was encrypted
+    src_device: str  # ground truth, used only for scoring adversaries
+
+
+@dataclass
+class FlowRecord:
+    """Aggregate statistics for one 5-tuple flow."""
+
+    key: FlowKey
+    first_seen: float
+    last_seen: float
+    packets: int = 0
+    bytes: int = 0
+    sizes: List[int] = field(default_factory=list)
+    timestamps: List[float] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.last_seen - self.first_seen
+
+    @property
+    def mean_size(self) -> float:
+        return self.bytes / self.packets if self.packets else 0.0
+
+    def rate_bps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.bytes * 8 / self.duration
+
+    def inter_arrival_times(self) -> List[float]:
+        return [
+            b - a for a, b in zip(self.timestamps, self.timestamps[1:])
+        ]
+
+
+class PacketCapture:
+    """A passive tap aggregating packets and flows.
+
+    Attach to one or more links with ``link.add_observer(capture.observe)``.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "capture",
+                 keep_packets: bool = True,
+                 packet_filter: Optional[Callable[[Packet], bool]] = None):
+        self.sim = sim
+        self.name = name
+        self.keep_packets = keep_packets
+        self.packet_filter = packet_filter
+        self.packets: List[CapturedPacket] = []
+        self.flows: Dict[FlowKey, FlowRecord] = {}
+        self.total_packets = 0
+        self.total_bytes = 0
+
+    def observe(self, packet: Packet) -> None:
+        if self.packet_filter is not None and not self.packet_filter(packet):
+            return
+        now = self.sim.now
+        self.total_packets += 1
+        self.total_bytes += packet.size_bytes
+        if self.keep_packets:
+            self.packets.append(CapturedPacket(
+                timestamp=now,
+                src=packet.src, dst=packet.dst,
+                sport=packet.sport, dport=packet.dport,
+                protocol=packet.protocol, app_protocol=packet.app_protocol,
+                size_bytes=packet.size_bytes,
+                encrypted=packet.encrypted,
+                payload=None if packet.encrypted else packet.payload,
+                src_device=packet.src_device,
+            ))
+        key = packet.flow_key
+        flow = self.flows.get(key)
+        if flow is None:
+            flow = FlowRecord(key=key, first_seen=now, last_seen=now)
+            self.flows[key] = flow
+        flow.last_seen = now
+        flow.packets += 1
+        flow.bytes += packet.size_bytes
+        flow.sizes.append(packet.size_bytes)
+        flow.timestamps.append(now)
+
+    # -- analysis helpers ----------------------------------------------------
+    def flows_by_remote(self) -> Dict[str, List[FlowRecord]]:
+        """Group flows by the external endpoint — step 1 of the Apthorpe
+        inference (separate streams by external IP)."""
+        grouped: Dict[str, List[FlowRecord]] = defaultdict(list)
+        for key, flow in self.flows.items():
+            grouped[key.dst].append(flow)
+        return dict(grouped)
+
+    def packets_between(self, start: float, end: float) -> List[CapturedPacket]:
+        return [p for p in self.packets if start <= p.timestamp < end]
+
+    def dns_queries(self) -> List[CapturedPacket]:
+        """Cleartext DNS queries — the device-identification side channel."""
+        return [
+            p for p in self.packets
+            if p.app_protocol == "dns" and not p.encrypted and p.payload is not None
+        ]
+
+    def clear(self) -> None:
+        self.packets.clear()
+        self.flows.clear()
+        self.total_packets = 0
+        self.total_bytes = 0

@@ -1,0 +1,216 @@
+"""DNS: plain, DNSSEC-signed, and encrypted (DoT/DoH) resolution.
+
+The paper's §IV-A.3 makes DNS central: plain DNS leaks device identity
+to passive observers (Apthorpe et al.) and is poisonable; DNSSEC signs
+but does not encrypt; DoT/DoH encrypt but are too heavy for constrained
+devices, which is the gap the XLF Core's DNS bridging closes.  All four
+behaviours are modelled here with real packets so both the adversaries
+and the defenses see them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, Optional
+
+from repro.crypto.hashes import lightweight_digest
+from repro.network.node import Interface, Node
+from repro.network.packet import Packet
+from repro.sim import Simulator
+
+_txids = itertools.count(1)
+
+
+class DnsMode(Enum):
+    PLAIN = "plain"        # UDP/53, cleartext, unauthenticated
+    DNSSEC = "dnssec"      # UDP/53, cleartext, signed
+    DOT = "dot"            # TCP/853, encrypted channel
+    DOH = "doh"            # TCP/443, encrypted channel
+
+    @property
+    def encrypted(self) -> bool:
+        return self in (DnsMode.DOT, DnsMode.DOH)
+
+    @property
+    def authenticated(self) -> bool:
+        return self != DnsMode.PLAIN
+
+    @property
+    def port(self) -> int:
+        return {DnsMode.PLAIN: 53, DnsMode.DNSSEC: 53,
+                DnsMode.DOT: 853, DnsMode.DOH: 443}[self]
+
+
+@dataclass
+class DnsRecord:
+    name: str
+    address: str
+    ttl: float = 300.0
+
+
+def _zone_signature(zone_key: bytes, name: str, address: str) -> bytes:
+    """DNSSEC RRSIG stand-in: digest bound to the zone trust anchor."""
+    return lightweight_digest(zone_key + name.encode() + address.encode())
+
+
+@dataclass
+class DnsQuery:
+    qname: str
+    txid: int
+    mode: DnsMode
+
+
+@dataclass
+class DnsAnswer:
+    qname: str
+    address: Optional[str]
+    txid: int
+    ttl: float = 300.0
+    signature: Optional[bytes] = None
+    nxdomain: bool = False
+
+
+class DnsServer(Node):
+    """Authoritative + recursive resolver serving the simulation's zones."""
+
+    def __init__(self, sim: Simulator, name: str = "dns-server",
+                 zone_key: bytes = b"zone-trust-anchor"):
+        super().__init__(sim, name)
+        self.zone_key = zone_key
+        self._records: Dict[str, DnsRecord] = {}
+        self.queries_served = 0
+        for mode in (DnsMode.PLAIN, DnsMode.DOT, DnsMode.DOH):
+            self.bind(mode.port, self._serve)
+
+    def add_record(self, name: str, address: str, ttl: float = 300.0) -> None:
+        self._records[name.lower()] = DnsRecord(name.lower(), address, ttl)
+
+    def remove_record(self, name: str) -> None:
+        self._records.pop(name.lower(), None)
+
+    def lookup(self, name: str) -> Optional[DnsRecord]:
+        return self._records.get(name.lower())
+
+    def _serve(self, packet: Packet, interface: Interface) -> None:
+        query: DnsQuery = packet.payload
+        if not isinstance(query, DnsQuery):
+            return
+        self.queries_served += 1
+        record = self.lookup(query.qname)
+        if record is None:
+            answer = DnsAnswer(query.qname, None, query.txid, nxdomain=True)
+        else:
+            signature = None
+            if query.mode == DnsMode.DNSSEC:
+                signature = _zone_signature(self.zone_key, record.name, record.address)
+            answer = DnsAnswer(record.name, record.address, query.txid,
+                               ttl=record.ttl, signature=signature)
+        reply = packet.reply_template(size_bytes=120, payload=answer)
+        reply.app_protocol = "dns"
+        reply.encrypted = query.mode.encrypted
+        self.send(reply)
+
+
+@dataclass
+class _CacheEntry:
+    address: str
+    expires_at: float
+    poisoned: bool = False
+
+
+class DnsResolver:
+    """Client-side stub resolver for a :class:`Node`.
+
+    Tracks a cache with TTLs, validates DNSSEC signatures against the
+    trust anchor, and — critically for the attack surface — will accept
+    a spoofed answer in PLAIN mode if its transaction id matches, which
+    is exactly how cache poisoning works.
+    """
+
+    def __init__(self, node: Node, server_address: str,
+                 mode: DnsMode = DnsMode.PLAIN,
+                 trust_anchor: bytes = b"zone-trust-anchor",
+                 client_port: int = 5353):
+        self.node = node
+        self.server_address = server_address
+        self.mode = mode
+        self.trust_anchor = trust_anchor
+        self.client_port = client_port
+        self._cache: Dict[str, _CacheEntry] = {}
+        self._pending: Dict[int, tuple] = {}  # txid -> (qname, callback)
+        self.poisoned_accepts = 0
+        self.rejected_answers = 0
+        node.bind(client_port, self._on_answer)
+
+    def resolve(self, qname: str,
+                callback: Callable[[Optional[str]], None]) -> None:
+        qname = qname.lower()
+        entry = self._cache.get(qname)
+        if entry is not None and entry.expires_at > self.node.sim.now:
+            callback(entry.address)
+            return
+        txid = next(_txids)
+        self._pending[txid] = (qname, callback)
+        query = Packet(
+            src="", dst=self.server_address,
+            sport=self.client_port, dport=self.mode.port,
+            protocol="udp" if not self.mode.encrypted else "tcp",
+            app_protocol="dns",
+            size_bytes=80,
+            payload=DnsQuery(qname, txid, self.mode),
+            encrypted=self.mode.encrypted,
+        )
+        self.node.send(query)
+
+    def _on_answer(self, packet: Packet, interface: Interface) -> None:
+        answer = packet.payload
+        if not isinstance(answer, DnsAnswer):
+            return
+        pending = self._pending.get(answer.txid)
+        if pending is None or pending[0] != answer.qname.lower():
+            self.rejected_answers += 1
+            return
+        # src is spoofable; src_device is the simulator's ground truth of
+        # who actually transmitted, i.e. what a channel binding would prove.
+        from_server = packet.src_device.startswith("dns")
+        if self.mode == DnsMode.DNSSEC:
+            if answer.nxdomain:
+                pass  # negative answers unauthenticated in this model
+            else:
+                expected = _zone_signature(self.trust_anchor, answer.qname,
+                                           answer.address or "")
+                if answer.signature != expected:
+                    self.rejected_answers += 1
+                    return
+        elif self.mode.encrypted:
+            # Encrypted transport: off-path spoofing is not deliverable;
+            # anything arriving from elsewhere on the channel is dropped.
+            if not from_server:
+                self.rejected_answers += 1
+                return
+        qname, callback = self._pending.pop(answer.txid)
+        if answer.nxdomain:
+            callback(None)
+            return
+        poisoned = self.mode == DnsMode.PLAIN and not from_server
+        if poisoned:
+            self.poisoned_accepts += 1
+        self._cache[qname] = _CacheEntry(
+            answer.address, self.node.sim.now + answer.ttl, poisoned=poisoned
+        )
+        callback(answer.address)
+
+    def cached(self, qname: str) -> Optional[str]:
+        entry = self._cache.get(qname.lower())
+        if entry is None or entry.expires_at <= self.node.sim.now:
+            return None
+        return entry.address
+
+    def is_poisoned(self, qname: str) -> bool:
+        entry = self._cache.get(qname.lower())
+        return bool(entry and entry.poisoned)
+
+    def flush(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,185 @@
+"""The smart home gateway: NAT, firewall, DHCP-style addressing, and the
+middleware chokepoint where XLF's network-layer functions install.
+
+The paper repeatedly singles out the smart gateway as the natural home
+for XLF capabilities ("the delegation proxy", "deployed in the network
+layer by extending the existing smart IoT gateway") — so the gateway
+exposes first-class hooks: an egress/ingress middleware chain (used by
+the traffic shaper and the encrypted-traffic monitor) and observer taps
+(used by malicious-activity identification and by adversaries modelling
+a compromised vantage point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.network.node import Interface, Link, NetworkError, Node
+from repro.network.packet import Packet
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class FirewallRule:
+    """Block rule; fields set to None act as wildcards."""
+
+    direction: str                 # "inbound" | "outbound" | "any"
+    dport: Optional[int] = None
+    protocol: Optional[str] = None
+    address: Optional[str] = None  # matched against the remote address
+    action: str = "block"          # only "block" rules exist; default allow
+
+    def matches(self, packet: Packet, direction: str) -> bool:
+        if self.direction not in ("any", direction):
+            return False
+        if self.dport is not None and packet.dport != self.dport:
+            return False
+        if self.protocol is not None and self.protocol not in (
+            packet.protocol, packet.app_protocol
+        ):
+            return False
+        if self.address is not None:
+            remote = packet.dst if direction == "outbound" else packet.src
+            if remote != self.address:
+                return False
+        return True
+
+
+# Middleware receives (packet, direction) and returns a list of
+# (delay_seconds, packet) emissions; returning [] drops the packet.
+Middleware = Callable[[Packet, str], List[Tuple[float, Packet]]]
+
+
+class Gateway(Node):
+    """Smart home gateway bridging LAN link(s) to the WAN."""
+
+    def __init__(self, sim: Simulator, name: str = "gateway",
+                 public_address: str = "203.0.113.1",
+                 lan_prefix: str = "10.0.0"):
+        super().__init__(sim, name)
+        self.public_address = public_address
+        self.lan_prefix = lan_prefix
+        self._next_host = 2  # .1 is the gateway itself
+        self._next_nat_port = 40000
+        # NAT: (lan_addr, lan_port, remote, remote_port, proto) <-> ext port
+        self._nat_out: Dict[Tuple, int] = {}
+        self._nat_in: Dict[int, Tuple] = {}
+        self.firewall_rules: List[FirewallRule] = []
+        self.egress_middleware: List[Middleware] = []
+        self.ingress_middleware: List[Middleware] = []
+        self._wan_interface: Optional[Interface] = None
+        self._lan_interfaces: List[Interface] = []
+        self.nat_translations = 0
+        self.blocked_packets: List[Packet] = []
+
+    # -- wiring --------------------------------------------------------------
+    def connect_lan(self, link: Link) -> Interface:
+        address = f"{self.lan_prefix}.1"
+        if any(i.address == address for i in self._lan_interfaces):
+            address = f"{self.lan_prefix}.1:{len(self._lan_interfaces)}"
+        interface = self.add_interface(link, address, default_route=True)
+        self._lan_interfaces.append(interface)
+        return interface
+
+    def connect_wan(self, link: Link) -> Interface:
+        if self._wan_interface is not None:
+            raise NetworkError("gateway already has a WAN uplink")
+        self._wan_interface = self.add_interface(link, self.public_address)
+        return self._wan_interface
+
+    def assign_address(self) -> str:
+        """DHCP-style LAN address allocation."""
+        address = f"{self.lan_prefix}.{self._next_host}"
+        self._next_host += 1
+        return address
+
+    def is_lan_address(self, address: str) -> bool:
+        return address.startswith(self.lan_prefix + ".")
+
+    # -- policy ----------------------------------------------------------------
+    def add_firewall_rule(self, rule: FirewallRule) -> None:
+        self.firewall_rules.append(rule)
+
+    def _blocked(self, packet: Packet, direction: str) -> bool:
+        return any(rule.matches(packet, direction) for rule in self.firewall_rules)
+
+    # -- forwarding ------------------------------------------------------------
+    def receive(self, packet: Packet, interface: Interface) -> None:
+        self.packets_received += 1
+        # Packets addressed to the gateway itself (auth proxy, DNS
+        # forwarder, ...) go to bound port handlers.
+        if packet.dst in (interface.address, self.public_address) and (
+            packet.dport in self._port_handlers
+            and not (interface is self._wan_interface and packet.dport in self._nat_in)
+        ):
+            self._port_handlers[packet.dport](packet, interface)
+            return
+        if interface is self._wan_interface:
+            self._inbound(packet)
+        else:
+            self._outbound(packet, interface)
+
+    def _outbound(self, packet: Packet, lan_interface: Interface) -> None:
+        if self.is_lan_address(packet.dst):
+            # LAN-to-LAN traffic on another LAN link.
+            self._forward_lan(packet)
+            return
+        if self._blocked(packet, "outbound"):
+            self.blocked_packets.append(packet)
+            return
+        if self._wan_interface is None:
+            return
+        key = (packet.src, packet.sport, packet.dst, packet.dport, packet.protocol)
+        if key not in self._nat_out:
+            self._nat_out[key] = self._next_nat_port
+            self._nat_in[self._next_nat_port] = key
+            self._next_nat_port += 1
+        ext_port = self._nat_out[key]
+        translated = packet.clone(src=self.public_address, sport=ext_port)
+        self.nat_translations += 1
+        self._emit(translated, "outbound", self._wan_interface)
+
+    def _inbound(self, packet: Packet) -> None:
+        mapping = self._nat_in.get(packet.dport)
+        if mapping is None:
+            # Unsolicited inbound: subject to firewall, else drop (no
+            # port-forwarding by default — the paper's "port protection").
+            self.blocked_packets.append(packet)
+            return
+        lan_addr, lan_port, _remote, _rport, _proto = mapping
+        if self._blocked(packet, "inbound"):
+            self.blocked_packets.append(packet)
+            return
+        translated = packet.clone(dst=lan_addr, dport=lan_port)
+        self._emit(translated, "inbound", None)
+
+    def _forward_lan(self, packet: Packet) -> None:
+        for interface in self._lan_interfaces:
+            if packet.dst in interface.link._interfaces:
+                self.sim.call_in(0.0, lambda i=interface, p=packet: i.send(p))
+                return
+        # Unknown LAN destination: drop.
+
+    def _emit(self, packet: Packet, direction: str,
+              interface: Optional[Interface]) -> None:
+        """Run the middleware chain, then transmit resulting packets."""
+        chain = (
+            self.egress_middleware if direction == "outbound"
+            else self.ingress_middleware
+        )
+        emissions: List[Tuple[float, Packet]] = [(0.0, packet)]
+        for middleware in chain:
+            next_emissions: List[Tuple[float, Packet]] = []
+            for delay, pkt in emissions:
+                for extra_delay, out in middleware(pkt, direction):
+                    next_emissions.append((delay + extra_delay, out))
+            emissions = next_emissions
+        for delay, pkt in emissions:
+            target = interface if interface is not None else self.interface_for(pkt.dst)
+            if target is None:
+                continue
+            if delay > 0:
+                self.sim.call_in(delay, lambda t=target, p=pkt: t.send(p))
+            else:
+                target.send(pkt)

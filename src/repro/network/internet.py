@@ -1,0 +1,46 @@
+"""The WAN fabric: a link connecting gateways, clouds, and public DNS."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.network.dns import DnsServer
+from repro.network.links import get_link_technology
+from repro.network.node import Link, Node
+from repro.sim import Simulator
+
+_public_hosts = itertools.count(10)
+
+
+class Internet:
+    """A convenience wrapper around the WAN link.
+
+    Hands out public addresses (198.51.100.x for services, 203.0.113.x
+    for access networks) and hosts the public DNS server.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.backbone = Link(sim, get_link_technology("wan"), name="wan-backbone")
+        self.dns: Optional[DnsServer] = None
+
+    def allocate_service_address(self) -> str:
+        return f"198.51.100.{next(_public_hosts)}"
+
+    def attach_service(self, node: Node, address: Optional[str] = None,
+                       hostname: Optional[str] = None) -> str:
+        """Put a service node on the backbone, optionally with a DNS name."""
+        address = address or self.allocate_service_address()
+        node.add_interface(self.backbone, address)
+        if hostname and self.dns is not None:
+            self.dns.add_record(hostname, address)
+        return address
+
+    def create_dns(self, zone_key: bytes = b"zone-trust-anchor",
+                   address: str = "198.51.100.2") -> DnsServer:
+        if self.dns is not None:
+            return self.dns
+        self.dns = DnsServer(self.sim, "dns-root", zone_key=zone_key)
+        self.dns.add_interface(self.backbone, address)
+        return self.dns

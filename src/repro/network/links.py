@@ -1,0 +1,88 @@
+"""Link technologies and their constraint profiles (paper §II-B).
+
+"These technologies come with different constraints, including their
+communication range, network bandwidth, power usage, interoperability,
+and security" — this module is that sentence as data.  Values are
+representative of each technology class, not of a specific chipset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class LinkTechnology:
+    """Constraint profile of one networking technology."""
+
+    name: str
+    bandwidth_bps: float          # usable application-layer throughput
+    latency_s: float              # one-hop propagation+access latency
+    range_m: float
+    energy_per_byte_j: float      # radio energy per byte (battery model)
+    builtin_security: str         # the standard's own security model
+    stack_protocol: str           # link-layer protocol name for Fig. 2
+
+    def transmit_time(self, size_bytes: int) -> float:
+        """Serialisation + propagation delay for one packet."""
+        if size_bytes < 0:
+            raise ValueError("negative size")
+        return self.latency_s + (size_bytes * 8) / self.bandwidth_bps
+
+
+LINK_TECHNOLOGIES: Dict[str, LinkTechnology] = {
+    tech.name: tech
+    for tech in [
+        LinkTechnology(
+            name="ethernet", bandwidth_bps=100e6, latency_s=0.0002,
+            range_m=100, energy_per_byte_j=0.0,
+            builtin_security="none", stack_protocol="ethernet",
+        ),
+        LinkTechnology(
+            name="wifi", bandwidth_bps=20e6, latency_s=0.002,
+            range_m=50, energy_per_byte_j=6e-7,
+            builtin_security="WPA2/PPSK", stack_protocol="wifi",
+        ),
+        LinkTechnology(
+            name="zigbee", bandwidth_bps=250e3, latency_s=0.01,
+            range_m=20, energy_per_byte_j=2e-7,
+            builtin_security="802.15.4 AES-CCM", stack_protocol="zigbee",
+        ),
+        LinkTechnology(
+            name="z-wave", bandwidth_bps=100e3, latency_s=0.02,
+            range_m=30, energy_per_byte_j=2.5e-7,
+            builtin_security="S2 AES-128", stack_protocol="z-wave",
+        ),
+        LinkTechnology(
+            name="ble", bandwidth_bps=1e6, latency_s=0.006,
+            range_m=10, energy_per_byte_j=1.5e-7,
+            builtin_security="LE Secure Connections", stack_protocol="ble",
+        ),
+        LinkTechnology(
+            name="6lowpan", bandwidth_bps=250e3, latency_s=0.012,
+            range_m=20, energy_per_byte_j=2e-7,
+            builtin_security="802.15.4 AES-CCM", stack_protocol="802.15.4",
+        ),
+        LinkTechnology(
+            name="lte-m", bandwidth_bps=1e6, latency_s=0.05,
+            range_m=5000, energy_per_byte_j=2e-6,
+            builtin_security="SIM/AKA", stack_protocol="lte-m",
+        ),
+        # The WAN "technology" used between gateway and cloud.
+        LinkTechnology(
+            name="wan", bandwidth_bps=50e6, latency_s=0.02,
+            range_m=float("inf"), energy_per_byte_j=0.0,
+            builtin_security="none", stack_protocol="ethernet",
+        ),
+    ]
+}
+
+
+def get_link_technology(name: str) -> LinkTechnology:
+    key = name.lower()
+    if key not in LINK_TECHNOLOGIES:
+        raise KeyError(
+            f"unknown link technology {name!r}; known: {sorted(LINK_TECHNOLOGIES)}"
+        )
+    return LINK_TECHNOLOGIES[key]

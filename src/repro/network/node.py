@@ -1,0 +1,196 @@
+"""Nodes, interfaces, and shared links.
+
+A :class:`Link` is a shared medium (one WiFi LAN, one ZigBee PAN, the
+WAN uplink).  Interfaces attach nodes to links.  Delivery is by
+destination address, with an optional *default route* interface (the
+gateway) picking up packets addressed off-link.  Links expose read-only
+observer taps — the hook both the XLF network monitor and the
+passive-adversary models use, which keeps defenders and attackers
+honest: they see exactly the same traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.network.links import LinkTechnology, get_link_technology
+from repro.network.packet import Packet
+from repro.sim import Simulator
+
+
+class NetworkError(RuntimeError):
+    """Raised for network misconfiguration."""
+
+
+class Link:
+    """A shared medium connecting interfaces."""
+
+    def __init__(self, sim: Simulator, technology, name: str = "link",
+                 loss_rate: float = 0.0):
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetworkError(f"loss rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.technology: LinkTechnology = (
+            technology if isinstance(technology, LinkTechnology)
+            else get_link_technology(technology)
+        )
+        self.name = name
+        self.loss_rate = loss_rate
+        self._loss_rng = sim.rng.stream(f"link-loss:{name}")
+        self._interfaces: Dict[str, "Interface"] = {}
+        self._default_route: Optional["Interface"] = None
+        self._observers: List[Callable[[Packet], None]] = []
+        self.packets_carried = 0
+        self.bytes_carried = 0
+        self.packets_dropped = 0
+        self.packets_lost = 0
+
+    def attach(self, interface: "Interface", default_route: bool = False) -> None:
+        if interface.address in self._interfaces:
+            raise NetworkError(
+                f"address {interface.address} already attached to {self.name}"
+            )
+        self._interfaces[interface.address] = interface
+        if default_route:
+            self._default_route = interface
+
+    def detach(self, interface: "Interface") -> None:
+        self._interfaces.pop(interface.address, None)
+        if self._default_route is interface:
+            self._default_route = None
+
+    def add_observer(self, observer: Callable[[Packet], None]) -> None:
+        """Register a passive tap; called for every packet the link carries."""
+        self._observers.append(observer)
+
+    def addresses(self) -> List[str]:
+        return sorted(self._interfaces)
+
+    def transmit(self, packet: Packet, sender: Optional["Interface"] = None) -> bool:
+        """Carry ``packet`` to its destination on this link.
+
+        Returns True if a receiver (or the default route) accepted it.
+        """
+        packet.sent_at = self.sim.now
+        delay = self.technology.transmit_time(packet.size_bytes)
+        for observer in self._observers:
+            observer(packet)
+        self.packets_carried += 1
+        self.bytes_carried += packet.size_bytes
+        if sender is not None and sender.node is not None:
+            sender.node.on_transmit(packet, self.technology)
+        target = self._interfaces.get(packet.dst)
+        if target is None:
+            target = self._default_route
+        if target is None or target is sender:
+            self.packets_dropped += 1
+            return False
+        if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
+            self.packets_lost += 1
+            return False
+        self.sim.call_in(delay, lambda: target.deliver(packet))
+        return True
+
+
+class Interface:
+    """Attachment point of a node on a link."""
+
+    def __init__(self, node: "Node", link: Link, address: str,
+                 default_route: bool = False):
+        self.node = node
+        self.link = link
+        self.address = address
+        self.up = True
+        link.attach(self, default_route=default_route)
+
+    def send(self, packet: Packet) -> bool:
+        if not self.up:
+            return False
+        return self.link.transmit(packet, sender=self)
+
+    def deliver(self, packet: Packet) -> None:
+        if not self.up:
+            return
+        packet.delivered_at = self.node.sim.now
+        self.node.receive(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Interface {self.address} on {self.link.name}>"
+
+
+class Node:
+    """Base class for anything with a network presence.
+
+    Subclasses register port handlers with :meth:`bind` or override
+    :meth:`handle_packet` for promiscuous handling.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.interfaces: List[Interface] = []
+        self._port_handlers: Dict[int, Callable[[Packet, Interface], None]] = {}
+        self.packets_received = 0
+        self.packets_sent = 0
+
+    # -- wiring ------------------------------------------------------------
+    def add_interface(self, link: Link, address: str,
+                      default_route: bool = False) -> Interface:
+        interface = Interface(self, link, address, default_route=default_route)
+        self.interfaces.append(interface)
+        return interface
+
+    @property
+    def address(self) -> str:
+        """Primary address (first interface)."""
+        if not self.interfaces:
+            raise NetworkError(f"node {self.name} has no interface")
+        return self.interfaces[0].address
+
+    def interface_for(self, dst: str) -> Optional[Interface]:
+        """Interface whose link can reach ``dst`` directly, else first."""
+        for interface in self.interfaces:
+            if dst in interface.link._interfaces:
+                return interface
+        return self.interfaces[0] if self.interfaces else None
+
+    # -- traffic -----------------------------------------------------------
+    def bind(self, port: int, handler: Callable[[Packet, Interface], None]) -> None:
+        if port in self._port_handlers:
+            raise NetworkError(f"{self.name}: port {port} already bound")
+        self._port_handlers[port] = handler
+
+    def unbind(self, port: int) -> None:
+        self._port_handlers.pop(port, None)
+
+    @property
+    def open_ports(self) -> List[int]:
+        return sorted(self._port_handlers)
+
+    def send(self, packet: Packet) -> bool:
+        interface = self.interface_for(packet.dst)
+        if interface is None:
+            return False
+        if not packet.src:
+            packet.src = interface.address
+        if not packet.src_device:
+            packet.src_device = self.name
+        self.packets_sent += 1
+        return interface.send(packet)
+
+    def receive(self, packet: Packet, interface: Interface) -> None:
+        self.packets_received += 1
+        handler = self._port_handlers.get(packet.dport)
+        if handler is not None:
+            handler(packet, interface)
+        else:
+            self.handle_packet(packet, interface)
+
+    def handle_packet(self, packet: Packet, interface: Interface) -> None:
+        """Fallback for packets with no bound port; default drops."""
+
+    def on_transmit(self, packet: Packet, technology: LinkTechnology) -> None:
+        """Hook for energy accounting; device layer overrides."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"

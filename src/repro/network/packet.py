@@ -1,0 +1,109 @@
+"""Packets and flow keys.
+
+A :class:`Packet` is the unit everything in the network layer moves,
+shapes, captures, and inspects.  Payloads are protocol message objects
+(or plain dicts); ``size_bytes`` is authoritative for timing and for the
+traffic-analysis adversaries, so encrypting a payload changes
+``encrypted``/``payload`` but deliberately leaves the size observable —
+exactly the leak the paper's §IV-B.1 traffic shaping exists to mask.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Tuple
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A network packet at message granularity."""
+
+    src: str                    # source address
+    dst: str                    # destination address
+    sport: int = 0
+    dport: int = 0
+    protocol: str = "udp"       # transport: "tcp" | "udp"
+    app_protocol: str = ""      # e.g. "http", "mqtt", "dns", "tls"
+    size_bytes: int = 64
+    payload: Any = None
+    encrypted: bool = False
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+    ttl: int = 64
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    # Metadata the simulator (not "the wire") carries for bookkeeping:
+    src_device: str = ""        # originating device name (pre-NAT identity)
+    dst_device: str = ""
+    is_cover_traffic: bool = False  # inserted by the traffic shaper
+    frame_counter: Optional[int] = None  # 802.15.4-style replay counter
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise ValueError(f"negative packet size {self.size_bytes}")
+        if self.ttl <= 0:
+            raise ValueError("packet created with non-positive TTL")
+
+    @property
+    def flow_key(self) -> "FlowKey":
+        return FlowKey(self.src, self.dst, self.sport, self.dport, self.protocol)
+
+    def reply_template(self, size_bytes: int = 64, payload: Any = None) -> "Packet":
+        """A packet going the other way on the same 5-tuple."""
+        return Packet(
+            src=self.dst,
+            dst=self.src,
+            sport=self.dport,
+            dport=self.sport,
+            protocol=self.protocol,
+            app_protocol=self.app_protocol,
+            size_bytes=size_bytes,
+            payload=payload,
+            src_device=self.dst_device,
+            dst_device=self.src_device,
+        )
+
+    def clone(self, **overrides) -> "Packet":
+        """Copy with a fresh packet id and selected fields replaced."""
+        fresh = replace(self, **overrides)
+        fresh.packet_id = next(_packet_ids)
+        return fresh
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """The classic 5-tuple identifying a flow."""
+
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    protocol: str
+
+    def reversed(self) -> "FlowKey":
+        return FlowKey(self.dst, self.src, self.dport, self.sport, self.protocol)
+
+    def bidirectional(self) -> Tuple["FlowKey", "FlowKey"]:
+        return (self, self.reversed())
+
+
+# Well-known ports the simulation uses (subset of IANA).
+WELL_KNOWN_PORTS = {
+    "dns": 53,
+    "http": 80,
+    "https": 443,
+    "mqtt": 1883,
+    "mqtts": 8883,
+    "coap": 5683,
+    "telnet": 23,
+    "ssh": 22,
+    "upnp": 1900,
+    "dot": 853,   # DNS-over-TLS
+}
+
+
+def well_known_port(app_protocol: str) -> Optional[int]:
+    """Port for an application protocol, or None if unregistered."""
+    return WELL_KNOWN_PORTS.get(app_protocol)

@@ -1,0 +1,17 @@
+"""Application-layer protocol messages carried in packet payloads."""
+
+from repro.network.protocols.http import HttpRequest, HttpResponse
+from repro.network.protocols.mqtt import MqttConnect, MqttPublish, MqttSubscribe
+from repro.network.protocols.coap import CoapMessage
+from repro.network.protocols.tls import TlsRecord, TlsSession
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "MqttConnect",
+    "MqttPublish",
+    "MqttSubscribe",
+    "CoapMessage",
+    "TlsRecord",
+    "TlsSession",
+]

@@ -1,0 +1,40 @@
+"""CoAP-shaped messages (constrained devices' REST)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_message_ids = itertools.count(1)
+
+_CODES = {"GET": 1, "POST": 2, "PUT": 3, "DELETE": 4}
+_RESPONSE_CLASSES = (2, 4, 5)  # success, client error, server error
+
+
+@dataclass
+class CoapMessage:
+    """A CoAP request or response."""
+
+    code: str                  # "GET"/"POST"/... or "2.05"-style response
+    uri_path: str = ""
+    payload: Any = None
+    confirmable: bool = True
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self):
+        if self.code.upper() in _CODES:
+            self.code = self.code.upper()
+            self.is_request = True
+        else:
+            try:
+                cls, _detail = self.code.split(".")
+                if int(cls) not in _RESPONSE_CLASSES:
+                    raise ValueError
+            except (ValueError, AttributeError):
+                raise ValueError(f"bad CoAP code {self.code!r}") from None
+            self.is_request = False
+
+    @property
+    def wire_size(self) -> int:
+        return 4 + len(self.uri_path) + (len(repr(self.payload)) if self.payload else 0)

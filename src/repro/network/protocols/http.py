@@ -1,0 +1,51 @@
+"""HTTP-shaped request/response messages (REST APIs, OTA downloads)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: Any = None
+
+    def __post_init__(self):
+        method = self.method.upper()
+        if method not in ("GET", "POST", "PUT", "DELETE", "PATCH", "HEAD"):
+            raise ValueError(f"unsupported HTTP method {self.method!r}")
+        self.method = method
+        if not self.path.startswith("/"):
+            raise ValueError(f"path must start with '/': {self.path!r}")
+
+    @property
+    def wire_size(self) -> int:
+        """Rough serialised size for packet accounting."""
+        base = len(self.method) + len(self.path) + 32
+        base += sum(len(k) + len(str(v)) + 4 for k, v in self.headers.items())
+        base += len(repr(self.body)) if self.body is not None else 0
+        return base
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: Any = None
+
+    def __post_init__(self):
+        if not 100 <= self.status <= 599:
+            raise ValueError(f"bad HTTP status {self.status}")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def wire_size(self) -> int:
+        base = 48 + sum(len(k) + len(str(v)) + 4 for k, v in self.headers.items())
+        base += len(repr(self.body)) if self.body is not None else 0
+        return base

@@ -1,0 +1,61 @@
+"""MQTT-shaped publish/subscribe messages (device telemetry)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+def _check_topic(topic: str, allow_wildcards: bool) -> None:
+    if not topic or topic.startswith("/") or "//" in topic:
+        raise ValueError(f"malformed MQTT topic {topic!r}")
+    if not allow_wildcards and any(c in topic for c in "+#"):
+        raise ValueError(f"wildcards not allowed in publish topic {topic!r}")
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """MQTT topic filter matching with + and # wildcards."""
+    pattern_parts = pattern.split("/")
+    topic_parts = topic.split("/")
+    for i, part in enumerate(pattern_parts):
+        if part == "#":
+            return True
+        if i >= len(topic_parts):
+            return False
+        if part != "+" and part != topic_parts[i]:
+            return False
+    return len(pattern_parts) == len(topic_parts)
+
+
+@dataclass
+class MqttConnect:
+    client_id: str
+    username: str = ""
+    password: str = ""
+    keep_alive_s: float = 60.0
+
+
+@dataclass
+class MqttPublish:
+    topic: str
+    payload: Any
+    qos: int = 0
+    retain: bool = False
+
+    def __post_init__(self):
+        _check_topic(self.topic, allow_wildcards=False)
+        if self.qos not in (0, 1, 2):
+            raise ValueError(f"bad QoS {self.qos}")
+
+    @property
+    def wire_size(self) -> int:
+        return 8 + len(self.topic) + len(repr(self.payload))
+
+
+@dataclass
+class MqttSubscribe:
+    topic_filter: str
+    qos: int = 0
+
+    def __post_init__(self):
+        _check_topic(self.topic_filter, allow_wildcards=True)

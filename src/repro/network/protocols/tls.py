@@ -1,0 +1,138 @@
+"""TLS sessions: certificates, end-to-end encryption, searchable tokens.
+
+Models exactly the properties the paper's experiments need:
+
+* real encrypt/decrypt of serialised payloads (CTR over a registry
+  cipher), so captured packets genuinely hide contents;
+* certificate validation that devices may skip (the MitM attack in
+  Table II exploits clients that accept any certificate);
+* BlindBox-style *searchable tokens*: a cooperating endpoint attaches
+  deterministic keyword tokens next to the ciphertext so a middlebox
+  holding the token key can match malware rules without decrypting
+  (§IV-B.2).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional
+
+from repro.crypto import CtrMode, get_cipher
+from repro.crypto.kdf import derive_key
+from repro.crypto.mac import HmacLite
+
+
+class TlsError(RuntimeError):
+    """Handshake or record-layer failure."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A toy X.509 stand-in: subject bound to an issuer's signature."""
+
+    subject: str
+    issuer: str
+    public_id: bytes  # stands in for the public key
+    signature: bytes  # issuer's MAC over subject+public_id
+
+
+class CertificateAuthority:
+    """Issues and verifies certificates (the X.509 trust role of §II-B)."""
+
+    def __init__(self, name: str = "root-ca", secret: bytes = b"ca-secret"):
+        self.name = name
+        self._mac = HmacLite(secret)
+
+    def issue(self, subject: str, public_id: bytes) -> Certificate:
+        signature = self._mac.mac(subject.encode() + public_id)
+        return Certificate(subject, self.name, public_id, signature)
+
+    def verify(self, certificate: Certificate) -> bool:
+        if certificate.issuer != self.name:
+            return False
+        return self._mac.verify(
+            certificate.subject.encode() + certificate.public_id,
+            certificate.signature,
+        )
+
+
+@dataclass
+class TlsRecord:
+    """One encrypted record plus its observable metadata."""
+
+    ciphertext: bytes
+    nonce: int
+    sni: str = ""                      # server name — observable, like real TLS
+    search_tokens: List[bytes] = field(default_factory=list)
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.ciphertext) + 24 + 16 * len(self.search_tokens)
+
+
+class TlsSession:
+    """An established session between two endpoints.
+
+    ``validate_peer=False`` models the Table II devices with broken
+    certificate checking: handshake succeeds against any certificate,
+    which is what lets the MitM adversary splice itself in.
+    """
+
+    def __init__(self, master_secret: bytes, server_name: str,
+                 cipher_name: str = "AES",
+                 token_key: Optional[bytes] = None):
+        self.server_name = server_name
+        self.cipher_name = cipher_name
+        key_bits = 128 if cipher_name.lower() in ("aes", "lea", "seed") else None
+        key_len = (key_bits or 128) // 8
+        session_key = derive_key(master_secret, f"tls:{server_name}", key_len)
+        try:
+            self._mode = CtrMode(get_cipher(cipher_name, session_key))
+        except Exception as exc:  # unsupported key length for this cipher
+            raise TlsError(f"cipher {cipher_name} rejected session key") from exc
+        self._token_mac = HmacLite(token_key) if token_key else None
+        self._nonce = 0
+
+    @classmethod
+    def handshake(cls, client_secret: bytes, certificate: Certificate,
+                  ca: Optional[CertificateAuthority],
+                  validate_peer: bool = True,
+                  cipher_name: str = "AES",
+                  token_key: Optional[bytes] = None) -> "TlsSession":
+        """Client-side handshake; raises TlsError on a bad certificate."""
+        if validate_peer:
+            if ca is None or not ca.verify(certificate):
+                raise TlsError(
+                    f"certificate for {certificate.subject!r} failed validation"
+                )
+        master = derive_key(
+            client_secret + certificate.public_id, "tls-master", 32
+        )
+        return cls(master, certificate.subject, cipher_name, token_key)
+
+    def wrap(self, payload: Any,
+             keywords: Iterable[str] = ()) -> TlsRecord:
+        """Encrypt ``payload``; attach searchable tokens for ``keywords``."""
+        plaintext = pickle.dumps(payload)
+        nonce = self._nonce
+        self._nonce += 1
+        ciphertext = self._mode.encrypt(plaintext, nonce)
+        tokens = []
+        if self._token_mac is not None:
+            tokens = [self._token_mac.mac(k.lower().encode()) for k in keywords]
+        return TlsRecord(ciphertext, nonce, sni=self.server_name,
+                         search_tokens=tokens)
+
+    def unwrap(self, record: TlsRecord) -> Any:
+        try:
+            plaintext = self._mode.decrypt(record.ciphertext, record.nonce)
+            return pickle.loads(plaintext)
+        except Exception as exc:
+            raise TlsError("record decryption failed") from exc
+
+    def token_for(self, keyword: str) -> bytes:
+        """Token an authorised middlebox would hold for ``keyword``."""
+        if self._token_mac is None:
+            raise TlsError("session established without searchable tokens")
+        return self._token_mac.mac(keyword.lower().encode())

@@ -1,0 +1,91 @@
+"""The Fig. 2 mapping of IoT protocols onto the TCP/IP stack.
+
+The paper's Figure 2 places common IoT protocols at their TCP/IP layer.
+This module is that figure as data, and the F2 benchmark validates it
+against live simulated traffic (every packet's protocols must sit at the
+layer this map claims).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List
+
+
+class StackLayer(Enum):
+    """TCP/IP stack layers as drawn in Fig. 2."""
+
+    APPLICATION = "application"
+    TRANSPORT = "transport"
+    NETWORK = "network"
+    LINK = "link/physical"
+
+    def __lt__(self, other: "StackLayer") -> bool:
+        order = [StackLayer.LINK, StackLayer.NETWORK, StackLayer.TRANSPORT,
+                 StackLayer.APPLICATION]
+        return order.index(self) < order.index(other)
+
+
+# Protocol -> stack layer, following Fig. 2 of the paper.
+_PROTOCOL_LAYERS: Dict[str, StackLayer] = {
+    # Application layer
+    "http": StackLayer.APPLICATION,
+    "https": StackLayer.APPLICATION,
+    "coap": StackLayer.APPLICATION,
+    "mqtt": StackLayer.APPLICATION,
+    "mqtts": StackLayer.APPLICATION,
+    "xmpp": StackLayer.APPLICATION,
+    "amqp": StackLayer.APPLICATION,
+    "dns": StackLayer.APPLICATION,
+    "dhcp": StackLayer.APPLICATION,
+    "ntp": StackLayer.APPLICATION,
+    "telnet": StackLayer.APPLICATION,
+    "ssh": StackLayer.APPLICATION,
+    "upnp": StackLayer.APPLICATION,
+    "ota": StackLayer.APPLICATION,
+    # Transport layer (TLS/DTLS ride transport in Fig. 2's drawing)
+    "tcp": StackLayer.TRANSPORT,
+    "udp": StackLayer.TRANSPORT,
+    "tls": StackLayer.TRANSPORT,
+    "dtls": StackLayer.TRANSPORT,
+    # Network layer
+    "ipv4": StackLayer.NETWORK,
+    "ipv6": StackLayer.NETWORK,
+    "6lowpan": StackLayer.NETWORK,
+    "rpl": StackLayer.NETWORK,
+    "icmp": StackLayer.NETWORK,
+    # Link / physical layer
+    "ethernet": StackLayer.LINK,
+    "wifi": StackLayer.LINK,
+    "802.11": StackLayer.LINK,
+    "802.15.4": StackLayer.LINK,
+    "zigbee": StackLayer.LINK,
+    "z-wave": StackLayer.LINK,
+    "ble": StackLayer.LINK,
+    "bluetooth": StackLayer.LINK,
+    "lte-m": StackLayer.LINK,
+    "nb-iot": StackLayer.LINK,
+    "lora": StackLayer.LINK,
+}
+
+
+def stack_layer_of(protocol: str) -> StackLayer:
+    """Stack layer of a protocol name (case-insensitive)."""
+    key = protocol.lower()
+    if key not in _PROTOCOL_LAYERS:
+        raise KeyError(f"protocol {protocol!r} not in the Fig. 2 map")
+    return _PROTOCOL_LAYERS[key]
+
+
+def protocol_stack_map() -> Dict[StackLayer, List[str]]:
+    """The Fig. 2 table: layer -> sorted protocol names."""
+    result: Dict[StackLayer, List[str]] = {layer: [] for layer in StackLayer}
+    for protocol, layer in _PROTOCOL_LAYERS.items():
+        result[layer].append(protocol)
+    for names in result.values():
+        names.sort()
+    return result
+
+
+def knows_protocol(protocol: str) -> bool:
+    return protocol.lower() in _PROTOCOL_LAYERS

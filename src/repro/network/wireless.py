@@ -1,0 +1,148 @@
+"""Wireless link security: PSK modes and 802.15.4-style replay protection.
+
+Two §II-B mechanisms made concrete:
+
+* "For wireless network encryption, a Private Pre-Shared Key (PPSK)
+  approach could be employed" — :class:`WirelessSecurity` gates who may
+  attach to a link.  With one *shared* PSK, any single leaked credential
+  (e.g. via the UPnP harvest) admits the attacker; with *per-device*
+  PSKs, a leak only ever exposes the leaking device.
+* "IEEE 802.15.4 includes a security model that provides ... replay
+  protection" — :class:`ReplayGuard` tracks per-sender frame counters
+  and drops frames that do not advance them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.crypto.kdf import derive_key
+from repro.network.node import Interface, Link
+from repro.network.packet import Packet
+
+
+class WirelessSecurity:
+    """Admission control for a wireless link.
+
+    Modes:
+
+    * ``"open"`` — anyone may join (the Table II oven's "unsecured
+      Wi-Fi");
+    * ``"shared-psk"`` — one passphrase for the whole network;
+    * ``"ppsk"`` — a private PSK per enrolled device.
+    """
+
+    def __init__(self, link: Link, mode: str = "shared-psk",
+                 network_psk: str = "home-network-psk",
+                 master_secret: bytes = b"ppsk-master"):
+        if mode not in ("open", "shared-psk", "ppsk"):
+            raise ValueError(f"unknown wireless mode {mode!r}")
+        self.link = link
+        self.mode = mode
+        self.network_psk = network_psk
+        self.master_secret = master_secret
+        self._device_psks: Dict[str, str] = {}
+        self.joined: Dict[str, str] = {}      # address -> device name
+        self.rejected_joins: List[Tuple[str, str]] = []
+        self.revoked: set = set()
+
+    # -- enrolment -------------------------------------------------------------
+    def enroll(self, device_name: str) -> str:
+        """Provision a device; returns the PSK it must present."""
+        if self.mode == "open":
+            return ""
+        if self.mode == "shared-psk":
+            return self.network_psk
+        psk = derive_key(self.master_secret, f"ppsk:{device_name}", 8).hex()
+        self._device_psks[device_name] = psk
+        return psk
+
+    def revoke(self, device_name: str) -> None:
+        """Revoke one device's credential (cheap under PPSK; under a
+        shared PSK this is the forklift re-key the paper warns about)."""
+        self.revoked.add(device_name)
+        self._device_psks.pop(device_name, None)
+
+    # -- admission ----------------------------------------------------------------
+    def join(self, node, address: str, psk: str,
+             claimed_name: Optional[str] = None) -> Optional[Interface]:
+        """Attempt to attach ``node`` to the link with credential ``psk``."""
+        name = claimed_name or node.name
+        if not self._credential_valid(name, psk):
+            self.rejected_joins.append((name, address))
+            return None
+        interface = node.add_interface(self.link, address)
+        self.joined[address] = name
+        return interface
+
+    def _credential_valid(self, name: str, psk: str) -> bool:
+        if name in self.revoked:
+            return False
+        if self.mode == "open":
+            return True
+        if self.mode == "shared-psk":
+            return psk == self.network_psk
+        # PPSK: the credential must be *that device's* key.  A leaked key
+        # admits only the identity it was issued to.
+        return self._device_psks.get(name) == psk
+
+    def admits_with_leaked_key(self, leaked_from: str, psk: str,
+                               attacker_name: str = "intruder") -> bool:
+        """Would an attacker holding ``leaked_from``'s key get in under a
+        *different* identity?  True for shared PSKs, False for PPSK."""
+        if self.mode == "open":
+            return True
+        if self.mode == "shared-psk":
+            return psk == self.network_psk
+        return self._device_psks.get(attacker_name) == psk
+
+
+@dataclass
+class _CounterState:
+    last_counter: int = -1
+    replays_dropped: int = 0
+
+
+class ReplayGuard:
+    """802.15.4-style frame-counter replay protection on a link.
+
+    Install with ``guard.protect(link)``: outgoing frames are stamped
+    with a monotonically increasing per-sender counter; the receiving
+    side (modelled at the link tap) drops duplicates.
+    """
+
+    def __init__(self, report: Optional[Callable[[Packet], None]] = None):
+        self._counters: Dict[str, int] = {}
+        self._seen: Dict[str, _CounterState] = {}
+        self._report = report or (lambda packet: None)
+        self.frames_stamped = 0
+        self.replays_dropped = 0
+
+    def stamp(self, packet: Packet) -> Packet:
+        """Sender side: assign the next frame counter."""
+        sender = packet.src_device or packet.src
+        counter = self._counters.get(sender, 0)
+        self._counters[sender] = counter + 1
+        packet.frame_counter = counter
+        self.frames_stamped += 1
+        return packet
+
+    def accept(self, packet: Packet) -> bool:
+        """Receiver side: True if the frame counter advances."""
+        counter = getattr(packet, "frame_counter", None)
+        if counter is None:
+            return True  # unprotected frame: out of scope for the guard
+        sender = packet.src_device or packet.src
+        state = self._seen.setdefault(sender, _CounterState())
+        if counter <= state.last_counter:
+            state.replays_dropped += 1
+            self.replays_dropped += 1
+            self._report(packet)
+            return False
+        state.last_counter = counter
+        return True
+
+    def replays_from(self, sender: str) -> int:
+        state = self._seen.get(sender)
+        return state.replays_dropped if state else 0

@@ -1,0 +1,8 @@
+"""Prebuilt worlds and workloads for examples, tests, and benchmarks."""
+
+from repro.scenarios.smarthome import SmartHome, SmartHomeConfig
+from repro.scenarios.workloads import ResidentActivity
+from repro.scenarios.fleet import FleetResult, run_fleet
+
+__all__ = ["SmartHome", "SmartHomeConfig", "ResidentActivity",
+           "FleetResult", "run_fleet"]

@@ -1,0 +1,169 @@
+"""The standard smart-home world used across examples and benchmarks.
+
+Builds the full Fig. 1 stack: a physical environment, LAN links per
+technology, a smart gateway with NAT, the WAN, public DNS, a cloud
+platform, and a set of devices that resolve their vendor cloud by DNS
+and pair with it.  Returns handles to everything so attacks and the XLF
+framework can be layered on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.device.device import (
+    DEVICE_TYPES,
+    IoTDevice,
+    Vulnerabilities,
+    get_device_spec,
+)
+from repro.device.firmware import FirmwareSigner
+from repro.device.sensors import Environment
+from repro.network.dns import DnsMode, DnsResolver
+from repro.network.gateway import Gateway
+from repro.network.internet import Internet
+from repro.network.node import Link
+from repro.service.cloud import CloudPlatform
+from repro.service.identity import UserRole
+from repro.sim import Simulator
+
+
+@dataclass
+class SmartHomeConfig:
+    """What to build."""
+
+    # (device_type, vulnerabilities) pairs; None = a sensible default home.
+    devices: Optional[List[Tuple[str, Vulnerabilities]]] = None
+    seed: int = 0
+    dns_mode: DnsMode = DnsMode.PLAIN
+    cloud_coarse_grants: bool = False
+    cloud_verify_event_integrity: bool = True
+    cloud_protect_sensitive: bool = True
+    start_telemetry: bool = True
+
+    @staticmethod
+    def default_devices() -> List[Tuple[str, Vulnerabilities]]:
+        hardened = Vulnerabilities()
+        return [
+            ("smart_bulb", hardened),
+            ("smart_lock", hardened),
+            ("thermostat", hardened),
+            ("camera", Vulnerabilities(default_credentials=True,
+                                       open_telnet=True)),
+            ("smoke_detector", hardened),
+            ("smart_plug", Vulnerabilities(default_credentials=True,
+                                           open_telnet=True)),
+            ("voice_assistant", hardened),
+            ("fridge", Vulnerabilities(plaintext_traffic=True)),
+        ]
+
+
+class SmartHome:
+    """A fully wired smart-home world."""
+
+    def __init__(self, config: Optional[SmartHomeConfig] = None):
+        self.config = config or SmartHomeConfig()
+        self.sim = Simulator(seed=self.config.seed)
+        self.environment = Environment(self.sim)
+        self.internet = Internet(self.sim)
+        self.dns_server = self.internet.create_dns()
+        self.gateway = Gateway(self.sim)
+        self.gateway.connect_wan(self.internet.backbone)
+        self.lan_links: Dict[str, Link] = {}
+        self.cloud = CloudPlatform(
+            self.sim,
+            coarse_grants=self.config.cloud_coarse_grants,
+            verify_event_integrity=self.config.cloud_verify_event_integrity,
+            protect_sensitive_events=self.config.cloud_protect_sensitive,
+        )
+        self.cloud_address = self.internet.attach_service(self.cloud)
+        # Each vendor hostname gets its own public address (an interface
+        # alias on the cloud node) — real deployments have per-vendor
+        # clouds, and the Apthorpe flow-separation step depends on it.
+        self.vendor_addresses: Dict[str, str] = {}
+        self.firmware_signers: Dict[str, FirmwareSigner] = {}
+        self.devices: List[IoTDevice] = []
+        self.device_ids: Dict[str, str] = {}       # device name -> cloud id
+        self.gateway_resolver = DnsResolver(
+            self.gateway, self.dns_server.address,
+            mode=self.config.dns_mode, client_port=5355,
+        )
+        self._register_users()
+        self._build_devices()
+
+    # -- construction -------------------------------------------------------------
+    def _register_users(self) -> None:
+        self.cloud.identity.register("alice", "alice-basic-password",
+                                     role=UserRole.BASIC)
+        self.cloud.identity.register("bob", "bob-advanced-password",
+                                     role=UserRole.ADVANCED,
+                                     mfa_secret="bob-totp-seed")
+
+    def _lan_for(self, technology: str) -> Link:
+        if technology not in self.lan_links:
+            link = Link(self.sim, technology, name=f"lan-{technology}")
+            self.gateway.connect_lan(link)
+            self.lan_links[technology] = link
+        return self.lan_links[technology]
+
+    def _build_devices(self) -> None:
+        device_list = (self.config.devices
+                       if self.config.devices is not None
+                       else SmartHomeConfig.default_devices())
+        counters: Dict[str, int] = {}
+        for type_name, vulns in device_list:
+            spec = get_device_spec(type_name)
+            counters[type_name] = counters.get(type_name, 0) + 1
+            name = f"{type_name}-{counters[type_name]}"
+            vendor = spec.cloud_hostname.split(".")[1]
+            signer = self.firmware_signers.setdefault(
+                vendor, FirmwareSigner(vendor, f"{vendor}-signing-key".encode())
+            )
+            device = IoTDevice(self.sim, name, spec, self.environment,
+                               vulnerabilities=vulns, firmware_signer=signer)
+            lan = self._lan_for(spec.link)
+            device.add_interface(lan, self.gateway.assign_address())
+            # Register the vendor cloud hostname and resolve it (the DNS
+            # query is real traffic and part of the attack surface).
+            if spec.cloud_hostname not in self.vendor_addresses:
+                vendor_address = self.internet.attach_service(
+                    self.cloud, hostname=spec.cloud_hostname
+                )
+                self.vendor_addresses[spec.cloud_hostname] = vendor_address
+            self.dns_server.add_record(
+                spec.cloud_hostname, self.vendor_addresses[spec.cloud_hostname]
+            )
+            device_id = self.cloud.register_device(device)
+            self.device_ids[name] = device_id
+            resolver = DnsResolver(device, self.dns_server.address,
+                                   mode=self.config.dns_mode,
+                                   client_port=5353)
+
+            def paired(address, device=device, device_id=device_id):
+                if address is not None:
+                    device.pair_with_cloud(address, device_id)
+                    if self.config.start_telemetry:
+                        device.start()
+                        device.send_telemetry()
+
+            resolver.resolve(spec.cloud_hostname, paired)
+            self.devices.append(device)
+
+    # -- convenience ----------------------------------------------------------------
+    def device(self, name: str) -> IoTDevice:
+        for device in self.devices:
+            if device.name == name:
+                return device
+        raise KeyError(f"no device named {name!r}; have "
+                       f"{[d.name for d in self.devices]}")
+
+    def devices_of_type(self, type_name: str) -> List[IoTDevice]:
+        return [d for d in self.devices if d.spec.type_name == type_name]
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+    @property
+    def all_lan_links(self) -> List[Link]:
+        return list(self.lan_links.values())

@@ -1,0 +1,13 @@
+"""XLF security functions, one subpackage per layer (paper §IV).
+
+* :mod:`repro.security.device` — authentication delegation, encryption
+  policy, constrained access / DNS bridging, malware detection (§IV-A).
+* :mod:`repro.security.network` — traffic shaping, encrypted-traffic
+  monitoring, malicious-activity identification (§IV-B).
+* :mod:`repro.security.service` — API guarding, application
+  verification, security data analytics (§IV-C).
+
+Each function both acts locally (block/flag/shape) and reports
+:class:`~repro.core.signals.SecuritySignal`s to the XLF Core, which is
+where the cross-layer correlation — the paper's thesis — happens.
+"""

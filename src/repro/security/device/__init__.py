@@ -1,0 +1,16 @@
+"""Device-layer security functions (paper §IV-A)."""
+
+from repro.security.device.auth import AuthDecision, DelegationProxy
+from repro.security.device.access import ConstrainedAccess, DnsBridge
+from repro.security.device.malware import UpdateInspector
+from repro.security.device.encryption import EncryptionPolicy, cipher_for_class
+
+__all__ = [
+    "DelegationProxy",
+    "AuthDecision",
+    "ConstrainedAccess",
+    "DnsBridge",
+    "UpdateInspector",
+    "EncryptionPolicy",
+    "cipher_for_class",
+]

@@ -1,0 +1,199 @@
+"""Constrained access: NAC and DNS privacy bridging (paper §IV-A.3).
+
+Two pieces:
+
+* :class:`ConstrainedAccess` — network access control as gateway egress
+  middleware: each device gets an allowlist of destinations ("the
+  resources and third-party services the devices are supposed to
+  communicate with"); anything else is blocked and signalled.
+* :class:`DnsBridge` — the Core-powered gap-bridger: devices speak
+  lightweight-encrypted DNS to the gateway on the LAN; the gateway
+  re-issues the query upstream over DoT.  The device never needs a TLS
+  stack, the WAN never sees a cleartext query.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
+from repro.crypto import CtrMode, get_cipher
+from repro.crypto.kdf import derive_key
+from repro.network.dns import DnsResolver
+from repro.network.gateway import Gateway
+from repro.network.packet import Packet
+from repro.sim import Simulator
+
+import pickle
+
+
+class ConstrainedAccess:
+    """Per-device destination allowlists enforced at the gateway."""
+
+    def __init__(self, sim: Simulator,
+                 report: Optional[Callable[[SecuritySignal], None]] = None,
+                 learning_window_s: float = 0.0):
+        self.sim = sim
+        self._report = report or (lambda signal: None)
+        self._allowlists: Dict[str, Set[str]] = {}
+        self.learning_until = sim.now + learning_window_s
+        self.blocked: List[Tuple[float, str, str]] = []  # (t, device, dst)
+        self.allowed_count = 0
+        self._signal_cooldown: Dict[Tuple[str, str], float] = {}
+        self.SIGNAL_COOLDOWN_S = 60.0
+
+    def allow(self, device_name: str, destination: str) -> None:
+        self._allowlists.setdefault(device_name, set()).add(destination)
+
+    def allowlist_of(self, device_name: str) -> Set[str]:
+        return set(self._allowlists.get(device_name, set()))
+
+    # Gateway egress middleware protocol.
+    def __call__(self, packet: Packet, direction: str
+                 ) -> List[Tuple[float, Packet]]:
+        if direction != "outbound" or packet.is_cover_traffic:
+            return [(0.0, packet)]
+        device = packet.src_device
+        if device not in self._allowlists:
+            return [(0.0, packet)]  # unmanaged device
+        if self.sim.now < self.learning_until:
+            self._allowlists[device].add(packet.dst)
+            return [(0.0, packet)]
+        if packet.dst in self._allowlists[device]:
+            self.allowed_count += 1
+            return [(0.0, packet)]
+        self.blocked.append((self.sim.now, device, packet.dst))
+        key = (device, packet.dst)
+        last = self._signal_cooldown.get(key, -1e18)
+        if self.sim.now - last >= self.SIGNAL_COOLDOWN_S:
+            self._signal_cooldown[key] = self.sim.now
+            self._report(SecuritySignal.make(
+                Layer.DEVICE, SignalType.UNKNOWN_DESTINATION,
+                "constrained-access", device, self.sim.now,
+                severity=Severity.WARNING,
+                destination=packet.dst, blocked=True,
+            ))
+        return []
+
+
+class DnsBridge:
+    """Lightweight-crypto DNS on the LAN bridged to DoT upstream.
+
+    Device side: encrypt the query name with a per-device lightweight
+    cipher (PRESENT-CTR by default) and send it to the gateway's bridge
+    port.  Gateway side: decrypt, resolve upstream over DoT, encrypt
+    the answer back.  ``repro.security.device.encryption`` decides which
+    cipher each device class can afford.
+    """
+
+    BRIDGE_PORT = 8053
+
+    def __init__(self, sim: Simulator, gateway: Gateway,
+                 upstream_resolver: DnsResolver,
+                 master_secret: bytes = b"dns-bridge-master",
+                 cipher_name: str = "PRESENT",
+                 report: Optional[Callable[[SecuritySignal], None]] = None):
+        self.sim = sim
+        self.gateway = gateway
+        self.upstream = upstream_resolver
+        self.master_secret = master_secret
+        self.cipher_name = cipher_name
+        self._report = report or (lambda signal: None)
+        self._device_keys: Dict[str, bytes] = {}
+        self.queries_bridged = 0
+        gateway.bind(self.BRIDGE_PORT, self._on_query)
+
+    def provision_device(self, device_name: str) -> bytes:
+        key = derive_key(self.master_secret, f"dns:{device_name}",
+                         self._key_len())
+        self._device_keys[device_name] = key
+        return key
+
+    def _key_len(self) -> int:
+        spec_bits = {"present": 10, "tea": 16, "xtea": 16, "aes": 16,
+                     "hight": 16, "lea": 16}
+        return spec_bits.get(self.cipher_name.lower(), 16)
+
+    def _mode_for(self, key: bytes) -> CtrMode:
+        return CtrMode(get_cipher(self.cipher_name, key))
+
+    def _tag(self, key: bytes, blob: bytes, nonce: int) -> bytes:
+        from repro.crypto.mac import HmacLite
+
+        return HmacLite(key + b"|mac").mac(blob + nonce.to_bytes(8, "big"))
+
+    # -- device side -----------------------------------------------------------
+    def encrypt_query(self, device_name: str, qname: str,
+                      nonce: int) -> bytes:
+        key = self._device_keys[device_name]
+        return self._mode_for(key).encrypt(qname.encode("utf-8"), nonce)
+
+    def decrypt_answer(self, device_name: str, blob: bytes,
+                       nonce: int) -> Optional[str]:
+        key = self._device_keys[device_name]
+        raw = self._mode_for(key).decrypt(blob, nonce)
+        try:
+            answer = pickle.loads(raw)
+        except Exception:
+            return None
+        return answer
+
+    def make_query_packet(self, device_name: str, device_address: str,
+                          qname: str, nonce: int) -> Packet:
+        blob = self.encrypt_query(device_name, qname, nonce)
+        key = self._device_keys[device_name]
+        return Packet(
+            src=device_address, dst=f"{self.gateway.lan_prefix}.1",
+            sport=self.BRIDGE_PORT + 1, dport=self.BRIDGE_PORT,
+            protocol="udp", app_protocol="dns", size_bytes=64 + len(blob),
+            payload={"device": device_name, "blob": blob, "nonce": nonce,
+                     "tag": self._tag(key, blob, nonce)},
+            encrypted=True, src_device=device_name,
+        )
+
+    # -- gateway side ------------------------------------------------------------
+    def _on_query(self, packet: Packet, interface) -> None:
+        payload = packet.payload
+        if not isinstance(payload, dict) or "blob" not in payload:
+            return
+        device = payload.get("device", "")
+        key = self._device_keys.get(device)
+        if key is None:
+            self._report(SecuritySignal.make(
+                Layer.DEVICE, SignalType.DNS_ANOMALY, "dns-bridge",
+                device, self.sim.now, severity=Severity.WARNING,
+                reason="unprovisioned-device",
+            ))
+            return
+        nonce = payload["nonce"]
+        # Authenticate before decrypting: CTR alone is malleable.
+        if payload.get("tag") != self._tag(key, payload["blob"], nonce):
+            self._report(SecuritySignal.make(
+                Layer.DEVICE, SignalType.DNS_ANOMALY, "dns-bridge",
+                device, self.sim.now, severity=Severity.WARNING,
+                reason="bad-authentication-tag",
+            ))
+            return
+        try:
+            qname = self._mode_for(key).decrypt(payload["blob"], nonce) \
+                .decode("utf-8")
+        except Exception:
+            self._report(SecuritySignal.make(
+                Layer.DEVICE, SignalType.DNS_ANOMALY, "dns-bridge",
+                device, self.sim.now, severity=Severity.WARNING,
+                reason="undecryptable-query",
+            ))
+            return
+        self.queries_bridged += 1
+
+        def reply(address: Optional[str]) -> None:
+            blob = self._mode_for(key).encrypt(pickle.dumps(address), nonce + 1)
+            response = packet.reply_template(
+                size_bytes=64 + len(blob),
+                payload={"device": device, "blob": blob, "nonce": nonce + 1},
+            )
+            response.encrypted = True
+            response.app_protocol = "dns"
+            self.gateway.send(response)
+
+        self.upstream.resolve(qname, reply)

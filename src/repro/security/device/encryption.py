@@ -1,0 +1,109 @@
+"""Encryption policy: which cipher can each device afford (paper §IV-A.2).
+
+Connects Table I (device resources) to Table III (lightweight ciphers):
+conventional AES for application-class hardware, lightweight ciphers
+for microcontrollers, and nothing but link-layer security for tags.
+The policy also audits live traffic: devices observed sending plaintext
+raise signals (the remediation the Table II coffee-machine/oven rows
+need).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
+from repro.crypto.registry import CipherSpec, get_spec
+from repro.device.profiles import DeviceClass, DeviceProfile
+from repro.network.packet import Packet
+from repro.sim import Simulator
+
+# Cipher choices per device class, in preference order.
+_CLASS_CIPHERS: Dict[DeviceClass, Tuple[str, ...]] = {
+    DeviceClass.TAG: (),  # no general-purpose crypto; rely on link security
+    DeviceClass.MICROCONTROLLER: ("PRESENT", "TEA", "XTEA", "HIGHT"),
+    DeviceClass.EMBEDDED: ("LEA", "AES", "Seed"),
+    DeviceClass.APPLICATION: ("AES", "LEA"),
+}
+
+
+def cipher_for_class(device_class: DeviceClass) -> Optional[CipherSpec]:
+    """The preferred cipher for a device class, or None for tags."""
+    choices = _CLASS_CIPHERS[device_class]
+    if not choices:
+        return None
+    return get_spec(choices[0])
+
+
+def cipher_candidates(device_class: DeviceClass) -> List[CipherSpec]:
+    return [get_spec(name) for name in _CLASS_CIPHERS[device_class]]
+
+
+class EncryptionPolicy:
+    """Assigns ciphers to devices and audits traffic for plaintext."""
+
+    def __init__(self, sim: Simulator,
+                 report: Optional[Callable[[SecuritySignal], None]] = None):
+        self.sim = sim
+        self._report = report or (lambda signal: None)
+        self._assignments: Dict[str, Optional[str]] = {}
+        self.plaintext_observed: List[Tuple[float, str]] = []
+        self._already_flagged: Dict[str, float] = {}
+        self.FLAG_INTERVAL_S = 60.0
+
+    def assign(self, device_name: str, profile: DeviceProfile) -> Optional[str]:
+        spec = cipher_for_class(profile.device_class)
+        name = spec.name if spec else None
+        self._assignments[device_name] = name
+        return name
+
+    def assignment(self, device_name: str) -> Optional[str]:
+        return self._assignments.get(device_name)
+
+    def coverage(self) -> Dict[str, Optional[str]]:
+        return dict(self._assignments)
+
+    # -- traffic audit (link observer) ---------------------------------------------
+    def observe(self, packet: Packet) -> None:
+        device = packet.src_device
+        if device not in self._assignments or packet.is_cover_traffic:
+            return
+        if packet.encrypted or packet.app_protocol in ("dns",):
+            return
+        if packet.app_protocol == "telnet":
+            return  # separate signal domain (auth), avoid double count
+        last = self._already_flagged.get(device, -1e9)
+        if self.sim.now - last < self.FLAG_INTERVAL_S:
+            return
+        self._already_flagged[device] = self.sim.now
+        self.plaintext_observed.append((self.sim.now, device))
+        self._report(SecuritySignal.make(
+            Layer.DEVICE, SignalType.PLAINTEXT_TRAFFIC, "encryption-policy",
+            device, self.sim.now, severity=Severity.WARNING,
+            app_protocol=packet.app_protocol,
+        ))
+
+    # -- static audit -------------------------------------------------------------
+    INSECURE_SERVICES = {23: "telnet", 1900: "upnp"}
+
+    def audit_device(self, device) -> List[SecuritySignal]:
+        """One-shot configuration audit of an IoTDevice."""
+        signals = []
+        if device.os.has_default_credentials or any(
+            c.is_weak for c in device.os.credentials
+        ):
+            signals.append(SecuritySignal.make(
+                Layer.DEVICE, SignalType.WEAK_CREDENTIALS,
+                "encryption-policy", device.name, self.sim.now,
+                severity=Severity.WARNING,
+            ))
+        for port, service in self.INSECURE_SERVICES.items():
+            if port in device.os.open_ports:
+                signals.append(SecuritySignal.make(
+                    Layer.DEVICE, SignalType.OPEN_INSECURE_SERVICE,
+                    "encryption-policy", device.name, self.sim.now,
+                    severity=Severity.WARNING, port=port, service=service,
+                ))
+        for signal in signals:
+            self._report(signal)
+        return signals

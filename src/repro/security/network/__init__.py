@@ -1,0 +1,29 @@
+"""Network-layer security functions (paper §IV-B)."""
+
+from repro.security.network.fingerprint import (
+    EventFingerprint,
+    PacketSignature,
+    levenshtein,
+    sequence_distance,
+)
+from repro.security.network.shaping import ShapingConfig, TrafficShaper
+from repro.security.network.monitor import DetectionRule, EncryptedTrafficMonitor
+from repro.security.network.activity import (
+    DeviceBehaviorProfile,
+    MaliciousActivityDetector,
+)
+from repro.security.network.homonit import HomonitMonitor
+
+__all__ = [
+    "levenshtein",
+    "sequence_distance",
+    "PacketSignature",
+    "EventFingerprint",
+    "TrafficShaper",
+    "ShapingConfig",
+    "EncryptedTrafficMonitor",
+    "DetectionRule",
+    "MaliciousActivityDetector",
+    "DeviceBehaviorProfile",
+    "HomonitMonitor",
+]

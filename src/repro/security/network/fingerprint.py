@@ -1,0 +1,109 @@
+"""Packet-sequence fingerprints and Levenshtein matching (§IV-B.1/B.3).
+
+Zhang et al.'s HoMonit represents a device *event* as a sequence of
+packet signatures (length, direction) and matches observed wireless
+sequences against fingerprints with Levenshtein distance.  Both
+HoMonit-style defense and the event-inference adversary use this module
+— same math, opposite intent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.network.capture import CapturedPacket
+
+
+def levenshtein(a: Sequence, b: Sequence) -> int:
+    """Classic edit distance over arbitrary hashable items."""
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, item_a in enumerate(a, start=1):
+        current = [i]
+        for j, item_b in enumerate(b, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            substitute_cost = previous[j - 1] + (item_a != item_b)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]
+
+
+def sequence_distance(a: Sequence, b: Sequence) -> float:
+    """Levenshtein normalised to [0, 1] by the longer length."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 0.0
+    return levenshtein(a, b) / longest
+
+
+@dataclass(frozen=True)
+class PacketSignature:
+    """One packet as HoMonit sees it: a size bucket and a direction."""
+
+    size_bucket: int
+    outbound: bool
+
+    BUCKET = 64  # bytes per size bucket
+
+    @classmethod
+    def of(cls, size_bytes: int, outbound: bool) -> "PacketSignature":
+        return cls(size_bytes // cls.BUCKET, outbound)
+
+
+def signatures_from_capture(packets: Iterable[CapturedPacket],
+                            device_address: str) -> List[PacketSignature]:
+    """Project a capture onto one device's signature sequence."""
+    out = []
+    for packet in packets:
+        if packet.src == device_address:
+            out.append(PacketSignature.of(packet.size_bytes, outbound=True))
+        elif packet.dst == device_address:
+            out.append(PacketSignature.of(packet.size_bytes, outbound=False))
+    return out
+
+
+@dataclass
+class EventFingerprint:
+    """A labelled packet-signature sequence for one device event."""
+
+    device_type: str
+    event: str                      # e.g. "state:on"
+    sequence: Tuple[PacketSignature, ...]
+
+    def distance_to(self, observed: Sequence[PacketSignature]) -> float:
+        return sequence_distance(self.sequence, tuple(observed))
+
+
+class FingerprintLibrary:
+    """A set of fingerprints with nearest-match queries."""
+
+    def __init__(self, match_threshold: float = 0.35):
+        self.match_threshold = match_threshold
+        self._fingerprints: List[EventFingerprint] = []
+
+    def add(self, fingerprint: EventFingerprint) -> None:
+        self._fingerprints.append(fingerprint)
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+    def best_match(self, observed: Sequence[PacketSignature]
+                   ) -> Tuple[float, "EventFingerprint"]:
+        """(distance, fingerprint) of the nearest fingerprint."""
+        if not self._fingerprints:
+            raise ValueError("empty fingerprint library")
+        scored = [(fp.distance_to(observed), fp) for fp in self._fingerprints]
+        scored.sort(key=lambda pair: pair[0])
+        return scored[0]
+
+    def classify(self, observed: Sequence[PacketSignature]):
+        """The matched fingerprint, or None below the confidence bar."""
+        distance, fingerprint = self.best_match(observed)
+        if distance <= self.match_threshold:
+            return fingerprint
+        return None

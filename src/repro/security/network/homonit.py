@@ -1,0 +1,171 @@
+"""HoMonit-style wireless side-channel monitoring (paper §IV-B.3).
+
+Zhang et al.'s insight, which the paper adopts twice (for malicious-
+activity identification and for app verification): device events leave
+packet-sequence fingerprints in *encrypted* traffic, so a gateway can
+infer what a device actually did without reading payloads, and compare
+that against what the platform *claims* happened.
+
+Two phases:
+
+* **learning** — observe labelled windows (device event → the packet
+  signature sequence it produced) and build a fingerprint library per
+  device;
+* **monitoring** — classify the signature sequence in a sliding window
+  after each burst of traffic; mismatches between inferred events and
+  platform-claimed events raise BEHAVIOR_DEVIATION signals (a spoofed
+  event claims a transition the radio never saw; a hidden command makes
+  the radio see a transition nobody claimed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
+from repro.network.packet import Packet
+from repro.security.network.fingerprint import (
+    EventFingerprint,
+    FingerprintLibrary,
+    PacketSignature,
+)
+from repro.sim import Simulator
+
+
+@dataclass
+class _Window:
+    """Recent packet signatures for one device."""
+
+    signatures: List[Tuple[float, PacketSignature]] = field(
+        default_factory=list)
+    last_packet_at: float = -1e18
+
+
+class HomonitMonitor:
+    """Learn event fingerprints, then spot inferred/claimed mismatches."""
+
+    WINDOW_S = 5.0            # a burst belongs to one event
+    QUIET_GAP_S = 2.0         # silence that closes a burst
+
+    def __init__(self, sim: Simulator,
+                 match_threshold: float = 0.35,
+                 report: Optional[Callable[[SecuritySignal], None]] = None):
+        self.sim = sim
+        self._report = report or (lambda signal: None)
+        self.match_threshold = match_threshold
+        self._libraries: Dict[str, FingerprintLibrary] = {}
+        self._windows: Dict[str, _Window] = {}
+        self._learning: Dict[str, Optional[str]] = {}  # device -> label
+        self.inferred_events: List[Tuple[float, str, str]] = []
+        self.claimed_events: List[Tuple[float, str, str]] = []
+        self.mismatches: List[Tuple[float, str, str, str]] = []
+
+    # -- learning phase ----------------------------------------------------------
+    def begin_learning(self, device: str, event_label: str) -> None:
+        """Start capturing ``device``'s traffic as the fingerprint of
+        ``event_label``; call :meth:`end_learning` after the event."""
+        self._learning[device] = event_label
+        self._windows[device] = _Window()
+
+    def end_learning(self, device: str, device_type: str = "") -> bool:
+        label = self._learning.pop(device, None)
+        if label is None:
+            return False
+        window = self._windows.pop(device, _Window())
+        if not window.signatures:
+            return False
+        library = self._libraries.setdefault(
+            device, FingerprintLibrary(self.match_threshold))
+        library.add(EventFingerprint(
+            device_type=device_type, event=label,
+            sequence=tuple(sig for _t, sig in window.signatures)))
+        return True
+
+    def fingerprints_learned(self, device: str) -> int:
+        library = self._libraries.get(device)
+        return len(library) if library else 0
+
+    # -- monitoring phase -----------------------------------------------------------
+    def observe(self, packet: Packet) -> None:
+        device = packet.src_device
+        if not device or packet.is_cover_traffic:
+            return
+        if device in self._learning and self._learning[device] is not None:
+            window = self._windows.setdefault(device, _Window())
+            window.signatures.append(
+                (self.sim.now,
+                 PacketSignature.of(packet.size_bytes, outbound=True)))
+            return
+        if device not in self._libraries:
+            return
+        window = self._windows.setdefault(device, _Window())
+        now = self.sim.now
+        if (window.signatures
+                and now - window.last_packet_at > self.QUIET_GAP_S):
+            self._classify_burst(device, window)
+            window.signatures = []
+        window.signatures.append(
+            (now, PacketSignature.of(packet.size_bytes, outbound=True)))
+        window.last_packet_at = now
+
+    def flush(self) -> None:
+        """Classify any open bursts (call at end of an observation run)."""
+        for device, window in self._windows.items():
+            if device in self._libraries and window.signatures:
+                self._classify_burst(device, window)
+                window.signatures = []
+
+    def _classify_burst(self, device: str, window: _Window) -> None:
+        sequence = [sig for _t, sig in window.signatures]
+        library = self._libraries[device]
+        fingerprint = library.classify(sequence)
+        if fingerprint is None:
+            return
+        burst_time = window.signatures[0][0]
+        self.inferred_events.append((burst_time, device, fingerprint.event))
+
+    # -- claims from the platform side ---------------------------------------------
+    def note_claimed_event(self, device: str, event_label: str) -> None:
+        self.claimed_events.append((self.sim.now, device, event_label))
+
+    def audit(self, tolerance_s: float = 10.0) -> List[Tuple[float, str, str, str]]:
+        """Compare claimed vs. inferred events; report mismatches.
+
+        A *claim without radio evidence* is the spoofing signature; an
+        *inference without a claim* is the hidden-command signature.
+        """
+        self.flush()
+        mismatches = []
+        used_inferences = set()
+        for t_claim, device, label in self.claimed_events:
+            matched = False
+            for index, (t_inf, inf_device, inf_label) in enumerate(
+                    self.inferred_events):
+                if index in used_inferences or inf_device != device:
+                    continue
+                if abs(t_inf - t_claim) <= tolerance_s and inf_label == label:
+                    used_inferences.add(index)
+                    matched = True
+                    break
+            if not matched:
+                mismatches.append(
+                    (t_claim, device, label, "claim-without-radio-evidence"))
+        for index, (t_inf, device, label) in enumerate(self.inferred_events):
+            if index in used_inferences:
+                continue
+            claimed_near = any(
+                c_device == device and abs(t_claim - t_inf) <= tolerance_s
+                for t_claim, c_device, _l in self.claimed_events
+            )
+            if not claimed_near:
+                mismatches.append(
+                    (t_inf, device, label, "radio-event-without-claim"))
+        for t, device, label, kind in mismatches:
+            self._report(SecuritySignal.make(
+                Layer.NETWORK, SignalType.BEHAVIOR_DEVIATION,
+                "homonit-monitor", device, self.sim.now,
+                severity=Severity.WARNING, event=label, mismatch=kind,
+            ))
+        self.mismatches.extend(mismatches)
+        return mismatches

@@ -1,0 +1,148 @@
+"""Encrypted-traffic monitoring via searchable tokens (paper §IV-B.2).
+
+Detection rules follow Alhanahnah et al.: each rule carries one or more
+keywords (shell-command and C&C strings) that must all appear in the
+payload.  Matching works three ways:
+
+* **plaintext** packets — direct keyword scan;
+* **TLS records with search tokens** — BlindBox-style: the monitor holds
+  the token key and matches ``HMAC(key, keyword)`` against the record's
+  tokens, never seeing plaintext;
+* **opaque encrypted** packets — unmatchable, which is exactly the gap
+  the paper's design (token-cooperating endpoints for privileged update
+  traffic) exists to close; the A4 ablation measures it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
+from repro.crypto.mac import HmacLite
+from repro.network.packet import Packet
+from repro.network.protocols.tls import TlsRecord
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class DetectionRule:
+    """One malware-signature rule (Alhanahnah-style)."""
+
+    name: str
+    keywords: Tuple[str, ...]       # all must match
+    severity: Severity = Severity.CRITICAL
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.keywords:
+            raise ValueError(f"rule {self.name!r} has no keywords")
+
+
+# The default rule set: C&C strings, shell download-and-run idioms, and
+# scanner banners characteristic of IoT botnet families.
+DEFAULT_RULES: Tuple[DetectionRule, ...] = (
+    DetectionRule("shell-dropper", ("wget", "chmod"),
+                  description="download-and-execute shell idiom"),
+    DetectionRule("tftp-dropper", ("tftp", "-g"),
+                  description="TFTP-based payload fetch"),
+    DetectionRule("busybox-probe", ("busybox",),
+                  description="BusyBox fingerprinting banner"),
+    DetectionRule("c2-beacon", ("c2.", "beacon"),
+                  description="command-and-control check-in"),
+    DetectionRule("mirai-loader", ("mirai", "loader"),
+                  description="Mirai family loader strings"),
+    DetectionRule("flood-command", ("attack", "flood"),
+                  description="DDoS tasking keywords"),
+)
+
+
+class EncryptedTrafficMonitor:
+    """Gateway middleware + observer matching rules over traffic."""
+
+    def __init__(self, sim: Simulator,
+                 rules: Tuple[DetectionRule, ...] = DEFAULT_RULES,
+                 token_key: Optional[bytes] = None,
+                 block_matches: bool = True,
+                 report: Optional[Callable[[SecuritySignal], None]] = None):
+        self.sim = sim
+        self.rules = tuple(rules)
+        self._token_mac = HmacLite(token_key) if token_key else None
+        self.block_matches = block_matches
+        self._report = report or (lambda signal: None)
+        # Precompute keyword tokens for the searchable-encryption path.
+        self._keyword_tokens = {}
+        if self._token_mac is not None:
+            for rule in self.rules:
+                for keyword in rule.keywords:
+                    self._keyword_tokens[keyword] = self._token_mac.mac(
+                        keyword.lower().encode()
+                    )
+        self.packets_inspected = 0
+        self.matches: List[Tuple[float, str, str]] = []  # (t, rule, device)
+        self.opaque_packets = 0
+
+    # -- matching ---------------------------------------------------------------
+    def _plaintext_haystack(self, payload: object) -> str:
+        return repr(payload).lower()
+
+    def _rule_matches_plaintext(self, rule: DetectionRule, haystack: str) -> bool:
+        return all(keyword.lower() in haystack for keyword in rule.keywords)
+
+    def _rule_matches_tokens(self, rule: DetectionRule,
+                             record: TlsRecord) -> bool:
+        if self._token_mac is None:
+            return False
+        tokens = set(record.search_tokens)
+        return all(
+            self._keyword_tokens[keyword] in tokens for keyword in rule.keywords
+        )
+
+    def inspect(self, packet: Packet) -> Optional[DetectionRule]:
+        """The first rule the packet matches, or None."""
+        self.packets_inspected += 1
+        payload = packet.payload
+        if isinstance(payload, TlsRecord):
+            if payload.search_tokens and self._token_mac is not None:
+                for rule in self.rules:
+                    if self._rule_matches_tokens(rule, payload):
+                        return rule
+                return None
+            self.opaque_packets += 1
+            return None
+        if packet.encrypted:
+            self.opaque_packets += 1
+            return None
+        haystack = self._plaintext_haystack(payload)
+        for rule in self.rules:
+            if self._rule_matches_plaintext(rule, haystack):
+                return rule
+        return None
+
+    # -- gateway middleware protocol ---------------------------------------------
+    def __call__(self, packet: Packet, direction: str
+                 ) -> List[Tuple[float, Packet]]:
+        rule = self.inspect(packet)
+        if rule is None:
+            return [(0.0, packet)]
+        device = packet.src_device or packet.dst_device or packet.src
+        self.matches.append((self.sim.now, rule.name, device))
+        self._report(SecuritySignal.make(
+            Layer.NETWORK, SignalType.C2_KEYWORD, "traffic-monitor",
+            device, self.sim.now, severity=rule.severity,
+            rule=rule.name, direction=direction,
+        ))
+        if self.block_matches:
+            return []
+        return [(0.0, packet)]
+
+    # -- passive observer (for links, not chokepoints) ------------------------------
+    def observe(self, packet: Packet) -> None:
+        rule = self.inspect(packet)
+        if rule is not None:
+            device = packet.src_device or packet.src
+            self.matches.append((self.sim.now, rule.name, device))
+            self._report(SecuritySignal.make(
+                Layer.NETWORK, SignalType.C2_KEYWORD, "traffic-monitor",
+                device, self.sim.now, severity=rule.severity, rule=rule.name,
+            ))

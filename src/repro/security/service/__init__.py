@@ -1,0 +1,7 @@
+"""Service-layer security functions (paper §IV-C)."""
+
+from repro.security.service.api_guard import ApiGuard
+from repro.security.service.appverify import ApplicationVerifier
+from repro.security.service.analytics import SecurityAnalytics
+
+__all__ = ["ApiGuard", "ApplicationVerifier", "SecurityAnalytics"]

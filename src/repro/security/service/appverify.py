@@ -1,0 +1,134 @@
+"""Application verification (paper §IV-C.2).
+
+"Since the state transitions of the devices are dictated by the
+commands received from the applications, monitoring and profiling the
+state transition patterns could be applied" — the verifier builds the
+expected command provenance from the installed apps' rules and flags:
+
+* commands no installed rule explains (hidden commands);
+* overprivileged grants (granted minus needed);
+* exfiltration flows (app traffic to undeclared endpoints).
+
+The paper insists this runs "on the user end" (gateway), robust to a
+compromised cloud — so the verifier consumes the *observable* record
+(events seen at the gateway + commands arriving at devices), not the
+cloud's own logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
+from repro.service.cloud import CloudPlatform
+from repro.service.smartapps import SmartApp, TriggerActionRule
+from repro.sim import Simulator
+
+
+@dataclass
+class ObservedCommand:
+    timestamp: float
+    device_id: str
+    command: str
+
+
+class ApplicationVerifier:
+    """Gateway-side integrity checking of automation behaviour."""
+
+    # A command is explained if a matching trigger event happened within
+    # this window before it.
+    EXPLANATION_WINDOW_S = 30.0
+
+    def __init__(self, sim: Simulator,
+                 report: Optional[Callable[[SecuritySignal], None]] = None,
+                 display_name: Optional[Callable[[str], str]] = None):
+        self.sim = sim
+        self._report = report or (lambda signal: None)
+        # Maps platform device ids to the device names other layers use,
+        # so the correlator can join this layer's signals with theirs.
+        self._display_name = display_name or (lambda device_id: device_id)
+        self._rules: List[TriggerActionRule] = []
+        self._recent_events: List[Tuple[float, str, str, object]] = []
+        self.observed_commands: List[ObservedCommand] = []
+        self.unexplained: List[ObservedCommand] = []
+        self._reported_overprivileged: set = set()
+        self._reported_exfil_count = 0
+
+    # -- policy installation -----------------------------------------------------
+    def learn_rules(self, apps: List[SmartApp]) -> None:
+        for app in apps:
+            self._rules.extend(app.rules)
+
+    def note_event(self, device_id: str, attribute: str, value) -> None:
+        """Feed events as the gateway observes them going upstream."""
+        self._recent_events.append((self.sim.now, device_id, attribute, value))
+        horizon = self.sim.now - 10 * self.EXPLANATION_WINDOW_S
+        self._recent_events = [
+            e for e in self._recent_events if e[0] >= horizon
+        ]
+
+    def note_command(self, device_id: str, command: str) -> None:
+        """Feed commands as they arrive at devices; verify provenance."""
+        observed = ObservedCommand(self.sim.now, device_id, command)
+        self.observed_commands.append(observed)
+        if not self._explained(observed):
+            self.unexplained.append(observed)
+            self._report(SecuritySignal.make(
+                Layer.SERVICE, SignalType.APP_VIOLATION, "app-verifier",
+                self._display_name(device_id), self.sim.now,
+                severity=Severity.CRITICAL,
+                command=command, reason="no-rule-explains-command",
+            ))
+
+    def _explained(self, observed: ObservedCommand) -> bool:
+        candidates = [
+            rule for rule in self._rules
+            if rule.target_device == observed.device_id
+            and rule.command == observed.command
+        ]
+        if not candidates:
+            return False
+        window_start = observed.timestamp - self.EXPLANATION_WINDOW_S
+        for rule in candidates:
+            for t, device_id, attribute, value in self._recent_events:
+                if t < window_start or t > observed.timestamp:
+                    continue
+                if device_id != rule.trigger_device:
+                    continue
+                if attribute != rule.trigger_attribute:
+                    continue
+                try:
+                    if rule.predicate(value):
+                        return True
+                except Exception:
+                    continue
+        return False
+
+    # -- static audits ----------------------------------------------------------
+    # Delta tracking so periodic re-audits only signal *new* findings.
+
+    def audit_overprivilege(self, cloud: CloudPlatform) -> Dict[str, List[str]]:
+        report = cloud.overprivilege_report()
+        for app_name, excess in report.items():
+            if app_name in self._reported_overprivileged:
+                continue
+            self._reported_overprivileged.add(app_name)
+            self._report(SecuritySignal.make(
+                Layer.SERVICE, SignalType.OVERPRIVILEGE, "app-verifier",
+                "", self.sim.now, severity=Severity.WARNING,
+                app=app_name, excess=tuple(excess),
+            ))
+        return report
+
+    def audit_exfiltration(self, cloud: CloudPlatform) -> int:
+        count = len(cloud.exfiltration_packets)
+        if count > self._reported_exfil_count:
+            destinations = sorted({p.dst for p in cloud.exfiltration_packets})
+            self._report(SecuritySignal.make(
+                Layer.SERVICE, SignalType.EXFILTRATION, "app-verifier",
+                "", self.sim.now, severity=Severity.CRITICAL,
+                flows=count, destinations=tuple(destinations),
+            ))
+            self._reported_exfil_count = count
+        return count

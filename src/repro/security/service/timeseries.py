@@ -1,0 +1,110 @@
+"""Time-series modeling for application verification (paper §IV-C.2).
+
+"By employing machine learning techniques, such as time series
+modeling, the XLF Core could verify that the applications are executing
+correctly."  A per-signal AR(p) model fit by least squares on a sliding
+history; observations whose one-step prediction error exceeds a
+residual-scaled threshold are anomalous.  Catches *gradual* tampering
+(the heat attack's steady ramp) that per-sample z-scores miss until far
+too late, and oscillation injected by a misbehaving automation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class ArModel:
+    """An order-``p`` autoregressive one-step predictor."""
+
+    def __init__(self, order: int = 3, history: int = 64,
+                 threshold_sigmas: float = 4.0,
+                 min_samples: int = 12):
+        if order < 1:
+            raise ValueError("AR order must be >= 1")
+        if history <= order + 2:
+            raise ValueError("history must exceed order + 2")
+        self.order = order
+        self.threshold_sigmas = threshold_sigmas
+        self.min_samples = min_samples
+        self._values: Deque[float] = deque(maxlen=history)
+        self._coefficients: Optional[np.ndarray] = None
+        self._residual_std: float = 0.0
+        self.observations = 0
+        self.anomalies = 0
+
+    def _refit(self) -> None:
+        values = np.asarray(self._values, dtype=float)
+        p = self.order
+        if len(values) < max(self.min_samples, p + 2):
+            self._coefficients = None
+            return
+        # Design matrix of lagged windows -> next value.
+        rows = len(values) - p
+        design = np.empty((rows, p + 1))
+        design[:, 0] = 1.0
+        for lag in range(p):
+            design[:, lag + 1] = values[lag:lag + rows]
+        targets = values[p:]
+        coefficients, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        predictions = design @ coefficients
+        residuals = targets - predictions
+        self._coefficients = coefficients
+        self._residual_std = float(np.std(residuals)) if rows > 1 else 0.0
+
+    def predict_next(self) -> Optional[float]:
+        """One-step forecast, or None before enough data."""
+        if self._coefficients is None or len(self._values) < self.order:
+            return None
+        window = list(self._values)[-self.order:]
+        features = np.concatenate([[1.0], np.asarray(window)])
+        return float(features @ self._coefficients)
+
+    def observe(self, value: float) -> Tuple[bool, Optional[float]]:
+        """Feed a sample; returns (is_anomalous, prediction_error)."""
+        self.observations += 1
+        prediction = self.predict_next()
+        anomalous = False
+        error = None
+        if prediction is not None:
+            error = value - prediction
+            # Floors keep near-constant signals from flagging on noise:
+            # an absolute epsilon plus 0.5% of the signal magnitude.
+            scale = max(self._residual_std, 1e-3,
+                        0.005 * abs(prediction))
+            if abs(error) > self.threshold_sigmas * scale:
+                anomalous = True
+                self.anomalies += 1
+        self._values.append(value)
+        self._refit()
+        return anomalous, error
+
+
+class TelemetryForecaster:
+    """AR models per (device, attribute), for the analytics pipeline."""
+
+    def __init__(self, order: int = 3, threshold_sigmas: float = 4.0):
+        self.order = order
+        self.threshold_sigmas = threshold_sigmas
+        self._models: Dict[Tuple[str, str], ArModel] = {}
+        self.flagged: List[Tuple[str, str, float]] = []
+
+    def observe(self, device_id: str, attribute: str,
+                value: float) -> bool:
+        key = (device_id, attribute)
+        model = self._models.get(key)
+        if model is None:
+            model = ArModel(order=self.order,
+                            threshold_sigmas=self.threshold_sigmas)
+            self._models[key] = model
+        anomalous, error = model.observe(value)
+        if anomalous:
+            self.flagged.append((device_id, attribute,
+                                 float(error if error is not None else 0.0)))
+        return anomalous
+
+    def model_for(self, device_id: str, attribute: str) -> Optional[ArModel]:
+        return self._models.get((device_id, attribute))

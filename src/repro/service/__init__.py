@@ -1,0 +1,48 @@
+"""Service layer substrate (paper §II-C).
+
+A SmartThings-style cloud platform: device registry and handlers, a
+capability model, an event subsystem with subscriptions, sandboxed
+trigger-action SmartApps, OAuth2-style tokens guarding a REST API, an
+OTA update pipeline, and identity management with basic/advanced user
+roles (Barreto et al.'s model, which §IV-A.1 builds on).
+"""
+
+from repro.service.capabilities import (
+    CAPABILITIES_BY_DEVICE_TYPE,
+    Capability,
+    required_capability,
+)
+from repro.service.events import CloudEvent, EventBus, Subscription
+from repro.service.smartapps import SmartApp, TriggerActionRule
+from repro.service.oauth import OAuthServer, Scope, Token
+from repro.service.api import ApiError, RestApi, Route
+from repro.service.identity import IdentityManager, User, UserRole
+from repro.service.ota import OtaService, UpdateCampaign
+from repro.service.cloud import CloudPlatform
+from repro.service.ifttt import Applet, IftttPlatform, WebService
+
+__all__ = [
+    "Capability",
+    "CAPABILITIES_BY_DEVICE_TYPE",
+    "required_capability",
+    "CloudEvent",
+    "EventBus",
+    "Subscription",
+    "SmartApp",
+    "TriggerActionRule",
+    "OAuthServer",
+    "Scope",
+    "Token",
+    "RestApi",
+    "Route",
+    "ApiError",
+    "IdentityManager",
+    "User",
+    "UserRole",
+    "OtaService",
+    "UpdateCampaign",
+    "CloudPlatform",
+    "Applet",
+    "IftttPlatform",
+    "WebService",
+]

@@ -1,0 +1,85 @@
+"""The cloud's REST API surface with per-route scope enforcement.
+
+"Users should be prevented from accessing API functions outside their
+predefined roles so that a read-only API client should not be allowed
+to access an endpoint providing administration functionality"
+(§IV-C.1).  Routes declare their required scope; ``enforce_scopes=False``
+reproduces the unrestricted-API-access flaw for the attack suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.network.protocols.http import HttpRequest, HttpResponse
+from repro.service.oauth import OAuthServer, Scope, Token
+
+
+class ApiError(RuntimeError):
+    """Raised by handlers to signal an HTTP error status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+# Handlers receive (request, token) and return the response body.
+Handler = Callable[[HttpRequest, Optional[Token]], object]
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    path: str
+    scope: Optional[Scope]       # None = public route
+    handler: Handler
+
+
+class RestApi:
+    """Method+path routing with bearer-token authentication."""
+
+    def __init__(self, oauth: OAuthServer, enforce_scopes: bool = True):
+        self.oauth = oauth
+        self.enforce_scopes = enforce_scopes
+        self._routes: Dict[Tuple[str, str], Route] = {}
+        self.request_log: List[Tuple[str, str, int]] = []  # method, path, status
+        self.denied_requests = 0
+
+    def add_route(self, method: str, path: str, scope: Optional[Scope],
+                  handler: Handler) -> None:
+        key = (method.upper(), path)
+        if key in self._routes:
+            raise ValueError(f"route {method} {path} already registered")
+        self._routes[key] = Route(method.upper(), path, scope, handler)
+
+    def routes(self) -> List[Route]:
+        return list(self._routes.values())
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        route = self._routes.get((request.method, request.path))
+        if route is None:
+            return self._finish(request, HttpResponse(404, body="not found"))
+        token = None
+        bearer = request.headers.get("Authorization", "")
+        if bearer.startswith("Bearer "):
+            token = self.oauth.introspect(bearer[len("Bearer "):])
+        if route.scope is not None and self.enforce_scopes:
+            if token is None:
+                self.denied_requests += 1
+                return self._finish(request, HttpResponse(401, body="no valid token"))
+            if not token.allows(route.scope):
+                self.denied_requests += 1
+                return self._finish(
+                    request, HttpResponse(403, body=f"scope {route.scope.value} required")
+                )
+        try:
+            body = route.handler(request, token)
+        except ApiError as exc:
+            return self._finish(request, HttpResponse(exc.status, body=exc.message))
+        return self._finish(request, HttpResponse(200, body=body))
+
+    def _finish(self, request: HttpRequest, response: HttpResponse) -> HttpResponse:
+        self.request_log.append((request.method, request.path, response.status))
+        return response

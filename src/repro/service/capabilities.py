@@ -1,0 +1,82 @@
+"""The capability model (SmartThings-style device abstraction).
+
+"The SmartThings architecture provides an abstraction of devices from
+their distinct capabilities and attributes" (§II-C).  Fernandes et al.'s
+overprivilege finding — apps granted whole-device access when they need
+one capability — is reproduced by making grants per-capability and
+letting the platform optionally grant coarsely.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, FrozenSet, Tuple
+
+
+class Capability(Enum):
+    """Device capabilities a SmartApp can request."""
+
+    SWITCH = "switch"               # on/off
+    LOCK = "lock"                   # lock/unlock
+    THERMOSTAT = "thermostat"       # heat/cool setpoints
+    MOTION_SENSOR = "motion_sensor"
+    SMOKE_DETECTOR = "smoke_detector"
+    TEMPERATURE = "temperature"
+    CAMERA = "camera"
+    POWER_METER = "power_meter"
+    AUDIO = "audio"
+    REFRIGERATION = "refrigeration"
+    FIRMWARE_UPDATE = "firmware_update"  # privileged
+
+
+# Which capabilities each device type exposes, and which commands each
+# capability governs.
+CAPABILITIES_BY_DEVICE_TYPE: Dict[str, FrozenSet[Capability]] = {
+    "smart_bulb": frozenset({Capability.SWITCH}),
+    "smart_lock": frozenset({Capability.LOCK}),
+    "thermostat": frozenset({Capability.THERMOSTAT, Capability.TEMPERATURE}),
+    "camera": frozenset({Capability.CAMERA, Capability.MOTION_SENSOR}),
+    "smoke_detector": frozenset({Capability.SMOKE_DETECTOR}),
+    "smart_plug": frozenset({Capability.SWITCH, Capability.POWER_METER}),
+    "voice_assistant": frozenset({Capability.AUDIO}),
+    "fridge": frozenset({Capability.REFRIGERATION, Capability.TEMPERATURE}),
+}
+
+_COMMAND_CAPABILITIES: Dict[Tuple[str, str], Capability] = {
+    ("smart_bulb", "on"): Capability.SWITCH,
+    ("smart_bulb", "off"): Capability.SWITCH,
+    ("smart_lock", "lock"): Capability.LOCK,
+    ("smart_lock", "unlock"): Capability.LOCK,
+    ("thermostat", "heat"): Capability.THERMOSTAT,
+    ("thermostat", "cool"): Capability.THERMOSTAT,
+    ("thermostat", "idle"): Capability.THERMOSTAT,
+    ("camera", "stream"): Capability.CAMERA,
+    ("camera", "record"): Capability.CAMERA,
+    ("camera", "stop"): Capability.CAMERA,
+    ("smoke_detector", "hush"): Capability.SMOKE_DETECTOR,
+    ("smart_plug", "on"): Capability.SWITCH,
+    ("smart_plug", "off"): Capability.SWITCH,
+    ("voice_assistant", "wake"): Capability.AUDIO,
+    ("voice_assistant", "respond"): Capability.AUDIO,
+    ("voice_assistant", "sleep"): Capability.AUDIO,
+    ("fridge", "open"): Capability.REFRIGERATION,
+    ("fridge", "close"): Capability.REFRIGERATION,
+}
+
+# Events whose values are sensitive (Fernandes et al.: lock codes,
+# presence); subscribing to these should require the matching capability.
+SENSITIVE_ATTRIBUTES = frozenset({"lock_code", "presence", "audio_clip"})
+
+
+def device_capabilities(device_type: str) -> FrozenSet[Capability]:
+    if device_type not in CAPABILITIES_BY_DEVICE_TYPE:
+        raise KeyError(f"no capability mapping for device type {device_type!r}")
+    return CAPABILITIES_BY_DEVICE_TYPE[device_type]
+
+
+def required_capability(device_type: str, command: str) -> Capability:
+    """Capability needed to issue ``command`` on ``device_type``."""
+    key = (device_type, command)
+    if key not in _COMMAND_CAPABILITIES:
+        raise KeyError(f"no capability mapping for {device_type}.{command}")
+    return _COMMAND_CAPABILITIES[key]

@@ -1,0 +1,302 @@
+"""The cloud platform node: device handlers, app sandbox, APIs, OTA.
+
+The SmartThings-style hub of the service layer.  Devices pair and
+stream telemetry/events up; the platform maintains device shadows,
+publishes to the event bus, runs SmartApps, enforces (or coarsens) the
+capability model, answers REST calls, and pushes OTA campaigns.
+
+Flaw switches reproduce the §II-C/§IV-C analyses:
+
+* ``coarse_grants=True`` — apps get *all* capabilities of every device
+  they touch (Fernandes et al. overprivilege);
+* the event bus's ``verify_integrity`` / ``protect_sensitive``;
+* ``compromised=True`` — the platform itself executes attacker logic
+  (hidden services, tampered OTA), the §IV-C trust-the-cloud failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.device.device import IoTDevice
+from repro.network.node import Interface, Node
+from repro.network.packet import Packet
+from repro.service.api import ApiError, RestApi
+from repro.service.capabilities import (
+    Capability,
+    device_capabilities,
+    required_capability,
+)
+from repro.service.events import CloudEvent, EventBus, Subscription
+from repro.service.identity import IdentityManager
+from repro.service.oauth import OAuthServer, Scope
+from repro.service.ota import OtaService
+from repro.service.smartapps import CommandRequest, SmartApp
+from repro.sim import Simulator
+
+
+@dataclass
+class DeviceHandler:
+    """The cloud's per-device record (a SmartThings 'device handler')."""
+
+    device_id: str
+    device_name: str               # ground-truth node name
+    device_type: str
+    shadow_state: str
+    last_packet: Optional[Packet] = None
+    telemetry: List[Tuple[float, str, dict]] = field(default_factory=list)
+    events: int = 0
+
+
+class CloudPlatform(Node):
+    """The back-end cloud service."""
+
+    DEVICE_PORT = IoTDevice.CLOUD_PORT  # 8883
+
+    def __init__(self, sim: Simulator, name: str = "cloud",
+                 coarse_grants: bool = False,
+                 verify_event_integrity: bool = True,
+                 protect_sensitive_events: bool = True,
+                 enforce_api_scopes: bool = True):
+        super().__init__(sim, name)
+        self.oauth = OAuthServer(sim)
+        self.identity = IdentityManager()
+        self.bus = EventBus(protect_sensitive=protect_sensitive_events,
+                            verify_integrity=verify_event_integrity)
+        self.ota = OtaService()
+        self.api = RestApi(self.oauth, enforce_scopes=enforce_api_scopes)
+        self.coarse_grants = coarse_grants
+        self.compromised = False
+        self._handlers: Dict[str, DeviceHandler] = {}
+        self._apps: Dict[str, SmartApp] = {}
+        self._next_device_serial = 1
+        self.denied_commands: List[CommandRequest] = []
+        self.exfiltration_packets: List[Packet] = []
+        self.bind(self.DEVICE_PORT, self._on_device_packet)
+        self._register_routes()
+
+    # -- device registry ---------------------------------------------------
+    def register_device(self, device: IoTDevice) -> str:
+        device_id = f"{device.spec.type_name}-{self._next_device_serial:03d}"
+        self._next_device_serial += 1
+        self._handlers[device_id] = DeviceHandler(
+            device_id=device_id,
+            device_name=device.name,
+            device_type=device.spec.type_name,
+            shadow_state=device.state,
+        )
+        return device_id
+
+    def handler(self, device_id: str) -> DeviceHandler:
+        if device_id not in self._handlers:
+            raise KeyError(f"unknown device id {device_id!r}")
+        return self._handlers[device_id]
+
+    def device_ids(self) -> List[str]:
+        return sorted(self._handlers)
+
+    # -- device traffic -------------------------------------------------------
+    def _on_device_packet(self, packet: Packet, interface: Interface) -> None:
+        payload = packet.payload
+        if not isinstance(payload, dict):
+            return
+        device_id = payload.get("device_id")
+        handler = self._handlers.get(device_id)
+        if handler is None:
+            return
+        handler.last_packet = packet
+        kind = payload.get("kind")
+        # Ground truth authenticity: did the claimed device really send it?
+        authentic = packet.src_device == handler.device_name
+        if kind == "telemetry":
+            handler.telemetry.append(
+                (self.sim.now, payload.get("state", ""),
+                 dict(payload.get("readings", {})))
+            )
+            if payload.get("state") and authentic:
+                handler.shadow_state = payload["state"]
+            for attribute, value in payload.get("readings", {}).items():
+                self._publish(device_id, attribute, value, authentic)
+        elif kind == "event":
+            handler.events += 1
+            if payload.get("attribute") == "state" and authentic:
+                handler.shadow_state = payload.get("value", handler.shadow_state)
+            self._publish(device_id, payload.get("attribute", ""),
+                          payload.get("value"), authentic)
+        elif kind == "ota_result":
+            campaign_id = payload.get("campaign")
+            if campaign_id:
+                self.ota.record_result(campaign_id, device_id,
+                                       bool(payload.get("ok")))
+
+    def _publish(self, device_id: str, attribute: str, value: Any,
+                 authentic: bool) -> None:
+        event = CloudEvent(
+            device_id=device_id, attribute=attribute, value=value,
+            timestamp=self.sim.now, source="device", authentic=authentic,
+        )
+        self.bus.publish(event)
+
+    # -- SmartApps -----------------------------------------------------------
+    def install_app(self, app: SmartApp) -> None:
+        if app.name in self._apps:
+            raise ValueError(f"app {app.name!r} already installed")
+        self._apps[app.name] = app
+        if self.coarse_grants:
+            # Overprivilege: every capability of every device the app's
+            # rules mention, regardless of what it asked for.
+            granted = set()
+            for rule in app.rules:
+                handler = self._handlers.get(rule.target_device)
+                if handler is not None:
+                    granted |= device_capabilities(handler.device_type)
+                trigger = self._handlers.get(rule.trigger_device)
+                if trigger is not None:
+                    granted |= device_capabilities(trigger.device_type)
+            app.granted_capabilities = granted or set(app.requested_capabilities)
+        else:
+            app.granted_capabilities = set(app.requested_capabilities)
+        # Subscribe the app to its rules' triggers.
+        for rule in app.rules:
+            self.bus.subscribe(Subscription(
+                subscriber=app.name,
+                handler=lambda event, a=app: self._run_app(a, event),
+                device_id=rule.trigger_device,
+                attribute=rule.trigger_attribute,
+            ))
+
+    def subscribe_app_to_all(self, app_name: str) -> None:
+        """Broad subscription — what a data-hungry app asks for."""
+        app = self._apps[app_name]
+        self.bus.subscribe(Subscription(
+            subscriber=app.name,
+            handler=lambda event, a=app: self._run_app(a, event),
+        ))
+
+    def installed_apps(self) -> List[SmartApp]:
+        return list(self._apps.values())
+
+    def _run_app(self, app: SmartApp, event: CloudEvent) -> None:
+        for request in app.handle_event(event):
+            self._execute_command(request)
+        if app.exfiltrate_to is not None and app.events_seen:
+            self._exfiltrate(app, app.events_seen[-1])
+
+    def _execute_command(self, request: CommandRequest) -> bool:
+        handler = self._handlers.get(request.device_id)
+        if handler is None:
+            self.denied_commands.append(request)
+            return False
+        app = self._apps.get(request.app)
+        if app is not None:
+            try:
+                needed = required_capability(handler.device_type, request.command)
+            except KeyError:
+                self.denied_commands.append(request)
+                return False
+            if needed not in app.granted_capabilities:
+                self.denied_commands.append(request)
+                return False
+        return self.send_command(request.device_id, request.command)
+
+    def send_command(self, device_id: str, command: str) -> bool:
+        """Push a command down the device's persistent connection."""
+        handler = self._handlers.get(device_id)
+        if handler is None or handler.last_packet is None:
+            return False
+        packet = handler.last_packet.reply_template(
+            size_bytes=90,
+            payload={"kind": "command", "command": command},
+        )
+        packet.app_protocol = "mqtts"
+        packet.encrypted = handler.last_packet.encrypted
+        return self.send(packet)
+
+    def _exfiltrate(self, app: SmartApp, event: CloudEvent) -> None:
+        """A malicious app's hidden service shipping event data out."""
+        packet = Packet(
+            src="", dst=app.exfiltrate_to, sport=0, dport=443,
+            protocol="tcp", app_protocol="https", size_bytes=300,
+            payload={"stolen": (event.device_id, event.attribute, event.value)},
+            encrypted=True,
+        )
+        self.exfiltration_packets.append(packet)
+        self.send(packet)
+
+    # -- OTA -----------------------------------------------------------------
+    def push_update(self, campaign_id: str, device_id: str) -> bool:
+        handler = self._handlers.get(device_id)
+        if handler is None or handler.last_packet is None:
+            return False
+        image = self.ota.record_push(campaign_id, device_id)
+        packet = handler.last_packet.reply_template(
+            size_bytes=240 + image.size_bytes,
+            payload={"kind": "ota", "campaign": campaign_id, "image": image},
+        )
+        packet.app_protocol = "ota"
+        packet.encrypted = handler.last_packet.encrypted
+        return self.send(packet)
+
+    # -- REST API ----------------------------------------------------------------
+    def _register_routes(self) -> None:
+        self.api.add_route("GET", "/devices", Scope.READ_DEVICES,
+                           self._route_list_devices)
+        self.api.add_route("POST", "/devices/command", Scope.CONTROL_DEVICES,
+                           self._route_command)
+        self.api.add_route("GET", "/apps", Scope.MANAGE_APPS,
+                           self._route_list_apps)
+        self.api.add_route("POST", "/ota/push", Scope.PUSH_UPDATES,
+                           self._route_ota_push)
+        self.api.add_route("GET", "/health", None,
+                           lambda request, token: {"status": "ok"})
+
+    def _route_list_devices(self, request, token):
+        return [
+            {"device_id": h.device_id, "type": h.device_type,
+             "state": h.shadow_state}
+            for h in self._handlers.values()
+        ]
+
+    def _route_command(self, request, token):
+        body = request.body or {}
+        device_id, command = body.get("device_id"), body.get("command")
+        if not device_id or not command:
+            raise ApiError(400, "device_id and command required")
+        if not self.send_command(device_id, command):
+            raise ApiError(404, f"device {device_id} unreachable")
+        return {"sent": True}
+
+    def _route_list_apps(self, request, token):
+        return [
+            {"name": a.name,
+             "capabilities": sorted(c.value for c in a.granted_capabilities)}
+            for a in self._apps.values()
+        ]
+
+    def _route_ota_push(self, request, token):
+        body = request.body or {}
+        campaign, device_id = body.get("campaign"), body.get("device_id")
+        if not campaign or not device_id:
+            raise ApiError(400, "campaign and device_id required")
+        if not self.push_update(campaign, device_id):
+            raise ApiError(404, "push failed")
+        return {"pushed": True}
+
+    # -- audits ----------------------------------------------------------------
+    def overprivilege_report(self) -> Dict[str, List[str]]:
+        """Per-app capabilities granted but never needed by its rules."""
+
+        def capability_of(device_id: str, command: str) -> Capability:
+            handler = self._handlers.get(device_id)
+            if handler is None:
+                raise KeyError(device_id)
+            return required_capability(handler.device_type, command)
+
+        report = {}
+        for app in self._apps.values():
+            used = app.used_capabilities(capability_of)
+            excess = app.granted_capabilities - used
+            if excess:
+                report[app.name] = sorted(c.value for c in excess)
+        return report

@@ -1,0 +1,106 @@
+"""The cloud event subsystem.
+
+Devices' telemetry and state changes become :class:`CloudEvent`s on an
+:class:`EventBus`; SmartApps subscribe.  Two design flaws Fernandes et
+al. found in SmartThings are switchable here:
+
+* ``protect_sensitive`` — when off, any subscriber receives sensitive
+  event values (insufficient sensitive event data protection);
+* ``verify_integrity`` — when off, anyone may raise events for any
+  device id (spoofed-event attacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.service.capabilities import SENSITIVE_ATTRIBUTES
+
+
+@dataclass(frozen=True)
+class CloudEvent:
+    """One event flowing through the platform."""
+
+    device_id: str
+    attribute: str
+    value: Any
+    timestamp: float
+    source: str = "device"        # "device" | "app:<name>" | "external"
+    authentic: bool = True        # ground truth: actually from the device
+
+    @property
+    def sensitive(self) -> bool:
+        return self.attribute in SENSITIVE_ATTRIBUTES
+
+
+@dataclass
+class Subscription:
+    subscriber: str
+    handler: Callable[[CloudEvent], None]
+    device_id: Optional[str] = None   # None = all devices
+    attribute: Optional[str] = None   # None = all attributes
+    delivered: int = 0
+
+    def matches(self, event: CloudEvent) -> bool:
+        if self.device_id is not None and event.device_id != self.device_id:
+            return False
+        if self.attribute is not None and event.attribute != self.attribute:
+            return False
+        return True
+
+
+class EventBus:
+    """Pub/sub with the two SmartThings flaw switches."""
+
+    def __init__(self, protect_sensitive: bool = True,
+                 verify_integrity: bool = True):
+        self.protect_sensitive = protect_sensitive
+        self.verify_integrity = verify_integrity
+        self._subscriptions: List[Subscription] = []
+        # subscriber -> set of device_ids it is authorised to read
+        self._authorisations: Dict[str, set] = {}
+        self.events_published: List[CloudEvent] = []
+        self.spoofed_rejected = 0
+        self.sensitive_blocked = 0
+
+    def authorise(self, subscriber: str, device_id: str) -> None:
+        self._authorisations.setdefault(subscriber, set()).add(device_id)
+
+    def subscribe(self, subscription: Subscription) -> None:
+        self._subscriptions.append(subscription)
+
+    def unsubscribe(self, subscriber: str) -> None:
+        self._subscriptions = [
+            s for s in self._subscriptions if s.subscriber != subscriber
+        ]
+
+    def publish(self, event: CloudEvent) -> bool:
+        """Deliver an event to matching subscribers.
+
+        Returns False when the integrity check rejected the event.
+        """
+        if self.verify_integrity and not event.authentic:
+            self.spoofed_rejected += 1
+            return False
+        self.events_published.append(event)
+        for subscription in list(self._subscriptions):
+            if not subscription.matches(event):
+                continue
+            if (
+                self.protect_sensitive
+                and event.sensitive
+                and event.device_id
+                not in self._authorisations.get(subscription.subscriber, set())
+            ):
+                self.sensitive_blocked += 1
+                continue
+            subscription.delivered += 1
+            subscription.handler(event)
+        return True
+
+    def events_for(self, device_id: str) -> List[CloudEvent]:
+        return [e for e in self.events_published if e.device_id == device_id]
+
+    def subscriber_names(self) -> List[str]:
+        return sorted({s.subscriber for s in self._subscriptions})

@@ -1,0 +1,106 @@
+"""Identity management: users, roles, passwords, MFA enrolment.
+
+Implements the Barreto et al. two-mode model the paper builds on
+(§IV-A.1): *basic* users only access processed data through the cloud;
+*advanced* users (firmware updaters) authenticate with the cloud, then
+get redirected for direct device access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.crypto.hashes import lightweight_digest
+
+
+class UserRole(Enum):
+    BASIC = "basic"        # data access via the cloud only
+    ADVANCED = "advanced"  # may update firmware / direct device access
+    ADMIN = "admin"
+
+
+def _hash_password(password: str, salt: bytes) -> bytes:
+    return lightweight_digest(salt + password.encode("utf-8"))
+
+
+@dataclass
+class User:
+    username: str
+    role: UserRole
+    password_hash: bytes
+    salt: bytes
+    mfa_enrolled: bool = False
+    mfa_secret: Optional[str] = None
+    failed_attempts: int = 0
+    locked: bool = False
+
+
+class IdentityManager:
+    """User store with password + MFA verification and lockout."""
+
+    MAX_FAILED_ATTEMPTS = 5
+
+    def __init__(self):
+        self._users: Dict[str, User] = {}
+        self.auth_attempts = 0
+        self.auth_failures = 0
+
+    def register(self, username: str, password: str,
+                 role: UserRole = UserRole.BASIC,
+                 mfa_secret: Optional[str] = None) -> User:
+        if username in self._users:
+            raise ValueError(f"user {username!r} already exists")
+        salt = lightweight_digest(username.encode())[:8]
+        user = User(
+            username=username, role=role,
+            password_hash=_hash_password(password, salt), salt=salt,
+            mfa_enrolled=mfa_secret is not None, mfa_secret=mfa_secret,
+        )
+        self._users[username] = user
+        return user
+
+    def get(self, username: str) -> Optional[User]:
+        return self._users.get(username)
+
+    def verify_password(self, username: str, password: str) -> bool:
+        self.auth_attempts += 1
+        user = self._users.get(username)
+        if user is None or user.locked:
+            self.auth_failures += 1
+            return False
+        if _hash_password(password, user.salt) != user.password_hash:
+            user.failed_attempts += 1
+            if user.failed_attempts >= self.MAX_FAILED_ATTEMPTS:
+                user.locked = True
+            self.auth_failures += 1
+            return False
+        user.failed_attempts = 0
+        return True
+
+    def verify_mfa(self, username: str, code: str) -> bool:
+        """TOTP stand-in: the code is a digest of the shared secret."""
+        user = self._users.get(username)
+        if user is None or not user.mfa_enrolled or user.mfa_secret is None:
+            return False
+        expected = lightweight_digest(user.mfa_secret.encode()).hex()[:6]
+        return code == expected
+
+    def mfa_code_for(self, username: str) -> Optional[str]:
+        """What the user's authenticator app would display (test helper)."""
+        user = self._users.get(username)
+        if user is None or user.mfa_secret is None:
+            return None
+        return lightweight_digest(user.mfa_secret.encode()).hex()[:6]
+
+    def unlock(self, username: str) -> bool:
+        user = self._users.get(username)
+        if user is None:
+            return False
+        user.locked = False
+        user.failed_attempts = 0
+        return True
+
+    def users_with_role(self, role: UserRole) -> List[User]:
+        return [u for u in self._users.values() if u.role == role]

@@ -1,0 +1,174 @@
+"""IFTTT-style web-service automation (paper §II-C).
+
+"Another paradigm that further expands the idea of interoperability is
+exemplified by ... If This Then That (IFTTT).  Services are the basic
+building blocks ... a series of data items from a certain web service
+or actions controlled with certain APIs."
+
+This module models that layer: :class:`WebService`s expose named
+triggers and actions; :class:`Applet`s connect one trigger to one
+action; the :class:`IftttPlatform` bridges the device cloud's event bus
+(device events as triggers, device commands as actions) with external
+web services (weather, mail, calendar) — the paths a rogue applet can
+abuse to move data out of the home.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.service.cloud import CloudPlatform
+from repro.service.events import Subscription
+from repro.sim import Simulator
+
+
+class WebService:
+    """An external service with named triggers and actions."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._trigger_subscribers: Dict[str, List[Callable[[Any], None]]] = {}
+        self._actions: Dict[str, Callable[[Any], Any]] = {}
+        self.action_log: List[Tuple[str, Any]] = []
+
+    # -- triggers -------------------------------------------------------------
+    def declare_trigger(self, trigger: str) -> None:
+        self._trigger_subscribers.setdefault(trigger, [])
+
+    def fire_trigger(self, trigger: str, payload: Any = None) -> int:
+        """The service emits a data item; returns subscriber count."""
+        subscribers = self._trigger_subscribers.get(trigger)
+        if subscribers is None:
+            raise KeyError(f"{self.name} has no trigger {trigger!r}")
+        for subscriber in list(subscribers):
+            subscriber(payload)
+        return len(subscribers)
+
+    def on_trigger(self, trigger: str,
+                   handler: Callable[[Any], None]) -> None:
+        if trigger not in self._trigger_subscribers:
+            raise KeyError(f"{self.name} has no trigger {trigger!r}")
+        self._trigger_subscribers[trigger].append(handler)
+
+    @property
+    def triggers(self) -> List[str]:
+        return sorted(self._trigger_subscribers)
+
+    # -- actions --------------------------------------------------------------
+    def declare_action(self, action: str,
+                       handler: Optional[Callable[[Any], Any]] = None) -> None:
+        self._actions[action] = handler or (lambda payload: None)
+
+    def run_action(self, action: str, payload: Any = None) -> Any:
+        if action not in self._actions:
+            raise KeyError(f"{self.name} has no action {action!r}")
+        self.action_log.append((action, payload))
+        return self._actions[action](payload)
+
+    @property
+    def actions(self) -> List[str]:
+        return sorted(self._actions)
+
+
+@dataclass
+class Applet:
+    """One trigger-action recipe."""
+
+    name: str
+    trigger_service: str
+    trigger: str
+    action_service: str
+    action: str
+    transform: Callable[[Any], Any] = lambda payload: payload
+    enabled: bool = True
+    fire_count: int = 0
+
+
+class IftttPlatform:
+    """Connects web services to each other and to the device cloud."""
+
+    DEVICE_SERVICE = "smart-home"
+
+    def __init__(self, sim: Simulator, cloud: Optional[CloudPlatform] = None):
+        self.sim = sim
+        self.cloud = cloud
+        self._services: Dict[str, WebService] = {}
+        self._applets: Dict[str, Applet] = {}
+        self.run_log: List[Tuple[float, str]] = []
+        if cloud is not None:
+            self._bridge_cloud(cloud)
+
+    # -- service registry --------------------------------------------------------
+    def register_service(self, service: WebService) -> None:
+        if service.name in self._services:
+            raise ValueError(f"service {service.name!r} already registered")
+        self._services[service.name] = service
+
+    def service(self, name: str) -> WebService:
+        if name not in self._services:
+            raise KeyError(f"unknown service {name!r}")
+        return self._services[name]
+
+    def _bridge_cloud(self, cloud: CloudPlatform) -> None:
+        """Expose the device cloud as a service: events are triggers,
+        commands are actions."""
+        bridge = WebService(self.DEVICE_SERVICE)
+        bridge.declare_trigger("device_event")
+        bridge.declare_action(
+            "send_command",
+            lambda payload: cloud.send_command(
+                payload.get("device_id", ""), payload.get("command", "")),
+        )
+        self.register_service(bridge)
+        cloud.bus.subscribe(Subscription(
+            subscriber="ifttt-bridge",
+            handler=lambda event: bridge.fire_trigger(
+                "device_event",
+                {"device_id": event.device_id,
+                 "attribute": event.attribute, "value": event.value}),
+        ))
+
+    # -- applets ------------------------------------------------------------------
+    def install_applet(self, applet: Applet) -> None:
+        if applet.name in self._applets:
+            raise ValueError(f"applet {applet.name!r} already installed")
+        trigger_service = self.service(applet.trigger_service)
+        action_service = self.service(applet.action_service)
+        if applet.action not in action_service.actions:
+            raise KeyError(
+                f"{applet.action_service} has no action {applet.action!r}")
+
+        def run(payload: Any) -> None:
+            if not applet.enabled:
+                return
+            applet.fire_count += 1
+            self.run_log.append((self.sim.now, applet.name))
+            action_service.run_action(applet.action,
+                                      applet.transform(payload))
+
+        trigger_service.on_trigger(applet.trigger, run)
+        self._applets[applet.name] = applet
+
+    def applet(self, name: str) -> Applet:
+        return self._applets[name]
+
+    def installed_applets(self) -> List[Applet]:
+        return list(self._applets.values())
+
+    def disable_applet(self, name: str) -> bool:
+        applet = self._applets.get(name)
+        if applet is None:
+            return False
+        applet.enabled = False
+        return True
+
+    # -- audits ----------------------------------------------------------------------
+    def outbound_data_applets(self) -> List[Applet]:
+        """Applets that ship device data to an external service — the
+        audit surface for IFTTT-mediated exfiltration."""
+        return [
+            applet for applet in self._applets.values()
+            if applet.trigger_service == self.DEVICE_SERVICE
+            and applet.action_service != self.DEVICE_SERVICE
+        ]

@@ -1,0 +1,108 @@
+"""OAuth2-style tokens and scopes for the cloud's APIs (§IV-C.1).
+
+"Each API call should be assigned an API token to validate incoming
+queries" — tokens carry scopes, an expiry, and a bearer; the API layer
+enforces scope on every route.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Set
+
+from repro.crypto.hashes import lightweight_digest
+from repro.sim import Simulator
+
+_token_counter = itertools.count(1)
+
+
+class Scope(Enum):
+    READ_DEVICES = "devices:read"
+    CONTROL_DEVICES = "devices:control"
+    MANAGE_APPS = "apps:manage"
+    PUSH_UPDATES = "updates:push"      # privileged: OTA
+    ADMIN = "admin"
+
+
+@dataclass
+class Token:
+    value: str
+    subject: str                    # user or service identity
+    scopes: Set[Scope]
+    issued_at: float
+    expires_at: float
+    revoked: bool = False
+    sso: bool = False               # issued through the SSO flow
+    mfa_verified: bool = False
+
+    def valid_at(self, now: float) -> bool:
+        return not self.revoked and self.issued_at <= now < self.expires_at
+
+    def allows(self, scope: Scope) -> bool:
+        return Scope.ADMIN in self.scopes or scope in self.scopes
+
+
+class OAuthServer:
+    """Issues, introspects, and revokes tokens."""
+
+    DEFAULT_LIFETIME_S = 3600.0
+
+    def __init__(self, sim: Simulator, secret: bytes = b"oauth-server-secret"):
+        self.sim = sim
+        self._secret = secret
+        self._tokens: Dict[str, Token] = {}
+        self.issued_count = 0
+
+    def issue(self, subject: str, scopes: Set[Scope],
+              lifetime_s: Optional[float] = None,
+              sso: bool = False, mfa_verified: bool = False) -> Token:
+        lifetime = lifetime_s if lifetime_s is not None else self.DEFAULT_LIFETIME_S
+        if lifetime <= 0:
+            raise ValueError(f"non-positive token lifetime {lifetime}")
+        serial = next(_token_counter)
+        value = lightweight_digest(
+            self._secret + subject.encode() + serial.to_bytes(8, "big")
+        ).hex()
+        token = Token(
+            value=value, subject=subject, scopes=set(scopes),
+            issued_at=self.sim.now, expires_at=self.sim.now + lifetime,
+            sso=sso, mfa_verified=mfa_verified,
+        )
+        self._tokens[value] = token
+        self.issued_count += 1
+        return token
+
+    def introspect(self, value: str) -> Optional[Token]:
+        """The token if it exists and is currently valid, else None."""
+        token = self._tokens.get(value)
+        if token is None or not token.valid_at(self.sim.now):
+            return None
+        return token
+
+    def revoke(self, value: str) -> bool:
+        token = self._tokens.get(value)
+        if token is None:
+            return False
+        token.revoked = True
+        return True
+
+    def revoke_subject(self, subject: str) -> int:
+        count = 0
+        for token in self._tokens.values():
+            if token.subject == subject and not token.revoked:
+                token.revoked = True
+                count += 1
+        return count
+
+    def set_lifetime(self, value: str, expires_at: float) -> bool:
+        """Adjust a token's lifetime (XLF Core's correlation-driven policy)."""
+        token = self._tokens.get(value)
+        if token is None:
+            return False
+        token.expires_at = expires_at
+        return True
+
+    def active_tokens(self) -> List[Token]:
+        return [t for t in self._tokens.values() if t.valid_at(self.sim.now)]

@@ -1,0 +1,79 @@
+"""Over-the-air update distribution (§III-C).
+
+"A robust OTA update mechanism is a core part of a system's
+architecture" — the service publishes vendor-signed images and pushes
+them to paired devices through the cloud's device channel.  The
+compromised-cloud attack swaps a campaign's image for a malicious one;
+whether devices survive depends on their FirmwareStore policy, and
+whether the *network* catches it depends on the §IV-B.2 monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.device.firmware import FirmwareImage
+
+
+@dataclass
+class UpdateCampaign:
+    """One rollout of an image to a device model."""
+
+    campaign_id: str
+    model: str                    # device type targeted
+    image: FirmwareImage
+    pushed_to: List[str] = field(default_factory=list)      # device ids
+    results: Dict[str, bool] = field(default_factory=dict)  # device id -> ok
+
+
+class OtaService:
+    """The cloud's update pipeline."""
+
+    def __init__(self):
+        self._campaigns: Dict[str, UpdateCampaign] = {}
+        self._published: Dict[Tuple[str, str], FirmwareImage] = {}  # (model, version)
+        self.push_log: List[Tuple[str, str, str]] = []  # (campaign, device, version)
+
+    def publish(self, image: FirmwareImage) -> None:
+        """Vendor-side: make an image available for campaigns."""
+        self._published[(image.model, image.version)] = image
+
+    def published_versions(self, model: str) -> List[str]:
+        return sorted(v for (m, v) in self._published if m == model)
+
+    def create_campaign(self, campaign_id: str, model: str,
+                        version: str) -> UpdateCampaign:
+        key = (model, version)
+        if key not in self._published:
+            raise KeyError(f"no published image for {model} v{version}")
+        if campaign_id in self._campaigns:
+            raise ValueError(f"campaign {campaign_id!r} already exists")
+        campaign = UpdateCampaign(campaign_id, model, self._published[key])
+        self._campaigns[campaign_id] = campaign
+        return campaign
+
+    def get_campaign(self, campaign_id: str) -> Optional[UpdateCampaign]:
+        return self._campaigns.get(campaign_id)
+
+    def tamper_campaign(self, campaign_id: str,
+                        malicious_image: FirmwareImage) -> None:
+        """A compromised cloud swaps the payload (attack hook)."""
+        campaign = self._campaigns[campaign_id]
+        campaign.image = malicious_image
+
+    def record_push(self, campaign_id: str, device_id: str) -> FirmwareImage:
+        campaign = self._campaigns[campaign_id]
+        campaign.pushed_to.append(device_id)
+        self.push_log.append((campaign_id, device_id, campaign.image.version))
+        return campaign.image
+
+    def record_result(self, campaign_id: str, device_id: str,
+                      installed: bool) -> None:
+        self._campaigns[campaign_id].results[device_id] = installed
+
+    def campaign_success_rate(self, campaign_id: str) -> float:
+        campaign = self._campaigns[campaign_id]
+        if not campaign.results:
+            return 0.0
+        return sum(campaign.results.values()) / len(campaign.results)

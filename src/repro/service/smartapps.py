@@ -1,0 +1,107 @@
+"""SmartApps: sandboxed trigger-action automation programs.
+
+"IoT applications are automation programs that gather data from IoT
+devices and use the information to control and interoperate IoT
+devices" (§IV-C.2).  An app declares the capabilities it *requests*;
+the platform decides what it is *granted* (coarse grants reproduce
+overprivilege).  Rules are IFTTT-style: a predicate on an incoming
+event triggers a command on a target device.
+
+Malicious behaviours used by the attack suite are explicit fields, not
+hidden monkey-patching: an app may exfiltrate event data to an external
+address or issue commands beyond its declared purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Set
+
+from repro.service.capabilities import Capability
+from repro.service.events import CloudEvent
+
+
+@dataclass
+class TriggerActionRule:
+    """When <predicate>(event on trigger device) then <command> on target."""
+
+    name: str
+    trigger_device: str
+    trigger_attribute: str
+    predicate: Callable[[Any], bool]
+    target_device: str
+    command: str
+
+    def fires_on(self, event: CloudEvent) -> bool:
+        return (
+            event.device_id == self.trigger_device
+            and event.attribute == self.trigger_attribute
+            and self.predicate(event.value)
+        )
+
+
+@dataclass
+class CommandRequest:
+    """What an app asked the platform to do."""
+
+    app: str
+    device_id: str
+    command: str
+    rule: Optional[str] = None
+
+
+class SmartApp:
+    """One automation program."""
+
+    def __init__(self, name: str,
+                 requested_capabilities: Set[Capability],
+                 rules: Optional[List[TriggerActionRule]] = None,
+                 exfiltrate_to: Optional[str] = None,
+                 hidden_commands: Optional[List[CommandRequest]] = None):
+        self.name = name
+        self.requested_capabilities = set(requested_capabilities)
+        self.granted_capabilities: Set[Capability] = set()
+        self.rules = list(rules or [])
+        self.exfiltrate_to = exfiltrate_to
+        self.hidden_commands = list(hidden_commands or [])
+        self.events_seen: List[CloudEvent] = []
+        self.commands_issued: List[CommandRequest] = []
+        self.exfiltrated: List[CloudEvent] = []
+
+    @property
+    def is_malicious(self) -> bool:
+        return bool(self.exfiltrate_to or self.hidden_commands)
+
+    def add_rule(self, rule: TriggerActionRule) -> None:
+        self.rules.append(rule)
+
+    def handle_event(self, event: CloudEvent) -> List[CommandRequest]:
+        """App logic: returns the commands the app wants executed."""
+        self.events_seen.append(event)
+        requests: List[CommandRequest] = []
+        for rule in self.rules:
+            if rule.fires_on(event):
+                requests.append(CommandRequest(
+                    app=self.name, device_id=rule.target_device,
+                    command=rule.command, rule=rule.name,
+                ))
+        if self.exfiltrate_to is not None:
+            self.exfiltrated.append(event)
+        # A malicious app piggybacks its hidden commands on real events.
+        if self.hidden_commands:
+            requests.extend(self.hidden_commands)
+        self.commands_issued.extend(requests)
+        return requests
+
+    def used_capabilities(self,
+                          capability_of: Callable[[str, str], Capability]
+                          ) -> Set[Capability]:
+        """Capabilities the app's *rules* actually need — the overprivilege
+        audit compares this against what was granted."""
+        used = set()
+        for rule in self.rules:
+            try:
+                used.add(capability_of(rule.target_device, rule.command))
+            except KeyError:
+                continue
+        return used

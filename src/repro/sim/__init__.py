@@ -1,0 +1,31 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every other subsystem in the reproduction (device, network, service layers
+and the XLF security functions) runs on top of this kernel.  The design
+goals are:
+
+* **Determinism** — identical seeds and identical schedules of calls yield
+  identical traces.  Ties in event time are broken by insertion order.
+* **Generator processes** — long-running behaviours (a device's sensing
+  loop, a botnet's scanning loop) are written as generators that ``yield``
+  waits and events, in the style of SimPy.
+* **Named RNG streams** — each component draws randomness from its own
+  seeded stream so adding a component never perturbs another's draws.
+"""
+
+from repro.sim.engine import Event, Simulator, Timeout, Interrupt
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.sim.resources import Resource, Store, Channel
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Timeout",
+    "Interrupt",
+    "Process",
+    "RngRegistry",
+    "Resource",
+    "Store",
+    "Channel",
+]

@@ -1,0 +1,252 @@
+"""The discrete-event engine: events, timeouts, and the simulator loop."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.sim.rng import RngRegistry
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The ``cause`` attribute carries whatever the interrupter supplied and
+    lets the interrupted process decide how to react.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    An event moves through three states: *pending* (created, not yet
+    triggered), *triggered* (scheduled to fire), and *processed* (its
+    callbacks have run).  Both success values and failures propagate to
+    waiters; an unwaited failure raises when processed so errors never
+    pass silently.
+    """
+
+    PENDING = "pending"
+    TRIGGERED = "triggered"
+    PROCESSED = "processed"
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.state = Event.PENDING
+        self.value: Any = None
+        self.failed = False
+        self.callbacks: List[Callable[["Event"], None]] = []
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def is_pending(self) -> bool:
+        return self.state == Event.PENDING
+
+    @property
+    def is_processed(self) -> bool:
+        return self.state == Event.PROCESSED
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self.state != Event.PENDING:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self.value = value
+        self.state = Event.TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as a failure carrying ``exception``."""
+        if self.state != Event.PENDING:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.value = exception
+        self.failed = True
+        self.state = Event.TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` once the event is processed.
+
+        Registering on an already-processed event runs it immediately,
+        which makes waiting race-free.
+        """
+        if self.state == Event.PROCESSED:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Event {self.name!r} {self.state}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        self.value = value
+        self.state = Event.TRIGGERED
+        sim._schedule(self, delay)
+
+
+class Condition(Event):
+    """An event that fires when all (or any) of its children have fired."""
+
+    ALL = "all"
+    ANY = "any"
+
+    def __init__(self, sim: "Simulator", events: List[Event], mode: str):
+        super().__init__(sim, name=f"condition({mode},{len(events)})")
+        if mode not in (Condition.ALL, Condition.ANY):
+            raise SimulationError(f"unknown condition mode {mode!r}")
+        self.events = list(events)
+        self.mode = mode
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if not self.is_pending:
+            return
+        if event.failed:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        done = self._remaining == 0 if self.mode == Condition.ALL else True
+        if done:
+            results = {
+                child: child.value
+                for child in self.events
+                if child.state == Event.PROCESSED and not child.failed
+            }
+            self.succeed(results)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Time is a float in seconds.  Events scheduled for the same instant are
+    processed in the order they were scheduled (a monotone tiebreaker keeps
+    heap order total and deterministic).
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.seed = seed
+        self.rng = RngRegistry(seed)
+        self._queue: List = []
+        self._counter = itertools.count()
+        self._processed_events = 0
+
+    # -- event construction --------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: List[Event]) -> Condition:
+        return Condition(self, events, Condition.ALL)
+
+    def any_of(self, events: List[Event]) -> Condition:
+        return Condition(self, events, Condition.ANY)
+
+    def process(self, generator, name: str = "") -> "Process":
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    def call_at(self, when: float, fn: Callable[[], Any]) -> Event:
+        """Run ``fn`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"call_at({when}) is in the past (now={self.now})")
+        return self.call_in(when - self.now, fn)
+
+    def call_in(self, delay: float, fn: Callable[[], Any]) -> Event:
+        """Run ``fn`` after ``delay`` simulated seconds."""
+        event = self.timeout(delay)
+        event.add_callback(lambda _ev: fn())
+        return event
+
+    def every(self, interval: float, fn: Callable[[], Any],
+              name: str = "periodic") -> "Process":
+        """Run ``fn`` every ``interval`` seconds until the sim ends or the
+        returned process is interrupted."""
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval: {interval}")
+
+        def loop():
+            try:
+                while True:
+                    yield self.timeout(interval)
+                    fn()
+            except Interrupt:
+                return  # interrupting a periodic loop just stops it
+
+        return self.process(loop(), name=name)
+
+    # -- scheduling / loop ----------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _tie, event = heapq.heappop(self._queue)
+        self.now = when
+        event.state = Event.PROCESSED
+        self._processed_events += 1
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        if event.failed and not callbacks:
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the schedule drains or simulated time reaches ``until``.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed_events
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self.now:.6f} queued={len(self._queue)}>"

@@ -1,0 +1,101 @@
+"""Generator-based simulation processes.
+
+A process body is a generator that yields :class:`~repro.sim.engine.Event`
+objects; the process resumes when the yielded event fires, receiving the
+event's value (or having its exception thrown in).  A process is itself an
+event that fires with the generator's return value, so processes compose:
+one process can ``yield`` another to wait for it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Event, Interrupt, SimulationError, Simulator
+
+
+class Process(Event):
+    """Wraps a generator and drives it through the simulator."""
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at t=now via an immediate event.
+        start = Event(sim, name=f"{self.name}:start")
+        start.add_callback(self._resume)
+        start.succeed()
+
+    # -- public API ------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        return self.is_pending
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is not currently waiting is deferred until it next yields.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        kick = Event(self.sim, name=f"{self.name}:interrupt")
+        kick.add_callback(lambda _ev: self._throw(Interrupt(cause)))
+        kick.succeed()
+
+    # -- generator driving -------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        self._waiting_on = None
+        try:
+            if event.failed:
+                target = self._generator.throw(event.value)
+            else:
+                target = self._generator.send(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into event
+            self.fail(exc)
+            return
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.is_alive:
+            return
+        waiting, self._waiting_on = self._waiting_on, None
+        if waiting is not None:
+            # Detach: when the abandoned event fires we must not resume.
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001
+            self.fail(err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {type(target).__name__}, "
+                    "expected an Event"
+                )
+            )
+            return
+        if target is self:
+            self.fail(SimulationError(f"process {self.name!r} waited on itself"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)

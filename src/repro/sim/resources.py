@@ -1,0 +1,141 @@
+"""Shared-resource primitives built on the event kernel.
+
+* :class:`Resource` — a counted resource with FIFO queuing (models CPU
+  slots, radio airtime, cloud worker pools).
+* :class:`Store` — an unbounded-or-bounded FIFO of items (models queues of
+  packets, pending updates, message inboxes).
+* :class:`Channel` — a Store specialised for point-to-point message
+  passing with an optional per-message latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+class Resource:
+    """A resource with ``capacity`` slots and FIFO granting."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self) -> Event:
+        """Return an event that fires when a slot is granted."""
+        event = self.sim.event(name=f"{self.name}:acquire")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one slot; grants the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release() of idle resource {self.name!r}")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Store:
+    """A FIFO store of items with blocking ``get`` and optional capacity."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Optional[int] = None,
+        name: str = "store",
+    ):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; fires immediately unless the store is full."""
+        event = self.sim.event(name=f"{self.name}:put")
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed(item)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed(item)
+        else:
+            event.value = item  # stashed until space frees up
+            self._putters.append(event)
+        return event
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = self.sim.event(name=f"{self.name}:get")
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                putter = self._putters.popleft()
+                self._items.append(putter.value)
+                putter.succeed(putter.value)
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None if empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        if self._putters:
+            putter = self._putters.popleft()
+            self._items.append(putter.value)
+            putter.succeed(putter.value)
+        return item
+
+    def peek_all(self) -> list:
+        """Snapshot of queued items, oldest first (read-only)."""
+        return list(self._items)
+
+
+class Channel(Store):
+    """A Store used as a message channel with fixed propagation latency."""
+
+    def __init__(self, sim: Simulator, latency: float = 0.0, name: str = "channel"):
+        super().__init__(sim, capacity=None, name=name)
+        if latency < 0:
+            raise SimulationError(f"negative channel latency: {latency}")
+        self.latency = latency
+
+    def send(self, message: Any) -> Event:
+        """Deliver ``message`` after the channel latency."""
+        if self.latency == 0:
+            return self.put(message)
+        done = self.sim.event(name=f"{self.name}:send")
+        self.sim.call_in(self.latency, lambda: (self.put(message), done.succeed(message)))
+        return done

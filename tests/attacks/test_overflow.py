@@ -1,0 +1,57 @@
+"""Tests for the buffer-overflow exploit (Table II wall-pad row)."""
+
+from repro.attacks import BufferOverflowExploit
+from repro.device.device import Vulnerabilities
+from repro.scenarios import SmartHome, SmartHomeConfig
+
+
+def build(buffer_overflow=True):
+    home = SmartHome(SmartHomeConfig(devices=[
+        ("thermostat", Vulnerabilities(buffer_overflow=buffer_overflow)),
+    ]))
+    home.run(5.0)
+    return home
+
+
+def test_vulnerable_firmware_executes_shellcode():
+    home = build()
+    attack = BufferOverflowExploit(home, "thermostat-1")
+    attack.launch()
+    home.run(10.0)
+    outcome = attack.outcome()
+    assert outcome.succeeded
+    device = home.device("thermostat-1")
+    assert device.infected
+    assert "spy-implant" in device.os.processes
+    # The overflow path never ran the carried command.
+    assert device.state == "idle"
+
+
+def test_patched_firmware_unaffected():
+    home = build(buffer_overflow=False)
+    attack = BufferOverflowExploit(home, "thermostat-1")
+    attack.launch()
+    home.run(10.0)
+    assert not attack.outcome().succeeded
+    # The oversized packet fell through to normal handling: the embedded
+    # "command" executed benignly (no crash, no shellcode).
+    assert not home.device("thermostat-1").infected
+
+
+def test_short_values_never_trigger_overflow():
+    home = build()
+    device = home.device("thermostat-1")
+    from repro.network.node import Node
+    from repro.network.packet import Packet
+    from repro.device.device import IoTDevice
+
+    sender = Node(home.sim, "sender")
+    sender.add_interface(device.interfaces[0].link,
+                         home.gateway.assign_address())
+    sender.send(Packet(
+        src="", dst=device.address, dport=IoTDevice.CONTROL_PORT,
+        payload={"kind": "command", "command": "heat", "value": "short",
+                 "shellcode": "nope"}))
+    home.run(10.0)
+    assert not device.infected
+    assert device.state == "heating"  # normal path taken

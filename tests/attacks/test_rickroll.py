@@ -1,0 +1,54 @@
+"""Tests for the rickrolling (deauth + rogue AP) attack."""
+
+from repro.attacks import Rickrolling
+from repro.core import XLF, XlfConfig
+from repro.network.wireless import WirelessSecurity
+from repro.scenarios import SmartHome
+
+
+def test_open_reconnect_policy_gets_hijacked():
+    home = SmartHome()
+    home.run(60.0)
+    attack = Rickrolling(home)
+    attack.launch()
+    home.run(home.sim.now + 30.0)
+    outcome = attack.outcome()
+    assert outcome.succeeded
+    assert outcome.details["reconnected_to_rogue"]
+    assert outcome.details["packets_captured"] > 0
+    # The rogue AP sees the victim's telemetry — the privacy violation.
+    captured = attack.rogue_ap.captured
+    assert any(p.src_device == "voice_assistant-1" for p in captured)
+
+
+def test_ppsk_client_policy_refuses_open_networks():
+    home = SmartHome()
+    home.run(60.0)
+    wlan = home.lan_links["wifi"]
+    home_security = WirelessSecurity(wlan, mode="ppsk")
+    home_security.enroll("voice_assistant-1")
+    attack = Rickrolling(home, home_wireless=home_security)
+    attack.launch()
+    home.run(home.sim.now + 30.0)
+    outcome = attack.outcome()
+    assert not outcome.succeeded
+    assert not outcome.details["reconnected_to_rogue"]
+
+
+def test_silence_audit_notices_the_hijacked_device():
+    home = SmartHome()
+    home.run(5.0)
+    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+              home.all_lan_links, XlfConfig.full())
+    xlf.refresh_allowlists()
+    home.run(300.0)  # learn cadence baselines
+    attack = Rickrolling(home)
+    attack.launch()
+    home.run(home.sim.now + 400.0)
+    silent = xlf.analytics.audit_silence()
+    # The voice assistant's telemetry stopped reaching the home side.
+    device_id = home.device_ids["voice_assistant-1"]
+    assert any(device_id in s or "voice_assistant" in s for s in silent) \
+        or any(d == device_id or "voice_assistant" in d
+               for _t, d, kind in xlf.analytics.anomalies
+               if kind == "device-silent")

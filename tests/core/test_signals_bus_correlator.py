@@ -1,0 +1,184 @@
+"""Tests for signals, the core bus, and the cross-layer correlator."""
+
+import pytest
+
+from repro.core import CoreBus, CrossLayerCorrelator
+from repro.core.correlator import CorrelationRule, default_rules
+from repro.core.signals import Alert, Layer, SecuritySignal, Severity, SignalType
+from repro.sim import Simulator
+
+
+def signal(layer, signal_type, device="dev-1", t=0.0,
+           severity=Severity.WARNING, **details):
+    return SecuritySignal.make(layer, signal_type, "test", device, t,
+                               severity=severity, **details)
+
+
+class TestSignals:
+    def test_detail_dict(self):
+        s = signal(Layer.DEVICE, SignalType.AUTH_FAILURE, foo=1, bar="x")
+        assert s.detail_dict == {"foo": 1, "bar": "x"}
+
+    def test_severity_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.CRITICAL
+
+    def test_alert_layer_introspection(self):
+        alert = Alert(
+            category="c", device="d", timestamp=0.0,
+            severity=Severity.CRITICAL, confidence=0.9,
+            contributing_signals=(
+                signal(Layer.DEVICE, SignalType.AUTH_FAILURE),
+                signal(Layer.NETWORK, SignalType.SCAN_PATTERN),
+            ))
+        assert alert.cross_layer
+        assert Layer.DEVICE in alert.layers_involved
+
+    def test_single_layer_alert_not_cross(self):
+        alert = Alert("c", "d", 0.0, Severity.WARNING, 0.5,
+                      (signal(Layer.NETWORK, SignalType.SCAN_PATTERN),))
+        assert not alert.cross_layer
+
+
+class TestCoreBus:
+    def test_report_and_query(self):
+        bus = CoreBus(Simulator())
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=1.0))
+        bus.report(signal(Layer.NETWORK, SignalType.SCAN_PATTERN, t=2.0))
+        bus.report(signal(Layer.NETWORK, SignalType.SCAN_PATTERN,
+                          device="other", t=3.0))
+        assert len(bus.signals) == 3
+        assert len(bus.signals_for("dev-1")) == 2
+        assert bus.count_by_type(SignalType.SCAN_PATTERN) == 2
+        assert bus.count_by_type(SignalType.SCAN_PATTERN, "dev-1") == 1
+        assert bus.layers_reporting("dev-1") == [Layer.DEVICE, Layer.NETWORK]
+
+    def test_window_query(self):
+        bus = CoreBus(Simulator())
+        for t in (0.0, 50.0, 100.0, 200.0):
+            bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=t))
+        window = bus.signals_in_window("dev-1", end=110.0, window_s=70.0)
+        assert [s.timestamp for s in window] == [50.0, 100.0]
+
+    def test_listeners(self):
+        bus = CoreBus(Simulator())
+        seen = []
+        bus.subscribe(seen.append)
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE))
+        assert len(seen) == 1
+
+    def test_clear(self):
+        bus = CoreBus(Simulator())
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE))
+        bus.clear()
+        assert not bus.signals and not bus.signals_for("dev-1")
+
+
+class TestCorrelator:
+    def make(self, **kwargs):
+        bus = CoreBus(Simulator())
+        correlator = CrossLayerCorrelator(bus, **kwargs)
+        return bus, correlator
+
+    def test_cross_layer_evidence_produces_alert(self):
+        bus, correlator = self.make()
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=10.0,
+                          severity=Severity.INFO))
+        bus.report(signal(Layer.NETWORK, SignalType.SCAN_PATTERN, t=20.0,
+                          severity=Severity.CRITICAL))
+        assert len(correlator.alerts) == 1
+        alert = correlator.alerts[0]
+        assert alert.category == "botnet-infection"
+        assert alert.cross_layer
+        assert alert.confidence > 0.6
+
+    def test_trigger_alone_is_not_enough(self):
+        bus, correlator = self.make()
+        bus.report(signal(Layer.NETWORK, SignalType.SCAN_PATTERN))
+        assert not correlator.alerts
+
+    def test_corroboration_outside_window_ignored(self):
+        bus, correlator = self.make()
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=0.0))
+        bus.report(signal(Layer.NETWORK, SignalType.SCAN_PATTERN, t=500.0))
+        assert not correlator.alerts
+
+    def test_cooldown_deduplicates(self):
+        bus, correlator = self.make()
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=1.0))
+        for t in (2.0, 3.0, 4.0):
+            bus.report(signal(Layer.NETWORK, SignalType.SCAN_PATTERN, t=t))
+        assert len(correlator.alerts) == 1
+
+    def test_signals_for_different_devices_not_joined(self):
+        bus, correlator = self.make()
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, device="a"))
+        bus.report(signal(Layer.NETWORK, SignalType.SCAN_PATTERN, device="b"))
+        assert not correlator.alerts
+
+    def test_evidence_order_does_not_matter(self):
+        """Corroboration arriving after the trigger still alerts."""
+        bus, correlator = self.make()
+        bus.report(signal(Layer.NETWORK, SignalType.SCAN_PATTERN, t=10.0,
+                          severity=Severity.CRITICAL))
+        assert not correlator.alerts  # trigger alone: nothing yet
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=30.0))
+        assert len(correlator.alerts) == 1
+        assert correlator.alerts[0].category == "botnet-infection"
+
+    def test_global_corroboration_joins_device_trigger(self):
+        """A device-less (user-scoped) signal corroborates the device."""
+        bus, correlator = self.make()
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_ANOMALY,
+                          device="lock-1", t=5.0))
+        bus.report(signal(Layer.SERVICE, SignalType.API_ABUSE,
+                          device="", t=20.0))
+        alerts = [a for a in correlator.alerts
+                  if a.category == "credential-attack"]
+        assert alerts
+        assert alerts[0].device == "lock-1"
+
+    def test_single_layer_mode_alerts_per_signal(self):
+        bus, correlator = self.make(single_layer=Layer.NETWORK)
+        bus.report(signal(Layer.NETWORK, SignalType.SCAN_PATTERN, t=1.0))
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=2.0,
+                          severity=Severity.WARNING))
+        assert len(correlator.alerts) == 1
+        assert correlator.alerts[0].category.startswith("single-layer:")
+        assert not correlator.alerts[0].cross_layer
+
+    def test_single_layer_mode_respects_severity_floor(self):
+        bus, correlator = self.make(single_layer=Layer.DEVICE)
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE,
+                          severity=Severity.INFO))
+        assert not correlator.alerts
+
+    def test_confidence_grows_with_layers(self):
+        rule = CorrelationRule(
+            name="r", category="c",
+            trigger_types=frozenset({SignalType.SCAN_PATTERN}),
+            corroborating_types=frozenset({SignalType.AUTH_FAILURE,
+                                           SignalType.API_ABUSE}),
+            min_layers=2, min_signals=2,
+        )
+        two_layers = rule.evaluate(
+            signal(Layer.NETWORK, SignalType.SCAN_PATTERN, t=1.0),
+            [signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=0.5)])
+        three_layers = rule.evaluate(
+            signal(Layer.NETWORK, SignalType.SCAN_PATTERN, t=1.0),
+            [signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=0.5),
+             signal(Layer.SERVICE, SignalType.API_ABUSE, t=0.6)])
+        assert three_layers.confidence > two_layers.confidence
+
+    def test_default_rules_cover_attack_suite(self):
+        categories = {r.category for r in default_rules()}
+        assert {"botnet-infection", "malicious-update", "rogue-application",
+                "event-spoofing", "physical-policy-exploit",
+                "credential-attack"} <= categories
+
+    def test_alerts_for_query(self):
+        bus, correlator = self.make()
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=1.0))
+        bus.report(signal(Layer.NETWORK, SignalType.SCAN_PATTERN, t=2.0))
+        assert correlator.alerts_for("dev-1")
+        assert not correlator.alerts_for("ghost")
+        assert correlator.cross_layer_alerts()

@@ -1,0 +1,140 @@
+"""Tests for lightweight hashes, MACs, and KDF."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.base import CryptoError
+from repro.crypto.hashes import DaviesMeyerHash, SpongeHash, lightweight_digest
+from repro.crypto.kdf import derive_key, session_key
+from repro.crypto.mac import CbcMac, HmacLite
+from repro.crypto.present import Present
+
+
+class TestSpongeHash:
+    def test_deterministic(self):
+        h = SpongeHash()
+        assert h.digest(b"abc") == h.digest(b"abc")
+
+    def test_distinct_messages_distinct_digests(self):
+        h = SpongeHash()
+        digests = {h.digest(m) for m in (b"", b"a", b"b", b"ab", b"ba", b"a" * 100)}
+        assert len(digests) == 6
+
+    def test_digest_size_honoured(self):
+        for size in (8, 16, 32, 64):
+            assert len(SpongeHash(size).digest(b"x")) == size
+
+    def test_bad_digest_size_rejected(self):
+        with pytest.raises(CryptoError):
+            SpongeHash(4)
+        with pytest.raises(CryptoError):
+            SpongeHash(65)
+
+    def test_length_extension_padding(self):
+        """Messages that are prefixes must not collide (padding works)."""
+        h = SpongeHash()
+        assert h.digest(b"abc") != h.digest(b"abc\x00")
+        assert h.digest(b"") != h.digest(b"\x01")
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_no_trivial_collisions(self, a, b):
+        if a != b:
+            assert SpongeHash().digest(a) != SpongeHash().digest(b)
+
+    def test_hexdigest(self):
+        h = SpongeHash()
+        assert h.hexdigest(b"x") == h.digest(b"x").hex()
+
+
+class TestDaviesMeyer:
+    def test_roundtrip_properties(self):
+        h = DaviesMeyerHash()
+        assert h.digest(b"msg") == h.digest(b"msg")
+        assert h.digest(b"msg") != h.digest(b"msG")
+        assert len(h.digest(b"")) == h.digest_size
+
+    def test_length_strengthening(self):
+        h = DaviesMeyerHash()
+        assert h.digest(b"\x80") != h.digest(b"")
+
+    def test_custom_cipher(self):
+        from repro.crypto.aes import Aes
+
+        h = DaviesMeyerHash(Aes, key_bits=128)
+        assert len(h.digest(b"hello")) == 16
+
+    def test_unsupported_key_bits(self):
+        with pytest.raises(CryptoError):
+            DaviesMeyerHash(Present, key_bits=96)
+
+
+class TestLightweightDigestWrapper:
+    def test_flavors(self):
+        assert lightweight_digest(b"x", "sponge") == SpongeHash().digest(b"x")
+        assert lightweight_digest(b"x", "davies-meyer") == DaviesMeyerHash().digest(b"x")
+
+    def test_unknown_flavor(self):
+        with pytest.raises(CryptoError):
+            lightweight_digest(b"x", "md5")
+
+
+class TestHmacLite:
+    def test_mac_and_verify(self):
+        mac = HmacLite(b"secret-key")
+        tag = mac.mac(b"message")
+        assert mac.verify(b"message", tag)
+        assert not mac.verify(b"messagE", tag)
+        assert not mac.verify(b"message", tag[:-1] + bytes([tag[-1] ^ 1]))
+
+    def test_key_separation(self):
+        assert HmacLite(b"k1").mac(b"m") != HmacLite(b"k2").mac(b"m")
+
+    def test_long_key_hashed_down(self):
+        long_key = bytes(range(256)) * 2
+        tag = HmacLite(long_key).mac(b"m")
+        assert len(tag) == 16
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(CryptoError):
+            HmacLite(b"")
+
+
+class TestCbcMac:
+    def test_mac_and_verify(self):
+        mac = CbcMac(Present(bytes(10)))
+        tag = mac.mac(b"firmware-image-bytes")
+        assert mac.verify(b"firmware-image-bytes", tag)
+        assert not mac.verify(b"firmware-image-bytez", tag)
+
+    def test_length_prefix_blocks_extension(self):
+        """m and m||0-padding must have different MACs."""
+        mac = CbcMac(Present(bytes(10)))
+        assert mac.mac(b"abc") != mac.mac(b"abc" + bytes(5))
+
+
+class TestKdf:
+    def test_deterministic_and_context_separated(self):
+        master = b"master-secret"
+        assert derive_key(master, "a") == derive_key(master, "a")
+        assert derive_key(master, "a") != derive_key(master, "b")
+
+    def test_lengths(self):
+        for n in (1, 16, 33, 100):
+            assert len(derive_key(b"m", "ctx", n)) == n
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(CryptoError):
+            derive_key(b"m", "ctx", 0)
+
+    def test_session_key_rotation(self):
+        master = b"gw-master"
+        k1 = session_key(master, "dev1", epoch=1)
+        k2 = session_key(master, "dev1", epoch=2)
+        other = session_key(master, "dev2", epoch=1)
+        assert k1 != k2 and k1 != other
+
+    def test_prefix_property(self):
+        """Shorter derivations are prefixes of longer ones (HKDF-expand)."""
+        assert derive_key(b"m", "c", 16) == derive_key(b"m", "c", 32)[:16]

@@ -1,0 +1,80 @@
+"""Known-answer tests against published test vectors."""
+
+import pytest
+
+from repro.crypto.aes import Aes
+from repro.crypto.des import Des, TripleDes
+from repro.crypto.lea import Lea
+from repro.crypto.present import Present
+from repro.crypto.rc5 import Rc5
+from repro.crypto.tea import Tea, Xtea
+
+
+def test_aes128_fips197():
+    key = bytes(range(16))
+    pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+    ct = Aes(key).encrypt_block(pt)
+    assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+    assert Aes(key).decrypt_block(ct) == pt
+
+
+def test_aes192_fips197():
+    key = bytes(range(24))
+    pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+    ct = Aes(key).encrypt_block(pt)
+    assert ct.hex() == "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+
+def test_aes256_fips197():
+    key = bytes(range(32))
+    pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+    ct = Aes(key).encrypt_block(pt)
+    assert ct.hex() == "8ea2b7ca516745bfeafc49904b496089"
+
+
+def test_des_classic_worked_example():
+    key = bytes.fromhex("133457799BBCDFF1")
+    pt = bytes.fromhex("0123456789ABCDEF")
+    ct = Des(key).encrypt_block(pt)
+    assert ct.hex() == "85e813540f0ab405"
+    assert Des(key).decrypt_block(ct) == pt
+
+
+def test_3des_single_key_equals_des():
+    key = bytes.fromhex("133457799BBCDFF1")
+    pt = bytes.fromhex("0123456789ABCDEF")
+    assert TripleDes(key).encrypt_block(pt) == Des(key).encrypt_block(pt)
+
+
+def test_present80_all_zero_vector():
+    ct = Present(bytes(10)).encrypt_block(bytes(8))
+    assert ct.hex() == "5579c1387b228445"
+
+
+def test_tea_all_zero_vector():
+    ct = Tea(bytes(16)).encrypt_block(bytes(8))
+    assert ct.hex() == "41ea3a0a94baa940"
+
+
+def test_xtea_vector():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    ct = Xtea(key).encrypt_block(b"ABCDEFGH")
+    assert ct.hex() == "497df3d072612cb5"
+
+
+def test_lea128_vector():
+    key = bytes.fromhex("0f1e2d3c4b5a69788796a5b4c3d2e1f0")
+    pt = bytes.fromhex("101112131415161718191a1b1c1d1e1f")
+    ct = Lea(key).encrypt_block(pt)
+    assert ct.hex() == "9fc84e3528c6c6185532c7a704648bfd"
+    assert Lea(key).decrypt_block(ct) == pt
+
+
+def test_rc5_32_12_16_all_zero_vector():
+    ct = Rc5(bytes(16)).encrypt_block(bytes(8))
+    assert ct.hex() == "21a5dbee154b8f6d"
+
+
+@pytest.mark.parametrize("key_bytes,expected_rounds", [(16, 10), (24, 12), (32, 14)])
+def test_aes_round_counts(key_bytes, expected_rounds):
+    assert Aes(bytes(key_bytes)).rounds == expected_rounds

@@ -1,0 +1,100 @@
+"""Tests for modes of operation and padding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import CbcMode, CtrMode, EcbMode, pkcs7_pad, pkcs7_unpad
+from repro.crypto.aes import Aes
+from repro.crypto.base import CryptoError
+from repro.crypto.present import Present
+from repro.crypto.tea import Xtea
+
+
+@given(st.binary(max_size=200), st.integers(min_value=1, max_value=32))
+def test_pkcs7_roundtrip(data, block_size):
+    padded = pkcs7_pad(data, block_size)
+    assert len(padded) % block_size == 0
+    assert len(padded) > len(data)  # padding always added
+    assert pkcs7_unpad(padded, block_size) == data
+
+
+def test_pkcs7_rejects_corrupt_padding():
+    padded = pkcs7_pad(b"hello", 8)
+    corrupted = padded[:-1] + bytes([padded[-1] ^ 1])
+    with pytest.raises(CryptoError):
+        pkcs7_unpad(corrupted, 8)
+
+
+def test_pkcs7_rejects_bad_lengths():
+    with pytest.raises(CryptoError):
+        pkcs7_unpad(b"", 8)
+    with pytest.raises(CryptoError):
+        pkcs7_unpad(b"1234567", 8)
+    with pytest.raises(CryptoError):
+        pkcs7_unpad(b"\x00" * 8, 8)  # pad byte 0 invalid
+
+
+@pytest.mark.parametrize("cipher", [Aes(bytes(16)), Present(bytes(10)), Xtea(bytes(16))],
+                         ids=["aes", "present", "xtea"])
+def test_ecb_roundtrip(cipher):
+    mode = EcbMode(cipher)
+    for msg in (b"", b"x", b"exactly-8bytes!!" * 3, bytes(100)):
+        assert mode.decrypt(mode.encrypt(msg)) == msg
+
+
+def test_ecb_leaks_equal_blocks_cbc_does_not():
+    """The classic ECB weakness — and why the framework defaults to CBC/CTR."""
+    cipher = Aes(bytes(16))
+    msg = b"A" * 32  # two identical blocks
+    ecb_ct = EcbMode(cipher).encrypt(msg)
+    assert ecb_ct[:16] == ecb_ct[16:32]
+    cbc_ct = CbcMode(cipher).encrypt(msg, iv=bytes(16))
+    assert cbc_ct[:16] != cbc_ct[16:32]
+
+
+@given(st.binary(max_size=120))
+@settings(max_examples=25, deadline=None)
+def test_cbc_roundtrip(msg):
+    cipher = Present(bytes(10))
+    mode = CbcMode(cipher)
+    iv = bytes(range(8))
+    assert mode.decrypt(mode.encrypt(msg, iv), iv) == msg
+
+
+def test_cbc_iv_must_match_block():
+    mode = CbcMode(Aes(bytes(16)))
+    with pytest.raises(CryptoError):
+        mode.encrypt(b"data", iv=bytes(8))
+
+
+def test_cbc_different_iv_different_ciphertext():
+    mode = CbcMode(Aes(bytes(16)))
+    msg = b"the same message"
+    assert mode.encrypt(msg, bytes(16)) != mode.encrypt(msg, bytes([1] * 16))
+
+
+@given(st.binary(max_size=120), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=25, deadline=None)
+def test_ctr_roundtrip(msg, nonce):
+    cipher = Xtea(bytes(16))
+    mode = CtrMode(cipher)
+    assert mode.decrypt(mode.encrypt(msg, nonce), nonce) == msg
+
+
+def test_ctr_preserves_length():
+    mode = CtrMode(Aes(bytes(16)))
+    for n in (0, 1, 15, 16, 17, 100):
+        assert len(mode.encrypt(bytes(n), nonce=7)) == n
+
+
+def test_ctr_nonce_range_checked():
+    mode = CtrMode(Present(bytes(10)))  # 8-byte block, 4-byte nonce space
+    with pytest.raises(CryptoError):
+        mode.encrypt(b"x", nonce=1 << 40)
+
+
+def test_ctr_keystream_differs_by_nonce():
+    mode = CtrMode(Aes(bytes(16)))
+    msg = bytes(32)
+    assert mode.encrypt(msg, 1) != mode.encrypt(msg, 2)

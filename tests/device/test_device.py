@@ -1,0 +1,255 @@
+"""Tests for the IoTDevice actor, sensors, and environment."""
+
+import pytest
+
+from repro.device import Environment, IoTDevice
+from repro.device.device import DEVICE_TYPES, Vulnerabilities, get_device_spec
+from repro.device.sensors import Sensor
+from repro.network import Gateway, Link, Node, Packet
+from repro.sim import Simulator
+
+
+class CloudStub(Node):
+    def __init__(self, sim, name="cloud"):
+        super().__init__(sim, name)
+        self.received = []
+
+    def handle_packet(self, packet, interface):
+        self.received.append(packet)
+
+
+def build_home(sim, spec_name="smart_bulb", vulns=Vulnerabilities()):
+    env = Environment(sim)
+    lan = Link(sim, "wifi", name="lan")
+    wan = Link(sim, "wan", name="wan")
+    gw = Gateway(sim)
+    gw.connect_lan(lan)
+    gw.connect_wan(wan)
+    cloud = CloudStub(sim)
+    cloud.add_interface(wan, "198.51.100.10")
+    device = IoTDevice(sim, "dev1", get_device_spec(spec_name), env,
+                       vulnerabilities=vulns)
+    device.add_interface(lan, gw.assign_address())
+    device.pair_with_cloud("198.51.100.10", "dev1-id")
+    return env, gw, cloud, device
+
+
+class TestEnvironmentAndSensors:
+    def test_read_write_roundtrip(self):
+        env = Environment(Simulator())
+        env.set("temperature", 80.0)
+        assert env.read("temperature") == 80.0
+        with pytest.raises(KeyError):
+            env.read("vibes")
+        with pytest.raises(KeyError):
+            env.set("vibes", 1.0)
+
+    def test_change_listeners(self):
+        env = Environment(Simulator())
+        changes = []
+        env.on_change(lambda q, v: changes.append((q, v)))
+        env.set("motion", 1.0)
+        assert changes == [("motion", 1.0)]
+
+    def test_sensor_noise_is_deterministic_per_seed(self):
+        def reading(seed):
+            env = Environment(Simulator(seed=seed))
+            return Sensor(env, "temperature", noise_std=0.5, name="t").read()
+
+        assert reading(1) == reading(1)
+        assert reading(1) != reading(2)
+
+    def test_binary_sensors_threshold(self):
+        env = Environment(Simulator())
+        smoke = Sensor(env, "smoke")
+        assert smoke.read() == 0.0
+        env.set("smoke", 1.0)
+        assert smoke.read() == 1.0
+
+    def test_unknown_sensor_type(self):
+        env = Environment(Simulator())
+        with pytest.raises(KeyError):
+            Sensor(env, "telepathy")
+
+    def test_thermal_dynamics_relax_toward_outdoor(self):
+        sim = Simulator()
+        env = Environment(sim, temperature_f=90.0)
+        env.start_dynamics(lambda: 50.0, tau_s=300.0, step_s=30.0)
+        sim.run(until=1800.0)  # 6 time constants
+        assert env.temperature_f == pytest.approx(50.0, abs=2.0)
+
+    def test_thermal_dynamics_param_validation(self):
+        env = Environment(Simulator())
+        with pytest.raises(ValueError):
+            env.start_dynamics(lambda: 50.0, tau_s=0.0)
+
+
+class TestDeviceSpecs:
+    def test_registry_well_formed(self):
+        assert len(DEVICE_TYPES) >= 8
+        for spec in DEVICE_TYPES.values():
+            assert spec.initial_state in spec.states
+            assert spec.telemetry_interval_s > 0
+
+    def test_distinct_cloud_hostnames(self):
+        """Per-vendor clouds: the DNS identification channel needs this."""
+        hostnames = {s.cloud_hostname for s in DEVICE_TYPES.values()}
+        assert len(hostnames) == len(DEVICE_TYPES)
+
+    def test_bad_spec_rejected(self):
+        from repro.device.device import DeviceSpec
+
+        with pytest.raises(ValueError):
+            DeviceSpec(type_name="x", profile_name="p", link="wifi",
+                       cloud_hostname="c", states=("a",), initial_state="b",
+                       commands={})
+        with pytest.raises(ValueError):
+            DeviceSpec(type_name="x", profile_name="p", link="wifi",
+                       cloud_hostname="c", states=("a",), initial_state="a",
+                       commands={"go": "nowhere"})
+
+    def test_unknown_type(self):
+        with pytest.raises(KeyError):
+            get_device_spec("smart_toaster")
+
+
+class TestIoTDevice:
+    def test_command_changes_state_and_emits_event(self):
+        sim = Simulator()
+        _, _, cloud, device = build_home(sim)
+        events = []
+        device.on_event(events.append)
+        assert device.execute_command("on")
+        sim.run()
+        assert device.state == "on"
+        assert events[0]["attribute"] == "state"
+        assert events[0]["value"] == "on"
+        assert [p.payload["kind"] for p in cloud.received] == ["event"]
+
+    def test_unknown_command_ignored(self):
+        sim = Simulator()
+        _, _, _, device = build_home(sim)
+        assert not device.execute_command("self_destruct")
+        assert device.state == "off"
+
+    def test_same_state_command_no_event(self):
+        sim = Simulator()
+        _, _, cloud, device = build_home(sim)
+        device.execute_command("off")  # already off
+        sim.run()
+        assert not cloud.received
+
+    def test_telemetry_loop_reaches_cloud(self):
+        sim = Simulator()
+        _, _, cloud, device = build_home(sim, "thermostat")
+        device.start()
+        sim.run(until=120.0)
+        telemetry = [p for p in cloud.received if p.payload["kind"] == "telemetry"]
+        assert len(telemetry) >= 2
+        assert "temperature" in telemetry[0].payload["readings"]
+        assert telemetry[0].src == "203.0.113.1"  # NATted
+
+    def test_telemetry_encrypted_by_default_plaintext_when_vulnerable(self):
+        sim = Simulator()
+        _, _, cloud, device = build_home(sim)
+        device.send_telemetry()
+        sim.run()
+        assert cloud.received[0].encrypted
+        sim2 = Simulator()
+        _, _, cloud2, device2 = build_home(
+            sim2, vulns=Vulnerabilities(plaintext_traffic=True))
+        device2.send_telemetry()
+        sim2.run()
+        assert not cloud2.received[0].encrypted
+
+    def test_physical_feedback_of_actuation(self):
+        sim = Simulator()
+        env, _, _, device = build_home(sim)
+        device.execute_command("on")
+        assert env.light_lux == 800.0
+
+    def test_network_command_packet(self):
+        sim = Simulator()
+        _, _, cloud, device = build_home(sim)
+        device.send_telemetry()  # establish NAT mapping
+        sim.run()
+        request = cloud.received[0]
+        command = request.reply_template(
+            size_bytes=80, payload={"kind": "command", "command": "on"})
+        cloud.send(command)
+        sim.run()
+        assert device.state == "on"
+
+    def test_telnet_infection_with_default_credentials(self):
+        sim = Simulator()
+        _, _, _, device = build_home(
+            sim, vulns=Vulnerabilities(default_credentials=True,
+                                       open_telnet=True))
+        attacker = CloudStub(sim, "attacker")
+        attacker.add_interface(device.interfaces[0].link, "10.0.0.66")
+        attacker.send(Packet(
+            src="", dst=device.address, dport=IoTDevice.TELNET_PORT,
+            payload={"username": "admin", "password": "admin",
+                     "action": "infect", "payload": "mirai-bot"}))
+        sim.run()
+        assert device.infected
+        assert "mirai-bot" in device.os.processes
+        assert attacker.received[0].payload == {"login": "ok"}
+
+    def test_telnet_closed_on_hardened_device(self):
+        sim = Simulator()
+        _, _, _, device = build_home(sim)  # no vulnerabilities
+        assert IoTDevice.TELNET_PORT not in device.open_ports
+
+    def test_strong_credentials_resist_dictionary(self):
+        sim = Simulator()
+        _, _, _, device = build_home(sim, vulns=Vulnerabilities(open_telnet=True))
+        attacker = CloudStub(sim, "attacker")
+        attacker.add_interface(device.interfaces[0].link, "10.0.0.66")
+        attacker.send(Packet(
+            src="", dst=device.address, dport=IoTDevice.TELNET_PORT,
+            payload={"username": "admin", "password": "admin",
+                     "action": "infect"}))
+        sim.run()
+        assert not device.infected
+        assert attacker.received[0].payload == {"login": "denied"}
+
+    def test_harden_closes_everything(self):
+        sim = Simulator()
+        _, _, _, device = build_home(
+            sim, vulns=Vulnerabilities(default_credentials=True,
+                                       open_telnet=True,
+                                       unsigned_firmware=True))
+        device.harden()
+        assert not device.vulnerabilities.any()
+        assert device.firmware.verify_signatures
+        assert IoTDevice.TELNET_PORT not in device.open_ports
+        assert not device.os.has_default_credentials
+
+    def test_disinfect(self):
+        sim = Simulator()
+        _, _, _, device = build_home(
+            sim, vulns=Vulnerabilities(default_credentials=True,
+                                       open_telnet=True))
+        device.infected = True
+        device.infection_payload = "bot"
+        device.os.spawn_process("bot")
+        device.disinfect()
+        assert not device.infected
+        assert "bot" not in device.os.processes
+
+    def test_radio_energy_consumed_on_send(self):
+        sim = Simulator()
+        _, _, _, device = build_home(sim)
+        before = device.energy.radio_energy_j
+        device.send_telemetry()
+        sim.run()
+        assert device.energy.radio_energy_j > before
+
+    def test_state_history_recorded(self):
+        sim = Simulator()
+        _, _, _, device = build_home(sim)
+        device.execute_command("on")
+        device.execute_command("off")
+        states = [s for _, s in device.state_history]
+        assert states == ["off", "on", "off"]

@@ -1,0 +1,160 @@
+"""Tests for firmware signing/installation and the resident OS."""
+
+import pytest
+
+from repro.device.firmware import (
+    FirmwareError,
+    FirmwareImage,
+    FirmwareSigner,
+    FirmwareStore,
+    parse_version,
+)
+from repro.device.os import DEFAULT_CREDENTIALS, FileCache, ResidentOS
+
+
+def make_signer():
+    return FirmwareSigner("acme", b"acme-signing-key")
+
+
+def make_store(signer=None, **kwargs):
+    signer = signer or make_signer()
+    base = signer.sign(FirmwareImage("acme", "bulb", "1.0.0", b"base"))
+    return FirmwareStore(current=base, verifier=signer, **kwargs), signer
+
+
+class TestFirmware:
+    def test_signed_upgrade_installs(self):
+        store, signer = make_store()
+        update = signer.sign(FirmwareImage("acme", "bulb", "1.1.0", b"new"))
+        assert store.install(update)
+        assert store.current.version == "1.1.0"
+        assert store.history == ["1.0.0"]
+
+    def test_unsigned_update_rejected(self):
+        store, _ = make_store()
+        update = FirmwareImage("acme", "bulb", "1.1.0", b"new")
+        assert not store.install(update)
+        assert store.rejected == [("1.1.0", "bad-signature")]
+
+    def test_forged_signature_rejected(self):
+        store, _ = make_store()
+        update = FirmwareImage("acme", "bulb", "1.1.0", b"new",
+                               signature=b"forged")
+        assert not store.install(update)
+
+    def test_downgrade_rejected_by_default(self):
+        store, signer = make_store()
+        old = signer.sign(FirmwareImage("acme", "bulb", "0.9.0", b"old"))
+        assert not store.install(old)
+        assert store.rejected[-1][1] == "downgrade"
+
+    def test_downgrade_allowed_when_vulnerable(self):
+        store, signer = make_store(allow_downgrade=True)
+        old = signer.sign(FirmwareImage("acme", "bulb", "0.9.0", b"old"))
+        assert store.install(old)
+
+    def test_unverified_store_accepts_malicious_image(self):
+        """The Table II 'firmware modulation' precondition."""
+        store, _ = make_store(verify_signatures=False)
+        evil = FirmwareImage("mallory", "bulb", "9.9.9", b"evil",
+                             malicious=True)
+        assert store.install(evil)
+        assert store.compromised
+
+    def test_wrong_model_rejected(self):
+        store, signer = make_store()
+        update = signer.sign(FirmwareImage("acme", "lock", "2.0.0", b"x"))
+        assert not store.install(update)
+        assert store.rejected[-1][1] == "wrong-model"
+
+    def test_digest_binds_all_fields(self):
+        a = FirmwareImage("v", "m", "1.0.0", b"p")
+        assert a.digest != FirmwareImage("v", "m", "1.0.1", b"p").digest
+        assert a.digest != FirmwareImage("v", "m", "1.0.0", b"q").digest
+        assert a.digest != FirmwareImage("w", "m", "1.0.0", b"p").digest
+
+    def test_version_parsing(self):
+        assert parse_version("1.2.10") == (1, 2, 10)
+        assert parse_version("1.2.10") > parse_version("1.2.9")
+        with pytest.raises(FirmwareError):
+            parse_version("one.two")
+
+    def test_missing_verifier_rejects(self):
+        base = FirmwareImage("acme", "bulb", "1.0.0", b"base")
+        store = FirmwareStore(current=base, verifier=None)
+        assert not store.install(FirmwareImage("acme", "bulb", "1.1.0", b"x"))
+        assert store.rejected[-1][1] == "no-verifier-provisioned"
+
+
+class TestFileCache:
+    def test_lru_eviction(self):
+        cache = FileCache(100)
+        cache.put("a", b"x" * 40)
+        cache.put("b", b"y" * 40)
+        cache.get("a")  # refresh a
+        cache.put("c", b"z" * 40)  # evicts b (LRU)
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_hit_miss_counters(self):
+        cache = FileCache(100)
+        cache.put("a", b"1")
+        cache.get("a")
+        cache.get("missing")
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_oversized_file_rejected(self):
+        cache = FileCache(10)
+        with pytest.raises(ValueError):
+            cache.put("big", b"x" * 11)
+
+    def test_overwrite_same_path(self):
+        cache = FileCache(100)
+        cache.put("a", b"1")
+        cache.put("a", b"22")
+        assert cache.get("a") == b"22"
+        assert len(cache) == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FileCache(0)
+
+
+class TestResidentOS:
+    def test_os_name_validated(self):
+        ResidentOS("RIOT")
+        with pytest.raises(ValueError):
+            ResidentOS("Windows ME")
+
+    def test_credential_checks(self):
+        os_ = ResidentOS()
+        os_.add_credential("admin", "admin")
+        assert os_.check_login("admin", "admin")
+        assert not os_.check_login("admin", "wrong")
+        assert os_.has_default_credentials
+
+    def test_default_credential_list_is_mirai_style(self):
+        assert ("root", "xc3511") in DEFAULT_CREDENTIALS
+
+    def test_weak_vs_strong_credentials(self):
+        os_ = ResidentOS()
+        weak = os_.add_credential("u", "short")
+        strong = os_.add_credential("v", "a-long-unique-passphrase")
+        assert weak.is_weak and not strong.is_weak
+
+    def test_rotation(self):
+        os_ = ResidentOS()
+        os_.add_credential("admin", "admin")
+        assert os_.rotate_credential("admin", "new-long-password-42")
+        assert not os_.has_default_credentials
+        assert not os_.rotate_credential("ghost", "x")
+
+    def test_services_and_processes(self):
+        os_ = ResidentOS()
+        os_.register_service(23, "telnet")
+        os_.register_service(80, "web-ui")
+        assert os_.open_ports == [23, 80]
+        os_.stop_service(23)
+        assert os_.open_ports == [80]
+        os_.spawn_process("bot")
+        assert os_.kill_process("bot")
+        assert not os_.kill_process("bot")

@@ -1,0 +1,125 @@
+"""Tests for the Table I catalog, hardware, and energy models."""
+
+import pytest
+
+from repro.device import DEVICE_CATALOG, DeviceClass, EnergyModel, get_profile
+from repro.device.hardware import HardwareModel, ResourceExhausted
+from repro.device.profiles import profiles_by_class, table_i_rows
+
+
+class TestCatalog:
+    def test_all_20_table_i_rows_present(self):
+        assert len(DEVICE_CATALOG) == 20
+        assert len(table_i_rows()) == 20
+
+    def test_paper_rows_verbatim_samples(self):
+        rows = {r[0]: r for r in table_i_rows()}
+        assert rows["Philips Hue Ligh tbulb"][2] == "32Mhz"  # paper's typo kept
+        assert rows["REX2 Smart Meter"][3] == "4KB"
+        assert rows["iPhone 6s Plus"][1] == "A9/64-bit/M9 coprocessor"
+
+    def test_lookup_case_insensitive(self):
+        assert get_profile("apple watch").name == "Apple Watch"
+        with pytest.raises(KeyError):
+            get_profile("Nokia 3310")
+
+    def test_device_class_gradient(self):
+        assert get_profile("HID Glass Tag Ultra (RFID)").device_class == DeviceClass.TAG
+        assert get_profile("Philips Hue Lightbulb").device_class == DeviceClass.MICROCONTROLLER
+        assert get_profile("Nest Learning Thermostat").device_class == DeviceClass.EMBEDDED
+        assert get_profile("iPhone 6s Plus").device_class == DeviceClass.APPLICATION
+
+    def test_every_class_populated(self):
+        grouped = profiles_by_class()
+        for cls in DeviceClass:
+            assert grouped[cls], f"no device in class {cls}"
+
+    def test_battery_flag(self):
+        assert get_profile("Fitbit Smart Wrist Band Flex").battery_powered
+        assert not get_profile("NETGEAR Router").battery_powered
+
+    def test_supports_payload(self):
+        hue = get_profile("Philips Hue Lightbulb")  # 8 KB RAM
+        assert hue.supports_payload(4 * 1024)
+        assert not hue.supports_payload(64 * 1024)
+
+
+class TestHardware:
+    def test_execution_time_scales_with_clock(self):
+        fast = HardwareModel(get_profile("iPhone 6s Plus"))
+        slow = HardwareModel(get_profile("Philips Hue Lightbulb"))
+        assert slow.execute_cycles(1e6) > fast.execute_cycles(1e6)
+
+    def test_cpu_seconds_accumulate(self):
+        hw = HardwareModel(get_profile("Philips Hue Lightbulb"))
+        hw.execute_cycles(32e6)
+        assert hw.cpu_seconds_used == pytest.approx(1.0)
+
+    def test_ram_allocation_enforced(self):
+        hw = HardwareModel(get_profile("REX2 Smart Meter"))  # 4 KB RAM
+        hw.allocate_ram("buffers", 3000)
+        with pytest.raises(ResourceExhausted):
+            hw.allocate_ram("more", 2000)
+        hw.free_ram("buffers")
+        hw.allocate_ram("more", 2000)
+        assert hw.ram_used == 2000
+
+    def test_duplicate_tag_rejected(self):
+        hw = HardwareModel(get_profile("Apple Watch"))
+        hw.allocate_ram("x", 10)
+        with pytest.raises(ResourceExhausted):
+            hw.allocate_ram("x", 10)
+
+    def test_unknown_ram_is_unlimited(self):
+        hw = HardwareModel(get_profile("Gateway WISE-3310"))  # RAM: NA
+        hw.allocate_ram("big", 10**9)
+        assert hw.ram_free is None
+
+    def test_flash_enforced_and_overwrite(self):
+        hw = HardwareModel(get_profile("Philips Hue Lightbulb"))  # 256 KB
+        hw.store_flash("firmware", 200 * 1024)
+        hw.store_flash("firmware", 250 * 1024)  # overwrite same tag OK
+        with pytest.raises(ResourceExhausted):
+            hw.store_flash("extra", 10 * 1024)
+        hw.erase_flash("firmware")
+        hw.store_flash("extra", 10 * 1024)
+
+    def test_fits_probe(self):
+        hw = HardwareModel(get_profile("REX2 Smart Meter"))
+        assert hw.fits(ram=4096)
+        assert not hw.fits(ram=4097)
+
+    def test_negative_inputs_rejected(self):
+        hw = HardwareModel(get_profile("Apple Watch"))
+        with pytest.raises(ValueError):
+            hw.execute_cycles(-1)
+        with pytest.raises(ValueError):
+            hw.allocate_ram("x", -1)
+
+
+class TestEnergy:
+    def test_mains_never_depletes(self):
+        model = EnergyModel(get_profile("NETGEAR Router"))
+        model.consume_cpu(10**6)
+        assert not model.depleted
+        assert model.fraction_remaining == 1.0
+
+    def test_battery_drains_and_depletes(self):
+        model = EnergyModel(get_profile("Philips Hue Lightbulb"),
+                            battery_joules=1.0)
+        model.consume_cpu(50.0)  # mcu class: 0.01 W -> 0.5 J
+        assert 0 < model.fraction_remaining < 1
+        model.consume_radio(10_000_000, 2e-7)  # 2 J radio
+        assert model.depleted
+
+    def test_radio_and_cpu_tracked_separately(self):
+        model = EnergyModel(get_profile("Fitbit Smart Wrist Band Flex"))
+        model.consume_cpu(10.0)
+        model.consume_radio(1000, 1e-7)
+        assert model.cpu_energy_j > 0
+        assert model.radio_energy_j == pytest.approx(1e-4)
+
+    def test_negative_energy_rejected(self):
+        model = EnergyModel(get_profile("Apple Watch"))
+        with pytest.raises(ValueError):
+            model._drain(-1.0)

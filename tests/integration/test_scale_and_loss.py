@@ -1,0 +1,130 @@
+"""Scale and lossy-link robustness of the full framework."""
+
+import time
+
+import pytest
+
+from repro.attacks import MiraiBotnet
+from repro.core import XLF, XlfConfig
+from repro.device.device import DEVICE_TYPES, Vulnerabilities
+from repro.metrics import score_detection
+from repro.network import Link, Node, Packet
+from repro.scenarios import SmartHome, SmartHomeConfig
+from repro.sim import Simulator
+
+
+def test_large_home_detection_still_exact():
+    """40 devices, two vulnerable: XLF flags exactly the infected set."""
+    devices = []
+    type_names = sorted(DEVICE_TYPES)
+    for i in range(40):
+        type_name = type_names[i % len(type_names)]
+        vulns = Vulnerabilities()
+        if i in (3, 17):  # two vulnerable devices in the crowd
+            vulns = Vulnerabilities(default_credentials=True,
+                                    open_telnet=True)
+        devices.append((type_name, vulns))
+    home = SmartHome(SmartHomeConfig(devices=devices, seed=42))
+    home.run(5.0)
+    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+              home.all_lan_links, XlfConfig.full())
+    xlf.refresh_allowlists()
+    attack = MiraiBotnet(home, run_ddos=False)
+    attack.launch()
+    start = time.perf_counter()
+    home.run(home.sim.now + 300.0)
+    wall = time.perf_counter() - start
+    truth = attack.outcome().compromised_devices
+    assert len(truth) == 2
+    detected = {a.device for a in xlf.alerts
+                if a.category == "botnet-infection"}
+    metrics = score_detection(detected, truth)
+    assert metrics.f1 == 1.0
+    assert wall < 120, f"simulation too slow at scale: {wall:.1f}s"
+
+
+class Sink(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.seen = []
+
+    def handle_packet(self, packet, interface):
+        self.seen.append(packet)
+
+
+class TestLossyLinks:
+    def test_loss_rate_validated(self):
+        sim = Simulator()
+        with pytest.raises(Exception):
+            Link(sim, "wifi", loss_rate=1.0)
+        with pytest.raises(Exception):
+            Link(sim, "wifi", loss_rate=-0.1)
+
+    def test_loss_rate_roughly_respected(self):
+        sim = Simulator(seed=3)
+        link = Link(sim, "wifi", name="lossy", loss_rate=0.3)
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        a.add_interface(link, "x")
+        b.add_interface(link, "y")
+        for _ in range(500):
+            a.send(Packet(src="", dst="y"))
+        sim.run()
+        delivered = len(b.seen)
+        assert 280 <= delivered <= 420  # ~0.7 of 500
+        assert link.packets_lost == 500 - delivered
+
+    def test_lossless_by_default(self):
+        sim = Simulator()
+        link = Link(sim, "wifi")
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        a.add_interface(link, "x")
+        b.add_interface(link, "y")
+        for _ in range(100):
+            a.send(Packet(src="", dst="y"))
+        sim.run()
+        assert len(b.seen) == 100
+
+    def test_observers_see_lost_packets(self):
+        """A radio sniffer hears frames the receiver drops — loss applies
+        at delivery, observation at transmission."""
+        sim = Simulator(seed=1)
+        link = Link(sim, "wifi", loss_rate=0.5)
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        a.add_interface(link, "x")
+        b.add_interface(link, "y")
+        observed = []
+        link.add_observer(observed.append)
+        for _ in range(100):
+            a.send(Packet(src="", dst="y"))
+        sim.run()
+        assert len(observed) == 100
+        assert len(b.seen) < 100
+
+    def test_detection_survives_lossy_lan(self):
+        """XLF's observers tap the link pre-loss, so a flaky radio does
+        not blind the activity detector."""
+        from repro.core.signals import SignalType
+        from repro.security.network.activity import (
+            DeviceBehaviorProfile,
+            MaliciousActivityDetector,
+        )
+        from repro.device.device import get_device_spec
+
+        sim = Simulator(seed=5)
+        link = Link(sim, "wifi", loss_rate=0.4)
+        device = Sink(sim, "camera-1")
+        device.add_interface(link, "10.0.0.2")
+        gw = Sink(sim, "gw")
+        gw.add_interface(link, "10.0.0.1", default_route=True)
+        signals = []
+        detector = MaliciousActivityDetector(sim, report=signals.append)
+        detector.register_device("camera-1", DeviceBehaviorProfile.
+                                 from_device_spec(get_device_spec("camera"),
+                                                  {"c"}))
+        link.add_observer(detector.observe)
+        for host in range(2, 14):
+            device.send(Packet(src="", dst=f"10.0.0.{host}", dport=23,
+                               src_device="camera-1"))
+        sim.run()
+        assert any(s.signal_type == SignalType.SCAN_PATTERN
+                   for s in signals)

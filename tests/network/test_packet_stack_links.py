@@ -1,0 +1,106 @@
+"""Tests for packets, the Fig. 2 stack map, and link technologies."""
+
+import pytest
+
+from repro.network import LINK_TECHNOLOGIES, Packet, StackLayer
+from repro.network.links import get_link_technology
+from repro.network.packet import FlowKey, well_known_port
+from repro.network.stack import knows_protocol, protocol_stack_map, stack_layer_of
+
+
+class TestPacket:
+    def test_flow_key_and_reverse(self):
+        p = Packet(src="a", dst="b", sport=1, dport=2, protocol="tcp")
+        key = p.flow_key
+        assert key == FlowKey("a", "b", 1, 2, "tcp")
+        assert key.reversed() == FlowKey("b", "a", 2, 1, "tcp")
+        assert key.reversed().reversed() == key
+
+    def test_reply_template_swaps_endpoints(self):
+        p = Packet(src="a", dst="b", sport=1, dport=2, src_device="dev",
+                   dst_device="cloud", app_protocol="http")
+        r = p.reply_template(size_bytes=10)
+        assert (r.src, r.dst, r.sport, r.dport) == ("b", "a", 2, 1)
+        assert r.src_device == "cloud" and r.dst_device == "dev"
+        assert r.app_protocol == "http"
+
+    def test_clone_gets_fresh_id(self):
+        p = Packet(src="a", dst="b")
+        c = p.clone(dst="c")
+        assert c.packet_id != p.packet_id
+        assert c.dst == "c" and c.src == "a"
+
+    def test_packet_ids_unique(self):
+        ids = {Packet(src="a", dst="b").packet_id for _ in range(50)}
+        assert len(ids) == 50
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src="a", dst="b", size_bytes=-1)
+
+    def test_well_known_ports(self):
+        assert well_known_port("dns") == 53
+        assert well_known_port("mqtt") == 1883
+        assert well_known_port("nonexistent") is None
+
+
+class TestStackMap:
+    def test_figure2_examples(self):
+        assert stack_layer_of("mqtt") == StackLayer.APPLICATION
+        assert stack_layer_of("CoAP") == StackLayer.APPLICATION
+        assert stack_layer_of("tcp") == StackLayer.TRANSPORT
+        assert stack_layer_of("udp") == StackLayer.TRANSPORT
+        assert stack_layer_of("dtls") == StackLayer.TRANSPORT
+        assert stack_layer_of("6lowpan") == StackLayer.NETWORK
+        assert stack_layer_of("rpl") == StackLayer.NETWORK
+        assert stack_layer_of("zigbee") == StackLayer.LINK
+        assert stack_layer_of("z-wave") == StackLayer.LINK
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(KeyError):
+            stack_layer_of("carrier-pigeon")
+        assert not knows_protocol("carrier-pigeon")
+
+    def test_map_covers_all_layers(self):
+        full = protocol_stack_map()
+        for layer in StackLayer:
+            assert full[layer], f"no protocols at {layer}"
+
+    def test_map_is_partition(self):
+        full = protocol_stack_map()
+        names = [n for protos in full.values() for n in protos]
+        assert len(names) == len(set(names))
+
+    def test_layer_ordering(self):
+        assert StackLayer.LINK < StackLayer.NETWORK < StackLayer.TRANSPORT \
+            < StackLayer.APPLICATION
+
+
+class TestLinkTechnologies:
+    def test_registry_contains_paper_technologies(self):
+        for name in ("wifi", "zigbee", "z-wave", "ble", "6lowpan", "ethernet"):
+            assert name in LINK_TECHNOLOGIES
+
+    def test_transmit_time_scales_with_size(self):
+        zigbee = get_link_technology("zigbee")
+        assert zigbee.transmit_time(1000) > zigbee.transmit_time(100)
+        assert zigbee.transmit_time(0) == zigbee.latency_s
+
+    def test_constrained_links_slower_than_wifi(self):
+        wifi = get_link_technology("wifi")
+        for name in ("zigbee", "z-wave", "ble"):
+            assert get_link_technology(name).bandwidth_bps < wifi.bandwidth_bps
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            get_link_technology("wifi").transmit_time(-1)
+
+    def test_unknown_technology(self):
+        with pytest.raises(KeyError):
+            get_link_technology("sneakernet")
+
+    def test_stack_protocols_resolve_in_fig2(self):
+        for tech in LINK_TECHNOLOGIES.values():
+            assert stack_layer_of(tech.stack_protocol) in (
+                StackLayer.LINK,
+            ), tech.name

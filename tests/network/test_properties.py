@@ -1,0 +1,106 @@
+"""Property-based tests for network invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import Gateway, Link, Node, Packet
+from repro.security.network.shaping import ShapingConfig, TrafficShaper
+from repro.sim import Simulator
+
+
+class Sink(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.seen = []
+
+    def handle_packet(self, packet, interface):
+        self.seen.append(packet)
+
+
+flows = st.lists(
+    st.tuples(
+        st.integers(min_value=1024, max_value=4000),   # sport
+        st.integers(min_value=1, max_value=1000),      # dport
+        st.sampled_from(["tcp", "udp"]),
+    ),
+    min_size=1, max_size=12, unique=True,
+)
+
+
+@given(flows)
+@settings(max_examples=30, deadline=None)
+def test_nat_round_trip_for_arbitrary_flows(flow_list):
+    """Every outbound flow's reply is translated back to the right
+    internal endpoint, and distinct flows never share an external port."""
+    sim = Simulator()
+    lan = Link(sim, "wifi", name="lan")
+    wan = Link(sim, "wan", name="wan")
+    gw = Gateway(sim)
+    gw.connect_lan(lan)
+    gw.connect_wan(wan)
+    inside = Sink(sim, "inside")
+    inside.add_interface(lan, gw.assign_address())
+    outside = Sink(sim, "outside")
+    outside.add_interface(wan, "198.51.100.77")
+
+    for sport, dport, protocol in flow_list:
+        inside.send(Packet(src="", dst="198.51.100.77", sport=sport,
+                           dport=dport, protocol=protocol))
+    sim.run()
+    assert len(outside.seen) == len(flow_list)
+    external_ports = [p.sport for p in outside.seen]
+    assert len(set(external_ports)) == len(flow_list)
+
+    for packet in outside.seen:
+        outside.send(packet.reply_template(size_bytes=32))
+    sim.run()
+    assert len(inside.seen) == len(flow_list)
+    replied = {(p.dport, p.sport, p.protocol) for p in inside.seen}
+    sent = {(sport, dport, protocol) for sport, dport, protocol in flow_list}
+    assert replied == sent
+
+
+@given(st.integers(min_value=1, max_value=2000),
+       st.integers(min_value=0, max_value=2048))
+@settings(max_examples=50, deadline=None)
+def test_shaper_never_shrinks_packets(size, pad_to):
+    sim = Simulator(seed=1)
+    shaper = TrafficShaper(sim, ShapingConfig(pad_to_bytes=pad_to))
+    packet = Packet(src="a", dst="b", size_bytes=size, src_device="d")
+    emissions = shaper(packet, "outbound")
+    for _delay, out in emissions:
+        assert out.size_bytes >= size
+
+
+@given(st.floats(min_value=0.0, max_value=3.0),
+       st.integers(min_value=1, max_value=40))
+@settings(max_examples=25, deadline=None)
+def test_shaper_cover_rate_expectation(rate, n_packets):
+    sim = Simulator(seed=9)
+    shaper = TrafficShaper(sim, ShapingConfig(cover_traffic_rate=rate))
+    covers = 0
+    for _ in range(n_packets):
+        emissions = shaper(
+            Packet(src="a", dst="b", size_bytes=100, src_device="d"),
+            "outbound")
+        covers += sum(p.is_cover_traffic for _d, p in emissions)
+    # Deterministic floor, stochastic remainder.
+    assert covers >= int(rate) * n_packets
+    assert covers <= (int(rate) + 1) * n_packets
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6),
+                min_size=0, max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_store_is_fifo_for_any_sequence(items):
+    from repro.sim import Store
+
+    sim = Simulator()
+    store = Store(sim)
+    for item in items:
+        store.put(item)
+    out = []
+    for _ in items:
+        store.get().add_callback(lambda ev: out.append(ev.value))
+    sim.run()
+    assert out == items

@@ -1,0 +1,133 @@
+"""Tests for wireless admission control and replay protection."""
+
+import pytest
+
+from repro.network import Link, Node, Packet
+from repro.network.wireless import ReplayGuard, WirelessSecurity
+from repro.sim import Simulator
+
+
+def make_link(sim):
+    return Link(sim, "wifi", name="wlan")
+
+
+class TestWirelessSecurity:
+    def test_open_mode_admits_anyone(self):
+        sim = Simulator()
+        security = WirelessSecurity(make_link(sim), mode="open")
+        node = Node(sim, "whoever")
+        assert security.join(node, "10.0.0.9", psk="") is not None
+
+    def test_shared_psk_gates_on_passphrase(self):
+        sim = Simulator()
+        security = WirelessSecurity(make_link(sim), mode="shared-psk",
+                                    network_psk="s3cret")
+        good, bad = Node(sim, "tv"), Node(sim, "intruder")
+        assert security.join(good, "10.0.0.9", "s3cret") is not None
+        assert security.join(bad, "10.0.0.10", "wrong") is None
+        assert security.rejected_joins == [("intruder", "10.0.0.10")]
+
+    def test_ppsk_keys_are_per_device(self):
+        sim = Simulator()
+        security = WirelessSecurity(make_link(sim), mode="ppsk")
+        psk_a = security.enroll("bulb")
+        psk_b = security.enroll("lock")
+        assert psk_a != psk_b
+        bulb = Node(sim, "bulb")
+        assert security.join(bulb, "10.0.0.9", psk_a) is not None
+
+    def test_leaked_shared_psk_admits_attacker(self):
+        """The UPnP-harvest follow-up under a shared PSK: game over."""
+        sim = Simulator()
+        security = WirelessSecurity(make_link(sim), mode="shared-psk",
+                                    network_psk="leaked-by-fridge")
+        assert security.admits_with_leaked_key("fridge", "leaked-by-fridge")
+        attacker = Node(sim, "intruder")
+        assert security.join(attacker, "10.0.0.66",
+                             "leaked-by-fridge") is not None
+
+    def test_leaked_ppsk_does_not_admit_attacker(self):
+        sim = Simulator()
+        security = WirelessSecurity(make_link(sim), mode="ppsk")
+        fridge_psk = security.enroll("fridge")
+        assert not security.admits_with_leaked_key("fridge", fridge_psk)
+        attacker = Node(sim, "intruder")
+        assert security.join(attacker, "10.0.0.66", fridge_psk) is None
+
+    def test_ppsk_leak_still_admits_the_leaking_identity(self):
+        sim = Simulator()
+        security = WirelessSecurity(make_link(sim), mode="ppsk")
+        fridge_psk = security.enroll("fridge")
+        impostor = Node(sim, "intruder")
+        # Claiming the fridge's identity with its key does work — but the
+        # blast radius is that one device, which revocation then closes.
+        assert security.join(impostor, "10.0.0.66", fridge_psk,
+                             claimed_name="fridge") is not None
+        security.revoke("fridge")
+        impostor2 = Node(sim, "intruder2")
+        assert security.join(impostor2, "10.0.0.67", fridge_psk,
+                             claimed_name="fridge") is None
+
+    def test_bad_mode_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            WirelessSecurity(make_link(sim), mode="wep")
+
+
+class TestReplayGuard:
+    def test_counters_advance_and_accept(self):
+        guard = ReplayGuard()
+        p1 = guard.stamp(Packet(src="a", dst="b", src_device="lock"))
+        p2 = guard.stamp(Packet(src="a", dst="b", src_device="lock"))
+        assert p1.frame_counter == 0 and p2.frame_counter == 1
+        assert guard.accept(p1) and guard.accept(p2)
+
+    def test_replayed_frame_dropped(self):
+        guard = ReplayGuard()
+        packet = guard.stamp(Packet(src="a", dst="b", src_device="lock"))
+        assert guard.accept(packet)
+        assert not guard.accept(packet)  # verbatim replay
+        assert guard.replays_dropped == 1
+        assert guard.replays_from("lock") == 1
+
+    def test_stale_counter_dropped(self):
+        guard = ReplayGuard()
+        first = guard.stamp(Packet(src="a", dst="b", src_device="cam"))
+        second = guard.stamp(Packet(src="a", dst="b", src_device="cam"))
+        assert guard.accept(second)
+        assert not guard.accept(first)  # older frame arrives late/replayed
+
+    def test_counters_are_per_sender(self):
+        guard = ReplayGuard()
+        a = guard.stamp(Packet(src="a", dst="b", src_device="cam"))
+        b = guard.stamp(Packet(src="c", dst="b", src_device="lock"))
+        assert a.frame_counter == 0 and b.frame_counter == 0
+        assert guard.accept(a) and guard.accept(b)
+
+    def test_unprotected_frames_pass(self):
+        guard = ReplayGuard()
+        assert guard.accept(Packet(src="a", dst="b"))
+
+    def test_report_hook(self):
+        reported = []
+        guard = ReplayGuard(report=reported.append)
+        packet = guard.stamp(Packet(src="a", dst="b", src_device="lock"))
+        guard.accept(packet)
+        guard.accept(packet)
+        assert len(reported) == 1
+
+
+class TestReplayAttackScenario:
+    def test_captured_unlock_command_cannot_be_replayed(self):
+        """An attacker records an encrypted unlock frame and replays it;
+        the frame counter exposes the duplicate without any decryption."""
+        sim = Simulator()
+        guard = ReplayGuard()
+        unlock = guard.stamp(Packet(
+            src="cloud", dst="10.0.0.3", src_device="cloud",
+            payload={"kind": "command", "command": "unlock"},
+            encrypted=True))
+        assert guard.accept(unlock)          # the legitimate delivery
+        replay = unlock                       # attacker retransmits verbatim
+        assert not guard.accept(replay)
+        assert guard.replays_dropped == 1

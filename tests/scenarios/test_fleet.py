@@ -1,0 +1,65 @@
+"""Tests for the fleet scenario and community extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.graphlearn import CommunityModel
+from repro.scenarios import FleetResult, run_fleet
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    return run_fleet(n_homes=2, infected_homes=(), duration_s=120.0)
+
+
+def test_fleet_extracts_features_for_all_devices(small_fleet):
+    assert len(small_fleet.features) == 16  # 2 homes x 8 devices
+    for vector in small_fleet.features.values():
+        assert len(vector) == len(FleetResult.FEATURE_NAMES)
+        assert vector[0] > 0  # every device sent packets
+
+
+def test_clean_fleet_has_no_infections(small_fleet):
+    assert not small_fleet.infected
+
+
+def test_same_type_devices_have_similar_features(small_fleet):
+    a = np.array(small_fleet.features["home00/camera-1"])
+    b = np.array(small_fleet.features["home01/camera-1"])
+    other = np.array(small_fleet.features["home00/smoke_detector-1"])
+    assert np.linalg.norm(a - b) < np.linalg.norm(a - other)
+
+
+def test_infected_fleet_marks_ground_truth():
+    fleet = run_fleet(n_homes=2, infected_homes=(0,), duration_s=120.0)
+    assert fleet.infected
+    assert all(name.startswith("home00/") for name in fleet.infected)
+
+
+class TestCommunityExtensions:
+    def build(self):
+        model = CommunityModel(similarity_scale=1.0, edge_threshold=0.5)
+        for i in range(4):
+            model.add_entity(f"a{i}", [0.0 + 0.05 * i])
+        for i in range(4):
+            model.add_entity(f"b{i}", [5.0 + 0.05 * i])
+        model.add_entity("loner", [20.0])
+        model.build()
+        return model
+
+    def test_small_communities(self):
+        model = self.build()
+        assert model.small_communities(max_size=1) == ["loner"]
+
+    def test_peer_group_scores(self):
+        model = self.build()
+        groups = {f"a{i}": "A" for i in range(4)}
+        groups.update({f"b{i}": "B" for i in range(4)})
+        groups["loner"] = "B"  # pretend the loner claims type B
+        scores = model.peer_group_scores(groups)
+        assert scores["loner"] > max(scores[f"b{i}"] for i in range(4))
+
+    def test_peer_group_singleton_scores_zero(self):
+        model = self.build()
+        scores = model.peer_group_scores({"loner": "solo"})
+        assert scores == {"loner": 0.0}

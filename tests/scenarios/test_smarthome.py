@@ -1,0 +1,105 @@
+"""Tests for the SmartHome scenario and resident workloads."""
+
+import pytest
+
+from repro.device.device import Vulnerabilities
+from repro.network.dns import DnsMode
+from repro.scenarios import ResidentActivity, SmartHome, SmartHomeConfig
+
+
+def test_default_home_builds_and_pairs():
+    home = SmartHome()
+    home.run(5.0)
+    assert len(home.devices) == 8
+    assert all(d.cloud_address for d in home.devices)
+    assert all(d.device_id for d in home.devices)
+
+
+def test_vendor_addresses_distinct():
+    home = SmartHome()
+    home.run(5.0)
+    assert len(set(home.vendor_addresses.values())) == \
+        len(home.vendor_addresses)
+    # Devices pair with their own vendor's address.
+    for device in home.devices:
+        assert device.cloud_address == \
+            home.vendor_addresses[device.spec.cloud_hostname]
+
+
+def test_lan_links_per_technology():
+    home = SmartHome()
+    technologies = {d.spec.link for d in home.devices}
+    assert set(home.lan_links) == technologies
+
+
+def test_telemetry_flows_to_cloud():
+    home = SmartHome()
+    home.run(120.0)
+    for name, device_id in home.device_ids.items():
+        handler = home.cloud.handler(device_id)
+        assert handler.telemetry, f"{name} sent no telemetry"
+
+
+def test_device_lookup_helpers():
+    home = SmartHome()
+    assert home.device("smart_bulb-1").spec.type_name == "smart_bulb"
+    assert home.devices_of_type("camera")
+    with pytest.raises(KeyError):
+        home.device("nonexistent")
+
+
+def test_custom_device_list():
+    config = SmartHomeConfig(devices=[
+        ("smart_bulb", Vulnerabilities()),
+        ("smart_bulb", Vulnerabilities(open_telnet=True)),
+    ])
+    home = SmartHome(config)
+    assert len(home.devices) == 2
+    assert home.devices[0].name == "smart_bulb-1"
+    assert home.devices[1].name == "smart_bulb-2"
+
+
+def test_dns_mode_propagates():
+    home = SmartHome(SmartHomeConfig(dns_mode=DnsMode.DOT))
+    home.run(5.0)
+    assert all(d.cloud_address for d in home.devices)
+
+
+def test_users_registered():
+    home = SmartHome()
+    assert home.cloud.identity.verify_password("alice", "alice-basic-password")
+    assert home.cloud.identity.get("bob").mfa_enrolled
+
+
+def test_same_seed_same_world():
+    def fingerprint(seed):
+        home = SmartHome(SmartHomeConfig(seed=seed))
+        home.run(100.0)
+        return tuple(
+            (d.name, d.telemetry_sent, d.state) for d in home.devices
+        )
+
+    assert fingerprint(5) == fingerprint(5)
+
+
+def test_resident_activity_generates_events():
+    home = SmartHome()
+    activity = ResidentActivity(home)
+    activity.start(mean_action_interval_s=20.0)
+    home.run(300.0)
+    assert len(activity.actions) > 5
+    # Actions changed real device state histories.
+    total_transitions = sum(
+        len(d.state_history) - 1 for d in home.devices
+    )
+    assert total_transitions > 0
+
+
+def test_motion_trigger():
+    home = SmartHome()
+    activity = ResidentActivity(home)
+    home.run(1.0)
+    activity.trigger_motion(duration_s=5.0)
+    assert home.environment.motion
+    home.run(10.0)
+    assert not home.environment.motion

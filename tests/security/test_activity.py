@@ -1,0 +1,162 @@
+"""Tests for the malicious-activity detector (DFA + scan + DDoS)."""
+
+import pytest
+
+from repro.core.signals import SignalType
+from repro.device.device import get_device_spec
+from repro.network.packet import Packet
+from repro.security.network.activity import (
+    DeviceBehaviorProfile,
+    MaliciousActivityDetector,
+)
+from repro.sim import Simulator
+
+
+def make_detector(sim, device="bulb-1", spec_name="smart_bulb",
+                  cloud={"198.51.100.10"}):
+    signals = []
+    detector = MaliciousActivityDetector(sim, report=signals.append)
+    profile = DeviceBehaviorProfile.from_device_spec(
+        get_device_spec(spec_name), set(cloud))
+    detector.register_device(device, profile)
+    return detector, signals
+
+
+def packet(device="bulb-1", dst="198.51.100.10", dport=8883, **kwargs):
+    return Packet(src="10.0.0.2", dst=dst, dport=dport,
+                  src_device=device, **kwargs)
+
+
+class TestProfiles:
+    def test_dfa_from_spec(self):
+        profile = DeviceBehaviorProfile.from_device_spec(
+            get_device_spec("smart_lock"), {"c"})
+        assert profile.transition_allowed("locked", "unlocked")
+        assert profile.transition_allowed("locked", "locked")
+        assert not profile.transition_allowed("locked", "exploded")
+
+    def test_unregistered_devices_ignored(self):
+        sim = Simulator()
+        detector, signals = make_detector(sim)
+        detector.observe(packet(device="stranger", dst="6.6.6.6"))
+        assert not signals
+
+
+class TestDestinations:
+    def test_cloud_destination_fine(self):
+        sim = Simulator()
+        detector, signals = make_detector(sim)
+        detector.observe(packet())
+        assert not signals
+
+    def test_unknown_destination_flagged_once(self):
+        sim = Simulator()
+        detector, signals = make_detector(sim)
+        for _ in range(5):
+            detector.observe(packet(dst="6.6.6.6"))
+        flagged = [s for s in signals
+                   if s.signal_type == SignalType.UNKNOWN_DESTINATION]
+        assert len(flagged) == 1  # cooldown caps repetition
+
+    def test_lan_destinations_not_flagged_as_unknown(self):
+        sim = Simulator()
+        detector, signals = make_detector(sim)
+        detector.observe(packet(dst="10.0.0.7"))
+        assert not [s for s in signals
+                    if s.signal_type == SignalType.UNKNOWN_DESTINATION]
+
+    def test_cover_traffic_ignored(self):
+        sim = Simulator()
+        detector, signals = make_detector(sim)
+        detector.observe(packet(dst="6.6.6.6", is_cover_traffic=True))
+        assert not signals
+
+
+class TestScanDetection:
+    def test_fanout_raises_scan_signal(self):
+        sim = Simulator()
+        detector, signals = make_detector(sim)
+        for host in range(2, 12):
+            detector.observe(packet(dst=f"10.0.0.{host}", dport=23))
+        scans = [s for s in signals
+                 if s.signal_type == SignalType.SCAN_PATTERN]
+        assert len(scans) == 1
+        assert scans[0].detail_dict["distinct_targets"] >= 8
+
+    def test_normal_fanout_below_threshold(self):
+        sim = Simulator()
+        detector, signals = make_detector(sim)
+        for host in range(2, 6):  # only 4 targets
+            detector.observe(packet(dst=f"10.0.0.{host}", dport=23))
+        assert not [s for s in signals
+                    if s.signal_type == SignalType.SCAN_PATTERN]
+
+    def test_slow_scan_outside_window_not_flagged(self):
+        sim = Simulator()
+        detector, signals = make_detector(sim)
+
+        def slow_scan():
+            for host in range(2, 12):
+                detector.observe(packet(dst=f"10.0.0.{host}", dport=23))
+                yield sim.timeout(10.0)  # spread over 100 s > 30 s window
+
+        sim.process(slow_scan())
+        sim.run()
+        assert not [s for s in signals
+                    if s.signal_type == SignalType.SCAN_PATTERN]
+
+
+class TestDdosDetection:
+    def test_flood_raises_ddos_signal(self):
+        sim = Simulator()
+        detector, signals = make_detector(sim)
+
+        def flood():
+            for _ in range(200):
+                detector.observe(packet(dst="198.18.0.99", dport=80))
+                yield sim.timeout(0.02)
+
+        sim.process(flood())
+        sim.run()
+        ddos = [s for s in signals
+                if s.signal_type == SignalType.DDOS_PATTERN]
+        assert ddos
+        assert ddos[0].detail_dict["target"] == "198.18.0.99"
+
+    def test_high_rate_to_many_targets_is_not_ddos(self):
+        sim = Simulator()
+        detector, signals = make_detector(sim)
+
+        def spread():
+            for i in range(200):
+                detector.observe(packet(dst=f"198.18.0.{i % 50}", dport=80))
+                yield sim.timeout(0.02)
+
+        sim.process(spread())
+        sim.run()
+        assert not [s for s in signals
+                    if s.signal_type == SignalType.DDOS_PATTERN]
+
+
+class TestStateClaims:
+    def test_legal_transition_silent(self):
+        sim = Simulator()
+        detector, signals = make_detector(sim, device="lock-1",
+                                          spec_name="smart_lock")
+        detector.observe(packet(
+            device="lock-1",
+            payload={"kind": "event", "device_id": "x", "attribute": "state",
+                     "value": "unlocked"}))
+        assert not signals
+
+    def test_impossible_state_flagged(self):
+        sim = Simulator()
+        detector, signals = make_detector(sim, device="lock-1",
+                                          spec_name="smart_lock")
+        detector.observe(packet(
+            device="lock-1",
+            payload={"kind": "telemetry", "device_id": "x",
+                     "state": "teleporting"}))
+        deviations = [s for s in signals
+                      if s.signal_type == SignalType.BEHAVIOR_DEVIATION]
+        assert deviations

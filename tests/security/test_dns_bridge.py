@@ -1,0 +1,138 @@
+"""Tests for the lightweight-crypto DNS bridge (§IV-A.3)."""
+
+import pytest
+
+from repro.core.signals import SignalType
+from repro.network import DnsMode, DnsResolver, DnsServer, Gateway, Link
+from repro.network.capture import PacketCapture
+from repro.network.node import Node
+from repro.security.device.access import DnsBridge
+from repro.sim import Simulator
+
+
+class Device(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.answers = []
+
+    def handle_packet(self, packet, interface):
+        self.answers.append(packet)
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    lan = Link(sim, "zigbee", name="lan")
+    wan = Link(sim, "wan", name="wan")
+    gateway = Gateway(sim)
+    gateway.connect_lan(lan)
+    gateway.connect_wan(wan)
+    dns = DnsServer(sim, "dns-root")
+    dns.add_interface(wan, "9.9.9.9")
+    dns.add_record("cloud.example.com", "198.51.100.10")
+    upstream = DnsResolver(gateway, "9.9.9.9", mode=DnsMode.DOT,
+                           client_port=5399)
+    signals = []
+    bridge = DnsBridge(sim, gateway, upstream, report=signals.append)
+    device = Device(sim, "bulb-1")
+    device.add_interface(lan, gateway.assign_address())
+    return sim, lan, wan, gateway, bridge, device, signals
+
+
+def ask(sim, bridge, device, qname, nonce=10):
+    bridge.provision_device(device.name)
+    query = bridge.make_query_packet(device.name, device.address, qname,
+                                     nonce)
+    device.send(query)
+    sim.run()
+    assert device.answers, "no bridge answer arrived"
+    reply = device.answers[-1].payload
+    return bridge.decrypt_answer(device.name, reply["blob"], reply["nonce"])
+
+
+def test_bridge_resolves_end_to_end(world):
+    sim, _lan, _wan, _gw, bridge, device, _signals = world
+    answer = ask(sim, bridge, device, "cloud.example.com")
+    assert answer == "198.51.100.10"
+    assert bridge.queries_bridged == 1
+
+
+def test_bridge_nxdomain_returns_none(world):
+    sim, _lan, _wan, _gw, bridge, device, _signals = world
+    assert ask(sim, bridge, device, "missing.example.com") is None
+
+
+def test_lan_query_is_lightweight_encrypted(world):
+    """A LAN eavesdropper sees no qname — the device-side privacy goal."""
+    sim, lan, _wan, _gw, bridge, device, _signals = world
+    capture = PacketCapture(sim)
+    lan.add_observer(capture.observe)
+    ask(sim, bridge, device, "cloud.example.com")
+    bridge_packets = [p for p in capture.packets
+                      if p.dport == DnsBridge.BRIDGE_PORT]
+    assert bridge_packets
+    assert all(p.encrypted and p.payload is None for p in bridge_packets)
+
+
+def test_wan_leg_is_dot_encrypted(world):
+    """The upstream leg uses standard DoT — the bridging the paper wants."""
+    sim, _lan, wan, _gw, bridge, device, _signals = world
+    capture = PacketCapture(sim)
+    wan.add_observer(capture.observe)
+    ask(sim, bridge, device, "cloud.example.com")
+    dns_packets = [p for p in capture.packets if p.app_protocol == "dns"]
+    assert dns_packets
+    assert all(p.encrypted for p in dns_packets)
+
+
+def test_unprovisioned_device_rejected_and_flagged(world):
+    sim, _lan, _wan, gw, bridge, device, signals = world
+    bridge.provision_device("someone-else")
+    from repro.network.packet import Packet
+
+    device.send(Packet(
+        src="", dst=f"{gw.lan_prefix}.1", sport=8054,
+        dport=DnsBridge.BRIDGE_PORT,
+        payload={"device": device.name, "blob": b"xx", "nonce": 1},
+        encrypted=True))
+    sim.run()
+    assert not device.answers
+    assert signals
+    assert signals[0].signal_type == SignalType.DNS_ANOMALY
+    assert signals[0].detail_dict["reason"] == "unprovisioned-device"
+
+
+def test_garbage_blob_rejected_by_mac(world):
+    sim, _lan, _wan, gw, bridge, device, signals = world
+    bridge.provision_device(device.name)
+    from repro.network.packet import Packet
+
+    device.send(Packet(
+        src="", dst=f"{gw.lan_prefix}.1", sport=8054,
+        dport=DnsBridge.BRIDGE_PORT,
+        payload={"device": device.name, "blob": b"\xff" * 3, "nonce": 1,
+                 "tag": b"forged"},
+        encrypted=True))
+    sim.run()
+    assert bridge.queries_bridged == 0
+    assert signals[0].detail_dict["reason"] == "bad-authentication-tag"
+
+
+def test_tampered_blob_rejected_by_mac(world):
+    sim, _lan, _wan, _gw, bridge, device, signals = world
+    bridge.provision_device(device.name)
+    query = bridge.make_query_packet(device.name, device.address,
+                                     "cloud.example.com", nonce=4)
+    query.payload["blob"] = bytes([query.payload["blob"][0] ^ 1]) \
+        + query.payload["blob"][1:]
+    device.send(query)
+    sim.run()
+    assert bridge.queries_bridged == 0
+    assert signals[0].detail_dict["reason"] == "bad-authentication-tag"
+
+
+def test_per_device_keys_differ(world):
+    _sim, _lan, _wan, _gw, bridge, _device, _signals = world
+    k1 = bridge.provision_device("a")
+    k2 = bridge.provision_device("b")
+    assert k1 != k2

@@ -1,0 +1,107 @@
+"""Tests for Levenshtein matching and packet-sequence fingerprints."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.network.fingerprint import (
+    EventFingerprint,
+    FingerprintLibrary,
+    PacketSignature,
+    levenshtein,
+    sequence_distance,
+)
+
+
+class TestLevenshtein:
+    def test_known_values(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("flaw", "lawn") == 2
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "abc") == 0
+
+    def test_works_on_tuples(self):
+        assert levenshtein((1, 2, 3), (1, 3)) == 1
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(st.text(max_size=15), st.text(max_size=15), st.text(max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_identity_of_indiscernibles(self, a, b):
+        assert (levenshtein(a, b) == 0) == (a == b)
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_longer_length(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+
+class TestSequenceDistance:
+    def test_normalised_range(self):
+        assert sequence_distance("abc", "abc") == 0.0
+        assert sequence_distance("abc", "xyz") == 1.0
+        assert sequence_distance("", "") == 0.0
+        assert 0 < sequence_distance("abcd", "abcx") < 1
+
+
+class TestPacketSignatures:
+    def test_bucketing(self):
+        a = PacketSignature.of(100, True)
+        b = PacketSignature.of(120, True)   # same 64-byte bucket
+        c = PacketSignature.of(200, True)
+        assert a == b and a != c
+
+    def test_direction_matters(self):
+        assert PacketSignature.of(100, True) != PacketSignature.of(100, False)
+
+
+class TestFingerprintLibrary:
+    def make_sequence(self, sizes, outbound=True):
+        return tuple(PacketSignature.of(s, outbound) for s in sizes)
+
+    def test_exact_match(self):
+        library = FingerprintLibrary()
+        on = EventFingerprint("smart_bulb", "state:on",
+                              self.make_sequence([140, 90, 140]))
+        off = EventFingerprint("smart_bulb", "state:off",
+                               self.make_sequence([300, 300]))
+        library.add(on)
+        library.add(off)
+        assert library.classify(self.make_sequence([140, 90, 140])) is on
+
+    def test_near_match_within_threshold(self):
+        library = FingerprintLibrary(match_threshold=0.35)
+        fp = EventFingerprint("lock", "state:locked",
+                              self.make_sequence([180, 180, 70, 180]))
+        library.add(fp)
+        observed = self.make_sequence([180, 180, 70])  # one missing
+        assert library.classify(observed) is fp
+
+    def test_distant_sequence_unclassified(self):
+        library = FingerprintLibrary(match_threshold=0.2)
+        library.add(EventFingerprint("lock", "e",
+                                     self.make_sequence([180, 180])))
+        observed = self.make_sequence([700, 650, 700, 650, 700])
+        assert library.classify(observed) is None
+
+    def test_empty_library_raises(self):
+        with pytest.raises(ValueError):
+            FingerprintLibrary().best_match(())
+
+    def test_best_match_orders_by_distance(self):
+        library = FingerprintLibrary()
+        near = EventFingerprint("a", "x", self.make_sequence([100, 100]))
+        far = EventFingerprint("b", "y", self.make_sequence([900, 900, 900]))
+        library.add(far)
+        library.add(near)
+        distance, best = library.best_match(self.make_sequence([100, 110]))
+        assert best is near
+        assert distance < 0.5

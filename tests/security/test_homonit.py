@@ -1,0 +1,148 @@
+"""Tests for the HoMonit-style wireless side-channel monitor."""
+
+import pytest
+
+from repro.core.signals import SignalType
+from repro.network.packet import Packet
+from repro.security.network.homonit import HomonitMonitor
+from repro.sim import Simulator
+
+
+def burst(monitor, sim, device, sizes, gap=0.1):
+    for size in sizes:
+        monitor.observe(Packet(src="10.0.0.2", dst="cloud",
+                               size_bytes=size, src_device=device))
+        sim.timeout(gap)
+        sim.run()
+
+
+def quiet(sim, seconds=5.0):
+    sim.timeout(seconds)
+    sim.run()
+
+
+@pytest.fixture
+def monitor():
+    sim = Simulator()
+    signals = []
+    mon = HomonitMonitor(sim, report=signals.append)
+    return sim, mon, signals
+
+
+def learn_on_off(sim, mon):
+    mon.begin_learning("bulb-1", "state:on")
+    burst(mon, sim, "bulb-1", [140, 90, 140])
+    mon.end_learning("bulb-1", "smart_bulb")
+    mon.begin_learning("bulb-1", "state:off")
+    burst(mon, sim, "bulb-1", [300, 300])
+    mon.end_learning("bulb-1", "smart_bulb")
+
+
+class TestLearning:
+    def test_learning_builds_library(self, monitor):
+        sim, mon, _ = monitor
+        learn_on_off(sim, mon)
+        assert mon.fingerprints_learned("bulb-1") == 2
+
+    def test_end_learning_without_traffic(self, monitor):
+        sim, mon, _ = monitor
+        mon.begin_learning("bulb-1", "e")
+        assert not mon.end_learning("bulb-1")
+
+    def test_end_learning_without_begin(self, monitor):
+        _sim, mon, _ = monitor
+        assert not mon.end_learning("ghost")
+
+
+class TestInference:
+    def test_event_inferred_from_matching_burst(self, monitor):
+        sim, mon, _ = monitor
+        learn_on_off(sim, mon)
+        quiet(sim)
+        burst(mon, sim, "bulb-1", [140, 90, 140])
+        quiet(sim)
+        mon.flush()
+        assert ("bulb-1", "state:on") in [
+            (device, label) for _t, device, label in mon.inferred_events
+        ]
+
+    def test_distinct_events_distinguished(self, monitor):
+        sim, mon, _ = monitor
+        learn_on_off(sim, mon)
+        quiet(sim)
+        burst(mon, sim, "bulb-1", [300, 300])
+        quiet(sim)
+        burst(mon, sim, "bulb-1", [140, 90, 140])
+        quiet(sim)
+        mon.flush()
+        labels = [label for _t, _d, label in mon.inferred_events]
+        assert labels == ["state:off", "state:on"]
+
+    def test_unknown_burst_not_classified(self, monitor):
+        sim, mon, _ = monitor
+        learn_on_off(sim, mon)
+        quiet(sim)
+        burst(mon, sim, "bulb-1", [950, 950, 950, 950, 950, 950])
+        quiet(sim)
+        mon.flush()
+        assert not mon.inferred_events
+
+    def test_unlearned_device_ignored(self, monitor):
+        sim, mon, _ = monitor
+        burst(mon, sim, "stranger", [100, 100])
+        mon.flush()
+        assert not mon.inferred_events
+
+    def test_cover_traffic_ignored(self, monitor):
+        sim, mon, _ = monitor
+        learn_on_off(sim, mon)
+        quiet(sim)
+        mon.observe(Packet(src="a", dst="b", size_bytes=140,
+                           src_device="bulb-1", is_cover_traffic=True))
+        mon.flush()
+        assert not mon.inferred_events
+
+
+class TestAudit:
+    def test_matching_claim_and_radio_is_clean(self, monitor):
+        sim, mon, signals = monitor
+        learn_on_off(sim, mon)
+        quiet(sim)
+        burst(mon, sim, "bulb-1", [140, 90, 140])
+        mon.note_claimed_event("bulb-1", "state:on")
+        quiet(sim)
+        assert mon.audit() == []
+        assert not signals
+
+    def test_spoofed_claim_has_no_radio_evidence(self, monitor):
+        """The platform was told the lock moved; the radio never saw it."""
+        sim, mon, signals = monitor
+        learn_on_off(sim, mon)
+        quiet(sim)
+        mon.note_claimed_event("bulb-1", "state:on")
+        quiet(sim)
+        mismatches = mon.audit()
+        assert mismatches
+        assert mismatches[0][3] == "claim-without-radio-evidence"
+        assert signals[0].signal_type == SignalType.BEHAVIOR_DEVIATION
+
+    def test_hidden_command_radio_without_claim(self, monitor):
+        sim, mon, _ = monitor
+        learn_on_off(sim, mon)
+        quiet(sim)
+        burst(mon, sim, "bulb-1", [140, 90, 140])
+        quiet(sim)
+        mismatches = mon.audit()
+        assert mismatches
+        assert mismatches[0][3] == "radio-event-without-claim"
+
+    def test_tolerance_window(self, monitor):
+        sim, mon, _ = monitor
+        learn_on_off(sim, mon)
+        quiet(sim)
+        burst(mon, sim, "bulb-1", [140, 90, 140])
+        quiet(sim, seconds=60.0)
+        mon.note_claimed_event("bulb-1", "state:on")  # a minute later
+        mismatches = mon.audit(tolerance_s=10.0)
+        kinds = {m[3] for m in mismatches}
+        assert "claim-without-radio-evidence" in kinds

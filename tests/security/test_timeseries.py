@@ -1,0 +1,92 @@
+"""Tests for AR time-series anomaly detection."""
+
+import math
+
+import pytest
+
+from repro.security.service.timeseries import ArModel, TelemetryForecaster
+
+
+def feed(model, values):
+    return [model.observe(v)[0] for v in values]
+
+
+class TestArModel:
+    def test_learns_constant_signal(self):
+        model = ArModel()
+        flags = feed(model, [70.0] * 30)
+        assert not any(flags)
+        assert model.predict_next() == pytest.approx(70.0, abs=0.5)
+
+    def test_learns_linear_trend(self):
+        model = ArModel()
+        flags = feed(model, [20.0 + 0.5 * i for i in range(40)])
+        assert not any(flags[15:])  # after warm-up, the trend is expected
+        prediction = model.predict_next()
+        assert prediction == pytest.approx(20.0 + 0.5 * 40, abs=1.0)
+
+    def test_learns_sinusoid(self):
+        model = ArModel(order=4)
+        values = [10 * math.sin(i * 0.4) for i in range(60)]
+        flags = feed(model, values)
+        assert sum(flags[20:]) == 0
+
+    def test_flags_level_shift(self):
+        model = ArModel()
+        feed(model, [70.0 + 0.01 * (i % 3) for i in range(30)])
+        anomalous, error = model.observe(95.0)
+        assert anomalous
+        assert abs(error) > 20
+
+    def test_flags_injected_oscillation(self):
+        model = ArModel()
+        feed(model, [50.0] * 30)
+        flags = feed(model, [50.0, 80.0, 20.0, 80.0])
+        assert any(flags)
+
+    def test_no_flags_before_enough_data(self):
+        model = ArModel(min_samples=12)
+        flags = feed(model, [1.0, 99.0, -50.0, 1000.0])
+        assert not any(flags)  # still warming up
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ArModel(order=0)
+        with pytest.raises(ValueError):
+            ArModel(order=5, history=6)
+
+    def test_counts(self):
+        model = ArModel()
+        feed(model, [1.0] * 20)
+        model.observe(500.0)
+        assert model.observations == 21
+        assert model.anomalies == 1
+
+
+class TestTelemetryForecaster:
+    def test_per_key_models(self):
+        forecaster = TelemetryForecaster()
+        for _ in range(20):
+            forecaster.observe("t1", "temperature", 70.0)
+            forecaster.observe("t2", "temperature", 40.0)
+        assert forecaster.model_for("t1", "temperature") is not \
+            forecaster.model_for("t2", "temperature")
+        assert not forecaster.observe("t1", "temperature", 70.1)
+        assert forecaster.observe("t1", "temperature", 200.0)
+        assert forecaster.flagged[0][0] == "t1"
+
+    def test_catches_gradual_ramp_that_zscore_misses(self):
+        """The heat attack ramps +3F/step: each sample is near the
+        *running mean* (small z) but far from the AR forecast once the
+        ramp breaks the learned flat pattern... and conversely the AR
+        model accepts a *consistent* ramp.  What it must flag is the
+        ramp's onset."""
+        forecaster = TelemetryForecaster(threshold_sigmas=4.0)
+        for _ in range(30):
+            forecaster.observe("t", "temperature", 70.0)
+        onset_flagged = forecaster.observe("t", "temperature", 76.0)
+        assert onset_flagged
+
+    def test_unseen_key_never_flags_first_sample(self):
+        forecaster = TelemetryForecaster()
+        assert not forecaster.observe("new", "humidity", 1e9)

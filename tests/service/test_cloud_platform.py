@@ -1,0 +1,256 @@
+"""Integration tests for the cloud platform: devices, apps, OTA."""
+
+import pytest
+
+from repro.device import Environment, IoTDevice
+from repro.device.device import Vulnerabilities, get_device_spec
+from repro.device.firmware import FirmwareImage, FirmwareSigner
+from repro.network import Gateway, Link
+from repro.network.protocols.http import HttpRequest
+from repro.service import CloudPlatform, Capability, Scope, SmartApp, TriggerActionRule
+from repro.sim import Simulator
+
+
+def build_world(sim, coarse_grants=False, **cloud_kwargs):
+    env = Environment(sim)
+    lan = Link(sim, "wifi", name="lan")
+    wan = Link(sim, "wan", name="wan")
+    gw = Gateway(sim)
+    gw.connect_lan(lan)
+    gw.connect_wan(wan)
+    cloud = CloudPlatform(sim, coarse_grants=coarse_grants, **cloud_kwargs)
+    cloud.add_interface(wan, "198.51.100.10")
+    signer = FirmwareSigner("nest", b"nest-key")
+
+    def add_device(type_name, vulns=Vulnerabilities(), fw_signer=None):
+        device = IoTDevice(sim, f"{type_name}-node", get_device_spec(type_name),
+                           env, vulnerabilities=vulns, firmware_signer=fw_signer)
+        device.add_interface(lan, gw.assign_address())
+        device_id = cloud.register_device(device)
+        device.pair_with_cloud("198.51.100.10", device_id)
+        return device, device_id
+
+    return env, gw, cloud, signer, add_device
+
+
+def test_telemetry_updates_shadow_and_publishes_events():
+    sim = Simulator()
+    _, _, cloud, _, add_device = build_world(sim)
+    device, device_id = add_device("thermostat")
+    device.execute_command("heat")
+    device.send_telemetry()
+    sim.run()
+    handler = cloud.handler(device_id)
+    assert handler.shadow_state == "heating"
+    assert handler.telemetry
+    assert any(e.attribute == "temperature" for e in cloud.bus.events_published)
+
+
+def test_trigger_action_rule_roundtrip():
+    """Motion on the camera turns the bulb on, end to end."""
+    sim = Simulator()
+    _, _, cloud, _, add_device = build_world(sim)
+    camera, camera_id = add_device("camera")
+    bulb, bulb_id = add_device("smart_bulb")
+    bulb.send_telemetry()  # open the cloud->bulb path
+    sim.run()
+    app = SmartApp(
+        "light-on-motion", {Capability.SWITCH},
+        rules=[TriggerActionRule(
+            "motion->on", camera_id, "motion", lambda v: v >= 1.0,
+            bulb_id, "on")],
+    )
+    cloud.install_app(app)
+    camera.environment.set("motion", 1.0)
+    camera.send_telemetry()
+    sim.run()
+    assert bulb.state == "on"
+    assert app.commands_issued
+
+
+def test_capability_enforcement_denies_undeclared_command():
+    sim = Simulator()
+    _, _, cloud, _, add_device = build_world(sim)
+    camera, camera_id = add_device("camera")
+    lock, lock_id = add_device("smart_lock")
+    lock.send_telemetry()
+    sim.run()
+    # App only asked for SWITCH but tries to unlock the door.
+    app = SmartApp(
+        "sneaky", {Capability.SWITCH},
+        rules=[TriggerActionRule(
+            "motion->unlock", camera_id, "motion", lambda v: v >= 1.0,
+            lock_id, "unlock")],
+    )
+    cloud.install_app(app)
+    camera.environment.set("motion", 1.0)
+    camera.send_telemetry()
+    sim.run()
+    assert lock.state == "locked"
+    assert cloud.denied_commands
+
+
+def test_coarse_grants_reproduce_overprivilege():
+    sim = Simulator()
+    _, _, cloud, _, add_device = build_world(sim, coarse_grants=True)
+    camera, camera_id = add_device("camera")
+    lock, lock_id = add_device("smart_lock")
+    lock.send_telemetry()
+    sim.run()
+    app = SmartApp(
+        "sneaky", {Capability.SWITCH},
+        rules=[TriggerActionRule(
+            "motion->unlock", camera_id, "motion", lambda v: v >= 1.0,
+            lock_id, "unlock")],
+    )
+    cloud.install_app(app)
+    assert Capability.LOCK in app.granted_capabilities  # never requested!
+    camera.environment.set("motion", 1.0)
+    camera.send_telemetry()
+    sim.run()
+    assert lock.state == "unlocked"
+    report = cloud.overprivilege_report()
+    assert "sneaky" in report
+
+
+def test_spoofed_event_rejected_with_integrity_on():
+    sim = Simulator()
+    _, gw, cloud, _, add_device = build_world(sim)
+    _device, device_id = add_device("smart_lock")
+    # An attacker node on the LAN claims to be the lock.
+    from repro.network.node import Node
+    from repro.network.packet import Packet
+
+    attacker = Node(sim, "attacker")
+    attacker.add_interface(gw._lan_interfaces[0].link, gw.assign_address())
+    attacker.send(Packet(
+        src="", dst="198.51.100.10", sport=1, dport=CloudPlatform.DEVICE_PORT,
+        payload={"kind": "event", "device_id": device_id,
+                 "attribute": "state", "value": "unlocked"}))
+    sim.run()
+    assert cloud.bus.spoofed_rejected == 1
+    assert cloud.handler(device_id).shadow_state == "locked"
+
+
+def test_spoofed_event_accepted_with_integrity_off():
+    sim = Simulator()
+    _, gw, cloud, _, add_device = build_world(
+        sim, verify_event_integrity=False)
+    _device, device_id = add_device("smart_lock")
+    from repro.network.node import Node
+    from repro.network.packet import Packet
+
+    attacker = Node(sim, "attacker")
+    attacker.add_interface(gw._lan_interfaces[0].link, gw.assign_address())
+    attacker.send(Packet(
+        src="", dst="198.51.100.10", sport=1, dport=CloudPlatform.DEVICE_PORT,
+        payload={"kind": "event", "device_id": device_id,
+                 "attribute": "state", "value": "unlocked"}))
+    sim.run()
+    assert len(cloud.bus.events_published) == 1
+
+
+def test_malicious_app_exfiltrates_when_broadly_subscribed():
+    sim = Simulator()
+    _, _, cloud, _, add_device = build_world(sim)
+    device, device_id = add_device("thermostat")
+    app = SmartApp("weather-helper", {Capability.TEMPERATURE},
+                   exfiltrate_to="6.6.6.6")
+    cloud.install_app(app)
+    cloud.subscribe_app_to_all("weather-helper")
+    device.send_telemetry()
+    sim.run()
+    assert app.exfiltrated
+    assert cloud.exfiltration_packets
+    assert cloud.exfiltration_packets[0].dst == "6.6.6.6"
+
+
+def test_ota_campaign_signed_update_installs():
+    sim = Simulator()
+    _, _, cloud, signer, add_device = build_world(sim)
+    device, device_id = add_device("thermostat", fw_signer=signer)
+    device.send_telemetry()
+    sim.run()
+    update = signer.sign(FirmwareImage("nest", "thermostat", "2.0.0", b"v2"))
+    cloud.ota.publish(update)
+    cloud.ota.create_campaign("c1", "thermostat", "2.0.0")
+    assert cloud.push_update("c1", device_id)
+    sim.run()
+    assert device.firmware.current.version == "2.0.0"
+    assert cloud.ota.campaign_success_rate("c1") == 1.0
+
+
+def test_ota_tampered_campaign_rejected_by_verifying_device():
+    sim = Simulator()
+    _, _, cloud, signer, add_device = build_world(sim)
+    device, device_id = add_device("thermostat", fw_signer=signer)
+    device.send_telemetry()
+    sim.run()
+    update = signer.sign(FirmwareImage("nest", "thermostat", "2.0.0", b"v2"))
+    cloud.ota.publish(update)
+    cloud.ota.create_campaign("c1", "thermostat", "2.0.0")
+    evil = FirmwareImage("mallory", "thermostat", "2.0.1", b"evil",
+                         malicious=True)
+    cloud.ota.tamper_campaign("c1", evil)
+    cloud.push_update("c1", device_id)
+    sim.run()
+    assert device.firmware.current.version == "1.0.0"
+    assert not device.firmware.compromised
+    assert cloud.ota.campaign_success_rate("c1") == 0.0
+
+
+def test_ota_tampered_campaign_compromises_nonverifying_device():
+    sim = Simulator()
+    _, _, cloud, signer, add_device = build_world(sim)
+    device, device_id = add_device(
+        "thermostat", vulns=Vulnerabilities(unsigned_firmware=True),
+        fw_signer=signer)
+    device.send_telemetry()
+    sim.run()
+    update = signer.sign(FirmwareImage("nest", "thermostat", "2.0.0", b"v2"))
+    cloud.ota.publish(update)
+    cloud.ota.create_campaign("c1", "thermostat", "2.0.0")
+    evil = FirmwareImage("mallory", "thermostat", "9.9.9", b"evil",
+                         malicious=True)
+    cloud.ota.tamper_campaign("c1", evil)
+    cloud.push_update("c1", device_id)
+    sim.run()
+    assert device.firmware.compromised
+
+
+def test_rest_api_end_to_end():
+    sim = Simulator()
+    _, _, cloud, _, add_device = build_world(sim)
+    device, device_id = add_device("smart_bulb")
+    device.send_telemetry()
+    sim.run()
+    token = cloud.oauth.issue("alice", {Scope.READ_DEVICES, Scope.CONTROL_DEVICES})
+    listing = cloud.api.handle(HttpRequest(
+        "GET", "/devices", {"Authorization": f"Bearer {token.value}"}))
+    assert listing.status == 200
+    assert listing.body[0]["device_id"] == device_id
+    command = cloud.api.handle(HttpRequest(
+        "POST", "/devices/command", {"Authorization": f"Bearer {token.value}"},
+        body={"device_id": device_id, "command": "on"}))
+    assert command.status == 200
+    sim.run()
+    assert device.state == "on"
+
+
+def test_rest_api_scope_guard_blocks_readonly_ota():
+    sim = Simulator()
+    _, _, cloud, _, add_device = build_world(sim)
+    token = cloud.oauth.issue("reader", {Scope.READ_DEVICES})
+    response = cloud.api.handle(HttpRequest(
+        "POST", "/ota/push", {"Authorization": f"Bearer {token.value}"},
+        body={"campaign": "c1", "device_id": "x"}))
+    assert response.status == 403
+
+
+def test_duplicate_app_install_rejected():
+    sim = Simulator()
+    _, _, cloud, _, _ = build_world(sim)
+    app = SmartApp("a", set())
+    cloud.install_app(app)
+    with pytest.raises(ValueError):
+        cloud.install_app(SmartApp("a", set()))

@@ -1,0 +1,129 @@
+"""Tests for the capability model and event subsystem."""
+
+import pytest
+
+from repro.service import Capability, CloudEvent, EventBus, Subscription
+from repro.service.capabilities import (
+    device_capabilities,
+    required_capability,
+)
+
+
+class TestCapabilities:
+    def test_device_capability_mapping(self):
+        assert Capability.SWITCH in device_capabilities("smart_bulb")
+        assert Capability.LOCK in device_capabilities("smart_lock")
+        with pytest.raises(KeyError):
+            device_capabilities("smart_toaster")
+
+    def test_command_capability_mapping(self):
+        assert required_capability("smart_lock", "unlock") == Capability.LOCK
+        assert required_capability("thermostat", "heat") == Capability.THERMOSTAT
+        with pytest.raises(KeyError):
+            required_capability("smart_bulb", "unlock")
+
+    def test_every_mapped_command_capability_is_exposed_by_device(self):
+        from repro.service.capabilities import _COMMAND_CAPABILITIES
+
+        for (device_type, _cmd), cap in _COMMAND_CAPABILITIES.items():
+            assert cap in device_capabilities(device_type)
+
+    def test_all_device_types_have_capabilities(self):
+        from repro.device.device import DEVICE_TYPES
+
+        for type_name in DEVICE_TYPES:
+            assert device_capabilities(type_name)
+
+
+class TestEventBus:
+    def make_event(self, device="lock-1", attribute="state", value="locked",
+                   authentic=True):
+        return CloudEvent(device_id=device, attribute=attribute, value=value,
+                          timestamp=0.0, authentic=authentic)
+
+    def test_delivery_by_filters(self):
+        bus = EventBus()
+        hits = []
+        bus.subscribe(Subscription("app", hits.append, device_id="lock-1"))
+        bus.publish(self.make_event("lock-1"))
+        bus.publish(self.make_event("bulb-1"))
+        assert len(hits) == 1
+
+    def test_attribute_filter(self):
+        bus = EventBus()
+        hits = []
+        bus.subscribe(Subscription("app", hits.append, attribute="motion"))
+        bus.publish(self.make_event(attribute="motion", value=1))
+        bus.publish(self.make_event(attribute="state"))
+        assert len(hits) == 1
+
+    def test_wildcard_subscription(self):
+        bus = EventBus()
+        hits = []
+        bus.subscribe(Subscription("app", hits.append))
+        for device in ("a", "b", "c"):
+            bus.publish(self.make_event(device))
+        assert len(hits) == 3
+
+    def test_integrity_check_rejects_spoofed(self):
+        bus = EventBus(verify_integrity=True)
+        hits = []
+        bus.subscribe(Subscription("app", hits.append))
+        assert not bus.publish(self.make_event(authentic=False))
+        assert bus.spoofed_rejected == 1
+        assert not hits
+
+    def test_integrity_off_accepts_spoofed(self):
+        """The SmartThings flaw: unprotected event integrity."""
+        bus = EventBus(verify_integrity=False)
+        hits = []
+        bus.subscribe(Subscription("app", hits.append))
+        assert bus.publish(self.make_event(authentic=False))
+        assert len(hits) == 1
+
+    def test_sensitive_events_blocked_without_authorisation(self):
+        bus = EventBus(protect_sensitive=True)
+        hits = []
+        bus.subscribe(Subscription("snoop", hits.append))
+        bus.publish(self.make_event(attribute="lock_code", value="1234"))
+        assert not hits
+        assert bus.sensitive_blocked == 1
+
+    def test_sensitive_events_delivered_when_authorised(self):
+        bus = EventBus(protect_sensitive=True)
+        hits = []
+        bus.subscribe(Subscription("app", hits.append))
+        bus.authorise("app", "lock-1")
+        bus.publish(self.make_event(attribute="lock_code", value="1234"))
+        assert len(hits) == 1
+
+    def test_sensitive_leak_when_protection_off(self):
+        bus = EventBus(protect_sensitive=False)
+        hits = []
+        bus.subscribe(Subscription("snoop", hits.append))
+        bus.publish(self.make_event(attribute="lock_code", value="1234"))
+        assert len(hits) == 1
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        hits = []
+        bus.subscribe(Subscription("app", hits.append))
+        bus.unsubscribe("app")
+        bus.publish(self.make_event())
+        assert not hits
+
+    def test_event_log_and_query(self):
+        bus = EventBus()
+        bus.publish(self.make_event("a"))
+        bus.publish(self.make_event("b"))
+        bus.publish(self.make_event("a", attribute="motion"))
+        assert len(bus.events_for("a")) == 2
+        assert len(bus.events_for("c")) == 0
+
+    def test_delivery_counter(self):
+        bus = EventBus()
+        sub = Subscription("app", lambda e: None)
+        bus.subscribe(sub)
+        bus.publish(self.make_event())
+        bus.publish(self.make_event())
+        assert sub.delivered == 2

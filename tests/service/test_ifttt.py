@@ -1,0 +1,126 @@
+"""Tests for the IFTTT-style automation platform."""
+
+import pytest
+
+from repro.scenarios import SmartHome
+from repro.service.ifttt import Applet, IftttPlatform, WebService
+from repro.sim import Simulator
+
+
+def make_weather():
+    weather = WebService("weather")
+    weather.declare_trigger("freeze_warning")
+    weather.declare_action("log_report")
+    return weather
+
+
+def make_mail():
+    mail = WebService("mail")
+    mail.declare_action("send_email")
+    return mail
+
+
+class TestWebService:
+    def test_triggers_and_actions(self):
+        weather = make_weather()
+        got = []
+        weather.on_trigger("freeze_warning", got.append)
+        assert weather.fire_trigger("freeze_warning", {"low_f": 20}) == 1
+        assert got == [{"low_f": 20}]
+        weather.run_action("log_report", "x")
+        assert weather.action_log == [("log_report", "x")]
+
+    def test_unknown_trigger_or_action(self):
+        weather = make_weather()
+        with pytest.raises(KeyError):
+            weather.fire_trigger("heat_wave")
+        with pytest.raises(KeyError):
+            weather.on_trigger("heat_wave", lambda p: None)
+        with pytest.raises(KeyError):
+            weather.run_action("dance")
+
+
+class TestApplets:
+    def setup_method(self):
+        self.sim = Simulator()
+        self.platform = IftttPlatform(self.sim)
+        self.weather = make_weather()
+        self.mail = make_mail()
+        self.platform.register_service(self.weather)
+        self.platform.register_service(self.mail)
+
+    def test_applet_connects_services(self):
+        self.platform.install_applet(Applet(
+            "freeze-mail", "weather", "freeze_warning", "mail", "send_email",
+            transform=lambda p: {"to": "me", "body": f"low {p['low_f']}F"}))
+        self.weather.fire_trigger("freeze_warning", {"low_f": 18})
+        assert self.mail.action_log == [
+            ("send_email", {"to": "me", "body": "low 18F"})]
+        assert self.platform.applet("freeze-mail").fire_count == 1
+
+    def test_disabled_applet_does_not_fire(self):
+        self.platform.install_applet(Applet(
+            "a", "weather", "freeze_warning", "mail", "send_email"))
+        assert self.platform.disable_applet("a")
+        self.weather.fire_trigger("freeze_warning")
+        assert not self.mail.action_log
+
+    def test_duplicate_names_rejected(self):
+        self.platform.install_applet(Applet(
+            "a", "weather", "freeze_warning", "mail", "send_email"))
+        with pytest.raises(ValueError):
+            self.platform.install_applet(Applet(
+                "a", "weather", "freeze_warning", "mail", "send_email"))
+        with pytest.raises(ValueError):
+            self.platform.register_service(make_weather())
+
+    def test_missing_action_rejected_at_install(self):
+        with pytest.raises(KeyError):
+            self.platform.install_applet(Applet(
+                "a", "weather", "freeze_warning", "mail", "teleport"))
+
+
+class TestCloudBridge:
+    def test_device_event_triggers_external_action(self):
+        home = SmartHome()
+        home.run(5.0)
+        platform = IftttPlatform(home.sim, home.cloud)
+        mail = make_mail()
+        platform.register_service(mail)
+        platform.install_applet(Applet(
+            "alert-on-unlock", "smart-home", "device_event",
+            "mail", "send_email",
+            transform=lambda p: {"subject": f"{p['device_id']} {p['value']}"}))
+        home.device("smart_lock-1").execute_command("unlock")
+        home.run(home.sim.now + 5.0)
+        assert any("unlocked" in str(payload)
+                   for _a, payload in mail.action_log)
+
+    def test_external_trigger_commands_device(self):
+        home = SmartHome()
+        home.run(60.0)  # telemetry opens the cloud->device path
+        platform = IftttPlatform(home.sim, home.cloud)
+        weather = make_weather()
+        platform.register_service(weather)
+        bulb_id = home.device_ids["smart_bulb-1"]
+        platform.install_applet(Applet(
+            "porch-light-on-freeze", "weather", "freeze_warning",
+            "smart-home", "send_command",
+            transform=lambda p: {"device_id": bulb_id, "command": "on"}))
+        weather.fire_trigger("freeze_warning", {"low_f": 15})
+        home.run(home.sim.now + 5.0)
+        assert home.device("smart_bulb-1").state == "on"
+
+    def test_outbound_data_audit(self):
+        home = SmartHome()
+        home.run(5.0)
+        platform = IftttPlatform(home.sim, home.cloud)
+        mail = make_mail()
+        platform.register_service(mail)
+        platform.install_applet(Applet(
+            "leaky", "smart-home", "device_event", "mail", "send_email"))
+        platform.install_applet(Applet(
+            "internal", "smart-home", "device_event",
+            "smart-home", "send_command"))
+        outbound = platform.outbound_data_applets()
+        assert [a.name for a in outbound] == ["leaky"]

@@ -1,0 +1,177 @@
+"""Tests for OAuth tokens, the REST API guard, and identity management."""
+
+import pytest
+
+from repro.network.protocols.http import HttpRequest
+from repro.service import OAuthServer, RestApi, Scope, UserRole
+from repro.service.api import ApiError
+from repro.service.identity import IdentityManager
+from repro.sim import Simulator
+
+
+class TestOAuth:
+    def setup_method(self):
+        self.sim = Simulator()
+        self.server = OAuthServer(self.sim)
+
+    def test_issue_and_introspect(self):
+        token = self.server.issue("alice", {Scope.READ_DEVICES})
+        assert self.server.introspect(token.value) is token
+        assert token.allows(Scope.READ_DEVICES)
+        assert not token.allows(Scope.PUSH_UPDATES)
+
+    def test_admin_scope_allows_everything(self):
+        token = self.server.issue("root", {Scope.ADMIN})
+        for scope in Scope:
+            assert token.allows(scope)
+
+    def test_expiry(self):
+        token = self.server.issue("alice", {Scope.READ_DEVICES}, lifetime_s=10)
+        self.sim.timeout(11)
+        self.sim.run()
+        assert self.server.introspect(token.value) is None
+
+    def test_revocation(self):
+        token = self.server.issue("alice", {Scope.READ_DEVICES})
+        assert self.server.revoke(token.value)
+        assert self.server.introspect(token.value) is None
+        assert not self.server.revoke("nonexistent")
+
+    def test_revoke_subject(self):
+        t1 = self.server.issue("alice", {Scope.READ_DEVICES})
+        t2 = self.server.issue("alice", {Scope.CONTROL_DEVICES})
+        t3 = self.server.issue("bob", {Scope.READ_DEVICES})
+        assert self.server.revoke_subject("alice") == 2
+        assert self.server.introspect(t3.value) is not None
+
+    def test_set_lifetime(self):
+        """The XLF Core adjusts token lifetimes from correlation results."""
+        token = self.server.issue("alice", {Scope.READ_DEVICES})
+        assert self.server.set_lifetime(token.value, self.sim.now + 1.0)
+        self.sim.timeout(2.0)
+        self.sim.run()
+        assert self.server.introspect(token.value) is None
+
+    def test_token_values_unique(self):
+        values = {self.server.issue("u", {Scope.READ_DEVICES}).value
+                  for _ in range(20)}
+        assert len(values) == 20
+
+    def test_bad_lifetime(self):
+        with pytest.raises(ValueError):
+            self.server.issue("alice", set(), lifetime_s=0)
+
+
+class TestRestApi:
+    def setup_method(self):
+        self.sim = Simulator()
+        self.oauth = OAuthServer(self.sim)
+        self.api = RestApi(self.oauth)
+        self.api.add_route("GET", "/data", Scope.READ_DEVICES,
+                           lambda request, token: {"value": 42})
+        self.api.add_route("POST", "/admin", Scope.ADMIN,
+                           lambda request, token: "done")
+        self.api.add_route("GET", "/public", None,
+                           lambda request, token: "open")
+
+    def request(self, method, path, token=None, body=None):
+        headers = {"Authorization": f"Bearer {token.value}"} if token else {}
+        return self.api.handle(HttpRequest(method, path, headers, body))
+
+    def test_valid_token_and_scope(self):
+        token = self.oauth.issue("alice", {Scope.READ_DEVICES})
+        response = self.request("GET", "/data", token)
+        assert response.status == 200
+        assert response.body == {"value": 42}
+
+    def test_missing_token_is_401(self):
+        assert self.request("GET", "/data").status == 401
+        assert self.api.denied_requests == 1
+
+    def test_insufficient_scope_is_403(self):
+        """Read-only client must not reach the admin endpoint (§IV-C.1)."""
+        token = self.oauth.issue("alice", {Scope.READ_DEVICES})
+        assert self.request("POST", "/admin", token).status == 403
+
+    def test_public_route_needs_no_token(self):
+        assert self.request("GET", "/public").status == 200
+
+    def test_unknown_route_404(self):
+        assert self.request("GET", "/nope").status == 404
+
+    def test_expired_token_rejected(self):
+        token = self.oauth.issue("alice", {Scope.READ_DEVICES}, lifetime_s=5)
+        self.sim.timeout(6)
+        self.sim.run()
+        assert self.request("GET", "/data", token).status == 401
+
+    def test_enforcement_off_lets_everything_through(self):
+        """The unrestricted-API-access flaw."""
+        api = RestApi(self.oauth, enforce_scopes=False)
+        api.add_route("POST", "/admin", Scope.ADMIN, lambda r, t: "done")
+        assert api.handle(HttpRequest("POST", "/admin")).status == 200
+
+    def test_api_error_propagates_status(self):
+        def handler(request, token):
+            raise ApiError(418, "teapot")
+
+        self.api.add_route("GET", "/tea", None, handler)
+        assert self.request("GET", "/tea").status == 418
+
+    def test_duplicate_route_rejected(self):
+        with pytest.raises(ValueError):
+            self.api.add_route("GET", "/data", None, lambda r, t: None)
+
+    def test_request_log(self):
+        self.request("GET", "/public")
+        self.request("GET", "/nope")
+        assert self.api.request_log == [("GET", "/public", 200),
+                                        ("GET", "/nope", 404)]
+
+
+class TestIdentity:
+    def test_register_and_verify(self):
+        idm = IdentityManager()
+        idm.register("alice", "correct horse battery staple")
+        assert idm.verify_password("alice", "correct horse battery staple")
+        assert not idm.verify_password("alice", "wrong")
+        assert not idm.verify_password("ghost", "x")
+
+    def test_duplicate_registration(self):
+        idm = IdentityManager()
+        idm.register("alice", "pw")
+        with pytest.raises(ValueError):
+            idm.register("alice", "pw2")
+
+    def test_lockout_after_failures(self):
+        idm = IdentityManager()
+        idm.register("alice", "secret")
+        for _ in range(IdentityManager.MAX_FAILED_ATTEMPTS):
+            idm.verify_password("alice", "guess")
+        assert idm.get("alice").locked
+        assert not idm.verify_password("alice", "secret")  # locked out
+        idm.unlock("alice")
+        assert idm.verify_password("alice", "secret")
+
+    def test_mfa(self):
+        idm = IdentityManager()
+        idm.register("bob", "pw", role=UserRole.ADVANCED, mfa_secret="totp-seed")
+        code = idm.mfa_code_for("bob")
+        assert idm.verify_mfa("bob", code)
+        assert not idm.verify_mfa("bob", "000000")
+        assert not idm.verify_mfa("alice", code)
+
+    def test_roles(self):
+        idm = IdentityManager()
+        idm.register("a", "pw", role=UserRole.BASIC)
+        idm.register("b", "pw", role=UserRole.ADVANCED)
+        idm.register("c", "pw", role=UserRole.ADVANCED)
+        assert len(idm.users_with_role(UserRole.ADVANCED)) == 2
+
+    def test_failure_counters(self):
+        idm = IdentityManager()
+        idm.register("a", "pw")
+        idm.verify_password("a", "pw")
+        idm.verify_password("a", "no")
+        assert idm.auth_attempts == 2
+        assert idm.auth_failures == 1

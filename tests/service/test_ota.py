@@ -1,0 +1,70 @@
+"""Unit tests for the OTA service (campaign bookkeeping)."""
+
+import pytest
+
+from repro.device.firmware import FirmwareImage, FirmwareSigner
+from repro.service.ota import OtaService
+
+
+@pytest.fixture
+def ota():
+    service = OtaService()
+    signer = FirmwareSigner("acme", b"k")
+    image = signer.sign(FirmwareImage("acme", "bulb", "2.0.0", b"v2"))
+    service.publish(image)
+    return service, image
+
+
+def test_publish_and_versions(ota):
+    service, _ = ota
+    assert service.published_versions("bulb") == ["2.0.0"]
+    assert service.published_versions("lock") == []
+
+
+def test_campaign_requires_published_image(ota):
+    service, _ = ota
+    with pytest.raises(KeyError):
+        service.create_campaign("c", "bulb", "9.9.9")
+    campaign = service.create_campaign("c", "bulb", "2.0.0")
+    assert campaign.image.version == "2.0.0"
+
+
+def test_duplicate_campaign_rejected(ota):
+    service, _ = ota
+    service.create_campaign("c", "bulb", "2.0.0")
+    with pytest.raises(ValueError):
+        service.create_campaign("c", "bulb", "2.0.0")
+
+
+def test_push_and_result_tracking(ota):
+    service, image = ota
+    service.create_campaign("c", "bulb", "2.0.0")
+    pushed = service.record_push("c", "bulb-001")
+    assert pushed is image
+    service.record_result("c", "bulb-001", True)
+    service.record_push("c", "bulb-002")
+    service.record_result("c", "bulb-002", False)
+    assert service.campaign_success_rate("c") == 0.5
+    assert service.push_log == [("c", "bulb-001", "2.0.0"),
+                                ("c", "bulb-002", "2.0.0")]
+
+
+def test_success_rate_empty_campaign(ota):
+    service, _ = ota
+    service.create_campaign("c", "bulb", "2.0.0")
+    assert service.campaign_success_rate("c") == 0.0
+
+
+def test_tamper_swaps_image(ota):
+    service, _ = ota
+    service.create_campaign("c", "bulb", "2.0.0")
+    evil = FirmwareImage("mallory", "bulb", "6.6.6", b"evil", malicious=True)
+    service.tamper_campaign("c", evil)
+    assert service.record_push("c", "bulb-001") is evil
+
+
+def test_get_campaign(ota):
+    service, _ = ota
+    assert service.get_campaign("missing") is None
+    service.create_campaign("c", "bulb", "2.0.0")
+    assert service.get_campaign("c") is not None

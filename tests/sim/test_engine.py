@@ -1,0 +1,179 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import Condition, SimulationError
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.timeout(5.0).add_callback(lambda ev: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+    assert sim.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.timeout(3.0).add_callback(lambda ev: order.append("c"))
+    sim.timeout(1.0).add_callback(lambda ev: order.append("a"))
+    sim.timeout(2.0).add_callback(lambda ev: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.timeout(1.0, tag).add_callback(lambda ev: order.append(ev.value))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    sim.timeout(10.0)
+    stopped_at = sim.run(until=4.0)
+    assert stopped_at == 4.0
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    event = sim.event("once")
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_unhandled_failure_raises_from_run():
+    sim = Simulator()
+    sim.event("boom").fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_callback_on_processed_event_runs_immediately():
+    sim = Simulator()
+    event = sim.timeout(1.0, "v")
+    sim.run()
+    seen = []
+    event.add_callback(lambda ev: seen.append(ev.value))
+    assert seen == ["v"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_call_at_and_call_in():
+    sim = Simulator()
+    hits = []
+    sim.call_in(2.0, lambda: hits.append(("in", sim.now)))
+    sim.call_at(5.0, lambda: hits.append(("at", sim.now)))
+    sim.run()
+    assert hits == [("in", 2.0), ("at", 5.0)]
+
+
+def test_call_at_past_raises():
+    sim = Simulator()
+    sim.timeout(3.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_all_of_waits_for_every_child():
+    sim = Simulator()
+    children = [sim.timeout(t, t) for t in (1.0, 3.0, 2.0)]
+    done_at = []
+    sim.all_of(children).add_callback(lambda ev: done_at.append(sim.now))
+    sim.run()
+    assert done_at == [3.0]
+
+
+def test_any_of_fires_on_first_child():
+    sim = Simulator()
+    children = [sim.timeout(t, t) for t in (4.0, 1.0, 3.0)]
+    done_at = []
+    sim.any_of(children).add_callback(lambda ev: done_at.append(sim.now))
+    sim.run()
+    assert done_at == [1.0]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    fired = []
+    sim.all_of([]).add_callback(lambda ev: fired.append(sim.now))
+    sim.run()
+    assert fired == [0.0]
+
+
+def test_condition_propagates_child_failure():
+    sim = Simulator()
+    ok = sim.timeout(1.0)
+    bad = sim.event("bad")
+    cond = sim.all_of([ok, bad])
+    outcome = []
+    cond.add_callback(lambda ev: outcome.append(ev.failed))
+    bad.fail(RuntimeError("child died"))
+    sim.run()
+    assert outcome == [True]
+
+
+def test_condition_mode_validated():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Condition(sim, [], "most")
+
+
+def test_step_on_empty_schedule_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(4):
+        sim.timeout(1.0)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_determinism_across_runs():
+    def trace(seed):
+        sim = Simulator(seed=seed)
+        rng = sim.rng.stream("jitter")
+        out = []
+        for i in range(10):
+            sim.timeout(rng.random() * 10).add_callback(
+                lambda ev, i=i: out.append((round(sim.now, 9), i))
+            )
+        sim.run()
+        return out
+
+    assert trace(42) == trace(42)
+    assert trace(42) != trace(43)

@@ -1,0 +1,64 @@
+"""Tests for Simulator.every and kernel determinism properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Interrupt, Simulator
+from repro.sim.engine import SimulationError
+
+
+class TestEvery:
+    def test_periodic_execution(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(10.0, lambda: ticks.append(sim.now))
+        sim.run(until=35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_interrupt_stops_the_loop_cleanly(self):
+        sim = Simulator()
+        ticks = []
+        proc = sim.every(5.0, lambda: ticks.append(sim.now))
+        sim.call_in(12.0, lambda: proc.interrupt())
+        sim.run(until=40.0)  # no exception escapes
+        assert ticks == [5.0, 10.0]
+        assert not proc.is_alive
+
+    def test_non_positive_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.every(0.0, lambda: None)
+
+
+class TestKernelDeterminism:
+    @given(st.lists(st.floats(min_value=0.001, max_value=100.0),
+                    min_size=1, max_size=20),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_event_order_is_total_and_reproducible(self, delays, seed):
+        def trace(run_seed):
+            sim = Simulator(seed=run_seed)
+            order = []
+            for index, delay in enumerate(delays):
+                sim.timeout(delay).add_callback(
+                    lambda ev, i=index: order.append(i))
+            sim.run()
+            return order
+
+        first = trace(seed)
+        assert trace(seed) == first
+        # Sorted by (delay, insertion): verify a stable sort.
+        expected = [i for _d, i in
+                    sorted((d, i) for i, d in enumerate(delays))]
+        assert first == expected
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=50.0), max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_clock_is_monotone(self, delays):
+        sim = Simulator()
+        stamps = []
+        for delay in delays:
+            sim.timeout(delay).add_callback(lambda ev: stamps.append(sim.now))
+        sim.run()
+        assert stamps == sorted(stamps)

@@ -1,0 +1,168 @@
+"""Unit tests for Resource, Store, and Channel."""
+
+import pytest
+
+from repro.sim import Channel, Resource, Simulator, Store
+from repro.sim.engine import SimulationError
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    grants = []
+    res.acquire().add_callback(lambda ev: grants.append(1))
+    res.acquire().add_callback(lambda ev: grants.append(2))
+    res.acquire().add_callback(lambda ev: grants.append(3))
+    sim.run()
+    assert grants == [1, 2]
+    assert res.queue_length == 1
+    res.release()
+    sim.run()
+    assert grants == [1, 2, 3]
+
+
+def test_resource_release_idle_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_capacity_validated():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+    res.acquire()  # holder
+    for tag in ("w1", "w2", "w3"):
+        res.acquire().add_callback(lambda ev, tag=tag: order.append(tag))
+    sim.run()
+    for _ in range(3):
+        res.release()
+        sim.run()
+    assert order == ["w1", "w2", "w3"]
+
+
+def test_resource_from_processes():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    trace = []
+
+    def worker(tag, hold):
+        yield res.acquire()
+        trace.append((tag, "got", sim.now))
+        yield sim.timeout(hold)
+        res.release()
+
+    sim.process(worker("a", 5.0))
+    sim.process(worker("b", 1.0))
+    sim.run()
+    assert trace == [("a", "got", 0.0), ("b", "got", 5.0)]
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    got = []
+    store.get().add_callback(lambda ev: got.append(ev.value))
+    sim.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    sim.process(consumer())
+    sim.call_in(4.0, lambda: store.put("late"))
+    sim.run()
+    assert got == [("late", 4.0)]
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    for item in ("a", "b", "c"):
+        store.put(item)
+    out = []
+    for _ in range(3):
+        store.get().add_callback(lambda ev: out.append(ev.value))
+    sim.run()
+    assert out == ["a", "b", "c"]
+
+
+def test_bounded_store_blocks_put_until_space():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    store.put("first")
+    put_done = []
+    store.put("second").add_callback(lambda ev: put_done.append(sim.now))
+    sim.run()
+    assert put_done == []  # still blocked
+    store.get()
+    sim.run()
+    assert put_done == [0.0]
+    assert store.peek_all() == ["second"]
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put(7)
+    sim.run()
+    assert store.try_get() == 7
+    assert store.try_get() is None
+
+
+def test_store_handoff_when_getter_waiting():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+    store.get().add_callback(lambda ev: got.append(ev.value))
+    store.put("direct")
+    sim.run()
+    assert got == ["direct"]
+    assert len(store) == 0
+
+
+def test_channel_latency():
+    sim = Simulator()
+    chan = Channel(sim, latency=2.5)
+    got = []
+
+    def consumer():
+        msg = yield chan.get()
+        got.append((msg, sim.now))
+
+    sim.process(consumer())
+    chan.send("hello")
+    sim.run()
+    assert got == [("hello", 2.5)]
+
+
+def test_channel_zero_latency_is_immediate():
+    sim = Simulator()
+    chan = Channel(sim, latency=0.0)
+    chan.send("now")
+    got = []
+    chan.get().add_callback(lambda ev: got.append((ev.value, sim.now)))
+    sim.run()
+    assert got == [("now", 0.0)]
+
+
+def test_channel_negative_latency_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Channel(sim, latency=-1.0)

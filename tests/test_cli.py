@@ -1,0 +1,24 @@
+"""Smoke tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_tables_scenario(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Table III" in out
+    assert "PRESENT" in out and "Philips Hue" in out
+
+
+def test_botnet_scenario_detects(capsys):
+    assert main(["botnet", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "botnet-infection" in out
+    assert "camera-1" in out
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(SystemExit):
+        main(["timetravel"])

@@ -1,0 +1,91 @@
+"""Tests for the evaluation metrics module."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    DetectionMetrics,
+    OverheadMetrics,
+    classification_accuracy,
+    format_table,
+    score_detection,
+    time_to_detection,
+)
+
+
+class TestDetectionMetrics:
+    def test_perfect_detection(self):
+        metrics = score_detection({"a", "b"}, {"a", "b"})
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+
+    def test_partial_detection(self):
+        metrics = score_detection({"a", "c"}, {"a", "b"})
+        assert metrics.true_positives == 1
+        assert metrics.false_positives == 1
+        assert metrics.false_negatives == 1
+        assert metrics.precision == 0.5
+        assert metrics.recall == 0.5
+        assert metrics.f1 == 0.5
+
+    def test_empty_detection(self):
+        metrics = score_detection(set(), {"a"})
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_empty_truth(self):
+        metrics = score_detection({"a"}, set())
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+
+    def test_as_row(self):
+        row = DetectionMetrics(2, 1, 1).as_row()
+        assert row["tp"] == 2 and row["precision"] == pytest.approx(0.667)
+
+    @given(st.sets(st.text(max_size=5), max_size=10),
+           st.sets(st.text(max_size=5), max_size=10))
+    def test_counts_partition(self, detected, truth):
+        metrics = score_detection(detected, truth)
+        assert metrics.true_positives + metrics.false_positives == \
+            len(detected)
+        assert metrics.true_positives + metrics.false_negatives == len(truth)
+        assert 0.0 <= metrics.f1 <= 1.0
+
+
+class TestOtherMetrics:
+    def test_classification_accuracy(self):
+        assert classification_accuracy([1, 2, 3], [1, 2, 4]) == \
+            pytest.approx(2 / 3)
+        assert classification_accuracy([], []) == 0.0
+        with pytest.raises(ValueError):
+            classification_accuracy([1], [1, 2])
+
+    def test_time_to_detection(self):
+        assert time_to_detection(10.0, [5.0, 12.0, 20.0]) == 2.0
+        assert time_to_detection(10.0, [5.0]) is None
+        assert time_to_detection(10.0, []) is None
+        assert time_to_detection(10.0, [10.0]) == 0.0
+
+    def test_overhead_metrics_row(self):
+        row = OverheadMetrics(1.5, 0.25).as_row()
+        assert row == {"bandwidth_overhead": 1.5,
+                       "mean_added_latency_s": 0.25}
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bbbb"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        assert all("|" in line for line in lines[1:] if "-+-" not in line)
+        # Columns aligned: every row has the separator at the same offset.
+        offsets = {line.index("|") for line in lines[1:] if "|" in line}
+        assert len(offsets) == 1
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
