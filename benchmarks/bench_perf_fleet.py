@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Fleet/kernel performance benchmark — the repo's perf trajectory datapoint.
+
+Not a paper artifact: engineering telemetry for the reproduction itself.
+Measures three things and writes them as JSON (``BENCH_fleet.json`` by
+default) so successive PRs can track the trajectory:
+
+* **kernel events/sec** — raw discrete-event throughput of
+  :class:`repro.sim.Simulator` (timeout schedule/fire, batch-pop loop);
+* **fleet wall-clock** — serial vs parallel ``run_fleet`` over the same
+  homes, with the bit-identical-result check the parallel path promises,
+  and wall-clock seconds per simulated hour;
+* **speedup** — serial time / parallel time (bounded by the machine's
+  CPU count, which is recorded alongside).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_fleet.py --quick
+    PYTHONPATH=src python benchmarks/bench_perf_fleet.py \
+        --homes 8 --workers 4 --duration 300 --out BENCH_fleet.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.scenarios import fleet, parallel
+from repro.sim import Simulator
+
+
+def bench_kernel(n_events: int) -> dict:
+    """Schedule ``n_events`` staggered timeouts and drain the queue."""
+    sim = Simulator()
+    for i in range(n_events):
+        sim.timeout((i % 1000) * 0.001)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    assert sim.events_processed == n_events
+    return {
+        "events": n_events,
+        "seconds": round(elapsed, 6),
+        "events_per_sec": round(n_events / elapsed, 1),
+    }
+
+
+def bench_process_switch(n_switches: int) -> dict:
+    """Generator-process ping-pong: schedule + context switch per event."""
+    sim = Simulator()
+    count = [0]
+
+    def worker():
+        for _ in range(n_switches // 2):
+            yield sim.timeout(0.001)
+            count[0] += 1
+
+    sim.process(worker())
+    sim.process(worker())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "switches": count[0] * 1,
+        "seconds": round(elapsed, 6),
+        "switches_per_sec": round(count[0] / elapsed, 1),
+    }
+
+
+def results_identical(a: fleet.FleetResult, b: fleet.FleetResult) -> bool:
+    """Bit-identical comparison, including feature-dict insertion order."""
+    return (a.features == b.features
+            and list(a.features) == list(b.features)
+            and a.device_types == b.device_types
+            and a.infected == b.infected)
+
+
+def bench_fleet(n_homes: int, workers: int, duration_s: float,
+                infected_homes: tuple) -> dict:
+    start = time.perf_counter()
+    serial = fleet.run_fleet(n_homes=n_homes, infected_homes=infected_homes,
+                             duration_s=duration_s)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    par = parallel.run_fleet(n_homes=n_homes, infected_homes=infected_homes,
+                             duration_s=duration_s, workers=workers)
+    parallel_s = time.perf_counter() - start
+
+    identical = results_identical(serial, par)
+    sim_hours = n_homes * duration_s / 3600.0
+    return {
+        "homes": n_homes,
+        "workers": workers,
+        "duration_s": duration_s,
+        "infected_homes": list(infected_homes),
+        "devices_featurised": len(serial.features),
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "identical_results": identical,
+        "serial_wall_s_per_sim_hour": round(serial_s / sim_hours, 4),
+        "parallel_wall_s_per_sim_hour": round(parallel_s / sim_hours, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small fleet + short kernel bench (CI smoke)")
+    parser.add_argument("--homes", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=300.0,
+                        help="simulated seconds per home")
+    parser.add_argument("--kernel-events", type=int, default=200_000)
+    parser.add_argument("--out", default="BENCH_fleet.json",
+                        help="JSON output path ('-' for stdout only)")
+    args = parser.parse_args(argv)
+    if args.homes < 1:
+        parser.error("--homes must be >= 1")
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.duration <= 0:
+        parser.error("--duration must be > 0")
+
+    if args.quick:
+        args.duration = min(args.duration, 60.0)
+        args.kernel_events = min(args.kernel_events, 50_000)
+
+    report = {
+        "bench": "perf_fleet",
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "fork_available": parallel.fork_available(),
+        "python": sys.version.split()[0],
+        "kernel": bench_kernel(args.kernel_events),
+        "process_switch": bench_process_switch(20_000 if args.quick
+                                               else 100_000),
+        "fleet": bench_fleet(args.homes, args.workers, args.duration,
+                             infected_homes=(0,)),
+    }
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out != "-":
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\nwrote {args.out}", file=sys.stderr)
+    if not report["fleet"]["identical_results"]:
+        print("ERROR: serial and parallel fleet results differ",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,6 +99,7 @@ class XLF:
         )
         self.token_policy = TokenLifetimePolicy(self.bus, self.correlator)
         self._address_to_device: Dict[str, IoTDevice] = {}
+        self._id_to_device: Dict[str, IoTDevice] = {}
         # Layer functions (populated by install()).
         self.encryption_policy: Optional[EncryptionPolicy] = None
         self.auth_proxy: Optional[DelegationProxy] = None
@@ -118,6 +119,7 @@ class XLF:
         for device in self.devices:
             if device.interfaces:
                 self._address_to_device[device.address] = device
+        self._rebuild_id_index()
 
         if self.config.enable_device_layer:
             self.encryption_policy = EncryptionPolicy(self.sim, report)
@@ -200,6 +202,9 @@ class XLF:
     def refresh_allowlists(self) -> None:
         """Re-learn each device's legitimate destinations (vendor cloud,
         DNS).  Call after pairing completes if XLF was installed first."""
+        # Pairing is also when cloud device ids land, so refresh the
+        # id -> device index alongside the allowlists.
+        self._rebuild_id_index()
         if self.constrained_access is None:
             return
         for device in self.devices:
@@ -254,11 +259,22 @@ class XLF:
                 self.app_verifier.note_command(
                     device.device_id, payload.get("command", ""))
 
-    def _device_by_id(self, device_id: str) -> Optional[IoTDevice]:
+    def _rebuild_id_index(self) -> None:
         for device in self.devices:
-            if device.device_id == device_id:
-                return device
-        return None
+            if device.device_id:
+                self._id_to_device[device.device_id] = device
+
+    def _device_by_id(self, device_id: str) -> Optional[IoTDevice]:
+        device = self._id_to_device.get(device_id)
+        if device is None and device_id:
+            # A device may have paired (and received its cloud id) after
+            # the index was last built; fold it in on first sight so the
+            # per-packet path stays O(1).
+            for candidate in self.devices:
+                if candidate.device_id == device_id:
+                    self._id_to_device[device_id] = candidate
+                    return candidate
+        return device
 
     # -- results -----------------------------------------------------------------
     @property

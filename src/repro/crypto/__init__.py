@@ -24,6 +24,8 @@ from repro.crypto.modes import (
 from repro.crypto.registry import (
     CIPHER_REGISTRY,
     CipherSpec,
+    clear_cipher_cache,
+    get_cached_cipher,
     get_cipher,
     table_iii_rows,
 )
@@ -39,6 +41,8 @@ __all__ = [
     "pkcs7_unpad",
     "CIPHER_REGISTRY",
     "CipherSpec",
+    "clear_cipher_cache",
+    "get_cached_cipher",
     "get_cipher",
     "table_iii_rows",
 ]

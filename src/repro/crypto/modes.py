@@ -118,7 +118,9 @@ class CtrMode(_Mode):
                 raise CryptoError("CTR counter exhausted for this nonce")
             ks = self._keystream_block(nonce, counter)
             chunk = data[i : i + bs]  # noqa: E203
-            out.extend(x ^ y for x, y in zip(chunk, ks))
+            n = len(chunk)
+            out += (int.from_bytes(chunk, "big")
+                    ^ int.from_bytes(ks[:n], "big")).to_bytes(n, "big")
         return bytes(out)
 
     def encrypt(self, plaintext: bytes, nonce: int) -> bytes:

@@ -15,6 +15,7 @@ Each entry carries two views:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Optional, Tuple, Type
 
 from repro.crypto.aes import Aes
@@ -159,6 +160,39 @@ def get_cipher(name: str, key: Optional[bytes] = None) -> BlockCipher:
     """Instantiate a registered cipher by (case-insensitive) name."""
     spec = get_spec(name)
     return spec.instantiate(key)
+
+
+@lru_cache(maxsize=1024)
+def _cached_instance(lookup: str, key: bytes) -> BlockCipher:
+    return CIPHER_REGISTRY[lookup].instantiate(key)
+
+
+def get_cached_cipher(name: str, key: Optional[bytes] = None) -> BlockCipher:
+    """A shared, memoized cipher instance for ``(name, key)``.
+
+    Key schedules are the dominant cost of instantiating the pure-Python
+    ciphers, and per-packet encryption (TLS records, the DNS bridge)
+    keeps asking for the same ``(cipher, key)`` pair.  This returns one
+    instance per pair, built once per process.
+
+    Safety contract: the registry ciphers are stateless after key-schedule
+    setup (``encrypt_block``/``decrypt_block`` read but never write
+    instance state), so a cached instance may be shared freely across
+    call sites and threads — but callers must treat it as read-only.
+    The cache is per-process: forked fleet workers each populate their
+    own, so no cross-process sharing ever occurs.  Stateful session
+    objects (e.g. ``Hummingbird2Session``) are not registry ciphers and
+    are never cached here.
+    """
+    spec = get_spec(name)
+    if key is None:
+        key = bytes(range(spec.bench_key_bits // 8))
+    return _cached_instance(spec.name.lower(), bytes(key))
+
+
+def clear_cipher_cache() -> None:
+    """Drop all memoized cipher instances (tests / key hygiene)."""
+    _cached_instance.cache_clear()
 
 
 def get_spec(name: str) -> CipherSpec:

@@ -18,7 +18,7 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional
 
-from repro.crypto import CtrMode, get_cipher
+from repro.crypto import CtrMode, get_cached_cipher
 from repro.crypto.kdf import derive_key
 from repro.crypto.mac import HmacLite
 
@@ -88,7 +88,9 @@ class TlsSession:
         key_len = (key_bits or 128) // 8
         session_key = derive_key(master_secret, f"tls:{server_name}", key_len)
         try:
-            self._mode = CtrMode(get_cipher(cipher_name, session_key))
+            # Cached: re-handshakes with the same derived session key skip
+            # the key schedule (the mode itself holds no record state).
+            self._mode = CtrMode(get_cached_cipher(cipher_name, session_key))
         except Exception as exc:  # unsupported key length for this cipher
             raise TlsError(f"cipher {cipher_name} rejected session key") from exc
         self._token_mac = HmacLite(token_key) if token_key else None

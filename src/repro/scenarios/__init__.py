@@ -3,6 +3,7 @@
 from repro.scenarios.smarthome import SmartHome, SmartHomeConfig
 from repro.scenarios.workloads import ResidentActivity
 from repro.scenarios.fleet import FleetResult, run_fleet
+from repro.scenarios.parallel import run_fleet as run_fleet_parallel
 
 __all__ = ["SmartHome", "SmartHomeConfig", "ResidentActivity",
-           "FleetResult", "run_fleet"]
+           "FleetResult", "run_fleet", "run_fleet_parallel"]

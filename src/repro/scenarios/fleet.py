@@ -6,6 +6,12 @@ similar behaviors."  This module builds N seeded homes (optionally
 infecting some), runs them, and extracts per-device behavioural feature
 vectors from *observable traffic*, ready for
 :class:`repro.core.graphlearn.CommunityModel`.
+
+Each home is an independent :class:`~repro.sim.Simulator`, so the fleet
+is embarrassingly parallel: :func:`_run_home` is the shared, pickleable
+unit of work that both this serial path and
+:func:`repro.scenarios.parallel.run_fleet` execute, which is what makes
+the two paths bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -14,7 +20,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set
 
 from repro.attacks.mirai import MiraiBotnet
-from repro.network.capture import PacketCapture
 from repro.scenarios.smarthome import SmartHome, SmartHomeConfig
 from repro.scenarios.workloads import ResidentActivity
 
@@ -36,47 +41,89 @@ class FleetResult:
     )
 
 
+@dataclass
+class HomeObservation:
+    """One home's contribution to a :class:`FleetResult` (pickleable, so
+    worker processes can ship it back to the parent)."""
+
+    features: Dict[str, List[float]]
+    device_types: Dict[str, str]
+    infected: Set[str]
+
+
+def _run_home(index: int, infected: bool, duration_s: float,
+              base_seed: int) -> HomeObservation:
+    """Build, run, and featurise one seeded home.
+
+    Deterministic given its arguments — the home's simulator is seeded
+    from ``base_seed + index`` and nothing else — so it produces the
+    same observation whether it runs in-process or in a forked worker.
+    """
+    home = SmartHome(SmartHomeConfig(seed=base_seed + index))
+    # Accumulate running (count, size sum, remotes) per device instead of
+    # capturing every packet: the features only need those aggregates,
+    # and long runs stay O(devices) in memory rather than O(packets).
+    packet_counts: Dict[str, int] = {}
+    size_sums: Dict[str, int] = {}
+    remotes: Dict[str, Set[str]] = {}
+
+    def observe(packet) -> None:
+        device = packet.src_device
+        if not device:
+            return
+        packet_counts[device] = packet_counts.get(device, 0) + 1
+        size_sums[device] = size_sums.get(device, 0) + packet.size_bytes
+        remotes.setdefault(device, set()).add(packet.dst)
+
+    for link in home.all_lan_links:
+        link.add_observer(observe)
+    home.run(5.0)
+    activity = ResidentActivity(home, rng_name=f"resident-{index}")
+    activity.start(mean_action_interval_s=60.0)
+    if infected:
+        MiraiBotnet(home, run_ddos=False).launch()
+    home.run(home.sim.now + duration_s)
+    minutes = duration_s / 60.0
+    observation = HomeObservation(features={}, device_types={},
+                                  infected=set())
+    for device in home.devices:
+        name = f"home{index:02d}/{device.name}"
+        count = packet_counts.get(device.name, 0)
+        observation.features[name] = [
+            count / minutes,
+            (size_sums.get(device.name, 0) / count) if count else 0.0,
+            float(len(remotes.get(device.name, ()))),
+            device.events_emitted / minutes,
+            device.telemetry_sent / minutes,
+        ]
+        observation.device_types[name] = device.spec.type_name
+        if device.infected:
+            observation.infected.add(name)
+    return observation
+
+
+def _merge_observation(result: FleetResult,
+                       observation: HomeObservation) -> None:
+    """Fold one home's observation into ``result`` (call in home order
+    so dict iteration order matches the serial path exactly)."""
+    result.features.update(observation.features)
+    result.device_types.update(observation.device_types)
+    result.infected.update(observation.infected)
+
+
 def run_fleet(n_homes: int = 5,
               infected_homes: Sequence[int] = (),
               duration_s: float = 300.0,
               base_seed: int = 100) -> FleetResult:
-    """Build, run, and featurise a fleet of identical homes."""
+    """Build, run, and featurise a fleet of identical homes, serially.
+
+    For multi-core machines, :func:`repro.scenarios.parallel.run_fleet`
+    runs the same homes across worker processes and merges to an
+    identical result.
+    """
+    infected = set(infected_homes)
     result = FleetResult(features={}, device_types={})
     for index in range(n_homes):
-        home = SmartHome(SmartHomeConfig(seed=base_seed + index))
-        captures: Dict[str, PacketCapture] = {}
-        capture = PacketCapture(home.sim, keep_packets=True,
-                                name=f"home{index}")
-        for link in home.all_lan_links:
-            link.add_observer(capture.observe)
-        home.run(5.0)
-        activity = ResidentActivity(home, rng_name=f"resident-{index}")
-        activity.start(mean_action_interval_s=60.0)
-        attack = None
-        if index in infected_homes:
-            attack = MiraiBotnet(home, run_ddos=False)
-            attack.launch()
-        home.run(home.sim.now + duration_s)
-        minutes = duration_s / 60.0
-        per_device_sizes: Dict[str, List[int]] = {}
-        per_device_remotes: Dict[str, Set[str]] = {}
-        for packet in capture.packets:
-            device = packet.src_device
-            if not device:
-                continue
-            per_device_sizes.setdefault(device, []).append(packet.size_bytes)
-            per_device_remotes.setdefault(device, set()).add(packet.dst)
-        for device in home.devices:
-            name = f"home{index:02d}/{device.name}"
-            sizes = per_device_sizes.get(device.name, [])
-            result.features[name] = [
-                len(sizes) / minutes,
-                (sum(sizes) / len(sizes)) if sizes else 0.0,
-                float(len(per_device_remotes.get(device.name, set()))),
-                device.events_emitted / minutes,
-                device.telemetry_sent / minutes,
-            ]
-            result.device_types[name] = device.spec.type_name
-            if device.infected:
-                result.infected.add(name)
+        _merge_observation(
+            result, _run_home(index, index in infected, duration_s, base_seed))
     return result

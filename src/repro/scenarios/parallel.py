@@ -1,0 +1,75 @@
+"""Parallel fleet execution: shard homes across worker processes.
+
+Every home in a fleet is an independent, fully seeded
+:class:`~repro.sim.Simulator`, so fleet-scale community learning (paper
+§IV-D) is embarrassingly parallel: this module farms
+:func:`repro.scenarios.fleet._run_home` out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and merges the per-home
+observations — in home order — into the same :class:`FleetResult` the
+serial path produces.  Because both paths execute the *same* per-home
+function with the *same* seed, the merged result is bit-identical to a
+serial run (the determinism tests assert this).
+
+Fallbacks: ``workers <= 1``, a single-home fleet, or a platform without
+``fork`` (the cheap, import-free worker start method) all run the plain
+serial path in-process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional, Sequence, Tuple
+
+from repro.scenarios.fleet import (
+    FleetResult,
+    HomeObservation,
+    _merge_observation,
+    _run_home,
+)
+from repro.scenarios import fleet as _serial
+
+
+def fork_available() -> bool:
+    """Whether this platform can start workers by forking (Linux/macOS
+    CPython; not Windows, not some sandboxes)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _home_task(args: Tuple[int, bool, float, int]) -> HomeObservation:
+    index, infected, duration_s, base_seed = args
+    return _run_home(index, infected, duration_s, base_seed)
+
+
+def run_fleet(n_homes: int = 5,
+              infected_homes: Sequence[int] = (),
+              duration_s: float = 300.0,
+              base_seed: int = 100,
+              workers: Optional[int] = None) -> FleetResult:
+    """Run a fleet of homes across ``workers`` processes.
+
+    ``workers=None`` uses the machine's CPU count.  The result is
+    bit-identical to ``repro.scenarios.fleet.run_fleet`` with the same
+    arguments: per-home work is seeded and self-contained, and
+    observations merge in home-index order regardless of which worker
+    finishes first.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = min(workers, max(n_homes, 1))
+    if workers <= 1 or n_homes <= 1 or not fork_available():
+        return _serial.run_fleet(n_homes, infected_homes, duration_s,
+                                 base_seed)
+    infected = set(infected_homes)
+    tasks = [(index, index in infected, duration_s, base_seed)
+             for index in range(n_homes)]
+    result = FleetResult(features={}, device_types={})
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=context) as pool:
+        # Executor.map yields in submission order, which is home order —
+        # exactly the serial merge order.
+        for observation in pool.map(_home_task, tasks):
+            _merge_observation(result, observation)
+    return result

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
-from repro.crypto import CtrMode, get_cipher
+from repro.crypto import CtrMode, get_cached_cipher
 from repro.crypto.kdf import derive_key
 from repro.network.dns import DnsResolver
 from repro.network.gateway import Gateway
@@ -100,6 +100,7 @@ class DnsBridge:
         self.cipher_name = cipher_name
         self._report = report or (lambda signal: None)
         self._device_keys: Dict[str, bytes] = {}
+        self._modes: Dict[bytes, CtrMode] = {}
         self.queries_bridged = 0
         gateway.bind(self.BRIDGE_PORT, self._on_query)
 
@@ -115,7 +116,14 @@ class DnsBridge:
         return spec_bits.get(self.cipher_name.lower(), 16)
 
     def _mode_for(self, key: bytes) -> CtrMode:
-        return CtrMode(get_cipher(self.cipher_name, key))
+        # CtrMode is stateless (the nonce travels with each call), so one
+        # mode object per device key serves every query; the underlying
+        # cipher comes from the process-wide key-schedule cache.
+        mode = self._modes.get(key)
+        if mode is None:
+            mode = CtrMode(get_cached_cipher(self.cipher_name, key))
+            self._modes[key] = mode
+        return mode
 
     def _tag(self, key: bytes, blob: bytes, nonce: int) -> bytes:
         from repro.crypto.mac import HmacLite

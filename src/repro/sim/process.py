@@ -17,6 +17,8 @@ from repro.sim.engine import Event, Interrupt, SimulationError, Simulator
 class Process(Event):
     """Wraps a generator and drives it through the simulator."""
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
             raise SimulationError(

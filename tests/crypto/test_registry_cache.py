@@ -1,0 +1,56 @@
+"""Tests for the process-wide cipher instance cache."""
+
+import pytest
+
+from repro.crypto import get_cached_cipher, get_cipher
+from repro.crypto.base import CryptoError
+from repro.crypto.registry import clear_cipher_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cipher_cache()
+    yield
+    clear_cipher_cache()
+
+
+def test_same_key_returns_same_instance():
+    key = bytes(range(10))
+    assert get_cached_cipher("PRESENT", key) is get_cached_cipher("PRESENT", key)
+
+
+def test_distinct_keys_get_distinct_instances():
+    a = get_cached_cipher("PRESENT", bytes(10))
+    b = get_cached_cipher("PRESENT", bytes(range(10)))
+    assert a is not b
+
+
+def test_cached_matches_uncached_output():
+    key = bytes(range(16))
+    block = bytes(range(8, 16))
+    cached = get_cached_cipher("TEA", key)
+    plain = get_cipher("TEA", key)
+    assert cached.encrypt_block(block) == plain.encrypt_block(block)
+    assert cached.decrypt_block(cached.encrypt_block(block)) == block
+
+
+def test_alias_and_case_share_one_entry():
+    key = bytes(range(16))
+    assert get_cached_cipher("HIGHT", key) is get_cached_cipher("height", key)
+
+
+def test_default_key_is_bench_key():
+    cached = get_cached_cipher("AES")
+    assert cached.key == bytes(range(16))
+
+
+def test_unknown_cipher_still_raises():
+    with pytest.raises(CryptoError):
+        get_cached_cipher("enigma")
+
+
+def test_clear_cache_drops_instances():
+    key = bytes(range(10))
+    first = get_cached_cipher("PRESENT", key)
+    clear_cipher_cache()
+    assert get_cached_cipher("PRESENT", key) is not first

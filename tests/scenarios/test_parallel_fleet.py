@@ -1,0 +1,58 @@
+"""Determinism and smoke tests for parallel fleet execution."""
+
+import time
+
+import pytest
+
+from repro.scenarios import fleet, parallel
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return fleet.run_fleet(n_homes=2, infected_homes=(1,), duration_s=60.0)
+
+
+@pytest.fixture(scope="module")
+def parallel_result():
+    return parallel.run_fleet(n_homes=2, infected_homes=(1,),
+                              duration_s=60.0, workers=2)
+
+
+needs_fork = pytest.mark.skipif(not parallel.fork_available(),
+                                reason="platform lacks fork start method")
+
+
+@needs_fork
+def test_parallel_features_bit_identical(serial_result, parallel_result):
+    assert parallel_result.features == serial_result.features
+    # Same merge order too, not just the same mapping.
+    assert list(parallel_result.features) == list(serial_result.features)
+
+
+@needs_fork
+def test_parallel_device_types_identical(serial_result, parallel_result):
+    assert parallel_result.device_types == serial_result.device_types
+
+
+@needs_fork
+def test_parallel_infected_identical(serial_result, parallel_result):
+    assert parallel_result.infected == serial_result.infected
+    assert parallel_result.infected  # home 1 was infected
+
+
+def test_workers_one_falls_back_to_serial(serial_result):
+    inline = parallel.run_fleet(n_homes=2, infected_homes=(1,),
+                                duration_s=60.0, workers=1)
+    assert inline.features == serial_result.features
+
+
+@needs_fork
+def test_perf_smoke_tiny_parallel_fleet_completes():
+    """Tier-1-safe perf smoke: a tiny sharded fleet must finish well
+    within a generous wall-clock budget (catches pool deadlocks and
+    pathological slowdowns, not micro-regressions)."""
+    start = time.monotonic()
+    result = parallel.run_fleet(n_homes=2, duration_s=30.0, workers=2)
+    elapsed = time.monotonic() - start
+    assert len(result.features) == 16  # 2 homes x 8 devices
+    assert elapsed < 120.0

@@ -163,6 +163,44 @@ def test_events_processed_counter():
     assert sim.events_processed == 4
 
 
+def test_same_time_event_scheduled_during_batch_fires_same_instant():
+    """The batch-pop loop must still fire an event scheduled *during*
+    processing of its own timestamp at that timestamp, after the events
+    already queued for it (schedule order)."""
+    sim = Simulator()
+    order = []
+
+    def first(_ev):
+        order.append(("first", sim.now))
+        sim.timeout(0.0).add_callback(
+            lambda e: order.append(("nested", sim.now)))
+
+    sim.timeout(1.0).add_callback(first)
+    sim.timeout(1.0).add_callback(lambda e: order.append(("second", sim.now)))
+    sim.run()
+    assert order == [("first", 1.0), ("second", 1.0), ("nested", 1.0)]
+
+
+def test_run_until_includes_boundary_timestamp_batch():
+    sim = Simulator()
+    fired = []
+    for tag in ("a", "b"):
+        sim.timeout(2.0, tag).add_callback(lambda ev: fired.append(ev.value))
+    sim.timeout(2.5, "late").add_callback(lambda ev: fired.append(ev.value))
+    sim.run(until=2.0)
+    assert fired == ["a", "b"]
+    assert sim.now == 2.0
+
+
+def test_event_instances_use_slots():
+    sim = Simulator()
+    for obj in (sim.event("e"), sim.timeout(1.0),
+                sim.process(x for x in ())):
+        assert not hasattr(obj, "__dict__")
+        with pytest.raises(AttributeError):
+            obj.arbitrary_attribute = 1
+
+
 def test_determinism_across_runs():
     def trace(seed):
         sim = Simulator(seed=seed)
