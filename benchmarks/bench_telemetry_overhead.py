@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Telemetry overhead benchmark — proves the subsystem's cost budget.
+
+Not a paper artifact: engineering telemetry for the reproduction
+itself.  Measures and writes ``BENCH_telemetry.json``:
+
+* **fleet overhead** — wall-clock of a serial ``run_fleet`` with
+  telemetry disabled vs enabled (best-of-N to cut scheduler noise);
+  the budget is <5% enabled overhead, and the disabled path must be
+  a no-op by construction (one module-attribute check per site);
+* **micro link path** — per-packet cost of the instrumented
+  ``Link.transmit`` + ``Interface.deliver`` path, disabled vs enabled;
+* **merge identity** — serial vs parallel fleet runs with telemetry
+  enabled must produce byte-identical merged exports.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py --quick
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py \
+        --homes 4 --duration 120 --repeats 3 --out BENCH_telemetry.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro import telemetry
+from repro.scenarios import fleet, parallel
+from repro.sim import Simulator
+from repro.network.node import Link, Node
+from repro.network.packet import Packet
+from repro.telemetry.export import to_jsonl, to_prometheus
+
+OVERHEAD_THRESHOLD_PCT = 5.0
+
+
+def _timed_fleet(enabled: bool, n_homes: int, duration_s: float,
+                 repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock for one serial fleet run."""
+    best = float("inf")
+    for _ in range(repeats):
+        telemetry.reset()
+        if enabled:
+            telemetry.enable()
+        else:
+            telemetry.disable()
+        start = time.perf_counter()
+        fleet.run_fleet(n_homes=n_homes, infected_homes=(0,),
+                        duration_s=duration_s)
+        best = min(best, time.perf_counter() - start)
+    telemetry.disable()
+    telemetry.reset()
+    return best
+
+
+def bench_fleet_overhead(n_homes: int, duration_s: float,
+                         repeats: int) -> dict:
+    disabled_s = _timed_fleet(False, n_homes, duration_s, repeats)
+    enabled_s = _timed_fleet(True, n_homes, duration_s, repeats)
+    overhead_pct = (enabled_s - disabled_s) / disabled_s * 100.0
+    return {
+        "homes": n_homes,
+        "duration_s": duration_s,
+        "repeats": repeats,
+        "disabled_s": round(disabled_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "threshold_pct": OVERHEAD_THRESHOLD_PCT,
+        "passed": overhead_pct < OVERHEAD_THRESHOLD_PCT,
+    }
+
+
+def _timed_link_path(enabled: bool, n_packets: int) -> float:
+    """Packets across one instrumented link, transmit through deliver."""
+    telemetry.reset()
+    if enabled:
+        telemetry.enable()
+    else:
+        telemetry.disable()
+    sim = Simulator()
+    link = Link(sim, "wifi", name="bench-lan")
+    sender = Node(sim, "sender")
+    receiver = Node(sim, "receiver")
+    sender.add_interface(link, "10.0.0.2")
+    receiver.add_interface(link, "10.0.0.3")
+    start = time.perf_counter()
+    for i in range(n_packets):
+        sender.send(Packet(src="10.0.0.2", dst="10.0.0.3",
+                           size_bytes=128))
+        if i % 1000 == 999:
+            sim.run()  # drain deliveries in batches
+    sim.run()
+    elapsed = time.perf_counter() - start
+    if enabled:
+        carried = telemetry.registry().counter_value(
+            "net.link.packets", link="bench-lan")
+        assert carried == n_packets, (carried, n_packets)
+    telemetry.disable()
+    telemetry.reset()
+    return elapsed
+
+
+def bench_link_micro(n_packets: int) -> dict:
+    disabled_s = _timed_link_path(False, n_packets)
+    enabled_s = _timed_link_path(True, n_packets)
+    return {
+        "packets": n_packets,
+        "disabled_s": round(disabled_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "per_packet_overhead_us": round(
+            (enabled_s - disabled_s) / n_packets * 1e6, 3),
+    }
+
+
+def bench_merge_identity(n_homes: int, duration_s: float) -> dict:
+    """Serial vs parallel enabled runs: merged exports must be identical."""
+    telemetry.reset()
+    telemetry.enable()
+    serial = fleet.run_fleet(n_homes=n_homes, infected_homes=(0,),
+                             duration_s=duration_s)
+    telemetry.reset()
+    par = parallel.run_fleet(n_homes=n_homes, infected_homes=(0,),
+                             duration_s=duration_s, workers=2)
+    snap_serial = serial.telemetry.snapshot()
+    snap_parallel = par.telemetry.snapshot()
+    identical = (
+        snap_serial == snap_parallel
+        and to_prometheus(snap_serial) == to_prometheus(snap_parallel)
+        and to_jsonl(snap_serial) == to_jsonl(snap_parallel)
+    )
+    telemetry.disable()
+    telemetry.reset()
+    return {
+        "homes": n_homes,
+        "duration_s": duration_s,
+        "identical_totals": identical,
+        "counters": len(snap_serial["counters"]),
+        "histograms": len(snap_serial["histograms"]),
+        "spans": len(snap_serial["spans"]),
+        "spans_dropped": snap_serial["spans_dropped"],
+        "link_packets_total": serial.telemetry.counter_total(
+            "net.link.packets"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small fleet + fewer packets (CI smoke)")
+    parser.add_argument("--homes", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="simulated seconds per home")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats (best-of)")
+    parser.add_argument("--packets", type=int, default=50_000,
+                        help="packets for the link micro-benchmark")
+    parser.add_argument("--out", default="BENCH_telemetry.json",
+                        help="JSON output path ('-' for stdout only)")
+    args = parser.parse_args(argv)
+    if args.homes < 1 or args.duration <= 0 or args.repeats < 1:
+        parser.error("--homes/--repeats must be >= 1, --duration > 0")
+
+    if args.quick:
+        args.homes = min(args.homes, 2)
+        args.duration = min(args.duration, 60.0)
+        args.repeats = min(args.repeats, 2)
+        args.packets = min(args.packets, 20_000)
+
+    report = {
+        "bench": "telemetry_overhead",
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "fleet": bench_fleet_overhead(args.homes, args.duration,
+                                      args.repeats),
+        "micro_link": bench_link_micro(args.packets),
+        "merge": bench_merge_identity(min(args.homes, 2),
+                                      min(args.duration, 60.0)),
+    }
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out != "-":
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\nwrote {args.out}", file=sys.stderr)
+
+    status = 0
+    if not report["fleet"]["passed"]:
+        print(f"ERROR: enabled telemetry overhead "
+              f"{report['fleet']['overhead_pct']}% exceeds "
+              f"{OVERHEAD_THRESHOLD_PCT}%", file=sys.stderr)
+        status = 1
+    if not report["merge"]["identical_totals"]:
+        print("ERROR: serial and parallel merged telemetry differ",
+              file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Repo health check: tier-1 tests, a telemetry-enabled fleet smoke run,
+# and validation of the telemetry-overhead benchmark artifact.
+#
+# Usage:  scripts/check.sh [--fresh-bench]
+#   --fresh-bench   re-run the telemetry overhead benchmark even if
+#                   BENCH_telemetry.json already exists
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 pytest =="
+python -m pytest -x -q
+
+echo
+echo "== telemetry-enabled fleet smoke run =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+python -m repro telemetry --telemetry "$smoke_dir/smoke"
+for suffix in prom jsonl trace.json; do
+    if [ ! -s "$smoke_dir/smoke.$suffix" ]; then
+        echo "ERROR: telemetry export smoke.$suffix missing or empty" >&2
+        exit 1
+    fi
+done
+echo "telemetry exports written and non-empty (prom, jsonl, trace.json)"
+
+echo
+echo "== telemetry overhead benchmark artifact =="
+if [ "${1:-}" = "--fresh-bench" ] || [ ! -f BENCH_telemetry.json ]; then
+    python benchmarks/bench_telemetry_overhead.py --quick \
+        --out BENCH_telemetry.json
+fi
+python - <<'PY'
+import json
+
+with open("BENCH_telemetry.json") as handle:
+    report = json.load(handle)
+assert report["bench"] == "telemetry_overhead", report.get("bench")
+fleet = report["fleet"]
+assert fleet["overhead_pct"] < fleet["threshold_pct"], (
+    f"enabled overhead {fleet['overhead_pct']}% exceeds "
+    f"{fleet['threshold_pct']}% threshold")
+assert report["merge"]["identical_totals"], \
+    "serial and parallel merged telemetry totals differ"
+print(f"BENCH_telemetry.json ok: enabled overhead "
+      f"{fleet['overhead_pct']:.2f}% (< {fleet['threshold_pct']}%), "
+      f"serial==parallel totals")
+PY
+
+echo
+echo "check.sh: all green"

@@ -20,6 +20,9 @@ Subpackages
     The adversary suite from the paper's attack-surface analysis.
 ``repro.scenarios`` / ``repro.metrics``
     Prebuilt worlds, workloads, and evaluation metrics.
+``repro.telemetry``
+    Cross-layer observability: sim-time metrics registry, span
+    tracing, and Prometheus/JSONL/Chrome-trace exporters.
 
 See README.md for a quickstart, DESIGN.md for the architecture, and
 EXPERIMENTS.md for the per-artifact reproduction record.

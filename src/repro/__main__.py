@@ -4,6 +4,12 @@ Scenarios:
 
 * ``botnet`` — Mirai vs. the full framework (default)
 * ``tables`` — print the regenerated paper tables (I and III)
+* ``telemetry`` — telemetry-instrumented fleet run (serial + parallel,
+  asserting the merged metric totals are identical)
+
+``--telemetry PATH`` enables the telemetry subsystem for any scenario
+and writes the Prometheus text, JSONL, and Chrome-trace exports to
+``PATH.prom`` / ``PATH.jsonl`` / ``PATH.trace.json`` after the run.
 
 Richer walkthroughs live in ``examples/``.
 """
@@ -54,9 +60,39 @@ def run_tables(seed: int) -> int:
     return 0
 
 
+def run_telemetry(seed: int) -> int:
+    """Instrumented fleet demo: serial vs parallel telemetry identity."""
+    from repro import telemetry
+    from repro.metrics import format_table
+    from repro.scenarios import fleet, parallel
+
+    telemetry.enable()
+    base_seed = 100 + seed
+    serial = fleet.run_fleet(n_homes=2, infected_homes=(1,),
+                             duration_s=60.0, base_seed=base_seed)
+    par = parallel.run_fleet(n_homes=2, infected_homes=(1,),
+                             duration_s=60.0, base_seed=base_seed,
+                             workers=2)
+    snap_serial = serial.telemetry.snapshot()
+    snap_parallel = par.telemetry.snapshot()
+    identical = snap_serial == snap_parallel
+
+    rows = [[name, "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+             if labels else "", round(value, 3)]
+            for (name, labels), value
+            in sorted(snap_serial["counters"].items())]
+    print(format_table(["counter", "labels", "total"], rows,
+                       title="Fleet telemetry (merged across homes)"))
+    print(f"\nspans recorded: {len(snap_serial['spans'])} "
+          f"(dropped: {snap_serial['spans_dropped']})")
+    print("serial/parallel merged totals identical:", identical)
+    return 0 if identical else 1
+
+
 SCENARIOS = {
     "botnet": run_botnet,
     "tables": run_tables,
+    "telemetry": run_telemetry,
 }
 
 
@@ -68,8 +104,21 @@ def main(argv=None) -> int:
     parser.add_argument("scenario", nargs="?", default="botnet",
                         choices=sorted(SCENARIOS))
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="enable telemetry and write PATH.prom, "
+                             "PATH.jsonl, PATH.trace.json after the run")
     args = parser.parse_args(argv)
-    return SCENARIOS[args.scenario](args.seed)
+
+    if args.telemetry:
+        from repro import telemetry
+        telemetry.enable()
+    status = SCENARIOS[args.scenario](args.seed)
+    if args.telemetry:
+        from repro.telemetry.export import write_exports
+        paths = write_exports(telemetry.registry(), args.telemetry)
+        for kind, path in paths.items():
+            print(f"telemetry {kind}: {path}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

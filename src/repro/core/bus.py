@@ -7,6 +7,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.signals import Layer, SecuritySignal, SignalType
 from repro.sim import Simulator
+from repro import telemetry as _telemetry
 
 
 class CoreBus:
@@ -22,6 +23,10 @@ class CoreBus:
         self.signals.append(signal)
         if signal.device:
             self._by_device[signal.device].append(signal)
+        if _telemetry.ENABLED:
+            _telemetry.registry().counter(
+                "core.signals", layer=signal.layer.value,
+                type=signal.signal_type.value).inc()
         for listener in self._listeners:
             listener(signal)
 

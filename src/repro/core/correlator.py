@@ -15,6 +15,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.bus import CoreBus
 from repro.core.signals import Alert, Layer, SecuritySignal, Severity, SignalType
+from repro import telemetry as _telemetry
 
 
 @dataclass(frozen=True)
@@ -203,9 +204,24 @@ class CrossLayerCorrelator:
         key = (alert.category, alert.device)
         last = self._last_alert.get(key, -1e18)
         if alert.timestamp - last < self.ALERT_COOLDOWN_S:
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter(
+                    "core.alerts_suppressed", category=alert.category).inc()
             return
         self._last_alert[key] = alert.timestamp
         self.alerts.append(alert)
+        if _telemetry.ENABLED:
+            registry = _telemetry.registry()
+            registry.counter("core.alerts", category=alert.category).inc()
+            # Detection-pipeline span: earliest contributing evidence
+            # (bus report) to the alert — all in sim time.
+            first = min((s.timestamp for s in alert.contributing_signals),
+                        default=alert.timestamp)
+            registry.histogram("core.detection_latency_s").observe(
+                alert.timestamp - first)
+            registry.record_span("xlf.detect", first, alert.timestamp,
+                                 category=alert.category,
+                                 device=alert.device)
 
     # -- queries -----------------------------------------------------------------
     def alerts_for(self, device: str) -> List[Alert]:

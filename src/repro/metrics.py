@@ -85,7 +85,23 @@ class OverheadMetrics:
 
 def format_table(headers: Sequence[str],
                  rows: Sequence[Sequence], title: str = "") -> str:
-    """Plain-text table used by every benchmark's report output."""
+    """Plain-text table used by every benchmark's report output.
+
+    Rows shorter than ``headers`` are padded with empty cells; rows
+    with *more* cells than headers raise :class:`ValueError` (the
+    caller lost a column somewhere and silent truncation would hide it).
+    """
+    width = len(headers)
+    padded = []
+    for i, row in enumerate(rows):
+        row = list(row)
+        if len(row) > width:
+            raise ValueError(
+                f"row {i} has {len(row)} cells but the table has only "
+                f"{width} headers {list(headers)!r}: {row!r}")
+        row.extend([""] * (width - len(row)))
+        padded.append(row)
+    rows = padded
     columns = [
         max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
         if rows else len(str(headers[i]))

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.network.node import Interface, Link, NetworkError, Node
 from repro.network.packet import Packet
 from repro.sim import Simulator
+from repro import telemetry as _telemetry
 
 
 @dataclass(frozen=True)
@@ -127,6 +128,9 @@ class Gateway(Node):
             return
         if self._blocked(packet, "outbound"):
             self.blocked_packets.append(packet)
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter(
+                    "gw.blocked", direction="outbound").inc()
             return
         if self._wan_interface is None:
             return
@@ -138,6 +142,10 @@ class Gateway(Node):
         ext_port = self._nat_out[key]
         translated = packet.clone(src=self.public_address, sport=ext_port)
         self.nat_translations += 1
+        if _telemetry.ENABLED:
+            registry = _telemetry.registry()
+            registry.counter("gw.nat_translations").inc()
+            registry.counter("gw.forwarded", direction="outbound").inc()
         self._emit(translated, "outbound", self._wan_interface)
 
     def _inbound(self, packet: Packet) -> None:
@@ -146,17 +154,29 @@ class Gateway(Node):
             # Unsolicited inbound: subject to firewall, else drop (no
             # port-forwarding by default — the paper's "port protection").
             self.blocked_packets.append(packet)
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter(
+                    "gw.blocked", direction="inbound").inc()
             return
         lan_addr, lan_port, _remote, _rport, _proto = mapping
         if self._blocked(packet, "inbound"):
             self.blocked_packets.append(packet)
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter(
+                    "gw.blocked", direction="inbound").inc()
             return
         translated = packet.clone(dst=lan_addr, dport=lan_port)
+        if _telemetry.ENABLED:
+            _telemetry.registry().counter(
+                "gw.forwarded", direction="inbound").inc()
         self._emit(translated, "inbound", None)
 
     def _forward_lan(self, packet: Packet) -> None:
         for interface in self._lan_interfaces:
             if packet.dst in interface.link._interfaces:
+                if _telemetry.ENABLED:
+                    _telemetry.registry().counter(
+                        "gw.forwarded", direction="lan").inc()
                 self.sim.call_in(0.0, lambda i=interface, p=packet: i.send(p))
                 return
         # Unknown LAN destination: drop.

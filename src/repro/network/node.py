@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional
 from repro.network.links import LinkTechnology, get_link_technology
 from repro.network.packet import Packet
 from repro.sim import Simulator
+from repro import telemetry as _telemetry
 
 
 class NetworkError(RuntimeError):
@@ -77,6 +78,11 @@ class Link:
             observer(packet)
         self.packets_carried += 1
         self.bytes_carried += packet.size_bytes
+        if _telemetry.ENABLED:
+            registry = _telemetry.registry()
+            registry.counter("net.link.packets", link=self.name).inc()
+            registry.counter("net.link.bytes",
+                             link=self.name).inc(packet.size_bytes)
         if sender is not None and sender.node is not None:
             sender.node.on_transmit(packet, self.technology)
         target = self._interfaces.get(packet.dst)
@@ -84,9 +90,15 @@ class Link:
             target = self._default_route
         if target is None or target is sender:
             self.packets_dropped += 1
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter("net.link.dropped",
+                                              link=self.name).inc()
             return False
         if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
             self.packets_lost += 1
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter("net.link.lost",
+                                              link=self.name).inc()
             return False
         self.sim.call_in(delay, lambda: target.deliver(packet))
         return True
@@ -111,7 +123,17 @@ class Interface:
     def deliver(self, packet: Packet) -> None:
         if not self.up:
             return
-        packet.delivered_at = self.node.sim.now
+        now = self.node.sim.now
+        packet.delivered_at = now
+        if _telemetry.ENABLED:
+            # The link stamped sent_at at transmit; close the packet's
+            # path span in sim time at the moment of delivery.
+            registry = _telemetry.registry()
+            registry.histogram("net.deliver_latency_s",
+                               link=self.link.name).observe(
+                                   now - packet.sent_at)
+            registry.record_span("net.deliver", packet.sent_at, now,
+                                 link=self.link.name, dst=self.node.name)
         self.node.receive(packet, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

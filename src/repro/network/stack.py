@@ -11,6 +11,8 @@ from __future__ import annotations
 from enum import Enum
 from typing import Dict, List
 
+from repro import telemetry as _telemetry
+
 
 class StackLayer(Enum):
     """TCP/IP stack layers as drawn in Fig. 2."""
@@ -74,7 +76,11 @@ def stack_layer_of(protocol: str) -> StackLayer:
     key = protocol.lower()
     if key not in _PROTOCOL_LAYERS:
         raise KeyError(f"protocol {protocol!r} not in the Fig. 2 map")
-    return _PROTOCOL_LAYERS[key]
+    layer = _PROTOCOL_LAYERS[key]
+    if _telemetry.ENABLED:
+        _telemetry.registry().counter("net.stack.lookups",
+                                      layer=layer.value).inc()
+    return layer
 
 
 def protocol_stack_map() -> Dict[StackLayer, List[str]]:

@@ -17,11 +17,13 @@ the two paths bit-identical by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.attacks.mirai import MiraiBotnet
 from repro.scenarios.smarthome import SmartHome, SmartHomeConfig
 from repro.scenarios.workloads import ResidentActivity
+from repro import telemetry as _telemetry
+from repro.telemetry import MetricsRegistry
 
 
 @dataclass
@@ -31,6 +33,8 @@ class FleetResult:
     features: Dict[str, List[float]]       # "home03/camera-1" -> vector
     device_types: Dict[str, str]
     infected: Set[str] = field(default_factory=set)
+    # Merged fleet telemetry (None unless repro.telemetry was enabled).
+    telemetry: Optional[MetricsRegistry] = None
 
     FEATURE_NAMES = (
         "packets_per_min",
@@ -49,6 +53,10 @@ class HomeObservation:
     features: Dict[str, List[float]]
     device_types: Dict[str, str]
     infected: Set[str]
+    # (home_index, registry snapshot) when telemetry was enabled: plain
+    # data, so a forked worker ships it back with the features.
+    home_index: int = -1
+    telemetry: Optional[dict] = None
 
 
 def _run_home(index: int, infected: bool, duration_s: float,
@@ -59,6 +67,35 @@ def _run_home(index: int, infected: bool, duration_s: float,
     from ``base_seed + index`` and nothing else — so it produces the
     same observation whether it runs in-process or in a forked worker.
     """
+    # With telemetry on, each home records into its own fresh registry
+    # (swapped in for the duration of the run) and ships the snapshot
+    # back with the observation.  Worker-local registries merged in
+    # home order are what make serial and parallel fleet telemetry
+    # identical: both paths see the same per-home snapshots and fold
+    # them in the same order.
+    local = None
+    if _telemetry.ENABLED:
+        local = MetricsRegistry()
+        previous = _telemetry.set_registry(local)
+    try:
+        observation, end_time = _simulate_home(index, infected, duration_s,
+                                               base_seed)
+    finally:
+        if local is not None:
+            _telemetry.set_registry(previous)
+    if local is not None:
+        local.record_span("fleet.home", 0.0, end_time)
+        local.counter("fleet.homes").inc()
+        local.counter("fleet.devices_featurised").inc(
+            len(observation.features))
+        observation.home_index = index
+        observation.telemetry = local.snapshot()
+    return observation
+
+
+def _simulate_home(index: int, infected: bool, duration_s: float,
+                   base_seed: int):
+    """Build and run one home; returns (observation, end sim time)."""
     home = SmartHome(SmartHomeConfig(seed=base_seed + index))
     # Accumulate running (count, size sum, remotes) per device instead of
     # capturing every packet: the features only need those aggregates,
@@ -99,7 +136,7 @@ def _run_home(index: int, infected: bool, duration_s: float,
         observation.device_types[name] = device.spec.type_name
         if device.infected:
             observation.infected.add(name)
-    return observation
+    return observation, home.sim.now
 
 
 def _merge_observation(result: FleetResult,
@@ -109,6 +146,14 @@ def _merge_observation(result: FleetResult,
     result.features.update(observation.features)
     result.device_types.update(observation.device_types)
     result.infected.update(observation.infected)
+    if observation.telemetry is not None:
+        if result.telemetry is None:
+            result.telemetry = MetricsRegistry()
+        # Tag every merged span with its home so traces keep per-home
+        # lanes; counters stay unlabeled so they sum to fleet totals.
+        result.telemetry.merge_snapshot(
+            observation.telemetry,
+            extra_span_labels=(("home", f"{observation.home_index:02d}"),))
 
 
 def run_fleet(n_homes: int = 5,
@@ -126,4 +171,8 @@ def run_fleet(n_homes: int = 5,
     for index in range(n_homes):
         _merge_observation(
             result, _run_home(index, index in infected, duration_s, base_seed))
+    if result.telemetry is not None:
+        # Fold the fleet's merged telemetry into the process registry so
+        # a CLI --telemetry export sees fleet runs too.
+        _telemetry.registry().merge(result.telemetry)
     return result

@@ -29,6 +29,7 @@ from repro.scenarios.fleet import (
     _run_home,
 )
 from repro.scenarios import fleet as _serial
+from repro import telemetry as _telemetry
 
 
 def fork_available() -> bool:
@@ -69,7 +70,12 @@ def run_fleet(n_homes: int = 5,
     with ProcessPoolExecutor(max_workers=workers,
                              mp_context=context) as pool:
         # Executor.map yields in submission order, which is home order —
-        # exactly the serial merge order.
+        # exactly the serial merge order.  Workers inherit the
+        # telemetry enable flag through fork and record into
+        # worker-local registries, so each observation carries its
+        # home's snapshot and the merge here is identical to serial.
         for observation in pool.map(_home_task, tasks):
             _merge_observation(result, observation)
+    if result.telemetry is not None:
+        _telemetry.registry().merge(result.telemetry)
     return result

@@ -34,6 +34,7 @@ from repro.service.oauth import OAuthServer, Scope
 from repro.service.ota import OtaService
 from repro.service.smartapps import CommandRequest, SmartApp
 from repro.sim import Simulator
+from repro import telemetry as _telemetry
 
 
 @dataclass
@@ -107,6 +108,13 @@ class CloudPlatform(Node):
             return
         handler.last_packet = packet
         kind = payload.get("kind")
+        if _telemetry.ENABLED:
+            registry = _telemetry.registry()
+            registry.counter("cloud.ingest", kind=kind or "unknown").inc()
+            # End-to-end device -> cloud packet-path span in sim time.
+            registry.record_span("cloud.deliver", packet.sent_at,
+                                 self.sim.now, kind=kind or "unknown",
+                                 device=handler.device_name)
         # Ground truth authenticity: did the claimed device really send it?
         authentic = packet.src_device == handler.device_name
         if kind == "telemetry":
@@ -136,6 +144,8 @@ class CloudPlatform(Node):
             device_id=device_id, attribute=attribute, value=value,
             timestamp=self.sim.now, source="device", authentic=authentic,
         )
+        if _telemetry.ENABLED:
+            _telemetry.registry().counter("cloud.events_published").inc()
         self.bus.publish(event)
 
     # -- SmartApps -----------------------------------------------------------

@@ -7,6 +7,7 @@ import itertools
 from typing import Any, Callable, List, Optional
 
 from repro.sim.rng import RngRegistry
+from repro import telemetry as _telemetry
 
 
 class SimulationError(RuntimeError):
@@ -288,6 +289,14 @@ class Simulator:
             self._processed_events += processed
         if until is not None:
             self.now = max(self.now, until)
+        # Telemetry aggregates per run() call, not per event, so the
+        # inner loop above carries zero instrumentation cost.
+        if _telemetry.ENABLED:
+            registry = _telemetry.registry()
+            registry.counter("sim.runs").inc()
+            if processed:
+                registry.counter("sim.events_processed").inc(processed)
+            registry.gauge("sim.now").set(self.now)
         return self.now
 
     @property

@@ -1,0 +1,174 @@
+"""Exporters: Prometheus text, JSON-lines, and Chrome trace-event JSON.
+
+All exporters accept either a :class:`MetricsRegistry` or the plain
+snapshot dict it produces, and emit metrics sorted by ``(name, labels)``
+so output is byte-stable across runs with identical telemetry (the
+serial-vs-parallel identity check diffs these strings directly).
+
+Sim-time convention: Prometheus/JSONL values are in native units
+(seconds for latency histograms); the Chrome trace maps simulated
+seconds to trace microseconds, so one trace second == one simulated
+second when viewed in ``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Union
+
+from repro.telemetry.registry import LabelsKey, MetricsRegistry
+
+Source = Union[MetricsRegistry, Dict[str, Any]]
+
+
+def _snapshot(source: Source) -> Dict[str, Any]:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return source
+
+
+def _labels_dict(labels: LabelsKey) -> Dict[str, str]:
+    return dict(labels)
+
+
+def _prom_name(name: str) -> str:
+    """Prometheus metric names allow no dots; map '.' and '-' to '_'."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: LabelsKey, extra: str = "") -> str:
+    parts = [f'{_prom_name(k)}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    """Render integral floats without a trailing '.0'."""
+    return str(int(value)) if float(value).is_integer() else repr(value)
+
+
+def to_prometheus(source: Source) -> str:
+    """Prometheus text exposition (counters, gauges, histograms)."""
+    snap = _snapshot(source)
+    lines: List[str] = []
+    typed: set = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {_prom_name(name)} {kind}")
+
+    for (name, labels), value in sorted(snap["counters"].items()):
+        type_line(name, "counter")
+        lines.append(
+            f"{_prom_name(name)}_total{_prom_labels(labels)} {_fmt(value)}")
+    for (name, labels), value in sorted(snap["gauges"].items()):
+        type_line(name, "gauge")
+        lines.append(f"{_prom_name(name)}{_prom_labels(labels)} {_fmt(value)}")
+    for (name, labels), data in sorted(snap["histograms"].items()):
+        type_line(name, "histogram")
+        base = _prom_name(name)
+        cumulative = 0
+        for bound, count in zip(data["bounds"], data["counts"]):
+            cumulative += count
+            le = 'le="%s"' % bound
+            lines.append(
+                f"{base}_bucket{_prom_labels(labels, le)} {cumulative}")
+        cumulative += data["counts"][-1]
+        le_inf = 'le="+Inf"'
+        lines.append(
+            f"{base}_bucket{_prom_labels(labels, le_inf)} {cumulative}")
+        lines.append(f"{base}_sum{_prom_labels(labels)} {_fmt(data['sum'])}")
+        lines.append(f"{base}_count{_prom_labels(labels)} {data['count']}")
+    if snap["spans_dropped"]:
+        type_line("telemetry.spans_dropped", "counter")
+        lines.append(
+            f"telemetry_spans_dropped_total {snap['spans_dropped']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_jsonl(source: Source) -> str:
+    """One JSON object per line: every metric, then every span."""
+    snap = _snapshot(source)
+    lines: List[str] = []
+
+    def emit(obj: Dict[str, Any]) -> None:
+        lines.append(json.dumps(obj, sort_keys=True))
+
+    for (name, labels), value in sorted(snap["counters"].items()):
+        emit({"kind": "counter", "name": name,
+              "labels": _labels_dict(labels), "value": value})
+    for (name, labels), value in sorted(snap["gauges"].items()):
+        emit({"kind": "gauge", "name": name,
+              "labels": _labels_dict(labels), "value": value})
+    for (name, labels), data in sorted(snap["histograms"].items()):
+        emit({"kind": "histogram", "name": name,
+              "labels": _labels_dict(labels),
+              "bounds": list(data["bounds"]), "counts": list(data["counts"]),
+              "sum": data["sum"], "count": data["count"]})
+    for name, start, end, labels in snap["spans"]:
+        emit({"kind": "span", "name": name, "start_s": start, "end_s": end,
+              "duration_s": end - start, "labels": _labels_dict(labels)})
+    if snap["spans_dropped"]:
+        emit({"kind": "counter", "name": "telemetry.spans_dropped",
+              "labels": {}, "value": snap["spans_dropped"]})
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_chrome_trace(source: Source) -> Dict[str, Any]:
+    """Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+
+    Spans become complete ("X") events.  The ``home`` label, when
+    present (fleet merges add it), selects the pid lane so homes render
+    as separate processes; the span name prefix (``net``, ``gw``,
+    ``cloud``, ``core``, ...) selects the tid lane within a home.
+    """
+    snap = _snapshot(source)
+    events: List[Dict[str, Any]] = []
+    for name, start, end, labels in snap["spans"]:
+        labels_d = _labels_dict(labels)
+        home = labels_d.get("home", "0")
+        try:
+            pid = int(home)
+        except ValueError:
+            pid = 0
+        events.append({
+            "name": name,
+            "ph": "X",
+            "ts": round(start * 1e6, 3),
+            "dur": round((end - start) * 1e6, 3),
+            "pid": pid,
+            "tid": name.split(".", 1)[0],
+            "args": labels_d,
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated seconds (1 trace second == 1 sim second)",
+            "spans_dropped": snap["spans_dropped"],
+        },
+    }
+
+
+def write_exports(source: Source, prefix: str) -> Dict[str, str]:
+    """Write all three exports next to ``prefix``; returns the paths.
+
+    ``prefix`` may include directories (``out/run1`` writes
+    ``out/run1.prom``, ``out/run1.jsonl``, ``out/run1.trace.json``).
+    """
+    snap = _snapshot(source)
+    paths = {
+        "prometheus": f"{prefix}.prom",
+        "jsonl": f"{prefix}.jsonl",
+        "chrome_trace": f"{prefix}.trace.json",
+    }
+    with open(paths["prometheus"], "w") as handle:
+        handle.write(to_prometheus(snap))
+    with open(paths["jsonl"], "w") as handle:
+        handle.write(to_jsonl(snap))
+    with open(paths["chrome_trace"], "w") as handle:
+        json.dump(to_chrome_trace(snap), handle, indent=1)
+        handle.write("\n")
+    return paths

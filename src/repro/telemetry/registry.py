@@ -1,0 +1,247 @@
+"""Metric primitives and the sim-time metrics registry.
+
+All instruments are keyed by ``(name, labels)`` where labels are a
+sorted tuple of ``(key, str(value))`` pairs, so two call sites naming
+the same metric with the same labels share one instrument.  Timestamps
+everywhere are **simulated seconds** read from the kernel (an object
+with a ``.now`` attribute, i.e. :class:`repro.sim.Simulator`), never
+wall clock — a run's telemetry is as deterministic as the run itself.
+
+Registries are plain-Python and pickle-free by design: a
+:meth:`MetricsRegistry.snapshot` is built only from dicts, lists,
+tuples, floats, and strings, so worker processes can ship their
+registry back to the parent (``repro.scenarios.parallel``) and the
+parent can merge snapshots in a deterministic order.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+# Label tuples: sorted ((key, value), ...) with values coerced to str.
+LabelsKey = Tuple[Tuple[str, str], ...]
+MetricKey = Tuple[str, LabelsKey]
+
+# Latency-shaped default buckets (seconds); the +inf bucket is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def labels_key(labels: Dict[str, Any]) -> LabelsKey:
+    """Canonical, hashable, deterministic form of a label set."""
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (packets, signals, alerts)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (current sim time, queue depth)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` (<=) semantics.
+
+    ``counts[i]`` is the number of observations in bucket ``i`` (not
+    cumulative); the final slot counts overflow beyond the last bound.
+    Exporters cumulate on the way out.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
+            raise ValueError(f"histogram bounds must be sorted and non-empty:"
+                             f" {self.bounds}")
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+# A finished span: (name, start_sim_s, end_sim_s, labels).
+SpanRecord = Tuple[str, float, float, LabelsKey]
+
+
+class _Span:
+    """Context manager recording one span in sim time."""
+
+    __slots__ = ("_registry", "_name", "_clock", "_labels", "start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, clock: Any,
+                 labels: LabelsKey) -> None:
+        self._registry = registry
+        self._name = name
+        self._clock = clock
+        self._labels = labels
+        self.start: float = 0.0
+
+    def __enter__(self) -> "_Span":
+        self.start = self._clock.now
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._registry._append_span(
+            (self._name, self.start, self._clock.now, self._labels))
+        return False
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms, and finished spans for one run.
+
+    Not thread-safe and deliberately so: each worker process owns its
+    own registry and the parent merges snapshots afterwards.
+    """
+
+    def __init__(self, max_spans: int = 50_000) -> None:
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._gauges: Dict[MetricKey, Gauge] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+        self.spans: List[SpanRecord] = []
+        self.spans_dropped: int = 0
+        self.max_spans = max_spans
+
+    # -- instruments ---------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, labels_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, labels_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  buckets: Iterable[float] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        key = (name, labels_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(buckets)
+        return instrument
+
+    # -- spans ---------------------------------------------------------
+    def span(self, name: str, clock: Any, **labels: Any) -> _Span:
+        """Span covering a ``with`` block; ``clock`` is the simulator."""
+        return _Span(self, name, clock, labels_key(labels))
+
+    def record_span(self, name: str, start: float, end: float,
+                    **labels: Any) -> None:
+        """Record an already-timed span (e.g. packet sent_at -> now)."""
+        self._append_span((name, float(start), float(end),
+                           labels_key(labels)))
+
+    def _append_span(self, record: SpanRecord) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.spans_dropped += 1
+            return
+        self.spans.append(record)
+
+    # -- snapshot / merge ----------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data view of the registry (pickleable, mergeable)."""
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {
+                k: {"bounds": h.bounds, "counts": list(h.counts),
+                    "sum": h.sum, "count": h.count}
+                for k, h in self._histograms.items()
+            },
+            "spans": list(self.spans),
+            "spans_dropped": self.spans_dropped,
+        }
+
+    def merge_snapshot(self, snap: Dict[str, Any],
+                       extra_span_labels: LabelsKey = ()) -> None:
+        """Fold a snapshot in: counters/histograms sum, gauges last-write.
+
+        Merge order is the caller's responsibility — the fleet paths
+        merge in home-index order, which is what makes serial and
+        parallel runs report identical totals *and* identical span
+        streams.  ``extra_span_labels`` tags every merged span (the
+        fleet adds ``home=NN`` so Chrome traces separate homes).
+        """
+        for key, value in snap["counters"].items():
+            self.counter(key[0], **dict(key[1])).inc(value)
+        for key, value in snap["gauges"].items():
+            self.gauge(key[0], **dict(key[1])).set(value)
+        for key, data in snap["histograms"].items():
+            histogram = self.histogram(key[0], buckets=data["bounds"],
+                                       **dict(key[1]))
+            if histogram.bounds != tuple(data["bounds"]):
+                raise ValueError(
+                    f"histogram {key[0]!r} bucket bounds differ: "
+                    f"{histogram.bounds} vs {tuple(data['bounds'])}")
+            for i, count in enumerate(data["counts"]):
+                histogram.counts[i] += count
+            histogram.sum += data["sum"]
+            histogram.count += data["count"]
+        for name, start, end, labels in snap["spans"]:
+            if extra_span_labels:
+                merged = dict(labels)
+                merged.update(
+                    (k, v) for k, v in extra_span_labels
+                    if k not in merged)
+                labels = tuple(sorted(merged.items()))
+            self._append_span((name, start, end, labels))
+        self.spans_dropped += snap["spans_dropped"]
+
+    def merge(self, other: "MetricsRegistry",
+              extra_span_labels: LabelsKey = ()) -> None:
+        self.merge_snapshot(other.snapshot(),
+                            extra_span_labels=extra_span_labels)
+
+    # -- introspection -------------------------------------------------
+    def counter_value(self, name: str, **labels: Any) -> Optional[float]:
+        instrument = self._counters.get((name, labels_key(labels)))
+        return instrument.value if instrument is not None else None
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter over all label sets."""
+        return sum(c.value for (n, _), c in self._counters.items()
+                   if n == name)
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<MetricsRegistry counters={len(self._counters)} "
+                f"gauges={len(self._gauges)} "
+                f"histograms={len(self._histograms)} "
+                f"spans={len(self.spans)}>")

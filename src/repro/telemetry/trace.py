@@ -1,0 +1,29 @@
+"""Ergonomic span-tracing front end over the telemetry registry.
+
+Spans are intervals in **simulated time**.  Two spellings exist:
+
+* ``with trace.span("detect.window", sim, device="camera-1"):`` — for
+  phases that advance sim time inside the block (processes, runs);
+* ``trace.record("net.deliver", packet.sent_at, sim.now, link=...)`` —
+  for intervals whose endpoints were stamped elsewhere (the packet
+  path stamps ``sent_at`` at transmit and closes the span on delivery).
+
+Both are no-ops while telemetry is disabled.  Synchronous callback code
+never advances sim time, so a ``with`` span around it records zero
+duration — use :func:`record` with event timestamps for anything whose
+latency spans scheduled events.
+"""
+
+from __future__ import annotations
+
+import repro.telemetry as _telemetry
+
+
+def span(name: str, clock, **labels):
+    """Context manager timing a block in sim time (``clock.now``)."""
+    return _telemetry.span(name, clock, **labels)
+
+
+def record(name: str, start: float, end: float, **labels) -> None:
+    """Record a finished span from explicit sim-time endpoints."""
+    _telemetry.record_span(name, start, end, **labels)

@@ -59,6 +59,66 @@ class TestCoreBus:
         window = bus.signals_in_window("dev-1", end=110.0, window_s=70.0)
         assert [s.timestamp for s in window] == [50.0, 100.0]
 
+    def test_window_merges_global_signals_in_timestamp_order(self):
+        """Device and global signals interleave sorted by timestamp."""
+        bus = CoreBus(Simulator())
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=10.0))
+        bus.report(signal(Layer.SERVICE, SignalType.API_ABUSE,
+                          device="", t=5.0))
+        bus.report(signal(Layer.SERVICE, SignalType.API_ABUSE,
+                          device="", t=15.0))
+        bus.report(signal(Layer.NETWORK, SignalType.SCAN_PATTERN, t=20.0))
+        window = bus.signals_in_window("dev-1", end=30.0, window_s=30.0)
+        assert [s.timestamp for s in window] == [5.0, 10.0, 15.0, 20.0]
+        assert [s.device for s in window] == ["", "dev-1", "", "dev-1"]
+
+    def test_window_include_global_false_excludes_global(self):
+        bus = CoreBus(Simulator())
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=10.0))
+        bus.report(signal(Layer.SERVICE, SignalType.API_ABUSE,
+                          device="", t=11.0))
+        window = bus.signals_in_window("dev-1", end=20.0, window_s=20.0,
+                                       include_global=False)
+        assert [s.device for s in window] == ["dev-1"]
+
+    def test_window_global_signals_outside_window_excluded(self):
+        bus = CoreBus(Simulator())
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=100.0))
+        bus.report(signal(Layer.SERVICE, SignalType.API_ABUSE,
+                          device="", t=1.0))    # long before the window
+        bus.report(signal(Layer.SERVICE, SignalType.API_ABUSE,
+                          device="", t=500.0))  # long after
+        window = bus.signals_in_window("dev-1", end=110.0, window_s=30.0)
+        assert [s.timestamp for s in window] == [100.0]
+
+    def test_window_boundaries_inclusive(self):
+        bus = CoreBus(Simulator())
+        for t in (9.9, 10.0, 40.0, 40.1):
+            bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=t))
+        window = bus.signals_in_window("dev-1", end=40.0, window_s=30.0)
+        assert [s.timestamp for s in window] == [10.0, 40.0]
+
+    def test_empty_window_results(self):
+        bus = CoreBus(Simulator())
+        # No signals at all.
+        assert bus.signals_in_window("dev-1", end=10.0, window_s=5.0) == []
+        # Signals exist but none inside the window.
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=100.0))
+        assert bus.signals_in_window("dev-1", end=10.0, window_s=5.0) == []
+        # Unknown device with a global signal present: the global-merge
+        # branch still corroborates a *named* device only.
+        bus.report(signal(Layer.SERVICE, SignalType.API_ABUSE,
+                          device="", t=8.0))
+        assert bus.signals_in_window("ghost", end=10.0,
+                                     window_s=5.0) == [bus.signals[-1]]
+
+    def test_window_for_empty_device_key_returns_no_merge(self):
+        """Querying device="" never merges globals onto themselves."""
+        bus = CoreBus(Simulator())
+        bus.report(signal(Layer.SERVICE, SignalType.API_ABUSE,
+                          device="", t=5.0))
+        assert bus.signals_in_window("", end=10.0, window_s=10.0) == []
+
     def test_listeners(self):
         bus = CoreBus(Simulator())
         seen = []

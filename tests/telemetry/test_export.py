@@ -1,0 +1,123 @@
+"""Tests for the Prometheus, JSONL, and Chrome-trace exporters."""
+
+import json
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.export import (
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+    write_exports,
+)
+
+
+def build_registry():
+    registry = MetricsRegistry()
+    registry.counter("net.link.packets", link="lan").inc(3)
+    registry.counter("net.link.packets", link="wan").inc(1)
+    registry.gauge("sim.now").set(42.5)
+    histogram = registry.histogram("net.deliver_latency_s",
+                                   buckets=(0.01, 0.1), link="lan")
+    for value in (0.005, 0.05, 0.5):
+        histogram.observe(value)
+    registry.record_span("net.deliver", 1.0, 1.25, link="lan", home="3")
+    registry.record_span("cloud.deliver", 2.0, 2.5, kind="telemetry")
+    return registry
+
+
+class TestPrometheus:
+    def test_counter_total_suffix_and_type_lines(self):
+        text = to_prometheus(build_registry())
+        assert "# TYPE net_link_packets counter" in text
+        assert 'net_link_packets_total{link="lan"} 3' in text
+        assert 'net_link_packets_total{link="wan"} 1' in text
+
+    def test_gauge_line(self):
+        text = to_prometheus(build_registry())
+        assert "# TYPE sim_now gauge" in text
+        assert "sim_now 42.5" in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = to_prometheus(build_registry())
+        assert 'net_deliver_latency_s_bucket{link="lan",le="0.01"} 1' in text
+        assert 'net_deliver_latency_s_bucket{link="lan",le="0.1"} 2' in text
+        assert 'net_deliver_latency_s_bucket{link="lan",le="+Inf"} 3' in text
+        assert 'net_deliver_latency_s_count{link="lan"} 3' in text
+        assert 'net_deliver_latency_s_sum{link="lan"} 0.555' in text
+
+    def test_accepts_snapshot_dict_and_is_stable(self):
+        registry = build_registry()
+        assert to_prometheus(registry) == to_prometheus(registry.snapshot())
+
+    def test_empty_registry_exports_empty_string(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_spans_dropped_surfaces_as_counter(self):
+        registry = MetricsRegistry(max_spans=0)
+        registry.record_span("s", 0.0, 1.0)
+        assert "telemetry_spans_dropped_total 1" in to_prometheus(registry)
+
+
+class TestJsonl:
+    def test_every_line_parses(self):
+        lines = to_jsonl(build_registry()).splitlines()
+        objs = [json.loads(line) for line in lines]
+        kinds = {obj["kind"] for obj in objs}
+        assert kinds == {"counter", "gauge", "histogram", "span"}
+
+    def test_span_line_has_duration(self):
+        objs = [json.loads(line)
+                for line in to_jsonl(build_registry()).splitlines()]
+        span = next(o for o in objs if o["kind"] == "span"
+                    and o["name"] == "net.deliver")
+        assert span["start_s"] == 1.0
+        assert span["end_s"] == 1.25
+        assert span["duration_s"] == pytest.approx(0.25)
+        assert span["labels"] == {"link": "lan", "home": "3"}
+
+    def test_histogram_line_keeps_raw_counts(self):
+        objs = [json.loads(line)
+                for line in to_jsonl(build_registry()).splitlines()]
+        histogram = next(o for o in objs if o["kind"] == "histogram")
+        assert histogram["bounds"] == [0.01, 0.1]
+        assert histogram["counts"] == [1, 1, 1]  # raw, not cumulative
+        assert histogram["count"] == 3
+
+
+class TestChromeTrace:
+    def test_events_are_complete_phase_in_microseconds(self):
+        trace = to_chrome_trace(build_registry())
+        deliver = next(e for e in trace["traceEvents"]
+                       if e["name"] == "net.deliver")
+        assert deliver["ph"] == "X"
+        assert deliver["ts"] == pytest.approx(1.0e6)
+        assert deliver["dur"] == pytest.approx(0.25e6)
+
+    def test_home_label_selects_pid_lane(self):
+        trace = to_chrome_trace(build_registry())
+        by_name = {e["name"]: e for e in trace["traceEvents"]}
+        assert by_name["net.deliver"]["pid"] == 3     # home="3"
+        assert by_name["cloud.deliver"]["pid"] == 0   # no home label
+        assert by_name["net.deliver"]["tid"] == "net"
+        assert by_name["cloud.deliver"]["tid"] == "cloud"
+
+    def test_other_data_notes_sim_clock(self):
+        trace = to_chrome_trace(build_registry())
+        assert "sim" in trace["otherData"]["clock"]
+        assert trace["otherData"]["spans_dropped"] == 0
+
+
+class TestWriteExports:
+    def test_writes_all_three_files(self, tmp_path):
+        prefix = tmp_path / "out" / "run"
+        prefix.parent.mkdir()
+        paths = write_exports(build_registry(), str(prefix))
+        assert set(paths) == {"prometheus", "jsonl", "chrome_trace"}
+        prom = (tmp_path / "out" / "run.prom").read_text()
+        assert "net_link_packets_total" in prom
+        jsonl = (tmp_path / "out" / "run.jsonl").read_text()
+        assert all(json.loads(line) for line in jsonl.splitlines())
+        trace = json.loads((tmp_path / "out" / "run.trace.json").read_text())
+        assert len(trace["traceEvents"]) == 2

@@ -1,0 +1,137 @@
+"""Tests for the enable flag, the trace front end, and instrumentation."""
+
+from repro import telemetry
+from repro.telemetry import trace
+from repro.network.node import Link, Node
+from repro.network.packet import Packet
+from repro.network.stack import stack_layer_of
+from repro.sim import Simulator
+
+
+def build_link_world():
+    sim = Simulator()
+    link = Link(sim, "wifi", name="lan")
+    a, b = Node(sim, "a"), Node(sim, "b")
+    a.add_interface(link, "10.0.0.2")
+    b.add_interface(link, "10.0.0.3")
+    return sim, link, a, b
+
+
+class TestFlag:
+    def test_disabled_by_default_and_toggles(self):
+        assert not telemetry.enabled()
+        telemetry.enable()
+        assert telemetry.enabled() and telemetry.ENABLED
+        telemetry.disable()
+        assert not telemetry.ENABLED
+
+    def test_disabled_records_nothing(self):
+        sim, link, a, b = build_link_world()
+        a.send(Packet(src="10.0.0.2", dst="10.0.0.3"))
+        sim.run()
+        stack_layer_of("mqtt")
+        registry = telemetry.registry()
+        assert len(registry) == 0
+        assert registry.spans == []
+
+    def test_null_span_is_shared_noop(self):
+        sim = Simulator()
+        span = telemetry.span("x", sim)
+        assert span is telemetry.NULL_SPAN
+        with span:
+            pass
+        assert telemetry.registry().spans == []
+
+    def test_set_registry_returns_previous(self):
+        first = telemetry.registry()
+        fresh = telemetry.MetricsRegistry()
+        previous = telemetry.set_registry(fresh)
+        assert previous is first
+        assert telemetry.registry() is fresh
+
+
+class TestTrace:
+    def test_span_records_sim_time(self):
+        telemetry.enable()
+        sim = Simulator()
+        sim.timeout(3.0)
+        with trace.span("work", sim, device="cam"):
+            sim.run()
+        spans = [s for s in telemetry.registry().spans if s[0] == "work"]
+        assert spans == [("work", 0.0, 3.0, (("device", "cam"),))]
+
+    def test_record_passthrough(self):
+        telemetry.enable()
+        trace.record("net.deliver", 1.0, 2.0, link="lan")
+        assert telemetry.registry().spans[-1][0] == "net.deliver"
+
+    def test_disabled_trace_is_noop(self):
+        with trace.span("x", Simulator()):
+            pass
+        trace.record("y", 0.0, 1.0)
+        assert telemetry.registry().spans == []
+
+
+class TestInstrumentation:
+    def test_link_counters_and_deliver_span(self):
+        telemetry.enable()
+        sim, link, a, b = build_link_world()
+        a.send(Packet(src="10.0.0.2", dst="10.0.0.3", size_bytes=100))
+        a.send(Packet(src="10.0.0.2", dst="10.0.0.9"))  # no receiver: drop
+        sim.run()
+        registry = telemetry.registry()
+        assert registry.counter_value("net.link.packets", link="lan") == 2
+        assert registry.counter_value("net.link.dropped", link="lan") == 1
+        deliver = [s for s in registry.spans if s[0] == "net.deliver"]
+        assert len(deliver) == 1
+        name, start, end, labels = deliver[0]
+        assert end > start  # link latency advanced sim time
+        assert ("dst", "b") in labels
+        histogram = registry.histogram("net.deliver_latency_s", link="lan")
+        assert histogram.count == 1
+
+    def test_sim_run_counters(self):
+        telemetry.enable()
+        sim = Simulator()
+        for _ in range(5):
+            sim.timeout(1.0)
+        sim.run()
+        registry = telemetry.registry()
+        assert registry.counter_value("sim.events_processed") == 5
+        assert registry.counter_value("sim.runs") == 1
+        assert registry.gauge("sim.now").value == 1.0
+
+    def test_stack_lookup_counter(self):
+        telemetry.enable()
+        stack_layer_of("mqtt")
+        stack_layer_of("MQTT")
+        stack_layer_of("tcp")
+        registry = telemetry.registry()
+        assert registry.counter_value("net.stack.lookups",
+                                      layer="application") == 2
+        assert registry.counter_value("net.stack.lookups",
+                                      layer="transport") == 1
+
+    def test_detection_pipeline_counters_and_span(self):
+        from repro.core import CoreBus, CrossLayerCorrelator
+        from repro.core.signals import Layer, SecuritySignal, Severity, \
+            SignalType
+
+        telemetry.enable()
+        bus = CoreBus(Simulator())
+        correlator = CrossLayerCorrelator(bus)
+        bus.report(SecuritySignal.make(
+            Layer.DEVICE, SignalType.AUTH_FAILURE, "t", "dev-1", 10.0))
+        bus.report(SecuritySignal.make(
+            Layer.NETWORK, SignalType.SCAN_PATTERN, "t", "dev-1", 25.0,
+            severity=Severity.CRITICAL))
+        assert len(correlator.alerts) == 1
+        registry = telemetry.registry()
+        assert registry.counter_total("core.signals") == 2
+        assert registry.counter_value("core.alerts",
+                                      category="botnet-infection") == 1
+        detect = [s for s in registry.spans if s[0] == "xlf.detect"]
+        assert detect and detect[0][1] == 10.0 and detect[0][2] == 25.0
+        histogram = registry.histogram("core.detection_latency_s")
+        assert histogram.count == 1
+        assert histogram.sum == 15.0

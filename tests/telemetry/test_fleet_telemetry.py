@@ -1,0 +1,55 @@
+"""Fleet-level telemetry: per-home registries, merge identity."""
+
+import pytest
+
+from repro import telemetry
+from repro.scenarios import fleet, parallel
+from repro.telemetry.export import to_jsonl, to_prometheus
+
+needs_fork = pytest.mark.skipif(not parallel.fork_available(),
+                                reason="platform lacks fork start method")
+
+FLEET_KW = dict(n_homes=2, infected_homes=(1,), duration_s=30.0,
+                base_seed=700)
+
+
+def test_disabled_fleet_attaches_no_telemetry():
+    result = fleet.run_fleet(**FLEET_KW)
+    assert result.telemetry is None
+
+
+def test_enabled_fleet_populates_registry():
+    telemetry.enable()
+    result = fleet.run_fleet(**FLEET_KW)
+    registry = result.telemetry
+    assert registry is not None
+    assert registry.counter_value("fleet.homes") == 2
+    assert registry.counter_value("fleet.devices_featurised") == \
+        len(result.features)
+    assert registry.counter_total("net.link.packets") > 0
+    homes = [s for s in registry.spans if s[0] == "fleet.home"]
+    assert sorted(dict(s[3])["home"] for s in homes) == ["00", "01"]
+    # The fleet's merged telemetry also lands in the process registry
+    # so CLI exports include fleet runs.
+    assert telemetry.registry().counter_value("fleet.homes") == 2
+
+
+@needs_fork
+def test_serial_and_parallel_telemetry_identical():
+    telemetry.enable()
+    serial = fleet.run_fleet(**FLEET_KW)
+    telemetry.reset()
+    par = parallel.run_fleet(workers=2, **FLEET_KW)
+    snap_serial = serial.telemetry.snapshot()
+    snap_parallel = par.telemetry.snapshot()
+    assert snap_serial == snap_parallel
+    # Byte-identical exports, not just equal totals.
+    assert to_prometheus(snap_serial) == to_prometheus(snap_parallel)
+    assert to_jsonl(snap_serial) == to_jsonl(snap_parallel)
+
+
+def test_home_registry_swap_restores_process_registry():
+    telemetry.enable()
+    before = telemetry.registry()
+    fleet.run_fleet(n_homes=1, duration_s=10.0, base_seed=701)
+    assert telemetry.registry() is before

@@ -1,0 +1,142 @@
+"""Tests for the metrics registry: instruments, labels, snapshots, merge."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, labels_key
+from repro.telemetry.registry import DEFAULT_BUCKETS, Histogram
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc(2.5)
+        assert registry.counter_value("x") == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_labels_distinguish_and_are_order_insensitive(self):
+        registry = MetricsRegistry()
+        registry.counter("x", a="1", b="2").inc()
+        registry.counter("x", b="2", a="1").inc()   # same instrument
+        registry.counter("x", a="other", b="2").inc()
+        assert registry.counter_value("x", a="1", b="2") == 2
+        assert registry.counter_value("x", a="other", b="2") == 1
+        assert registry.counter_total("x") == 3
+
+    def test_label_values_coerced_to_str(self):
+        assert labels_key({"n": 7}) == (("n", "7"),)
+
+    def test_missing_counter_value_is_none(self):
+        assert MetricsRegistry().counter_value("ghost") is None
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.0)
+        registry.gauge("g").set(9.0)
+        assert registry.snapshot()["gauges"][("g", ())] == 9.0
+
+    def test_histogram_le_semantics(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            histogram.observe(value)
+        # le=1.0 gets 0.5 and exactly-1.0; le=10 gets 5.0 and 10.0;
+        # overflow gets 11.0.
+        assert histogram.counts == [2, 2, 1]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(27.5)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_histogram_default_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        assert histogram.bounds == DEFAULT_BUCKETS
+
+
+class TestSpans:
+    class Clock:
+        def __init__(self):
+            self.now = 0.0
+
+    def test_span_context_manager_records_sim_interval(self):
+        registry = MetricsRegistry()
+        clock = self.Clock()
+        with registry.span("phase", clock, device="cam"):
+            clock.now = 12.5
+        assert registry.spans == [("phase", 0.0, 12.5, (("device", "cam"),))]
+
+    def test_record_span_explicit_endpoints(self):
+        registry = MetricsRegistry()
+        registry.record_span("net.deliver", 1.0, 1.25, link="lan")
+        assert registry.spans == [("net.deliver", 1.0, 1.25,
+                                   (("link", "lan"),))]
+
+    def test_span_cap_drops_and_counts(self):
+        registry = MetricsRegistry(max_spans=2)
+        for i in range(5):
+            registry.record_span("s", float(i), float(i))
+        assert len(registry.spans) == 2
+        assert registry.spans_dropped == 3
+
+
+class TestSnapshotAndMerge:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("c", kind="a").inc(2)
+        registry.gauge("g").set(4.0)
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        registry.record_span("s", 0.0, 1.0, device="d")
+        return registry
+
+    def test_snapshot_is_plain_and_pickleable(self):
+        snap = self.build().snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_merge_sums_counters_and_histograms(self):
+        a, b = self.build(), self.build()
+        a.merge(b)
+        assert a.counter_value("c", kind="a") == 4
+        histogram = a.histogram("h", buckets=(1.0, 2.0))
+        assert histogram.count == 2
+        assert histogram.sum == pytest.approx(3.0)
+        assert len(a.spans) == 2
+
+    def test_merge_gauge_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(7.0)
+        a.merge(b)
+        assert a.snapshot()["gauges"][("g", ())] == 7.0
+
+    def test_merge_extra_span_labels_tag_without_overwriting(self):
+        target = MetricsRegistry()
+        source = MetricsRegistry()
+        source.record_span("s", 0.0, 1.0, device="d")
+        source.record_span("t", 0.0, 1.0, home="keep")
+        target.merge(source, extra_span_labels=(("home", "03"),))
+        assert target.spans[0] == ("s", 0.0, 1.0,
+                                   (("device", "d"), ("home", "03")))
+        # An existing home label is not clobbered.
+        assert target.spans[1] == ("t", 0.0, 1.0, (("home", "keep"),))
+
+    def test_merge_mismatched_histogram_bounds_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_carries_span_drop_count(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry(max_spans=1)
+        b.record_span("s", 0.0, 1.0)
+        b.record_span("s", 1.0, 2.0)
+        a.merge(b)
+        assert a.spans_dropped == 1

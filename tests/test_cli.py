@@ -22,3 +22,30 @@ def test_botnet_scenario_detects(capsys):
 def test_unknown_scenario_rejected():
     with pytest.raises(SystemExit):
         main(["timetravel"])
+
+
+def test_telemetry_flag_writes_exports(tmp_path, capsys):
+    from repro import telemetry
+
+    prefix = tmp_path / "run"
+    try:
+        assert main(["tables", "--telemetry", str(prefix)]) == 0
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+    for suffix in (".prom", ".jsonl", ".trace.json"):
+        assert (tmp_path / f"run{suffix}").exists()
+
+
+def test_telemetry_scenario_serial_parallel_identical(capsys):
+    from repro import telemetry
+
+    try:
+        assert main(["telemetry"]) == 0
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+    out = capsys.readouterr().out
+    assert "Fleet telemetry" in out
+    assert "identical: True" in out
+    assert "net.link.packets" in out

@@ -89,3 +89,25 @@ class TestFormatTable:
     def test_empty_rows(self):
         text = format_table(["col"], [])
         assert "col" in text
+
+    def test_short_rows_padded_with_empty_cells(self):
+        text = format_table(["a", "b", "c"], [[1], [2, 3]])
+        lines = text.splitlines()
+        # Every data line still has all column separators.
+        assert all(line.count("|") == 2 for line in lines
+                   if "-+-" not in line)
+        offsets = {line.index("|") for line in lines if "|" in line}
+        assert len(offsets) == 1
+
+    def test_empty_row_padded(self):
+        text = format_table(["a", "b"], [[]])
+        assert "|" in text.splitlines()[-1]
+
+    def test_overlong_row_raises_value_error(self):
+        with pytest.raises(ValueError, match="row 1 has 3 cells"):
+            format_table(["a", "b"], [[1, 2], [1, 2, 3]])
+
+    def test_input_rows_not_mutated(self):
+        rows = [[1]]
+        format_table(["a", "b"], rows)
+        assert rows == [[1]]
