@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""XLF plugin-host lifecycle benchmark — writes ``BENCH_xlf.json``.
+
+Not a paper artifact: engineering proof for the SecurityFunction
+plugin architecture.  Measures:
+
+* **lifecycle latency** — wall-clock of ``install()`` (full registry
+  resolution + attach) and ``uninstall()`` (full detach) against a
+  prebuilt home, best-of-N over repeated cycles on the same world;
+* **run determinism** — two full-config botnet runs from the same seed
+  must produce identical signal and alert streams (the plugin host may
+  not introduce any ordering nondeterminism);
+* **fleet identity** — serial vs parallel fleet detection features
+  must stay bit-identical with the plugin-based framework.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_xlf_install.py --quick
+    PYTHONPATH=src python benchmarks/bench_xlf_install.py \
+        --repeats 50 --out BENCH_xlf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.attacks import MiraiBotnet
+from repro.core import XLF, XlfConfig
+from repro.scenarios import SmartHome, SmartHomeConfig, fleet, parallel
+
+
+def bench_lifecycle(repeats: int) -> dict:
+    """Best-of-``repeats`` install/uninstall wall-clock on one world."""
+    home = SmartHome(SmartHomeConfig(seed=0))
+    home.run(5.0)
+    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+              home.all_lan_links, XlfConfig.full())
+    xlf.refresh_allowlists()
+    attached = xlf.attached_names()
+    best_install = best_uninstall = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        xlf.uninstall()
+        best_uninstall = min(best_uninstall, time.perf_counter() - start)
+        start = time.perf_counter()
+        xlf.install()
+        best_install = min(best_install, time.perf_counter() - start)
+    assert xlf.attached_names() == attached, "cycle changed the set"
+    return {
+        "repeats": repeats,
+        "functions_attached": len(attached),
+        "install_us": round(best_install * 1e6, 1),
+        "uninstall_us": round(best_uninstall * 1e6, 1),
+        "devices": len(home.devices),
+        "lan_links": len(home.all_lan_links),
+    }
+
+
+def _botnet_streams(seed: int, duration_s: float):
+    """One full-config botnet run's (signals, alerts) as plain tuples."""
+    home = SmartHome(SmartHomeConfig(seed=seed))
+    home.run(5.0)
+    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+              home.all_lan_links, XlfConfig.full())
+    xlf.refresh_allowlists()
+    MiraiBotnet(home, run_ddos=False).launch()
+    home.run(duration_s)
+    signals = tuple(
+        (s.layer.value, s.signal_type.value, s.source, s.device,
+         s.timestamp, s.details)
+        for s in xlf.signals)
+    alerts = tuple(
+        (a.category, a.device, a.timestamp, a.confidence)
+        for a in xlf.alerts)
+    return signals, alerts
+
+
+def bench_run_determinism(seed: int, duration_s: float) -> dict:
+    start = time.perf_counter()
+    first = _botnet_streams(seed, duration_s)
+    run_s = time.perf_counter() - start
+    second = _botnet_streams(seed, duration_s)
+    return {
+        "seed": seed,
+        "duration_s": duration_s,
+        "run_wall_s": round(run_s, 3),
+        "signals": len(first[0]),
+        "alerts": len(first[1]),
+        "identical_streams": first == second,
+    }
+
+
+def bench_fleet_identity(n_homes: int, duration_s: float) -> dict:
+    start = time.perf_counter()
+    serial = fleet.run_fleet(n_homes=n_homes, infected_homes=(0,),
+                             duration_s=duration_s)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    par = parallel.run_fleet(n_homes=n_homes, infected_homes=(0,),
+                             duration_s=duration_s, workers=2)
+    parallel_s = time.perf_counter() - start
+    return {
+        "homes": n_homes,
+        "duration_s": duration_s,
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "identical_features": serial.features == par.features,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats + shorter runs (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=50,
+                        help="install/uninstall cycles (best-of)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--duration", type=float, default=300.0,
+                        help="simulated seconds for the botnet run")
+    parser.add_argument("--homes", type=int, default=2,
+                        help="fleet size for the identity check")
+    parser.add_argument("--out", default="BENCH_xlf.json",
+                        help="JSON output path ('-' for stdout only)")
+    args = parser.parse_args(argv)
+    if args.repeats < 1 or args.duration <= 0 or args.homes < 2:
+        parser.error("--repeats >= 1, --duration > 0, --homes >= 2")
+
+    if args.quick:
+        args.repeats = min(args.repeats, 10)
+        args.duration = min(args.duration, 150.0)
+
+    report = {
+        "bench": "xlf_install",
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "lifecycle": bench_lifecycle(args.repeats),
+        "determinism": bench_run_determinism(args.seed, args.duration),
+        "fleet": bench_fleet_identity(args.homes,
+                                      min(args.duration, 120.0)),
+    }
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out != "-":
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\nwrote {args.out}", file=sys.stderr)
+
+    status = 0
+    if not report["determinism"]["identical_streams"]:
+        print("ERROR: repeated botnet runs produced different "
+              "signal/alert streams", file=sys.stderr)
+        status = 1
+    if not report["fleet"]["identical_features"]:
+        print("ERROR: serial and parallel fleet features differ",
+              file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

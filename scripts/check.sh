@@ -13,6 +13,34 @@ echo "== tier-1 pytest =="
 python -m pytest -x -q
 
 echo
+echo "== plugin registry smoke check =="
+python - <<'PY'
+from repro.core import REGISTRY, Layer, load_builtin_functions
+
+load_builtin_functions()
+expected = {
+    "encryption-policy": Layer.DEVICE,
+    "delegation-proxy": Layer.DEVICE,
+    "update-inspector": Layer.DEVICE,
+    "constrained-access": Layer.DEVICE,
+    "traffic-monitor": Layer.NETWORK,
+    "activity-detector": Layer.NETWORK,
+    "traffic-shaper": Layer.NETWORK,
+    "api-guard": Layer.SERVICE,
+    "security-analytics": Layer.SERVICE,
+    "app-verifier": Layer.SERVICE,
+    "response-engine": Layer.CORE,
+}
+for name, layer in expected.items():
+    cls = REGISTRY.get(name)
+    assert cls.layer is layer, f"{name}: {cls.layer} != {layer}"
+ordered = [cls.name for cls in REGISTRY.ordered()]
+assert len(ordered) == len(set(ordered)) >= len(expected), ordered
+print(f"registry ok: {len(expected)} functions resolvable, "
+      "layers correct, wiring order deterministic")
+PY
+
+echo
 echo "== telemetry-enabled fleet smoke run =="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT

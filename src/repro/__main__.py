@@ -6,10 +6,13 @@ Scenarios:
 * ``tables`` — print the regenerated paper tables (I and III)
 * ``telemetry`` — telemetry-instrumented fleet run (serial + parallel,
   asserting the merged metric totals are identical)
+* ``functions`` — list the SecurityFunction plugin registry
 
 ``--telemetry PATH`` enables the telemetry subsystem for any scenario
 and writes the Prometheus text, JSONL, and Chrome-trace exports to
 ``PATH.prom`` / ``PATH.jsonl`` / ``PATH.trace.json`` after the run.
+``--disable-function NAME`` (repeatable) runs a scenario with a
+registry function excluded — degraded-mode operation.
 
 Richer walkthroughs live in ``examples/``.
 """
@@ -20,16 +23,20 @@ import argparse
 import sys
 
 
-def run_botnet(seed: int) -> int:
+def run_botnet(args) -> int:
     from repro.attacks import MiraiBotnet
     from repro.core import XLF, XlfConfig
     from repro.scenarios import SmartHome, SmartHomeConfig
 
-    home = SmartHome(SmartHomeConfig(seed=seed))
+    home = SmartHome(SmartHomeConfig(seed=args.seed))
     home.run(5.0)
+    config = XlfConfig.full()
+    config.disabled_functions = tuple(args.disable_function)
     xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
-              home.all_lan_links, XlfConfig.full())
+              home.all_lan_links, config)
     xlf.refresh_allowlists()
+    if args.disable_function:
+        print(f"functions attached: {', '.join(xlf.attached_names())}")
     attack = MiraiBotnet(home)
     attack.launch()
     home.run(300.0)
@@ -45,7 +52,7 @@ def run_botnet(seed: int) -> int:
     return 0 if detected == outcome.compromised_devices else 1
 
 
-def run_tables(seed: int) -> int:
+def run_tables(args) -> int:
     from repro.crypto import table_iii_rows
     from repro.device.profiles import table_i_rows
     from repro.metrics import format_table
@@ -60,14 +67,14 @@ def run_tables(seed: int) -> int:
     return 0
 
 
-def run_telemetry(seed: int) -> int:
+def run_telemetry(args) -> int:
     """Instrumented fleet demo: serial vs parallel telemetry identity."""
     from repro import telemetry
     from repro.metrics import format_table
     from repro.scenarios import fleet, parallel
 
     telemetry.enable()
-    base_seed = 100 + seed
+    base_seed = 100 + args.seed
     serial = fleet.run_fleet(n_homes=2, infected_homes=(1,),
                              duration_s=60.0, base_seed=base_seed)
     par = parallel.run_fleet(n_homes=2, infected_homes=(1,),
@@ -89,10 +96,27 @@ def run_telemetry(seed: int) -> int:
     return 0 if identical else 1
 
 
+def run_functions(args) -> int:
+    """Print the SecurityFunction plugin registry."""
+    from repro.core import REGISTRY, load_builtin_functions
+    from repro.metrics import format_table
+
+    load_builtin_functions()
+    rows = [[cls.name, cls.layer.value, cls.order,
+             "yes" if cls.provides_periodic_audit() else "no",
+             cls.accessor or ""]
+            for cls in REGISTRY.ordered()]
+    print(format_table(
+        ["function", "layer", "order", "audit", "accessor"], rows,
+        title="SecurityFunction registry"))
+    return 0
+
+
 SCENARIOS = {
     "botnet": run_botnet,
     "tables": run_tables,
     "telemetry": run_telemetry,
+    "functions": run_functions,
 }
 
 
@@ -107,12 +131,23 @@ def main(argv=None) -> int:
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="enable telemetry and write PATH.prom, "
                              "PATH.jsonl, PATH.trace.json after the run")
+    parser.add_argument("--disable-function", metavar="NAME",
+                        action="append", default=[],
+                        help="exclude a registry function from install "
+                             "(repeatable); see the 'functions' scenario "
+                             "for names")
     args = parser.parse_args(argv)
+
+    if args.disable_function:
+        from repro.core import REGISTRY, load_builtin_functions
+        load_builtin_functions()
+        for name in args.disable_function:
+            REGISTRY.get(name)  # fail fast on typos, with the known names
 
     if args.telemetry:
         from repro import telemetry
         telemetry.enable()
-    status = SCENARIOS[args.scenario](args.seed)
+    status = SCENARIOS[args.scenario](args)
     if args.telemetry:
         from repro.telemetry.export import write_exports
         paths = write_exports(telemetry.registry(), args.telemetry)

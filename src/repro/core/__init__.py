@@ -10,6 +10,14 @@ wires a whole smart-home world together.
 """
 
 from repro.core.signals import Alert, Layer, SecuritySignal, Severity, SignalType
+from repro.core.plugin import (
+    REGISTRY,
+    FunctionRegistry,
+    PluginError,
+    SecurityFunction,
+    load_builtin_functions,
+    register,
+)
 from repro.core.bus import CoreBus
 from repro.core.correlator import CorrelationRule, CrossLayerCorrelator
 from repro.core.mkl import KernelSpec, MklClassifier
@@ -33,6 +41,12 @@ def __getattr__(name):
 
 __all__ = [
     "Layer",
+    "REGISTRY",
+    "FunctionRegistry",
+    "PluginError",
+    "SecurityFunction",
+    "load_builtin_functions",
+    "register",
     "SignalType",
     "Severity",
     "SecuritySignal",

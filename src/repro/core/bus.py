@@ -33,6 +33,13 @@ class CoreBus:
     def subscribe(self, listener: Callable[[SecuritySignal], None]) -> None:
         self._listeners.append(listener)
 
+    def unsubscribe(self, listener: Callable[[SecuritySignal], None]) -> None:
+        """Remove a listener; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     # -- queries --------------------------------------------------------------
     def signals_for(self, device: str) -> List[SecuritySignal]:
         return list(self._by_device.get(device, []))

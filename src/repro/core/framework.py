@@ -1,10 +1,18 @@
 """The XLF facade: wire a smart-home world to the full framework.
 
 Fig. 4 as code.  Given the substrate (gateway, cloud, devices, links),
-:class:`XLF` installs the selected layer functions and the Core, and
-exposes the signals/alerts for evaluation.  Layers toggle independently
-so the F4 benchmark can run device-only, network-only, service-only,
-and full cross-layer configurations of the *same* world.
+:class:`XLF` acts as a *plugin host*: it resolves the enabled
+:class:`~repro.core.plugin.SecurityFunction`s from the registry and
+attaches every one of them through a single generic path — one code
+path wires link observers, gateway middleware, and the periodic audit
+loop instead of one bespoke block per function.  Layers toggle
+independently so the F4 benchmark can run device-only, network-only,
+service-only, and full cross-layer configurations of the *same* world,
+and the lifecycle is reversible: ``install()`` is idempotent,
+``uninstall()`` restores the gateway and links to their pre-install
+state, and ``set_layer_enabled`` / ``set_function_enabled`` reconfigure
+a *running* simulation (the degraded-mode operation the paper's
+resource-budget analysis implies).
 
 Trust model note: the gateway is the pairing point and holds device
 session keys (the delegation proxy provisions them), so gateway-resident
@@ -15,30 +23,21 @@ the same links cannot (see :mod:`repro.network.capture`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.bus import CoreBus
 from repro.core.correlator import CrossLayerCorrelator
+from repro.core.plugin import REGISTRY, SecurityFunction, load_builtin_functions
 from repro.core.policy import TokenLifetimePolicy
 from repro.core.signals import Alert, Layer, SecuritySignal
 from repro.device.device import IoTDevice
 from repro.network.gateway import Gateway
+from repro.network.internet import PUBLIC_DNS_ADDRESS
 from repro.network.node import Link
-from repro.security.device.access import ConstrainedAccess
-from repro.security.device.auth import DelegationProxy
-from repro.security.device.encryption import EncryptionPolicy
-from repro.security.device.malware import UpdateInspector
-from repro.security.network.activity import (
-    DeviceBehaviorProfile,
-    MaliciousActivityDetector,
-)
-from repro.security.network.monitor import EncryptedTrafficMonitor
-from repro.security.network.shaping import ShapingConfig, TrafficShaper
-from repro.security.service.analytics import SecurityAnalytics
-from repro.security.service.api_guard import ApiGuard
-from repro.security.service.appverify import ApplicationVerifier
+from repro.security.network.shaping import ShapingConfig
 from repro.service.cloud import CloudPlatform
 from repro.sim import Simulator
+from repro import telemetry as _telemetry
 
 
 @dataclass
@@ -56,6 +55,11 @@ class XlfConfig:
     # Periodic housekeeping: silence audit, overprivilege/exfiltration
     # re-audits.  0 disables the loop.
     audit_interval_s: float = 60.0
+    # Registry names excluded from install (CLI: --disable-function).
+    disabled_functions: Tuple[str, ...] = ()
+    # The Core-resident response engine (mitigation playbooks) changes
+    # the world it defends, so it is opt-in.
+    enable_response: bool = False
 
     @staticmethod
     def full() -> "XlfConfig":
@@ -77,9 +81,29 @@ class XlfConfig:
             single_layer=layer,
         )
 
+    def layer_enabled(self, layer: Layer) -> bool:
+        return {
+            Layer.DEVICE: self.enable_device_layer,
+            Layer.NETWORK: self.enable_network_layer,
+            Layer.SERVICE: self.enable_service_layer,
+            # Core functions gate themselves via should_install().
+            Layer.CORE: True,
+        }[layer]
+
+
+@dataclass
+class _Attachment:
+    """One attached function plus exactly what the host wired for it,
+    so detaching removes precisely those hooks and nothing else."""
+
+    function: SecurityFunction
+    observer: Optional[Callable] = None
+    ingress: Optional[Callable] = None
+    egress: Optional[Callable] = None
+
 
 class XLF:
-    """The framework instance for one home."""
+    """The framework instance for one home: a host for SecurityFunctions."""
 
     def __init__(self, sim: Simulator, gateway: Gateway,
                  cloud: CloudPlatform, devices: List[IoTDevice],
@@ -100,171 +124,272 @@ class XLF:
         self.token_policy = TokenLifetimePolicy(self.bus, self.correlator)
         self._address_to_device: Dict[str, IoTDevice] = {}
         self._id_to_device: Dict[str, IoTDevice] = {}
-        # Layer functions (populated by install()).
-        self.encryption_policy: Optional[EncryptionPolicy] = None
-        self.auth_proxy: Optional[DelegationProxy] = None
-        self.update_inspector: Optional[UpdateInspector] = None
-        self.constrained_access: Optional[ConstrainedAccess] = None
-        self.traffic_shaper: Optional[TrafficShaper] = None
-        self.traffic_monitor: Optional[EncryptedTrafficMonitor] = None
-        self.activity_detector: Optional[MaliciousActivityDetector] = None
-        self.api_guard: Optional[ApiGuard] = None
-        self.app_verifier: Optional[ApplicationVerifier] = None
-        self.analytics: Optional[SecurityAnalytics] = None
+        # Attached functions in wiring order (populated by install()).
+        self._attachments: Dict[str, _Attachment] = {}
+        self._installed = False
+        self._audit_process = None
         self.install()
 
-    # -- wiring ------------------------------------------------------------------
+    # -- plugin host lifecycle ---------------------------------------------------
     def install(self) -> None:
-        report = self.bus.report
+        """Resolve enabled functions from the registry and attach them.
+
+        Idempotent: a second call is a no-op, so install-after-refresh
+        (or defensive re-installs) cannot double-append gateway
+        middleware or link observers.
+        """
+        if self._installed:
+            return
         for device in self.devices:
             if device.interfaces:
                 self._address_to_device[device.address] = device
         self._rebuild_id_index()
+        load_builtin_functions()
+        disabled = set(self.config.disabled_functions)
+        for cls in REGISTRY.ordered():
+            if not self.config.layer_enabled(cls.layer):
+                continue
+            if cls.name in disabled:
+                continue
+            self._attach(cls)
+        self._installed = True
+        self._ensure_audit_loop()
 
-        if self.config.enable_device_layer:
-            self.encryption_policy = EncryptionPolicy(self.sim, report)
-            for device in self.devices:
-                self.encryption_policy.assign(device.name, device.profile)
-                self.encryption_policy.audit_device(device)
+    def uninstall(self) -> None:
+        """Detach every function, restoring gateway middleware chains and
+        link observer lists to their pre-install state."""
+        if not self._installed:
+            return
+        for name in reversed(list(self._attachments)):
+            self._detach(name)
+        self._stop_audit_loop()
+        self._installed = False
+
+    def set_layer_enabled(self, layer: Layer, enabled: bool) -> None:
+        """Runtime reconfiguration: toggle one layer's functions mid-run.
+
+        Disabling detaches the layer's attached functions immediately;
+        enabling attaches the layer's registry functions (respecting
+        ``disabled_functions``).  Functions enabled mid-run append to the
+        ends of the middleware chains, so a disable/enable round trip
+        preserves the function set but not necessarily seed chain order.
+        """
+        flag = {
+            Layer.DEVICE: "enable_device_layer",
+            Layer.NETWORK: "enable_network_layer",
+            Layer.SERVICE: "enable_service_layer",
+        }.get(layer)
+        if flag is None:
+            raise ValueError(f"cannot toggle layer {layer!r}")
+        setattr(self.config, flag, enabled)
+        if not self._installed:
+            return
+        if enabled:
+            disabled = set(self.config.disabled_functions)
+            for cls in REGISTRY.by_layer(layer):
+                if cls.name not in self._attachments and cls.name not in disabled:
+                    self._attach(cls)
+            self._ensure_audit_loop()
+        else:
+            for name in [n for n, a in self._attachments.items()
+                         if a.function.layer is layer]:
+                self._detach(name)
+
+    def set_function_enabled(self, name: str, enabled: bool) -> None:
+        """Runtime reconfiguration of a single function by registry name."""
+        load_builtin_functions()
+        cls = REGISTRY.get(name)
+        if enabled:
+            self.config.disabled_functions = tuple(
+                n for n in self.config.disabled_functions if n != name)
+            if self._installed and name not in self._attachments \
+                    and self.config.layer_enabled(cls.layer):
+                self._attach(cls)
+                self._ensure_audit_loop()
+        else:
+            if name not in self.config.disabled_functions:
+                self.config.disabled_functions += (name,)
+            if name in self._attachments:
+                self._detach(name)
+
+    # -- the one generic attach path ---------------------------------------------
+    def _attach(self, cls) -> None:
+        fn = cls()
+        if not fn.should_install(self):
+            return
+        # Register before attach(): attach-time code may go through the
+        # host accessors (e.g. refresh_allowlists during constrained-
+        # access attach).
+        attachment = _Attachment(function=fn)
+        self._attachments[fn.name] = attachment
+        try:
+            fn.attach(self)
+            attachment.observer = fn.link_observer()
+            attachment.ingress = fn.ingress_middleware()
+            attachment.egress = fn.egress_middleware()
+        except Exception:
+            del self._attachments[fn.name]
+            raise
+        if attachment.observer is not None:
             for link in self.lan_links:
-                link.add_observer(self.encryption_policy.observe)
-            self.auth_proxy = DelegationProxy(
-                self.sim, self.cloud.identity, self.cloud.oauth, report
-            )
-            self.update_inspector = UpdateInspector(self.sim, report=report)
-            self.gateway.ingress_middleware.append(self._ota_inspection)
-            self.constrained_access = ConstrainedAccess(self.sim, report)
-            self.refresh_allowlists()
-            self.gateway.egress_middleware.append(self.constrained_access)
+                link.add_observer(attachment.observer)
+        if attachment.ingress is not None:
+            self.gateway.ingress_middleware.append(attachment.ingress)
+        if attachment.egress is not None:
+            self.gateway.egress_middleware.append(attachment.egress)
+        if _telemetry.ENABLED:
+            registry = _telemetry.registry()
+            registry.counter("xlf.function.attached", function=fn.name,
+                             layer=fn.layer.value).inc()
+            registry.record_span("xlf.function.attach", self.sim.now,
+                                 self.sim.now, function=fn.name)
 
-        if self.config.enable_network_layer:
-            self.traffic_monitor = EncryptedTrafficMonitor(
-                self.sim,
-                token_key=self.config.monitor_token_key,
-                block_matches=self.config.block_matched_traffic,
-                report=report,
-            )
-            self.gateway.egress_middleware.append(self.traffic_monitor)
-            self.gateway.ingress_middleware.append(self.traffic_monitor)
+    def _detach(self, name: str) -> None:
+        attachment = self._attachments.pop(name)
+        if attachment.egress is not None:
+            self.gateway.egress_middleware.remove(attachment.egress)
+        if attachment.ingress is not None:
+            self.gateway.ingress_middleware.remove(attachment.ingress)
+        if attachment.observer is not None:
             for link in self.lan_links:
-                link.add_observer(self.traffic_monitor.observe)
-            self.activity_detector = MaliciousActivityDetector(self.sim, report)
-            for device in self.devices:
-                profile = DeviceBehaviorProfile.from_device_spec(
-                    device.spec,
-                    {device.cloud_address} if device.cloud_address else set(),
-                )
-                self.activity_detector.register_device(device.name, profile)
-            for link in self.lan_links:
-                link.add_observer(self.activity_detector.observe)
-            if self.config.shaping.enabled:
-                self.traffic_shaper = TrafficShaper(self.sim,
-                                                    self.config.shaping)
-                self.gateway.egress_middleware.append(self.traffic_shaper)
+                link.remove_observer(attachment.observer)
+        fn = attachment.function
+        fn.detach(self)
+        if _telemetry.ENABLED:
+            _telemetry.registry().counter(
+                "xlf.function.detached", function=name,
+                layer=fn.layer.value).inc()
 
-        if self.config.enable_service_layer:
-            self.api_guard = ApiGuard(self.sim, self.cloud.api, report)
+    # -- periodic audit loop -------------------------------------------------------
+    def _ensure_audit_loop(self) -> None:
+        if self.config.audit_interval_s <= 0:
+            return
+        if self._audit_process is not None and self._audit_process.is_alive:
+            return
+        if not any(type(a.function).provides_periodic_audit()
+                   for a in self._attachments.values()):
+            return
+        self._audit_process = self.sim.every(
+            self.config.audit_interval_s, self._periodic_audit,
+            name="xlf-audit")
 
-            def display_name(device_id: str) -> str:
-                owner = self._device_by_id(device_id)
-                return owner.name if owner is not None else device_id
-
-            self.app_verifier = ApplicationVerifier(
-                self.sim, report, display_name=display_name)
-            self.app_verifier.learn_rules(self.cloud.installed_apps())
-            self.analytics = SecurityAnalytics(self.sim, report)
-            for link in self.lan_links:
-                link.add_observer(self._service_layer_observer)
-            if self.config.audit_interval_s > 0:
-                self.sim.every(self.config.audit_interval_s,
-                               self._periodic_audit, name="xlf-audit")
+    def _stop_audit_loop(self) -> None:
+        if self._audit_process is not None and self._audit_process.is_alive:
+            self._audit_process.interrupt()
+        self._audit_process = None
 
     def _periodic_audit(self) -> None:
-        if self.analytics is not None:
-            self.analytics.audit_silence()
-        if self.app_verifier is not None:
-            self.app_verifier.audit_overprivilege(self.cloud)
-            self.app_verifier.audit_exfiltration(self.cloud)
+        now = self.sim.now
+        for attachment in list(self._attachments.values()):
+            fn = attachment.function
+            if not type(fn).provides_periodic_audit():
+                continue
+            fn.periodic_audit(now)
+            if _telemetry.ENABLED:
+                _telemetry.registry().record_span(
+                    "xlf.function.audit", now, self.sim.now,
+                    function=fn.name)
 
-    def _ota_inspection(self, packet, direction):
-        """Device-layer §IV-A.4: examine updates before they reach devices."""
-        payload = packet.payload
-        if isinstance(payload, dict) and payload.get("kind") == "ota":
-            image = payload.get("image")
-            if image is not None and self.update_inspector is not None:
-                target = self._address_to_device.get(packet.dst)
-                verdict = self.update_inspector.inspect(
-                    image, target.name if target else packet.dst)
-                if verdict == "malware":
-                    return []
-        return [(0.0, packet)]
+    # -- function access ----------------------------------------------------------
+    def function(self, name: str):
+        """The attached function's implementation object, or None."""
+        attachment = self._attachments.get(name)
+        return None if attachment is None else attachment.function.instance
 
+    def functions(self) -> Dict[str, SecurityFunction]:
+        """Attached SecurityFunctions keyed by name, in wiring order."""
+        return {name: a.function for name, a in self._attachments.items()}
+
+    def attached_names(self) -> List[str]:
+        return list(self._attachments)
+
+    def report_for(self, function_name: str
+                   ) -> Callable[[SecuritySignal], None]:
+        """A per-function report sink: counts the function's signals in
+        telemetry, then forwards to the Core bus."""
+        bus_report = self.bus.report
+
+        def report(signal: SecuritySignal) -> None:
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter(
+                    "xlf.function.signals", function=function_name).inc()
+            bus_report(signal)
+
+        return report
+
+    # Compatibility accessors: the pre-plugin attribute API, now thin
+    # registry lookups (None while the function is not attached).
+    @property
+    def encryption_policy(self):
+        return self.function("encryption-policy")
+
+    @property
+    def auth_proxy(self):
+        return self.function("delegation-proxy")
+
+    @property
+    def update_inspector(self):
+        return self.function("update-inspector")
+
+    @property
+    def constrained_access(self):
+        return self.function("constrained-access")
+
+    @property
+    def traffic_monitor(self):
+        return self.function("traffic-monitor")
+
+    @property
+    def activity_detector(self):
+        return self.function("activity-detector")
+
+    @property
+    def traffic_shaper(self):
+        return self.function("traffic-shaper")
+
+    @property
+    def api_guard(self):
+        return self.function("api-guard")
+
+    @property
+    def analytics(self):
+        return self.function("security-analytics")
+
+    @property
+    def app_verifier(self):
+        return self.function("app-verifier")
+
+    @property
+    def response_engine(self):
+        return self.function("response-engine")
+
+    # -- world indices (shared services for functions) -----------------------------
     def refresh_allowlists(self) -> None:
         """Re-learn each device's legitimate destinations (vendor cloud,
         DNS).  Call after pairing completes if XLF was installed first."""
         # Pairing is also when cloud device ids land, so refresh the
         # id -> device index alongside the allowlists.
         self._rebuild_id_index()
-        if self.constrained_access is None:
+        access = self.constrained_access
+        if access is None:
             return
         for device in self.devices:
             if device.cloud_address:
-                self.constrained_access.allow(device.name,
-                                              device.cloud_address)
+                access.allow(device.name, device.cloud_address)
             # Public DNS is always legitimate.
-            self.constrained_access.allow(device.name, "198.51.100.2")
-            self.constrained_access.allow(
-                device.name, f"{self.gateway.lan_prefix}.1")
+            access.allow(device.name, PUBLIC_DNS_ADDRESS)
+            access.allow(device.name, f"{self.gateway.lan_prefix}.1")
 
-    def _service_layer_observer(self, packet) -> None:
-        """Feed the service-layer monitors from gateway-visible traffic."""
-        payload = packet.payload
-        if not isinstance(payload, dict):
-            return
-        kind = payload.get("kind")
-        if kind == "telemetry" and self.analytics is not None:
-            device_id = payload.get("device_id", "")
-            # Signals must share one device key across layers or the
-            # correlator cannot join them: use the device *name*.
-            owner = self._device_by_id(device_id)
-            device_key = owner.name if owner is not None else device_id
-            readings = payload.get("readings", {})
-            # Sensor-less devices still produce a message cadence the
-            # silence audit needs, so ingest even with empty readings.
-            self.analytics.ingest_telemetry(device_key, readings)
-            if self.app_verifier is not None:
-                self.app_verifier.note_event(
-                    device_id, "state", payload.get("state"))
-                for attribute, value in readings.items():
-                    self.app_verifier.note_event(device_id, attribute, value)
-        elif kind == "event":
-            device_id = payload.get("device_id", "")
-            if self.app_verifier is not None:
-                self.app_verifier.note_event(
-                    device_id, payload.get("attribute", ""),
-                    payload.get("value"))
-            # Spoofing check: the claimed device must be the actual sender.
-            owner = self._device_by_id(device_id)
-            if owner is not None and packet.src_device != owner.name:
-                from repro.core.signals import Severity, SignalType
-                self.bus.report(SecuritySignal.make(
-                    Layer.SERVICE, SignalType.EVENT_SPOOFING,
-                    "xlf-gateway", owner.name, self.sim.now,
-                    severity=Severity.CRITICAL,
-                    claimed_device=device_id, actual_sender=packet.src_device,
-                ))
-        elif kind == "command" and self.app_verifier is not None:
-            device = self._address_to_device.get(packet.dst)
-            if device is not None and device.device_id:
-                self.app_verifier.note_command(
-                    device.device_id, payload.get("command", ""))
+    def device_at(self, address: str) -> Optional[IoTDevice]:
+        """The managed device holding ``address``, if any."""
+        return self._address_to_device.get(address)
 
     def _rebuild_id_index(self) -> None:
         for device in self.devices:
             if device.device_id:
                 self._id_to_device[device.device_id] = device
 
-    def _device_by_id(self, device_id: str) -> Optional[IoTDevice]:
+    def device_by_id(self, device_id: str) -> Optional[IoTDevice]:
         device = self._id_to_device.get(device_id)
         if device is None and device_id:
             # A device may have paired (and received its cloud id) after

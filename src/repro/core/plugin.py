@@ -1,0 +1,201 @@
+"""The SecurityFunction plugin substrate (Fig. 4 as an architecture).
+
+The paper presents XLF's layer functions as *pluggable*: device,
+network, and service functions are installed into — and coordinated
+by — a common Core.  This module is that contract made concrete:
+
+* :class:`SecurityFunction` — the lifecycle protocol every layer
+  function implements.  A function declares its ``layer``, ``name``,
+  and within-layer wiring ``order``, and exposes capability hooks the
+  host queries once at attach time: an optional link observer, optional
+  gateway ingress/egress middleware, and an optional periodic audit.
+* :class:`FunctionRegistry` — decorator-based registration plus
+  capability-style lookup by name or layer.  Iteration order is
+  *deterministic by declaration* — ``(layer rank, order, name)`` — not
+  by import accident, so two processes that imported modules in
+  different orders still wire an identical middleware/observer chain
+  (the property the serial-vs-parallel fleet identity rests on).
+* :func:`load_builtin_functions` — imports the ten layer-function
+  modules (plus the response engine) so their ``@register`` decorators
+  run; idempotent, called lazily by the host.
+
+The host side of the contract lives in
+:class:`repro.core.framework.XLF`: one generic attach path wires every
+function, ``uninstall()`` reverses it exactly, and
+``set_layer_enabled`` / ``set_function_enabled`` reconfigure a running
+simulation (degraded-mode operation under device resource budgets).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Type
+
+from repro.core.signals import Layer
+
+# Ranks for deterministic cross-layer ordering: device functions wire
+# before network functions before service functions (the seed framework's
+# install order), with Core-resident functions (response engine) last.
+_LAYER_RANK: Dict[Layer, int] = {
+    Layer.DEVICE: 0,
+    Layer.NETWORK: 1,
+    Layer.SERVICE: 2,
+    Layer.CORE: 3,
+}
+
+
+class PluginError(RuntimeError):
+    """Raised for registry misuse (duplicate names, unknown lookups)."""
+
+
+class SecurityFunction:
+    """Base protocol for one pluggable XLF security function.
+
+    Subclasses declare class attributes:
+
+    ``layer``
+        The :class:`~repro.core.signals.Layer` the function belongs to.
+    ``name``
+        Stable kebab-case identity (registry key, telemetry label,
+        ``--disable-function`` argument).
+    ``order``
+        Within-layer wiring priority; lower wires first.  Ordering is
+        observable (middleware chains, link-observer call order), so it
+        is declared, never inferred from imports.
+    ``accessor``
+        Optional attribute name the host exposes the wrapped
+        implementation under (``xlf.encryption_policy`` style).
+
+    Lifecycle: the host instantiates the class, checks
+    :meth:`should_install`, calls :meth:`attach` (which must set
+    ``self.instance`` to the underlying implementation object), then
+    queries the capability hooks exactly once and wires whatever they
+    return.  :meth:`detach` runs when the function is uninstalled,
+    after the host has removed the wired hooks.
+    """
+
+    layer: Layer
+    name: str = ""
+    order: int = 50
+    accessor: Optional[str] = None
+
+    def __init__(self) -> None:
+        self.instance: Any = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def should_install(self, host) -> bool:
+        """Config-sensitive gate (e.g. the shaper when shaping is off)."""
+        return True
+
+    def attach(self, host) -> None:
+        """Create the implementation and bind it to ``host``."""
+        raise NotImplementedError
+
+    def detach(self, host) -> None:
+        """Undo attach-time side effects the host cannot see."""
+
+    # -- capability hooks (queried once, right after attach) ---------------
+    def link_observer(self) -> Optional[Callable]:
+        """Passive per-packet tap for every LAN link, or None."""
+        return None
+
+    def ingress_middleware(self) -> Optional[Callable]:
+        """Gateway ingress middleware ((packet, dir) -> emissions), or None."""
+        return None
+
+    def egress_middleware(self) -> Optional[Callable]:
+        """Gateway egress middleware ((packet, dir) -> emissions), or None."""
+        return None
+
+    def periodic_audit(self, now: float) -> None:
+        """Housekeeping hook the host's audit loop invokes."""
+
+    @classmethod
+    def provides_periodic_audit(cls) -> bool:
+        return cls.periodic_audit is not SecurityFunction.periodic_audit
+
+    @classmethod
+    def sort_key(cls):
+        return (_LAYER_RANK[cls.layer], cls.order, cls.name)
+
+
+class FunctionRegistry:
+    """Name-keyed registry of :class:`SecurityFunction` classes."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, Type[SecurityFunction]] = {}
+
+    # -- registration ------------------------------------------------------
+    def register(self, cls: Type[SecurityFunction]) -> Type[SecurityFunction]:
+        """Class decorator: ``@REGISTRY.register`` (or module-level
+        ``@register``)."""
+        name = getattr(cls, "name", "")
+        if not name:
+            raise PluginError(f"{cls.__name__} declares no function name")
+        layer = getattr(cls, "layer", None)
+        if not isinstance(layer, Layer):
+            raise PluginError(f"{cls.__name__} declares no Layer")
+        existing = self._classes.get(name)
+        if existing is not None and existing is not cls:
+            raise PluginError(
+                f"function name {name!r} already registered by "
+                f"{existing.__name__}")
+        self._classes[name] = cls
+        return cls
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, name: str) -> Type[SecurityFunction]:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise PluginError(
+                f"unknown security function {name!r}; registered: "
+                f"{', '.join(self.names()) or '(none)'}") from None
+
+    def create(self, name: str) -> SecurityFunction:
+        return self.get(name)()
+
+    def ordered(self) -> List[Type[SecurityFunction]]:
+        """All registered classes in deterministic wiring order."""
+        return sorted(self._classes.values(), key=lambda cls: cls.sort_key())
+
+    def names(self) -> List[str]:
+        return [cls.name for cls in self.ordered()]
+
+    def by_layer(self, layer: Layer) -> List[Type[SecurityFunction]]:
+        return [cls for cls in self.ordered() if cls.layer is layer]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+
+REGISTRY = FunctionRegistry()
+register = REGISTRY.register
+
+_builtins_loaded = False
+
+
+def load_builtin_functions() -> FunctionRegistry:
+    """Import every built-in function module so registration runs.
+
+    Idempotent; the import set is the closed list of modules shipping
+    ``@register``-ed functions (scripts/check.sh smoke-checks that the
+    result resolves all ten layer functions).
+    """
+    global _builtins_loaded
+    if not _builtins_loaded:
+        import repro.security.device.encryption    # noqa: F401
+        import repro.security.device.auth          # noqa: F401
+        import repro.security.device.malware       # noqa: F401
+        import repro.security.device.access        # noqa: F401
+        import repro.security.network.monitor      # noqa: F401
+        import repro.security.network.activity     # noqa: F401
+        import repro.security.network.shaping      # noqa: F401
+        import repro.security.service.api_guard    # noqa: F401
+        import repro.security.service.analytics    # noqa: F401
+        import repro.security.service.appverify    # noqa: F401
+        import repro.core.response                 # noqa: F401
+        _builtins_loaded = True
+    return REGISTRY

@@ -22,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.core.signals import Alert
+from repro.core.plugin import SecurityFunction, register
+from repro.core.signals import Alert, Layer
 from repro.sim import Simulator
 
 
@@ -180,3 +181,33 @@ class ResponseEngine:
             return False
         self.xlf.constrained_access._allowlists[device_name] = set(allowlist)
         return True
+
+    # -- lifecycle ------------------------------------------------------------------
+    def unsubscribe(self) -> None:
+        """Stop reacting to new alerts (applied mitigations stay)."""
+        self.xlf.bus.unsubscribe(self._check_new_alerts)
+
+
+@register
+class ResponseFunction(SecurityFunction):
+    """Plugin: the Core-resident response engine.
+
+    Mitigation playbooks *change the world they defend* (quarantines,
+    credential rotation, OTA freezes), so the function is opt-in via
+    ``XlfConfig.enable_response``; detaching stops alert handling but
+    deliberately leaves already-applied mitigations in place.
+    """
+
+    layer = Layer.CORE
+    name = "response-engine"
+    order = 10
+    accessor = "response_engine"
+
+    def should_install(self, host) -> bool:
+        return host.config.enable_response
+
+    def attach(self, host) -> None:
+        self.instance = ResponseEngine(host)
+
+    def detach(self, host) -> None:
+        self.instance.unsubscribe()

@@ -12,6 +12,11 @@ from repro.sim import Simulator
 
 _public_hosts = itertools.count(10)
 
+# The well-known public resolver address (the 198.51.100.0/24 TEST-NET-2
+# block).  Shared with the framework's allowlists: public DNS is always a
+# legitimate destination for managed devices.
+PUBLIC_DNS_ADDRESS = "198.51.100.2"
+
 
 class Internet:
     """A convenience wrapper around the WAN link.
@@ -38,7 +43,7 @@ class Internet:
         return address
 
     def create_dns(self, zone_key: bytes = b"zone-trust-anchor",
-                   address: str = "198.51.100.2") -> DnsServer:
+                   address: str = PUBLIC_DNS_ADDRESS) -> DnsServer:
         if self.dns is not None:
             return self.dns
         self.dns = DnsServer(self.sim, "dns-root", zone_key=zone_key)

@@ -64,6 +64,14 @@ class Link:
         """Register a passive tap; called for every packet the link carries."""
         self._observers.append(observer)
 
+    def remove_observer(self, observer: Callable[[Packet], None]) -> None:
+        """Remove a previously registered tap (first occurrence); unknown
+        observers are ignored so detach paths stay idempotent."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
     def addresses(self) -> List[str]:
         return sorted(self._interfaces)
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.core.plugin import SecurityFunction, register
 from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
 from repro.crypto import CtrMode, get_cached_cipher
 from repro.crypto.kdf import derive_key
@@ -74,6 +75,25 @@ class ConstrainedAccess:
                 destination=packet.dst, blocked=True,
             ))
         return []
+
+
+@register
+class ConstrainedAccessFunction(SecurityFunction):
+    """Plugin: per-device destination allowlists at the gateway (§IV-A.3)."""
+
+    layer = Layer.DEVICE
+    name = "constrained-access"
+    order = 40
+    accessor = "constrained_access"
+
+    def attach(self, host) -> None:
+        self.instance = ConstrainedAccess(host.sim, host.report_for(self.name))
+        # Seed the allowlists from current pairing state; callers re-run
+        # host.refresh_allowlists() after later pairings.
+        host.refresh_allowlists()
+
+    def egress_middleware(self):
+        return self.instance
 
 
 class DnsBridge:

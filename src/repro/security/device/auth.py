@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.plugin import SecurityFunction, register
 from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
 from repro.service.identity import IdentityManager, UserRole
 from repro.service.oauth import OAuthServer, Scope, Token
@@ -205,3 +206,18 @@ class DelegationProxy:
         if value is None:
             return False
         return self.oauth.set_lifetime(value, expires_at)
+
+
+@register
+class DelegationProxyFunction(SecurityFunction):
+    """Plugin: gateway-resident SSO/MFA delegation (paper §IV-A.1)."""
+
+    layer = Layer.DEVICE
+    name = "delegation-proxy"
+    order = 20
+    accessor = "auth_proxy"
+
+    def attach(self, host) -> None:
+        self.instance = DelegationProxy(
+            host.sim, host.cloud.identity, host.cloud.oauth,
+            host.report_for(self.name))

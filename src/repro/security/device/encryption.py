@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.plugin import SecurityFunction, register
 from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
 from repro.crypto.registry import CipherSpec, get_spec
 from repro.device.profiles import DeviceClass, DeviceProfile
@@ -107,3 +108,23 @@ class EncryptionPolicy:
         for signal in signals:
             self._report(signal)
         return signals
+
+
+@register
+class EncryptionPolicyFunction(SecurityFunction):
+    """Plugin: assign per-class ciphers and audit traffic for plaintext."""
+
+    layer = Layer.DEVICE
+    name = "encryption-policy"
+    order = 10
+    accessor = "encryption_policy"
+
+    def attach(self, host) -> None:
+        policy = EncryptionPolicy(host.sim, host.report_for(self.name))
+        for device in host.devices:
+            policy.assign(device.name, device.profile)
+            policy.audit_device(device)
+        self.instance = policy
+
+    def link_observer(self):
+        return self.instance.observe

@@ -20,6 +20,7 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
+from repro.core.plugin import SecurityFunction, register
 from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
 from repro.network.packet import Packet
 from repro.sim import Simulator
@@ -205,3 +206,27 @@ class MaliciousActivityDetector:
                 from_state=previous, to_state=claimed,
             ))
         self._last_state[device] = claimed
+
+
+@register
+class ActivityDetectorFunction(SecurityFunction):
+    """Plugin: DFA/scan/DDoS malicious-activity identification (§IV-B.3)."""
+
+    layer = Layer.NETWORK
+    name = "activity-detector"
+    order = 20
+    accessor = "activity_detector"
+
+    def attach(self, host) -> None:
+        detector = MaliciousActivityDetector(host.sim,
+                                             host.report_for(self.name))
+        for device in host.devices:
+            profile = DeviceBehaviorProfile.from_device_spec(
+                device.spec,
+                {device.cloud_address} if device.cloud_address else set(),
+            )
+            detector.register_device(device.name, profile)
+        self.instance = detector
+
+    def link_observer(self):
+        return self.instance.observe

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from repro.core.plugin import SecurityFunction, register
 from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
 from repro.crypto.mac import HmacLite
 from repro.network.packet import Packet
@@ -146,3 +147,30 @@ class EncryptedTrafficMonitor:
                 Layer.NETWORK, SignalType.C2_KEYWORD, "traffic-monitor",
                 device, self.sim.now, severity=rule.severity, rule=rule.name,
             ))
+
+
+@register
+class TrafficMonitorFunction(SecurityFunction):
+    """Plugin: BlindBox-style encrypted-traffic monitoring (§IV-B.2)."""
+
+    layer = Layer.NETWORK
+    name = "traffic-monitor"
+    order = 10
+    accessor = "traffic_monitor"
+
+    def attach(self, host) -> None:
+        self.instance = EncryptedTrafficMonitor(
+            host.sim,
+            token_key=host.config.monitor_token_key,
+            block_matches=host.config.block_matched_traffic,
+            report=host.report_for(self.name),
+        )
+
+    def link_observer(self):
+        return self.instance.observe
+
+    def ingress_middleware(self):
+        return self.instance
+
+    def egress_middleware(self):
+        return self.instance

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from repro.core.plugin import SecurityFunction, register
+from repro.core.signals import Layer
 from repro.network.packet import Packet
 from repro.sim import Simulator
 
@@ -118,3 +120,23 @@ class TrafficShaper:
         if self.real_packets == 0:
             return 0.0
         return self.total_delay_s / self.real_packets
+
+
+@register
+class TrafficShaperFunction(SecurityFunction):
+    """Plugin: anti-inference traffic shaping (§IV-B.1); only installs
+    when the host config enables a shaping policy."""
+
+    layer = Layer.NETWORK
+    name = "traffic-shaper"
+    order = 30
+    accessor = "traffic_shaper"
+
+    def should_install(self, host) -> bool:
+        return host.config.shaping.enabled
+
+    def attach(self, host) -> None:
+        self.instance = TrafficShaper(host.sim, host.config.shaping)
+
+    def egress_middleware(self):
+        return self.instance

@@ -19,6 +19,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.plugin import SecurityFunction, register
 from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
 from repro.security.service.timeseries import TelemetryForecaster
 from repro.sim import Simulator
@@ -217,3 +218,37 @@ class SecurityAnalytics:
             context=context_name, context_value=context_value,
         ))
         return False
+
+
+@register
+class SecurityAnalyticsFunction(SecurityFunction):
+    """Plugin: streaming telemetry analytics fed from gateway-visible
+    traffic (§IV-C.3); runs the silence audit in the periodic loop."""
+
+    layer = Layer.SERVICE
+    name = "security-analytics"
+    order = 20
+    accessor = "analytics"
+
+    def attach(self, host) -> None:
+        self._host = host
+        self.instance = SecurityAnalytics(host.sim, host.report_for(self.name))
+
+    def link_observer(self):
+        return self._observe
+
+    def _observe(self, packet) -> None:
+        payload = packet.payload
+        if not isinstance(payload, dict) or payload.get("kind") != "telemetry":
+            return
+        device_id = payload.get("device_id", "")
+        # Signals must share one device key across layers or the
+        # correlator cannot join them: use the device *name*.
+        owner = self._host.device_by_id(device_id)
+        device_key = owner.name if owner is not None else device_id
+        # Sensor-less devices still produce a message cadence the
+        # silence audit needs, so ingest even with empty readings.
+        self.instance.ingest_telemetry(device_key, payload.get("readings", {}))
+
+    def periodic_audit(self, now: float) -> None:
+        self.instance.audit_silence()

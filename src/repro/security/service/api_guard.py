@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import Callable, Deque, Dict, Optional
 
+from repro.core.plugin import SecurityFunction, register
 from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
 from repro.network.protocols.http import HttpRequest, HttpResponse
 from repro.service.api import RestApi
@@ -70,3 +71,17 @@ class ApiGuard:
             self.sim.now, severity=Severity.WARNING,
             subject=subject, reason=reason,
         ))
+
+
+@register
+class ApiGuardFunction(SecurityFunction):
+    """Plugin: rate limiting and abuse signals for the cloud API (§IV-C.1)."""
+
+    layer = Layer.SERVICE
+    name = "api-guard"
+    order = 10
+    accessor = "api_guard"
+
+    def attach(self, host) -> None:
+        self.instance = ApiGuard(host.sim, host.cloud.api,
+                                 host.report_for(self.name))

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.plugin import SecurityFunction, register
 from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
 from repro.service.cloud import CloudPlatform
 from repro.service.smartapps import SmartApp, TriggerActionRule
@@ -132,3 +133,71 @@ class ApplicationVerifier:
             ))
             self._reported_exfil_count = count
         return count
+
+
+@register
+class AppVerifierFunction(SecurityFunction):
+    """Plugin: gateway-side application verification (§IV-C.2).
+
+    The observer feeds the verifier from the *observable* record —
+    events and commands the gateway sees on the LAN — and carries the
+    event-spoofing provenance check (the claimed device must be the
+    actual sender), since provenance is this function's domain.
+    """
+
+    layer = Layer.SERVICE
+    name = "app-verifier"
+    order = 30
+    accessor = "app_verifier"
+
+    def attach(self, host) -> None:
+        self._host = host
+
+        def display_name(device_id: str) -> str:
+            owner = host.device_by_id(device_id)
+            return owner.name if owner is not None else device_id
+
+        verifier = ApplicationVerifier(host.sim, host.report_for(self.name),
+                                       display_name=display_name)
+        verifier.learn_rules(host.cloud.installed_apps())
+        self.instance = verifier
+        self._report = host.report_for(self.name)
+
+    def link_observer(self):
+        return self._observe
+
+    def _observe(self, packet) -> None:
+        payload = packet.payload
+        if not isinstance(payload, dict):
+            return
+        kind = payload.get("kind")
+        host = self._host
+        verifier = self.instance
+        if kind == "telemetry":
+            device_id = payload.get("device_id", "")
+            verifier.note_event(device_id, "state", payload.get("state"))
+            for attribute, value in payload.get("readings", {}).items():
+                verifier.note_event(device_id, attribute, value)
+        elif kind == "event":
+            device_id = payload.get("device_id", "")
+            verifier.note_event(device_id, payload.get("attribute", ""),
+                                payload.get("value"))
+            # Spoofing check: the claimed device must be the actual sender.
+            owner = host.device_by_id(device_id)
+            if owner is not None and packet.src_device != owner.name:
+                self._report(SecuritySignal.make(
+                    Layer.SERVICE, SignalType.EVENT_SPOOFING,
+                    "xlf-gateway", owner.name, host.sim.now,
+                    severity=Severity.CRITICAL,
+                    claimed_device=device_id,
+                    actual_sender=packet.src_device,
+                ))
+        elif kind == "command":
+            device = host.device_at(packet.dst)
+            if device is not None and device.device_id:
+                verifier.note_command(device.device_id,
+                                      payload.get("command", ""))
+
+    def periodic_audit(self, now: float) -> None:
+        self.instance.audit_overprivilege(self._host.cloud)
+        self.instance.audit_exfiltration(self._host.cloud)

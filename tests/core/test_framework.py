@@ -6,6 +6,7 @@ from repro.core import XLF, Layer, XlfConfig
 from repro.core.signals import SignalType
 from repro.device.device import Vulnerabilities
 from repro.device.firmware import FirmwareImage
+from repro.network.internet import PUBLIC_DNS_ADDRESS
 from repro.scenarios import SmartHome, SmartHomeConfig
 from repro.security.network.shaping import ShapingConfig
 
@@ -62,7 +63,7 @@ class TestAllowlists:
         for device in home.devices:
             allowed = xlf.constrained_access.allowlist_of(device.name)
             assert device.cloud_address in allowed
-            assert "198.51.100.2" in allowed  # public DNS
+            assert PUBLIC_DNS_ADDRESS in allowed  # public DNS
 
     def test_traffic_to_cloud_not_blocked(self):
         home = make_home()

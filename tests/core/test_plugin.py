@@ -1,0 +1,334 @@
+"""Tests for the SecurityFunction plugin architecture.
+
+Covers the registry (resolution, ordering, duplicate protection), the
+XlfConfig matrix (full / off / only-layer attach exactly the registry's
+functions), install idempotence (the latent double-install bug), the
+reversible lifecycle (uninstall restores gateway and links), runtime
+reconfiguration (set_layer_enabled / set_function_enabled), and the
+per-function telemetry counters.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.attacks import MiraiBotnet
+from repro.core import (
+    REGISTRY,
+    XLF,
+    Layer,
+    PluginError,
+    SecurityFunction,
+    XlfConfig,
+    load_builtin_functions,
+)
+from repro.core.plugin import FunctionRegistry
+from repro.scenarios import SmartHome, SmartHomeConfig
+from repro.security.network.shaping import ShapingConfig
+
+# The builtin function set, by layer, in declared wiring order.
+DEVICE_FUNCTIONS = ["encryption-policy", "delegation-proxy",
+                    "update-inspector", "constrained-access"]
+NETWORK_FUNCTIONS = ["traffic-monitor", "activity-detector",
+                     "traffic-shaper"]
+SERVICE_FUNCTIONS = ["api-guard", "security-analytics", "app-verifier"]
+CORE_FUNCTIONS = ["response-engine"]
+ALL_FUNCTIONS = (DEVICE_FUNCTIONS + NETWORK_FUNCTIONS
+                 + SERVICE_FUNCTIONS + CORE_FUNCTIONS)
+
+
+def make_home(**kwargs):
+    home = SmartHome(SmartHomeConfig(**kwargs))
+    home.run(5.0)
+    return home
+
+
+def install(home, config=None):
+    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+              home.all_lan_links, config or XlfConfig.full())
+    xlf.refresh_allowlists()
+    return xlf
+
+
+def wiring_snapshot(home):
+    """Middleware chain lengths and per-link observer counts."""
+    return (
+        len(home.gateway.ingress_middleware),
+        len(home.gateway.egress_middleware),
+        tuple(len(link._observers) for link in home.all_lan_links),
+    )
+
+
+class TestRegistry:
+    def test_all_builtin_functions_resolve(self):
+        load_builtin_functions()
+        for name in ALL_FUNCTIONS:
+            cls = REGISTRY.get(name)
+            assert cls.name == name
+            assert issubclass(cls, SecurityFunction)
+
+    def test_layers_are_correct(self):
+        load_builtin_functions()
+        expected = {Layer.DEVICE: DEVICE_FUNCTIONS,
+                    Layer.NETWORK: NETWORK_FUNCTIONS,
+                    Layer.SERVICE: SERVICE_FUNCTIONS,
+                    Layer.CORE: CORE_FUNCTIONS}
+        for layer, names in expected.items():
+            assert [cls.name for cls in REGISTRY.by_layer(layer)] == names
+
+    def test_ordered_is_deterministic_device_to_core(self):
+        load_builtin_functions()
+        assert [cls.name for cls in REGISTRY.ordered()] == ALL_FUNCTIONS
+
+    def test_unknown_name_raises_with_known_names(self):
+        load_builtin_functions()
+        with pytest.raises(PluginError, match="traffic-monitor"):
+            REGISTRY.get("no-such-function")
+
+    def test_duplicate_registration_rejected(self):
+        registry = FunctionRegistry()
+
+        @registry.register
+        class First(SecurityFunction):
+            layer = Layer.DEVICE
+            name = "dup"
+
+            def attach(self, host):
+                pass
+
+        with pytest.raises(PluginError, match="dup"):
+            @registry.register
+            class Second(SecurityFunction):
+                layer = Layer.NETWORK
+                name = "dup"
+
+                def attach(self, host):
+                    pass
+
+        # Re-registering the *same* class is a no-op (module reimports).
+        registry.register(First)
+        assert len(registry) == 1
+
+    def test_register_requires_name_and_layer(self):
+        registry = FunctionRegistry()
+        with pytest.raises(PluginError):
+            @registry.register
+            class Nameless(SecurityFunction):
+                layer = Layer.DEVICE
+
+                def attach(self, host):
+                    pass
+
+
+class TestConfigMatrix:
+    def test_full_attaches_exactly_the_registry_defaults(self):
+        xlf = install(make_home())
+        # Shaper gates on shaping config, response engine is opt-in.
+        expected = [n for n in ALL_FUNCTIONS
+                    if n not in ("traffic-shaper", "response-engine")]
+        assert xlf.attached_names() == expected
+
+    def test_full_with_shaping_includes_the_shaper(self):
+        config = XlfConfig(shaping=ShapingConfig.delays_only(1.0))
+        xlf = install(make_home(), config)
+        assert "traffic-shaper" in xlf.attached_names()
+
+    def test_full_with_response_includes_the_engine(self):
+        config = XlfConfig(enable_response=True)
+        xlf = install(make_home(), config)
+        assert xlf.attached_names()[-1] == "response-engine"
+        assert xlf.response_engine is not None
+
+    def test_off_attaches_nothing(self):
+        home = make_home()
+        before = wiring_snapshot(home)
+        xlf = install(home, XlfConfig.off())
+        assert xlf.attached_names() == []
+        assert wiring_snapshot(home) == before
+
+    @pytest.mark.parametrize("layer,expected", [
+        (Layer.DEVICE, DEVICE_FUNCTIONS),
+        (Layer.NETWORK, ["traffic-monitor", "activity-detector"]),
+        (Layer.SERVICE, SERVICE_FUNCTIONS),
+    ])
+    def test_only_layer_attaches_exactly_that_layer(self, layer, expected):
+        xlf = install(make_home(), XlfConfig.only(layer))
+        assert xlf.attached_names() == expected
+
+    def test_disabled_functions_config(self):
+        config = XlfConfig.full()
+        config.disabled_functions = ("traffic-monitor", "api-guard")
+        xlf = install(make_home(), config)
+        names = xlf.attached_names()
+        assert "traffic-monitor" not in names
+        assert "api-guard" not in names
+        assert xlf.traffic_monitor is None
+        assert "activity-detector" in names
+
+
+class TestInstallIdempotence:
+    def test_second_install_is_a_noop(self):
+        home = make_home()
+        xlf = install(home)
+        snapshot = wiring_snapshot(home)
+        names = xlf.attached_names()
+        xlf.install()
+        xlf.install()
+        assert wiring_snapshot(home) == snapshot
+        assert xlf.attached_names() == names
+
+    def test_install_after_refresh_allowlists_does_not_duplicate(self):
+        home = make_home()
+        xlf = install(home)
+        snapshot = wiring_snapshot(home)
+        xlf.refresh_allowlists()
+        xlf.install()
+        assert wiring_snapshot(home) == snapshot
+
+    def test_double_install_does_not_double_count_packets(self):
+        """Observed signals after a botnet run are identical whether
+        install() ran once or defensively twice."""
+        streams = []
+        for extra_installs in (0, 2):
+            home = make_home(seed=5)
+            xlf = install(home)
+            for _ in range(extra_installs):
+                xlf.install()
+                xlf.refresh_allowlists()
+            MiraiBotnet(home, run_ddos=False).launch()
+            home.run(150.0)
+            streams.append([
+                (s.layer, s.signal_type, s.source, s.device, s.timestamp)
+                for s in xlf.signals])
+        assert streams[0] == streams[1]
+
+
+class TestUninstall:
+    def test_uninstall_restores_gateway_and_links(self):
+        home = make_home()
+        before = wiring_snapshot(home)
+        xlf = install(home)
+        assert wiring_snapshot(home) != before  # something was wired
+        xlf.uninstall()
+        assert wiring_snapshot(home) == before
+        assert xlf.attached_names() == []
+        assert xlf.encryption_policy is None
+        assert xlf.traffic_monitor is None
+        assert xlf.analytics is None
+
+    def test_reinstall_after_uninstall(self):
+        home = make_home()
+        xlf = install(home)
+        names = xlf.attached_names()
+        snapshot = wiring_snapshot(home)
+        xlf.uninstall()
+        xlf.install()
+        assert xlf.attached_names() == names
+        assert wiring_snapshot(home) == snapshot
+
+    def test_uninstall_stops_the_audit_loop(self):
+        home = make_home()
+        xlf = install(home)
+        assert xlf._audit_process is not None and xlf._audit_process.is_alive
+        xlf.uninstall()
+        home.run(home.sim.now + 5.0)
+        assert xlf._audit_process is None
+
+
+class TestRuntimeReconfiguration:
+    def test_disable_layer_mid_run(self):
+        home = make_home()
+        xlf = install(home)
+        home.run(50.0)
+        xlf.set_layer_enabled(Layer.NETWORK, False)
+        assert xlf.traffic_monitor is None
+        assert xlf.activity_detector is None
+        assert xlf.encryption_policy is not None  # other layers untouched
+        home.run(home.sim.now + 50.0)  # world keeps running
+
+    def test_reenable_layer_mid_run(self):
+        home = make_home()
+        xlf = install(home)
+        xlf.set_layer_enabled(Layer.SERVICE, False)
+        xlf.set_layer_enabled(Layer.SERVICE, True)
+        for name in SERVICE_FUNCTIONS:
+            assert name in xlf.attached_names()
+
+    def test_core_layer_is_not_togglable(self):
+        xlf = install(make_home())
+        with pytest.raises(ValueError):
+            xlf.set_layer_enabled(Layer.CORE, False)
+
+    def test_set_function_enabled_round_trip(self):
+        home = make_home()
+        xlf = install(home)
+        snapshot = wiring_snapshot(home)
+        xlf.set_function_enabled("traffic-monitor", False)
+        assert xlf.traffic_monitor is None
+        assert "traffic-monitor" in xlf.config.disabled_functions
+        assert wiring_snapshot(home) != snapshot
+        xlf.set_function_enabled("traffic-monitor", True)
+        assert xlf.traffic_monitor is not None
+        assert "traffic-monitor" not in xlf.config.disabled_functions
+        assert wiring_snapshot(home) == snapshot
+
+    def test_disabled_layer_still_detects_on_remaining_layers(self):
+        home = make_home(seed=2)
+        xlf = install(home)
+        xlf.set_layer_enabled(Layer.NETWORK, False)
+        disabled_at = home.sim.now
+        MiraiBotnet(home, run_ddos=False).launch()
+        home.run(150.0)
+        layers = {s.layer for s in xlf.signals if s.timestamp > disabled_at}
+        assert Layer.NETWORK not in layers
+        assert layers  # the remaining layers still saw the attack
+
+
+class TestFunctionTelemetry:
+    @pytest.fixture(autouse=True)
+    def clean_telemetry(self):
+        telemetry.disable()
+        telemetry.reset()
+        yield
+        telemetry.disable()
+        telemetry.reset()
+
+    def test_attach_detach_counters(self):
+        telemetry.enable()
+        home = make_home()
+        xlf = install(home)
+        snap = telemetry.registry().snapshot()
+        attached = {labels: v for (name, labels), v
+                    in snap["counters"].items()
+                    if name == "xlf.function.attached"}
+        functions = {dict(labels)["function"] for labels in attached}
+        assert functions == set(xlf.attached_names())
+        xlf.uninstall()
+        snap = telemetry.registry().snapshot()
+        detached = {dict(labels)["function"]
+                    for (name, labels), v in snap["counters"].items()
+                    if name == "xlf.function.detached"}
+        assert detached == functions
+
+    def test_per_function_signal_counters(self):
+        telemetry.enable()
+        home = make_home(seed=3)
+        xlf = install(home)
+        MiraiBotnet(home, run_ddos=False).launch()
+        home.run(150.0)
+        snap = telemetry.registry().snapshot()
+        signal_counts = {dict(labels)["function"]: v
+                         for (name, labels), v in snap["counters"].items()
+                         if name == "xlf.function.signals"}
+        # Every counted function is attached, and the totals reconcile
+        # with the bus (function-reported signals are a subset: the
+        # correlator/policy also publish on the bus directly).
+        assert set(signal_counts) <= set(xlf.attached_names())
+        assert sum(signal_counts.values()) <= len(xlf.signals)
+        assert sum(signal_counts.values()) > 0
+
+    def test_attach_spans_recorded(self):
+        telemetry.enable()
+        install(make_home())
+        snap = telemetry.registry().snapshot()
+        span_names = {span[0] for span in snap["spans"]}
+        assert "xlf.function.attach" in span_names
