@@ -9,39 +9,40 @@ single layers either lack the evidence (recall) or alert on every local
 anomaly (precision).
 
 Campaign: Mirai botnet + rogue SmartApp + event spoofing + malicious
-OTA, on a home with realistic benign background activity.
+OTA, on a home with realistic benign background activity — described
+once as a declarative :class:`ScenarioSpec` and executed for each
+defense posture by the generic ``run_spec`` engine.
 """
 
 import pytest
 
 from benchmarks.conftest import emit
-from repro.attacks import (
-    EventSpoofing,
-    MaliciousOtaUpdate,
-    MiraiBotnet,
-    RogueSmartApp,
-)
-from repro.core import XLF, XlfConfig
+from repro.core import XlfConfig
 from repro.core.signals import Layer
-from repro.device.device import Vulnerabilities
 from repro.metrics import format_table, score_detection, time_to_detection
-from repro.scenarios import ResidentActivity, SmartHome, SmartHomeConfig
+from repro.scenarios import (
+    AttackSpec,
+    DeviceEntry,
+    HomeSpec,
+    ScenarioSpec,
+    run_spec,
+)
 
-HOME_CONFIG = dict(
+HOME = HomeSpec(
     devices=[
-        ("smart_bulb", Vulnerabilities()),
-        ("smart_lock", Vulnerabilities()),
-        ("thermostat", Vulnerabilities(unsigned_firmware=True)),
-        ("camera", Vulnerabilities(default_credentials=True,
-                                   open_telnet=True)),
-        ("smoke_detector", Vulnerabilities()),
-        ("smart_plug", Vulnerabilities(default_credentials=True,
-                                       open_telnet=True)),
-        ("voice_assistant", Vulnerabilities()),
-        ("fridge", Vulnerabilities(plaintext_traffic=True)),
+        DeviceEntry("smart_bulb"),
+        DeviceEntry("smart_lock"),
+        DeviceEntry("thermostat", ("unsigned_firmware",)),
+        DeviceEntry("camera", ("default_credentials", "open_telnet")),
+        DeviceEntry("smoke_detector"),
+        DeviceEntry("smart_plug", ("default_credentials", "open_telnet")),
+        DeviceEntry("voice_assistant"),
+        DeviceEntry("fridge", ("plaintext_traffic",)),
     ],
     cloud_coarse_grants=True,
     cloud_verify_event_integrity=False,
+    activity=True,
+    activity_interval_s=60.0,
 )
 
 CONFIGS = [
@@ -54,38 +55,39 @@ CONFIGS = [
 DURATION_S = 400.0
 
 
+def campaign_spec(xlf_config, seed=23) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig4-campaign",
+        homes=[HOME],
+        attacks=[
+            AttackSpec(attack="mirai-botnet"),
+            AttackSpec(attack="rogue-smartapp"),
+            AttackSpec(attack="event-spoofing"),
+            AttackSpec(attack="malicious-ota-update"),
+        ],
+        xlf=xlf_config,
+        seed=seed,
+        warmup_s=5.0,
+        duration_s=DURATION_S,
+    )
+
+
 def run_campaign(xlf_config, seed=23):
-    home = SmartHome(SmartHomeConfig(seed=seed, **HOME_CONFIG))
-    home.run(5.0)
-    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
-              home.all_lan_links, xlf_config)
-    xlf.refresh_allowlists()
-    activity = ResidentActivity(home)
-    activity.start(mean_action_interval_s=60.0)
-    attacks = [
-        MiraiBotnet(home),
-        RogueSmartApp(home),
-        EventSpoofing(home),
-        MaliciousOtaUpdate(home),
-    ]
-    start = home.sim.now
-    for attack in attacks:
-        attack.launch()
-    home.run(start + DURATION_S)
-    truth = set()
-    for attack in attacks:
-        truth |= attack.outcome().compromised_devices
-    detected = {a.device for a in xlf.alerts if a.device}
+    spec = campaign_spec(xlf_config, seed)
+    result = run_spec(spec)
+    truth = result.compromised_devices()
+    detected = result.detected_devices()
     metrics = score_detection(detected, truth)
-    latency = time_to_detection(start, [a.timestamp for a in xlf.alerts
-                                        if a.device in truth])
+    latency = time_to_detection(
+        spec.warmup_s, [a.timestamp for a in result.alerts
+                        if a.device in truth])
     return {
         "truth": truth,
         "detected": detected,
         "metrics": metrics,
         "latency": latency,
-        "alerts": len(xlf.alerts),
-        "cross": sum(1 for a in xlf.alerts if a.cross_layer),
+        "alerts": len(result.alerts),
+        "cross": sum(1 for a in result.alerts if a.cross_layer),
     }
 
 

@@ -7,9 +7,10 @@ default) so successive PRs can track the trajectory:
 
 * **kernel events/sec** — raw discrete-event throughput of
   :class:`repro.sim.Simulator` (timeout schedule/fire, batch-pop loop);
-* **fleet wall-clock** — serial vs parallel ``run_fleet`` over the same
-  homes, with the bit-identical-result check the parallel path promises,
-  and wall-clock seconds per simulated hour;
+* **fleet wall-clock** — one fleet :class:`ScenarioSpec` executed
+  serially and across workers by the generic ``run_spec`` engine, with
+  the bit-identical-result check the parallel path promises, and
+  wall-clock seconds per simulated hour;
 * **speedup** — serial time / parallel time (bounded by the machine's
   CPU count, which is recorded alongside).
 
@@ -28,7 +29,8 @@ import os
 import sys
 import time
 
-from repro.scenarios import fleet, parallel
+from repro.scenarios import ScenarioResult, fleet_spec, run_spec
+from repro.scenarios.spec import fork_available
 from repro.sim import Simulator
 
 
@@ -70,7 +72,7 @@ def bench_process_switch(n_switches: int) -> dict:
     }
 
 
-def results_identical(a: fleet.FleetResult, b: fleet.FleetResult) -> bool:
+def results_identical(a: ScenarioResult, b: ScenarioResult) -> bool:
     """Bit-identical comparison, including feature-dict insertion order."""
     return (a.features == b.features
             and list(a.features) == list(b.features)
@@ -80,14 +82,17 @@ def results_identical(a: fleet.FleetResult, b: fleet.FleetResult) -> bool:
 
 def bench_fleet(n_homes: int, workers: int, duration_s: float,
                 infected_homes: tuple) -> dict:
+    # One declarative spec, two execution strategies — the benchmark
+    # exercises exactly what every experiment in the repo now runs on.
+    spec = fleet_spec(n_homes=n_homes, infected_homes=infected_homes,
+                      duration_s=duration_s)
+
     start = time.perf_counter()
-    serial = fleet.run_fleet(n_homes=n_homes, infected_homes=infected_homes,
-                             duration_s=duration_s)
+    serial = run_spec(spec)
     serial_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    par = parallel.run_fleet(n_homes=n_homes, infected_homes=infected_homes,
-                             duration_s=duration_s, workers=workers)
+    par = run_spec(spec, workers=workers)
     parallel_s = time.perf_counter() - start
 
     identical = results_identical(serial, par)
@@ -134,7 +139,7 @@ def main(argv=None) -> int:
         "bench": "perf_fleet",
         "quick": args.quick,
         "cpu_count": os.cpu_count(),
-        "fork_available": parallel.fork_available(),
+        "fork_available": fork_available(),
         "python": sys.version.split()[0],
         "kernel": bench_kernel(args.kernel_events),
         "process_switch": bench_process_switch(20_000 if args.quick

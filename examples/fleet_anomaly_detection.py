@@ -5,16 +5,32 @@ Same-type devices form behavioural communities; an infected device
 drops out of its community and tops the peer-distance ranking — no
 signatures, no labels, just group knowledge.
 
+The fleet is a declarative :class:`ScenarioSpec`: ``fleet_spec`` builds
+it, ``run_spec`` executes it, and the JSON round-trip shows the whole
+experiment is portable data (save it, ship it, re-run it with
+``python -m repro --spec``).
+
 Run:  python examples/fleet_anomaly_detection.py
 """
+
+import json
 
 import numpy as np
 
 from repro.core.graphlearn import CommunityModel
-from repro.scenarios import run_fleet
+from repro.scenarios import ScenarioSpec, run_spec
+from repro.scenarios.fleet import fleet_result, fleet_spec
 
 print("Simulating 4 homes x 8 devices; Mirai infects home01...")
-fleet = run_fleet(n_homes=4, infected_homes=(1,), duration_s=240.0)
+spec = fleet_spec(n_homes=4, infected_homes=(1,), duration_s=240.0)
+
+# The spec is plain data: serialize it, parse it back, and the parsed
+# copy describes the identical experiment.
+wire = json.dumps(spec.to_dict())
+assert ScenarioSpec.from_dict(json.loads(wire)) == spec
+print(f"scenario spec round-trips through {len(wire)} bytes of JSON")
+
+fleet = fleet_result(run_spec(spec))
 
 names = sorted(fleet.features)
 matrix = np.array([fleet.features[n] for n in names])

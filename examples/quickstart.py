@@ -1,5 +1,11 @@
 """Quickstart: build a smart home, defend it with XLF, attack it.
 
+This is the low-level API — constructing the world and wiring XLF by
+hand.  For repeatable experiments, describe the same run as a
+declarative :class:`repro.scenarios.ScenarioSpec` instead (see
+``examples/specs/botnet.json`` and ``python -m repro --spec``); the
+other examples show that style.
+
 Run:  python examples/quickstart.py
 """
 

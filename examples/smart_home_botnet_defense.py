@@ -2,15 +2,26 @@
 
 Shows the Fig. 4 argument concretely: each layer alone sees a slice of
 a Mirai infection; XLF's cross-layer correlation turns the slices into
-one confident verdict.
+one confident verdict.  The experiment is one declarative
+:class:`ScenarioSpec` — only the ``xlf`` posture changes between runs,
+so every posture faces the bit-identical attack.
 
 Run:  python examples/smart_home_botnet_defense.py
 """
 
-from repro.attacks import MiraiBotnet
-from repro.core import XLF, Layer, XlfConfig
+from dataclasses import replace
+
+from repro.core import Layer, XlfConfig
 from repro.metrics import format_table, score_detection, time_to_detection
-from repro.scenarios import SmartHome
+from repro.scenarios import AttackSpec, HomeSpec, ScenarioSpec, run_spec
+
+BASE = ScenarioSpec(
+    name="botnet-postures",
+    homes=[HomeSpec()],
+    attacks=[AttackSpec(attack="mirai-botnet")],
+    warmup_s=5.0,
+    duration_s=295.0,  # the original script ran to absolute t=300s
+)
 
 POSTURES = [
     ("undefended", None),
@@ -22,24 +33,15 @@ POSTURES = [
 
 rows = []
 for label, xlf_config in POSTURES:
-    home = SmartHome()
-    home.run(5.0)
-    xlf = None
-    if xlf_config is not None:
-        xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
-                  home.all_lan_links, xlf_config)
-        xlf.refresh_allowlists()
-    attack = MiraiBotnet(home)
-    attack.launch()
-    home.run(300.0)
-    truth = attack.outcome().compromised_devices
-    if xlf is None:
+    result = run_spec(replace(BASE, xlf=xlf_config))
+    truth = result.compromised_devices()
+    if xlf_config is None:
         rows.append([label, len(truth), "-", "-", "-", "-"])
         continue
-    detected = {a.device for a in xlf.alerts if a.device}
+    detected = result.detected_devices()
     metrics = score_detection(detected, truth)
-    latency = time_to_detection(attack.launched_at,
-                                [a.timestamp for a in xlf.alerts])
+    latency = time_to_detection(BASE.warmup_s,
+                                [a.timestamp for a in result.alerts])
     rows.append([
         label,
         len(truth),

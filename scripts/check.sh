@@ -41,6 +41,18 @@ print(f"registry ok: {len(expected)} functions resolvable, "
 PY
 
 echo
+echo "== scenario spec engine smoke check =="
+python -m repro --list-attacks
+python - <<'PY'
+from repro.scenarios import ATTACKS, load_builtin_attacks
+
+load_builtin_attacks()
+assert len(ATTACKS) >= 12, f"only {len(ATTACKS)} attacks registered"
+print(f"attack registry ok: {len(ATTACKS)} attacks registered")
+PY
+python -m repro --spec examples/specs/botnet.json
+
+echo
 echo "== telemetry-enabled fleet smoke run =="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT

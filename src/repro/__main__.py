@@ -1,12 +1,30 @@
 """Command-line demo runner: ``python -m repro <scenario>``.
 
-Scenarios:
+Experiment scenarios are named preset :class:`ScenarioSpec`s, all
+executed by the one generic :func:`repro.scenarios.spec.run_spec`
+engine:
 
 * ``botnet`` — Mirai vs. the full framework (default)
+* ``campaign`` — the Fig. 4 mixed attack campaign (botnet + rogue app +
+  event spoofing + malicious OTA) under full cross-layer defense
+* ``fleet`` — a small infected fleet run through the spec engine, with
+  per-device behaviour features
+
+Introspection scenarios:
+
 * ``tables`` — print the regenerated paper tables (I and III)
 * ``telemetry`` — telemetry-instrumented fleet run (serial + parallel,
   asserting the merged metric totals are identical)
 * ``functions`` — list the SecurityFunction plugin registry
+
+Spec plumbing:
+
+* ``--spec PATH`` — run an arbitrary scenario from a JSON spec file
+  (see ``examples/specs/``), ignoring the positional scenario
+* ``--dump-spec`` — print the selected preset's spec as JSON (a
+  starting point for your own files) instead of running it
+* ``--list-attacks`` — print the attack registry (name, surface
+  layers, Table II row) and exit
 
 ``--telemetry PATH`` enables the telemetry subsystem for any scenario
 and writes the Prometheus text, JSONL, and Chrome-trace exports to
@@ -20,36 +38,187 @@ Richer walkthroughs live in ``examples/``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
-def run_botnet(args) -> int:
-    from repro.attacks import MiraiBotnet
-    from repro.core import XLF, XlfConfig
-    from repro.scenarios import SmartHome, SmartHomeConfig
+# -- preset spec builders -----------------------------------------------------
 
-    home = SmartHome(SmartHomeConfig(seed=args.seed))
-    home.run(5.0)
+def preset_botnet(args):
+    from repro.core import XlfConfig
+    from repro.scenarios import AttackSpec, HomeSpec, ScenarioSpec
+
     config = XlfConfig.full()
     config.disabled_functions = tuple(args.disable_function)
-    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
-              home.all_lan_links, config)
-    xlf.refresh_allowlists()
+    return ScenarioSpec(
+        name="botnet",
+        homes=[HomeSpec()],
+        attacks=[AttackSpec(attack="mirai-botnet")],
+        xlf=config,
+        seed=args.seed,
+        warmup_s=5.0,
+        duration_s=295.0,
+    )
+
+
+def preset_campaign(args):
+    from repro.core import XlfConfig
+    from repro.scenarios import (
+        AttackSpec,
+        DeviceEntry,
+        HomeSpec,
+        ScenarioSpec,
+    )
+
+    config = XlfConfig.full()
+    config.disabled_functions = tuple(args.disable_function)
+    home = HomeSpec(
+        devices=[
+            DeviceEntry("smart_bulb"),
+            DeviceEntry("smart_lock"),
+            DeviceEntry("thermostat", ("unsigned_firmware",)),
+            DeviceEntry("camera", ("default_credentials", "open_telnet")),
+            DeviceEntry("smoke_detector"),
+            DeviceEntry("smart_plug", ("default_credentials", "open_telnet")),
+            DeviceEntry("voice_assistant"),
+            DeviceEntry("fridge", ("plaintext_traffic",)),
+        ],
+        cloud_coarse_grants=True,
+        cloud_verify_event_integrity=False,
+        activity=True,
+        activity_interval_s=60.0,
+    )
+    return ScenarioSpec(
+        name="campaign",
+        homes=[home],
+        attacks=[
+            AttackSpec(attack="mirai-botnet"),
+            AttackSpec(attack="rogue-smartapp"),
+            AttackSpec(attack="event-spoofing"),
+            AttackSpec(attack="malicious-ota-update"),
+        ],
+        xlf=config,
+        seed=23 + args.seed,
+        warmup_s=5.0,
+        duration_s=400.0,
+    )
+
+
+def preset_fleet(args):
+    from repro.scenarios import fleet_spec
+
+    return fleet_spec(n_homes=4, infected_homes=(1,), duration_s=120.0,
+                      base_seed=100 + args.seed)
+
+
+PRESETS = {
+    "botnet": preset_botnet,
+    "campaign": preset_campaign,
+    "fleet": preset_fleet,
+}
+
+
+# -- spec execution and reporting ---------------------------------------------
+
+def print_spec_result(result) -> None:
+    """Generic report for any spec run: attack ground truth + alerts."""
+    spec = result.spec
+    for attack_spec, outcome in zip(spec.attacks, result.outcomes):
+        where = f"home{attack_spec.home:02d}"
+        if outcome is None:
+            print(f"attack {attack_spec.attack} [{where}]: never launched "
+                  f"(scheduled at t=+{attack_spec.at:.0f}s)")
+            continue
+        compromised = sorted(outcome.compromised_devices)
+        print(f"attack {attack_spec.attack} [{where}]: "
+              f"succeeded={outcome.succeeded} "
+              f"compromised={compromised or 'none'}")
+    for home in result.homes:
+        prefix = (f"home{home.home_index:02d} "
+                  if len(result.homes) > 1 else "")
+        for alert in home.alerts:
+            layers = "+".join(layer.value for layer in alert.layers_involved)
+            print(f"ALERT {prefix}t={alert.timestamp:7.1f}s {alert.category} "
+                  f"device={alert.device} confidence={alert.confidence:.2f} "
+                  f"[{layers}]")
+    if result.features:
+        print(f"features: {len(result.features)} devices x "
+              f"{len(result.FEATURE_NAMES)} dims")
+    if result.infected:
+        print(f"infected devices: {sorted(result.infected)}")
+
+
+def run_spec_file(args) -> int:
+    from repro.scenarios import ScenarioSpec, run_spec
+
+    with open(args.spec) as handle:
+        data = json.load(handle)
+    spec = ScenarioSpec.from_dict(data)
+    print(f"scenario {spec.name!r}: {len(spec.homes)} home(s), "
+          f"{len(spec.attacks)} attack(s), "
+          f"{'XLF on' if spec.xlf is not None else 'undefended'}, "
+          f"seed={spec.seed}, {spec.duration_s:.0f}s")
+    result = run_spec(spec, workers=args.workers)
+    print_spec_result(result)
+    return 0
+
+
+def run_list_attacks(args) -> int:
+    from repro.metrics import format_table
+    from repro.scenarios import ATTACKS
+
+    rows = [[cls.name, "+".join(cls.surface_layers), cls.table_ii_row[0],
+             cls.table_ii_row[1]]
+            for cls in ATTACKS.ordered()]
+    print(format_table(
+        ["attack", "surface layers", "vulnerability (Table II)",
+         "attack vector (Table II)"], rows,
+        title=f"Attack registry ({len(rows)} registered)"))
+    return 0
+
+
+# -- scenario handlers --------------------------------------------------------
+
+def run_botnet(args) -> int:
+    from repro.scenarios import run_spec
+
+    spec = preset_botnet(args)
     if args.disable_function:
-        print(f"functions attached: {', '.join(xlf.attached_names())}")
-    attack = MiraiBotnet(home)
-    attack.launch()
-    home.run(300.0)
-    outcome = attack.outcome()
+        print(f"functions disabled: {', '.join(args.disable_function)}")
+    result = run_spec(spec, workers=args.workers)
+    outcome = result.outcomes[0]
     print(f"infected devices: {sorted(outcome.compromised_devices)}")
-    for alert in xlf.alerts:
+    for alert in result.alerts:
         layers = "+".join(layer.value for layer in alert.layers_involved)
         print(f"ALERT t={alert.timestamp:7.1f}s {alert.category} "
               f"device={alert.device} confidence={alert.confidence:.2f} "
               f"[{layers}]")
-    detected = {a.device for a in xlf.alerts
+    detected = {a.device for a in result.alerts
                 if a.category == "botnet-infection"}
     return 0 if detected == outcome.compromised_devices else 1
+
+
+def run_campaign(args) -> int:
+    from repro.metrics import score_detection
+    from repro.scenarios import run_spec
+
+    spec = preset_campaign(args)
+    result = run_spec(spec, workers=args.workers)
+    print_spec_result(result)
+    truth = result.compromised_devices()
+    metrics = score_detection(result.detected_devices(), truth)
+    print(f"detection: precision={metrics.precision:.2f} "
+          f"recall={metrics.recall:.2f} f1={metrics.f1:.2f}")
+    return 0 if truth and metrics.recall > 0 else 1
+
+
+def run_fleet_scenario(args) -> int:
+    from repro.scenarios import run_spec
+
+    spec = preset_fleet(args)
+    result = run_spec(spec, workers=args.workers)
+    print_spec_result(result)
+    return 0 if result.infected else 1
 
 
 def run_tables(args) -> int:
@@ -114,6 +283,8 @@ def run_functions(args) -> int:
 
 SCENARIOS = {
     "botnet": run_botnet,
+    "campaign": run_campaign,
+    "fleet": run_fleet_scenario,
     "tables": run_tables,
     "telemetry": run_telemetry,
     "functions": run_functions,
@@ -128,6 +299,17 @@ def main(argv=None) -> int:
     parser.add_argument("scenario", nargs="?", default="botnet",
                         choices=sorted(SCENARIOS))
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--spec", metavar="PATH", default=None,
+                        help="run a scenario from a JSON ScenarioSpec file "
+                             "instead of a named preset")
+    parser.add_argument("--dump-spec", action="store_true",
+                        help="print the selected preset's ScenarioSpec as "
+                             "JSON and exit without running it")
+    parser.add_argument("--list-attacks", action="store_true",
+                        help="print the attack registry and exit")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for multi-home scenarios "
+                             "(1 = serial, 0 = machine CPU count)")
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="enable telemetry and write PATH.prom, "
                              "PATH.jsonl, PATH.trace.json after the run")
@@ -137,6 +319,11 @@ def main(argv=None) -> int:
                              "(repeatable); see the 'functions' scenario "
                              "for names")
     args = parser.parse_args(argv)
+    if args.workers == 0:
+        args.workers = None
+
+    if args.list_attacks:
+        return run_list_attacks(args)
 
     if args.disable_function:
         from repro.core import REGISTRY, load_builtin_functions
@@ -144,11 +331,24 @@ def main(argv=None) -> int:
         for name in args.disable_function:
             REGISTRY.get(name)  # fail fast on typos, with the known names
 
+    if args.dump_spec:
+        if args.scenario not in PRESETS:
+            print(f"scenario {args.scenario!r} is not spec-driven; "
+                  f"presets: {', '.join(sorted(PRESETS))}", file=sys.stderr)
+            return 2
+        spec = PRESETS[args.scenario](args)
+        print(json.dumps(spec.to_dict(), indent=2))
+        return 0
+
     if args.telemetry:
         from repro import telemetry
         telemetry.enable()
-    status = SCENARIOS[args.scenario](args)
+    if args.spec:
+        status = run_spec_file(args)
+    else:
+        status = SCENARIOS[args.scenario](args)
     if args.telemetry:
+        from repro import telemetry
         from repro.telemetry.export import write_exports
         paths = write_exports(telemetry.registry(), args.telemetry)
         for kind, path in paths.items():

@@ -4,9 +4,17 @@ Each attack is a scripted adversary that exploits a specific
 vulnerability switch on a device, the network, or the platform.  Every
 attack records its ground truth (which devices it actually compromised
 or which facts it inferred), so benchmarks can score defenses honestly.
+
+Every class below is decorated with
+:func:`repro.scenarios.spec.register_attack`, so importing this package
+populates the :data:`repro.scenarios.spec.ATTACKS` registry — scenarios
+reference attacks by their stable ``name`` (``"mirai-botnet"``) and pass
+constructor keyword arguments through ``AttackSpec.params`` instead of
+importing classes.  ``python -m repro --list-attacks`` prints the
+registry with each attack's surface layers and Table II row.
 """
 
-from repro.attacks.base import Attack, AttackOutcome
+from repro.attacks.base import Attack, AttackOutcome, HomeLike
 from repro.attacks.mirai import MiraiBotnet
 from repro.attacks.mitm import MitmCredentialTheft
 from repro.attacks.firmware import MaliciousOtaUpdate
@@ -23,6 +31,7 @@ from repro.attacks.rickroll import Rickrolling
 __all__ = [
     "Attack",
     "AttackOutcome",
+    "HomeLike",
     "MiraiBotnet",
     "MitmCredentialTheft",
     "MaliciousOtaUpdate",

@@ -1,12 +1,49 @@
-"""Common attack interface."""
+"""Common attack interface.
+
+Attacks depend on the narrow :class:`HomeLike` protocol rather than the
+concrete :class:`repro.scenarios.smarthome.SmartHome` — any world that
+exposes a simulator, devices, links, a gateway, and a cloud can be
+attacked, and the ``attacks`` package never imports ``scenarios``
+(which *does* import attacks, e.g. in the fleet runner).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Set, Tuple
+from typing import Any, Dict, List, Protocol, Set, Tuple, runtime_checkable
 
-if TYPE_CHECKING:  # import cycle: scenarios.fleet drives attacks
-    from repro.scenarios.smarthome import SmartHome
+
+@runtime_checkable
+class HomeLike(Protocol):
+    """What an attack needs from the world it targets.
+
+    Structural: :class:`~repro.scenarios.smarthome.SmartHome` satisfies
+    it without inheriting from it, and so can any purpose-built test
+    substrate.  Attribute types are deliberately loose — an attack
+    treats the world as opaque handles, not as the concrete classes.
+    """
+
+    sim: Any                        # repro.sim.Simulator
+    devices: List[Any]              # [IoTDevice]
+    device_ids: Dict[str, str]      # device name -> cloud id
+    gateway: Any                    # repro.network.gateway.Gateway
+    cloud: Any                      # repro.service.cloud.CloudPlatform
+    environment: Any                # repro.device.sensors.Environment
+    internet: Any                   # repro.network.internet.Internet
+    dns_server: Any                 # public DNS authority
+    lan_links: Dict[str, Any]       # technology -> Link
+    vendor_addresses: Dict[str, str]
+    firmware_signers: Dict[str, Any]
+    config: Any                     # SmartHomeConfig-ish
+
+    def device(self, name: str) -> Any: ...
+
+    def devices_of_type(self, type_name: str) -> List[Any]: ...
+
+    def run(self, until: float) -> None: ...
+
+    @property
+    def all_lan_links(self) -> List[Any]: ...
 
 
 @dataclass
@@ -19,7 +56,7 @@ class AttackOutcome:
 
 
 class Attack:
-    """Base class: launch against a SmartHome, then report the outcome."""
+    """Base class: launch against a home-like world, then report the outcome."""
 
     name: str = "abstract-attack"
     # The paper's layer mapping (Fig. 3): which layers' attack surface
@@ -28,7 +65,7 @@ class Attack:
     # The Table II row shape: (vulnerability, attack, impact).
     table_ii_row: Tuple[str, str, str] = ("", "", "")
 
-    def __init__(self, home: "SmartHome"):
+    def __init__(self, home: HomeLike):
         self.home = home
         self.sim = home.sim
         self.launched_at: float = -1.0

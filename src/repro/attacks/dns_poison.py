@@ -12,11 +12,13 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.attacks.base import Attack, AttackOutcome
+from repro.scenarios.spec import register_attack
 from repro.network.dns import DnsAnswer, DnsQuery, DnsResolver
 from repro.network.node import Node
 from repro.network.packet import Packet
 
 
+@register_attack
 class DnsCachePoisoning(Attack):
     name = "dns-cache-poisoning"
     surface_layers = ("network", "device")

@@ -12,11 +12,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.attacks.base import Attack, AttackOutcome
+from repro.scenarios.spec import register_attack
 from repro.network.node import Node
 from repro.network.packet import Packet
 from repro.service.cloud import CloudPlatform
 
 
+@register_attack
 class EventSpoofing(Attack):
     name = "event-spoofing"
     surface_layers = ("service", "network")

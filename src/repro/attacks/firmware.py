@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.attacks.base import Attack, AttackOutcome
+from repro.scenarios.spec import register_attack
 from repro.device.firmware import FirmwareImage
 
 
@@ -22,6 +23,7 @@ EVIL_PAYLOAD = (
 )
 
 
+@register_attack
 class MaliciousOtaUpdate(Attack):
     name = "malicious-ota-update"
     surface_layers = ("service", "device")

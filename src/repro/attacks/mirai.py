@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List, Set
 
 from repro.attacks.base import Attack, AttackOutcome
+from repro.scenarios.spec import register_attack
 from repro.device.device import IoTDevice
 from repro.device.os import DEFAULT_CREDENTIALS
 from repro.network.node import Node
@@ -32,6 +33,7 @@ class _FootholdNode(Node):
             self.successful_logins.add(packet.src)
 
 
+@register_attack
 class MiraiBotnet(Attack):
     """The full botnet lifecycle."""
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.attacks.base import Attack, AttackOutcome
+from repro.scenarios.spec import register_attack
 from repro.attacks.dns_poison import DnsCachePoisoning
 from repro.network.node import Node
 from repro.network.protocols.tls import Certificate
@@ -39,6 +40,7 @@ class _HarvestServer(Node):
             self.harvested.append(packet.payload)
 
 
+@register_attack
 class MitmCredentialTheft(Attack):
     name = "mitm-credential-theft"
     surface_layers = ("device", "network")

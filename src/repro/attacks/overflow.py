@@ -12,11 +12,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.attacks.base import Attack, AttackOutcome
+from repro.scenarios.spec import register_attack
 from repro.device.device import IoTDevice
 from repro.network.node import Node
 from repro.network.packet import Packet
 
 
+@register_attack
 class BufferOverflowExploit(Attack):
     name = "buffer-overflow-exploit"
     surface_layers = ("device",)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.attacks.base import Attack, AttackOutcome
+from repro.scenarios.spec import register_attack
 from repro.network.node import Link, Node
 from repro.network.wireless import WirelessSecurity
 
@@ -31,6 +32,7 @@ class _RogueAccessPoint(Node):
         self.captured.append(packet)
 
 
+@register_attack
 class Rickrolling(Attack):
     name = "rickrolling"
     surface_layers = ("network", "device")

@@ -11,10 +11,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.attacks.base import Attack, AttackOutcome
+from repro.scenarios.spec import register_attack
 from repro.service.capabilities import Capability
 from repro.service.smartapps import SmartApp, TriggerActionRule
 
 
+@register_attack
 class RogueSmartApp(Attack):
     name = "rogue-smartapp"
     surface_layers = ("service",)

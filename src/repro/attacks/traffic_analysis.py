@@ -22,12 +22,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.attacks.base import Attack, AttackOutcome
+from repro.scenarios.spec import register_attack
 from repro.device.device import DEVICE_TYPES
 from repro.metrics import DetectionMetrics, classification_accuracy
 from repro.network.capture import PacketCapture
 from repro.network.dns import DnsQuery
 
 
+@register_attack
 class PassiveTrafficAnalyst(Attack):
     name = "passive-traffic-analysis"
     surface_layers = ("network",)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.attacks.base import Attack, AttackOutcome
+from repro.scenarios.spec import register_attack
 from repro.device.device import IoTDevice
 from repro.network.node import Node
 from repro.network.packet import Packet
@@ -28,6 +29,7 @@ class _SsdpScanner(Node):
             self.harvested[packet.src_device or packet.src] = payload["config"]
 
 
+@register_attack
 class UpnpCredentialHarvest(Attack):
     name = "upnp-credential-harvest"
     surface_layers = ("device", "network")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional
 
@@ -11,18 +12,42 @@ from repro import telemetry as _telemetry
 
 
 class CoreBus:
-    """Collects signals from all layers and fans them out to analyses."""
+    """Collects signals from all layers and fans them out to analyses.
+
+    Signals arrive in simulation-time order (the kernel fires events
+    monotonically), so per-device and global signal lists stay sorted by
+    construction and window queries binary-search a parallel timestamp
+    list instead of scanning — the correlator calls
+    :meth:`signals_in_window` on every report, which made the linear
+    scan the hot path at fleet scale.  Out-of-order reports (possible
+    from test harnesses driving the bus directly) are detected and
+    degrade those queries to the original linear scan.
+    """
 
     def __init__(self, sim: Simulator):
         self.sim = sim
         self.signals: List[SecuritySignal] = []
         self._listeners: List[Callable[[SecuritySignal], None]] = []
         self._by_device: Dict[str, List[SecuritySignal]] = defaultdict(list)
+        # Parallel timestamp lists for bisect-based window queries.
+        self._ts_by_device: Dict[str, List[float]] = defaultdict(list)
+        self._global: List[SecuritySignal] = []      # device == ""
+        self._global_ts: List[float] = []
+        self._monotonic = True
 
     def report(self, signal: SecuritySignal) -> None:
         self.signals.append(signal)
         if signal.device:
+            timestamps = self._ts_by_device[signal.device]
+            if timestamps and signal.timestamp < timestamps[-1]:
+                self._monotonic = False
             self._by_device[signal.device].append(signal)
+            timestamps.append(signal.timestamp)
+        else:
+            if self._global_ts and signal.timestamp < self._global_ts[-1]:
+                self._monotonic = False
+            self._global.append(signal)
+            self._global_ts.append(signal.timestamp)
         if _telemetry.ENABLED:
             _telemetry.registry().counter(
                 "core.signals", layer=signal.layer.value,
@@ -44,6 +69,14 @@ class CoreBus:
     def signals_for(self, device: str) -> List[SecuritySignal]:
         return list(self._by_device.get(device, []))
 
+    def _window_slice(self, pool: List[SecuritySignal],
+                      timestamps: List[float], start: float,
+                      end: float) -> List[SecuritySignal]:
+        """Sorted-pool window extraction, boundaries inclusive."""
+        lo = bisect_left(timestamps, start)
+        hi = bisect_right(timestamps, end)
+        return pool[lo:hi]
+
     def signals_in_window(self, device: str, end: float,
                           window_s: float,
                           include_global: bool = True) -> List[SecuritySignal]:
@@ -55,12 +88,22 @@ class CoreBus:
         device-side auth failures *and* user-side API probing.
         """
         start = end - window_s
+        if self._monotonic:
+            result = self._window_slice(
+                self._by_device.get(device, []),
+                self._ts_by_device.get(device, []), start, end)
+            if include_global and device and self._global:
+                result.extend(self._window_slice(
+                    self._global, self._global_ts, start, end))
+                result.sort(key=lambda s: s.timestamp)
+            return result
+        # Out-of-order fallback: the original linear scan.
         result = [s for s in self._by_device.get(device, [])
                   if start <= s.timestamp <= end]
         if include_global and device:
             result.extend(
-                s for s in self.signals
-                if not s.device and start <= s.timestamp <= end
+                s for s in self._global
+                if start <= s.timestamp <= end
             )
             result.sort(key=lambda s: s.timestamp)
         return result
@@ -77,3 +120,7 @@ class CoreBus:
     def clear(self) -> None:
         self.signals.clear()
         self._by_device.clear()
+        self._ts_by_device.clear()
+        self._global.clear()
+        self._global_ts.clear()
+        self._monotonic = True

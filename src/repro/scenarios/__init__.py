@@ -1,9 +1,24 @@
-"""Prebuilt worlds and workloads for examples, tests, and benchmarks."""
+"""Prebuilt worlds, workloads, and declarative scenario specs."""
 
 from repro.scenarios.smarthome import SmartHome, SmartHomeConfig
 from repro.scenarios.workloads import ResidentActivity
-from repro.scenarios.fleet import FleetResult, run_fleet
+from repro.scenarios.spec import (
+    ATTACKS,
+    AttackSpec,
+    DeviceEntry,
+    HomeSpec,
+    ScenarioResult,
+    ScenarioSpec,
+    SpecError,
+    load_builtin_attacks,
+    register_attack,
+    run_spec,
+)
+from repro.scenarios.fleet import FleetResult, fleet_spec, run_fleet
 from repro.scenarios.parallel import run_fleet as run_fleet_parallel
 
 __all__ = ["SmartHome", "SmartHomeConfig", "ResidentActivity",
-           "FleetResult", "run_fleet", "run_fleet_parallel"]
+           "ATTACKS", "AttackSpec", "DeviceEntry", "HomeSpec",
+           "ScenarioResult", "ScenarioSpec", "SpecError",
+           "load_builtin_attacks", "register_attack", "run_spec",
+           "FleetResult", "fleet_spec", "run_fleet", "run_fleet_parallel"]

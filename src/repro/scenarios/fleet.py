@@ -2,16 +2,19 @@
 
 "Users running the same IoT devices and similar automation applications
 could be considered as a group or community, which should present
-similar behaviors."  This module builds N seeded homes (optionally
-infecting some), runs them, and extracts per-device behavioural feature
-vectors from *observable traffic*, ready for
+similar behaviors."  This module describes N seeded homes (optionally
+Mirai-infecting some) as a :class:`~repro.scenarios.spec.ScenarioSpec`
+and runs them through the generic :func:`~repro.scenarios.spec.run_spec`
+engine, extracting per-device behavioural feature vectors from
+*observable traffic*, ready for
 :class:`repro.core.graphlearn.CommunityModel`.
 
 Each home is an independent :class:`~repro.sim.Simulator`, so the fleet
-is embarrassingly parallel: :func:`_run_home` is the shared, pickleable
-unit of work that both this serial path and
-:func:`repro.scenarios.parallel.run_fleet` execute, which is what makes
-the two paths bit-identical by construction.
+is embarrassingly parallel: ``run_spec(fleet_spec(...))`` and
+``run_spec(fleet_spec(...), workers=N)`` execute the same per-home unit
+of work, which is what makes the serial path here and
+:func:`repro.scenarios.parallel.run_fleet` bit-identical by
+construction.
 """
 
 from __future__ import annotations
@@ -19,10 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
-from repro.attacks.mirai import MiraiBotnet
-from repro.scenarios.smarthome import SmartHome, SmartHomeConfig
-from repro.scenarios.workloads import ResidentActivity
-from repro import telemetry as _telemetry
+from repro.scenarios.spec import (
+    AttackSpec,
+    HomeSpec,
+    ScenarioResult,
+    ScenarioSpec,
+    run_spec,
+)
 from repro.telemetry import MetricsRegistry
 
 
@@ -45,115 +51,36 @@ class FleetResult:
     )
 
 
-@dataclass
-class HomeObservation:
-    """One home's contribution to a :class:`FleetResult` (pickleable, so
-    worker processes can ship it back to the parent)."""
-
-    features: Dict[str, List[float]]
-    device_types: Dict[str, str]
-    infected: Set[str]
-    # (home_index, registry snapshot) when telemetry was enabled: plain
-    # data, so a forked worker ships it back with the features.
-    home_index: int = -1
-    telemetry: Optional[dict] = None
-
-
-def _run_home(index: int, infected: bool, duration_s: float,
-              base_seed: int) -> HomeObservation:
-    """Build, run, and featurise one seeded home.
-
-    Deterministic given its arguments — the home's simulator is seeded
-    from ``base_seed + index`` and nothing else — so it produces the
-    same observation whether it runs in-process or in a forked worker.
-    """
-    # With telemetry on, each home records into its own fresh registry
-    # (swapped in for the duration of the run) and ships the snapshot
-    # back with the observation.  Worker-local registries merged in
-    # home order are what make serial and parallel fleet telemetry
-    # identical: both paths see the same per-home snapshots and fold
-    # them in the same order.
-    local = None
-    if _telemetry.ENABLED:
-        local = MetricsRegistry()
-        previous = _telemetry.set_registry(local)
-    try:
-        observation, end_time = _simulate_home(index, infected, duration_s,
-                                               base_seed)
-    finally:
-        if local is not None:
-            _telemetry.set_registry(previous)
-    if local is not None:
-        local.record_span("fleet.home", 0.0, end_time)
-        local.counter("fleet.homes").inc()
-        local.counter("fleet.devices_featurised").inc(
-            len(observation.features))
-        observation.home_index = index
-        observation.telemetry = local.snapshot()
-    return observation
+def fleet_spec(n_homes: int = 5,
+               infected_homes: Sequence[int] = (),
+               duration_s: float = 300.0,
+               base_seed: int = 100) -> ScenarioSpec:
+    """The fleet experiment as data: N identical default homes with
+    resident activity, a DDoS-less Mirai launched into each infected
+    home right after warmup."""
+    infected = set(infected_homes)
+    return ScenarioSpec(
+        name="fleet",
+        homes=[HomeSpec(activity=True, activity_interval_s=60.0,
+                        activity_rng=f"resident-{index}")
+               for index in range(n_homes)],
+        attacks=[AttackSpec(attack="mirai-botnet", home=index,
+                            params={"run_ddos": False})
+                 for index in range(n_homes) if index in infected],
+        xlf=None,
+        seed=base_seed,
+        warmup_s=5.0,
+        duration_s=duration_s,
+        collect_features=True,
+    )
 
 
-def _simulate_home(index: int, infected: bool, duration_s: float,
-                   base_seed: int):
-    """Build and run one home; returns (observation, end sim time)."""
-    home = SmartHome(SmartHomeConfig(seed=base_seed + index))
-    # Accumulate running (count, size sum, remotes) per device instead of
-    # capturing every packet: the features only need those aggregates,
-    # and long runs stay O(devices) in memory rather than O(packets).
-    packet_counts: Dict[str, int] = {}
-    size_sums: Dict[str, int] = {}
-    remotes: Dict[str, Set[str]] = {}
-
-    def observe(packet) -> None:
-        device = packet.src_device
-        if not device:
-            return
-        packet_counts[device] = packet_counts.get(device, 0) + 1
-        size_sums[device] = size_sums.get(device, 0) + packet.size_bytes
-        remotes.setdefault(device, set()).add(packet.dst)
-
-    for link in home.all_lan_links:
-        link.add_observer(observe)
-    home.run(5.0)
-    activity = ResidentActivity(home, rng_name=f"resident-{index}")
-    activity.start(mean_action_interval_s=60.0)
-    if infected:
-        MiraiBotnet(home, run_ddos=False).launch()
-    home.run(home.sim.now + duration_s)
-    minutes = duration_s / 60.0
-    observation = HomeObservation(features={}, device_types={},
-                                  infected=set())
-    for device in home.devices:
-        name = f"home{index:02d}/{device.name}"
-        count = packet_counts.get(device.name, 0)
-        observation.features[name] = [
-            count / minutes,
-            (size_sums.get(device.name, 0) / count) if count else 0.0,
-            float(len(remotes.get(device.name, ()))),
-            device.events_emitted / minutes,
-            device.telemetry_sent / minutes,
-        ]
-        observation.device_types[name] = device.spec.type_name
-        if device.infected:
-            observation.infected.add(name)
-    return observation, home.sim.now
-
-
-def _merge_observation(result: FleetResult,
-                       observation: HomeObservation) -> None:
-    """Fold one home's observation into ``result`` (call in home order
-    so dict iteration order matches the serial path exactly)."""
-    result.features.update(observation.features)
-    result.device_types.update(observation.device_types)
-    result.infected.update(observation.infected)
-    if observation.telemetry is not None:
-        if result.telemetry is None:
-            result.telemetry = MetricsRegistry()
-        # Tag every merged span with its home so traces keep per-home
-        # lanes; counters stay unlabeled so they sum to fleet totals.
-        result.telemetry.merge_snapshot(
-            observation.telemetry,
-            extra_span_labels=(("home", f"{observation.home_index:02d}"),))
+def fleet_result(result: ScenarioResult) -> FleetResult:
+    """View a fleet :class:`ScenarioResult` as the classic FleetResult."""
+    return FleetResult(features=result.features,
+                       device_types=result.device_types,
+                       infected=result.infected,
+                       telemetry=result.telemetry)
 
 
 def run_fleet(n_homes: int = 5,
@@ -166,13 +93,5 @@ def run_fleet(n_homes: int = 5,
     runs the same homes across worker processes and merges to an
     identical result.
     """
-    infected = set(infected_homes)
-    result = FleetResult(features={}, device_types={})
-    for index in range(n_homes):
-        _merge_observation(
-            result, _run_home(index, index in infected, duration_s, base_seed))
-    if result.telemetry is not None:
-        # Fold the fleet's merged telemetry into the process registry so
-        # a CLI --telemetry export sees fleet runs too.
-        _telemetry.registry().merge(result.telemetry)
-    return result
+    spec = fleet_spec(n_homes, infected_homes, duration_s, base_seed)
+    return fleet_result(run_spec(spec))

@@ -2,45 +2,30 @@
 
 Every home in a fleet is an independent, fully seeded
 :class:`~repro.sim.Simulator`, so fleet-scale community learning (paper
-§IV-D) is embarrassingly parallel: this module farms
-:func:`repro.scenarios.fleet._run_home` out over a
+§IV-D) is embarrassingly parallel.  Since the spec refactor this module
+is a thin builder: it describes the fleet with
+:func:`repro.scenarios.fleet.fleet_spec` and hands it to the generic
+:func:`repro.scenarios.spec.run_spec` engine with ``workers`` set, which
+farms the per-home unit of work out over a
 :class:`~concurrent.futures.ProcessPoolExecutor` and merges the per-home
-observations — in home order — into the same :class:`FleetResult` the
-serial path produces.  Because both paths execute the *same* per-home
-function with the *same* seed, the merged result is bit-identical to a
-serial run (the determinism tests assert this).
+results — in home order — into the same :class:`FleetResult` the serial
+path produces.  Because both paths execute the *same* per-home function
+with the *same* seed, the merged result is bit-identical to a serial run
+(the determinism tests assert this).
 
 Fallbacks: ``workers <= 1``, a single-home fleet, or a platform without
 ``fork`` (the cheap, import-free worker start method) all run the plain
-serial path in-process.
+serial path in-process; that logic lives in ``run_spec`` itself.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-from repro.scenarios.fleet import (
-    FleetResult,
-    HomeObservation,
-    _merge_observation,
-    _run_home,
-)
-from repro.scenarios import fleet as _serial
-from repro import telemetry as _telemetry
+from repro.scenarios.fleet import FleetResult, fleet_result, fleet_spec
+from repro.scenarios.spec import fork_available, run_spec
 
-
-def fork_available() -> bool:
-    """Whether this platform can start workers by forking (Linux/macOS
-    CPython; not Windows, not some sandboxes)."""
-    return "fork" in multiprocessing.get_all_start_methods()
-
-
-def _home_task(args: Tuple[int, bool, float, int]) -> HomeObservation:
-    index, infected, duration_s, base_seed = args
-    return _run_home(index, infected, duration_s, base_seed)
+__all__ = ["FleetResult", "fork_available", "run_fleet"]
 
 
 def run_fleet(n_homes: int = 5,
@@ -56,26 +41,5 @@ def run_fleet(n_homes: int = 5,
     observations merge in home-index order regardless of which worker
     finishes first.
     """
-    if workers is None:
-        workers = os.cpu_count() or 1
-    workers = min(workers, max(n_homes, 1))
-    if workers <= 1 or n_homes <= 1 or not fork_available():
-        return _serial.run_fleet(n_homes, infected_homes, duration_s,
-                                 base_seed)
-    infected = set(infected_homes)
-    tasks = [(index, index in infected, duration_s, base_seed)
-             for index in range(n_homes)]
-    result = FleetResult(features={}, device_types={})
-    context = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(max_workers=workers,
-                             mp_context=context) as pool:
-        # Executor.map yields in submission order, which is home order —
-        # exactly the serial merge order.  Workers inherit the
-        # telemetry enable flag through fork and record into
-        # worker-local registries, so each observation carries its
-        # home's snapshot and the merge here is identical to serial.
-        for observation in pool.map(_home_task, tasks):
-            _merge_observation(result, observation)
-    if result.telemetry is not None:
-        _telemetry.registry().merge(result.telemetry)
-    return result
+    spec = fleet_spec(n_homes, infected_homes, duration_s, base_seed)
+    return fleet_result(run_spec(spec, workers=workers))

@@ -1,0 +1,671 @@
+"""Declarative scenario specifications: every experiment as data.
+
+XLF is a *framework* paper, so the reproduction's value scales with how
+many adversarial scenarios it can express.  This module is the offense
+side of the plugin-host design in :mod:`repro.core.plugin`:
+
+* :class:`AttackRegistry` — decorator registration for every
+  :class:`~repro.attacks.base.Attack` subclass, keyed by the attack's
+  stable ``name`` and carrying its Fig. 3 ``surface_layers`` and
+  Table II row, so scenarios name attacks instead of importing them.
+* :class:`ScenarioSpec` — a declarative description of a whole
+  experiment: homes (device mix, vulnerability switches, resident
+  activity), an attack schedule (registry name + constructor params +
+  launch time per home), an optional :class:`~repro.core.XlfConfig`
+  defense posture, seed, and duration.  ``to_dict``/``from_dict`` give
+  JSON round-trips, so a scenario is a file you can diff, share, and
+  re-run (``python -m repro --spec path.json``).
+* :func:`run_spec` — the one generic runner: materialises each home,
+  installs XLF when configured, schedules registered attacks at their
+  launch times, and returns a :class:`ScenarioResult` (per-attack
+  :class:`~repro.attacks.base.AttackOutcome`, alerts, features, merged
+  telemetry).  Every home is an independent seeded simulator, so the
+  runner shards homes across worker processes exactly like the fleet
+  runner always did — serial and parallel runs are bit-identical by
+  construction, and ``repro.scenarios.fleet``/``parallel`` are now thin
+  spec builders over this path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # the attacks package imports this module to register
+    from repro.attacks.base import Attack, AttackOutcome
+
+from repro.core.framework import XLF, XlfConfig
+from repro.core.signals import Alert, Layer
+from repro.device.device import Vulnerabilities
+from repro.network.dns import DnsMode
+from repro.scenarios.smarthome import SmartHome, SmartHomeConfig
+from repro.scenarios.workloads import ResidentActivity
+from repro.security.network.shaping import ShapingConfig
+from repro import telemetry as _telemetry
+from repro.telemetry import MetricsRegistry
+
+
+class SpecError(ValueError):
+    """Raised for malformed specs and attack-registry misuse."""
+
+
+# ---------------------------------------------------------------------------
+# Attack registry
+# ---------------------------------------------------------------------------
+
+class AttackRegistry:
+    """Name-keyed registry of :class:`Attack` classes.
+
+    Mirrors :class:`repro.core.plugin.FunctionRegistry` for the offense
+    side: registration is a class decorator that validates the Table II
+    metadata, and lookups are by the attack's stable kebab-case name.
+    Iteration order is alphabetical by name — deterministic, never an
+    import accident.
+    """
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, Type["Attack"]] = {}
+
+    # -- registration ------------------------------------------------------
+    def register(self, cls: Type["Attack"]) -> Type["Attack"]:
+        """Class decorator: ``@register_attack`` on each Attack subclass."""
+        name = getattr(cls, "name", "")
+        if not name or name == "abstract-attack":
+            raise SpecError(f"{cls.__name__} declares no attack name")
+        if not getattr(cls, "surface_layers", ()):
+            raise SpecError(f"{cls.__name__} declares no surface_layers")
+        row = getattr(cls, "table_ii_row", ("", "", ""))
+        if len(row) != 3 or not all(row):
+            raise SpecError(
+                f"{cls.__name__} has an incomplete table_ii_row: {row!r}")
+        existing = self._classes.get(name)
+        if existing is not None and existing is not cls:
+            raise SpecError(f"attack name {name!r} already registered by "
+                            f"{existing.__name__}")
+        self._classes[name] = cls
+        return cls
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, name: str) -> Type[Attack]:
+        load_builtin_attacks()
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise SpecError(
+                f"unknown attack {name!r}; registered: "
+                f"{', '.join(self.names()) or '(none)'}") from None
+
+    def create(self, name: str, home, **params) -> Attack:
+        """Instantiate a registered attack with its spec params."""
+        cls = self.get(name)
+        try:
+            return cls(home, **params)
+        except TypeError as exc:
+            raise SpecError(f"bad params for attack {name!r}: {exc}") from exc
+
+    def ordered(self) -> List[Type[Attack]]:
+        load_builtin_attacks()
+        return [self._classes[name] for name in sorted(self._classes)]
+
+    def names(self) -> List[str]:
+        return [cls.name for cls in self.ordered()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+
+ATTACKS = AttackRegistry()
+register_attack = ATTACKS.register
+
+_builtins_loaded = False
+
+
+def load_builtin_attacks() -> AttackRegistry:
+    """Import :mod:`repro.attacks` so every ``@register_attack`` runs.
+
+    Idempotent; the package ``__init__`` is the closed list of shipped
+    attack modules, so one import registers the whole adversary suite.
+    """
+    global _builtins_loaded
+    if not _builtins_loaded:
+        _builtins_loaded = True
+        import repro.attacks  # noqa: F401  (registration side effects)
+    return ATTACKS
+
+
+# ---------------------------------------------------------------------------
+# Spec dataclasses
+# ---------------------------------------------------------------------------
+
+_VULN_FLAGS = tuple(Vulnerabilities.__dataclass_fields__)
+
+
+@dataclass
+class DeviceEntry:
+    """One device in a home: its type plus switched-on vulnerabilities."""
+
+    type: str
+    vulnerabilities: Tuple[str, ...] = ()
+
+    def build(self) -> Tuple[str, Vulnerabilities]:
+        unknown = set(self.vulnerabilities) - set(_VULN_FLAGS)
+        if unknown:
+            raise SpecError(f"unknown vulnerability flags {sorted(unknown)}; "
+                            f"valid: {list(_VULN_FLAGS)}")
+        return self.type, Vulnerabilities(
+            **{flag: True for flag in self.vulnerabilities})
+
+
+@dataclass
+class HomeSpec:
+    """One home's world: device mix, cloud posture, resident activity."""
+
+    # None = the standard eight-device default home.
+    devices: Optional[List[DeviceEntry]] = None
+    dns_mode: str = DnsMode.PLAIN.value
+    cloud_coarse_grants: bool = False
+    cloud_verify_event_integrity: bool = True
+    cloud_protect_sensitive: bool = True
+    # Benign resident workload (what gives detectors true negatives).
+    activity: bool = False
+    activity_interval_s: float = 60.0
+    activity_rng: Optional[str] = None   # None = ResidentActivity default
+
+    def build_config(self, seed: int) -> SmartHomeConfig:
+        devices = None
+        if self.devices is not None:
+            devices = [entry.build() for entry in self.devices]
+        try:
+            mode = DnsMode(self.dns_mode)
+        except ValueError:
+            raise SpecError(
+                f"unknown dns_mode {self.dns_mode!r}; valid: "
+                f"{[m.value for m in DnsMode]}") from None
+        return SmartHomeConfig(
+            devices=devices,
+            seed=seed,
+            dns_mode=mode,
+            cloud_coarse_grants=self.cloud_coarse_grants,
+            cloud_verify_event_integrity=self.cloud_verify_event_integrity,
+            cloud_protect_sensitive=self.cloud_protect_sensitive,
+        )
+
+
+@dataclass
+class AttackSpec:
+    """One scheduled attack: registry name, target home, launch time."""
+
+    attack: str
+    home: int = 0
+    at: float = 0.0                       # seconds after warmup
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ScenarioSpec:
+    """A whole experiment, as data."""
+
+    name: str = "scenario"
+    homes: List[HomeSpec] = field(default_factory=lambda: [HomeSpec()])
+    attacks: List[AttackSpec] = field(default_factory=list)
+    # None = undefended world; otherwise the defense posture installed
+    # on every home (layer toggles, shaping, disabled functions, ...).
+    xlf: Optional[XlfConfig] = None
+    seed: int = 0                          # home i simulates with seed + i
+    warmup_s: float = 5.0                  # DNS resolution + cloud pairing
+    duration_s: float = 300.0              # simulated seconds after warmup
+    collect_features: bool = False         # fleet-style behaviour vectors
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "homes": [_home_to_dict(home) for home in self.homes],
+            "attacks": [_attack_to_dict(attack) for attack in self.attacks],
+            "xlf": _xlf_to_dict(self.xlf) if self.xlf is not None else None,
+            "seed": self.seed,
+            "warmup_s": self.warmup_s,
+            "duration_s": self.duration_s,
+            "collect_features": self.collect_features,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ScenarioSpec":
+        data = _take("scenario", data, {
+            "name", "homes", "attacks", "xlf", "seed", "warmup_s",
+            "duration_s", "collect_features"})
+        spec = ScenarioSpec(
+            name=data.get("name", "scenario"),
+            homes=[_home_from_dict(h) for h in data.get("homes", [{}])],
+            attacks=[_attack_from_dict(a) for a in data.get("attacks", [])],
+            xlf=(_xlf_from_dict(data["xlf"])
+                 if data.get("xlf") is not None else None),
+            seed=int(data.get("seed", 0)),
+            warmup_s=float(data.get("warmup_s", 5.0)),
+            duration_s=float(data.get("duration_s", 300.0)),
+            collect_features=bool(data.get("collect_features", False)),
+        )
+        spec.validate()
+        return spec
+
+    def validate(self) -> None:
+        if not self.homes:
+            raise SpecError("a scenario needs at least one home")
+        if self.duration_s <= 0:
+            raise SpecError("duration_s must be > 0")
+        for attack in self.attacks:
+            if not 0 <= attack.home < len(self.homes):
+                raise SpecError(
+                    f"attack {attack.attack!r} targets home {attack.home}, "
+                    f"but the scenario has {len(self.homes)} home(s)")
+            if attack.at < 0:
+                raise SpecError(
+                    f"attack {attack.attack!r} has a negative launch time")
+            ATTACKS.get(attack.attack)   # raises SpecError on unknown names
+
+
+def _take(kind: str, data: Dict[str, Any], allowed: Set[str]) -> Dict[str, Any]:
+    unknown = set(data) - allowed
+    if unknown:
+        raise SpecError(f"unknown {kind} keys {sorted(unknown)}; "
+                        f"valid: {sorted(allowed)}")
+    return data
+
+
+def _home_to_dict(home: HomeSpec) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    if home.devices is not None:
+        out["devices"] = [
+            {"type": entry.type,
+             "vulnerabilities": list(entry.vulnerabilities)}
+            for entry in home.devices
+        ]
+    out.update(
+        dns_mode=home.dns_mode,
+        cloud_coarse_grants=home.cloud_coarse_grants,
+        cloud_verify_event_integrity=home.cloud_verify_event_integrity,
+        cloud_protect_sensitive=home.cloud_protect_sensitive,
+        activity=home.activity,
+        activity_interval_s=home.activity_interval_s,
+    )
+    if home.activity_rng is not None:
+        out["activity_rng"] = home.activity_rng
+    return out
+
+
+def _home_from_dict(data: Dict[str, Any]) -> HomeSpec:
+    data = _take("home", data, {
+        "devices", "dns_mode", "cloud_coarse_grants",
+        "cloud_verify_event_integrity", "cloud_protect_sensitive",
+        "activity", "activity_interval_s", "activity_rng"})
+    devices = None
+    if data.get("devices") is not None:
+        devices = []
+        for entry in data["devices"]:
+            entry = _take("device", dict(entry), {"type", "vulnerabilities"})
+            if "type" not in entry:
+                raise SpecError("device entry missing 'type'")
+            devices.append(DeviceEntry(
+                type=entry["type"],
+                vulnerabilities=tuple(entry.get("vulnerabilities", ()))))
+    return HomeSpec(
+        devices=devices,
+        dns_mode=data.get("dns_mode", DnsMode.PLAIN.value),
+        cloud_coarse_grants=bool(data.get("cloud_coarse_grants", False)),
+        cloud_verify_event_integrity=bool(
+            data.get("cloud_verify_event_integrity", True)),
+        cloud_protect_sensitive=bool(
+            data.get("cloud_protect_sensitive", True)),
+        activity=bool(data.get("activity", False)),
+        activity_interval_s=float(data.get("activity_interval_s", 60.0)),
+        activity_rng=data.get("activity_rng"),
+    )
+
+
+def _attack_to_dict(attack: AttackSpec) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"attack": attack.attack, "home": attack.home,
+                           "at": attack.at}
+    if attack.params:
+        out["params"] = dict(attack.params)
+    return out
+
+
+def _attack_from_dict(data: Dict[str, Any]) -> AttackSpec:
+    data = _take("attack", data, {"attack", "home", "at", "params"})
+    if "attack" not in data:
+        raise SpecError("attack entry missing 'attack' (the registry name)")
+    return AttackSpec(
+        attack=data["attack"],
+        home=int(data.get("home", 0)),
+        at=float(data.get("at", 0.0)),
+        params=dict(data.get("params", {})),
+    )
+
+
+def _xlf_to_dict(config: XlfConfig) -> Dict[str, Any]:
+    return {
+        "enable_device_layer": config.enable_device_layer,
+        "enable_network_layer": config.enable_network_layer,
+        "enable_service_layer": config.enable_service_layer,
+        "cross_layer": config.cross_layer,
+        "single_layer": (config.single_layer.value
+                         if config.single_layer is not None else None),
+        "shaping": {
+            "max_delay_s": config.shaping.max_delay_s,
+            "cover_traffic_rate": config.shaping.cover_traffic_rate,
+            "pad_to_bytes": config.shaping.pad_to_bytes,
+        },
+        "monitor_token_key_hex": (config.monitor_token_key.hex()
+                                  if config.monitor_token_key is not None
+                                  else None),
+        "block_matched_traffic": config.block_matched_traffic,
+        "audit_interval_s": config.audit_interval_s,
+        "disabled_functions": list(config.disabled_functions),
+        "enable_response": config.enable_response,
+    }
+
+
+def _xlf_from_dict(data: Dict[str, Any]) -> XlfConfig:
+    data = _take("xlf", data, {
+        "enable_device_layer", "enable_network_layer", "enable_service_layer",
+        "cross_layer", "single_layer", "shaping", "monitor_token_key_hex",
+        "block_matched_traffic", "audit_interval_s", "disabled_functions",
+        "enable_response"})
+    defaults = XlfConfig()
+    single = data.get("single_layer")
+    shaping_data = _take("shaping", dict(data.get("shaping", {})),
+                         {"max_delay_s", "cover_traffic_rate", "pad_to_bytes"})
+    key_hex = data.get("monitor_token_key_hex",
+                       defaults.monitor_token_key.hex()
+                       if defaults.monitor_token_key is not None else None)
+    return XlfConfig(
+        enable_device_layer=bool(data.get("enable_device_layer", True)),
+        enable_network_layer=bool(data.get("enable_network_layer", True)),
+        enable_service_layer=bool(data.get("enable_service_layer", True)),
+        cross_layer=bool(data.get("cross_layer", True)),
+        single_layer=Layer(single) if single is not None else None,
+        shaping=ShapingConfig(
+            max_delay_s=float(shaping_data.get("max_delay_s", 0.0)),
+            cover_traffic_rate=float(
+                shaping_data.get("cover_traffic_rate", 0.0)),
+            pad_to_bytes=int(shaping_data.get("pad_to_bytes", 0)),
+        ),
+        monitor_token_key=(bytes.fromhex(key_hex)
+                           if key_hex is not None else None),
+        block_matched_traffic=bool(data.get("block_matched_traffic", True)),
+        audit_interval_s=float(data.get("audit_interval_s",
+                                        defaults.audit_interval_s)),
+        disabled_functions=tuple(data.get("disabled_functions", ())),
+        enable_response=bool(data.get("enable_response", False)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class HomeRunResult:
+    """One home's full run: the pickleable unit of work that both the
+    serial and parallel paths execute (what makes them bit-identical)."""
+
+    home_index: int
+    features: Dict[str, List[float]]       # "home03/camera-1" -> vector
+    device_types: Dict[str, str]
+    infected: Set[str]
+    # (index into spec.attacks, outcome) for every attack that launched.
+    outcomes: List[Tuple[int, AttackOutcome]]
+    alerts: List[Alert]
+    # Registry snapshot when telemetry was enabled (plain data, so a
+    # forked worker ships it back with the observations).
+    telemetry: Optional[dict] = None
+
+
+@dataclass
+class ScenarioResult:
+    """What :func:`run_spec` observed, merged across homes in home order."""
+
+    spec: ScenarioSpec
+    features: Dict[str, List[float]]
+    device_types: Dict[str, str]
+    infected: Set[str]
+    # Aligned with ``spec.attacks``; None = never launched (sim ended
+    # before the attack's scheduled time).
+    outcomes: List[Optional[AttackOutcome]]
+    alerts: List[Alert]
+    homes: List[HomeRunResult] = field(default_factory=list)
+    # Merged telemetry (None unless repro.telemetry was enabled).
+    telemetry: Optional[MetricsRegistry] = None
+
+    FEATURE_NAMES = (
+        "packets_per_min",
+        "mean_packet_size",
+        "distinct_remotes",
+        "events_per_min",
+        "telemetry_per_min",
+    )
+
+    def compromised_devices(self) -> Set[str]:
+        """Union of every launched attack's ground truth."""
+        truth: Set[str] = set()
+        for outcome in self.outcomes:
+            if outcome is not None:
+                truth |= outcome.compromised_devices
+        return truth
+
+    def detected_devices(self) -> Set[str]:
+        return {alert.device for alert in self.alerts if alert.device}
+
+
+# ---------------------------------------------------------------------------
+# The generic runner
+# ---------------------------------------------------------------------------
+
+def _simulate_home(spec: ScenarioSpec, index: int):
+    """Build and run one home of the spec; returns (result, end sim time).
+
+    Deterministic given its arguments — the home's simulator is seeded
+    from ``spec.seed + index`` and nothing else — so it produces the
+    same result whether it runs in-process or in a forked worker.
+    """
+    home_spec = spec.homes[index]
+    home = SmartHome(home_spec.build_config(spec.seed + index))
+
+    # Accumulate running (count, size sum, remotes) per device instead of
+    # capturing every packet: the features only need those aggregates,
+    # and long runs stay O(devices) in memory rather than O(packets).
+    packet_counts: Dict[str, int] = {}
+    size_sums: Dict[str, int] = {}
+    remotes: Dict[str, Set[str]] = {}
+    if spec.collect_features:
+        def observe(packet) -> None:
+            device = packet.src_device
+            if not device:
+                return
+            packet_counts[device] = packet_counts.get(device, 0) + 1
+            size_sums[device] = size_sums.get(device, 0) + packet.size_bytes
+            remotes.setdefault(device, set()).add(packet.dst)
+
+        for link in home.all_lan_links:
+            link.add_observer(observe)
+
+    home.run(spec.warmup_s)
+
+    xlf = None
+    if spec.xlf is not None:
+        # A shallow copy: the host mutates its config (runtime function
+        # toggles), and a spec must be reusable across runs.
+        xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+                  home.all_lan_links, replace(spec.xlf))
+        xlf.refresh_allowlists()
+
+    if home_spec.activity:
+        activity = ResidentActivity(
+            home, **({"rng_name": home_spec.activity_rng}
+                     if home_spec.activity_rng is not None else {}))
+        activity.start(mean_action_interval_s=home_spec.activity_interval_s)
+
+    # Schedule this home's attacks.  At each launch time the whole
+    # group is constructed first (in spec order), then launched (in
+    # spec order) — construction allocates addresses and nodes, so the
+    # two passes keep the event sequence identical to the bespoke
+    # "build all, then launch all" experiment scripts this replaces.
+    launched: List[Tuple[int, Attack]] = []
+
+    def launch_group(group: List[Tuple[int, AttackSpec]]) -> None:
+        built = [(i, ATTACKS.create(a.attack, home, **a.params))
+                 for i, a in group]
+        for i, attack in built:
+            attack.launch()
+            launched.append((i, attack))
+
+    due = [(i, a) for i, a in enumerate(spec.attacks) if a.home == index]
+    groups: Dict[float, List[Tuple[int, AttackSpec]]] = {}
+    for i, attack_spec in due:
+        groups.setdefault(attack_spec.at, []).append((i, attack_spec))
+    for at in sorted(groups):
+        if at <= 0.0:
+            launch_group(groups[at])
+        elif at < spec.duration_s:
+            home.sim.call_in(at, lambda g=groups[at]: launch_group(g))
+
+    home.run(spec.warmup_s + spec.duration_s)
+
+    result = HomeRunResult(home_index=index, features={}, device_types={},
+                           infected=set(), outcomes=[], alerts=[])
+    minutes = spec.duration_s / 60.0
+    for device in home.devices:
+        name = f"home{index:02d}/{device.name}"
+        if spec.collect_features:
+            count = packet_counts.get(device.name, 0)
+            result.features[name] = [
+                count / minutes,
+                (size_sums.get(device.name, 0) / count) if count else 0.0,
+                float(len(remotes.get(device.name, ()))),
+                device.events_emitted / minutes,
+                device.telemetry_sent / minutes,
+            ]
+        result.device_types[name] = device.spec.type_name
+        if device.infected:
+            result.infected.add(name)
+    result.outcomes = [(i, attack.outcome()) for i, attack in launched]
+    if xlf is not None:
+        result.alerts = list(xlf.alerts)
+    return result, home.sim.now
+
+
+def run_home(spec: ScenarioSpec, index: int) -> HomeRunResult:
+    """Run one home, recording into a home-local telemetry registry.
+
+    With telemetry on, each home records into its own fresh registry
+    (swapped in for the duration of the run) and ships the snapshot
+    back with the result.  Worker-local registries merged in home order
+    are what make serial and parallel telemetry identical: both paths
+    see the same per-home snapshots and fold them in the same order.
+    """
+    local = None
+    if _telemetry.ENABLED:
+        local = MetricsRegistry()
+        previous = _telemetry.set_registry(local)
+    try:
+        result, end_time = _simulate_home(spec, index)
+    finally:
+        if local is not None:
+            _telemetry.set_registry(previous)
+    if local is not None:
+        local.record_span("fleet.home", 0.0, end_time)
+        local.counter("fleet.homes").inc()
+        local.counter("fleet.devices_featurised").inc(len(result.features))
+        result.telemetry = local.snapshot()
+    return result
+
+
+def _home_task(args: Tuple[ScenarioSpec, int]) -> HomeRunResult:
+    spec, index = args
+    return run_home(spec, index)
+
+
+def fork_available() -> bool:
+    """Whether this platform can start workers by forking (Linux/macOS
+    CPython; not Windows, not some sandboxes)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _merge_home(result: ScenarioResult, home: HomeRunResult,
+                outcomes: Dict[int, AttackOutcome]) -> None:
+    """Fold one home's run into ``result`` (call in home order so dict
+    iteration order matches the serial path exactly)."""
+    result.homes.append(home)
+    result.features.update(home.features)
+    result.device_types.update(home.device_types)
+    result.infected.update(home.infected)
+    result.alerts.extend(home.alerts)
+    for index, outcome in home.outcomes:
+        outcomes[index] = outcome
+    if home.telemetry is not None:
+        if result.telemetry is None:
+            result.telemetry = MetricsRegistry()
+        # Tag every merged span with its home so traces keep per-home
+        # lanes; counters stay unlabeled so they sum to fleet totals.
+        result.telemetry.merge_snapshot(
+            home.telemetry,
+            extra_span_labels=(("home", f"{home.home_index:02d}"),))
+
+
+def run_spec(spec: ScenarioSpec,
+             workers: Optional[int] = 1) -> ScenarioResult:
+    """Materialise and run a :class:`ScenarioSpec`.
+
+    ``workers=1`` (the default) runs homes serially in-process;
+    ``workers=None`` uses the machine's CPU count; any value above one
+    shards homes across forked worker processes.  The merged result is
+    bit-identical across all three: per-home work is seeded and
+    self-contained, and observations merge in home-index order
+    regardless of which worker finishes first.
+    """
+    load_builtin_attacks()
+    spec.validate()
+    n_homes = len(spec.homes)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = min(workers, max(n_homes, 1))
+
+    result = ScenarioResult(spec=spec, features={}, device_types={},
+                            infected=set(), outcomes=[], alerts=[])
+    outcomes: Dict[int, AttackOutcome] = {}
+    if workers <= 1 or n_homes <= 1 or not fork_available():
+        for index in range(n_homes):
+            _merge_home(result, run_home(spec, index), outcomes)
+    else:
+        context = multiprocessing.get_context("fork")
+        tasks = [(spec, index) for index in range(n_homes)]
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            # Executor.map yields in submission order, which is home
+            # order — exactly the serial merge order.  Workers inherit
+            # the telemetry enable flag through fork and record into
+            # worker-local registries, so each result carries its
+            # home's snapshot and the merge here is identical to serial.
+            for home in pool.map(_home_task, tasks):
+                _merge_home(result, home, outcomes)
+    result.outcomes = [outcomes.get(i) for i in range(len(spec.attacks))]
+    if result.telemetry is not None:
+        # Fold the merged telemetry into the process registry so a CLI
+        # --telemetry export sees spec runs too.
+        _telemetry.registry().merge(result.telemetry)
+    return result

@@ -98,6 +98,30 @@ class TestCoreBus:
         window = bus.signals_in_window("dev-1", end=40.0, window_s=30.0)
         assert [s.timestamp for s in window] == [10.0, 40.0]
 
+    def test_out_of_order_reports_degrade_to_linear_scan(self):
+        """Non-monotonic timestamps must not break window queries."""
+        bus = CoreBus(Simulator())
+        for t in (10.0, 40.0, 5.0, 25.0):  # 5.0 arrives late
+            bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE, t=t))
+        bus.report(signal(Layer.SERVICE, SignalType.API_ABUSE,
+                          device="", t=30.0))
+        window = bus.signals_in_window("dev-1", end=40.0, window_s=32.0)
+        assert sorted(s.timestamp for s in window) == \
+            [10.0, 25.0, 30.0, 40.0]
+
+    def test_monotonic_and_linear_paths_agree(self):
+        sorted_bus = CoreBus(Simulator())
+        shuffled_bus = CoreBus(Simulator())
+        times = [1.0, 3.0, 7.0, 12.0, 18.0, 25.0]
+        for t in times:
+            sorted_bus.report(signal(Layer.DEVICE, SignalType.SCAN_PATTERN, t=t))
+        for t in times[::-1]:
+            shuffled_bus.report(signal(Layer.DEVICE, SignalType.SCAN_PATTERN, t=t))
+        fast = sorted_bus.signals_in_window("dev-1", end=18.0, window_s=15.0)
+        slow = shuffled_bus.signals_in_window("dev-1", end=18.0,
+                                              window_s=15.0)
+        assert [s.timestamp for s in fast] == [s.timestamp for s in slow]
+
     def test_empty_window_results(self):
         bus = CoreBus(Simulator())
         # No signals at all.

@@ -1,0 +1,259 @@
+"""The declarative scenario engine: registry, round-trips, identity."""
+
+import importlib
+import inspect
+import json
+import pkgutil
+
+import pytest
+
+import repro.attacks
+from repro.attacks.base import Attack
+from repro.core import XlfConfig
+from repro.core.signals import Layer
+from repro.scenarios import (
+    ATTACKS,
+    AttackSpec,
+    DeviceEntry,
+    HomeSpec,
+    ScenarioSpec,
+    SpecError,
+    load_builtin_attacks,
+    run_spec,
+)
+from repro.scenarios.fleet import fleet_spec, run_fleet
+from repro.scenarios.spec import fork_available
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="platform lacks fork start method")
+
+
+class TestAttackRegistry:
+    def all_attack_classes(self):
+        """Every concrete Attack subclass shipped in repro.attacks."""
+        classes = set()
+        for info in pkgutil.iter_modules(repro.attacks.__path__):
+            module = importlib.import_module(f"repro.attacks.{info.name}")
+            for _, obj in inspect.getmembers(module, inspect.isclass):
+                if (issubclass(obj, Attack) and obj is not Attack
+                        and obj.__module__ == module.__name__):
+                    classes.add(obj)
+        return classes
+
+    def test_every_shipped_attack_is_registered(self):
+        load_builtin_attacks()
+        shipped = self.all_attack_classes()
+        assert shipped, "no attack classes discovered"
+        registered = set(ATTACKS.ordered())
+        assert shipped == registered
+
+    def test_registered_metadata_is_complete(self):
+        for cls in ATTACKS.ordered():
+            assert cls.name and cls.name != "abstract-attack"
+            assert cls.surface_layers, cls.name
+            assert len(cls.table_ii_row) == 3, cls.name
+            assert all(cls.table_ii_row), cls.name
+
+    def test_names_are_sorted_and_unique(self):
+        names = ATTACKS.names()
+        assert names == sorted(names)
+        assert len(names) == len(set(names)) == len(ATTACKS)
+
+    def test_unknown_attack_rejected_with_known_names(self):
+        with pytest.raises(SpecError, match="mirai-botnet"):
+            ATTACKS.get("time-travel")
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(SpecError, match="bad params"):
+            run_spec(ScenarioSpec(
+                attacks=[AttackSpec(attack="mirai-botnet",
+                                    params={"warp_factor": 9})],
+                duration_s=10.0))
+
+    def test_duplicate_registration_rejected(self):
+        class Imposter(Attack):
+            name = "mirai-botnet"
+            surface_layers = ("device",)
+            table_ii_row = ("a", "b", "c")
+
+        with pytest.raises(SpecError, match="already registered"):
+            ATTACKS.register(Imposter)
+
+    def test_metadata_validation_on_register(self):
+        class NoLayers(Attack):
+            name = "no-layers"
+            table_ii_row = ("a", "b", "c")
+
+        with pytest.raises(SpecError, match="surface_layers"):
+            ATTACKS.register(NoLayers)
+
+
+class TestSpecSerialization:
+    def full_spec(self):
+        config = XlfConfig.only(Layer.NETWORK)
+        config.disabled_functions = ("traffic-shaper",)
+        return ScenarioSpec(
+            name="round-trip",
+            homes=[
+                HomeSpec(),
+                HomeSpec(devices=[
+                    DeviceEntry("camera",
+                                ("default_credentials", "open_telnet")),
+                    DeviceEntry("smart_lock"),
+                ], dns_mode="doh", cloud_coarse_grants=True,
+                    activity=True, activity_interval_s=45.0,
+                    activity_rng="resident-x"),
+            ],
+            attacks=[
+                AttackSpec(attack="mirai-botnet", home=1, at=30.0,
+                           params={"run_ddos": False,
+                                   "scan_interval_s": 0.25}),
+                AttackSpec(attack="event-spoofing"),
+            ],
+            xlf=config,
+            seed=7,
+            warmup_s=4.0,
+            duration_s=120.0,
+            collect_features=True,
+        )
+
+    def test_json_round_trip_equality(self):
+        spec = self.full_spec()
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert ScenarioSpec.from_dict(data) == spec
+
+    def test_round_trip_without_xlf(self):
+        spec = ScenarioSpec(xlf=None, attacks=[], duration_s=15.0)
+        assert ScenarioSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_fleet_spec_round_trips(self):
+        spec = fleet_spec(n_homes=3, infected_homes=(1,), duration_s=30.0)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecError, match="unknown scenario keys"):
+            ScenarioSpec.from_dict({"durationn_s": 10})
+        with pytest.raises(SpecError, match="unknown home keys"):
+            ScenarioSpec.from_dict({"homes": [{"device": []}]})
+        with pytest.raises(SpecError, match="unknown attack keys"):
+            ScenarioSpec.from_dict({"attacks": [{"attack": "mirai-botnet",
+                                                 "when": 3}]})
+
+    def test_unknown_vulnerability_flag_rejected(self):
+        spec = ScenarioSpec(homes=[HomeSpec(devices=[
+            DeviceEntry("camera", ("open_sesame",))])], duration_s=10.0)
+        with pytest.raises(SpecError, match="open_sesame"):
+            run_spec(spec)
+
+    def test_validate_rejects_out_of_range_home(self):
+        with pytest.raises(SpecError, match="targets home 3"):
+            ScenarioSpec(attacks=[AttackSpec(attack="mirai-botnet",
+                                             home=3)]).validate()
+
+    def test_validate_rejects_unknown_attack_name(self):
+        with pytest.raises(SpecError, match="unknown attack"):
+            ScenarioSpec(attacks=[AttackSpec(attack="nope")]).validate()
+
+
+class TestRunSpec:
+    @pytest.fixture(scope="class")
+    def botnet_spec(self):
+        return ScenarioSpec(
+            name="t",
+            homes=[HomeSpec()],
+            attacks=[AttackSpec(attack="mirai-botnet",
+                                params={"run_ddos": False})],
+            xlf=XlfConfig.full(),
+            seed=3,
+            duration_s=90.0,
+        )
+
+    @pytest.fixture(scope="class")
+    def botnet_result(self, botnet_spec):
+        return run_spec(botnet_spec)
+
+    def test_outcomes_align_with_spec_attacks(self, botnet_spec,
+                                              botnet_result):
+        assert len(botnet_result.outcomes) == len(botnet_spec.attacks)
+        outcome = botnet_result.outcomes[0]
+        assert outcome is not None and outcome.succeeded
+        assert "camera-1" in outcome.compromised_devices
+
+    def test_alerts_and_infected_recorded(self, botnet_result):
+        assert botnet_result.detected_devices() == \
+            botnet_result.compromised_devices()
+        assert "home00/camera-1" in botnet_result.infected
+
+    def test_spec_reuse_is_deterministic(self, botnet_spec, botnet_result):
+        again = run_spec(botnet_spec)
+        assert [a.timestamp for a in again.alerts] == \
+            [a.timestamp for a in botnet_result.alerts]
+        assert again.infected == botnet_result.infected
+
+    def test_delayed_attack_launches_later(self):
+        spec = ScenarioSpec(
+            homes=[HomeSpec()],
+            attacks=[AttackSpec(attack="mirai-botnet", at=30.0,
+                                params={"run_ddos": False})],
+            duration_s=90.0,
+        )
+        result = run_spec(spec)
+        outcome = result.outcomes[0]
+        assert outcome is not None and outcome.succeeded
+
+    def test_attack_past_duration_never_launches(self):
+        spec = ScenarioSpec(
+            homes=[HomeSpec()],
+            attacks=[AttackSpec(attack="mirai-botnet", at=500.0)],
+            duration_s=20.0,
+        )
+        result = run_spec(spec)
+        assert result.outcomes == [None]
+        assert not result.infected
+
+    def test_undefended_spec_has_no_alerts(self):
+        result = run_spec(ScenarioSpec(
+            homes=[HomeSpec()],
+            attacks=[AttackSpec(attack="mirai-botnet",
+                                params={"run_ddos": False})],
+            xlf=None, duration_s=60.0))
+        assert result.alerts == []
+        assert result.infected  # nothing defended the home
+
+    def test_disabled_functions_survive_spec_reuse(self):
+        config = XlfConfig.full()
+        config.disabled_functions = ("traffic-monitor",)
+        spec = ScenarioSpec(homes=[HomeSpec()], attacks=[],
+                            xlf=config, duration_s=10.0)
+        run_spec(spec)
+        # run_spec hands the host a copy, so the spec's config is
+        # untouched and a second run sees the same posture.
+        assert spec.xlf.disabled_functions == ("traffic-monitor",)
+
+
+class TestSerialParallelIdentity:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return fleet_spec(n_homes=2, infected_homes=(1,), duration_s=60.0,
+                          base_seed=100)
+
+    @pytest.fixture(scope="class")
+    def serial(self, spec):
+        return run_spec(spec)
+
+    @needs_fork
+    def test_run_spec_parallel_identity(self, spec, serial):
+        par = run_spec(spec, workers=2)
+        assert par.features == serial.features
+        assert list(par.features) == list(serial.features)
+        assert par.device_types == serial.device_types
+        assert par.infected == serial.infected
+        assert [(h.home_index, sorted(h.infected)) for h in par.homes] == \
+            [(h.home_index, sorted(h.infected)) for h in serial.homes]
+
+    def test_run_fleet_matches_run_spec(self, spec, serial):
+        classic = run_fleet(n_homes=2, infected_homes=(1,), duration_s=60.0,
+                            base_seed=100)
+        assert classic.features == serial.features
+        assert classic.infected == serial.infected

@@ -24,6 +24,51 @@ def test_unknown_scenario_rejected():
         main(["timetravel"])
 
 
+def test_list_attacks(capsys):
+    from repro.scenarios import ATTACKS, load_builtin_attacks
+
+    assert main(["--list-attacks"]) == 0
+    out = capsys.readouterr().out
+    load_builtin_attacks()
+    for name in ATTACKS.names():
+        assert name in out
+
+
+def test_dump_spec_round_trips_through_spec_flag(tmp_path, capsys):
+    import json
+
+    assert main(["botnet", "--dump-spec"]) == 0
+    dumped = capsys.readouterr().out
+    path = tmp_path / "botnet.json"
+    path.write_text(dumped)
+
+    assert main(["botnet", "--seed", "0"]) == 0
+    direct = capsys.readouterr().out
+    assert main(["--spec", str(path)]) == 0
+    via_spec = capsys.readouterr().out
+    # Single-home specs print unprefixed ALERT lines, so every alert the
+    # preset raised must reappear verbatim in the spec-driven run.
+    direct_alerts = [ln for ln in direct.splitlines()
+                     if ln.startswith("ALERT")]
+    spec_alerts = [ln for ln in via_spec.splitlines()
+                   if ln.startswith("ALERT")]
+    assert direct_alerts and direct_alerts == spec_alerts
+    assert json.loads(dumped)["name"] == "botnet"
+
+
+def test_dump_spec_rejects_non_preset_scenario(capsys):
+    assert main(["tables", "--dump-spec"]) == 2
+
+
+def test_spec_flag_rejects_bad_file(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"durationn_s": 5}')
+    from repro.scenarios import SpecError
+
+    with pytest.raises(SpecError):
+        main(["--spec", str(bad)])
+
+
 def test_telemetry_flag_writes_exports(tmp_path, capsys):
     from repro import telemetry
 
