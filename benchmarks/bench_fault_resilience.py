@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Fault-resilience benchmark — detection under injected degradation.
+
+Not a paper figure: an engineering claim about the reproduction's
+fault model.  The paper argues cross-layer correlation is *more
+comprehensive* than any single layer; this benchmark stresses that
+claim when layers are actively degraded.  It reruns the Fig. 4 mixed
+attack campaign under fault schedules of growing intensity (link
+packet loss, device crashes, cloud outages and latency, gateway
+restarts) and measures detection recall for the full framework versus
+each single-layer baseline.
+
+Because a stale layer (one whose signal sources are down) relaxes the
+correlator's layer-diversity requirement, the full framework should
+degrade gracefully: at every intensity its recall must be at least the
+best single layer's.  Writes ``BENCH_faults.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fault_resilience.py --quick
+    PYTHONPATH=src python benchmarks/bench_fault_resilience.py \
+        --out BENCH_faults.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.core import XlfConfig
+from repro.core.signals import Layer
+from repro.metrics import score_detection
+from repro.scenarios import (
+    AttackSpec,
+    DeviceEntry,
+    FaultSpec,
+    HomeSpec,
+    ScenarioSpec,
+    run_spec,
+)
+
+HOME = HomeSpec(
+    devices=[
+        DeviceEntry("smart_bulb"),
+        DeviceEntry("smart_lock"),
+        DeviceEntry("thermostat", ("unsigned_firmware",)),
+        DeviceEntry("camera", ("default_credentials", "open_telnet")),
+        DeviceEntry("smoke_detector"),
+        DeviceEntry("smart_plug", ("default_credentials", "open_telnet")),
+        DeviceEntry("voice_assistant"),
+        DeviceEntry("fridge", ("plaintext_traffic",)),
+    ],
+    cloud_coarse_grants=True,
+    cloud_verify_event_integrity=False,
+    activity=True,
+    activity_interval_s=60.0,
+)
+
+CONFIGS = [
+    ("device only", lambda: XlfConfig.only(Layer.DEVICE)),
+    ("network only", lambda: XlfConfig.only(Layer.NETWORK)),
+    ("service only", lambda: XlfConfig.only(Layer.SERVICE)),
+    ("XLF cross-layer", XlfConfig.full),
+]
+
+# Cumulative schedules: intensity N includes every fault of N-1 plus
+# more.  Times are relative to warmup end; the campaign's attacks all
+# launch at t=0, so the window that matters is the first ~150s.
+INTENSITY_FAULTS = [
+    [],
+    [
+        FaultSpec(fault="packet-loss", at=10.0, duration_s=60.0,
+                  params={"loss_rate": 0.25}),
+    ],
+    [
+        FaultSpec(fault="packet-loss", at=10.0, duration_s=60.0,
+                  params={"loss_rate": 0.25}),
+        FaultSpec(fault="device-crash", at=30.0, duration_s=40.0,
+                  params={"device": "thermostat-1"}),
+        FaultSpec(fault="cloud-latency", at=20.0, duration_s=60.0,
+                  params={"extra_latency_s": 0.5}),
+    ],
+    [
+        FaultSpec(fault="packet-loss", at=10.0, duration_s=60.0,
+                  params={"loss_rate": 0.25}),
+        FaultSpec(fault="device-crash", at=30.0, duration_s=40.0,
+                  params={"device": "thermostat-1"}),
+        FaultSpec(fault="cloud-latency", at=20.0, duration_s=60.0,
+                  params={"extra_latency_s": 0.5}),
+        FaultSpec(fault="cloud-outage", at=15.0, duration_s=90.0),
+        FaultSpec(fault="gateway-restart", at=120.0, duration_s=10.0),
+        FaultSpec(fault="link-flap", at=150.0, duration_s=20.0),
+    ],
+]
+
+DURATION_S = 400.0
+
+
+def campaign_spec(xlf_config, faults, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fault-resilience",
+        homes=[HOME],
+        attacks=[
+            AttackSpec(attack="mirai-botnet"),
+            AttackSpec(attack="rogue-smartapp"),
+            AttackSpec(attack="event-spoofing"),
+            AttackSpec(attack="malicious-ota-update"),
+        ],
+        faults=list(faults),
+        xlf=xlf_config,
+        seed=seed,
+        warmup_s=5.0,
+        duration_s=DURATION_S,
+    )
+
+
+def run_cell(make_config, faults, seed: int) -> dict:
+    result = run_spec(campaign_spec(make_config(), faults, seed))
+    truth = result.compromised_devices()
+    metrics = score_detection(result.detected_devices(), truth)
+    return {
+        "truth": len(truth),
+        "alerts": len(result.alerts),
+        "faults_injected": len(result.fault_events),
+        "recall": round(metrics.recall, 4),
+        "precision": round(metrics.precision, 4),
+        "f1": round(metrics.f1, 4),
+    }
+
+
+def run_sweep(intensities, seed: int) -> list:
+    rows = []
+    for intensity in intensities:
+        faults = INTENSITY_FAULTS[intensity]
+        cells = {label: run_cell(make_config, faults, seed)
+                 for label, make_config in CONFIGS}
+        full = cells["XLF cross-layer"]["recall"]
+        best_single = max(cells[label]["recall"]
+                          for label, _ in CONFIGS[:3])
+        rows.append({
+            "intensity": intensity,
+            "faults": len(faults),
+            "configs": cells,
+            "full_recall": full,
+            "best_single_recall": best_single,
+            "full_at_least_best_single": full >= best_single,
+        })
+        print(f"intensity {intensity}: full recall {full:.2f} vs "
+              f"best single {best_single:.2f} "
+              f"({len(faults)} faults)", file=sys.stderr)
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="drop the heaviest intensity (CI smoke)")
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument("--out", default="BENCH_faults.json",
+                        help="JSON output path ('-' for stdout only)")
+    args = parser.parse_args(argv)
+
+    intensities = list(range(len(INTENSITY_FAULTS)))
+    if args.quick:
+        intensities = intensities[:3]
+
+    rows = run_sweep(intensities, args.seed)
+    report = {
+        "bench": "fault_resilience",
+        "quick": args.quick,
+        "seed": args.seed,
+        "duration_s": DURATION_S,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "intensities": rows,
+        "passed": all(r["full_at_least_best_single"] for r in rows),
+    }
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out != "-":
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\nwrote {args.out}", file=sys.stderr)
+
+    if not report["passed"]:
+        print("ERROR: full XLF recall fell below the best single layer "
+              "at some fault intensity", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Repo health check: tier-1 tests, a telemetry-enabled fleet smoke run,
-# and validation of the telemetry-overhead benchmark artifact.
+# a fault-injection scenario smoke, and validation of the benchmark
+# artifacts (telemetry overhead, fault resilience).
 #
 # Usage:  scripts/check.sh [--fresh-bench]
-#   --fresh-bench   re-run the telemetry overhead benchmark even if
-#                   BENCH_telemetry.json already exists
+#   --fresh-bench   re-run the benchmarks even if BENCH_telemetry.json /
+#                   BENCH_faults.json already exist
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -53,6 +54,33 @@ PY
 python -m repro --spec examples/specs/botnet.json
 
 echo
+echo "== fault-injection scenario smoke check =="
+python -m repro --list-faults
+python - <<'PY'
+import json
+
+from repro import telemetry
+from repro.scenarios import ScenarioSpec, run_spec
+
+with open("examples/specs/faulty_home.json") as handle:
+    spec = ScenarioSpec.from_dict(json.load(handle))
+assert spec.faults, "faulty_home.json carries no faults"
+telemetry.enable()
+result = run_spec(spec)
+injected = result.telemetry.counter_total("faults.injected")
+recovered = result.telemetry.counter_total("faults.recovered")
+assert injected > 0, "no faults injected"
+assert recovered > 0, "no faults recovered"
+assert result.fault_events, "no fault events recorded"
+assert all(outcome is not None for outcome in result.outcomes), \
+    "an attack never launched"
+print(f"fault scenario ok: {injected:.0f} injected, "
+      f"{recovered:.0f} recovered, {len(result.alerts)} alerts, "
+      f"all attacks completed")
+PY
+python -m repro --spec examples/specs/faulty_home.json
+
+echo
 echo "== telemetry-enabled fleet smoke run =="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -86,6 +114,29 @@ assert report["merge"]["identical_totals"], \
 print(f"BENCH_telemetry.json ok: enabled overhead "
       f"{fleet['overhead_pct']:.2f}% (< {fleet['threshold_pct']}%), "
       f"serial==parallel totals")
+PY
+
+echo
+echo "== fault resilience benchmark artifact =="
+if [ "${1:-}" = "--fresh-bench" ] || [ ! -f BENCH_faults.json ]; then
+    python benchmarks/bench_fault_resilience.py --quick \
+        --out BENCH_faults.json
+fi
+python - <<'PY'
+import json
+
+with open("BENCH_faults.json") as handle:
+    report = json.load(handle)
+assert report["bench"] == "fault_resilience", report.get("bench")
+rows = report["intensities"]
+assert len(rows) >= 3, f"only {len(rows)} fault intensities measured"
+for row in rows:
+    assert row["full_recall"] >= row["best_single_recall"], (
+        f"intensity {row['intensity']}: full recall {row['full_recall']} "
+        f"below best single layer {row['best_single_recall']}")
+assert report["passed"]
+print(f"BENCH_faults.json ok: {len(rows)} intensities, full-XLF recall "
+      f">= best single layer at every one")
 PY
 
 echo

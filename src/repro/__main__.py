@@ -25,6 +25,8 @@ Spec plumbing:
   starting point for your own files) instead of running it
 * ``--list-attacks`` — print the attack registry (name, surface
   layers, Table II row) and exit
+* ``--list-faults`` — print the fault-injection registry (name,
+  degraded layers, description) and exit
 
 ``--telemetry PATH`` enables the telemetry subsystem for any scenario
 and writes the Prometheus text, JSONL, and Chrome-trace exports to
@@ -141,6 +143,17 @@ def print_spec_result(result) -> None:
             print(f"ALERT {prefix}t={alert.timestamp:7.1f}s {alert.category} "
                   f"device={alert.device} confidence={alert.confidence:.2f} "
                   f"[{layers}]")
+    for event in result.fault_events:
+        prefix = (f"home{event.home:02d} "
+                  if len(result.homes) > 1 else "")
+        recovered = (f"recovered=t={event.recovered_at:.1f}s"
+                     if event.recovered_at is not None
+                     else "recovered=never")
+        print(f"FAULT {prefix}t={event.injected_at:7.1f}s {event.fault} "
+              f"target={event.target or '-'} {recovered}")
+    if result.degraded_homes:
+        print(f"degraded homes (worker retried serially): "
+              f"{result.degraded_homes}")
     if result.features:
         print(f"features: {len(result.features)} devices x "
               f"{len(result.FEATURE_NAMES)} dims")
@@ -154,8 +167,9 @@ def run_spec_file(args) -> int:
     with open(args.spec) as handle:
         data = json.load(handle)
     spec = ScenarioSpec.from_dict(data)
+    faults = f", {len(spec.faults)} fault(s)" if spec.faults else ""
     print(f"scenario {spec.name!r}: {len(spec.homes)} home(s), "
-          f"{len(spec.attacks)} attack(s), "
+          f"{len(spec.attacks)} attack(s){faults}, "
           f"{'XLF on' if spec.xlf is not None else 'undefended'}, "
           f"seed={spec.seed}, {spec.duration_s:.0f}s")
     result = run_spec(spec, workers=args.workers)
@@ -174,6 +188,21 @@ def run_list_attacks(args) -> int:
         ["attack", "surface layers", "vulnerability (Table II)",
          "attack vector (Table II)"], rows,
         title=f"Attack registry ({len(rows)} registered)"))
+    return 0
+
+
+def run_list_faults(args) -> int:
+    from repro.metrics import format_table
+    from repro.scenarios import FAULTS
+
+    rows = [[cls.name,
+             "+".join(layer.value for layer in cls.degrades),
+             ", ".join(cls.PARAMS) or "-",
+             cls.description]
+            for cls in FAULTS.ordered()]
+    print(format_table(
+        ["fault", "degrades layers", "params", "description"], rows,
+        title=f"Fault registry ({len(rows)} registered)"))
     return 0
 
 
@@ -307,6 +336,8 @@ def main(argv=None) -> int:
                              "JSON and exit without running it")
     parser.add_argument("--list-attacks", action="store_true",
                         help="print the attack registry and exit")
+    parser.add_argument("--list-faults", action="store_true",
+                        help="print the fault-injection registry and exit")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for multi-home scenarios "
                              "(1 = serial, 0 = machine CPU count)")
@@ -324,6 +355,8 @@ def main(argv=None) -> int:
 
     if args.list_attacks:
         return run_list_attacks(args)
+    if args.list_faults:
+        return run_list_faults(args)
 
     if args.disable_function:
         from repro.core import REGISTRY, load_builtin_functions

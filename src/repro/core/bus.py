@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from collections import defaultdict
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, FrozenSet, List, Optional
 
 from repro.core.signals import Layer, SecuritySignal, SignalType
 from repro.sim import Simulator
@@ -34,6 +34,37 @@ class CoreBus:
         self._global: List[SecuritySignal] = []      # device == ""
         self._global_ts: List[float] = []
         self._monotonic = True
+        # Ref-counted stale markers: a layer whose signal sources are
+        # known-degraded (fault injection, dead sensors) is *stale*, not
+        # silently "no alerts" — the correlator weights the rest.
+        self._stale_layers: Dict[Layer, int] = {}
+
+    # -- layer liveness --------------------------------------------------------
+    def mark_layer_stale(self, layer: Layer) -> None:
+        """Record that ``layer``'s signal sources are degraded.
+
+        Ref-counted: each concurrent degradation calls this once and
+        pairs it with :meth:`mark_layer_fresh` on recovery.
+        """
+        self._stale_layers[layer] = self._stale_layers.get(layer, 0) + 1
+        if _telemetry.ENABLED:
+            _telemetry.registry().gauge(
+                "core.layer_stale", layer=layer.value).set(1.0)
+
+    def mark_layer_fresh(self, layer: Layer) -> None:
+        """Undo one :meth:`mark_layer_stale`; unmatched calls are ignored."""
+        count = self._stale_layers.get(layer, 0) - 1
+        if count > 0:
+            self._stale_layers[layer] = count
+        else:
+            self._stale_layers.pop(layer, None)
+            if _telemetry.ENABLED:
+                _telemetry.registry().gauge(
+                    "core.layer_stale", layer=layer.value).set(0.0)
+
+    def stale_layers(self) -> FrozenSet[Layer]:
+        """Layers currently marked stale (empty in a healthy world)."""
+        return frozenset(self._stale_layers)
 
     def report(self, signal: SecuritySignal) -> None:
         self.signals.append(signal)

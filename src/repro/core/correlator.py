@@ -34,7 +34,9 @@ class CorrelationRule:
     per_layer_bonus: float = 0.15
 
     def evaluate(self, trigger: SecuritySignal,
-                 window_signals: List[SecuritySignal]) -> Optional[Alert]:
+                 window_signals: List[SecuritySignal],
+                 stale_layers: FrozenSet[Layer] = frozenset()
+                 ) -> Optional[Alert]:
         relevant = [
             s for s in window_signals
             if s.signal_type in self.corroborating_types
@@ -43,7 +45,13 @@ class CorrelationRule:
         if trigger not in relevant:
             relevant.append(trigger)
         layers = {s.layer for s in relevant}
-        if len(layers) < self.min_layers or len(relevant) < self.min_signals:
+        # A stale layer (signal sources known-degraded, e.g. under fault
+        # injection) cannot be expected to corroborate: it relaxes the
+        # layer-diversity requirement so the remaining layers carry the
+        # decision, but never the raw evidence count.
+        required_layers = max(
+            1, self.min_layers - len(stale_layers - layers))
+        if len(layers) < required_layers or len(relevant) < self.min_signals:
             return None
         confidence = min(
             1.0, self.base_confidence + self.per_layer_bonus * (len(layers) - 1)
@@ -182,7 +190,8 @@ class CrossLayerCorrelator:
         window = self.bus.signals_in_window(
             trigger.device, latest.timestamp, rule.window_s
         ) if trigger.device else [trigger, latest]
-        alert = rule.evaluate(trigger, window)
+        alert = rule.evaluate(trigger, window,
+                              stale_layers=self.bus.stale_layers())
         if alert is not None:
             self._emit(alert)
 

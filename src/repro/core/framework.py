@@ -229,6 +229,10 @@ class XLF:
             attachment.egress = fn.egress_middleware()
         except Exception:
             del self._attachments[fn.name]
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter(
+                    "core.plugin_errors", function=fn.name,
+                    stage="attach").inc()
             raise
         if attachment.observer is not None:
             for link in self.lan_links:

@@ -27,7 +27,7 @@ from repro.device.sensors import Environment, Sensor
 from repro.network.links import LinkTechnology
 from repro.network.node import Interface, Node
 from repro.network.packet import Packet
-from repro.sim import Simulator
+from repro.sim import Interrupt, Simulator
 
 
 @dataclass(frozen=True)
@@ -248,12 +248,42 @@ class IoTDevice(Node):
 
     def _telemetry_loop(self):
         rng = self.sim.rng.stream(f"telemetry:{self.name}")
-        while True:
-            jitter = rng.uniform(-0.1, 0.1) * self.spec.telemetry_interval_s
-            yield self.sim.timeout(max(0.1, self.spec.telemetry_interval_s + jitter))
-            if self.energy.depleted:
-                return
-            self.send_telemetry()
+        try:
+            while True:
+                jitter = rng.uniform(-0.1, 0.1) * self.spec.telemetry_interval_s
+                yield self.sim.timeout(
+                    max(0.1, self.spec.telemetry_interval_s + jitter))
+                if self.energy.depleted:
+                    return
+                self.send_telemetry()
+        except Interrupt:
+            return  # crash() killed the loop; reboot() starts a fresh one
+
+    def crash(self) -> None:
+        """Power-fail the device: interfaces drop, the telemetry loop
+        dies, and volatile state resets to the spec's initial state.
+
+        Infection survives the crash — this models a firmware-resident
+        implant, and keeps attack ground truth stable under fault
+        schedules (a fault degrades *signals*, not the compromise).
+        """
+        for interface in self.interfaces:
+            interface.up = False
+        if self._telemetry_process is not None \
+                and self._telemetry_process.is_alive:
+            self._telemetry_process.interrupt("device-crash")
+        self._telemetry_process = None
+        if self.state != self.spec.initial_state:
+            self.state = self.spec.initial_state
+            self.state_history.append((self.sim.now, self.state))
+
+    def reboot(self) -> None:
+        """Bring a crashed device back: interfaces up, telemetry loop
+        restarted, and an immediate report so the cloud shadow refreshes."""
+        for interface in self.interfaces:
+            interface.up = True
+        self.start()
+        self.send_telemetry()
 
     def send_telemetry(self) -> None:
         if self.cloud_address is None:

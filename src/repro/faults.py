@@ -1,0 +1,447 @@
+"""Deterministic, seeded fault injection across the stack.
+
+XLF's resilience claim — cross-layer correlation keeps detecting even
+when any single layer's signal degrades — is only measurable on a
+substrate that can *fail*.  This module is the failure side of the
+declarative scenario engine:
+
+* :class:`FaultSpec` — one scheduled fault as data (registry name,
+  target home, injection time, duration, params), JSON round-trippable
+  with the same strict ``to_dict``/``from_dict`` discipline as
+  :class:`~repro.scenarios.spec.AttackSpec`.
+* :class:`FaultRegistry` — decorator registration of fault kinds, each
+  declaring which XLF layers its damage ``degrades``.
+* :class:`FaultInjector` — per-home executor: schedules injections and
+  recoveries on the home's simulator, draws any unspecified targets
+  from the home's seeded ``"faults"`` RNG stream (bit-reproducible, and
+  the stream is namespaced so adding faults never perturbs other
+  components' draws), emits ``faults.injected`` / ``faults.recovered``
+  telemetry plus per-layer degradation gauges, and marks degraded
+  layers stale on the :class:`~repro.core.bus.CoreBus` so the
+  correlator can weight the remaining layers.
+
+Shipped fault kinds: link flaps and packet-loss bursts (network),
+device crash/reboot with volatile-state loss (device), cloud API
+outages and WAN latency spikes (service), and gateway restarts with
+NAT-table loss (network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple, Type
+
+from repro.core.signals import Layer
+from repro import telemetry as _telemetry
+
+if TYPE_CHECKING:
+    from repro.core.framework import XLF
+    from repro.network.node import Link
+    from repro.scenarios.smarthome import SmartHome
+
+
+class FaultError(ValueError):
+    """Raised for malformed fault specs and fault-registry misuse."""
+
+
+# ---------------------------------------------------------------------------
+# Spec dataclass
+# ---------------------------------------------------------------------------
+
+_SPEC_KEYS = {"fault", "home", "at", "duration_s", "params"}
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault: registry name, target home, window, params."""
+
+    fault: str
+    home: int = 0
+    at: float = 0.0                       # seconds after warmup
+    duration_s: float = 30.0              # injected -> recovered window
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"fault": self.fault, "home": self.home,
+                               "at": self.at, "duration_s": self.duration_s}
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "FaultSpec":
+        unknown = set(data) - _SPEC_KEYS
+        if unknown:
+            raise FaultError(f"unknown fault keys {sorted(unknown)}; "
+                             f"valid: {sorted(_SPEC_KEYS)}")
+        if "fault" not in data:
+            raise FaultError("fault entry missing 'fault' (the registry name)")
+        return FaultSpec(
+            fault=data["fault"],
+            home=int(data.get("home", 0)),
+            at=float(data.get("at", 0.0)),
+            duration_s=float(data.get("duration_s", 30.0)),
+            params=dict(data.get("params", {})),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+class FaultRegistry:
+    """Name-keyed registry of :class:`Fault` classes.
+
+    Mirrors :class:`~repro.scenarios.spec.AttackRegistry`: registration
+    is a class decorator that validates the metadata, lookups are by the
+    fault's stable kebab-case name, and iteration is alphabetical.
+    """
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, Type["Fault"]] = {}
+
+    def register(self, cls: Type["Fault"]) -> Type["Fault"]:
+        name = getattr(cls, "name", "")
+        if not name or name == "abstract-fault":
+            raise FaultError(f"{cls.__name__} declares no fault name")
+        degrades = getattr(cls, "degrades", ())
+        if not degrades or not all(isinstance(l, Layer) for l in degrades):
+            raise FaultError(f"{cls.__name__} must declare the Layer(s) it "
+                             f"degrades")
+        existing = self._classes.get(name)
+        if existing is not None and existing is not cls:
+            raise FaultError(f"fault name {name!r} already registered by "
+                             f"{existing.__name__}")
+        self._classes[name] = cls
+        return cls
+
+    def get(self, name: str) -> Type["Fault"]:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise FaultError(
+                f"unknown fault {name!r}; registered: "
+                f"{', '.join(self.names()) or '(none)'}") from None
+
+    def create(self, spec: FaultSpec, injector: "FaultInjector") -> "Fault":
+        cls = self.get(spec.fault)
+        return cls(injector, spec.params)
+
+    def ordered(self) -> List[Type["Fault"]]:
+        return [self._classes[name] for name in sorted(self._classes)]
+
+    def names(self) -> List[str]:
+        return [cls.name for cls in self.ordered()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+
+FAULTS = FaultRegistry()
+register_fault = FAULTS.register
+
+
+# ---------------------------------------------------------------------------
+# Fault kinds
+# ---------------------------------------------------------------------------
+
+class Fault:
+    """One injectable fault: flips substrate state on :meth:`inject` and
+    restores it on :meth:`recover`.
+
+    Subclasses declare ``name``, the ``degrades`` layers (whose signal
+    sources the damage silences), and the allowed ``PARAMS`` keys.
+    Construction happens at schedule time, so any seeded target draws
+    land in a deterministic order (spec order) regardless of when the
+    injections fire.
+    """
+
+    name: str = "abstract-fault"
+    degrades: Tuple[Layer, ...] = ()
+    description: str = ""
+    PARAMS: Tuple[str, ...] = ()
+
+    def __init__(self, injector: "FaultInjector", params: Dict[str, Any]):
+        self.validate_params(params)
+        self.injector = injector
+        self.home = injector.home
+        self.params = params
+
+    @classmethod
+    def validate_params(cls, params: Dict[str, Any]) -> None:
+        unknown = set(params) - set(cls.PARAMS)
+        if unknown:
+            raise FaultError(
+                f"unknown params {sorted(unknown)} for fault {cls.name!r}; "
+                f"valid: {sorted(cls.PARAMS) or '(none)'}")
+
+    def target(self) -> str:
+        """Human-readable description of what the fault hits."""
+        return ""
+
+    def inject(self) -> None:
+        raise NotImplementedError
+
+    def recover(self) -> None:
+        raise NotImplementedError
+
+
+class _LinkFault(Fault):
+    """Shared target resolution for link-scoped faults."""
+
+    PARAMS = ("link",)
+
+    def __init__(self, injector: "FaultInjector", params: Dict[str, Any]):
+        super().__init__(injector, params)
+        self.link = self._resolve_link(params.get("link"))
+
+    def _resolve_link(self, name: Optional[str]) -> "Link":
+        links = sorted(self.home.all_lan_links, key=lambda l: l.name)
+        if not links:
+            raise FaultError(f"{self.name}: home has no LAN links")
+        if name is None:
+            return self.injector.rng.choice(links)
+        for link in links:
+            if link.name in (name, f"lan-{name}"):
+                return link
+        raise FaultError(f"{self.name}: no link named {name!r}; have "
+                         f"{[l.name for l in links]}")
+
+    def target(self) -> str:
+        return self.link.name
+
+
+@register_fault
+class LinkFlapFault(_LinkFault):
+    """The LAN medium goes dark: nothing is carried until recovery."""
+
+    name = "link-flap"
+    degrades = (Layer.NETWORK,)
+    description = "take a LAN link down; all traffic on it is lost"
+
+    def inject(self) -> None:
+        self.link.up = False
+
+    def recover(self) -> None:
+        self.link.up = True
+
+
+@register_fault
+class PacketLossFault(_LinkFault):
+    """A loss burst: the link's loss rate jumps for the window."""
+
+    name = "packet-loss"
+    degrades = (Layer.NETWORK,)
+    description = "raise a LAN link's loss rate for the fault window"
+    PARAMS = ("link", "loss_rate")
+
+    def __init__(self, injector: "FaultInjector", params: Dict[str, Any]):
+        super().__init__(injector, params)
+        self.loss_rate = float(params.get("loss_rate", 0.5))
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise FaultError(f"{self.name}: loss_rate must be in [0, 1), "
+                             f"got {self.loss_rate}")
+        self._saved: Optional[float] = None
+
+    def inject(self) -> None:
+        self._saved = self.link.loss_rate
+        self.link.loss_rate = max(self.link.loss_rate, self.loss_rate)
+
+    def recover(self) -> None:
+        if self._saved is not None:
+            self.link.loss_rate = self._saved
+            self._saved = None
+
+
+@register_fault
+class DeviceCrashFault(Fault):
+    """Power-fail a device; recovery is a reboot with volatile-state loss."""
+
+    name = "device-crash"
+    degrades = (Layer.DEVICE,)
+    description = "crash a device (interfaces down, telemetry loop dead, " \
+                  "volatile state lost); recovery reboots it"
+    PARAMS = ("device",)
+
+    def __init__(self, injector: "FaultInjector", params: Dict[str, Any]):
+        super().__init__(injector, params)
+        name = params.get("device")
+        devices = self.home.devices
+        if not devices:
+            raise FaultError(f"{self.name}: home has no devices")
+        if name is None:
+            self.device = self.injector.rng.choice(devices)
+        else:
+            try:
+                self.device = self.home.device(name)
+            except KeyError as exc:
+                raise FaultError(f"{self.name}: {exc}") from None
+
+    def target(self) -> str:
+        return self.device.name
+
+    def inject(self) -> None:
+        self.device.crash()
+
+    def recover(self) -> None:
+        self.device.reboot()
+
+
+@register_fault
+class CloudOutageFault(Fault):
+    """The vendor cloud stops answering: device ingest drops on the
+    floor and every REST call returns 503 until recovery."""
+
+    name = "cloud-outage"
+    degrades = (Layer.SERVICE,)
+    description = "cloud ingest drops packets and the REST API serves 503"
+
+    def inject(self) -> None:
+        self.home.cloud.available = False
+        self.home.cloud.api.available = False
+
+    def recover(self) -> None:
+        self.home.cloud.available = True
+        self.home.cloud.api.available = True
+
+
+@register_fault
+class CloudLatencyFault(Fault):
+    """A WAN latency spike: every backbone transmission gains a fixed
+    extra delay, stretching device->cloud paths."""
+
+    name = "cloud-latency"
+    degrades = (Layer.SERVICE,)
+    description = "add fixed extra latency to every WAN backbone packet"
+    PARAMS = ("extra_latency_s",)
+
+    def __init__(self, injector: "FaultInjector", params: Dict[str, Any]):
+        super().__init__(injector, params)
+        self.extra_latency_s = float(params.get("extra_latency_s", 0.5))
+        if self.extra_latency_s <= 0:
+            raise FaultError(f"{self.name}: extra_latency_s must be > 0")
+
+    def target(self) -> str:
+        return self.home.internet.backbone.name
+
+    def inject(self) -> None:
+        self.home.internet.backbone.extra_latency_s += self.extra_latency_s
+
+    def recover(self) -> None:
+        self.home.internet.backbone.extra_latency_s -= self.extra_latency_s
+
+
+@register_fault
+class GatewayRestartFault(Fault):
+    """The gateway power-cycles: all interfaces drop and the NAT table
+    (volatile state) is lost; recovery brings the interfaces back up."""
+
+    name = "gateway-restart"
+    degrades = (Layer.NETWORK,)
+    description = "gateway interfaces down + NAT table flushed; " \
+                  "recovery brings interfaces back up"
+
+    def target(self) -> str:
+        return self.home.gateway.name
+
+    def inject(self) -> None:
+        self.home.gateway.restart()
+
+    def recover(self) -> None:
+        self.home.gateway.complete_restart()
+
+
+# ---------------------------------------------------------------------------
+# Events and the injector
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FaultEvent:
+    """Plain-data record of one injection (and, if reached, recovery)."""
+
+    index: int                       # position in the spec's fault list
+    fault: str
+    home: int
+    target: str
+    injected_at: float
+    recovered_at: Optional[float] = None
+
+
+class FaultInjector:
+    """Schedules one home's fault specs on its simulator.
+
+    Target draws come from the home's seeded ``"faults"`` RNG stream and
+    happen at schedule time in spec order, so runs are bit-reproducible
+    and identical across serial and forked-parallel execution.  When an
+    ``xlf`` host is present, injected faults mark their degraded layers
+    stale on the CoreBus (ref-counted) until recovery.
+    """
+
+    def __init__(self, home: "SmartHome", xlf: Optional["XLF"] = None,
+                 home_index: int = 0):
+        self.home = home
+        self.xlf = xlf
+        self.home_index = home_index
+        self.sim = home.sim
+        self.rng = home.sim.rng.stream("faults")
+        self.events: List[FaultEvent] = []
+        self._degraded: Dict[Layer, int] = {}
+
+    def schedule(self, index: int, spec: FaultSpec, horizon_s: float) -> None:
+        """Arm one fault: inject at ``spec.at`` (seconds after now) and
+        recover ``spec.duration_s`` later, when inside the horizon."""
+        fault = FAULTS.create(spec, self)
+        event = FaultEvent(index=index, fault=spec.fault,
+                           home=self.home_index, target=fault.target(),
+                           injected_at=0.0)
+        at = max(spec.at, 0.0)
+        if at >= horizon_s:
+            return                     # never injected within this run
+
+        def _inject() -> None:
+            event.injected_at = self.sim.now
+            fault.inject()
+            self.events.append(event)
+            self._mark(fault, stale=True)
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter(
+                    "faults.injected", fault=fault.name).inc()
+
+        def _recover() -> None:
+            event.recovered_at = self.sim.now
+            fault.recover()
+            self._mark(fault, stale=False)
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter(
+                    "faults.recovered", fault=fault.name).inc()
+
+        if at <= 0.0:
+            _inject()
+        else:
+            self.sim.call_in(at, _inject)
+        if at + spec.duration_s < horizon_s:
+            self.sim.call_in(at + spec.duration_s, _recover)
+
+    def degraded_layers(self) -> Set[Layer]:
+        """Layers with at least one active fault right now."""
+        return set(self._degraded)
+
+    def _mark(self, fault: Fault, stale: bool) -> None:
+        for layer in fault.degrades:
+            count = self._degraded.get(layer, 0) + (1 if stale else -1)
+            if count > 0:
+                self._degraded[layer] = count
+            else:
+                self._degraded.pop(layer, None)
+                count = 0
+            if _telemetry.ENABLED:
+                _telemetry.registry().gauge(
+                    "faults.degraded", layer=layer.value).set(float(count))
+            if self.xlf is not None:
+                if stale:
+                    self.xlf.bus.mark_layer_stale(layer)
+                else:
+                    self.xlf.bus.mark_layer_fresh(layer)

@@ -98,6 +98,21 @@ class Gateway(Node):
     def is_lan_address(self, address: str) -> bool:
         return address.startswith(self.lan_prefix + ".")
 
+    # -- fault injection ---------------------------------------------------------
+    def restart(self) -> None:
+        """Begin a cold restart: every interface drops and the volatile
+        NAT table is lost (established flows must re-NAT afterwards)."""
+        for interface in self.interfaces:
+            interface.up = False
+        self._nat_out.clear()
+        self._nat_in.clear()
+
+    def complete_restart(self) -> None:
+        """Finish the restart: interfaces come back up (NAT stays empty
+        until traffic rebuilds it)."""
+        for interface in self.interfaces:
+            interface.up = True
+
     # -- policy ----------------------------------------------------------------
     def add_firewall_rule(self, rule: FirewallRule) -> None:
         self.firewall_rules.append(rule)

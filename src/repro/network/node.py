@@ -37,6 +37,11 @@ class Link:
         )
         self.name = name
         self.loss_rate = loss_rate
+        # Fault-injection hooks: a downed link carries nothing, and
+        # extra_latency_s stretches every transmission (WAN latency
+        # spikes).  Both are flipped by repro.faults at runtime.
+        self.up = True
+        self.extra_latency_s = 0.0
         self._loss_rng = sim.rng.stream(f"link-loss:{name}")
         self._interfaces: Dict[str, "Interface"] = {}
         self._default_route: Optional["Interface"] = None
@@ -81,7 +86,16 @@ class Link:
         Returns True if a receiver (or the default route) accepted it.
         """
         packet.sent_at = self.sim.now
-        delay = self.technology.transmit_time(packet.size_bytes)
+        if not self.up:
+            # A downed medium: senders see a failed transmit, observers
+            # see nothing (which is what silences the network layer).
+            self.packets_lost += 1
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter("net.link.down_drops",
+                                              link=self.name).inc()
+            return False
+        delay = self.technology.transmit_time(packet.size_bytes) \
+            + self.extra_latency_s
         for observer in self._observers:
             observer(packet)
         self.packets_carried += 1

@@ -18,7 +18,7 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional
 
-from repro.crypto import CtrMode, get_cached_cipher
+from repro.crypto import CryptoError, CtrMode, get_cached_cipher
 from repro.crypto.kdf import derive_key
 from repro.crypto.mac import HmacLite
 
@@ -91,7 +91,7 @@ class TlsSession:
             # Cached: re-handshakes with the same derived session key skip
             # the key schedule (the mode itself holds no record state).
             self._mode = CtrMode(get_cached_cipher(cipher_name, session_key))
-        except Exception as exc:  # unsupported key length for this cipher
+        except CryptoError as exc:  # unsupported key length for this cipher
             raise TlsError(f"cipher {cipher_name} rejected session key") from exc
         self._token_mac = HmacLite(token_key) if token_key else None
         self._nonce = 0
@@ -129,8 +129,14 @@ class TlsSession:
     def unwrap(self, record: TlsRecord) -> Any:
         try:
             plaintext = self._mode.decrypt(record.ciphertext, record.nonce)
+        except CryptoError as exc:
+            raise TlsError("record decryption failed") from exc
+        try:
             return pickle.loads(plaintext)
-        except Exception as exc:
+        except (pickle.UnpicklingError, EOFError, ValueError, IndexError,
+                KeyError, AttributeError, ImportError) as exc:
+            # Wrong key or tampered record: the plaintext is garbage
+            # bytes and unpickling can fail a dozen different ways.
             raise TlsError("record decryption failed") from exc
 
     def token_for(self, keyword: str) -> bytes:

@@ -16,9 +16,11 @@ from repro.scenarios.spec import (
 )
 from repro.scenarios.fleet import FleetResult, fleet_spec, run_fleet
 from repro.scenarios.parallel import run_fleet as run_fleet_parallel
+from repro.faults import FAULTS, FaultEvent, FaultSpec, register_fault
 
 __all__ = ["SmartHome", "SmartHomeConfig", "ResidentActivity",
            "ATTACKS", "AttackSpec", "DeviceEntry", "HomeSpec",
            "ScenarioResult", "ScenarioSpec", "SpecError",
            "load_builtin_attacks", "register_attack", "run_spec",
+           "FAULTS", "FaultEvent", "FaultSpec", "register_fault",
            "FleetResult", "fleet_spec", "run_fleet", "run_fleet_parallel"]

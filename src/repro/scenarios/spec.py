@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import (
@@ -49,6 +50,7 @@ if TYPE_CHECKING:  # the attacks package imports this module to register
 from repro.core.framework import XLF, XlfConfig
 from repro.core.signals import Alert, Layer
 from repro.device.device import Vulnerabilities
+from repro.faults import FAULTS, FaultError, FaultEvent, FaultInjector, FaultSpec
 from repro.network.dns import DnsMode
 from repro.scenarios.smarthome import SmartHome, SmartHomeConfig
 from repro.scenarios.workloads import ResidentActivity
@@ -223,6 +225,8 @@ class ScenarioSpec:
     name: str = "scenario"
     homes: List[HomeSpec] = field(default_factory=lambda: [HomeSpec()])
     attacks: List[AttackSpec] = field(default_factory=list)
+    # Deterministic fault schedule (see repro.faults); [] = healthy world.
+    faults: List[FaultSpec] = field(default_factory=list)
     # None = undefended world; otherwise the defense posture installed
     # on every home (layer toggles, shaping, disabled functions, ...).
     xlf: Optional[XlfConfig] = None
@@ -237,6 +241,7 @@ class ScenarioSpec:
             "name": self.name,
             "homes": [_home_to_dict(home) for home in self.homes],
             "attacks": [_attack_to_dict(attack) for attack in self.attacks],
+            "faults": [fault.to_dict() for fault in self.faults],
             "xlf": _xlf_to_dict(self.xlf) if self.xlf is not None else None,
             "seed": self.seed,
             "warmup_s": self.warmup_s,
@@ -247,12 +252,13 @@ class ScenarioSpec:
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "ScenarioSpec":
         data = _take("scenario", data, {
-            "name", "homes", "attacks", "xlf", "seed", "warmup_s",
+            "name", "homes", "attacks", "faults", "xlf", "seed", "warmup_s",
             "duration_s", "collect_features"})
         spec = ScenarioSpec(
             name=data.get("name", "scenario"),
             homes=[_home_from_dict(h) for h in data.get("homes", [{}])],
             attacks=[_attack_from_dict(a) for a in data.get("attacks", [])],
+            faults=[_fault_from_dict(f) for f in data.get("faults", [])],
             xlf=(_xlf_from_dict(data["xlf"])
                  if data.get("xlf") is not None else None),
             seed=int(data.get("seed", 0)),
@@ -277,6 +283,21 @@ class ScenarioSpec:
                 raise SpecError(
                     f"attack {attack.attack!r} has a negative launch time")
             ATTACKS.get(attack.attack)   # raises SpecError on unknown names
+        for fault in self.faults:
+            if not 0 <= fault.home < len(self.homes):
+                raise SpecError(
+                    f"fault {fault.fault!r} targets home {fault.home}, "
+                    f"but the scenario has {len(self.homes)} home(s)")
+            if fault.at < 0:
+                raise SpecError(
+                    f"fault {fault.fault!r} has a negative injection time")
+            if fault.duration_s <= 0:
+                raise SpecError(
+                    f"fault {fault.fault!r} needs a positive duration_s")
+            try:
+                FAULTS.get(fault.fault).validate_params(fault.params)
+            except FaultError as exc:
+                raise SpecError(str(exc)) from None
 
 
 def _take(kind: str, data: Dict[str, Any], allowed: Set[str]) -> Dict[str, Any]:
@@ -357,6 +378,14 @@ def _attack_from_dict(data: Dict[str, Any]) -> AttackSpec:
     )
 
 
+def _fault_from_dict(data: Dict[str, Any]) -> FaultSpec:
+    try:
+        return FaultSpec.from_dict(data)
+    except FaultError as exc:
+        # Keep SpecError the one user-facing spec-parsing exception.
+        raise SpecError(str(exc)) from None
+
+
 def _xlf_to_dict(config: XlfConfig) -> Dict[str, Any]:
     return {
         "enable_device_layer": config.enable_device_layer,
@@ -434,6 +463,12 @@ class HomeRunResult:
     # Registry snapshot when telemetry was enabled (plain data, so a
     # forked worker ships it back with the observations).
     telemetry: Optional[dict] = None
+    # Injection/recovery records from this home's fault schedule.
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    # Set by run_spec when this home's worker died and the home was
+    # re-run serially: the observations are complete, the flag records
+    # the degraded execution path.
+    degraded: bool = False
 
 
 @dataclass
@@ -451,6 +486,10 @@ class ScenarioResult:
     homes: List[HomeRunResult] = field(default_factory=list)
     # Merged telemetry (None unless repro.telemetry was enabled).
     telemetry: Optional[MetricsRegistry] = None
+    # Fault injections/recoveries, merged in home order.
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    # Homes whose parallel worker died and were retried serially.
+    degraded_homes: List[int] = field(default_factory=list)
 
     FEATURE_NAMES = (
         "packets_per_min",
@@ -544,6 +583,17 @@ def _simulate_home(spec: ScenarioSpec, index: int):
         elif at < spec.duration_s:
             home.sim.call_in(at, lambda g=groups[at]: launch_group(g))
 
+    # Schedule this home's faults (after attacks, so the attack event
+    # sequence of fault-free specs is untouched).  Target draws happen
+    # here, in spec order, from the home's seeded "faults" stream.
+    injector: Optional[FaultInjector] = None
+    due_faults = [(i, f) for i, f in enumerate(spec.faults)
+                  if f.home == index]
+    if due_faults:
+        injector = FaultInjector(home, xlf, home_index=index)
+        for i, fault_spec in due_faults:
+            injector.schedule(i, fault_spec, spec.duration_s)
+
     home.run(spec.warmup_s + spec.duration_s)
 
     result = HomeRunResult(home_index=index, features={}, device_types={},
@@ -566,6 +616,8 @@ def _simulate_home(spec: ScenarioSpec, index: int):
     result.outcomes = [(i, attack.outcome()) for i, attack in launched]
     if xlf is not None:
         result.alerts = list(xlf.alerts)
+    if injector is not None:
+        result.fault_events = list(injector.events)
     return result, home.sim.now
 
 
@@ -595,8 +647,16 @@ def run_home(spec: ScenarioSpec, index: int) -> HomeRunResult:
     return result
 
 
+# Test seam: called in the worker process before simulating a home.
+# Resilience tests monkeypatch this (the patch rides into workers via
+# fork) to kill a worker mid-fleet; the serial retry path bypasses it.
+def _worker_crash_hook(index: int) -> None:
+    return None
+
+
 def _home_task(args: Tuple[ScenarioSpec, int]) -> HomeRunResult:
     spec, index = args
+    _worker_crash_hook(index)
     return run_home(spec, index)
 
 
@@ -615,6 +675,9 @@ def _merge_home(result: ScenarioResult, home: HomeRunResult,
     result.device_types.update(home.device_types)
     result.infected.update(home.infected)
     result.alerts.extend(home.alerts)
+    result.fault_events.extend(home.fault_events)
+    if home.degraded:
+        result.degraded_homes.append(home.home_index)
     for index, outcome in home.outcomes:
         outcomes[index] = outcome
     if home.telemetry is not None:
@@ -627,8 +690,35 @@ def _merge_home(result: ScenarioResult, home: HomeRunResult,
             extra_span_labels=(("home", f"{home.home_index:02d}"),))
 
 
+def _retry_home_serially(spec: ScenarioSpec, index: int,
+                         max_retries: int, backoff_s: float) -> HomeRunResult:
+    """Re-run a home whose worker died, in-process, with bounded
+    exponential wall-time backoff between attempts.
+
+    Retry accounting goes to the *parent* process registry, never the
+    home-local one, so a crash-free parallel run stays byte-identical
+    to serial.
+    """
+    last_error: Optional[BaseException] = None
+    for attempt in range(max_retries):
+        if attempt:
+            time.sleep(backoff_s * (2 ** (attempt - 1)))
+        if _telemetry.ENABLED:
+            _telemetry.registry().counter(
+                "fleet.home_retries", home=f"{index:02d}").inc()
+        try:
+            return run_home(spec, index)
+        except Exception as exc:
+            last_error = exc
+    raise SpecError(
+        f"home {index} failed after {max_retries} serial retries"
+    ) from last_error
+
+
 def run_spec(spec: ScenarioSpec,
-             workers: Optional[int] = 1) -> ScenarioResult:
+             workers: Optional[int] = 1,
+             max_home_retries: int = 3,
+             retry_backoff_s: float = 0.05) -> ScenarioResult:
     """Materialise and run a :class:`ScenarioSpec`.
 
     ``workers=1`` (the default) runs homes serially in-process;
@@ -637,6 +727,12 @@ def run_spec(spec: ScenarioSpec,
     bit-identical across all three: per-home work is seeded and
     self-contained, and observations merge in home-index order
     regardless of which worker finishes first.
+
+    The parallel path survives worker-process death: any home whose
+    worker crashed (or whose pool broke underneath it) is retried
+    serially in the parent — up to ``max_home_retries`` attempts with
+    exponential ``retry_backoff_s`` backoff — and flagged in
+    :attr:`ScenarioResult.degraded_homes`.  No observations are lost.
     """
     load_builtin_attacks()
     spec.validate()
@@ -653,16 +749,32 @@ def run_spec(spec: ScenarioSpec,
             _merge_home(result, run_home(spec, index), outcomes)
     else:
         context = multiprocessing.get_context("fork")
-        tasks = [(spec, index) for index in range(n_homes)]
+        homes: List[Optional[HomeRunResult]] = [None] * n_homes
         with ProcessPoolExecutor(max_workers=workers,
                                  mp_context=context) as pool:
-            # Executor.map yields in submission order, which is home
+            # Futures collected in submission order, which is home
             # order — exactly the serial merge order.  Workers inherit
             # the telemetry enable flag through fork and record into
             # worker-local registries, so each result carries its
             # home's snapshot and the merge here is identical to serial.
-            for home in pool.map(_home_task, tasks):
-                _merge_home(result, home, outcomes)
+            futures = [pool.submit(_home_task, (spec, index))
+                       for index in range(n_homes)]
+            for index, future in enumerate(futures):
+                try:
+                    homes[index] = future.result()
+                except Exception:
+                    # Worker died (BrokenProcessPool) or the task
+                    # raised; leave the slot empty for serial retry.
+                    if _telemetry.ENABLED:
+                        _telemetry.registry().counter(
+                            "fleet.home_worker_failures",
+                            home=f"{index:02d}").inc()
+        for index, home in enumerate(homes):
+            if home is None:
+                home = _retry_home_serially(
+                    spec, index, max_home_retries, retry_backoff_s)
+                home.degraded = True
+            _merge_home(result, home, outcomes)
     result.outcomes = [outcomes.get(i) for i in range(len(spec.attacks))]
     if result.telemetry is not None:
         # Fold the merged telemetry into the process registry so a CLI

@@ -24,6 +24,7 @@ from repro.network.dns import DnsResolver
 from repro.network.gateway import Gateway
 from repro.network.packet import Packet
 from repro.sim import Simulator
+from repro import telemetry as _telemetry
 
 import pickle
 
@@ -162,8 +163,16 @@ class DnsBridge:
         raw = self._mode_for(key).decrypt(blob, nonce)
         try:
             answer = pickle.loads(raw)
-        except Exception:
+        except (pickle.UnpicklingError, EOFError, ValueError, IndexError):
+            # A tampered or mis-keyed blob decrypts to garbage bytes;
+            # that is an expected adversarial condition, not a crash.
             return None
+        except Exception:
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter(
+                    "core.plugin_errors",
+                    site="dns-bridge.decrypt_answer").inc()
+            raise
         return answer
 
     def make_query_packet(self, device_name: str, device_address: str,
@@ -205,13 +214,20 @@ class DnsBridge:
         try:
             qname = self._mode_for(key).decrypt(payload["blob"], nonce) \
                 .decode("utf-8")
-        except Exception:
+        except UnicodeDecodeError:
+            # Authenticated-but-undecodable means a provisioning bug or
+            # a replayed nonce, both expected in adversarial runs.
             self._report(SecuritySignal.make(
                 Layer.DEVICE, SignalType.DNS_ANOMALY, "dns-bridge",
                 device, self.sim.now, severity=Severity.WARNING,
                 reason="undecryptable-query",
             ))
             return
+        except Exception:
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter(
+                    "core.plugin_errors", site="dns-bridge.on_query").inc()
+            raise
         self.queries_bridged += 1
 
         def reply(address: Optional[str]) -> None:

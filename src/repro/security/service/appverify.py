@@ -25,6 +25,7 @@ from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
 from repro.service.cloud import CloudPlatform
 from repro.service.smartapps import SmartApp, TriggerActionRule
 from repro.sim import Simulator
+from repro import telemetry as _telemetry
 
 
 @dataclass
@@ -102,8 +103,17 @@ class ApplicationVerifier:
                 try:
                     if rule.predicate(value):
                         return True
-                except Exception:
+                except (TypeError, ValueError, KeyError, AttributeError,
+                        ArithmeticError):
+                    # App-supplied predicates choke on unexpected event
+                    # values all the time; that just fails to explain.
                     continue
+                except Exception:
+                    if _telemetry.ENABLED:
+                        _telemetry.registry().counter(
+                            "core.plugin_errors",
+                            site="app-verifier.predicate").inc()
+                    raise
         return False
 
     # -- static audits ----------------------------------------------------------

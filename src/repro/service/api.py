@@ -43,6 +43,9 @@ class RestApi:
     def __init__(self, oauth: OAuthServer, enforce_scopes: bool = True):
         self.oauth = oauth
         self.enforce_scopes = enforce_scopes
+        # Fault injection: an unavailable API answers 503 to everything
+        # (repro.faults cloud-outage flips this).
+        self.available = True
         self._routes: Dict[Tuple[str, str], Route] = {}
         self.request_log: List[Tuple[str, str, int]] = []  # method, path, status
         self.denied_requests = 0
@@ -58,6 +61,9 @@ class RestApi:
         return list(self._routes.values())
 
     def handle(self, request: HttpRequest) -> HttpResponse:
+        if not self.available:
+            return self._finish(
+                request, HttpResponse(503, body="service unavailable"))
         route = self._routes.get((request.method, request.path))
         if route is None:
             return self._finish(request, HttpResponse(404, body="not found"))

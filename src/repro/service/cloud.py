@@ -69,6 +69,9 @@ class CloudPlatform(Node):
         self.api = RestApi(self.oauth, enforce_scopes=enforce_api_scopes)
         self.coarse_grants = coarse_grants
         self.compromised = False
+        # Fault injection: an unavailable platform drops device ingest
+        # on the floor (repro.faults cloud-outage flips this).
+        self.available = True
         self._handlers: Dict[str, DeviceHandler] = {}
         self._apps: Dict[str, SmartApp] = {}
         self._next_device_serial = 1
@@ -99,6 +102,10 @@ class CloudPlatform(Node):
 
     # -- device traffic -------------------------------------------------------
     def _on_device_packet(self, packet: Packet, interface: Interface) -> None:
+        if not self.available:
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter("cloud.outage_drops").inc()
+            return
         payload = packet.payload
         if not isinstance(payload, dict):
             return

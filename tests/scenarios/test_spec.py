@@ -257,3 +257,110 @@ class TestSerialParallelIdentity:
                             base_seed=100)
         assert classic.features == serial.features
         assert classic.infected == serial.infected
+
+
+class TestRunSpecResilience:
+    """The hardened parallel path: worker death, fork fallback, workers=None."""
+
+    def fleet(self, n_homes=3):
+        return fleet_spec(n_homes=n_homes, infected_homes=(1,),
+                          duration_s=60.0, base_seed=100)
+
+    @needs_fork
+    def test_worker_crash_is_retried_and_flagged(self, monkeypatch):
+        """Killing a worker mid-fleet must not lose any home."""
+        import os
+
+        import repro.scenarios.spec as spec_module
+
+        def crash_home_one(index):
+            if index == 1:
+                os._exit(1)
+
+        serial = run_spec(self.fleet())
+        # The patch rides into the forked workers; the serial retry
+        # calls run_home directly and bypasses the hook.
+        monkeypatch.setattr(spec_module, "_worker_crash_hook",
+                            crash_home_one)
+        par = run_spec(self.fleet(), workers=2)
+        assert 1 in par.degraded_homes
+        assert sorted(h.home_index for h in par.homes) == [0, 1, 2]
+        assert par.features == serial.features
+        assert par.infected == serial.infected
+        assert par.outcomes == serial.outcomes
+
+    @needs_fork
+    def test_unrecoverable_home_raises_spec_error(self, monkeypatch):
+        import repro.scenarios.spec as spec_module
+
+        monkeypatch.setattr(
+            spec_module, "run_home",
+            lambda spec, index: (_ for _ in ()).throw(RuntimeError("boom")))
+        with pytest.raises(SpecError, match="after 2 serial retries"):
+            spec_module._retry_home_serially(self.fleet(), 0,
+                                             max_retries=2, backoff_s=0.0)
+
+    def test_fork_unavailable_falls_back_to_serial(self, monkeypatch):
+        import repro.scenarios.spec as spec_module
+
+        monkeypatch.setattr(spec_module, "fork_available", lambda: False)
+        serial = run_spec(self.fleet(n_homes=2))
+        fallback = run_spec(self.fleet(n_homes=2), workers=4)
+        assert fallback.features == serial.features
+        assert fallback.infected == serial.infected
+        assert fallback.degraded_homes == []
+
+    def test_workers_none_resolves_to_cpu_count(self, monkeypatch):
+        import repro.scenarios.spec as spec_module
+
+        # Pin cpu_count to 1 so workers=None takes the serial path
+        # deterministically on any machine.
+        monkeypatch.setattr(spec_module.os, "cpu_count", lambda: 1)
+        serial = run_spec(self.fleet(n_homes=2))
+        resolved = run_spec(self.fleet(n_homes=2), workers=None)
+        assert resolved.features == serial.features
+        assert resolved.infected == serial.infected
+
+
+class TestSerialParallelIdentityWithFaults:
+    """Same spec + seed must give byte-identical results — telemetry
+    included — across serial and parallel, with faults active."""
+
+    def faulty_fleet(self):
+        from repro.scenarios import FaultSpec
+
+        spec = fleet_spec(n_homes=2, infected_homes=(1,), duration_s=60.0,
+                          base_seed=100)
+        spec.faults = [
+            FaultSpec(fault="packet-loss", home=0, at=5.0, duration_s=20.0,
+                      params={"loss_rate": 0.4}),
+            FaultSpec(fault="device-crash", home=1, at=10.0,
+                      duration_s=15.0),
+            FaultSpec(fault="cloud-outage", home=1, at=30.0,
+                      duration_s=10.0),
+        ]
+        return spec
+
+    @needs_fork
+    def test_identity_including_telemetry(self):
+        from repro import telemetry
+
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            serial = run_spec(self.faulty_fleet())
+            telemetry.reset()
+            par = run_spec(self.faulty_fleet(), workers=2)
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert serial.telemetry.snapshot() == par.telemetry.snapshot()
+        assert serial.features == par.features
+        assert serial.infected == par.infected
+        assert serial.outcomes == par.outcomes
+        assert [(e.index, e.fault, e.home, e.target, e.injected_at,
+                 e.recovered_at) for e in serial.fault_events] == \
+            [(e.index, e.fault, e.home, e.target, e.injected_at,
+              e.recovered_at) for e in par.fault_events]
+        assert [a.timestamp for a in serial.alerts] == \
+            [a.timestamp for a in par.alerts]

@@ -1,0 +1,315 @@
+"""Tests for the deterministic fault-injection subsystem."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.core import CoreBus, CrossLayerCorrelator
+from repro.core.correlator import CorrelationRule
+from repro.core.signals import Layer, Severity, SignalType, SecuritySignal
+from repro.faults import (
+    FAULTS,
+    FaultError,
+    FaultInjector,
+    FaultSpec,
+)
+from repro.network.protocols.http import HttpRequest
+from repro.scenarios import ScenarioSpec, SpecError, fleet_spec, run_spec
+from repro.scenarios.smarthome import SmartHome
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Spec round-trip and validation
+# ---------------------------------------------------------------------------
+
+class TestFaultSpec:
+    def test_round_trip(self):
+        spec = FaultSpec(fault="packet-loss", home=2, at=12.5,
+                         duration_s=40.0, params={"loss_rate": 0.3})
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert FaultSpec.from_dict(data) == spec
+
+    def test_to_dict_omits_empty_params(self):
+        assert "params" not in FaultSpec(fault="cloud-outage").to_dict()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault keys"):
+            FaultSpec.from_dict({"fault": "link-flap", "speed": 9})
+
+    def test_missing_fault_name_rejected(self):
+        with pytest.raises(FaultError, match="missing 'fault'"):
+            FaultSpec.from_dict({"home": 0})
+
+    def test_registry_lists_builtin_faults(self):
+        assert {"link-flap", "packet-loss", "device-crash", "cloud-outage",
+                "cloud-latency", "gateway-restart"} <= set(FAULTS.names())
+
+    def test_unknown_fault_name(self):
+        with pytest.raises(FaultError, match="unknown fault"):
+            FAULTS.get("meteor-strike")
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(FaultError, match="unknown params"):
+            FAULTS.get("packet-loss").validate_params({"jitter": 1})
+
+
+class TestScenarioSpecFaultValidation:
+    def base_spec(self, **fault_kwargs):
+        spec = fleet_spec(n_homes=1, infected_homes=(), duration_s=30.0)
+        spec.faults = [FaultSpec(**fault_kwargs)]
+        return spec
+
+    def test_valid_fault_passes(self):
+        self.base_spec(fault="cloud-outage", at=1.0).validate()
+
+    def test_out_of_range_home(self):
+        with pytest.raises(SpecError, match="targets home"):
+            self.base_spec(fault="cloud-outage", home=5).validate()
+
+    def test_negative_at(self):
+        with pytest.raises(SpecError, match="negative injection time"):
+            self.base_spec(fault="cloud-outage", at=-1.0).validate()
+
+    def test_nonpositive_duration(self):
+        with pytest.raises(SpecError, match="positive duration_s"):
+            self.base_spec(fault="cloud-outage", duration_s=0.0).validate()
+
+    def test_unknown_fault_becomes_spec_error(self):
+        with pytest.raises(SpecError, match="unknown fault"):
+            self.base_spec(fault="meteor-strike").validate()
+
+    def test_bad_params_become_spec_error(self):
+        with pytest.raises(SpecError, match="unknown params"):
+            self.base_spec(fault="packet-loss",
+                           params={"jitter": 1}).validate()
+
+    def test_scenario_spec_round_trips_faults(self):
+        spec = self.base_spec(fault="packet-loss", at=3.0,
+                              params={"loss_rate": 0.4})
+        data = json.loads(json.dumps(spec.to_dict()))
+        restored = ScenarioSpec.from_dict(data)
+        assert restored.faults == spec.faults
+
+    def test_specs_without_faults_still_load(self):
+        data = self.base_spec(fault="cloud-outage").to_dict()
+        del data["faults"]
+        assert ScenarioSpec.from_dict(data).faults == []
+
+
+# ---------------------------------------------------------------------------
+# Individual fault kinds against a real home
+# ---------------------------------------------------------------------------
+
+class TestFaultKinds:
+    def setup_method(self):
+        self.home = SmartHome()
+        self.injector = FaultInjector(self.home)
+
+    def run_faults(self, *specs, horizon_s=120.0):
+        for i, spec in enumerate(specs):
+            self.injector.schedule(i, spec, horizon_s)
+        self.home.sim.run(until=horizon_s)
+        return self.injector.events
+
+    def test_link_flap_drops_all_traffic(self):
+        link = sorted(self.home.all_lan_links, key=lambda l: l.name)[0]
+        events = self.run_faults(
+            FaultSpec(fault="link-flap", at=0.0, duration_s=30.0,
+                      params={"link": link.name}))
+        assert events[0].target == link.name
+        assert events[0].recovered_at is not None
+        assert link.up  # recovered
+        assert link.packets_lost > 0  # telemetry kept flowing into the flap
+
+    def test_packet_loss_restores_original_rate(self):
+        link = sorted(self.home.all_lan_links, key=lambda l: l.name)[0]
+        original = link.loss_rate
+        self.injector.schedule(0, FaultSpec(
+            fault="packet-loss", at=5.0, duration_s=20.0,
+            params={"link": link.name, "loss_rate": 0.9}), 120.0)
+        self.home.sim.run(until=10.0)
+        assert link.loss_rate == 0.9
+        self.home.sim.run(until=120.0)
+        assert link.loss_rate == original
+
+    def test_device_crash_and_reboot(self):
+        device = self.home.devices[0]
+        self.injector.schedule(0, FaultSpec(
+            fault="device-crash", at=10.0, duration_s=30.0,
+            params={"device": device.name}), 120.0)
+        self.home.sim.run(until=20.0)
+        assert all(not i.up for i in device.interfaces)
+        sent_while_down = device.telemetry_sent
+        self.home.sim.run(until=35.0)
+        assert sent_while_down == device.telemetry_sent or \
+            device.telemetry_sent >= sent_while_down  # loop dead until reboot
+        self.home.sim.run(until=120.0)
+        assert all(i.up for i in device.interfaces)
+        assert device.telemetry_sent > sent_while_down  # loop restarted
+
+    def test_device_crash_unknown_device(self):
+        with pytest.raises(FaultError, match="device-crash"):
+            self.injector.schedule(0, FaultSpec(
+                fault="device-crash", params={"device": "toaster-9"}), 120.0)
+
+    def test_cloud_outage_503_and_ingest_drop(self):
+        self.injector.schedule(0, FaultSpec(
+            fault="cloud-outage", at=10.0, duration_s=30.0), 120.0)
+        self.home.sim.run(until=15.0)
+        assert not self.home.cloud.available
+        response = self.home.cloud.api.handle(
+            HttpRequest("GET", "/health"))
+        assert response.status == 503
+        self.home.sim.run(until=120.0)
+        assert self.home.cloud.available
+        assert self.home.cloud.api.handle(
+            HttpRequest("GET", "/health")).status == 200
+
+    def test_cloud_latency_is_symmetric(self):
+        backbone = self.home.internet.backbone
+        self.injector.schedule(0, FaultSpec(
+            fault="cloud-latency", at=5.0, duration_s=20.0,
+            params={"extra_latency_s": 1.5}), 120.0)
+        self.home.sim.run(until=10.0)
+        assert backbone.extra_latency_s == 1.5
+        self.home.sim.run(until=120.0)
+        assert backbone.extra_latency_s == 0.0
+
+    def test_gateway_restart_flushes_nat(self):
+        gateway = self.home.gateway
+        self.home.sim.run(until=30.0)  # let telemetry build NAT state
+        assert gateway._nat_out
+        self.injector.schedule(0, FaultSpec(
+            fault="gateway-restart", at=0.0, duration_s=10.0), 60.0)
+        assert not gateway._nat_out
+        assert all(not i.up for i in gateway.interfaces)
+        self.home.sim.run(until=60.0)
+        assert all(i.up for i in gateway.interfaces)
+
+    def test_unspecified_targets_draw_from_seeded_stream(self):
+        def chosen_target():
+            home = SmartHome()
+            injector = FaultInjector(home)
+            injector.schedule(0, FaultSpec(fault="link-flap"), 60.0)
+            return injector.events[0].target
+
+        assert chosen_target() == chosen_target()
+
+    def test_fault_beyond_horizon_never_injects(self):
+        events = self.run_faults(
+            FaultSpec(fault="cloud-outage", at=500.0), horizon_s=120.0)
+        assert events == []
+
+    def test_degraded_layers_tracks_active_window(self):
+        self.injector.schedule(0, FaultSpec(
+            fault="cloud-outage", at=10.0, duration_s=30.0), 120.0)
+        self.home.sim.run(until=20.0)
+        assert self.injector.degraded_layers() == {Layer.SERVICE}
+        self.home.sim.run(until=120.0)
+        assert self.injector.degraded_layers() == set()
+
+
+# ---------------------------------------------------------------------------
+# Stale-layer semantics on the bus and in the correlator
+# ---------------------------------------------------------------------------
+
+def _signal(layer, signal_type, t, device="dev-1"):
+    return SecuritySignal.make(layer, signal_type, "test", device, t,
+                               severity=Severity.WARNING)
+
+
+class TestStaleLayers:
+    def test_refcounted_marks(self):
+        bus = CoreBus(Simulator())
+        bus.mark_layer_stale(Layer.NETWORK)
+        bus.mark_layer_stale(Layer.NETWORK)
+        bus.mark_layer_fresh(Layer.NETWORK)
+        assert bus.stale_layers() == {Layer.NETWORK}
+        bus.mark_layer_fresh(Layer.NETWORK)
+        assert bus.stale_layers() == frozenset()
+
+    def test_unmatched_fresh_ignored(self):
+        bus = CoreBus(Simulator())
+        bus.mark_layer_fresh(Layer.DEVICE)
+        assert bus.stale_layers() == frozenset()
+
+    def make_correlator(self, bus):
+        rule = CorrelationRule(
+            name="r", category="c",
+            trigger_types=frozenset({SignalType.SCAN_PATTERN}),
+            corroborating_types=frozenset({SignalType.SCAN_PATTERN}),
+            min_layers=2, min_signals=2)
+        return CrossLayerCorrelator(bus, rules=[rule])
+
+    def test_one_layer_insufficient_when_all_fresh(self):
+        bus = CoreBus(Simulator())
+        correlator = self.make_correlator(bus)
+        bus.report(_signal(Layer.NETWORK, SignalType.SCAN_PATTERN, 1.0))
+        bus.report(_signal(Layer.NETWORK, SignalType.SCAN_PATTERN, 2.0))
+        assert correlator.alerts == []
+
+    def test_stale_layer_relaxes_diversity_requirement(self):
+        bus = CoreBus(Simulator())
+        correlator = self.make_correlator(bus)
+        bus.mark_layer_stale(Layer.DEVICE)
+        bus.report(_signal(Layer.NETWORK, SignalType.SCAN_PATTERN, 1.0))
+        bus.report(_signal(Layer.NETWORK, SignalType.SCAN_PATTERN, 2.0))
+        assert len(correlator.alerts) == 1
+
+    def test_stale_layer_never_relaxes_signal_count(self):
+        bus = CoreBus(Simulator())
+        correlator = self.make_correlator(bus)
+        bus.mark_layer_stale(Layer.DEVICE)
+        bus.report(_signal(Layer.NETWORK, SignalType.SCAN_PATTERN, 1.0))
+        assert correlator.alerts == []
+
+    def test_stale_reporting_layer_does_not_relax(self):
+        """Staleness of a layer that *did* report changes nothing."""
+        bus = CoreBus(Simulator())
+        correlator = self.make_correlator(bus)
+        bus.mark_layer_stale(Layer.NETWORK)
+        bus.report(_signal(Layer.NETWORK, SignalType.SCAN_PATTERN, 1.0))
+        bus.report(_signal(Layer.NETWORK, SignalType.SCAN_PATTERN, 2.0))
+        assert correlator.alerts == []
+
+
+# ---------------------------------------------------------------------------
+# Faults through the spec engine
+# ---------------------------------------------------------------------------
+
+class TestRunSpecWithFaults:
+    def faulty_spec(self):
+        spec = fleet_spec(n_homes=2, infected_homes=(1,), duration_s=60.0,
+                          base_seed=100)
+        spec.faults = [
+            FaultSpec(fault="packet-loss", home=0, at=5.0, duration_s=20.0,
+                      params={"loss_rate": 0.4}),
+            FaultSpec(fault="cloud-outage", home=1, at=10.0,
+                      duration_s=15.0),
+        ]
+        return spec
+
+    def test_events_recorded_in_result(self):
+        result = run_spec(self.faulty_spec())
+        assert [(e.fault, e.home) for e in result.fault_events] == \
+            [("packet-loss", 0), ("cloud-outage", 1)]
+        for event in result.fault_events:
+            assert event.recovered_at is not None
+            assert event.recovered_at > event.injected_at
+
+    def test_fault_telemetry_counters(self):
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            result = run_spec(self.faulty_spec())
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert result.telemetry.counter_total("faults.injected") == 2
+        assert result.telemetry.counter_total("faults.recovered") == 2
+
+    def test_fault_free_spec_has_no_events(self):
+        spec = fleet_spec(n_homes=1, infected_homes=(), duration_s=30.0)
+        assert run_spec(spec).fault_events == []
