@@ -21,8 +21,7 @@ from repro.scenarios import run_fleet
 @pytest.fixture(scope="module")
 def fleet_model():
     fleet = run_fleet(n_homes=4, infected_homes=(1,), duration_s=240.0)
-    names = sorted(fleet.features)
-    matrix = np.array([fleet.features[n] for n in names])
+    names, matrix = fleet.feature_matrix()
     scale = np.maximum(np.abs(matrix).max(axis=0), 1e-9)
     model = CommunityModel(similarity_scale=0.5, edge_threshold=0.3)
     for name in names:

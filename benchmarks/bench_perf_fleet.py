@@ -30,6 +30,7 @@ import sys
 import time
 
 from repro.scenarios import ScenarioResult, fleet_spec, run_spec
+from repro.scenarios.prototype import PROTOTYPES
 from repro.scenarios.spec import fork_available
 from repro.sim import Simulator
 
@@ -80,22 +81,43 @@ def results_identical(a: ScenarioResult, b: ScenarioResult) -> bool:
             and a.infected == b.infected)
 
 
+def stage_totals(result: ScenarioResult) -> dict:
+    """Sum each home's per-stage wall-clock seconds across the run."""
+    totals = {"build_s": 0.0, "run_s": 0.0, "featurize_s": 0.0}
+    for home in result.homes:
+        for stage, seconds in home.timings.items():
+            totals[stage] = totals.get(stage, 0.0) + seconds
+    return {stage: round(seconds, 4) for stage, seconds in totals.items()}
+
+
 def bench_fleet(n_homes: int, workers: int, duration_s: float,
                 infected_homes: tuple) -> dict:
-    # One declarative spec, two execution strategies — the benchmark
-    # exercises exactly what every experiment in the repo now runs on.
+    # One declarative spec, three execution strategies — serial and
+    # parallel on the prototype-clone path, plus a fresh-build reference
+    # run (cache disabled) that doubles as the clone-identity check.
     spec = fleet_spec(n_homes=n_homes, infected_homes=infected_homes,
                       duration_s=duration_s)
 
+    PROTOTYPES.clear()
     start = time.perf_counter()
     serial = run_spec(spec)
     serial_s = time.perf_counter() - start
+    cloned_homes = sum(1 for home in serial.homes if home.cloned)
 
     start = time.perf_counter()
     par = run_spec(spec, workers=workers)
     parallel_s = time.perf_counter() - start
 
+    PROTOTYPES.enabled = False
+    try:
+        start = time.perf_counter()
+        fresh = run_spec(spec)
+        fresh_s = time.perf_counter() - start
+    finally:
+        PROTOTYPES.enabled = True
+
     identical = results_identical(serial, par)
+    clone_identical = results_identical(serial, fresh)
     sim_hours = n_homes * duration_s / 3600.0
     return {
         "homes": n_homes,
@@ -109,6 +131,16 @@ def bench_fleet(n_homes: int, workers: int, duration_s: float,
         "identical_results": identical,
         "serial_wall_s_per_sim_hour": round(serial_s / sim_hours, 4),
         "parallel_wall_s_per_sim_hour": round(parallel_s / sim_hours, 4),
+        # Prototype-clone path: throughput, per-stage split, identity.
+        "homes_per_sec": round(n_homes / serial_s, 2),
+        "stages": stage_totals(serial),
+        "cloned_homes": cloned_homes,
+        "clone_fallbacks": PROTOTYPES.fallbacks,
+        "fresh_build_s": round(fresh_s, 4),
+        "fresh_homes_per_sec": round(n_homes / fresh_s, 2),
+        "fresh_stages": stage_totals(fresh),
+        "clone_speedup": round(fresh_s / serial_s, 3) if serial_s else None,
+        "clone_identical": clone_identical,
     }
 
 
@@ -156,6 +188,10 @@ def main(argv=None) -> int:
         print(f"\nwrote {args.out}", file=sys.stderr)
     if not report["fleet"]["identical_results"]:
         print("ERROR: serial and parallel fleet results differ",
+              file=sys.stderr)
+        return 1
+    if not report["fleet"]["clone_identical"]:
+        print("ERROR: prototype-clone results differ from fresh builds",
               file=sys.stderr)
         return 1
     return 0

@@ -30,7 +30,8 @@ import time
 
 from repro.attacks import MiraiBotnet
 from repro.core import XLF, XlfConfig
-from repro.scenarios import SmartHome, SmartHomeConfig, fleet, parallel
+from repro.scenarios import HomeSpec, SmartHome, SmartHomeConfig, fleet, parallel
+from repro.scenarios.prototype import PROTOTYPES
 
 
 def bench_lifecycle(repeats: int) -> dict:
@@ -57,6 +58,35 @@ def bench_lifecycle(repeats: int) -> dict:
         "uninstall_us": round(best_uninstall * 1e6, 1),
         "devices": len(home.devices),
         "lan_links": len(home.all_lan_links),
+    }
+
+
+def bench_clone(repeats: int) -> dict:
+    """Fresh home construction vs prototype clone, best-of-``repeats``.
+
+    ``clone_us`` is the whole per-home setup cost on the clone path —
+    ``pickle.loads`` of the cached snapshot, RNG reseed, and pairing
+    kick-off — i.e. what replaces a fresh build for every home after
+    the first of a topology.
+    """
+    home_spec = HomeSpec()
+    best_fresh = best_clone = float("inf")
+    for i in range(repeats):
+        start = time.perf_counter()
+        SmartHome(home_spec.build_config(i))
+        best_fresh = min(best_fresh, time.perf_counter() - start)
+    PROTOTYPES.clear()
+    PROTOTYPES.warm(home_spec)
+    for i in range(repeats):
+        start = time.perf_counter()
+        PROTOTYPES.materialise(home_spec, seed=i)
+        best_clone = min(best_clone, time.perf_counter() - start)
+    return {
+        "repeats": repeats,
+        "fresh_build_us": round(best_fresh * 1e6, 1),
+        "clone_us": round(best_clone * 1e6, 1),
+        "clone_speedup": round(best_fresh / best_clone, 1),
+        "clone_fallbacks": PROTOTYPES.fallbacks,
     }
 
 
@@ -139,10 +169,13 @@ def main(argv=None) -> int:
         "cpu_count": os.cpu_count(),
         "python": sys.version.split()[0],
         "lifecycle": bench_lifecycle(args.repeats),
+        "clone": bench_clone(args.repeats),
         "determinism": bench_run_determinism(args.seed, args.duration),
         "fleet": bench_fleet_identity(args.homes,
                                       min(args.duration, 120.0)),
     }
+    report["clone"]["clone_to_install_ratio"] = round(
+        report["clone"]["clone_us"] / report["lifecycle"]["install_us"], 4)
 
     text = json.dumps(report, indent=2)
     print(text)
@@ -158,6 +191,11 @@ def main(argv=None) -> int:
         status = 1
     if not report["fleet"]["identical_features"]:
         print("ERROR: serial and parallel fleet features differ",
+              file=sys.stderr)
+        status = 1
+    if report["clone"]["clone_to_install_ratio"] > 0.1:
+        print("ERROR: prototype clone costs more than a tenth of an "
+              "XLF install — the clone path has regressed",
               file=sys.stderr)
         status = 1
     return status

@@ -32,8 +32,7 @@ print(f"scenario spec round-trips through {len(wire)} bytes of JSON")
 
 fleet = fleet_result(run_spec(spec))
 
-names = sorted(fleet.features)
-matrix = np.array([fleet.features[n] for n in names])
+names, matrix = fleet.feature_matrix()
 scale = np.maximum(np.abs(matrix).max(axis=0), 1e-9)
 
 model = CommunityModel(similarity_scale=0.5, edge_threshold=0.3)

@@ -140,4 +140,38 @@ print(f"BENCH_faults.json ok: {len(rows)} intensities, full-XLF recall "
 PY
 
 echo
+echo "== fleet performance smoke (prototype clone path) =="
+python benchmarks/bench_perf_fleet.py --quick --out BENCH_fleet_smoke.json
+python - <<'PY'
+import json
+import os
+
+with open("BENCH_fleet_smoke.json") as handle:
+    report = json.load(handle)
+os.remove("BENCH_fleet_smoke.json")
+assert report["bench"] == "perf_fleet", report.get("bench")
+fleet = report["fleet"]
+# The two identity guarantees the clone path lives or dies by.
+assert fleet["identical_results"], \
+    "serial and parallel fleet results differ"
+assert fleet["clone_identical"], \
+    "prototype-clone results differ from fresh builds"
+# The new reporting fields must be present and sane.
+for field in ("homes_per_sec", "cloned_homes", "clone_fallbacks",
+              "fresh_build_s", "clone_speedup", "stages", "fresh_stages"):
+    assert field in fleet, f"BENCH field missing: {field}"
+for stage in ("build_s", "run_s", "featurize_s"):
+    assert stage in fleet["stages"], f"stage timing missing: {stage}"
+assert fleet["cloned_homes"] == fleet["homes"], (
+    f"only {fleet['cloned_homes']}/{fleet['homes']} homes took the "
+    "clone path")
+assert fleet["clone_fallbacks"] == 0, (
+    f"{fleet['clone_fallbacks']} clone fallbacks on the default "
+    "topology — the snapshot path has regressed")
+print(f"fleet perf smoke ok: {fleet['homes_per_sec']} homes/s cloned "
+      f"(fresh {fleet['fresh_homes_per_sec']} homes/s, clone speedup "
+      f"{fleet['clone_speedup']}x), identity checks green")
+PY
+
+echo
 echo "check.sh: all green"

@@ -47,11 +47,24 @@ class CommunityModel:
         names = sorted(self._features)
         self.graph = nx.Graph()
         self.graph.add_nodes_from(names)
-        for i, a in enumerate(names):
-            for b in names[i + 1:]:
-                weight = self.similarity(a, b)
-                if weight >= self.edge_threshold:
-                    self.graph.add_edge(a, b, weight=weight)
+        if len(names) > 1:
+            stack = np.stack([self._features[name] for name in names])
+            scale = self.similarity_scale
+            threshold = self.edge_threshold
+            for i, a in enumerate(names[:-1]):
+                # Batch the row's pairwise distances.  The (1,k)@(k,1)
+                # matmul runs the same BLAS dot kernel norm() uses, so
+                # each distance is bit-equal to similarity()'s; the
+                # per-edge math.exp below keeps the weights bit-equal
+                # too (np.exp rounds differently in the last ulp).
+                diffs = stack[i + 1:] - stack[i]
+                distances = np.sqrt(
+                    np.matmul(diffs[:, None, :], diffs[:, :, None])
+                )[:, 0, 0]
+                for b, distance in zip(names[i + 1:], distances):
+                    weight = math.exp(-float(distance) / scale)
+                    if weight >= threshold:
+                        self.graph.add_edge(a, b, weight=weight)
         communities = nx.community.greedy_modularity_communities(
             self.graph, weight="weight"
         )

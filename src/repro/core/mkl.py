@@ -19,6 +19,24 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 
+def feature_matrix(features: "dict",
+                   names: Optional[Sequence[str]] = None
+                   ) -> Tuple[list, np.ndarray]:
+    """Assemble a name->vector mapping into a float64 row matrix.
+
+    Returns ``(ordered_names, matrix)`` with ``matrix[i]`` the vector of
+    ``ordered_names[i]`` — sorted by name unless ``names`` fixes the
+    order.  The one blessed way to go from fleet features to classifier
+    input; row order is what links predictions back to devices, so
+    every call site sharing this function can never disagree on it.
+    """
+    ordered = sorted(features) if names is None else list(names)
+    if not ordered:
+        return [], np.empty((0, 0))
+    return ordered, np.array([features[name] for name in ordered],
+                             dtype=float)
+
+
 @dataclass(frozen=True)
 class KernelSpec:
     """One kernel over a named slice of the feature vector."""

@@ -36,6 +36,35 @@ def _perm_layer(state: int, perm) -> int:
     return out
 
 
+def _spread_table(perm, byte_pos, through_sbox):
+    """256-entry table: byte value at ``byte_pos`` -> its 64-bit image
+    under (optionally the S-box layer, then) the bit permutation."""
+    table = []
+    for value in range(256):
+        if through_sbox:
+            value = (_SBOX[value >> 4] << 4) | _SBOX[value & 0xF]
+        image = 0
+        for bit in range(8):
+            if (value >> bit) & 1:
+                image |= 1 << perm[byte_pos * 8 + bit]
+        table.append(image)
+    return table
+
+
+# Fused round tables.  The S-box acts nibble-wise (never across a byte
+# boundary) and the permutation layer is linear over bits, so one round's
+# sbox+permute collapses to OR-ing eight 256-entry lookups — identical
+# output to _sbox_layer + _perm_layer, an order of magnitude fewer
+# Python operations.  This is the hottest loop in the repo: the sponge
+# hash, HMAC, firmware signing, and TLS records all bottom out here.
+_SP = [_spread_table(_PERM, pos, through_sbox=True) for pos in range(8)]
+# Decrypt: the inverse permutation spread per byte, then the inverse
+# S-box applied byte-wise to the recombined state.
+_IP = [_spread_table(_INV_PERM, pos, through_sbox=False) for pos in range(8)]
+_INV_SBOX8 = [(_INV_SBOX[b >> 4] << 4) | _INV_SBOX[b & 0xF]
+              for b in range(256)]
+
+
 class Present(BlockCipher):
     """PRESENT-80/128."""
 
@@ -73,18 +102,43 @@ class Present(BlockCipher):
 
     def encrypt_block(self, block: bytes) -> bytes:
         state = int.from_bytes(self._check_block(block), "big")
+        keys = self._round_keys
+        t0, t1, t2, t3, t4, t5, t6, t7 = _SP
         for rnd in range(31):
-            state ^= self._round_keys[rnd]
-            state = _sbox_layer(state, _SBOX)
-            state = _perm_layer(state, _PERM)
-        state ^= self._round_keys[31]
+            state ^= keys[rnd]
+            state = (t0[state & 255]
+                     | t1[(state >> 8) & 255]
+                     | t2[(state >> 16) & 255]
+                     | t3[(state >> 24) & 255]
+                     | t4[(state >> 32) & 255]
+                     | t5[(state >> 40) & 255]
+                     | t6[(state >> 48) & 255]
+                     | t7[state >> 56])
+        state ^= keys[31]
         return state.to_bytes(8, "big")
 
     def decrypt_block(self, block: bytes) -> bytes:
         state = int.from_bytes(self._check_block(block), "big")
-        state ^= self._round_keys[31]
+        keys = self._round_keys
+        p0, p1, p2, p3, p4, p5, p6, p7 = _IP
+        inv = _INV_SBOX8
+        state ^= keys[31]
         for rnd in range(30, -1, -1):
-            state = _perm_layer(state, _INV_PERM)
-            state = _sbox_layer(state, _INV_SBOX)
-            state ^= self._round_keys[rnd]
+            state = (p0[state & 255]
+                     | p1[(state >> 8) & 255]
+                     | p2[(state >> 16) & 255]
+                     | p3[(state >> 24) & 255]
+                     | p4[(state >> 32) & 255]
+                     | p5[(state >> 40) & 255]
+                     | p6[(state >> 48) & 255]
+                     | p7[state >> 56])
+            state = (inv[state & 255]
+                     | inv[(state >> 8) & 255] << 8
+                     | inv[(state >> 16) & 255] << 16
+                     | inv[(state >> 24) & 255] << 24
+                     | inv[(state >> 32) & 255] << 32
+                     | inv[(state >> 40) & 255] << 40
+                     | inv[(state >> 48) & 255] << 48
+                     | inv[state >> 56] << 56)
+            state ^= keys[rnd]
         return state.to_bytes(8, "big")

@@ -50,6 +50,12 @@ class FleetResult:
         "telemetry_per_min",
     )
 
+    def feature_matrix(self, names: Optional[Sequence[str]] = None):
+        """``(ordered_names, float64 matrix)`` of the fleet's features —
+        see :func:`repro.core.mkl.feature_matrix`."""
+        from repro.core.mkl import feature_matrix
+        return feature_matrix(self.features, names)
+
 
 def fleet_spec(n_homes: int = 5,
                infected_homes: Sequence[int] = (),

@@ -1,0 +1,143 @@
+"""Home-prototype cache: build each distinct topology once, clone the rest.
+
+BENCH_xlf.json measured home construction and XLF install rivalling the
+simulation itself in fleet throughput — every home in a fleet re-ran
+device creation, DNS/cloud wiring, and firmware signing even though most
+fleets are N copies of one :class:`~repro.scenarios.spec.HomeSpec`.
+
+This module makes scenario instantiation O(distinct topologies):
+
+* The first time a :class:`HomeSpec` is materialised, the cache builds a
+  **prototype**: a :class:`~repro.scenarios.smarthome.SmartHome`
+  constructed with ``defer_pairing=True`` — the full static world
+  (environment, links, gateway, cloud, DNS records, devices) with *no*
+  traffic on the wire, *no* scheduled callbacks, and *no* consumed RNG
+  streams.  That pristine state is snapshotted with :mod:`pickle` and
+  keyed by the spec's canonical hash.
+* Every later home with the same topology is ``pickle.loads`` of the
+  snapshot plus :meth:`~repro.sim.rng.RngRegistry.reseed` — microseconds
+  instead of milliseconds — and then paired exactly like a fresh home.
+
+Determinism contract (enforced, not assumed): a cloned-and-reseeded home
+is **byte-identical** to a freshly built one.  Three properties make
+that hold, and the cache verifies the first two at snapshot time:
+
+1. the prototype's event queue is empty and its clock is zero (nothing
+   world-specific is in flight), and
+2. every RNG stream is *pristine* (created but never drawn from), so
+   re-seeding produces exactly the state a fresh build would have; and
+3. construction emits no telemetry (all counters/spans fire at traffic
+   time, which happens after the clone point).
+
+Any spec that cannot be snapshotted — an unpicklable component, a
+consumed stream — falls back to a fresh per-home build.  The fallback is
+never silent: each one increments the ``fleet.clone_fallbacks`` counter
+(labelled with the reason) so slow paths show up in telemetry.  A
+``copy.deepcopy`` fallback is deliberately **not** offered: deepcopy
+treats function objects as atomic, so a world whose pickling failed on a
+closure would deep-copy "successfully" while silently sharing state with
+the prototype — the exact wrongness the byte-identical contract forbids.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.scenarios.smarthome import SmartHome
+from repro import telemetry as _telemetry
+
+if TYPE_CHECKING:
+    from repro.scenarios.spec import HomeSpec
+
+# The seed prototypes are built under.  Arbitrary: nothing seed-derived
+# survives in a pristine snapshot (that is what reseed() relies on).
+_PROTOTYPE_SEED = 0
+
+
+@dataclass
+class _Entry:
+    """One distinct topology: its snapshot, or why it has none."""
+
+    blob: Optional[bytes] = None
+    fallback_reason: Optional[str] = None   # None => cloneable
+
+
+class PrototypeCache:
+    """Spec-hash-keyed cache of pristine, cloneable home snapshots."""
+
+    def __init__(self, enabled: Optional[bool] = None):
+        if enabled is None:
+            enabled = os.environ.get("REPRO_PROTOTYPES", "1") != "0"
+        self.enabled = enabled
+        self._entries: Dict[str, _Entry] = {}
+        # Plain attributes, not telemetry: builds-per-worker depends on
+        # scheduling, and per-home telemetry must stay byte-identical
+        # between serial and parallel runs.
+        self.builds = 0
+        self.clones = 0
+        self.fallbacks = 0
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.builds = self.clones = self.fallbacks = 0
+
+    # -- building ----------------------------------------------------------
+    def _build_entry(self, home_spec: "HomeSpec") -> _Entry:
+        self.builds += 1
+        home = SmartHome(home_spec.build_config(_PROTOTYPE_SEED),
+                         defer_pairing=True)
+        if home.sim._queue or home.sim.now != 0.0:
+            return _Entry(fallback_reason="events-in-flight")
+        if not home.sim.rng.pristine():
+            return _Entry(fallback_reason="consumed-rng-stream")
+        try:
+            blob = pickle.dumps(home, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return _Entry(fallback_reason="unpicklable-world")
+        return _Entry(blob=blob)
+
+    def warm(self, home_spec: "HomeSpec") -> bool:
+        """Ensure the prototype for ``home_spec`` exists (e.g. in the
+        parent before forking workers, so snapshots ride in via
+        copy-on-write).  Returns True if the spec is cloneable."""
+        if not self.enabled:
+            return False
+        key = home_spec.topology_hash()
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._build_entry(home_spec)
+            self._entries[key] = entry
+        return entry.fallback_reason is None
+
+    # -- materialising -----------------------------------------------------
+    def materialise(self, home_spec: "HomeSpec", seed: int) -> SmartHome:
+        """A ready (pairing-begun) home for ``home_spec`` under ``seed``
+        — cloned from the prototype when possible, freshly built when
+        not, byte-identical either way."""
+        if not self.enabled:
+            return SmartHome(home_spec.build_config(seed))
+        key = home_spec.topology_hash()
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._build_entry(home_spec)
+            self._entries[key] = entry
+        if entry.fallback_reason is not None:
+            self.fallbacks += 1
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter(
+                    "fleet.clone_fallbacks",
+                    reason=entry.fallback_reason).inc()
+            return SmartHome(home_spec.build_config(seed))
+        home = pickle.loads(entry.blob)
+        home.sim.seed = seed
+        home.sim.rng.reseed(seed)
+        home.config.seed = seed
+        home.begin_pairing()
+        self.clones += 1
+        return home
+
+
+PROTOTYPES = PrototypeCache()

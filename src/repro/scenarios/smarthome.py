@@ -60,9 +60,22 @@ class SmartHomeConfig:
 
 
 class SmartHome:
-    """A fully wired smart-home world."""
+    """A fully wired smart-home world.
 
-    def __init__(self, config: Optional[SmartHomeConfig] = None):
+    Construction is two-phase: ``__init__`` builds the whole static
+    topology (environment, links, gateway, cloud, DNS records, devices)
+    without putting any traffic on the wire, then :meth:`begin_pairing`
+    issues every device's vendor-cloud DNS resolution — the first real
+    packets of the simulation.  By default pairing begins immediately,
+    so ``SmartHome(config)`` behaves as it always has.  Passing
+    ``defer_pairing=True`` stops after the build phase, which leaves the
+    world *closure-free* (no scheduled callbacks, no consumed RNG
+    streams): exactly the state the prototype cache in
+    :mod:`repro.scenarios.prototype` snapshots and clones.
+    """
+
+    def __init__(self, config: Optional[SmartHomeConfig] = None, *,
+                 defer_pairing: bool = False):
         self.config = config or SmartHomeConfig()
         self.sim = Simulator(seed=self.config.seed)
         self.environment = Environment(self.sim)
@@ -89,8 +102,13 @@ class SmartHome:
             self.gateway, self.dns_server.address,
             mode=self.config.dns_mode, client_port=5355,
         )
+        # (device, resolver) pairs awaiting their pairing DNS round trip.
+        self._unpaired: List[Tuple[IoTDevice, DnsResolver]] = []
+        self._pairing_begun = False
         self._register_users()
         self._build_devices()
+        if not defer_pairing:
+            self.begin_pairing()
 
     # -- construction -------------------------------------------------------------
     def _register_users(self) -> None:
@@ -139,6 +157,22 @@ class SmartHome:
             resolver = DnsResolver(device, self.dns_server.address,
                                    mode=self.config.dns_mode,
                                    client_port=5353)
+            self._unpaired.append((device, resolver))
+            self.devices.append(device)
+
+    def begin_pairing(self) -> None:
+        """Resolve each device's vendor cloud and pair with it.
+
+        The DNS queries are real traffic and part of the attack surface,
+        so this is the moment the simulation's event stream starts.
+        Idempotent: a second call is a no-op.
+        """
+        if self._pairing_begun:
+            return
+        self._pairing_begun = True
+        unpaired, self._unpaired = self._unpaired, []
+        for device, resolver in unpaired:
+            device_id = self.device_ids[device.name]
 
             def paired(address, device=device, device_id=device_id):
                 if address is not None:
@@ -147,8 +181,7 @@ class SmartHome:
                         device.start()
                         device.send_telemetry()
 
-            resolver.resolve(spec.cloud_hostname, paired)
-            self.devices.append(device)
+            resolver.resolve(device.spec.cloud_hostname, paired)
 
     # -- convenience ----------------------------------------------------------------
     def device(self, name: str) -> IoTDevice:

@@ -28,6 +28,8 @@ side of the plugin-host design in :mod:`repro.core.plugin`:
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing
 import os
 import time
@@ -44,6 +46,8 @@ from typing import (
     Type,
 )
 
+import numpy as np
+
 if TYPE_CHECKING:  # the attacks package imports this module to register
     from repro.attacks.base import Attack, AttackOutcome
 
@@ -52,7 +56,8 @@ from repro.core.signals import Alert, Layer
 from repro.device.device import Vulnerabilities
 from repro.faults import FAULTS, FaultError, FaultEvent, FaultInjector, FaultSpec
 from repro.network.dns import DnsMode
-from repro.scenarios.smarthome import SmartHome, SmartHomeConfig
+from repro.scenarios.prototype import PROTOTYPES
+from repro.scenarios.smarthome import SmartHomeConfig
 from repro.scenarios.workloads import ResidentActivity
 from repro.security.network.shaping import ShapingConfig
 from repro import telemetry as _telemetry
@@ -188,6 +193,30 @@ class HomeSpec:
     activity_interval_s: float = 60.0
     activity_rng: Optional[str] = None   # None = ResidentActivity default
 
+    def spec_hash(self) -> str:
+        """Canonical content hash of this home spec.
+
+        Computed over the sorted-key JSON of :func:`_home_to_dict`, so
+        it is stable across dict key order, attribute assignment order,
+        and process restarts — two ``HomeSpec``s hash equal iff they
+        describe the same home.
+        """
+        return _canonical_hash(_home_to_dict(self))
+
+    def topology_hash(self) -> str:
+        """Hash of only the fields :meth:`build_config` consumes — the
+        static world :class:`~repro.scenarios.smarthome.SmartHome`
+        constructs.  Resident-activity settings are excluded: they act
+        at run time, after the prototype clone point, so homes that
+        differ only in activity share a topology and therefore share a
+        prototype (:mod:`repro.scenarios.prototype` keys its cache by
+        this, not by :meth:`spec_hash`)."""
+        data = _home_to_dict(self)
+        for runtime_key in ("activity", "activity_interval_s",
+                            "activity_rng"):
+            data.pop(runtime_key, None)
+        return _canonical_hash(data)
+
     def build_config(self, seed: int) -> SmartHomeConfig:
         devices = None
         if self.devices is not None:
@@ -234,6 +263,12 @@ class ScenarioSpec:
     warmup_s: float = 5.0                  # DNS resolution + cloud pairing
     duration_s: float = 300.0              # simulated seconds after warmup
     collect_features: bool = False         # fleet-style behaviour vectors
+
+    def spec_hash(self) -> str:
+        """Canonical content hash of the whole experiment (homes,
+        attacks, faults, defense posture, seed, durations).  Stable
+        across dict key order; equal iff the scenarios are equal."""
+        return _canonical_hash(self.to_dict())
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -298,6 +333,12 @@ class ScenarioSpec:
                 FAULTS.get(fault.fault).validate_params(fault.params)
             except FaultError as exc:
                 raise SpecError(str(exc)) from None
+
+
+def _canonical_hash(data: Dict[str, Any]) -> str:
+    """sha256 of the canonical (sorted-key, tight-separator) JSON form."""
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def _take(kind: str, data: Dict[str, Any], allowed: Set[str]) -> Dict[str, Any]:
@@ -469,6 +510,13 @@ class HomeRunResult:
     # re-run serially: the observations are complete, the flag records
     # the degraded execution path.
     degraded: bool = False
+    # Wall-clock seconds per stage: "build_s" (world materialisation,
+    # XLF install, attack/fault scheduling), "run_s" (event loop, warmup
+    # included), "featurize_s" (feature-vector assembly).
+    timings: Dict[str, float] = field(default_factory=dict)
+    # Whether the world came from the prototype cache's clone path
+    # (False = fresh per-home build).
+    cloned: bool = False
 
 
 @dataclass
@@ -523,7 +571,10 @@ def _simulate_home(spec: ScenarioSpec, index: int):
     same result whether it runs in-process or in a forked worker.
     """
     home_spec = spec.homes[index]
-    home = SmartHome(home_spec.build_config(spec.seed + index))
+    stage_start = time.perf_counter()
+    clones_before = PROTOTYPES.clones
+    home = PROTOTYPES.materialise(home_spec, spec.seed + index)
+    cloned = PROTOTYPES.clones > clones_before
 
     # Accumulate running (count, size sum, remotes) per device instead of
     # capturing every packet: the features only need those aggregates,
@@ -543,7 +594,11 @@ def _simulate_home(spec: ScenarioSpec, index: int):
         for link in home.all_lan_links:
             link.add_observer(observe)
 
+    build_s = time.perf_counter() - stage_start
+    stage_start = time.perf_counter()
     home.run(spec.warmup_s)
+    run_s = time.perf_counter() - stage_start
+    stage_start = time.perf_counter()
 
     xlf = None
     if spec.xlf is not None:
@@ -594,26 +649,48 @@ def _simulate_home(spec: ScenarioSpec, index: int):
         for i, fault_spec in due_faults:
             injector.schedule(i, fault_spec, spec.duration_s)
 
+    build_s += time.perf_counter() - stage_start
+    stage_start = time.perf_counter()
     home.run(spec.warmup_s + spec.duration_s)
+    run_s += time.perf_counter() - stage_start
+    stage_start = time.perf_counter()
 
     result = HomeRunResult(home_index=index, features={}, device_types={},
-                           infected=set(), outcomes=[], alerts=[])
+                           infected=set(), outcomes=[], alerts=[],
+                           cloned=cloned)
     minutes = spec.duration_s / 60.0
+    if spec.collect_features:
+        # One vectorized pass over the per-device aggregates.  float64
+        # division of integers below 2**53 is exactly Python's int/int
+        # true division, so these vectors are byte-identical to the
+        # per-device loop they replace.
+        names = [device.name for device in home.devices]
+        counts = np.array([packet_counts.get(n, 0) for n in names],
+                          dtype=np.float64)
+        sizes = np.array([size_sums.get(n, 0) for n in names],
+                         dtype=np.float64)
+        mean_size = np.divide(sizes, counts, out=np.zeros_like(sizes),
+                              where=counts > 0)
+        matrix = np.stack([
+            counts / minutes,
+            mean_size,
+            np.array([len(remotes.get(n, ())) for n in names],
+                     dtype=np.float64),
+            np.array([device.events_emitted for device in home.devices],
+                     dtype=np.float64) / minutes,
+            np.array([device.telemetry_sent for device in home.devices],
+                     dtype=np.float64) / minutes,
+        ], axis=1)
+        for name, row in zip(names, matrix):
+            result.features[f"home{index:02d}/{name}"] = row.tolist()
     for device in home.devices:
         name = f"home{index:02d}/{device.name}"
-        if spec.collect_features:
-            count = packet_counts.get(device.name, 0)
-            result.features[name] = [
-                count / minutes,
-                (size_sums.get(device.name, 0) / count) if count else 0.0,
-                float(len(remotes.get(device.name, ()))),
-                device.events_emitted / minutes,
-                device.telemetry_sent / minutes,
-            ]
         result.device_types[name] = device.spec.type_name
         if device.infected:
             result.infected.add(name)
     result.outcomes = [(i, attack.outcome()) for i, attack in launched]
+    result.timings = {"build_s": build_s, "run_s": run_s,
+                      "featurize_s": time.perf_counter() - stage_start}
     if xlf is not None:
         result.alerts = list(xlf.alerts)
     if injector is not None:
@@ -748,6 +825,12 @@ def run_spec(spec: ScenarioSpec,
         for index in range(n_homes):
             _merge_home(result, run_home(spec, index), outcomes)
     else:
+        # Warm the prototype cache for every distinct topology before
+        # forking: the snapshots ride into the workers via copy-on-write
+        # pages, so no worker pays the first-build cost.
+        if PROTOTYPES.enabled:
+            for home_spec in spec.homes:
+                PROTOTYPES.warm(home_spec)
         context = multiprocessing.get_context("fork")
         homes: List[Optional[HomeRunResult]] = [None] * n_homes
         with ProcessPoolExecutor(max_workers=workers,

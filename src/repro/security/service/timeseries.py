@@ -42,12 +42,14 @@ class ArModel:
         if len(values) < max(self.min_samples, p + 2):
             self._coefficients = None
             return
-        # Design matrix of lagged windows -> next value.
+        # Design matrix of lagged windows -> next value: one strided
+        # view instead of a per-lag copy loop (row r is values[r:r+p],
+        # exactly the columns the loop filled).
         rows = len(values) - p
         design = np.empty((rows, p + 1))
         design[:, 0] = 1.0
-        for lag in range(p):
-            design[:, lag + 1] = values[lag:lag + rows]
+        design[:, 1:] = np.lib.stride_tricks.sliding_window_view(
+            values, p)[:rows]
         targets = values[p:]
         coefficients, *_ = np.linalg.lstsq(design, targets, rcond=None)
         predictions = design @ coefficients
@@ -59,8 +61,9 @@ class ArModel:
         """One-step forecast, or None before enough data."""
         if self._coefficients is None or len(self._values) < self.order:
             return None
-        window = list(self._values)[-self.order:]
-        features = np.concatenate([[1.0], np.asarray(window)])
+        features = np.empty(self.order + 1)
+        features[0] = 1.0
+        features[1:] = np.asarray(self._values, dtype=float)[-self.order:]
         return float(features @ self._coefficients)
 
     def observe(self, value: float) -> Tuple[bool, Optional[float]]:

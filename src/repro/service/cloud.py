@@ -265,8 +265,12 @@ class CloudPlatform(Node):
                            self._route_list_apps)
         self.api.add_route("POST", "/ota/push", Scope.PUSH_UPDATES,
                            self._route_ota_push)
-        self.api.add_route("GET", "/health", None,
-                           lambda request, token: {"status": "ok"})
+        self.api.add_route("GET", "/health", None, self._route_health)
+
+    def _route_health(self, request, token):
+        # A bound method, not a lambda: route tables must stay picklable
+        # for the home-prototype clone path (repro.scenarios.prototype).
+        return {"status": "ok"}
 
     def _route_list_devices(self, request, token):
         return [

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, List, Optional
 
 from repro.sim.rng import RngRegistry
@@ -121,7 +120,11 @@ class Timeout(Event):
         self.failed = False
         self.callbacks = []
         self.delay = delay
-        sim._schedule(self, delay)
+        # Inlined sim._schedule: the delay was validated above, and
+        # timeouts are the hottest schedule path in the kernel.
+        tie = sim._tie
+        sim._tie = tie + 1
+        heapq.heappush(sim._queue, (sim.now + delay, tie, self))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Event 'timeout({self.delay})' {self.state}>"
@@ -177,8 +180,11 @@ class Simulator:
         self.now: float = 0.0
         self.seed = seed
         self.rng = RngRegistry(seed)
+        # Array-backed binary heap of (time, tie, event) entries.  The
+        # tiebreaker is a plain int (not itertools.count): cheaper per
+        # schedule and trivially picklable for prototype snapshots.
         self._queue: List = []
-        self._counter = itertools.count()
+        self._tie = 0
         self._processed_events = 0
 
     # -- event construction --------------------------------------------
@@ -232,7 +238,9 @@ class Simulator:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        heapq.heappush(self._queue, (self.now + delay, next(self._counter), event))
+        tie = self._tie
+        self._tie = tie + 1
+        heapq.heappush(self._queue, (self.now + delay, tie, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
@@ -270,10 +278,13 @@ class Simulator:
         pop = heapq.heappop
         processed = 0
         PROCESSED = Event.PROCESSED
+        # Hoist the None check out of the loop: an infinite bound makes
+        # the per-timestamp comparison unconditional.
+        bound = float("inf") if until is None else until
         try:
             while queue:
                 when = queue[0][0]
-                if until is not None and when > until:
+                if when > bound:
                     break
                 self.now = when
                 while queue and queue[0][0] == when:

@@ -33,6 +33,30 @@ class RngRegistry:
             self._streams[name] = random.Random(derive_seed(self.master_seed, name))
         return self._streams[name]
 
+    def reseed(self, master_seed: int) -> None:
+        """Re-key the registry (and every existing stream) to a new
+        master seed.
+
+        Each already-created stream is re-seeded to exactly the state it
+        would have if the registry had been created with ``master_seed``
+        — valid only while no stream has been consumed, which is why the
+        prototype-clone path (:mod:`repro.scenarios.prototype`) verifies
+        pristine stream states before snapshotting.  Streams created
+        after the reseed derive from the new master seed as usual.
+        """
+        self.master_seed = master_seed
+        for name, stream in self._streams.items():
+            stream.seed(derive_seed(master_seed, name))
+
+    def pristine(self) -> bool:
+        """True while every existing stream is still in its freshly
+        seeded state (nothing has drawn from it)."""
+        return all(
+            stream.getstate()
+            == random.Random(derive_seed(self.master_seed, name)).getstate()
+            for name, stream in self._streams.items()
+        )
+
     def fork(self, name: str) -> "RngRegistry":
         """A child registry whose master seed derives from ``name``.
 

@@ -1,0 +1,255 @@
+"""Home-prototype cloning: spec hashing, clone-vs-fresh identity.
+
+The clone path's contract is absolute: a home materialised from a
+cached prototype (pickle round-trip + RNG reseed) must produce
+byte-identical signals, alerts, features, and telemetry to a freshly
+built one — serially, in parallel workers, and with faults injected.
+"""
+
+import json
+
+import pytest
+
+from repro.core import XlfConfig
+from repro.scenarios import (
+    DeviceEntry,
+    FaultSpec,
+    HomeSpec,
+    ScenarioSpec,
+    run_spec,
+)
+from repro.scenarios.fleet import fleet_spec
+from repro.scenarios.prototype import PROTOTYPES, PrototypeCache
+from repro.scenarios.spec import AttackSpec, fork_available
+from repro.sim.rng import RngRegistry, derive_seed
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="platform lacks fork start method")
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    """Each test starts and ends with an empty, enabled cache."""
+    PROTOTYPES.clear()
+    PROTOTYPES.enabled = True
+    yield
+    PROTOTYPES.clear()
+    PROTOTYPES.enabled = True
+
+
+def result_tuple(result):
+    """Everything observable about a run, as comparable plain data."""
+    return (
+        result.features,
+        result.device_types,
+        sorted(result.infected),
+        [repr(o) for o in result.outcomes],
+        [(a.category, a.device, a.timestamp, a.confidence)
+         for a in result.alerts],
+        [(e.index, e.fault, e.home, e.target, e.injected_at, e.recovered_at)
+         for e in result.fault_events],
+    )
+
+
+def run_cloned_and_fresh(spec, workers=1):
+    """Run ``spec`` twice — prototype clones vs fresh builds."""
+    PROTOTYPES.clear()
+    PROTOTYPES.enabled = True
+    cloned = run_spec(spec, workers=workers)
+    PROTOTYPES.enabled = False
+    fresh = run_spec(spec, workers=workers)
+    return cloned, fresh
+
+
+class TestSpecHash:
+    def test_home_hash_round_trips_through_json(self):
+        home = HomeSpec(devices=[DeviceEntry("camera", ("open_telnet",)),
+                                 DeviceEntry("smart_plug")],
+                        dns_mode="dot", activity=True)
+        from repro.scenarios.spec import _home_from_dict, _home_to_dict
+        wire = json.dumps(_home_to_dict(home))
+        assert _home_from_dict(json.loads(wire)).spec_hash() == \
+            home.spec_hash()
+
+    def test_home_hash_ignores_dict_key_order(self):
+        from repro.scenarios.spec import _home_from_dict, _home_to_dict
+        data = _home_to_dict(HomeSpec(activity=True, dns_mode="doh"))
+        reordered = dict(reversed(list(data.items())))
+        assert _home_from_dict(reordered).spec_hash() == \
+            _home_from_dict(data).spec_hash()
+
+    def test_home_hash_separates_distinct_homes(self):
+        assert HomeSpec().spec_hash() != HomeSpec(dns_mode="dot").spec_hash()
+        assert HomeSpec().spec_hash() != \
+            HomeSpec(devices=[DeviceEntry("camera")]).spec_hash()
+
+    def test_scenario_hash_round_trips_and_separates(self):
+        spec = fleet_spec(n_homes=2, infected_homes=(1,), duration_s=30.0)
+        again = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again.spec_hash() == spec.spec_hash()
+        other = fleet_spec(n_homes=2, infected_homes=(1,), duration_s=30.0,
+                           base_seed=101)
+        assert other.spec_hash() != spec.spec_hash()
+
+    def test_topology_hash_ignores_activity_only_differences(self):
+        a = HomeSpec(activity=True, activity_rng="resident-0")
+        b = HomeSpec(activity=True, activity_rng="resident-7")
+        c = HomeSpec(activity=False)
+        assert a.spec_hash() != b.spec_hash()
+        assert a.topology_hash() == b.topology_hash() == c.topology_hash()
+        assert a.topology_hash() != \
+            HomeSpec(dns_mode="dot", activity=True).topology_hash()
+
+
+class TestRngReseed:
+    def test_reseed_matches_fresh_registry(self):
+        registry = RngRegistry(0)
+        streams = [registry.stream(f"s{i}") for i in range(4)]
+        assert registry.pristine()
+        registry.reseed(99)
+        fresh = RngRegistry(99)
+        for i, stream in enumerate(streams):
+            assert stream.getstate() == fresh.stream(f"s{i}").getstate()
+        assert registry.master_seed == 99
+
+    def test_consumed_stream_is_not_pristine(self):
+        registry = RngRegistry(0)
+        stream = registry.stream("s")
+        assert registry.pristine()
+        stream.random()
+        assert not registry.pristine()
+
+    def test_derive_seed_is_name_dependent(self):
+        assert derive_seed(0, "a") != derive_seed(0, "b")
+        assert derive_seed(0, "a") != derive_seed(1, "a")
+
+
+class TestCloneIdentity:
+    def defended_spec(self, n_homes=2, **kwargs):
+        spec = fleet_spec(n_homes=n_homes, infected_homes=(1,),
+                          duration_s=45.0, **kwargs)
+        spec.xlf = XlfConfig.full()
+        return spec
+
+    def test_serial_clone_matches_fresh(self):
+        cloned, fresh = run_cloned_and_fresh(self.defended_spec())
+        assert result_tuple(cloned) == result_tuple(fresh)
+        assert [h.cloned for h in cloned.homes] == [True, True]
+        assert [h.cloned for h in fresh.homes] == [False, False]
+
+    def test_one_prototype_serves_identical_topologies(self):
+        run_spec(self.defended_spec(n_homes=3))
+        assert PROTOTYPES.builds == 1
+        assert PROTOTYPES.clones == 3
+        assert PROTOTYPES.fallbacks == 0
+
+    @needs_fork
+    def test_parallel_clone_matches_fresh_with_telemetry(self):
+        from repro import telemetry
+
+        spec = self.defended_spec()
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            PROTOTYPES.clear()
+            PROTOTYPES.enabled = True
+            cloned = run_spec(spec, workers=2)
+            telemetry.reset()
+            PROTOTYPES.enabled = False
+            fresh = run_spec(spec, workers=2)
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert result_tuple(cloned) == result_tuple(fresh)
+        assert cloned.telemetry.snapshot() == fresh.telemetry.snapshot()
+
+    def test_clone_matches_fresh_with_faults(self):
+        spec = self.defended_spec()
+        spec.faults = [
+            FaultSpec(fault="packet-loss", home=0, at=5.0, duration_s=15.0,
+                      params={"loss_rate": 0.4}),
+            FaultSpec(fault="device-crash", home=1, at=10.0,
+                      duration_s=10.0),
+            FaultSpec(fault="cloud-outage", home=1, at=25.0,
+                      duration_s=10.0),
+        ]
+        cloned, fresh = run_cloned_and_fresh(spec)
+        assert result_tuple(cloned) == result_tuple(fresh)
+        assert cloned.fault_events and cloned.alerts
+
+    def test_distinct_topologies_get_distinct_prototypes(self):
+        spec = ScenarioSpec(
+            name="mixed",
+            homes=[HomeSpec(),
+                   HomeSpec(devices=[DeviceEntry("camera",
+                                                 ("open_telnet",)),
+                                     DeviceEntry("smart_lock")])],
+            attacks=[AttackSpec(attack="mirai-botnet", home=0,
+                                params={"run_ddos": False})],
+            duration_s=30.0, collect_features=True)
+        cloned, fresh = run_cloned_and_fresh(spec)
+        assert PROTOTYPES.builds == 2   # no cross-topology cache hits
+        assert result_tuple(cloned) == result_tuple(fresh)
+        # The second home really is the two-device topology.
+        home1_types = sorted(t for n, t in cloned.device_types.items()
+                             if n.startswith("home01/"))
+        assert home1_types == ["camera", "smart_lock"]
+
+
+class TestFallbacks:
+    def test_unpicklable_world_falls_back_to_fresh_build(self, monkeypatch):
+        import repro.scenarios.prototype as prototype_module
+
+        def broken_dumps(*args, **kwargs):
+            raise TypeError("cannot pickle this world")
+
+        monkeypatch.setattr(prototype_module.pickle, "dumps", broken_dumps)
+        spec = fleet_spec(n_homes=2, duration_s=20.0)
+        from repro import telemetry
+
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            result = run_spec(spec)
+            fallbacks = result.telemetry.counter_value(
+                "fleet.clone_fallbacks", reason="unpicklable-world")
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert PROTOTYPES.fallbacks == 2
+        assert fallbacks == 2
+        assert [h.cloned for h in result.homes] == [False, False]
+        assert len(result.features) == 16    # both homes still ran fully
+
+    def test_consumed_stream_prototype_rejected(self):
+        import repro.scenarios.prototype as prototype_module
+
+        class Consuming(PrototypeCache):
+            def _build_entry(self, home_spec):
+                entry = None
+                original = prototype_module.SmartHome
+
+                def consuming_home(config, **kwargs):
+                    home = original(config, **kwargs)
+                    home.sim.rng.stream("extra").random()
+                    return home
+
+                prototype_module.SmartHome = consuming_home
+                try:
+                    entry = super()._build_entry(home_spec)
+                finally:
+                    prototype_module.SmartHome = original
+                return entry
+
+        cache = Consuming(enabled=True)
+        cache.warm(HomeSpec())
+        assert cache.builds == 1
+        home = cache.materialise(HomeSpec(), seed=3)
+        assert cache.fallbacks == 1 and cache.clones == 0
+        assert home.config.seed == 3
+
+    def test_env_var_disables_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROTOTYPES", "0")
+        assert PrototypeCache().enabled is False
+        monkeypatch.setenv("REPRO_PROTOTYPES", "1")
+        assert PrototypeCache().enabled is True
