@@ -144,6 +144,37 @@ def bench_fleet(n_homes: int, workers: int, duration_s: float,
     }
 
 
+def bench_scaling(n_homes: int, max_workers: int, duration_s: float,
+                  infected_homes: tuple) -> list:
+    """Same spec at a ladder of worker counts: the speedup curve.
+
+    One row per worker count (1, 2, 4, ... capped at ``max_workers``,
+    with the machine's CPU count always included) so BENCH_fleet.json
+    records where parallelism stops paying on this box.  The workers=1
+    row is the baseline for ``speedup``.
+    """
+    ladder = sorted({1, *(w for w in (2, 4, 8, 16) if w <= max_workers),
+                     min(os.cpu_count() or 1, max_workers)})
+    spec = fleet_spec(n_homes=n_homes, infected_homes=infected_homes,
+                      duration_s=duration_s)
+    rows = []
+    baseline_s = None
+    for workers in ladder:
+        start = time.perf_counter()
+        result = run_spec(spec, workers=workers)
+        wall_s = time.perf_counter() - start
+        if baseline_s is None:
+            baseline_s = wall_s
+        rows.append({
+            "workers": workers,
+            "wall_s": round(wall_s, 4),
+            "homes_per_sec": round(n_homes / wall_s, 2),
+            "speedup": round(baseline_s / wall_s, 3) if wall_s else None,
+            "degraded_homes": len(result.degraded_homes),
+        })
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
@@ -178,6 +209,8 @@ def main(argv=None) -> int:
                                                else 100_000),
         "fleet": bench_fleet(args.homes, args.workers, args.duration,
                              infected_homes=(0,)),
+        "scaling": bench_scaling(args.homes, args.workers, args.duration,
+                                 infected_homes=(0,)),
     }
 
     text = json.dumps(report, indent=2)

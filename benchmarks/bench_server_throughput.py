@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Server throughput benchmark — what does the resident service cost?
+
+Not a paper artifact: engineering telemetry for the reproduction itself.
+Runs the same batch of fleet jobs two ways and writes the comparison as
+JSON (``BENCH_server.json`` by default):
+
+* **direct** — ``run_spec`` called in-process, sequentially, telemetry
+  enabled and scoped per job exactly as the server does it;
+* **served** — the same specs submitted to a live ``repro.server``
+  instance over HTTP (submit-all, then wait), including every REST
+  round-trip, SSE bookkeeping, and result serialization.
+
+The headline numbers are jobs/sec and homes/sec on each path plus the
+server's overhead percentage, which must stay within the declared
+budget (the HTTP envelope should cost a few milliseconds per job, not a
+second).  The run also re-checks the byte-identity contract: the
+served result's observations must equal the direct run's.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_server_throughput.py --quick
+    PYTHONPATH=src python benchmarks/bench_server_throughput.py \
+        --jobs 8 --homes 8 --duration 300 --out BENCH_server.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro import telemetry
+from repro.scenarios import fleet_spec, run_spec
+from repro.server.background import BackgroundServer
+from repro.server.store import canonical_json, result_to_dict
+from repro.telemetry import MetricsRegistry
+
+OVERHEAD_THRESHOLD_PCT = 10.0
+
+
+def job_specs(n_jobs: int, n_homes: int, duration_s: float) -> list:
+    """Distinct-seed fleet specs so each job is real, un-reusable work."""
+    return [fleet_spec(n_homes=n_homes, infected_homes=(0,),
+                       duration_s=duration_s, base_seed=100 + 10 * i)
+            for i in range(n_jobs)]
+
+
+def bench_direct(specs: list) -> dict:
+    """Sequential in-process baseline, telemetry scoped as the server
+    scopes it (one scratch registry per job)."""
+    telemetry.enable()
+    payloads = []
+    try:
+        start = time.perf_counter()
+        for spec in specs:
+            with telemetry.scoped_registry(MetricsRegistry()):
+                payloads.append(result_to_dict(run_spec(spec)))
+        wall_s = time.perf_counter() - start
+    finally:
+        telemetry.disable()
+    return {"wall_s": round(wall_s, 4), "payloads": payloads}
+
+
+def bench_served(specs: list) -> dict:
+    """Submit the whole batch over HTTP, then wait for every job."""
+    with BackgroundServer(workers=1) as server:
+        client = server.client()
+        start = time.perf_counter()
+        job_ids = [client.submit(spec.to_dict())["id"] for spec in specs]
+        finals = [client.wait(job_id, timeout=600, poll_s=0.01)
+                  for job_id in job_ids]
+        payloads = [client.result(job_id) for job_id in job_ids]
+        wall_s = time.perf_counter() - start
+        metrics = client.metrics()
+    states = sorted({final["state"] for final in finals})
+    return {"wall_s": round(wall_s, 4), "payloads": payloads,
+            "states": states, "metrics_lines": len(metrics.splitlines())}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small batch (CI smoke)")
+    parser.add_argument("--jobs", type=int, default=8)
+    parser.add_argument("--homes", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=300.0,
+                        help="simulated seconds per home")
+    parser.add_argument("--out", default="BENCH_server.json",
+                        help="JSON output path ('-' for stdout only)")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.homes < 1:
+        parser.error("--homes must be >= 1")
+    if args.duration <= 0:
+        parser.error("--duration must be > 0")
+    if args.quick:
+        # Jobs must stay big enough to amortize the ~ms-per-job HTTP
+        # envelope, or the overhead percentage measures the workload
+        # size instead of the server.
+        args.jobs = min(args.jobs, 4)
+
+    specs = job_specs(args.jobs, args.homes, args.duration)
+    run_spec(specs[0])          # warm the PrototypeCache for both paths
+    direct = bench_direct(specs)
+    served = bench_served(specs)
+
+    identical = all(
+        canonical_json(s["observations"]) == canonical_json(d["observations"])
+        for s, d in zip(served["payloads"], direct["payloads"]))
+    total_homes = args.jobs * args.homes
+    overhead_pct = ((served["wall_s"] - direct["wall_s"])
+                    / direct["wall_s"] * 100.0)
+    report = {
+        "bench": "server_throughput",
+        "quick": args.quick,
+        "jobs": args.jobs,
+        "homes_per_job": args.homes,
+        "duration_s": args.duration,
+        "python": sys.version.split()[0],
+        "direct": {
+            "wall_s": direct["wall_s"],
+            "jobs_per_sec": round(args.jobs / direct["wall_s"], 2),
+            "homes_per_sec": round(total_homes / direct["wall_s"], 2),
+        },
+        "served": {
+            "wall_s": served["wall_s"],
+            "jobs_per_sec": round(args.jobs / served["wall_s"], 2),
+            "homes_per_sec": round(total_homes / served["wall_s"], 2),
+            "states": served["states"],
+            "metrics_lines": served["metrics_lines"],
+        },
+        "overhead_pct": round(overhead_pct, 2),
+        "threshold_pct": OVERHEAD_THRESHOLD_PCT,
+        "within_budget": overhead_pct < OVERHEAD_THRESHOLD_PCT,
+        "identical_observations": identical,
+    }
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out != "-":
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\nwrote {args.out}", file=sys.stderr)
+    if not identical:
+        print("ERROR: served observations differ from direct run_spec",
+              file=sys.stderr)
+        return 1
+    if served["states"] != ["done"]:
+        print(f"ERROR: not every job finished 'done': {served['states']}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

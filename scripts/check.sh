@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Repo health check: tier-1 tests, a telemetry-enabled fleet smoke run,
-# a fault-injection scenario smoke, and validation of the benchmark
-# artifacts (telemetry overhead, fault resilience).
+# a fault-injection scenario smoke, a resident-server smoke (submit over
+# HTTP, verify byte-identity vs direct run_spec, clean SIGTERM), and
+# validation of the benchmark artifacts (telemetry overhead, fault
+# resilience, server throughput).
 #
 # Usage:  scripts/check.sh [--fresh-bench]
 #   --fresh-bench   re-run the benchmarks even if BENCH_telemetry.json /
@@ -171,6 +173,92 @@ assert fleet["clone_fallbacks"] == 0, (
 print(f"fleet perf smoke ok: {fleet['homes_per_sec']} homes/s cloned "
       f"(fresh {fleet['fresh_homes_per_sec']} homes/s, clone speedup "
       f"{fleet['clone_speedup']}x), identity checks green")
+PY
+
+echo
+echo "== resident fleet server smoke =="
+python - <<'PY'
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+from repro import telemetry
+from repro.scenarios import ScenarioSpec, run_spec
+from repro.server.client import ServerClient
+from repro.server.store import canonical_json, result_to_dict
+
+with socket.socket() as probe:       # grab a free port for the server
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+
+proc = subprocess.Popen(
+    [sys.executable, "-m", "repro", "serve", "--port", str(port),
+     "--workers", "1"],
+    env={**os.environ, "PYTHONPATH": "src"})
+client = ServerClient(port=port)
+try:
+    deadline = time.monotonic() + 30
+    while True:
+        try:
+            assert client.health()["status"] == "ok"
+            break
+        except OSError:
+            if time.monotonic() > deadline:
+                raise SystemExit("server never became healthy")
+            time.sleep(0.1)
+
+    with open("examples/specs/botnet.json") as handle:
+        spec_data = json.load(handle)
+    job = client.submit(spec_data)
+    final = client.wait(job["id"], timeout=120)
+    assert final["state"] == "done", final
+    served = client.result(job["id"])
+
+    telemetry.enable()
+    try:
+        direct = result_to_dict(run_spec(ScenarioSpec.from_dict(spec_data)))
+    finally:
+        telemetry.disable()
+    assert canonical_json(served["observations"]) == \
+        canonical_json(direct["observations"]), \
+        "served result differs from direct run_spec"
+
+    metrics = client.metrics()
+    assert "server_jobs_submitted_total" in metrics
+    assert "# TYPE" in metrics
+finally:
+    proc.send_signal(signal.SIGTERM)
+    code = proc.wait(timeout=30)
+assert code == 0, f"server exited {code} on SIGTERM"
+print(f"server smoke ok: job {job['id']} done, observations identical "
+      f"to direct run, /metrics valid, clean shutdown")
+PY
+
+echo
+echo "== server throughput benchmark artifact =="
+if [ "${1:-}" = "--fresh-bench" ] || [ ! -f BENCH_server.json ]; then
+    python benchmarks/bench_server_throughput.py --quick \
+        --out BENCH_server.json
+fi
+python - <<'PY'
+import json
+
+with open("BENCH_server.json") as handle:
+    report = json.load(handle)
+assert report["bench"] == "server_throughput", report.get("bench")
+assert report["identical_observations"], \
+    "served observations differ from direct run_spec"
+assert report["served"]["states"] == ["done"], report["served"]["states"]
+assert report["within_budget"], (
+    f"server overhead {report['overhead_pct']}% exceeds "
+    f"{report['threshold_pct']}% budget")
+print(f"BENCH_server.json ok: {report['served']['jobs_per_sec']} jobs/s "
+      f"served ({report['served']['homes_per_sec']} homes/s), overhead "
+      f"{report['overhead_pct']}% (< {report['threshold_pct']}%)")
 PY
 
 echo

@@ -17,6 +17,16 @@ Introspection scenarios:
   asserting the merged metric totals are identical)
 * ``functions`` — list the SecurityFunction plugin registry
 
+The resident service:
+
+* ``serve`` — run the long-lived fleet server (``repro.server``):
+  ``python -m repro serve --port 8787 --workers 2`` accepts
+  ScenarioSpec JSON over ``POST /jobs``, streams per-home progress and
+  alerts over SSE, and serves live Prometheus text at ``/metrics``;
+  SIGTERM drains gracefully.  ``--spill PATH`` spills evicted results
+  to a JSONL file; ``--store-capacity N`` bounds the in-memory result
+  store.
+
 Spec plumbing:
 
 * ``--spec PATH`` — run an arbitrary scenario from a JSON spec file
@@ -294,6 +304,22 @@ def run_telemetry(args) -> int:
     return 0 if identical else 1
 
 
+def run_serve(args) -> int:
+    """Run the resident fleet server until SIGTERM/SIGINT."""
+    import asyncio
+
+    from repro.server import serve
+
+    workers = args.workers
+    if workers is None:
+        import os
+        workers = os.cpu_count() or 1
+    return asyncio.run(serve(host=args.host, port=args.port,
+                             workers=max(1, workers),
+                             store_capacity=args.store_capacity,
+                             spill_path=args.spill))
+
+
 def run_functions(args) -> int:
     """Print the SecurityFunction plugin registry."""
     from repro.core import REGISTRY, load_builtin_functions
@@ -317,6 +343,7 @@ SCENARIOS = {
     "tables": run_tables,
     "telemetry": run_telemetry,
     "functions": run_functions,
+    "serve": run_serve,
 }
 
 
@@ -340,7 +367,17 @@ def main(argv=None) -> int:
                         help="print the fault-injection registry and exit")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for multi-home scenarios "
-                             "(1 = serial, 0 = machine CPU count)")
+                             "(1 = serial, 0 = machine CPU count); for "
+                             "'serve', the number of concurrent jobs")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address for 'serve'")
+    parser.add_argument("--port", type=int, default=8787,
+                        help="TCP port for 'serve' (0 = ephemeral)")
+    parser.add_argument("--store-capacity", type=int, default=64,
+                        help="in-memory result-store bound for 'serve'")
+    parser.add_argument("--spill", metavar="PATH", default=None,
+                        help="JSONL file evicted results spill to "
+                             "('serve' only; default: drop on eviction)")
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="enable telemetry and write PATH.prom, "
                              "PATH.jsonl, PATH.trace.json after the run")

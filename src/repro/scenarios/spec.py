@@ -38,6 +38,7 @@ from dataclasses import dataclass, field, replace
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     List,
     Optional,
@@ -795,7 +796,9 @@ def _retry_home_serially(spec: ScenarioSpec, index: int,
 def run_spec(spec: ScenarioSpec,
              workers: Optional[int] = 1,
              max_home_retries: int = 3,
-             retry_backoff_s: float = 0.05) -> ScenarioResult:
+             retry_backoff_s: float = 0.05,
+             on_home: Optional[Callable[[HomeRunResult], None]] = None,
+             ) -> ScenarioResult:
     """Materialise and run a :class:`ScenarioSpec`.
 
     ``workers=1`` (the default) runs homes serially in-process;
@@ -810,6 +813,14 @@ def run_spec(spec: ScenarioSpec,
     serially in the parent — up to ``max_home_retries`` attempts with
     exponential ``retry_backoff_s`` backoff — and flagged in
     :attr:`ScenarioResult.degraded_homes`.  No observations are lost.
+
+    ``on_home`` is a progress hook: called once per home, in home-index
+    order, right after that home's observations merge into the result.
+    It never affects the observations themselves, so results stay
+    byte-identical with or without a hook.  The resident server
+    (:mod:`repro.server`) uses it to stream per-home progress and to
+    interrupt a job cooperatively: an exception raised by the hook
+    aborts the run and propagates to the caller.
     """
     load_builtin_attacks()
     spec.validate()
@@ -823,7 +834,10 @@ def run_spec(spec: ScenarioSpec,
     outcomes: Dict[int, AttackOutcome] = {}
     if workers <= 1 or n_homes <= 1 or not fork_available():
         for index in range(n_homes):
-            _merge_home(result, run_home(spec, index), outcomes)
+            home = run_home(spec, index)
+            _merge_home(result, home, outcomes)
+            if on_home is not None:
+                on_home(home)
     else:
         # Warm the prototype cache for every distinct topology before
         # forking: the snapshots ride into the workers via copy-on-write
@@ -858,6 +872,8 @@ def run_spec(spec: ScenarioSpec,
                     spec, index, max_home_retries, retry_backoff_s)
                 home.degraded = True
             _merge_home(result, home, outcomes)
+            if on_home is not None:
+                on_home(home)
     result.outcomes = [outcomes.get(i) for i in range(len(spec.attacks))]
     if result.telemetry is not None:
         # Fold the merged telemetry into the process registry so a CLI

@@ -1,0 +1,153 @@
+"""Blocking stdlib client for the fleet server (tests, benchmarks, CLI).
+
+Pure ``http.client`` — the same no-new-dependencies rule as the server.
+One connection per request keeps the client trivially robust against
+server-side keep-alive policy; the SSE reader holds its single
+streaming connection open instead.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.server.jobs import TERMINAL_EVENTS
+
+# Job states the poller treats as final.
+TERMINAL = frozenset({"done", "failed", "cancelled", "timeout"})
+
+
+class ServerError(RuntimeError):
+    """Non-2xx response from the server."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServerClient:
+    """Talk to one ``repro.server`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None,
+                 raw: bool = False) -> Any:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None
+            headers = {"Connection": "close"}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                message = data.decode("utf-8", "replace")
+                try:
+                    message = json.loads(message).get("error", message)
+                except (ValueError, AttributeError):
+                    pass
+                raise ServerError(response.status, message)
+            if raw:
+                return data.decode("utf-8")
+            return json.loads(data.decode("utf-8")) if data else None
+        finally:
+            connection.close()
+
+    # -- API surface -------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics", raw=True)
+
+    def submit(self, spec: Dict[str, Any], *, priority: int = 0,
+               workers: int = 1,
+               timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        envelope = {"spec": spec, "priority": priority, "workers": workers,
+                    "timeout_s": timeout_s}
+        return self._request("POST", "/jobs", body=envelope)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll_s: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            summary = self.job(job_id)
+            if summary["state"] in TERMINAL:
+                return summary
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {summary['state']} "
+                    f"after {timeout}s")
+            time.sleep(poll_s)
+
+    # -- SSE ---------------------------------------------------------------
+    def events(self, job_id: str, *, last_event_id: Optional[int] = None,
+               timeout: float = 120.0,
+               ) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Stream ``(event, data)`` pairs until the job's terminal event.
+
+        ``timeout`` bounds each socket read (keep-alives reset it), so a
+        stuck server raises instead of hanging the caller forever.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout)
+        try:
+            headers = {}
+            if last_event_id is not None:
+                headers["Last-Event-ID"] = str(last_event_id)
+            connection.request("GET", f"/jobs/{job_id}/events",
+                               headers=headers)
+            response = connection.getresponse()
+            if response.status >= 400:
+                message = response.read().decode("utf-8", "replace")
+                raise ServerError(response.status, message)
+            event_kind: Optional[str] = None
+            data_lines: List[str] = []
+            while True:
+                raw = response.readline()
+                if not raw:
+                    return
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue                       # keep-alive comment
+                if line.startswith("event:"):
+                    event_kind = line[len("event:"):].strip()
+                    continue
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                    continue
+                if line == "":                     # dispatch boundary
+                    if event_kind is not None:
+                        data = json.loads("\n".join(data_lines) or "{}")
+                        yield event_kind, data
+                        if event_kind in TERMINAL_EVENTS:
+                            return
+                    event_kind = None
+                    data_lines = []
+        finally:
+            connection.close()

@@ -1,0 +1,346 @@
+"""Hand-rolled asyncio HTTP/1.1 front end for the fleet service.
+
+No frameworks, no new dependencies: ``asyncio.start_server`` plus a
+minimal request parser.  The route table mirrors the in-sim
+:class:`repro.service.api.RestApi` philosophy (explicit routes, typed
+errors, a request log via metrics) but speaks real sockets:
+
+========  =======================  ===========================================
+method    path                     behaviour
+========  =======================  ===========================================
+POST      /jobs                    submit a spec (or ``{"spec": ..., ...}``
+                                   envelope) -> 202 + job summary
+GET       /jobs                    list job summaries
+GET       /jobs/<id>               one job's summary
+GET       /jobs/<id>/result        stored result payload (409 until done)
+DELETE    /jobs/<id>               cancel (cooperative when running)
+GET       /jobs/<id>/events        live Server-Sent Events stream
+GET       /metrics                 live Prometheus text exposition
+GET       /healthz                 liveness + drain state
+========  =======================  ===========================================
+
+SSE streams replay the job's full event log from ``Last-Event-ID`` (or
+the beginning), then follow it live, emitting ``: keep-alive`` comments
+during quiet spells, and close after the job's terminal event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Dict, Optional
+
+from repro.scenarios.spec import SpecError
+from repro.server.jobs import TERMINAL_EVENTS
+from repro.server.service import FleetService, ServiceDraining, UnknownJob
+
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 65536
+MAX_BODY_BYTES = 50 * 1024 * 1024
+
+# The job-envelope keys POST /jobs accepts alongside a raw spec.
+ENVELOPE_KEYS = {"spec", "priority", "workers", "timeout_s"}
+
+
+class HttpError(Exception):
+    """Terminates a request with a status + JSON error body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 413: "Payload Too Large", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class Request:
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method: str, path: str,
+                 headers: Dict[str, str], body: bytes):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on a clean EOF."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request line")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request line too long")
+    if len(line) > MAX_REQUEST_LINE:
+        raise HttpError(400, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "malformed request line")
+    method, target, _version = parts
+    path = target.split("?", 1)[0]
+
+    headers: Dict[str, str] = {}
+    total = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise HttpError(400, "truncated headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpError(400, "headers too large")
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "bad Content-Length")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpError(413, "request body too large")
+        body = await reader.readexactly(length)
+    return Request(method.upper(), path, headers, body)
+
+
+def _response_bytes(status: int, body: bytes, content_type: str,
+                    keep_alive: bool) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n\r\n")
+    return head.encode("latin-1") + body
+
+
+def json_response(status: int, payload: Any, keep_alive: bool) -> bytes:
+    body = (json.dumps(payload, indent=1, sort_keys=True) + "\n").encode()
+    return _response_bytes(status, body, "application/json", keep_alive)
+
+
+class HttpServer:
+    """The socket front end; all request handling runs on the loop."""
+
+    def __init__(self, service: FleetService, host: str = "127.0.0.1",
+                 port: int = 0, sse_keepalive_s: float = 10.0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.sse_keepalive_s = sse_keepalive_s
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- connection loop ---------------------------------------------------
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(json_response(
+                        exc.status, {"error": exc.message}, False))
+                    break
+                if request is None:
+                    break
+                keep_alive = (request.headers.get("connection", "")
+                              .lower() != "close")
+                try:
+                    handled = await self._dispatch(request, writer,
+                                                   keep_alive)
+                except HttpError as exc:
+                    writer.write(json_response(
+                        exc.status, {"error": exc.message}, keep_alive))
+                    handled = True
+                except Exception as exc:  # noqa: BLE001 - request boundary
+                    writer.write(json_response(
+                        500, {"error": f"{type(exc).__name__}: {exc}"},
+                        False))
+                    break
+                if not handled or not keep_alive:
+                    break
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    # -- routing -----------------------------------------------------------
+    async def _dispatch(self, request: Request,
+                        writer: asyncio.StreamWriter,
+                        keep_alive: bool) -> bool:
+        """Handle one request.  Returns False when the handler streamed
+        its own response and the connection must close (SSE)."""
+        method, path = request.method, request.path
+        segments = [s for s in path.split("/") if s]
+
+        if path == "/healthz" and method == "GET":
+            self._reply(writer, 200, {
+                "status": "draining" if self.service.draining else "ok",
+                "uptime_s": round(time.time() - self.service.started_at, 3),
+                "jobs": len(self.service.jobs),
+                "queue_depth": self.service.queue.depth(),
+            }, keep_alive)
+            return True
+        if path == "/metrics" and method == "GET":
+            body = self.service.metrics_text().encode("utf-8")
+            writer.write(_response_bytes(
+                200, body, "text/plain; version=0.0.4", keep_alive))
+            return True
+        if path == "/jobs" and method == "POST":
+            self._submit(request, writer, keep_alive)
+            return True
+        if path == "/jobs" and method == "GET":
+            self._reply(writer, 200,
+                        {"jobs": self.service.job_summaries()}, keep_alive)
+            return True
+        if segments[:1] == ["jobs"] and len(segments) == 2:
+            job = self._job(segments[1])
+            if method == "GET":
+                self._reply(writer, 200, job.summary(), keep_alive)
+                return True
+            if method == "DELETE":
+                job = self.service.cancel(job.id)
+                self._reply(writer, 200, job.summary(), keep_alive)
+                return True
+            raise HttpError(405, f"method {method} not allowed here")
+        if (segments[:1] == ["jobs"] and len(segments) == 3
+                and segments[2] == "result" and method == "GET"):
+            return self._result(segments[1], writer, keep_alive)
+        if (segments[:1] == ["jobs"] and len(segments) == 3
+                and segments[2] == "events" and method == "GET"):
+            await self._stream_events(segments[1], request, writer)
+            return False
+        raise HttpError(404, f"no route for {method} {path}")
+
+    def _reply(self, writer: asyncio.StreamWriter, status: int,
+               payload: Any, keep_alive: bool) -> None:
+        writer.write(json_response(status, payload, keep_alive))
+
+    def _job(self, job_id: str):
+        try:
+            return self.service.get_job(job_id)
+        except UnknownJob:
+            raise HttpError(404, f"unknown job {job_id!r}")
+
+    # -- handlers ----------------------------------------------------------
+    def _submit(self, request: Request, writer: asyncio.StreamWriter,
+                keep_alive: bool) -> None:
+        data = request.json()
+        if not isinstance(data, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        options: Dict[str, Any] = {}
+        if "spec" in data:
+            unknown = set(data) - ENVELOPE_KEYS
+            if unknown:
+                raise HttpError(
+                    400, f"unknown job keys {sorted(unknown)}; "
+                         f"valid: {sorted(ENVELOPE_KEYS)}")
+            spec_data = data["spec"]
+            if not isinstance(spec_data, dict):
+                raise HttpError(400, "'spec' must be a JSON object")
+            try:
+                options["priority"] = int(data.get("priority", 0))
+                workers = data.get("workers", 1)
+                options["workers"] = (int(workers)
+                                      if workers is not None else 1)
+                timeout_s = data.get("timeout_s")
+                options["timeout_s"] = (float(timeout_s)
+                                        if timeout_s is not None else None)
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, f"bad job envelope value: {exc}")
+        else:
+            spec_data = data  # a bare ScenarioSpec: curl-friendly
+        try:
+            job = self.service.submit(spec_data, **options)
+        except ServiceDraining as exc:
+            raise HttpError(503, str(exc))
+        except SpecError as exc:
+            raise HttpError(400, f"invalid spec: {exc}")
+        self._reply(writer, 202, job.summary(), keep_alive)
+
+    def _result(self, job_id: str, writer: asyncio.StreamWriter,
+                keep_alive: bool) -> bool:
+        job = self._job(job_id)
+        if not job.terminal:
+            raise HttpError(
+                409, f"job {job_id} is {job.state.value}; result not ready")
+        payload = self.service.store.get(job_id)
+        if payload is None:
+            if job.state.value == "done":  # evicted without a spill file
+                raise HttpError(404, f"result for {job_id} no longer stored")
+            raise HttpError(
+                409, f"job {job_id} finished {job.state.value}; no result")
+        self._reply(writer, 200, payload, keep_alive)
+        return True
+
+    async def _stream_events(self, job_id: str, request: Request,
+                             writer: asyncio.StreamWriter) -> None:
+        job = self._job(job_id)
+        start = 0
+        last_id = request.headers.get("last-event-id")
+        if last_id is not None:
+            try:
+                start = int(last_id) + 1
+            except ValueError:
+                raise HttpError(400, "bad Last-Event-ID")
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: text/event-stream\r\n"
+                     b"Cache-Control: no-store\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+        cursor = start
+        while True:
+            events = await job.events.wait_beyond(
+                cursor, timeout=self.sse_keepalive_s)
+            if not events:
+                writer.write(b": keep-alive\r\n\r\n")
+                await writer.drain()
+                continue
+            finished = False
+            for entry in events:
+                payload = json.dumps(entry["data"], sort_keys=True)
+                writer.write(
+                    f"id: {entry['id']}\r\n"
+                    f"event: {entry['event']}\r\n"
+                    f"data: {payload}\r\n\r\n".encode("utf-8"))
+                cursor = entry["id"] + 1
+                if entry["event"] in TERMINAL_EVENTS:
+                    finished = True
+            await writer.drain()
+            if finished:
+                return

@@ -1,0 +1,200 @@
+"""Jobs, their live event logs, and the priority queue that feeds workers.
+
+A *job* is one submitted :class:`~repro.scenarios.spec.ScenarioSpec`
+plus its execution envelope (priority, worker count, timeout).  Jobs
+move through a small, strictly forward state machine::
+
+    queued -> running -> done | failed | cancelled | timeout
+    queued -> cancelled                      (cancel before a worker picks it up)
+
+Everything here is built for the service's two-clock world: HTTP
+handlers and queue workers live on the asyncio event loop, while the
+job itself executes ``run_spec`` on a worker thread.  The event log is
+therefore append-from-any-thread / await-from-the-loop, and state
+fields are plain attributes written by exactly one side at a time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from repro.scenarios.spec import ScenarioSpec
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+
+
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED, JobState.TIMEOUT})
+
+# SSE event kinds that end a job's stream.
+TERMINAL_EVENTS = frozenset(
+    {state.value for state in TERMINAL_STATES})
+
+
+class JobInterrupted(Exception):
+    """Raised inside a job's ``on_home`` hook to abort the run early."""
+
+    def __init__(self, state: JobState):
+        super().__init__(state.value)
+        self.state = state
+
+
+class EventLog:
+    """Per-job append-only event buffer with async tail-following.
+
+    ``append`` is safe from worker threads (list append is atomic and
+    the loop is poked via ``call_soon_threadsafe``); ``wait_beyond``
+    must run on the loop the log was bound to.  Events carry monotonic
+    ids, so an SSE client can resume from ``Last-Event-ID``.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._updated: Optional[asyncio.Event] = None
+
+    def bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._updated = asyncio.Event()
+
+    def append(self, kind: str, **data: Any) -> Dict[str, Any]:
+        entry = {"id": len(self.events), "event": kind, "data": data}
+        self.events.append(entry)
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(self._updated.set)
+        return entry
+
+    async def wait_beyond(self, n: int,
+                          timeout: Optional[float] = None,
+                          ) -> List[Dict[str, Any]]:
+        """Events with id >= ``n``, blocking until at least one exists.
+
+        Returns ``[]`` on timeout (SSE handlers turn that into a
+        keep-alive comment).
+        """
+        if len(self.events) > n:
+            return self.events[n:]
+        if self._updated is None:
+            return []
+        # Clear *before* re-checking: an append that lands after the
+        # check will set the event again, so no wakeup is ever lost.
+        self._updated.clear()
+        if len(self.events) > n:
+            return self.events[n:]
+        try:
+            await asyncio.wait_for(self._updated.wait(), timeout)
+        except asyncio.TimeoutError:
+            return []
+        return self.events[n:]
+
+
+_job_ids = itertools.count(1)
+
+
+class Job:
+    """One submitted scenario and everything observable about it."""
+
+    def __init__(self, spec: ScenarioSpec, *, priority: int = 0,
+                 workers: int = 1, timeout_s: Optional[float] = None):
+        self.id = f"job-{next(_job_ids):06d}"
+        self.spec = spec
+        self.priority = priority
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.state = JobState.QUEUED
+        self.error: Optional[str] = None
+        self.homes_total = len(spec.homes)
+        self.homes_done = 0
+        self.alerts_seen = 0
+        self.cancel_requested = False
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.events = EventLog()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON the status endpoints serve."""
+        return {
+            "id": self.id,
+            "name": self.spec.name,
+            "spec_hash": self.spec.spec_hash(),
+            "state": self.state.value,
+            "priority": self.priority,
+            "workers": self.workers,
+            "timeout_s": self.timeout_s,
+            "homes_total": self.homes_total,
+            "homes_done": self.homes_done,
+            "alerts": self.alerts_seen,
+            "error": self.error,
+            "cancel_requested": self.cancel_requested,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class QueueClosed(RuntimeError):
+    """Raised by :meth:`JobQueue.put` once the queue is draining."""
+
+
+class JobQueue:
+    """Priority queue of queued jobs (higher priority first, FIFO within).
+
+    Single-loop discipline: ``put``/``close`` and ``get`` all run on the
+    service's event loop, so a plain heap plus one :class:`asyncio.Event`
+    suffices.  Cancelled jobs stay in the heap and are skipped lazily at
+    pop time.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._seq = itertools.count()
+        self._pending = asyncio.Event()
+        self.closed = False
+
+    def put(self, job: Job) -> None:
+        if self.closed:
+            raise QueueClosed("queue is draining; no new jobs accepted")
+        heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+        self._pending.set()
+
+    async def get(self) -> Optional[Job]:
+        """Next runnable job, or ``None`` once closed and drained."""
+        while True:
+            while self._heap:
+                _, _, job = heapq.heappop(self._heap)
+                if job.state is JobState.QUEUED and not job.cancel_requested:
+                    return job
+            if self.closed:
+                return None
+            self._pending.clear()
+            if self._heap or self.closed:
+                continue
+            await self._pending.wait()
+
+    def close(self) -> None:
+        """Stop accepting jobs; pending ones still drain to workers."""
+        self.closed = True
+        self._pending.set()
+
+    def depth(self) -> int:
+        """Queued (non-cancelled) jobs still waiting for a worker."""
+        return sum(1 for _, _, job in self._heap
+                   if job.state is JobState.QUEUED
+                   and not job.cancel_requested)

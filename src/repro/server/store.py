@@ -1,0 +1,267 @@
+"""Result serialization and the bounded result store with JSONL spill.
+
+The server's determinism contract lives here: :func:`result_to_dict`
+renders a :class:`~repro.scenarios.spec.ScenarioResult` as plain JSON
+split into two sections —
+
+* ``observations`` — everything the simulation *observed*: alerts (with
+  their contributing signals), attack outcomes, features, infections,
+  fault events, and the merged telemetry totals.  This section is a
+  pure function of ``(spec, seed)``: the same spec run via the CLI, the
+  server, serially, or across forked workers canonicalises to the same
+  bytes.  Process-history artifacts (``Alert.alert_id``, wall-clock
+  stage timings, clone/degraded execution flags) are deliberately
+  excluded.
+* ``execution`` — how this particular run happened (wall timings,
+  prototype-clone hits, degraded/retried homes).  Useful for ops,
+  excluded from identity checks.
+
+:class:`ResultStore` keeps the last N result payloads in memory and
+spills evicted ones to an append-only JSONL file, remembering byte
+offsets so ``GET /jobs/<id>/result`` stays O(1) after eviction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import is_dataclass, asdict
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from repro.core.signals import Alert, SecuritySignal
+from repro.faults import FaultEvent
+from repro.scenarios.spec import ScenarioResult
+from repro.telemetry.registry import LabelsKey, MetricsRegistry
+
+
+# ---------------------------------------------------------------------------
+# JSON rendering
+# ---------------------------------------------------------------------------
+
+def json_safe(value: Any) -> Any:
+    """Coerce arbitrary detail values into JSON-stable plain data.
+
+    Sets sort, tuples become lists, enums take their value, bytes hex —
+    everything else falls back to ``str`` so a payload never fails to
+    serialise (attack/signal detail dicts are open-ended).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Enum):
+        return json_safe(value.value)
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(json_safe(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if is_dataclass(value) and not isinstance(value, type):
+        return json_safe(asdict(value))
+    return str(value)
+
+
+def canonical_json(data: Any) -> str:
+    """Sorted-key, tight-separator JSON: the byte-identity form."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _signal_to_dict(signal: SecuritySignal) -> Dict[str, Any]:
+    return {
+        "layer": signal.layer.value,
+        "signal_type": signal.signal_type.value,
+        "source": signal.source,
+        "device": signal.device,
+        "timestamp": signal.timestamp,
+        "severity": signal.severity.value,
+        "details": json_safe(signal.detail_dict),
+    }
+
+
+def alert_to_dict(alert: Alert) -> Dict[str, Any]:
+    """JSON view of an alert.  ``alert_id`` (a process-global counter,
+    an artifact of process history, not of the run) is excluded."""
+    return {
+        "category": alert.category,
+        "device": alert.device,
+        "timestamp": alert.timestamp,
+        "severity": alert.severity.value,
+        "confidence": alert.confidence,
+        "layers": [layer.value for layer in alert.layers_involved],
+        "cross_layer": alert.cross_layer,
+        "signals": [_signal_to_dict(s) for s in alert.contributing_signals],
+    }
+
+
+def fault_event_to_dict(event: FaultEvent) -> Dict[str, Any]:
+    return {
+        "index": event.index,
+        "fault": event.fault,
+        "home": event.home,
+        "target": event.target,
+        "injected_at": event.injected_at,
+        "recovered_at": event.recovered_at,
+    }
+
+
+def metric_key(name: str, labels: LabelsKey) -> str:
+    """Stable string form of a ``(name, labels)`` metric key."""
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+def telemetry_to_dict(registry: Optional[MetricsRegistry]) -> Optional[dict]:
+    """Merged telemetry *totals* (spans reduce to a count — they are
+    deterministic too, but bulky; totals are the identity contract)."""
+    if registry is None:
+        return None
+    snap = registry.snapshot()
+    return {
+        "counters": {metric_key(*key): value
+                     for key, value in sorted(snap["counters"].items())},
+        "gauges": {metric_key(*key): value
+                   for key, value in sorted(snap["gauges"].items())},
+        "histograms": {
+            metric_key(*key): {
+                "bounds": list(data["bounds"]),
+                "counts": list(data["counts"]),
+                "sum": data["sum"],
+                "count": data["count"],
+            }
+            for key, data in sorted(snap["histograms"].items())
+        },
+        "spans": len(snap["spans"]),
+        "spans_dropped": snap["spans_dropped"],
+    }
+
+
+def result_to_dict(result: ScenarioResult) -> Dict[str, Any]:
+    """The full JSON payload ``GET /jobs/<id>/result`` serves."""
+    spec = result.spec
+    outcomes: List[Optional[dict]] = []
+    for outcome in result.outcomes:
+        if outcome is None:
+            outcomes.append(None)
+        else:
+            outcomes.append({
+                "succeeded": outcome.succeeded,
+                "compromised_devices": sorted(outcome.compromised_devices),
+                "details": json_safe(outcome.details),
+            })
+    return {
+        "spec": spec.to_dict(),
+        "spec_hash": spec.spec_hash(),
+        "observations": {
+            "alerts": [alert_to_dict(a) for a in result.alerts],
+            "outcomes": outcomes,
+            "features": {name: list(vector)
+                         for name, vector in result.features.items()},
+            "feature_names": list(result.FEATURE_NAMES),
+            "device_types": dict(result.device_types),
+            "infected": sorted(result.infected),
+            "fault_events": [fault_event_to_dict(e)
+                             for e in result.fault_events],
+            "telemetry": telemetry_to_dict(result.telemetry),
+        },
+        "execution": {
+            "homes": [
+                {"home": home.home_index,
+                 "cloned": home.cloned,
+                 "degraded": home.degraded,
+                 "timings": {k: round(v, 6)
+                             for k, v in sorted(home.timings.items())}}
+                for home in result.homes
+            ],
+            "degraded_homes": list(result.degraded_homes),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+class ResultStore:
+    """Bounded in-memory result payloads with JSONL spill-to-disk.
+
+    The newest ``capacity`` results stay in memory; older ones are
+    appended to ``spill_path`` (one ``{"job_id", "result"}`` object per
+    line) and re-read by remembered byte offset on demand.  Without a
+    spill path, evicted results are simply dropped (and ``get`` returns
+    ``None`` for them).
+
+    Thread-safe: workers ``put`` from job threads while HTTP handlers
+    ``get`` from the event loop.
+    """
+
+    def __init__(self, capacity: int = 64,
+                 spill_path: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError("ResultStore capacity must be >= 1")
+        self.capacity = capacity
+        self.spill_path = spill_path
+        self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        self._spill_offsets: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.spilled = 0
+        self.dropped = 0
+
+    def put(self, job_id: str, payload: dict) -> None:
+        with self._lock:
+            self._memory[job_id] = payload
+            self._memory.move_to_end(job_id)
+            while len(self._memory) > self.capacity:
+                old_id, old_payload = self._memory.popitem(last=False)
+                self._spill(old_id, old_payload)
+
+    def _spill(self, job_id: str, payload: dict) -> None:
+        if self.spill_path is None:
+            self.dropped += 1
+            return
+        line = json.dumps({"job_id": job_id, "result": payload},
+                          sort_keys=True)
+        with open(self.spill_path, "ab") as handle:
+            handle.seek(0, os.SEEK_END)
+            offset = handle.tell()
+            handle.write(line.encode("utf-8") + b"\n")
+        self._spill_offsets[job_id] = offset
+        self.spilled += 1
+
+    def get(self, job_id: str) -> Optional[dict]:
+        with self._lock:
+            payload = self._memory.get(job_id)
+            if payload is not None:
+                return payload
+            offset = self._spill_offsets.get(job_id)
+        if offset is None or self.spill_path is None:
+            return None
+        with open(self.spill_path, "rb") as handle:
+            handle.seek(offset)
+            record = json.loads(handle.readline().decode("utf-8"))
+        if record.get("job_id") != job_id:  # pragma: no cover - corruption
+            raise ValueError(
+                f"spill offset for {job_id} points at {record.get('job_id')}")
+        return record["result"]
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._lock:
+            return (job_id in self._memory
+                    or job_id in self._spill_offsets)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory) + len(self._spill_offsets)
+
+    def in_memory(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    @staticmethod
+    def default_spill_path(directory: str = ".") -> str:
+        return os.path.join(directory, "repro_server_results.jsonl")

@@ -38,7 +38,9 @@ ergonomic ``with trace.span("phase", sim, device=...):`` form.
 
 from __future__ import annotations
 
-from typing import Optional
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 from repro.telemetry.registry import (
     DEFAULT_BUCKETS,
@@ -55,6 +57,14 @@ from repro.telemetry.registry import (
 ENABLED: bool = False
 
 _registry: MetricsRegistry = MetricsRegistry()
+
+# Per-thread registry overrides.  A thread inside a scoped_registry()
+# block sees (and swaps, via set_registry) its own registry slot; every
+# other thread keeps using the process-wide registry.  This is what
+# lets the resident server run several telemetry-collecting jobs in
+# worker threads concurrently without cross-contaminating their runs —
+# and it leaves the single-threaded CLI path exactly as it was.
+_tls = threading.local()
 
 
 def enable() -> None:
@@ -74,26 +84,52 @@ def enabled() -> bool:
 
 
 def registry() -> MetricsRegistry:
-    """The current process-wide registry."""
-    return _registry
+    """The current registry: this thread's scoped registry when inside a
+    :func:`scoped_registry` block, the process-wide one otherwise."""
+    scoped = getattr(_tls, "registry", None)
+    return _registry if scoped is None else scoped
 
 
 def set_registry(new: MetricsRegistry) -> MetricsRegistry:
-    """Swap the process-wide registry, returning the previous one.
+    """Swap the current registry, returning the previous one.
 
     The fleet runner uses this to give each home a fresh worker-local
-    registry and restore the parent's registry afterwards.
+    registry and restore the parent's registry afterwards.  Inside a
+    :func:`scoped_registry` block the swap targets the thread's scoped
+    slot, so a server job thread swapping per-home registries never
+    touches what other threads observe.
     """
     global _registry
+    if getattr(_tls, "registry", None) is not None:
+        previous = _tls.registry
+        _tls.registry = new
+        return previous
     previous = _registry
     _registry = new
     return previous
 
 
+@contextmanager
+def scoped_registry(new: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Route this thread's telemetry into ``new`` for the block.
+
+    Re-entrant (the previous scoped registry is restored on exit).  The
+    resident fleet server wraps each job's ``run_spec`` call in one of
+    these, giving every job an isolated registry even when jobs run
+    concurrently on worker threads.
+    """
+    previous = getattr(_tls, "registry", None)
+    _tls.registry = new
+    try:
+        yield new
+    finally:
+        _tls.registry = previous
+
+
 def reset() -> MetricsRegistry:
     """Replace the registry with an empty one (returned for chaining)."""
     set_registry(MetricsRegistry())
-    return _registry
+    return registry()
 
 
 class _NullSpan:
@@ -139,6 +175,7 @@ __all__ = [
     "record_span",
     "registry",
     "reset",
+    "scoped_registry",
     "set_registry",
     "span",
 ]

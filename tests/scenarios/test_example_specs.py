@@ -1,0 +1,46 @@
+"""Every shipped example spec must load, validate, and round-trip.
+
+The examples double as the server's documented input format (README
+curl walkthrough, check.sh smoke), so a drifting example is a broken
+front door.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.scenarios import ScenarioSpec
+
+SPEC_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples" / "specs"
+SPEC_FILES = sorted(SPEC_DIR.glob("*.json"))
+
+
+def test_examples_directory_is_populated():
+    assert SPEC_FILES, f"no example specs found under {SPEC_DIR}"
+
+
+@pytest.mark.parametrize("path", SPEC_FILES, ids=lambda p: p.name)
+class TestExampleSpecs:
+    def test_loads_and_validates(self, path):
+        data = json.loads(path.read_text())
+        spec = ScenarioSpec.from_dict(data)
+        spec.validate()
+        assert spec.name == data["name"]
+
+    def test_round_trip_is_a_fixpoint(self, path):
+        """from_dict → to_dict → from_dict must converge: the second
+        pass reproduces the first's dict exactly, so the canonical form
+        is stable and spec_hash is meaningful across load/save cycles."""
+        data = json.loads(path.read_text())
+        once = ScenarioSpec.from_dict(data).to_dict()
+        twice = ScenarioSpec.from_dict(once).to_dict()
+        assert once == twice
+        assert ScenarioSpec.from_dict(once).spec_hash() == \
+            ScenarioSpec.from_dict(data).spec_hash()
+
+    def test_examples_stored_in_canonical_form(self, path):
+        """The checked-in files ARE the canonical serialization — what
+        the server echoes back in a result's "spec" field."""
+        data = json.loads(path.read_text())
+        assert ScenarioSpec.from_dict(data).to_dict() == data

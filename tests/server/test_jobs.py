@@ -1,0 +1,178 @@
+"""Job model, event log, and the priority queue."""
+
+import asyncio
+
+import pytest
+
+from repro.scenarios import ScenarioSpec
+from repro.server.jobs import (
+    EventLog,
+    Job,
+    JobQueue,
+    JobState,
+    QueueClosed,
+    TERMINAL_STATES,
+)
+
+
+def make_job(priority=0, **kwargs):
+    return Job(ScenarioSpec.from_dict({"name": "t"}), priority=priority,
+               **kwargs)
+
+
+class TestJob:
+    def test_initial_state(self):
+        job = make_job(priority=3, workers=2, timeout_s=9.0)
+        assert job.state is JobState.QUEUED
+        assert not job.terminal
+        summary = job.summary()
+        assert summary["state"] == "queued"
+        assert summary["priority"] == 3
+        assert summary["workers"] == 2
+        assert summary["timeout_s"] == 9.0
+        assert summary["homes_total"] == 1
+        assert summary["spec_hash"] == job.spec.spec_hash()
+
+    def test_ids_unique_and_ordered(self):
+        a, b = make_job(), make_job()
+        assert a.id != b.id
+        assert a.id < b.id
+
+    def test_terminal_states(self):
+        job = make_job()
+        for state in TERMINAL_STATES:
+            job.state = state
+            assert job.terminal
+        job.state = JobState.RUNNING
+        assert not job.terminal
+
+
+class TestEventLog:
+    def test_append_before_bind(self):
+        log = EventLog()
+        entry = log.append("queued", x=1)
+        assert entry == {"id": 0, "event": "queued", "data": {"x": 1}}
+        assert log.events[0] is entry
+
+    def test_wait_returns_existing_events(self):
+        async def scenario():
+            log = EventLog()
+            log.bind(asyncio.get_running_loop())
+            log.append("a")
+            log.append("b")
+            return await log.wait_beyond(0, timeout=0.1)
+
+        events = asyncio.run(scenario())
+        assert [e["event"] for e in events] == ["a", "b"]
+
+    def test_wait_times_out_empty(self):
+        async def scenario():
+            log = EventLog()
+            log.bind(asyncio.get_running_loop())
+            return await log.wait_beyond(0, timeout=0.01)
+
+        assert asyncio.run(scenario()) == []
+
+    def test_wait_wakes_on_append(self):
+        async def scenario():
+            log = EventLog()
+            loop = asyncio.get_running_loop()
+            log.bind(loop)
+            loop.call_later(0.01, log.append, "late")
+            return await log.wait_beyond(0, timeout=5.0)
+
+        events = asyncio.run(scenario())
+        assert [e["event"] for e in events] == ["late"]
+
+    def test_cursor_skips_consumed(self):
+        async def scenario():
+            log = EventLog()
+            log.bind(asyncio.get_running_loop())
+            log.append("a")
+            log.append("b")
+            return await log.wait_beyond(1, timeout=0.1)
+
+        events = asyncio.run(scenario())
+        assert [e["event"] for e in events] == ["b"]
+
+
+class TestJobQueue:
+    def test_fifo_within_priority(self):
+        async def scenario():
+            queue = JobQueue()
+            jobs = [make_job() for _ in range(3)]
+            for job in jobs:
+                queue.put(job)
+            return [await queue.get() for _ in range(3)], jobs
+
+        popped, jobs = asyncio.run(scenario())
+        assert popped == jobs
+
+    def test_higher_priority_first(self):
+        async def scenario():
+            queue = JobQueue()
+            low = make_job(priority=0)
+            high = make_job(priority=5)
+            mid = make_job(priority=2)
+            for job in (low, high, mid):
+                queue.put(job)
+            return [await queue.get() for _ in range(3)], (high, mid, low)
+
+        popped, expected = asyncio.run(scenario())
+        assert popped == list(expected)
+
+    def test_cancelled_jobs_skipped(self):
+        async def scenario():
+            queue = JobQueue()
+            doomed, survivor = make_job(), make_job()
+            queue.put(doomed)
+            queue.put(survivor)
+            doomed.state = JobState.CANCELLED
+            first = await queue.get()
+            queue.close()
+            second = await queue.get()
+            return first, second, survivor
+
+        first, second, survivor = asyncio.run(scenario())
+        assert first is survivor
+        assert second is None
+
+    def test_get_blocks_until_put(self):
+        async def scenario():
+            queue = JobQueue()
+            job = make_job()
+            loop = asyncio.get_running_loop()
+            loop.call_later(0.01, queue.put, job)
+            got = await asyncio.wait_for(queue.get(), timeout=5.0)
+            return got, job
+
+        got, job = asyncio.run(scenario())
+        assert got is job
+
+    def test_close_rejects_put_and_drains(self):
+        async def scenario():
+            queue = JobQueue()
+            job = make_job()
+            queue.put(job)
+            queue.close()
+            with pytest.raises(QueueClosed):
+                queue.put(make_job())
+            drained = await queue.get()
+            empty = await queue.get()
+            return drained, empty, job
+
+        drained, empty, job = asyncio.run(scenario())
+        assert drained is job
+        assert empty is None
+
+    def test_depth_ignores_cancelled(self):
+        async def scenario():
+            queue = JobQueue()
+            a, b = make_job(), make_job()
+            queue.put(a)
+            queue.put(b)
+            assert queue.depth() == 2
+            a.cancel_requested = True
+            return queue.depth()
+
+        assert asyncio.run(scenario()) == 1

@@ -1,0 +1,111 @@
+"""Result serialization: the server's byte-identity contract."""
+
+import enum
+
+from repro import telemetry
+from repro.scenarios import ScenarioSpec, run_spec
+from repro.server.store import (
+    canonical_json,
+    json_safe,
+    metric_key,
+    result_to_dict,
+    telemetry_to_dict,
+)
+from repro.telemetry import MetricsRegistry
+
+from tests.server.conftest import tiny_spec
+
+
+class TestJsonSafe:
+    def test_plain_values_pass_through(self):
+        assert json_safe({"a": 1, "b": [1.5, "x", None, True]}) == \
+            {"a": 1, "b": [1.5, "x", None, True]}
+
+    def test_sets_sort_tuples_listify(self):
+        assert json_safe({"s": {"b", "a"}, "t": (1, 2)}) == \
+            {"s": ["a", "b"], "t": [1, 2]}
+
+    def test_enums_bytes_and_fallback(self):
+        class Kind(enum.Enum):
+            A = "a"
+
+        class Opaque:
+            def __str__(self):
+                return "opaque!"
+
+        assert json_safe(Kind.A) == "a"
+        assert json_safe(b"\x01\x02") == "0102"
+        assert json_safe(Opaque()) == "opaque!"
+
+
+class TestMetricKey:
+    def test_unlabeled(self):
+        assert metric_key("fleet.homes", ()) == "fleet.homes"
+
+    def test_labeled(self):
+        key = metric_key("net.packets", (("link", "lan"), ("proto", "udp")))
+        assert key == "net.packets{link=lan,proto=udp}"
+
+    def test_telemetry_to_dict_none(self):
+        assert telemetry_to_dict(None) is None
+
+    def test_telemetry_to_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b", x="1").inc(2)
+        registry.gauge("g").set(3.5)
+        registry.histogram("h").observe(0.01)
+        data = telemetry_to_dict(registry)
+        assert data["counters"] == {"a.b{x=1}": 2.0}
+        assert data["gauges"] == {"g": 3.5}
+        assert data["histograms"]["h"]["count"] == 1
+        assert data["spans"] == 0
+
+
+class TestResultDeterminism:
+    def run_once(self, **kwargs):
+        telemetry.enable()
+        try:
+            spec = ScenarioSpec.from_dict(tiny_spec(duration_s=90.0,
+                                                    seed=3, xlf=True))
+            return result_to_dict(run_spec(spec, **kwargs))
+        finally:
+            telemetry.disable()
+
+    def test_two_runs_bytes_identical(self):
+        first, second = self.run_once(), self.run_once()
+        assert canonical_json(first["observations"]) == \
+            canonical_json(second["observations"])
+        assert first["spec_hash"] == second["spec_hash"]
+
+    def test_alert_ids_excluded(self):
+        """Alert.alert_id is a process-global counter; two runs in one
+        process produce different ids but identical payloads — so the
+        payload must not contain them."""
+        result = self.run_once()
+        alerts = result["observations"]["alerts"]
+        assert alerts, "expected the defended run to raise alerts"
+        assert all("alert_id" not in alert for alert in alerts)
+        assert all(alert["signals"] for alert in alerts)
+
+    def test_execution_section_separate(self):
+        result = self.run_once()
+        assert "timings" in result["execution"]["homes"][0]
+        assert "timings" not in canonical_json(result["observations"])
+
+    def test_scoped_registry_isolation(self):
+        """A run inside scoped_registry must not leak into the process
+        registry, and its payload must equal an unscoped run's."""
+        telemetry.enable()
+        try:
+            spec = ScenarioSpec.from_dict(tiny_spec(duration_s=20.0))
+            before = telemetry.registry()
+            scratch = MetricsRegistry()
+            with telemetry.scoped_registry(scratch):
+                scoped = result_to_dict(run_spec(spec))
+            assert telemetry.registry() is before
+            assert len(scratch) > 0
+            plain = result_to_dict(run_spec(spec))
+        finally:
+            telemetry.disable()
+        assert canonical_json(scoped["observations"]) == \
+            canonical_json(plain["observations"])

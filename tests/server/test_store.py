@@ -1,0 +1,66 @@
+"""ResultStore bounding and JSONL spill-to-disk."""
+
+import json
+
+import pytest
+
+from repro.server.store import ResultStore
+
+
+def payload(i):
+    return {"spec_hash": f"hash-{i}", "observations": {"alerts": [i]}}
+
+
+class TestBounding:
+    def test_keeps_newest_in_memory(self):
+        store = ResultStore(capacity=2)
+        for i in range(4):
+            store.put(f"job-{i}", payload(i))
+        assert store.in_memory() == 2
+        assert store.get("job-3") == payload(3)
+        assert store.get("job-2") == payload(2)
+
+    def test_evicted_without_spill_is_dropped(self):
+        store = ResultStore(capacity=1)
+        store.put("a", payload(0))
+        store.put("b", payload(1))
+        assert store.get("a") is None
+        assert store.dropped == 1
+        assert "a" not in store
+        assert "b" in store
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ResultStore(capacity=0)
+
+
+class TestSpill:
+    def test_evicted_results_spill_and_reload(self, tmp_path):
+        spill = str(tmp_path / "results.jsonl")
+        store = ResultStore(capacity=1, spill_path=spill)
+        for i in range(5):
+            store.put(f"job-{i}", payload(i))
+        assert store.in_memory() == 1
+        assert store.spilled == 4
+        # Every result, evicted or resident, is still retrievable.
+        for i in range(5):
+            assert store.get(f"job-{i}") == payload(i), i
+        assert len(store) == 5
+
+    def test_spill_file_is_valid_jsonl(self, tmp_path):
+        spill = str(tmp_path / "results.jsonl")
+        store = ResultStore(capacity=1, spill_path=spill)
+        for i in range(3):
+            store.put(f"job-{i}", payload(i))
+        lines = open(spill).read().splitlines()
+        assert len(lines) == 2          # two evictions
+        records = [json.loads(line) for line in lines]
+        assert [r["job_id"] for r in records] == ["job-0", "job-1"]
+        assert records[0]["result"] == payload(0)
+
+    def test_unknown_job_returns_none(self, tmp_path):
+        store = ResultStore(capacity=2,
+                            spill_path=str(tmp_path / "r.jsonl"))
+        store.put("known", payload(0))
+        assert store.get("missing") is None
+        assert "missing" not in store

@@ -1,0 +1,127 @@
+"""RestApi failure-path coverage: the branches a happy-path suite skips.
+
+Complements TestRestApi in test_oauth_api_identity.py — everything here
+is about what the guard does when things go wrong: outage, garbage
+credentials, handlers that blow up, and the audit trail those paths
+must still leave behind.
+"""
+
+import pytest
+
+from repro.network.protocols.http import HttpRequest
+from repro.service import OAuthServer, RestApi, Scope
+from repro.service.api import ApiError
+from repro.sim import Simulator
+
+
+class TestApiErrorPaths:
+    def setup_method(self):
+        self.sim = Simulator()
+        self.oauth = OAuthServer(self.sim)
+        self.api = RestApi(self.oauth)
+        self.api.add_route("GET", "/data", Scope.READ_DEVICES,
+                           lambda request, token: {"value": 42})
+        self.api.add_route("GET", "/public", None,
+                           lambda request, token: "open")
+
+    def request(self, method, path, token=None, headers=None):
+        merged = dict(headers or {})
+        if token is not None:
+            merged["Authorization"] = f"Bearer {token.value}"
+        return self.api.handle(HttpRequest(method, path, merged))
+
+    # -- outage --------------------------------------------------------------
+    def test_unavailable_api_answers_503_to_everything(self):
+        """cloud-outage fault: even public and unknown routes go dark."""
+        self.api.available = False
+        token = self.oauth.issue("alice", {Scope.READ_DEVICES})
+        for method, path, tok in (("GET", "/data", token),
+                                  ("GET", "/public", None),
+                                  ("GET", "/nope", None)):
+            response = self.request(method, path, tok)
+            assert response.status == 503
+            assert response.body == "service unavailable"
+
+    def test_outage_is_logged_and_recovery_restores_service(self):
+        self.api.available = False
+        self.request("GET", "/public")
+        assert self.api.request_log[-1] == ("GET", "/public", 503)
+        self.api.available = True
+        assert self.request("GET", "/public").status == 200
+
+    # -- credential garbage --------------------------------------------------
+    def test_malformed_authorization_header_is_401(self):
+        """A non-Bearer header is ignored, not parsed: no token, 401."""
+        for header in ("Basic dXNlcjpwdw==", "bearer lowercase",
+                       "Bearer", "token abc"):
+            response = self.request("GET", "/data",
+                                    headers={"Authorization": header})
+            assert response.status == 401, header
+
+    def test_bearer_garbage_token_is_401(self):
+        response = self.request(
+            "GET", "/data",
+            headers={"Authorization": "Bearer no-such-token"})
+        assert response.status == 401
+        assert self.api.denied_requests == 1
+
+    def test_scope_denial_counts_and_logs(self):
+        self.api.add_route("POST", "/admin", Scope.ADMIN,
+                           lambda request, token: "done")
+        token = self.oauth.issue("alice", {Scope.READ_DEVICES})
+        response = self.request("POST", "/admin", token)
+        assert response.status == 403
+        assert "admin" in response.body
+        assert self.api.denied_requests == 1
+        assert self.api.request_log[-1] == ("POST", "/admin", 403)
+
+    # -- routing -------------------------------------------------------------
+    def test_method_mismatch_is_404(self):
+        """Routes are keyed by (METHOD, path): POST to a GET route
+        misses, it is not a 405 — the API predates method negotiation."""
+        assert self.request("POST", "/public").status == 404
+
+    def test_lowercase_request_method_is_normalized(self):
+        """HttpRequest uppercases the verb, so 'get' still routes."""
+        assert self.request("get", "/public").status == 200
+
+    def test_unsupported_method_rejected_at_request_construction(self):
+        with pytest.raises(ValueError, match="unsupported HTTP method"):
+            HttpRequest("BREW", "/public")
+
+    # -- handler failures ----------------------------------------------------
+    def test_api_error_message_becomes_body(self):
+        def handler(request, token):
+            raise ApiError(409, "already exists")
+
+        self.api.add_route("POST", "/things", None, handler)
+        response = self.request("POST", "/things")
+        assert response.status == 409
+        assert response.body == "already exists"
+        assert self.api.request_log[-1] == ("POST", "/things", 409)
+
+    def test_unexpected_exception_propagates_to_caller(self):
+        """Only ApiError is translated; anything else is a programming
+        error and must surface loudly instead of becoming a quiet 500."""
+        def handler(request, token):
+            raise RuntimeError("boom")
+
+        self.api.add_route("GET", "/broken", None, handler)
+        with pytest.raises(RuntimeError, match="boom"):
+            self.request("GET", "/broken")
+        # The crash happens after auth: nothing was appended to the log.
+        assert ("GET", "/broken", 500) not in self.api.request_log
+
+    def test_denials_before_handler_never_invoke_it(self):
+        calls = []
+
+        def handler(request, token):
+            calls.append(1)
+            return "ran"
+
+        self.api.add_route("DELETE", "/guarded", Scope.ADMIN, handler)
+        self.request("DELETE", "/guarded")                  # 401
+        token = self.oauth.issue("alice", {Scope.READ_DEVICES})
+        self.request("DELETE", "/guarded", token)           # 403
+        assert calls == []
+        assert self.api.denied_requests == 2
