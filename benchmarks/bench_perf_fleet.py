@@ -144,6 +144,61 @@ def bench_fleet(n_homes: int, workers: int, duration_s: float,
     }
 
 
+def bench_worm_epoch_overhead(duration_s: float) -> dict:
+    """Epoch-barrier cost on single-home specs.
+
+    A 1-home spec with a cross-home attack takes the no-epoch fast path
+    in ``run_spec``; forcing the same spec through the lockstep engine
+    measures what the epoch machinery would cost if the fast-path
+    dispatch ever regressed.  Budget: <= 5% wall-clock overhead, and the
+    observations must be identical (chunked epoch advancement processes
+    exactly the same events as one straight run).
+    """
+    from repro.scenarios import AttackSpec, HomeSpec, ScenarioSpec
+    from repro.scenarios.exchange import run_exchange_spec
+    from repro.scenarios.spec import _cross_home_indices
+
+    def single_home_spec():
+        return ScenarioSpec(
+            name="epoch-overhead", seed=9, warmup_s=10.0,
+            duration_s=duration_s, homes=[HomeSpec()],
+            attacks=[AttackSpec(attack="wan-worm", home=0, at=5.0)],
+            epoch_s=30.0, collect_features=True)
+
+    def fast_path():
+        return run_spec(single_home_spec())
+
+    def epoch_engine():
+        spec = single_home_spec()
+        spec.validate()
+        return run_exchange_spec(spec,
+                                 cross_indices=_cross_home_indices(spec))
+
+    def best_of(fn, samples=3, batch=3):
+        """Best-of-N where each sample times a batch of runs: at the
+        millisecond scale of one home, single-run timings are noise."""
+        best, result = None, None
+        for _ in range(samples):
+            start = time.perf_counter()
+            for _ in range(batch):
+                result = fn()
+            elapsed = (time.perf_counter() - start) / batch
+            best = elapsed if best is None else min(best, elapsed)
+        return best, result
+
+    fast_s, fast = best_of(fast_path)
+    forced_s, forced = best_of(epoch_engine)
+    overhead_pct = 100.0 * (forced_s - fast_s) / fast_s if fast_s else 0.0
+    return {
+        "duration_s": duration_s,
+        "fast_path_s": round(fast_s, 4),
+        "epoch_engine_s": round(forced_s, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "threshold_pct": 5.0,
+        "identical": results_identical(fast, forced),
+    }
+
+
 def bench_scaling(n_homes: int, max_workers: int, duration_s: float,
                   infected_homes: tuple) -> list:
     """Same spec at a ladder of worker counts: the speedup curve.
@@ -211,6 +266,7 @@ def main(argv=None) -> int:
                              infected_homes=(0,)),
         "scaling": bench_scaling(args.homes, args.workers, args.duration,
                                  infected_homes=(0,)),
+        "worm_epoch_overhead": bench_worm_epoch_overhead(args.duration),
     }
 
     text = json.dumps(report, indent=2)
@@ -225,6 +281,10 @@ def main(argv=None) -> int:
         return 1
     if not report["fleet"]["clone_identical"]:
         print("ERROR: prototype-clone results differ from fresh builds",
+              file=sys.stderr)
+        return 1
+    if not report["worm_epoch_overhead"]["identical"]:
+        print("ERROR: epoch-engine results differ from the fast path",
               file=sys.stderr)
         return 1
     return 0

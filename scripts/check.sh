@@ -56,6 +56,34 @@ PY
 python -m repro --spec examples/specs/botnet.json
 
 echo
+echo "== cross-home worm fleet smoke check =="
+python - <<'PY'
+import json
+
+from repro.scenarios import ScenarioSpec, run_spec
+
+with open("examples/specs/worm_fleet.json") as handle:
+    spec = ScenarioSpec.from_dict(json.load(handle))
+spec.duration_s = 150.0            # smoke-sized slice of the example
+serial = run_spec(spec)
+par = run_spec(spec, workers=2)
+origin = spec.attacks[0].home
+infected_homes = {h.home_index for h in serial.homes if h.infected}
+beyond = infected_homes - {origin}
+assert len(beyond) >= 2, (
+    f"worm only reached {sorted(beyond)} beyond patient zero {origin}")
+assert serial.features == par.features \
+    and list(serial.features) == list(par.features), \
+    "serial and sharded worm runs diverged"
+assert serial.infected == par.infected
+assert [a.timestamp for a in serial.alerts] == \
+    [a.timestamp for a in par.alerts]
+print(f"worm fleet ok: patient zero home {origin} spread to "
+      f"{len(beyond)} other homes, serial == sharded")
+PY
+python -m repro --spec examples/specs/worm_fleet.json
+
+echo
 echo "== fault-injection scenario smoke check =="
 python -m repro --list-faults
 python - <<'PY'
@@ -170,9 +198,40 @@ assert fleet["cloned_homes"] == fleet["homes"], (
 assert fleet["clone_fallbacks"] == 0, (
     f"{fleet['clone_fallbacks']} clone fallbacks on the default "
     "topology — the snapshot path has regressed")
+# Epoch-exchange gate: the entry must exist, the forced epoch engine
+# must reproduce the fast path exactly, and stay within its budget.
+assert "worm_epoch_overhead" in report, \
+    "BENCH missing worm_epoch_overhead entry"
+epoch = report["worm_epoch_overhead"]
+assert epoch["identical"], \
+    "epoch-engine results differ from the single-home fast path"
+assert epoch["overhead_pct"] <= epoch["threshold_pct"], (
+    f"epoch-barrier overhead {epoch['overhead_pct']}% exceeds "
+    f"{epoch['threshold_pct']}% budget")
 print(f"fleet perf smoke ok: {fleet['homes_per_sec']} homes/s cloned "
       f"(fresh {fleet['fresh_homes_per_sec']} homes/s, clone speedup "
-      f"{fleet['clone_speedup']}x), identity checks green")
+      f"{fleet['clone_speedup']}x), identity checks green, epoch "
+      f"overhead {epoch['overhead_pct']}% (<= {epoch['threshold_pct']}%)")
+PY
+
+echo
+echo "== committed BENCH_fleet.json gate =="
+python - <<'PY'
+import json
+
+with open("BENCH_fleet.json") as handle:
+    report = json.load(handle)
+assert "worm_epoch_overhead" in report, (
+    "committed BENCH_fleet.json lacks the worm_epoch_overhead entry — "
+    "regenerate with benchmarks/bench_perf_fleet.py")
+assert report["worm_epoch_overhead"]["identical"], \
+    "committed BENCH records epoch/fast-path divergence"
+assert report["fleet"]["identical_results"], \
+    "committed BENCH records a serial/parallel identity regression"
+assert report["fleet"]["clone_identical"], \
+    "committed BENCH records a clone/fresh identity regression"
+print("committed BENCH_fleet.json ok: epoch-overhead entry present, "
+      "identity flags green")
 PY
 
 echo

@@ -191,11 +191,13 @@ def run_list_attacks(args) -> int:
     from repro.metrics import format_table
     from repro.scenarios import ATTACKS
 
-    rows = [[cls.name, "+".join(cls.surface_layers), cls.table_ii_row[0],
+    rows = [[cls.name,
+             "cross-home" if cls.cross_home else "home",
+             "+".join(cls.surface_layers), cls.table_ii_row[0],
              cls.table_ii_row[1]]
             for cls in ATTACKS.ordered()]
     print(format_table(
-        ["attack", "surface layers", "vulnerability (Table II)",
+        ["attack", "scope", "surface layers", "vulnerability (Table II)",
          "attack vector (Table II)"], rows,
         title=f"Attack registry ({len(rows)} registered)"))
     return 0

@@ -14,7 +14,7 @@ importing classes.  ``python -m repro --list-attacks`` prints the
 registry with each attack's surface layers and Table II row.
 """
 
-from repro.attacks.base import Attack, AttackOutcome, HomeLike
+from repro.attacks.base import Attack, AttackOutcome, FleetLike, HomeLike
 from repro.attacks.mirai import MiraiBotnet
 from repro.attacks.mitm import MitmCredentialTheft
 from repro.attacks.firmware import MaliciousOtaUpdate
@@ -28,9 +28,15 @@ from repro.attacks.web_exploit import WebCommandInjection
 from repro.attacks.overflow import BufferOverflowExploit
 from repro.attacks.rickroll import Rickrolling
 
+# Cross-home adversaries (fleet scope: instantiated in every home).
+from repro.attacks.worm import WanWorm
+from repro.attacks.fleet_ddos import FleetDdos
+from repro.attacks.adaptive import AdaptiveAttacker
+
 __all__ = [
     "Attack",
     "AttackOutcome",
+    "FleetLike",
     "HomeLike",
     "MiraiBotnet",
     "MitmCredentialTheft",
@@ -44,4 +50,7 @@ __all__ = [
     "WebCommandInjection",
     "BufferOverflowExploit",
     "Rickrolling",
+    "WanWorm",
+    "FleetDdos",
+    "AdaptiveAttacker",
 ]

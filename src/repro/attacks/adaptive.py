@@ -1,0 +1,211 @@
+"""Adaptive attacker: observes XLF's responses, switches tactics.
+
+The paper's response engine (quarantine at the gateway, kill the bot,
+close telnet) assumes a static adversary.  This one isn't: each epoch
+it inspects the world for evidence of mitigation — firewall blocks
+involving its traffic, its bot disinfected — and escalates down a
+tactic ladder, from a loud phase (plaintext C2 beacons plus a
+propagation scan, the classic bot signature XLF correlates) to a DNS
+tunnel to a low-and-slow encrypted trickle.  Tactic switches are
+broadcast over the exchange so the whole fleet campaign adapts
+together: once any home's XLF burns a tactic, every home abandons it
+at the next epoch boundary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.attacks.worm import _WanIngressNode
+from repro.scenarios.spec import register_attack
+from repro.device.device import IoTDevice
+from repro.device.os import DEFAULT_CREDENTIALS
+from repro.network.packet import Packet
+
+TACTICS = ("loud-c2", "dns-tunnel", "low-slow")
+
+
+@register_attack
+class AdaptiveAttacker(Attack):
+    """Escalating C2 campaign that reacts to blocks and quarantines."""
+
+    name = "adaptive-attacker"
+    cross_home = True
+    surface_layers = ("network", "service")
+    table_ii_row = (
+        "Static mitigation playbooks",
+        "Response-aware tactic switching (C2, DNS tunnel, low-and-slow)",
+        "Detection/mitigation outpaced by adaptation",
+    )
+
+    C2_ADDRESS = "198.18.0.77"
+    DNS_ADDRESS = "198.51.100.2"   # the public resolver (allowlisted)
+
+    def __init__(self, home, beacons_per_epoch: int = 6,
+                 credentials: int = 4):
+        super().__init__(home)
+        self.beacons_per_epoch = beacons_per_epoch
+        self.credentials = credentials
+        self.tactic = 0
+        self.switches = 0
+        self.blocked_observed = 0
+        self.replants = 0
+        self.beacons_sent = {tactic: 0 for tactic in TACTICS}
+        self.tactics_used: List[str] = []
+        self._blocked_seen = 0
+        self._bot_names: Set[str] = set()
+        self._burned: Set[str] = set()
+        self._planting = False
+        lan = next(iter(home.lan_links.values()))
+        self.ingress = _WanIngressNode(self.sim, name="adaptive-ingress")
+        self.ingress.add_interface(lan, home.gateway.assign_address())
+
+    # -- lifecycle ---------------------------------------------------------
+    def _launch(self) -> None:
+        self.fleet.on("tactic-advice", self._on_advice)
+        if self.is_origin:
+            self.sim.process(self._plant_bot(), name="adaptive:plant")
+        self.sim.process(self._campaign_loop(), name="adaptive:campaign")
+
+    def _plant_bot(self):
+        """Conscript the weakest still-vulnerable device on the LAN.
+
+        Re-entrant on purpose: when XLF burns a bot (disinfect + rotated
+        credentials + closed telnet), the campaign plants a fresh one on
+        a sibling device the response didn't harden.
+        """
+        if self._planting:
+            return
+        self._planting = True
+        try:
+            for device in list(self.home.devices):
+                if any(d.infected for d in self.home.devices):
+                    return
+                if device.name in self._burned:
+                    continue   # hardened by the response engine
+                for username, password in \
+                        DEFAULT_CREDENTIALS[:self.credentials]:
+                    self.ingress.send(Packet(
+                        src="", dst=device.address,
+                        sport=48102, dport=IoTDevice.TELNET_PORT,
+                        protocol="tcp", app_protocol="telnet",
+                        size_bytes=60,
+                        payload={"username": username, "password": password,
+                                 "action": "infect",
+                                 "payload": "adaptive-bot"},
+                    ))
+                    yield self.sim.timeout(0.2)
+                    if device.infected:
+                        return
+        finally:
+            self._planting = False
+
+    # -- the adaptive loop -------------------------------------------------
+    def _campaign_loop(self):
+        while True:
+            yield self.sim.timeout(self.fleet.epoch_s)
+            bots = sorted((d for d in self.home.devices if d.infected),
+                          key=lambda d: d.name)
+            if bots:
+                self._bot_names.update(d.name for d in bots)
+                tactic = TACTICS[self.tactic]
+                if not self.tactics_used or self.tactics_used[-1] != tactic:
+                    self.tactics_used.append(tactic)
+                self._beacon_burst(bots[0], tactic)
+            elif (self.is_origin and self._bot_names
+                  and not self._planting):
+                # The campaign had a foothold here and lost it: replant
+                # on a device the response engine didn't harden.
+                self.replants += 1
+                self.sim.process(self._plant_bot(),
+                                 name="adaptive:replant")
+            self._observe_and_adapt()
+
+    def _beacon_burst(self, device, tactic: str) -> None:
+        if tactic == "loud-c2":
+            # The loud phase also propagates: a telnet probe sweep over
+            # distinct LAN addresses — the scan pattern XLF's activity
+            # detector correlates with the C2 keywords into a
+            # botnet-infection alert.  The quieter tactics drop it.
+            for i in range(10):
+                device.send(Packet(
+                    src="", dst=f"10.0.0.{200 + i}", sport=31337,
+                    dport=IoTDevice.TELNET_PORT, protocol="tcp",
+                    app_protocol="telnet", size_bytes=60,
+                    payload={"username": "admin", "password": "admin"},
+                ))
+        for i in range(self.beacons_per_epoch if tactic != "low-slow"
+                       else 1):
+            if tactic == "loud-c2":
+                packet = Packet(
+                    src="", dst=self.C2_ADDRESS, sport=31337, dport=443,
+                    protocol="tcp", app_protocol="https", size_bytes=90,
+                    payload={"report":
+                             "adaptive loader beacon c2.evil attack ready"},
+                    encrypted=False,
+                )
+            elif tactic == "dns-tunnel":
+                packet = Packet(
+                    src="", dst=self.DNS_ADDRESS, sport=31337, dport=53,
+                    protocol="udp", app_protocol="dns", size_bytes=70,
+                    payload={"query":
+                             f"x{i:02d}.{device.name}.tunnel.example"},
+                    encrypted=False,
+                )
+            else:   # low-slow: one small encrypted packet per epoch
+                packet = Packet(
+                    src="", dst=self.C2_ADDRESS, sport=31337, dport=443,
+                    protocol="tcp", app_protocol="https", size_bytes=64,
+                    payload={"t": i},
+                    encrypted=True,
+                )
+            device.send(packet)
+            self.beacons_sent[tactic] += 1
+
+    def _observe_and_adapt(self) -> None:
+        """Epoch-boundary reconnaissance: did XLF push back?"""
+        gateway = self.home.gateway
+        fresh = gateway.blocked_packets[self._blocked_seen:]
+        self._blocked_seen = len(gateway.blocked_packets)
+        ours = sum(1 for packet in fresh
+                   if packet.dst == self.C2_ADDRESS
+                   or packet.src_device in self._bot_names)
+        burned = {name for name in sorted(self._bot_names)
+                  if name not in self._burned
+                  and not self.home.device(name).infected}
+        self._burned |= burned
+        if not ours and not burned:
+            return
+        self.blocked_observed += ours
+        if self.tactic < len(TACTICS) - 1:
+            self._adopt(self.tactic + 1)
+            if self.fleet.n_homes > 1:
+                self.fleet.broadcast("tactic-advice",
+                                     {"tactic": self.tactic})
+
+    def _adopt(self, tactic: int) -> None:
+        if tactic > self.tactic:
+            self.tactic = tactic
+            self.switches += 1
+
+    def _on_advice(self, message) -> None:
+        """A sibling home burned a tactic; abandon it here too."""
+        self._adopt(int(message.payload.get("tactic", 0)))
+
+    # -- ground truth ------------------------------------------------------
+    def outcome(self) -> AttackOutcome:
+        prefix = f"home{self.fleet.home_index:02d}/"
+        return AttackOutcome(
+            succeeded=any(self.beacons_sent.values()),
+            compromised_devices={prefix + name
+                                 for name in self._bot_names},
+            details={f"home{self.fleet.home_index:02d}": {
+                "tactics_used": list(self.tactics_used),
+                "switches": self.switches,
+                "blocked_observed": self.blocked_observed,
+                "replants": self.replants,
+                "burned_bots": sorted(self._burned),
+                "beacons_sent": dict(self.beacons_sent),
+            }},
+        )

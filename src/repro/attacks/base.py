@@ -46,6 +46,17 @@ class HomeLike(Protocol):
     def all_lan_links(self) -> List[Any]: ...
 
 
+@runtime_checkable
+class FleetLike(HomeLike, Protocol):
+    """A home embedded in a fleet: everything :class:`HomeLike` offers
+    plus a :class:`~repro.network.internet.WanExchangePort` for
+    cross-home WAN traffic.  The lockstep-epoch engine
+    (:mod:`repro.scenarios.exchange`) attaches the port as
+    ``home.fleet`` before any attack is constructed."""
+
+    fleet: Any                      # repro.network.internet.WanExchangePort
+
+
 @dataclass
 class AttackOutcome:
     """What the attack achieved, by its own ground truth."""
@@ -64,11 +75,34 @@ class Attack:
     surface_layers: Tuple[str, ...] = ()
     # The Table II row shape: (vulnerability, attack, impact).
     table_ii_row: Tuple[str, str, str] = ("", "", "")
+    # Registry scope flag: cross-home attacks are instantiated in EVERY
+    # fleet home (one instance per home, coordinating over the exchange
+    # port), not just the AttackSpec's target home — which becomes the
+    # attack's *origin* (patient zero, flood coordinator, ...).
+    cross_home: bool = False
 
     def __init__(self, home: HomeLike):
         self.home = home
         self.sim = home.sim
         self.launched_at: float = -1.0
+        # The exchange port (None outside a fleet context).  Cross-home
+        # attacks always get one: outside the epoch engine they fall
+        # back to a solo port so single-home specs run unchanged.
+        self.fleet = getattr(home, "fleet", None)
+        if self.cross_home and self.fleet is None:
+            from repro.network.internet import WanExchangePort
+            self.fleet = WanExchangePort(home_index=0, n_homes=1,
+                                         epoch_s=30.0)
+        # Which home the AttackSpec targeted; the scenario engine
+        # overwrites this before launch().  The origin instance drives
+        # the campaign; the others react to exchange messages.
+        self.origin_home: int = (self.fleet.home_index
+                                 if self.fleet is not None else 0)
+
+    @property
+    def is_origin(self) -> bool:
+        return (self.fleet is None
+                or self.fleet.home_index == self.origin_home)
 
     def launch(self) -> None:
         """Schedule the attack's behaviour; does not run the sim."""

@@ -1,0 +1,122 @@
+"""Coordinated fleet DDoS: the assembled botnet floods the cloud.
+
+The second act of the epidemic (§II): once homes hold bots (usually
+planted by :mod:`repro.attacks.worm` or a local Mirai run), the origin
+home broadcasts a ``ddos-order`` over the exchange and every home's
+bots flood their vendor cloud's device-ingest port in the same epoch —
+a synchronized, fleet-wide volumetric attack.
+
+The cloud must *degrade, not crash*: `CloudPlatform`'s ingest rate
+limiter sheds the excess, flips the platform into an overloaded state
+(REST API answers 503), and XLF surfaces the episode through the
+fault-aware correlator (service layer marked stale + an ingest-flood
+signal) until a quiet window clears it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.scenarios.spec import register_attack
+from repro.device.device import IoTDevice
+from repro.network.packet import Packet
+
+
+@register_attack
+class FleetDdos(Attack):
+    """Botnet flood against the vendor cloud, coordinated fleet-wide."""
+
+    name = "fleet-ddos"
+    cross_home = True
+    surface_layers = ("network", "service")
+    table_ii_row = (
+        "Unmetered device ingest + assembled botnet",
+        "Coordinated cross-home flood of the cloud platform",
+        "Platform overload: shed ingest, 503 APIs",
+    )
+
+    def __init__(self, home, start_after_s: float = 90.0,
+                 rate_pps: float = 80.0, duration_s: float = 45.0):
+        super().__init__(home)
+        self.start_after_s = start_after_s
+        self.rate_pps = rate_pps
+        self.duration_s = duration_s
+        self.packets_sent = 0
+        self.orders_received = 0
+        self._flooding = False
+        self._bots_used: List[str] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def _launch(self) -> None:
+        self.fleet.on("ddos-order", self._on_order)
+        if self.is_origin:
+            self.sim.call_in(self.start_after_s, self._issue_order)
+
+    def _issue_order(self) -> None:
+        """Origin: broadcast the order, then join the flood itself."""
+        params = {"rate_pps": self.rate_pps, "duration_s": self.duration_s}
+        self.fleet.broadcast("ddos-order", params)
+        self._start_flood(params)
+
+    def _on_order(self, message) -> None:
+        self.orders_received += 1
+        self._start_flood(message.payload)
+
+    # -- the flood ---------------------------------------------------------
+    def _start_flood(self, params: dict) -> None:
+        if self._flooding:
+            return
+        self._flooding = True
+        # The order stays standing for its whole window: a home whose
+        # bots arrive late (the worm is still spreading) joins the
+        # flood as soon as it is conscripted, for the time remaining.
+        end = self.sim.now + float(params.get("duration_s",
+                                              self.duration_s))
+        self.sim.process(self._await_bots(params, end), name="ddos:await")
+
+    def _await_bots(self, params: dict, end: float):
+        while self.sim.now < end:
+            bots = [d for d in self.home.devices if d.infected]
+            if bots:
+                self._bots_used = [d.name for d in bots]
+                for device in bots:
+                    self.sim.process(self._flood(device, params, end),
+                                     name=f"ddos:{device.name}")
+                return
+            yield self.sim.timeout(5.0)
+
+    def _flood(self, device, params: dict, end: float):
+        rate = float(params.get("rate_pps", self.rate_pps))
+        interval = 1.0 / rate
+        while self.sim.now < end and device.infected:
+            # Junk telemetry at the real ingest port: it passes the
+            # cloud's handler lookup and burns admission-control budget
+            # exactly like legitimate traffic would.
+            device.send(Packet(
+                src="", dst=device.cloud_address,
+                sport=31337, dport=IoTDevice.CLOUD_PORT,
+                protocol="tcp", app_protocol="mqtt", size_bytes=512,
+                payload={"device_id": device.device_id, "kind": "telemetry",
+                         "state": "", "readings": {}},
+                encrypted=False,
+            ))
+            self.packets_sent += 1
+            yield self.sim.timeout(interval)
+
+    # -- ground truth ------------------------------------------------------
+    def outcome(self) -> AttackOutcome:
+        cloud = self.home.cloud
+        prefix = f"home{self.fleet.home_index:02d}/"
+        return AttackOutcome(
+            succeeded=cloud.rate_limited_packets > 0,
+            compromised_devices={prefix + name
+                                 for name in self._bots_used},
+            details={f"home{self.fleet.home_index:02d}": {
+                "orders_received": self.orders_received,
+                "packets_sent": self.packets_sent,
+                "bots": sorted(self._bots_used),
+                "rate_limited": cloud.rate_limited_packets,
+                "overloaded_now": cloud.overloaded,
+            }},
+        )

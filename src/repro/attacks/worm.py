@@ -1,0 +1,144 @@
+"""WAN worm: epidemic cross-home spread over the fleet exchange.
+
+The paper's motivating threat (§II, Mirai) is epidemic — infections
+spread *between* homes, not just within one.  This attack instantiates
+in every fleet home (``cross_home=True``): the origin home is patient
+zero and dictionary-infects its own LAN; every home with live bots
+then picks fan-out targets each epoch and sends them ``worm-probe``
+messages over the WAN exchange.  A probed home replays the dictionary
+scan from a WAN-ingress node on its own LAN — traffic XLF's network
+layer sees exactly like a local Mirai foothold scan.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.attacks.base import Attack, AttackOutcome
+from repro.scenarios.spec import register_attack
+from repro.device.device import IoTDevice
+from repro.device.os import DEFAULT_CREDENTIALS
+from repro.network.node import Node
+from repro.network.packet import Packet
+
+
+class _WanIngressNode(Node):
+    """Where WAN-originated attack traffic enters a home's LAN; records
+    telnet replies like the Mirai foothold does."""
+
+    def __init__(self, sim, name="wan-ingress"):
+        super().__init__(sim, name)
+        self.successful_logins: Set[str] = set()
+
+    def handle_packet(self, packet, interface):
+        payload = packet.payload
+        if isinstance(payload, dict) and payload.get("login") == "ok":
+            self.successful_logins.add(packet.src)
+
+
+@register_attack
+class WanWorm(Attack):
+    """worm_spread: infected homes scan and infect other fleet homes."""
+
+    name = "wan-worm"
+    cross_home = True
+    surface_layers = ("device", "network")
+    table_ii_row = (
+        "Default credentials + WAN-reachable telnet",
+        "Epidemic cross-home scan and infect",
+        "Whole-fleet botnet assembly",
+    )
+
+    def __init__(self, home, scan_interval_s: float = 0.5,
+                 fanout: int = 2, credentials: int = 4):
+        super().__init__(home)
+        self.scan_interval_s = scan_interval_s
+        self.fanout = fanout
+        self.credentials = credentials
+        self.probes_sent = 0
+        self.probes_received = 0
+        self.first_infection_at: float = -1.0
+        self._scanning = False
+        self._ever_infected: Set[str] = set()
+        lan = next(iter(home.lan_links.values()))
+        self.ingress = _WanIngressNode(self.sim)
+        self.ingress.add_interface(lan, home.gateway.assign_address())
+
+    # -- lifecycle ---------------------------------------------------------
+    def _launch(self) -> None:
+        self.fleet.on("worm-probe", self._on_probe)
+        if self.is_origin:
+            self.sim.process(self._dictionary_scan(),
+                             name="worm:patient-zero")
+        self.sim.process(self._spread_loop(), name="worm:spread")
+
+    # -- local infection ---------------------------------------------------
+    def _dictionary_scan(self):
+        """Walk the LAN from the ingress node, trying default creds."""
+        if self._scanning:
+            return
+        self._scanning = True
+        try:
+            for device in list(self.home.devices):
+                for username, password in \
+                        DEFAULT_CREDENTIALS[:self.credentials]:
+                    self.ingress.send(Packet(
+                        src="", dst=device.address,
+                        sport=48101, dport=IoTDevice.TELNET_PORT,
+                        protocol="tcp", app_protocol="telnet",
+                        size_bytes=60,
+                        payload={"username": username, "password": password,
+                                 "action": "infect", "payload": "wan-worm"},
+                    ))
+                    yield self.sim.timeout(self.scan_interval_s)
+        finally:
+            self._scanning = False
+
+    def _on_probe(self, message) -> None:
+        """A WAN probe from an infected sibling home."""
+        self.probes_received += 1
+        if any(device.infected for device in self.home.devices):
+            return   # already conscripted; no point re-scanning
+        self.sim.process(self._dictionary_scan(),
+                         name=f"worm:probe-{message.src_home:02d}")
+
+    # -- cross-home spread -------------------------------------------------
+    def _spread_loop(self):
+        """Each epoch, homes with live bots probe fan-out targets."""
+        rng = self.sim.rng.stream("worm:targets")
+        others = [h for h in range(self.fleet.n_homes)
+                  if h != self.fleet.home_index]
+        while True:
+            yield self.sim.timeout(self.fleet.epoch_s)
+            infected = [d for d in self.home.devices if d.infected]
+            for device in infected:
+                if self.first_infection_at < 0:
+                    self.first_infection_at = self.sim.now
+                self._ever_infected.add(device.name)
+            if not infected or not others:
+                continue
+            targets = sorted(rng.sample(others,
+                                        min(self.fanout, len(others))))
+            for target in targets:
+                self.fleet.send(target, "worm-probe", {
+                    "bots": len(infected),
+                    "payload": "wan-worm",
+                })
+                self.probes_sent += 1
+
+    # -- ground truth ------------------------------------------------------
+    def outcome(self) -> AttackOutcome:
+        prefix = f"home{self.fleet.home_index:02d}/"
+        still_infected = {d.name for d in self.home.devices if d.infected}
+        ever = self._ever_infected | still_infected
+        return AttackOutcome(
+            succeeded=bool(ever),
+            compromised_devices={prefix + name for name in ever},
+            details={f"home{self.fleet.home_index:02d}": {
+                "probes_sent": self.probes_sent,
+                "probes_received": self.probes_received,
+                "logins": sorted(self.ingress.successful_logins),
+                "still_infected": sorted(still_infected),
+                "first_infection_at": self.first_infection_at,
+            }},
+        )

@@ -155,6 +155,12 @@ class CrossLayerCorrelator:
         self.alert_on_severity = alert_on_severity
         self.alerts: List[Alert] = []
         self._last_alert: Dict[Tuple[str, str], float] = {}
+        # Correlator-local id allocator: ids restart at 1 per instance,
+        # so a run's alert ids depend only on the run — never on how
+        # many alerts earlier runs in the same process produced (the
+        # process-global fallback in signals.py is an artifact of
+        # process history and would break serial/forked byte-identity).
+        self._next_alert_id = 1
         bus.subscribe(self._on_signal)
 
     def _on_signal(self, signal: SecuritySignal) -> None:
@@ -218,6 +224,8 @@ class CrossLayerCorrelator:
                     "core.alerts_suppressed", category=alert.category).inc()
             return
         self._last_alert[key] = alert.timestamp
+        alert.alert_id = self._next_alert_id
+        self._next_alert_id += 1
         self.alerts.append(alert)
         if _telemetry.ENABLED:
             registry = _telemetry.registry()

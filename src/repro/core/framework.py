@@ -29,7 +29,13 @@ from repro.core.bus import CoreBus
 from repro.core.correlator import CrossLayerCorrelator
 from repro.core.plugin import REGISTRY, SecurityFunction, load_builtin_functions
 from repro.core.policy import TokenLifetimePolicy
-from repro.core.signals import Alert, Layer, SecuritySignal
+from repro.core.signals import (
+    Alert,
+    Layer,
+    SecuritySignal,
+    Severity,
+    SignalType,
+)
 from repro.device.device import IoTDevice
 from repro.network.gateway import Gateway
 from repro.network.internet import PUBLIC_DNS_ADDRESS
@@ -152,6 +158,12 @@ class XLF:
             if cls.name in disabled:
                 continue
             self._attach(cls)
+        # DDoS degradation feeds the fault-aware correlator: while the
+        # cloud sheds load, the service layer's signals are stale (the
+        # platform is dropping the very ingest those functions watch),
+        # and the overload itself is a service-layer observation.
+        if hasattr(self.cloud, "overload_listeners"):
+            self.cloud.overload_listeners.append(self._on_cloud_overload)
         self._installed = True
         self._ensure_audit_loop()
 
@@ -160,10 +172,28 @@ class XLF:
         link observer lists to their pre-install state."""
         if not self._installed:
             return
+        if (hasattr(self.cloud, "overload_listeners")
+                and self._on_cloud_overload in self.cloud.overload_listeners):
+            self.cloud.overload_listeners.remove(self._on_cloud_overload)
         for name in reversed(list(self._attachments)):
             self._detach(name)
         self._stop_audit_loop()
         self._installed = False
+
+    def _on_cloud_overload(self, overloaded: bool) -> None:
+        """Cloud rate-limiter transition: stale-mark the service layer
+        while load shedding lasts, and report the overload itself so
+        the correlator can corroborate the network layer's flood view."""
+        if overloaded:
+            self.bus.mark_layer_stale(Layer.SERVICE)
+            self.bus.report(SecuritySignal.make(
+                Layer.SERVICE, SignalType.TELEMETRY_ANOMALY,
+                source="ingest-rate-limit", device="",
+                timestamp=self.sim.now, severity=Severity.CRITICAL,
+                reason="ingest-flood",
+                rate_limit_pps=self.cloud.ingest_rate_limit_pps))
+        else:
+            self.bus.mark_layer_fresh(Layer.SERVICE)
 
     def set_layer_enabled(self, layer: Layer, enabled: bool) -> None:
         """Runtime reconfiguration: toggle one layer's functions mid-run.

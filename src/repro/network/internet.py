@@ -1,9 +1,20 @@
-"""The WAN fabric: a link connecting gateways, clouds, and public DNS."""
+"""The WAN fabric: a link connecting gateways, clouds, and public DNS.
+
+Also home to the cross-home exchange primitives: each home in a fleet
+is an independent simulator, so WAN traffic *between* homes cannot ride
+an ordinary :class:`~repro.network.node.Link`.  Instead an attack (or
+any other cross-home actor) posts :class:`CrossHomeMessage`s to its
+home's :class:`WanExchangePort`; the lockstep-epoch engine
+(:mod:`repro.scenarios.exchange`) drains every home's outbox at each
+epoch boundary, routes the messages in a deterministic global order,
+and delivers them into the destination homes before the next epoch.
+"""
 
 from __future__ import annotations
 
 import itertools
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.network.dns import DnsServer
 from repro.network.links import get_link_technology
@@ -11,6 +22,104 @@ from repro.network.node import Link, Node
 from repro.sim import Simulator
 
 _public_hosts = itertools.count(10)
+
+
+class ExchangeError(RuntimeError):
+    """Raised for invalid cross-home sends (bad destination, self-send)."""
+
+
+@dataclass
+class CrossHomeMessage:
+    """One WAN datagram between fleet homes.
+
+    Deliberately plain data (picklable, no node/sim handles) so it can
+    cross process boundaries between forked shards.  Identity is the
+    triple ``(epoch, src_home, seq)`` — ``seq`` is the *sending home's*
+    local send counter, never a process-global id, so two runs of the
+    same spec produce byte-identical messages regardless of what else
+    the process simulated before (the same discipline that keeps
+    ``Alert.alert_id`` out of served observation payloads).
+    """
+
+    kind: str
+    src_home: int
+    dst_home: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0        # per-home send counter, assigned by the port
+    epoch: int = -1     # stamped when the engine drains the epoch
+
+    def sort_key(self):
+        """The deterministic global routing order."""
+        return (self.epoch, self.src_home, self.seq)
+
+
+class WanExchangePort:
+    """One home's window onto the fleet WAN.
+
+    Sends buffer into an outbox the epoch engine drains at each epoch
+    boundary; deliveries dispatch to kind-keyed handlers registered with
+    :meth:`on`.  A port is process-local (handlers are closures) and is
+    never pickled; all its counters start at zero per run.
+    """
+
+    def __init__(self, home_index: int, n_homes: int, epoch_s: float):
+        self.home_index = home_index
+        self.n_homes = n_homes
+        self.epoch_s = epoch_s
+        self.sent = 0
+        self.delivered = 0
+        self.unhandled = 0
+        self._seq = 0
+        self._outbox: List[CrossHomeMessage] = []
+        self._handlers: Dict[str, List[Callable[[CrossHomeMessage], None]]] = {}
+
+    # -- sending -----------------------------------------------------------
+    def send(self, dst_home: int, kind: str,
+             payload: Optional[Dict[str, Any]] = None) -> CrossHomeMessage:
+        """Queue one message for the next epoch boundary."""
+        if not 0 <= dst_home < self.n_homes:
+            raise ExchangeError(
+                f"dst_home {dst_home} out of range (fleet has "
+                f"{self.n_homes} homes)")
+        if dst_home == self.home_index:
+            raise ExchangeError("cross-home send to own home")
+        message = CrossHomeMessage(
+            kind=kind, src_home=self.home_index, dst_home=dst_home,
+            payload=dict(payload or {}), seq=self._seq)
+        self._seq += 1
+        self.sent += 1
+        self._outbox.append(message)
+        return message
+
+    def broadcast(self, kind: str,
+                  payload: Optional[Dict[str, Any]] = None,
+                  ) -> List[CrossHomeMessage]:
+        """Send to every other home, in home-index order."""
+        return [self.send(dst, kind, payload)
+                for dst in range(self.n_homes) if dst != self.home_index]
+
+    def drain(self, epoch: int) -> List[CrossHomeMessage]:
+        """Hand the epoch's outbox to the engine, stamping the epoch."""
+        messages, self._outbox = self._outbox, []
+        for message in messages:
+            message.epoch = epoch
+        return messages
+
+    # -- receiving ---------------------------------------------------------
+    def on(self, kind: str,
+           handler: Callable[[CrossHomeMessage], None]) -> None:
+        """Register a handler for one message kind (handlers stack)."""
+        self._handlers.setdefault(kind, []).append(handler)
+
+    def deliver(self, message: CrossHomeMessage) -> None:
+        """Dispatch one routed message (engine calls, in global order)."""
+        self.delivered += 1
+        handlers = self._handlers.get(message.kind)
+        if not handlers:
+            self.unhandled += 1
+            return
+        for handler in list(handlers):
+            handler(message)
 
 # The well-known public resolver address (the 198.51.100.0/24 TEST-NET-2
 # block).  Shared with the framework's allowlists: public DNS is always a

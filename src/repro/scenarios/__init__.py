@@ -16,11 +16,13 @@ from repro.scenarios.spec import (
 )
 from repro.scenarios.fleet import FleetResult, fleet_spec, run_fleet
 from repro.scenarios.parallel import run_fleet as run_fleet_parallel
+from repro.scenarios.exchange import run_exchange_spec
 from repro.faults import FAULTS, FaultEvent, FaultSpec, register_fault
 
 __all__ = ["SmartHome", "SmartHomeConfig", "ResidentActivity",
            "ATTACKS", "AttackSpec", "DeviceEntry", "HomeSpec",
            "ScenarioResult", "ScenarioSpec", "SpecError",
            "load_builtin_attacks", "register_attack", "run_spec",
+           "run_exchange_spec",
            "FAULTS", "FaultEvent", "FaultSpec", "register_fault",
            "FleetResult", "fleet_spec", "run_fleet", "run_fleet_parallel"]

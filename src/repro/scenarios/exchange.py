@@ -1,0 +1,389 @@
+"""Lockstep-epoch fleet engine: cross-home exchange, deterministically.
+
+Cross-home attacks (worm spread, coordinated DDoS, adaptive campaigns)
+break the one-home-at-a-time fleet model: home 3's next epoch depends
+on what home 0 sent it.  This engine advances *every* home by a fixed
+sim-time epoch, drains each home's
+:class:`~repro.network.internet.WanExchangePort` outbox at the barrier,
+routes the messages in one deterministic global order — sorted by
+``(epoch, src_home, seq)`` — and injects them into their destination
+homes before the next epoch begins.
+
+Determinism contract (what the tests pin down):
+
+* **Serial == parallel == any shard layout.**  Routing happens in the
+  parent in every mode; each home is an independent simulator seeded
+  from ``spec.seed + index`` whose inputs are exactly its epoch-bounded
+  inbound message lists.  Shards are pure transport.
+* **Crash recovery is replay, not retry-with-drift.**  The parent
+  journals every epoch's routed inbound per home, so when a forked
+  shard dies its homes are rebuilt in-process and *replayed* through
+  the journal — regenerating the lost epoch's outbound bit-for-bit —
+  then the lockstep continues.  Homes that lived through a replay are
+  flagged ``degraded`` exactly like the fast path's worker-retry.
+* **Single-home specs never come here** — ``run_spec`` dispatches to
+  this engine only when a multi-home spec schedules a cross-home
+  attack; everything else stays on the no-epoch fast path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.network.internet import CrossHomeMessage, WanExchangePort
+from repro.scenarios.prototype import PROTOTYPES
+from repro.scenarios.spec import (
+    HomeRunResult,
+    ScenarioResult,
+    ScenarioSpec,
+    SpecError,
+    _finalise_home_telemetry,
+    _HomeExecution,
+    _merge_home,
+    fork_available,
+)
+from repro import telemetry as _telemetry
+from repro.telemetry import MetricsRegistry
+
+# One epoch's routed traffic: destination home -> ordered message list.
+Inbound = Dict[int, List[CrossHomeMessage]]
+# One home's epoch output: (drained outbox, infected-device count).
+EpochOutput = Tuple[List[CrossHomeMessage], int]
+
+
+class ShardCrash(RuntimeError):
+    """A forked shard died or reported a failure mid-epoch."""
+
+
+def _epoch_boundaries(spec: ScenarioSpec) -> List[float]:
+    """Absolute sim times every home advances to, epoch by epoch.
+
+    The last boundary is exactly ``warmup_s + duration_s`` (no float
+    accumulation past the end), and the list is computed from the spec
+    alone so every shard — and every crash replay — sees identical
+    boundaries.
+    """
+    end = spec.warmup_s + spec.duration_s
+    boundaries: List[float] = []
+    t = spec.warmup_s
+    while True:
+        t += spec.epoch_s
+        if t >= end - 1e-9:
+            boundaries.append(end)
+            return boundaries
+        boundaries.append(t)
+
+
+class _EpochShard:
+    """A set of homes advanced in lockstep inside one process.
+
+    Used three ways: as the single serial shard, as the body of a
+    forked shard process, and as the in-parent replacement that replays
+    a crashed shard's homes from the inbound journal.
+    """
+
+    def __init__(self, spec: ScenarioSpec, indices: List[int]):
+        self.spec = spec
+        self.indices = list(indices)
+        self._boundaries = _epoch_boundaries(spec)
+        self._execs: Dict[int, _HomeExecution] = {}
+        self._locals: Dict[int, Optional[MetricsRegistry]] = {}
+
+    def prepare(self) -> None:
+        for index in self.indices:
+            local = MetricsRegistry() if _telemetry.ENABLED else None
+            port = WanExchangePort(index, len(self.spec.homes),
+                                   self.spec.epoch_s)
+            execution = _HomeExecution(self.spec, index, port=port,
+                                       registry=local)
+            execution.arm()
+            self._execs[index] = execution
+            self._locals[index] = local
+
+    def advance(self, epoch: int, inbound: Inbound) -> Dict[int, EpochOutput]:
+        """Deliver the epoch's inbound, run to the boundary, drain."""
+        until = self._boundaries[epoch]
+        outputs: Dict[int, EpochOutput] = {}
+        for index in self.indices:
+            execution = self._execs[index]
+            for message in inbound.get(index, ()):
+                execution.deliver(message)
+            execution.advance(until)
+            outputs[index] = (execution.drain(epoch),
+                              execution.infected_count())
+        return outputs
+
+    def finish(self) -> List[HomeRunResult]:
+        results = []
+        for index in self.indices:
+            execution = self._execs[index]
+            result, end_time = execution.finish()
+            local = self._locals[index]
+            if local is not None:
+                _finalise_home_telemetry(result, local, end_time)
+            results.append(result)
+        return results
+
+
+# Test seam: called in the forked shard process before each epoch's
+# advance.  Resilience tests monkeypatch this (the patch rides into the
+# shard via fork) to kill a shard mid-fleet; the in-parent replay path
+# bypasses it, mirroring spec._worker_crash_hook.
+def _shard_crash_hook(epoch: int, indices: List[int]) -> None:
+    return None
+
+
+def _shard_main(spec: ScenarioSpec, indices: List[int], conn) -> None:
+    """Forked shard body: a request/reply loop over one pipe."""
+    try:
+        shard = _EpochShard(spec, indices)
+        shard.prepare()
+        while True:
+            request = conn.recv()
+            if request[0] == "advance":
+                _, epoch, inbound = request
+                _shard_crash_hook(epoch, indices)
+                conn.send(("out", shard.advance(epoch, inbound)))
+            elif request[0] == "finish":
+                conn.send(("results", shard.finish()))
+                return
+    except EOFError:
+        return
+    except BaseException as exc:  # surface the failure; parent replays
+        try:
+            conn.send(("error", repr(exc)))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+class _ForkedShard:
+    """Parent-side handle driving one forked :class:`_EpochShard`."""
+
+    def __init__(self, context, spec: ScenarioSpec, indices: List[int]):
+        self.indices = list(indices)
+        self._conn, child_conn = context.Pipe()
+        self.process = context.Process(
+            target=_shard_main, args=(spec, self.indices, child_conn))
+        self.process.start()
+        child_conn.close()
+
+    def _request(self, message, expected: str):
+        try:
+            self._conn.send(message)
+            reply = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ShardCrash(
+                f"shard {self.indices} died mid-exchange") from exc
+        if reply[0] != expected:
+            raise ShardCrash(f"shard {self.indices} failed: {reply[1]}")
+        return reply[1]
+
+    def advance(self, epoch: int, inbound: Inbound) -> Dict[int, EpochOutput]:
+        return self._request(("advance", epoch, inbound), "out")
+
+    def finish(self) -> List[HomeRunResult]:
+        return self._request(("finish",), "results")
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=10)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=10)
+
+
+class _LocalShard:
+    """Uniform handle around an in-parent :class:`_EpochShard` (serial
+    mode and crash replays); never calls the crash hook."""
+
+    def __init__(self, spec: ScenarioSpec, indices: List[int]):
+        self.indices = list(indices)
+        self._shard = _EpochShard(spec, indices)
+        self._shard.prepare()
+
+    def advance(self, epoch: int, inbound: Inbound) -> Dict[int, EpochOutput]:
+        return self._shard.advance(epoch, inbound)
+
+    def finish(self) -> List[HomeRunResult]:
+        return self._shard.finish()
+
+    def close(self) -> None:
+        return None
+
+
+def _shard_layout(n_homes: int, workers: int) -> List[List[int]]:
+    """Contiguous near-equal blocks, one per worker (results are
+    layout-independent — tests run several layouts to prove it)."""
+    n_shards = min(workers, n_homes)
+    layout = []
+    for shard in range(n_shards):
+        start = shard * n_homes // n_shards
+        stop = (shard + 1) * n_homes // n_shards
+        layout.append(list(range(start, stop)))
+    return layout
+
+
+def _replay_shard(spec: ScenarioSpec, indices: List[int],
+                  journal: List[Inbound], upto_epoch: int,
+                  ) -> Tuple[_LocalShard, Dict[int, EpochOutput]]:
+    """Rebuild a crashed shard's homes in-parent and replay them
+    through the journalled inbound up to (and including) ``upto_epoch``.
+
+    Replay is deterministic — the journal holds every input the lost
+    homes ever consumed — so the returned epoch output is bit-for-bit
+    what the dead shard would have produced.
+    """
+    if _telemetry.ENABLED:
+        _telemetry.registry().counter(
+            "fleet.shard_replays",
+            homes=",".join(f"{i:02d}" for i in indices)).inc()
+    replacement = _LocalShard(spec, indices)
+    outputs: Dict[int, EpochOutput] = {}
+    for epoch in range(upto_epoch + 1):
+        inbound = {index: journal[epoch].get(index, [])
+                   for index in indices}
+        outputs = replacement.advance(epoch, inbound)
+    return replacement, outputs
+
+
+def run_exchange_spec(spec: ScenarioSpec,
+                      workers: Optional[int] = 1,
+                      max_home_retries: int = 3,
+                      retry_backoff_s: float = 0.05,
+                      on_home: Optional[Callable[[HomeRunResult], None]] = None,
+                      cross_indices: Set[int] = frozenset(),
+                      ) -> ScenarioResult:
+    """Run a multi-home spec with cross-home attacks in lockstep epochs.
+
+    Called by :func:`repro.scenarios.spec.run_spec` — not directly —
+    whenever a multi-home spec schedules a cross-home attack.  The
+    signature mirrors ``run_spec``; ``max_home_retries`` and
+    ``retry_backoff_s`` are accepted for parity but crash recovery here
+    is journal replay (deterministic, in-parent) rather than blind
+    retry, so they are not consulted.
+    """
+    n_homes = len(spec.homes)
+    boundaries = _epoch_boundaries(spec)
+    n_epochs = len(boundaries)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = min(workers, n_homes)
+    parallel = workers > 1 and fork_available()
+
+    fleet_registry = MetricsRegistry() if _telemetry.ENABLED else None
+
+    if parallel:
+        # Warm the prototype cache before forking so snapshots ride into
+        # the shards via copy-on-write pages (same as the fast path).
+        if PROTOTYPES.enabled:
+            for home_spec in spec.homes:
+                PROTOTYPES.warm(home_spec)
+        context = multiprocessing.get_context("fork")
+        shards = [_ForkedShard(context, spec, indices)
+                  for indices in _shard_layout(n_homes, workers)]
+    else:
+        shards = [_LocalShard(spec, list(range(n_homes)))]
+
+    replayed: Set[int] = set()
+    # journal[e][home] = the messages routed *into* home at epoch e's
+    # start; epoch 0 has no inbound.  This is both the router's working
+    # state and the crash-replay source of truth.
+    journal: List[Inbound] = []
+    pending: Inbound = {}
+    try:
+        for epoch in range(n_epochs):
+            inbound, pending = pending, {}
+            journal.append(inbound)
+            outputs: Dict[int, EpochOutput] = {}
+            for position, shard in enumerate(shards):
+                shard_inbound = {index: inbound[index]
+                                 for index in shard.indices
+                                 if index in inbound}
+                try:
+                    outputs.update(shard.advance(epoch, shard_inbound))
+                except ShardCrash:
+                    if _telemetry.ENABLED:
+                        _telemetry.registry().counter(
+                            "fleet.shard_failures").inc()
+                    shard.close()
+                    replacement, replayed_out = _replay_shard(
+                        spec, shard.indices, journal, epoch)
+                    shards[position] = replacement
+                    replayed.update(shard.indices)
+                    outputs.update(replayed_out)
+            # Deterministic global routing order: every home's outbox,
+            # sorted by (epoch, src_home, seq).  Sends of this epoch all
+            # carry the same epoch stamp, so this is src-home-major,
+            # send-order-minor — independent of shard layout and of
+            # which shard replied first.
+            messages: List[CrossHomeMessage] = []
+            for index in sorted(outputs):
+                messages.extend(outputs[index][0])
+            messages.sort(key=CrossHomeMessage.sort_key)
+            for message in messages:
+                pending.setdefault(message.dst_home, []).append(message)
+            if fleet_registry is not None:
+                fleet_registry.counter("fleet.epochs").inc()
+                for message in messages:
+                    fleet_registry.counter("fleet.exchange_messages",
+                                           kind=message.kind).inc()
+                fleet_registry.gauge(
+                    "fleet.infected_devices", epoch=f"{epoch:03d}").set(
+                    sum(infected for _, infected in outputs.values()))
+
+        # Messages emitted during the final epoch have no next boundary
+        # to deliver at; count them rather than dropping silently.
+        dropped = sum(len(batch) for batch in pending.values())
+        if fleet_registry is not None and dropped:
+            fleet_registry.counter("fleet.exchange_dropped").inc(dropped)
+
+        homes_by_index: Dict[int, HomeRunResult] = {}
+        for position, shard in enumerate(shards):
+            try:
+                results = shard.finish()
+            except ShardCrash:
+                if _telemetry.ENABLED:
+                    _telemetry.registry().counter(
+                        "fleet.shard_failures").inc()
+                shard.close()
+                replacement, _ = _replay_shard(
+                    spec, shard.indices, journal, n_epochs - 1)
+                shards[position] = replacement
+                replayed.update(shard.indices)
+                results = replacement.finish()
+            for home in results:
+                homes_by_index[home.home_index] = home
+    finally:
+        for shard in shards:
+            shard.close()
+
+    result = ScenarioResult(spec=spec, features={}, device_types={},
+                            infected=set(), outcomes=[], alerts=[])
+    outcomes: Dict[int, object] = {}
+    for index in range(n_homes):
+        home = homes_by_index.get(index)
+        if home is None:
+            raise SpecError(f"home {index} produced no result "
+                            "(shard lost and replay failed)")
+        if index in replayed:
+            home.degraded = True
+        _merge_home(result, home, outcomes, cross_indices)
+        if on_home is not None:
+            on_home(home)
+    result.outcomes = [outcomes.get(i) for i in range(len(spec.attacks))]
+    if fleet_registry is not None:
+        if result.telemetry is None:
+            result.telemetry = MetricsRegistry()
+        result.telemetry.merge(fleet_registry)
+    if result.telemetry is not None:
+        # Fold into the process registry so CLI --telemetry exports see
+        # exchange runs too (same contract as the fast path).
+        _telemetry.registry().merge(result.telemetry)
+    return result

@@ -57,6 +57,7 @@ from repro.core.signals import Alert, Layer
 from repro.device.device import Vulnerabilities
 from repro.faults import FAULTS, FaultError, FaultEvent, FaultInjector, FaultSpec
 from repro.network.dns import DnsMode
+from repro.network.internet import CrossHomeMessage, WanExchangePort
 from repro.scenarios.prototype import PROTOTYPES
 from repro.scenarios.smarthome import SmartHomeConfig
 from repro.scenarios.workloads import ResidentActivity
@@ -263,6 +264,10 @@ class ScenarioSpec:
     seed: int = 0                          # home i simulates with seed + i
     warmup_s: float = 5.0                  # DNS resolution + cloud pairing
     duration_s: float = 300.0              # simulated seconds after warmup
+    # Lockstep-epoch length for cross-home exchange (simulated seconds).
+    # Only consulted when the spec schedules a cross-home attack across
+    # multiple homes; single-home specs stay on the no-epoch fast path.
+    epoch_s: float = 30.0
     collect_features: bool = False         # fleet-style behaviour vectors
 
     def spec_hash(self) -> str:
@@ -282,6 +287,7 @@ class ScenarioSpec:
             "seed": self.seed,
             "warmup_s": self.warmup_s,
             "duration_s": self.duration_s,
+            "epoch_s": self.epoch_s,
             "collect_features": self.collect_features,
         }
 
@@ -289,7 +295,7 @@ class ScenarioSpec:
     def from_dict(data: Dict[str, Any]) -> "ScenarioSpec":
         data = _take("scenario", data, {
             "name", "homes", "attacks", "faults", "xlf", "seed", "warmup_s",
-            "duration_s", "collect_features"})
+            "duration_s", "epoch_s", "collect_features"})
         spec = ScenarioSpec(
             name=data.get("name", "scenario"),
             homes=[_home_from_dict(h) for h in data.get("homes", [{}])],
@@ -300,6 +306,7 @@ class ScenarioSpec:
             seed=int(data.get("seed", 0)),
             warmup_s=float(data.get("warmup_s", 5.0)),
             duration_s=float(data.get("duration_s", 300.0)),
+            epoch_s=float(data.get("epoch_s", 30.0)),
             collect_features=bool(data.get("collect_features", False)),
         )
         spec.validate()
@@ -310,6 +317,8 @@ class ScenarioSpec:
             raise SpecError("a scenario needs at least one home")
         if self.duration_s <= 0:
             raise SpecError("duration_s must be > 0")
+        if self.epoch_s <= 0:
+            raise SpecError("epoch_s must be > 0")
         for attack in self.attacks:
             if not 0 <= attack.home < len(self.homes):
                 raise SpecError(
@@ -564,6 +573,246 @@ class ScenarioResult:
 # The generic runner
 # ---------------------------------------------------------------------------
 
+class _HomeExecution:
+    """One home's live run, phase-split so the one-shot fast path and
+    the lockstep-epoch engine (:mod:`repro.scenarios.exchange`) drive
+    the *same* build/schedule/run/featurize code.
+
+    The fast path calls ``__init__`` → :meth:`arm` → one big
+    :meth:`advance` → :meth:`finish`; the epoch engine interleaves many
+    bounded ``advance`` calls with exchange deliveries.  The operation
+    order inside each phase is exactly the pre-split ``_simulate_home``
+    body, which is what keeps single-home results byte-identical across
+    the refactor.
+
+    ``registry`` (optional) is a home-local telemetry registry swapped
+    in around every phase — the epoch engine passes one per home so
+    interleaved homes cannot cross-contaminate; the fast path leaves it
+    ``None`` because :func:`run_home` swaps the registry around the
+    whole execution instead.
+    """
+
+    def __init__(self, spec: ScenarioSpec, index: int,
+                 port: Optional[WanExchangePort] = None,
+                 registry: Optional[MetricsRegistry] = None):
+        self.spec = spec
+        self.index = index
+        self.port = port
+        self._registry = registry
+        self._launched: List[Tuple[int, "Attack"]] = []
+        self._xlf: Optional[XLF] = None
+        self._injector: Optional[FaultInjector] = None
+        self._build_s = 0.0
+        self._run_s = 0.0
+        with self._recording():
+            self._build()
+
+    def _recording(self):
+        """Swap in the home-local registry for the duration of a phase."""
+        return _telemetry.scoped_registry(self._registry) \
+            if self._registry is not None else _noop_context()
+
+    # -- phase 1: materialise the world ------------------------------------
+    def _build(self) -> None:
+        spec, index = self.spec, self.index
+        home_spec = spec.homes[index]
+        stage_start = time.perf_counter()
+        clones_before = PROTOTYPES.clones
+        self.home = PROTOTYPES.materialise(home_spec, spec.seed + index)
+        self.cloned = PROTOTYPES.clones > clones_before
+        # The exchange port rides on the home so attacks (and any other
+        # fleet-aware actor) can reach it without engine plumbing.  A
+        # single-home cross-home attack gets a solo port so its tick
+        # pacing still follows the spec's epoch_s.
+        if self.port is None and any(
+                ATTACKS.get(a.attack).cross_home and a.home == index
+                for a in spec.attacks):
+            self.port = WanExchangePort(index, len(spec.homes), spec.epoch_s)
+        self.home.fleet = self.port
+
+        # Accumulate running (count, size sum, remotes) per device
+        # instead of capturing every packet: the features only need the
+        # aggregates, and long runs stay O(devices) in memory rather
+        # than O(packets).
+        self._packet_counts: Dict[str, int] = {}
+        self._size_sums: Dict[str, int] = {}
+        self._remotes: Dict[str, Set[str]] = {}
+        if spec.collect_features:
+            packet_counts = self._packet_counts
+            size_sums = self._size_sums
+            remotes = self._remotes
+
+            def observe(packet) -> None:
+                device = packet.src_device
+                if not device:
+                    return
+                packet_counts[device] = packet_counts.get(device, 0) + 1
+                size_sums[device] = (size_sums.get(device, 0)
+                                     + packet.size_bytes)
+                remotes.setdefault(device, set()).add(packet.dst)
+
+            for link in self.home.all_lan_links:
+                link.add_observer(observe)
+        self._build_s = time.perf_counter() - stage_start
+
+    # -- phase 2: warmup + defense + schedule ------------------------------
+    def arm(self) -> None:
+        """Run the warmup, install XLF, start activity, schedule the
+        home's attacks and faults.  Must be called exactly once."""
+        with self._recording():
+            self._arm()
+
+    def _arm(self) -> None:
+        spec, index, home = self.spec, self.index, self.home
+        home_spec = spec.homes[index]
+        stage_start = time.perf_counter()
+        home.run(spec.warmup_s)
+        self._run_s += time.perf_counter() - stage_start
+        stage_start = time.perf_counter()
+
+        if spec.xlf is not None:
+            # A shallow copy: the host mutates its config (runtime
+            # function toggles), and a spec must be reusable across runs.
+            self._xlf = XLF(home.sim, home.gateway, home.cloud,
+                            home.devices, home.all_lan_links,
+                            replace(spec.xlf))
+            self._xlf.refresh_allowlists()
+
+        if home_spec.activity:
+            activity = ResidentActivity(
+                home, **({"rng_name": home_spec.activity_rng}
+                         if home_spec.activity_rng is not None else {}))
+            activity.start(
+                mean_action_interval_s=home_spec.activity_interval_s)
+
+        # Schedule this home's attacks.  At each launch time the whole
+        # group is constructed first (in spec order), then launched (in
+        # spec order) — construction allocates addresses and nodes, so
+        # the two passes keep the event sequence identical to the
+        # bespoke "build all, then launch all" experiment scripts this
+        # replaced.  Cross-home attacks are due in *every* home of a
+        # multi-home fleet: the AttackSpec's home becomes the origin.
+        launched = self._launched
+
+        def launch_group(group: List[Tuple[int, AttackSpec]]) -> None:
+            built = [(i, a, ATTACKS.create(a.attack, home, **a.params))
+                     for i, a in group]
+            for i, attack_spec, attack in built:
+                attack.origin_home = attack_spec.home
+                attack.launch()
+                launched.append((i, attack))
+
+        fleet_wide = self.port is not None and self.port.n_homes > 1
+        due = [(i, a) for i, a in enumerate(spec.attacks)
+               if a.home == index
+               or (fleet_wide and ATTACKS.get(a.attack).cross_home)]
+        groups: Dict[float, List[Tuple[int, AttackSpec]]] = {}
+        for i, attack_spec in due:
+            groups.setdefault(attack_spec.at, []).append((i, attack_spec))
+        for at in sorted(groups):
+            if at <= 0.0:
+                launch_group(groups[at])
+            elif at < spec.duration_s:
+                home.sim.call_in(at, lambda g=groups[at]: launch_group(g))
+
+        # Schedule this home's faults (after attacks, so the attack
+        # event sequence of fault-free specs is untouched).  Target
+        # draws happen here, in spec order, from the home's seeded
+        # "faults" stream.
+        due_faults = [(i, f) for i, f in enumerate(spec.faults)
+                      if f.home == index]
+        if due_faults:
+            self._injector = FaultInjector(home, self._xlf,
+                                           home_index=index)
+            for i, fault_spec in due_faults:
+                self._injector.schedule(i, fault_spec, spec.duration_s)
+        self._build_s += time.perf_counter() - stage_start
+
+    # -- phase 3: advance the event loop -----------------------------------
+    def advance(self, until: float) -> None:
+        """Run the home's simulator up to ``until`` (absolute sim time)."""
+        with self._recording():
+            stage_start = time.perf_counter()
+            self.home.run(until)
+            self._run_s += time.perf_counter() - stage_start
+
+    # -- exchange hooks (epoch engine only) --------------------------------
+    def deliver(self, message: CrossHomeMessage) -> None:
+        """Inject one routed cross-home message at an epoch boundary."""
+        with self._recording():
+            self.port.deliver(message)
+
+    def drain(self, epoch: int) -> List[CrossHomeMessage]:
+        return self.port.drain(epoch) if self.port is not None else []
+
+    def infected_count(self) -> int:
+        return sum(1 for device in self.home.devices if device.infected)
+
+    # -- phase 4: featurize + outcomes -------------------------------------
+    def finish(self) -> Tuple[HomeRunResult, float]:
+        """Assemble the :class:`HomeRunResult`; returns it with the
+        home's final simulated time (for the ``fleet.home`` span)."""
+        with self._recording():
+            return self._finish()
+
+    def _finish(self) -> Tuple[HomeRunResult, float]:
+        spec, index, home = self.spec, self.index, self.home
+        stage_start = time.perf_counter()
+        result = HomeRunResult(home_index=index, features={},
+                               device_types={}, infected=set(),
+                               outcomes=[], alerts=[], cloned=self.cloned)
+        minutes = spec.duration_s / 60.0
+        if spec.collect_features:
+            # One vectorized pass over the per-device aggregates.
+            # float64 division of integers below 2**53 is exactly
+            # Python's int/int true division, so these vectors are
+            # byte-identical to the per-device loop they replace.
+            names = [device.name for device in home.devices]
+            counts = np.array([self._packet_counts.get(n, 0)
+                               for n in names], dtype=np.float64)
+            sizes = np.array([self._size_sums.get(n, 0) for n in names],
+                             dtype=np.float64)
+            mean_size = np.divide(sizes, counts, out=np.zeros_like(sizes),
+                                  where=counts > 0)
+            matrix = np.stack([
+                counts / minutes,
+                mean_size,
+                np.array([len(self._remotes.get(n, ())) for n in names],
+                         dtype=np.float64),
+                np.array([device.events_emitted
+                          for device in home.devices],
+                         dtype=np.float64) / minutes,
+                np.array([device.telemetry_sent
+                          for device in home.devices],
+                         dtype=np.float64) / minutes,
+            ], axis=1)
+            for name, row in zip(names, matrix):
+                result.features[f"home{index:02d}/{name}"] = row.tolist()
+        for device in home.devices:
+            name = f"home{index:02d}/{device.name}"
+            result.device_types[name] = device.spec.type_name
+            if device.infected:
+                result.infected.add(name)
+        result.outcomes = [(i, attack.outcome())
+                           for i, attack in self._launched]
+        result.timings = {
+            "build_s": self._build_s, "run_s": self._run_s,
+            "featurize_s": time.perf_counter() - stage_start}
+        if self._xlf is not None:
+            result.alerts = list(self._xlf.alerts)
+        if self._injector is not None:
+            result.fault_events = list(self._injector.events)
+        return result, home.sim.now
+
+
+class _noop_context:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
 def _simulate_home(spec: ScenarioSpec, index: int):
     """Build and run one home of the spec; returns (result, end sim time).
 
@@ -571,132 +820,22 @@ def _simulate_home(spec: ScenarioSpec, index: int):
     from ``spec.seed + index`` and nothing else — so it produces the
     same result whether it runs in-process or in a forked worker.
     """
-    home_spec = spec.homes[index]
-    stage_start = time.perf_counter()
-    clones_before = PROTOTYPES.clones
-    home = PROTOTYPES.materialise(home_spec, spec.seed + index)
-    cloned = PROTOTYPES.clones > clones_before
+    execution = _HomeExecution(spec, index)
+    execution.arm()
+    execution.advance(spec.warmup_s + spec.duration_s)
+    return execution.finish()
 
-    # Accumulate running (count, size sum, remotes) per device instead of
-    # capturing every packet: the features only need those aggregates,
-    # and long runs stay O(devices) in memory rather than O(packets).
-    packet_counts: Dict[str, int] = {}
-    size_sums: Dict[str, int] = {}
-    remotes: Dict[str, Set[str]] = {}
-    if spec.collect_features:
-        def observe(packet) -> None:
-            device = packet.src_device
-            if not device:
-                return
-            packet_counts[device] = packet_counts.get(device, 0) + 1
-            size_sums[device] = size_sums.get(device, 0) + packet.size_bytes
-            remotes.setdefault(device, set()).add(packet.dst)
 
-        for link in home.all_lan_links:
-            link.add_observer(observe)
-
-    build_s = time.perf_counter() - stage_start
-    stage_start = time.perf_counter()
-    home.run(spec.warmup_s)
-    run_s = time.perf_counter() - stage_start
-    stage_start = time.perf_counter()
-
-    xlf = None
-    if spec.xlf is not None:
-        # A shallow copy: the host mutates its config (runtime function
-        # toggles), and a spec must be reusable across runs.
-        xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
-                  home.all_lan_links, replace(spec.xlf))
-        xlf.refresh_allowlists()
-
-    if home_spec.activity:
-        activity = ResidentActivity(
-            home, **({"rng_name": home_spec.activity_rng}
-                     if home_spec.activity_rng is not None else {}))
-        activity.start(mean_action_interval_s=home_spec.activity_interval_s)
-
-    # Schedule this home's attacks.  At each launch time the whole
-    # group is constructed first (in spec order), then launched (in
-    # spec order) — construction allocates addresses and nodes, so the
-    # two passes keep the event sequence identical to the bespoke
-    # "build all, then launch all" experiment scripts this replaces.
-    launched: List[Tuple[int, Attack]] = []
-
-    def launch_group(group: List[Tuple[int, AttackSpec]]) -> None:
-        built = [(i, ATTACKS.create(a.attack, home, **a.params))
-                 for i, a in group]
-        for i, attack in built:
-            attack.launch()
-            launched.append((i, attack))
-
-    due = [(i, a) for i, a in enumerate(spec.attacks) if a.home == index]
-    groups: Dict[float, List[Tuple[int, AttackSpec]]] = {}
-    for i, attack_spec in due:
-        groups.setdefault(attack_spec.at, []).append((i, attack_spec))
-    for at in sorted(groups):
-        if at <= 0.0:
-            launch_group(groups[at])
-        elif at < spec.duration_s:
-            home.sim.call_in(at, lambda g=groups[at]: launch_group(g))
-
-    # Schedule this home's faults (after attacks, so the attack event
-    # sequence of fault-free specs is untouched).  Target draws happen
-    # here, in spec order, from the home's seeded "faults" stream.
-    injector: Optional[FaultInjector] = None
-    due_faults = [(i, f) for i, f in enumerate(spec.faults)
-                  if f.home == index]
-    if due_faults:
-        injector = FaultInjector(home, xlf, home_index=index)
-        for i, fault_spec in due_faults:
-            injector.schedule(i, fault_spec, spec.duration_s)
-
-    build_s += time.perf_counter() - stage_start
-    stage_start = time.perf_counter()
-    home.run(spec.warmup_s + spec.duration_s)
-    run_s += time.perf_counter() - stage_start
-    stage_start = time.perf_counter()
-
-    result = HomeRunResult(home_index=index, features={}, device_types={},
-                           infected=set(), outcomes=[], alerts=[],
-                           cloned=cloned)
-    minutes = spec.duration_s / 60.0
-    if spec.collect_features:
-        # One vectorized pass over the per-device aggregates.  float64
-        # division of integers below 2**53 is exactly Python's int/int
-        # true division, so these vectors are byte-identical to the
-        # per-device loop they replace.
-        names = [device.name for device in home.devices]
-        counts = np.array([packet_counts.get(n, 0) for n in names],
-                          dtype=np.float64)
-        sizes = np.array([size_sums.get(n, 0) for n in names],
-                         dtype=np.float64)
-        mean_size = np.divide(sizes, counts, out=np.zeros_like(sizes),
-                              where=counts > 0)
-        matrix = np.stack([
-            counts / minutes,
-            mean_size,
-            np.array([len(remotes.get(n, ())) for n in names],
-                     dtype=np.float64),
-            np.array([device.events_emitted for device in home.devices],
-                     dtype=np.float64) / minutes,
-            np.array([device.telemetry_sent for device in home.devices],
-                     dtype=np.float64) / minutes,
-        ], axis=1)
-        for name, row in zip(names, matrix):
-            result.features[f"home{index:02d}/{name}"] = row.tolist()
-    for device in home.devices:
-        name = f"home{index:02d}/{device.name}"
-        result.device_types[name] = device.spec.type_name
-        if device.infected:
-            result.infected.add(name)
-    result.outcomes = [(i, attack.outcome()) for i, attack in launched]
-    result.timings = {"build_s": build_s, "run_s": run_s,
-                      "featurize_s": time.perf_counter() - stage_start}
-    if xlf is not None:
-        result.alerts = list(xlf.alerts)
-    if injector is not None:
-        result.fault_events = list(injector.events)
-    return result, home.sim.now
+def _finalise_home_telemetry(result: HomeRunResult,
+                             local: MetricsRegistry,
+                             end_time: float) -> None:
+    """Attach a home-local registry snapshot to its result (shared by
+    the fast path and the epoch engine, so both record the same
+    per-home fleet counters)."""
+    local.record_span("fleet.home", 0.0, end_time)
+    local.counter("fleet.homes").inc()
+    local.counter("fleet.devices_featurised").inc(len(result.features))
+    result.telemetry = local.snapshot()
 
 
 def run_home(spec: ScenarioSpec, index: int) -> HomeRunResult:
@@ -718,10 +857,7 @@ def run_home(spec: ScenarioSpec, index: int) -> HomeRunResult:
         if local is not None:
             _telemetry.set_registry(previous)
     if local is not None:
-        local.record_span("fleet.home", 0.0, end_time)
-        local.counter("fleet.homes").inc()
-        local.counter("fleet.devices_featurised").inc(len(result.features))
-        result.telemetry = local.snapshot()
+        _finalise_home_telemetry(result, local, end_time)
     return result
 
 
@@ -744,8 +880,32 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def _cross_home_indices(spec: ScenarioSpec) -> Set[int]:
+    """Indices into ``spec.attacks`` whose attack class is cross-home."""
+    return {i for i, a in enumerate(spec.attacks)
+            if ATTACKS.get(a.attack).cross_home}
+
+
+def _merge_cross_outcome(acc: "AttackOutcome",
+                         new: "AttackOutcome") -> "AttackOutcome":
+    """Union two homes' outcomes of the same cross-home attack.
+
+    Cross-home attacks prefix compromised-device names and key their
+    details per home (``home03`` → {...}), so unions are lossless; a
+    fresh object is returned so per-home outcomes inside
+    :attr:`ScenarioResult.homes` stay untouched."""
+    from repro.attacks.base import AttackOutcome
+    return AttackOutcome(
+        succeeded=acc.succeeded or new.succeeded,
+        compromised_devices=(set(acc.compromised_devices)
+                             | new.compromised_devices),
+        details={**acc.details, **new.details},
+    )
+
+
 def _merge_home(result: ScenarioResult, home: HomeRunResult,
-                outcomes: Dict[int, AttackOutcome]) -> None:
+                outcomes: Dict[int, AttackOutcome],
+                cross_indices: Set[int] = frozenset()) -> None:
     """Fold one home's run into ``result`` (call in home order so dict
     iteration order matches the serial path exactly)."""
     result.homes.append(home)
@@ -757,7 +917,10 @@ def _merge_home(result: ScenarioResult, home: HomeRunResult,
     if home.degraded:
         result.degraded_homes.append(home.home_index)
     for index, outcome in home.outcomes:
-        outcomes[index] = outcome
+        if index in cross_indices and index in outcomes:
+            outcomes[index] = _merge_cross_outcome(outcomes[index], outcome)
+        else:
+            outcomes[index] = outcome
     if home.telemetry is not None:
         if result.telemetry is None:
             result.telemetry = MetricsRegistry()
@@ -825,6 +988,17 @@ def run_spec(spec: ScenarioSpec,
     load_builtin_attacks()
     spec.validate()
     n_homes = len(spec.homes)
+    cross_indices = _cross_home_indices(spec)
+    if cross_indices and n_homes > 1:
+        # Homes exchange WAN messages, so they can no longer run
+        # start-to-finish in isolation: hand off to the lockstep-epoch
+        # engine.  Single-home specs (and fleets with only home-scoped
+        # attacks) never reach this — the fast path below is untouched.
+        from repro.scenarios.exchange import run_exchange_spec
+        return run_exchange_spec(
+            spec, workers=workers, max_home_retries=max_home_retries,
+            retry_backoff_s=retry_backoff_s, on_home=on_home,
+            cross_indices=cross_indices)
     if workers is None:
         workers = os.cpu_count() or 1
     workers = min(workers, max(n_homes, 1))
@@ -835,7 +1009,7 @@ def run_spec(spec: ScenarioSpec,
     if workers <= 1 or n_homes <= 1 or not fork_available():
         for index in range(n_homes):
             home = run_home(spec, index)
-            _merge_home(result, home, outcomes)
+            _merge_home(result, home, outcomes, cross_indices)
             if on_home is not None:
                 on_home(home)
     else:
@@ -871,7 +1045,7 @@ def run_spec(spec: ScenarioSpec,
                 home = _retry_home_serially(
                     spec, index, max_home_retries, retry_backoff_s)
                 home.degraded = True
-            _merge_home(result, home, outcomes)
+            _merge_home(result, home, outcomes, cross_indices)
             if on_home is not None:
                 on_home(home)
     result.outcomes = [outcomes.get(i) for i in range(len(spec.attacks))]

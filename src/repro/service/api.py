@@ -46,6 +46,10 @@ class RestApi:
         # Fault injection: an unavailable API answers 503 to everything
         # (repro.faults cloud-outage flips this).
         self.available = True
+        # DDoS degradation: an overloaded platform sheds API load with
+        # 503s until the ingest rate drops back under its limit
+        # (CloudPlatform's rate limiter flips this).
+        self.overloaded = False
         self._routes: Dict[Tuple[str, str], Route] = {}
         self.request_log: List[Tuple[str, str, int]] = []  # method, path, status
         self.denied_requests = 0
@@ -64,6 +68,9 @@ class RestApi:
         if not self.available:
             return self._finish(
                 request, HttpResponse(503, body="service unavailable"))
+        if self.overloaded:
+            return self._finish(
+                request, HttpResponse(503, body="service overloaded"))
         route = self._routes.get((request.method, request.path))
         if route is None:
             return self._finish(request, HttpResponse(404, body="not found"))

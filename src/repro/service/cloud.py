@@ -55,11 +55,17 @@ class CloudPlatform(Node):
 
     DEVICE_PORT = IoTDevice.CLOUD_PORT  # 8883
 
+    # Ingest admission control: generous enough that a whole home's
+    # legitimate telemetry never trips it, small enough that a botnet
+    # flood does.  Packets per one-second window.
+    INGEST_RATE_LIMIT_PPS = 150
+
     def __init__(self, sim: Simulator, name: str = "cloud",
                  coarse_grants: bool = False,
                  verify_event_integrity: bool = True,
                  protect_sensitive_events: bool = True,
-                 enforce_api_scopes: bool = True):
+                 enforce_api_scopes: bool = True,
+                 ingest_rate_limit_pps: Optional[int] = None):
         super().__init__(sim, name)
         self.oauth = OAuthServer(sim)
         self.identity = IdentityManager()
@@ -72,6 +78,20 @@ class CloudPlatform(Node):
         # Fault injection: an unavailable platform drops device ingest
         # on the floor (repro.faults cloud-outage flips this).
         self.available = True
+        # DDoS degradation (degrade, don't crash): ingest above the
+        # per-second rate limit is dropped and flips the platform into
+        # an overloaded state — the REST API answers 503 while it lasts
+        # — which clears once a full window stays under the limit.
+        self.ingest_rate_limit_pps = (ingest_rate_limit_pps
+                                      if ingest_rate_limit_pps is not None
+                                      else self.INGEST_RATE_LIMIT_PPS)
+        self.overloaded = False
+        self.rate_limited_packets = 0
+        # Observers of overload transitions (bool: entered/cleared);
+        # XLF wires the fault-aware correlator through this.
+        self.overload_listeners: List[Any] = []
+        self._ingest_window = -1
+        self._ingest_window_count = 0
         self._handlers: Dict[str, DeviceHandler] = {}
         self._apps: Dict[str, SmartApp] = {}
         self._next_device_serial = 1
@@ -100,11 +120,46 @@ class CloudPlatform(Node):
     def device_ids(self) -> List[str]:
         return sorted(self._handlers)
 
+    # -- ingest admission control ------------------------------------------
+    def _set_overloaded(self, overloaded: bool) -> None:
+        self.overloaded = overloaded
+        self.api.overloaded = overloaded
+        for listener in list(self.overload_listeners):
+            listener(overloaded)
+
+    def _ingest_admitted(self) -> bool:
+        """Fixed one-second-window rate limiter over device ingest.
+
+        The first ``ingest_rate_limit_pps`` packets of each window are
+        served; the excess is dropped and marks the platform
+        overloaded.  Overload clears at the first packet after a window
+        that stayed under the limit — degradation, then recovery, never
+        a crash.
+        """
+        window = int(self.sim.now)
+        if window != self._ingest_window:
+            if (self.overloaded
+                    and self._ingest_window_count <= self.ingest_rate_limit_pps):
+                self._set_overloaded(False)
+            self._ingest_window = window
+            self._ingest_window_count = 0
+        self._ingest_window_count += 1
+        if self._ingest_window_count > self.ingest_rate_limit_pps:
+            self.rate_limited_packets += 1
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter("cloud.rate_limited").inc()
+            if not self.overloaded:
+                self._set_overloaded(True)
+            return False
+        return True
+
     # -- device traffic -------------------------------------------------------
     def _on_device_packet(self, packet: Packet, interface: Interface) -> None:
         if not self.available:
             if _telemetry.ENABLED:
                 _telemetry.registry().counter("cloud.outage_drops").inc()
+            return
+        if not self._ingest_admitted():
             return
         payload = packet.payload
         if not isinstance(payload, dict):

@@ -1,0 +1,190 @@
+"""Cross-home adversaries: WAN worm, coordinated DDoS, adaptive attacker.
+
+These attacks carry ``cross_home = True``: in a multi-home spec every
+home instantiates them and they coordinate over the WAN exchange.  On a
+single home they fall back to a solo exchange port and degrade to local
+behaviour.
+"""
+
+import pytest
+
+from repro.attacks import AdaptiveAttacker, FleetDdos, WanWorm
+from repro.core.framework import XlfConfig
+from repro.scenarios import (
+    ATTACKS,
+    AttackSpec,
+    HomeSpec,
+    ScenarioSpec,
+    SmartHome,
+    SmartHomeConfig,
+    run_spec,
+)
+
+
+def _telemetry_packet(device):
+    from repro.device.device import IoTDevice
+    from repro.network.packet import Packet
+
+    return Packet(src=device.address, dst=device.cloud_address,
+                  sport=40000, dport=IoTDevice.CLOUD_PORT,
+                  protocol="tcp", app_protocol="mqtt", size_bytes=64,
+                  payload={"device_id": device.device_id,
+                           "kind": "telemetry", "state": "",
+                           "readings": {}})
+
+
+def fleet_of(n_homes, attacks, duration_s=240.0, xlf=None, seed=5):
+    return ScenarioSpec(
+        name="cross-home-test", seed=seed, warmup_s=10.0,
+        duration_s=duration_s,
+        homes=[HomeSpec() for _ in range(n_homes)],
+        attacks=attacks, xlf=xlf, epoch_s=30.0,
+    )
+
+
+class TestRegistryScope:
+    def test_cross_home_flags(self):
+        assert ATTACKS.get("wan-worm").cross_home
+        assert ATTACKS.get("fleet-ddos").cross_home
+        assert ATTACKS.get("adaptive-attacker").cross_home
+        assert not ATTACKS.get("mirai-botnet").cross_home
+
+    def test_solo_home_fallback(self):
+        """cross_home attacks run on a bare SmartHome: the solo port
+        means no fleet, no probes, but local behaviour still works."""
+        home = SmartHome(SmartHomeConfig())
+        home.run(5.0)
+        attack = WanWorm(home)
+        attack.launch()
+        home.run(120.0)
+        outcome = attack.outcome()
+        assert attack.fleet.n_homes == 1
+        assert attack.probes_sent == 0          # nobody else to probe
+        assert outcome.succeeded                # local dictionary scan
+
+
+class TestWanWorm:
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = fleet_of(4, [AttackSpec(attack="wan-worm", home=1, at=5.0,
+                                       params={"fanout": 2})])
+        return run_spec(spec)
+
+    def test_spreads_at_least_two_homes_beyond_origin(self, result):
+        infected_homes = {h.home_index for h in result.homes if h.infected}
+        assert 1 in infected_homes
+        assert len(infected_homes - {1}) >= 2
+
+    def test_union_outcome_prefixes_devices_by_home(self, result):
+        outcome = result.outcomes[0]
+        assert all(device.startswith("home") and "/" in device
+                   for device in outcome.compromised_devices)
+        assert set(outcome.details) == {f"home{i:02d}" for i in range(4)}
+
+    def test_probed_homes_record_wan_ingress(self, result):
+        details = result.outcomes[0].details
+        probes_received = sum(d["probes_received"] for d in details.values())
+        probes_sent = sum(d["probes_sent"] for d in details.values())
+        assert probes_sent > 0
+        assert probes_received > 0
+
+
+class TestFleetDdos:
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = fleet_of(
+            3,
+            [AttackSpec(attack="wan-worm", home=0, at=5.0),
+             AttackSpec(attack="fleet-ddos", home=0, at=0.0,
+                        params={"start_after_s": 90.0, "rate_pps": 80.0,
+                                "duration_s": 45.0})],
+            xlf=XlfConfig(),
+        )
+        return run_spec(spec)
+
+    def test_cloud_degrades_instead_of_crashing(self, result):
+        outcome = result.outcomes[1]
+        assert outcome.succeeded
+        rate_limited = sum(d["rate_limited"]
+                           for d in outcome.details.values())
+        assert rate_limited > 0
+
+    def test_cloud_recovers_after_flood(self, result):
+        # duration_s=45 floods end well before the run does: every
+        # home's cloud must have cleared the overloaded state.
+        assert all(not d["overloaded_now"]
+                   for d in result.outcomes[1].details.values())
+
+    def test_xlf_surfaces_overload_as_service_signal(self):
+        """The fault-aware correlator path: while the limiter sheds
+        load, XLF marks the service layer stale and reports an
+        ingest-flood telemetry anomaly; recovery clears both."""
+        from repro.core.framework import XLF
+        from repro.core.signals import Layer, SignalType
+
+        home = SmartHome(SmartHomeConfig())
+        home.run(5.0)
+        home.cloud.ingest_rate_limit_pps = 10
+        xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+                  list(home.lan_links.values()), XlfConfig())
+        device = home.devices[0]
+        for _ in range(40):
+            home.cloud._on_device_packet(_telemetry_packet(device), None)
+        assert home.cloud.overloaded
+        assert Layer.SERVICE in xlf.bus.stale_layers()
+        assert home.cloud.api.overloaded
+        flood_signals = [
+            s for s in xlf.bus.signals
+            if s.signal_type == SignalType.TELEMETRY_ANOMALY
+            and s.source == "ingest-rate-limit"
+        ]
+        assert flood_signals
+        # Recovery takes one under-limit window: the first packet of a
+        # new window seeds it, the next window's first packet observes
+        # the quiet one and clears the overload.
+        home.run(home.sim.now + 3.0)
+        home.cloud._on_device_packet(_telemetry_packet(device), None)
+        home.run(home.sim.now + 2.0)
+        home.cloud._on_device_packet(_telemetry_packet(device), None)
+        assert not home.cloud.overloaded
+        assert not home.cloud.api.overloaded
+        assert Layer.SERVICE not in xlf.bus.stale_layers()
+
+
+class TestAdaptiveAttacker:
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = fleet_of(
+            3,
+            [AttackSpec(attack="adaptive-attacker", home=0, at=10.0)],
+            duration_s=300.0,
+            xlf=XlfConfig(enable_response=True),
+            seed=7,
+        )
+        return run_spec(spec)
+
+    def test_xlf_detects_the_loud_phase(self, result):
+        assert any(a.category == "botnet-infection" for a in result.alerts)
+
+    def test_response_burns_the_first_bot(self, result):
+        origin = result.outcomes[0].details["home00"]
+        assert origin["burned_bots"]
+
+    def test_attacker_switches_tactics_after_response(self, result):
+        origin = result.outcomes[0].details["home00"]
+        assert origin["switches"] >= 1
+        assert len(origin["tactics_used"]) >= 2
+        assert origin["tactics_used"][0] == "loud-c2"
+
+    def test_switch_is_broadcast_fleet_wide(self, result):
+        for i in range(3):
+            assert result.outcomes[0].details[
+                f"home{i:02d}"]["switches"] >= 1
+
+    def test_campaign_replants_after_disinfection(self, result):
+        origin = result.outcomes[0].details["home00"]
+        assert origin["replants"] >= 1
+        # The quieter follow-up tactic actually carried traffic.
+        later = {t: n for t, n in origin["beacons_sent"].items()
+                 if t != "loud-c2"}
+        assert sum(later.values()) > 0

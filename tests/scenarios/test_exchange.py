@@ -1,0 +1,250 @@
+"""Lockstep-epoch fleet engine: determinism, crash replay, exchange.
+
+The contract under test (DESIGN.md "Cross-home exchange"): a spec that
+schedules a cross-home attack over multiple homes runs in lockstep
+epochs with WAN messages routed at epoch boundaries, and the
+observations are byte-identical across the serial path, any forked
+shard layout, and a crash-plus-replay run.  Single-home specs never
+touch the epoch engine.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.network.internet import (
+    CrossHomeMessage,
+    ExchangeError,
+    WanExchangePort,
+)
+from repro.scenarios import (
+    AttackSpec,
+    HomeSpec,
+    ScenarioSpec,
+    SpecError,
+    run_spec,
+)
+from repro.scenarios import exchange as exchange_module
+from repro.scenarios.exchange import _epoch_boundaries, _shard_layout
+from repro.scenarios.parallel import fork_available
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="platform lacks fork start method")
+
+
+def worm_spec(n_homes=4, duration_s=180.0, epoch_s=30.0):
+    return ScenarioSpec(
+        name="exchange-test", seed=5, warmup_s=10.0, duration_s=duration_s,
+        homes=[HomeSpec() for _ in range(n_homes)],
+        attacks=[AttackSpec(attack="wan-worm", home=min(1, n_homes - 1),
+                            at=5.0, params={"fanout": 2})],
+        epoch_s=epoch_s,
+    )
+
+
+def canonical(result):
+    """Value-level view of everything a run observes (sets sorted,
+    details JSON-canonicalised) — the byte-identity contract."""
+    homes = []
+    for home in result.homes:
+        outcomes = [
+            (i, o.succeeded, sorted(o.compromised_devices),
+             json.dumps(o.details, sort_keys=True, default=str))
+            for i, o in home.outcomes
+        ]
+        alerts = [(a.alert_id, a.category, a.device, a.timestamp,
+                   a.confidence, a.contributing_signals)
+                  for a in home.alerts]
+        homes.append((home.home_index, home.features, home.device_types,
+                      sorted(home.infected), outcomes, alerts,
+                      home.telemetry))
+    return homes
+
+
+# -- exchange port unit tests ------------------------------------------------
+
+class TestWanExchangePort:
+    def test_send_assigns_per_home_sequence(self):
+        port = WanExchangePort(home_index=0, n_homes=3, epoch_s=30.0)
+        port.send(1, "probe", {"n": 1})
+        port.send(2, "probe", {"n": 2})
+        assert [m.seq for m in port.drain(epoch=0)] == [0, 1]
+        # Sequence keeps counting across epochs: ordering is total.
+        port.send(1, "probe", {"n": 3})
+        assert [m.seq for m in port.drain(epoch=1)] == [2]
+
+    def test_drain_stamps_epoch_and_empties(self):
+        port = WanExchangePort(home_index=2, n_homes=4, epoch_s=30.0)
+        port.send(0, "probe", {})
+        messages = port.drain(epoch=7)
+        assert [m.epoch for m in messages] == [7]
+        assert port.drain(epoch=8) == []
+
+    def test_self_send_rejected(self):
+        port = WanExchangePort(home_index=1, n_homes=3, epoch_s=30.0)
+        with pytest.raises(ExchangeError):
+            port.send(1, "probe", {})
+
+    def test_out_of_range_destination_rejected(self):
+        port = WanExchangePort(home_index=0, n_homes=3, epoch_s=30.0)
+        with pytest.raises(ExchangeError):
+            port.send(3, "probe", {})
+        with pytest.raises(ExchangeError):
+            port.send(-1, "probe", {})
+
+    def test_broadcast_reaches_everyone_but_self(self):
+        port = WanExchangePort(home_index=1, n_homes=4, epoch_s=30.0)
+        port.broadcast("order", {"x": 1})
+        assert [m.dst_home for m in port.drain(epoch=0)] == [0, 2, 3]
+
+    def test_deliver_dispatches_by_kind(self):
+        port = WanExchangePort(home_index=0, n_homes=2, epoch_s=30.0)
+        seen = []
+        port.on("probe", seen.append)
+        message = CrossHomeMessage(kind="probe", src_home=1, dst_home=0,
+                                   payload={"v": 9})
+        port.deliver(message)
+        assert seen == [message]
+        assert port.delivered == 1
+
+    def test_unhandled_kind_counted_not_raised(self):
+        port = WanExchangePort(home_index=0, n_homes=2, epoch_s=30.0)
+        port.deliver(CrossHomeMessage(kind="mystery", src_home=1,
+                                      dst_home=0, payload={}))
+        assert port.unhandled == 1
+
+    def test_sort_key_orders_by_epoch_then_home_then_seq(self):
+        messages = [
+            CrossHomeMessage("a", 2, 0, {}, seq=0, epoch=1),
+            CrossHomeMessage("b", 0, 1, {}, seq=1, epoch=0),
+            CrossHomeMessage("c", 0, 1, {}, seq=0, epoch=0),
+            CrossHomeMessage("d", 1, 0, {}, seq=5, epoch=0),
+        ]
+        ordered = sorted(messages, key=CrossHomeMessage.sort_key)
+        assert [m.kind for m in ordered] == ["c", "b", "d", "a"]
+
+
+# -- epoch plumbing ----------------------------------------------------------
+
+class TestEpochPlumbing:
+    def test_epoch_s_round_trips(self):
+        spec = worm_spec(epoch_s=45.0)
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again.epoch_s == 45.0
+        assert again.to_dict() == spec.to_dict()
+
+    def test_nonpositive_epoch_rejected(self):
+        spec = worm_spec(epoch_s=0.0)
+        with pytest.raises(SpecError):
+            spec.validate()
+
+    def test_last_boundary_is_exact_end(self):
+        # 10s warmup + 180s duration with 30s epochs: boundaries end
+        # exactly at 190, and an uneven tail still lands on the end.
+        assert _epoch_boundaries(worm_spec())[-1] == 190.0
+        assert _epoch_boundaries(worm_spec(duration_s=175.0))[-1] == 185.0
+
+    def test_shard_layout_covers_every_home_once(self):
+        for workers in (1, 2, 3, 5):
+            layout = _shard_layout(5, workers)
+            flat = [i for block in layout for i in block]
+            assert sorted(flat) == [0, 1, 2, 3, 4]
+
+    def test_single_home_spec_stays_on_fast_path(self, monkeypatch):
+        """A cross-home attack in a 1-home spec must not engage the
+        epoch engine (the <=5%% overhead budget in check.sh assumes
+        the fast path)."""
+        def boom(*args, **kwargs):
+            raise AssertionError("epoch engine engaged for 1-home spec")
+
+        monkeypatch.setattr(exchange_module, "run_exchange_spec", boom)
+        spec = worm_spec(n_homes=1, duration_s=60.0)
+        result = run_spec(spec)
+        assert result.outcomes[0] is not None
+
+    def test_home_only_attacks_stay_on_fast_path(self, monkeypatch):
+        """Multi-home specs without a cross-home attack keep the
+        pre-epoch execution path."""
+        def boom(*args, **kwargs):
+            raise AssertionError("epoch engine engaged needlessly")
+
+        monkeypatch.setattr(exchange_module, "run_exchange_spec", boom)
+        spec = ScenarioSpec(
+            name="local-only", seed=3, warmup_s=5.0, duration_s=60.0,
+            homes=[HomeSpec(), HomeSpec()],
+            attacks=[AttackSpec(attack="mirai-botnet", home=0, at=5.0,
+                                params={"run_ddos": False})],
+        )
+        result = run_spec(spec)
+        assert result.outcomes[0] is not None
+
+
+# -- determinism across layouts and crashes ----------------------------------
+
+class TestExchangeDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_spec(worm_spec())
+
+    def test_worm_spreads_beyond_patient_zero(self, serial):
+        infected_homes = {h.home_index for h in serial.homes if h.infected}
+        assert 1 in infected_homes        # patient zero
+        assert len(infected_homes - {1}) >= 2
+
+    def test_rerun_in_same_process_identical(self, serial):
+        """No process-global state (ids, counters) may leak into the
+        observations: the same spec twice in one process is identical."""
+        assert canonical(run_spec(worm_spec())) == canonical(serial)
+
+    @needs_fork
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_sharded_identical_to_serial(self, serial, workers):
+        par = run_spec(worm_spec(), workers=workers)
+        assert canonical(par) == canonical(serial)
+        assert par.degraded_homes == []
+
+    @needs_fork
+    def test_shard_kill_replays_identically(self, serial, monkeypatch):
+        """Killing a forked shard mid-epoch must not change a single
+        observed byte: the parent replays the dead shard's homes from
+        the message journal."""
+        def crash_second_epoch(epoch, indices):
+            if epoch == 2 and 0 in indices:
+                os._exit(1)
+
+        monkeypatch.setattr(exchange_module, "_shard_crash_hook",
+                            crash_second_epoch)
+        par = run_spec(worm_spec(), workers=2)
+        assert canonical(par) == canonical(serial)
+        assert 0 in par.degraded_homes
+
+    def test_merged_outcome_unions_homes(self, serial):
+        outcome = serial.outcomes[0]
+        assert outcome.succeeded
+        assert len(outcome.details) == 4      # one entry per home
+        prefixes = {d.split("/")[0] for d in outcome.compromised_devices}
+        assert len(prefixes) >= 3
+
+
+class TestExchangeTelemetry:
+    @needs_fork
+    def test_fleet_telemetry_identical_and_complete(self):
+        from repro import telemetry
+
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            serial = run_spec(worm_spec())
+            telemetry.reset()
+            par = run_spec(worm_spec(), workers=2)
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert serial.telemetry.snapshot() == par.telemetry.snapshot()
+        snapshot = serial.telemetry.snapshot()
+        names = {name for name, _labels in snapshot["counters"]}
+        assert "fleet.epochs" in names
+        assert "fleet.exchange_messages" in names
+        gauges = {name for name, _labels in snapshot["gauges"]}
+        assert "fleet.infected_devices" in gauges

@@ -1,0 +1,64 @@
+"""Served multi-home worm specs: the exchange engine behind REST jobs.
+
+The resident service must run cross-home specs through the same
+lockstep-epoch engine as direct ``run_spec`` and serve byte-identical
+observations — including the fleet exchange telemetry and the merged
+union outcomes.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.scenarios import ScenarioSpec, run_spec
+from repro.scenarios.spec import fork_available
+from repro.server.background import BackgroundServer
+from repro.server.store import canonical_json, result_to_dict
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="platform lacks fork start method")
+
+
+def worm_spec_data(name="worm-served", n_homes=3, seed=5):
+    from repro.scenarios import AttackSpec, HomeSpec
+
+    spec = ScenarioSpec(
+        name=name, seed=seed, warmup_s=10.0, duration_s=120.0,
+        homes=[HomeSpec() for _ in range(n_homes)],
+        attacks=[AttackSpec(attack="wan-worm", home=0, at=5.0,
+                            params={"fanout": 2})],
+        epoch_s=30.0,
+        collect_features=True,
+    )
+    return spec.to_dict()
+
+
+@needs_fork
+class TestServedWormSpec:
+    @pytest.fixture(scope="class")
+    def server(self):
+        with BackgroundServer(workers=2) as instance:
+            yield instance
+
+    def test_served_worm_observations_byte_identical(self, server):
+        """Regression for the process-global-id class of bug: a served
+        run and a direct run in a different process (with different
+        allocation history) must produce identical observation bytes."""
+        spec_data = worm_spec_data()
+        client = server.client()
+        job = client.submit(spec_data)
+        final = client.wait(job["id"], timeout=300)
+        assert final["state"] == "done"
+        assert final["homes_done"] == final["homes_total"] == 3
+        via_server = client.result(job["id"])
+
+        telemetry.enable()
+        try:
+            direct = result_to_dict(
+                run_spec(ScenarioSpec.from_dict(spec_data)))
+        finally:
+            telemetry.disable()
+        assert canonical_json(via_server["observations"]) == \
+            canonical_json(direct["observations"])
+        assert via_server["spec_hash"] == direct["spec_hash"]
+        # Not a vacuous identity: the worm actually crossed homes.
+        assert len(via_server["observations"]["infected"]) > 0

@@ -34,6 +34,19 @@ def test_list_attacks(capsys):
         assert name in out
 
 
+def test_list_attacks_scope_column(capsys):
+    """Every attack row states its scope: home or cross-home."""
+    assert main(["--list-attacks"]) == 0
+    out = capsys.readouterr().out
+    assert "scope" in out
+    lines = {line.split("|")[0].strip(): line for line in out.splitlines()
+             if "|" in line}
+    assert "cross-home" in lines["wan-worm"]
+    assert "cross-home" in lines["fleet-ddos"]
+    assert "cross-home" in lines["adaptive-attacker"]
+    assert "| home " in lines["mirai-botnet"]
+
+
 def test_dump_spec_round_trips_through_spec_flag(tmp_path, capsys):
     import json
 
