@@ -124,6 +124,63 @@ done
 echo "telemetry exports written and non-empty (prom, jsonl, trace.json)"
 
 echo
+echo "== journal replay & crash recovery smoke =="
+SMOKE_DIR="$smoke_dir" python - <<'PY'
+import json
+import os
+
+import repro.scenarios.exchange as exchange_module
+from repro.runtime import read_journal
+from repro.scenarios import ScenarioSpec, run_spec
+from repro.server.store import canonical_json, result_to_dict
+
+smoke_dir = os.environ["SMOKE_DIR"]
+with open("examples/specs/worm_fleet.json") as handle:
+    spec = ScenarioSpec.from_dict(json.load(handle))
+spec.duration_s = 200.0            # long enough for the fleet alerts
+spec.collect_features = False
+
+clean_path = os.path.join(smoke_dir, "journal_clean.jsonl")
+crash_path = os.path.join(smoke_dir, "journal_crash.jsonl")
+clean = run_spec(spec, workers=2, journal=clean_path)
+
+
+def kill_first_shard(epoch, indices):   # dies mid-run, once
+    if epoch == 2 and 0 in indices:
+        os._exit(1)
+
+
+original_hook = exchange_module._shard_crash_hook
+exchange_module._shard_crash_hook = kill_first_shard
+try:
+    crashed = run_spec(spec, workers=2, journal=crash_path)
+finally:
+    exchange_module._shard_crash_hook = original_hook
+
+assert canonical_json(result_to_dict(clean)["observations"]) == \
+    canonical_json(result_to_dict(crashed)["observations"]), \
+    "journal-resumed run diverged from the unfailed run"
+records = read_journal(crash_path)
+kinds = {r["t"] for r in records}
+assert {"run-start", "epoch", "actor-crash", "actor-restart",
+        "run-end"} <= kinds, f"journal kinds incomplete: {sorted(kinds)}"
+
+
+def alert_stream(path):
+    return [(r["n"], r["home"], canonical_json(r["alert"]))
+            for r in read_journal(path) if r["t"] == "alert"]
+
+
+assert alert_stream(clean_path) == alert_stream(crash_path), \
+    "clean and crash-resumed journals carry different alert streams"
+alerts = sum(1 for r in records if r["t"] == "alert")
+assert alerts > 0, "journal smoke produced no alerts to compare"
+print(f"journal recovery ok: shard killed at epoch 2, resumed run "
+      f"byte-identical, {alerts} alerts journaled in both runs")
+PY
+python -m repro replay "$smoke_dir/journal_clean.jsonl"
+
+echo
 echo "== telemetry overhead benchmark artifact =="
 if [ "${1:-}" = "--fresh-bench" ] || [ ! -f BENCH_telemetry.json ]; then
     python benchmarks/bench_telemetry_overhead.py --quick \
@@ -208,10 +265,22 @@ assert epoch["identical"], \
 assert epoch["overhead_pct"] <= epoch["threshold_pct"], (
     f"epoch-barrier overhead {epoch['overhead_pct']}% exceeds "
     f"{epoch['threshold_pct']}% budget")
+# Journal gate: attaching the run journal must stay a pure observer —
+# identical observations, and within its wall-clock budget.
+assert "journal_overhead" in report, \
+    "BENCH missing journal_overhead entry"
+journal = report["journal_overhead"]
+assert journal["identical"], \
+    "journaled observations differ from the plain run"
+assert journal["overhead_pct"] <= journal["threshold_pct"], (
+    f"journal overhead {journal['overhead_pct']}% exceeds "
+    f"{journal['threshold_pct']}% budget")
 print(f"fleet perf smoke ok: {fleet['homes_per_sec']} homes/s cloned "
       f"(fresh {fleet['fresh_homes_per_sec']} homes/s, clone speedup "
       f"{fleet['clone_speedup']}x), identity checks green, epoch "
-      f"overhead {epoch['overhead_pct']}% (<= {epoch['threshold_pct']}%)")
+      f"overhead {epoch['overhead_pct']}% (<= {epoch['threshold_pct']}%), "
+      f"journal overhead {journal['overhead_pct']}% "
+      f"(<= {journal['threshold_pct']}%)")
 PY
 
 echo
@@ -230,8 +299,16 @@ assert report["fleet"]["identical_results"], \
     "committed BENCH records a serial/parallel identity regression"
 assert report["fleet"]["clone_identical"], \
     "committed BENCH records a clone/fresh identity regression"
-print("committed BENCH_fleet.json ok: epoch-overhead entry present, "
-      "identity flags green")
+assert "journal_overhead" in report, (
+    "committed BENCH_fleet.json lacks the journal_overhead entry — "
+    "regenerate with benchmarks/bench_perf_fleet.py")
+assert report["journal_overhead"]["identical"], \
+    "committed BENCH records a journal identity regression"
+assert report["journal_overhead"]["overhead_pct"] <= \
+    report["journal_overhead"]["threshold_pct"], \
+    "committed BENCH records journal overhead beyond its budget"
+print("committed BENCH_fleet.json ok: epoch-overhead and journal "
+      "entries present, identity flags green")
 PY
 
 echo

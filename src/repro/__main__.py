@@ -132,6 +132,18 @@ PRESETS = {
 
 # -- spec execution and reporting ---------------------------------------------
 
+def format_alert_line(alert, prefix: str = "") -> str:
+    """The one ALERT line format every scenario prints: timestamp,
+    category, device, confidence, detection latency (first contributing
+    signal to correlation), contributing layers."""
+    layers = "+".join(layer.value for layer in alert.layers_involved)
+    latency = alert.detection_latency_s
+    lat = f" latency={latency:.1f}s" if latency is not None else ""
+    return (f"ALERT {prefix}t={alert.timestamp:7.1f}s {alert.category} "
+            f"device={alert.device} confidence={alert.confidence:.2f}"
+            f"{lat} [{layers}]")
+
+
 def print_spec_result(result) -> None:
     """Generic report for any spec run: attack ground truth + alerts."""
     spec = result.spec
@@ -149,10 +161,7 @@ def print_spec_result(result) -> None:
         prefix = (f"home{home.home_index:02d} "
                   if len(result.homes) > 1 else "")
         for alert in home.alerts:
-            layers = "+".join(layer.value for layer in alert.layers_involved)
-            print(f"ALERT {prefix}t={alert.timestamp:7.1f}s {alert.category} "
-                  f"device={alert.device} confidence={alert.confidence:.2f} "
-                  f"[{layers}]")
+            print(format_alert_line(alert, prefix))
     for event in result.fault_events:
         prefix = (f"home{event.home:02d} "
                   if len(result.homes) > 1 else "")
@@ -169,6 +178,9 @@ def print_spec_result(result) -> None:
               f"{len(result.FEATURE_NAMES)} dims")
     if result.infected:
         print(f"infected devices: {sorted(result.infected)}")
+    for key, stats in result.detection_latency_summary().items():
+        print(f"detection latency [{key}]: median={stats['median_s']:.1f}s "
+              f"p95={stats['p95_s']:.1f}s n={stats['count']}")
 
 
 def run_spec_file(args) -> int:
@@ -182,7 +194,7 @@ def run_spec_file(args) -> int:
           f"{len(spec.attacks)} attack(s){faults}, "
           f"{'XLF on' if spec.xlf is not None else 'undefended'}, "
           f"seed={spec.seed}, {spec.duration_s:.0f}s")
-    result = run_spec(spec, workers=args.workers)
+    result = run_spec(spec, workers=args.workers, journal=args.journal)
     print_spec_result(result)
     return 0
 
@@ -226,14 +238,11 @@ def run_botnet(args) -> int:
     spec = preset_botnet(args)
     if args.disable_function:
         print(f"functions disabled: {', '.join(args.disable_function)}")
-    result = run_spec(spec, workers=args.workers)
+    result = run_spec(spec, workers=args.workers, journal=args.journal)
     outcome = result.outcomes[0]
     print(f"infected devices: {sorted(outcome.compromised_devices)}")
     for alert in result.alerts:
-        layers = "+".join(layer.value for layer in alert.layers_involved)
-        print(f"ALERT t={alert.timestamp:7.1f}s {alert.category} "
-              f"device={alert.device} confidence={alert.confidence:.2f} "
-              f"[{layers}]")
+        print(format_alert_line(alert))
     detected = {a.device for a in result.alerts
                 if a.category == "botnet-infection"}
     return 0 if detected == outcome.compromised_devices else 1
@@ -244,7 +253,7 @@ def run_campaign(args) -> int:
     from repro.scenarios import run_spec
 
     spec = preset_campaign(args)
-    result = run_spec(spec, workers=args.workers)
+    result = run_spec(spec, workers=args.workers, journal=args.journal)
     print_spec_result(result)
     truth = result.compromised_devices()
     metrics = score_detection(result.detected_devices(), truth)
@@ -257,7 +266,7 @@ def run_fleet_scenario(args) -> int:
     from repro.scenarios import run_spec
 
     spec = preset_fleet(args)
-    result = run_spec(spec, workers=args.workers)
+    result = run_spec(spec, workers=args.workers, journal=args.journal)
     print_spec_result(result)
     return 0 if result.infected else 1
 
@@ -322,6 +331,39 @@ def run_serve(args) -> int:
                              spill_path=args.spill))
 
 
+def run_replay(args) -> int:
+    """Time-travel replay: re-execute a recorded journal and verify
+    its alert stream byte-for-byte."""
+    from repro.runtime import JournalError
+    from repro.runtime.replay import ReplayError, replay_journal
+
+    if not args.journal_path:
+        print("replay needs a journal path: "
+              "python -m repro replay <journal.jsonl> [--until-alert N]",
+              file=sys.stderr)
+        return 2
+    try:
+        report = replay_journal(args.journal_path,
+                                until_alert=args.until_alert,
+                                workers=args.workers or 1)
+    except (ReplayError, JournalError, OSError) as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 2
+    trunc = " (truncated journal)" if report.truncated else ""
+    print(f"replay {report.journal_path}: spec {report.spec_name!r} "
+          f"engine={report.engine}{trunc}")
+    scope = (f"alerts 1..{report.until_alert}"
+             if report.until_alert is not None
+             else f"all {report.recorded_alerts} alerts")
+    print(f"reproduced {len(report.replayed)}/{report.target_alerts} "
+          f"recorded alerts ({scope})")
+    for mismatch in report.mismatches:
+        print(f"MISMATCH {mismatch}")
+    print("replay verdict:",
+          "byte-identical" if report.ok else "DIVERGED")
+    return 0 if report.ok else 1
+
+
 def run_functions(args) -> int:
     """Print the SecurityFunction plugin registry."""
     from repro.core import REGISTRY, load_builtin_functions
@@ -346,6 +388,7 @@ SCENARIOS = {
     "telemetry": run_telemetry,
     "functions": run_functions,
     "serve": run_serve,
+    "replay": run_replay,
 }
 
 
@@ -356,6 +399,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument("scenario", nargs="?", default="botnet",
                         choices=sorted(SCENARIOS))
+    parser.add_argument("journal_path", nargs="?", default=None,
+                        metavar="JOURNAL",
+                        help="journal file for the 'replay' scenario")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--spec", metavar="PATH", default=None,
                         help="run a scenario from a JSON ScenarioSpec file "
@@ -380,6 +426,14 @@ def main(argv=None) -> int:
     parser.add_argument("--spill", metavar="PATH", default=None,
                         help="JSONL file evicted results spill to "
                              "('serve' only; default: drop on eviction)")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="record the run to an append-only JSONL "
+                             "event journal (replayable with the "
+                             "'replay' scenario)")
+    parser.add_argument("--until-alert", type=int, default=None,
+                        metavar="N",
+                        help="'replay' only: stop at the epoch boundary "
+                             "after the Nth recorded alert")
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="enable telemetry and write PATH.prom, "
                              "PATH.jsonl, PATH.trace.json after the run")

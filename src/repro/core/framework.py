@@ -66,6 +66,12 @@ class XlfConfig:
     # The Core-resident response engine (mitigation playbooks) changes
     # the world it defends, so it is opt-in.
     enable_response: bool = False
+    # Degraded-autonomy posture: when a cloud-outage fault isolates the
+    # gateway, drop to a gateway-local configuration (service-layer
+    # functions off, local layers + correlator still detecting) and
+    # re-sync journaled observations on recovery.  False restores the
+    # pre-runtime behavior (stale-marking only).
+    home_alone: bool = True
 
     @staticmethod
     def full() -> "XlfConfig":
@@ -95,6 +101,24 @@ class XlfConfig:
             # Core functions gate themselves via should_install().
             Layer.CORE: True,
         }[layer]
+
+
+@dataclass
+class HomeAloneEvent:
+    """One gateway-local autonomy window (cloud-outage posture).
+
+    Plain data so runs can journal it and results can carry it across
+    process boundaries.  ``home`` is stamped by the scenario engine when
+    the event is folded into a :class:`HomeRunResult`.
+    """
+
+    home: int
+    entered_at: float
+    exited_at: Optional[float] = None
+    # Observations accumulated locally during the window and re-synced
+    # to the cloud on recovery.
+    resynced_signals: int = 0
+    deferred_wan_packets: int = 0
 
 
 @dataclass
@@ -134,6 +158,14 @@ class XLF:
         self._attachments: Dict[str, _Attachment] = {}
         self._installed = False
         self._audit_process = None
+        # Home-alone (gateway-local autonomy) state.  Overlapping
+        # cloud-isolating faults merge into one window via the depth
+        # counter; the signal mark sizes the re-sync backlog.
+        self.home_alone = False
+        self.home_alone_events: List[HomeAloneEvent] = []
+        self._home_alone_depth = 0
+        self._home_alone_signal_mark = 0
+        self._home_alone_service_was_enabled = True
         self.install()
 
     # -- plugin host lifecycle ---------------------------------------------------
@@ -194,6 +226,56 @@ class XLF:
                 rate_limit_pps=self.cloud.ingest_rate_limit_pps))
         else:
             self.bus.mark_layer_fresh(Layer.SERVICE)
+
+    # -- home-alone (gateway-local autonomy) --------------------------------------
+    def enter_home_alone(self) -> None:
+        """Cloud-isolating fault landed: drop to the gateway-local
+        configuration.
+
+        Service-layer functions are detached (their cloud-side inputs
+        are gone, not merely stale) while device/network layers and the
+        correlator keep detecting locally.  The gateway counts deferred
+        WAN-bound observations and the bus's signal watermark marks
+        where the re-sync backlog starts.  Re-entrant: overlapping
+        outages extend the same window.
+        """
+        self._home_alone_depth += 1
+        if self._home_alone_depth > 1 or not self.config.home_alone:
+            return
+        self.home_alone = True
+        self.home_alone_events.append(
+            HomeAloneEvent(home=0, entered_at=self.sim.now))
+        self._home_alone_signal_mark = len(self.bus.signals)
+        self._home_alone_service_was_enabled = self.config.enable_service_layer
+        self.gateway.enter_local_mode()
+        if self._home_alone_service_was_enabled:
+            self.set_layer_enabled(Layer.SERVICE, False)
+        if _telemetry.ENABLED:
+            _telemetry.registry().counter("xlf.home_alone.entered").inc()
+
+    def exit_home_alone(self) -> None:
+        """Cloud reachability restored: re-sync the locally journaled
+        observations and re-attach the service layer."""
+        if self._home_alone_depth == 0:
+            return
+        self._home_alone_depth -= 1
+        if self._home_alone_depth or not self.home_alone:
+            return
+        self.home_alone = False
+        window = self.home_alone_events[-1]
+        window.exited_at = self.sim.now
+        window.deferred_wan_packets = self.gateway.exit_local_mode()
+        window.resynced_signals = (len(self.bus.signals)
+                                   - self._home_alone_signal_mark)
+        if hasattr(self.cloud, "receive_resync"):
+            self.cloud.receive_resync(window.resynced_signals)
+        if self._home_alone_service_was_enabled:
+            self.set_layer_enabled(Layer.SERVICE, True)
+        if _telemetry.ENABLED:
+            registry = _telemetry.registry()
+            registry.counter("xlf.home_alone.exited").inc()
+            registry.counter("xlf.home_alone.resynced_signals").inc(
+                window.resynced_signals)
 
     def set_layer_enabled(self, layer: Layer, enabled: bool) -> None:
         """Runtime reconfiguration: toggle one layer's functions mid-run.

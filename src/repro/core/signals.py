@@ -107,3 +107,13 @@ class Alert:
     @property
     def cross_layer(self) -> bool:
         return len(self.layers_involved) >= 2
+
+    @property
+    def detection_latency_s(self) -> "float | None":
+        """Seconds from the earliest contributing observation to the
+        alert — the correlator's time-to-conclusion.  None when the
+        alert carries no signals (synthetic/test alerts)."""
+        if not self.contributing_signals:
+            return None
+        first = min(s.timestamp for s in self.contributing_signals)
+        return self.timestamp - first

@@ -163,6 +163,10 @@ class Fault:
     degrades: Tuple[Layer, ...] = ()
     description: str = ""
     PARAMS: Tuple[str, ...] = ()
+    # Faults that cut the gateway off from the vendor cloud trigger the
+    # framework's home-alone posture (gateway-local autonomy) while
+    # they last, on top of the usual stale-layer marking.
+    isolates_cloud: bool = False
 
     def __init__(self, injector: "FaultInjector", params: Dict[str, Any]):
         self.validate_params(params)
@@ -298,6 +302,7 @@ class CloudOutageFault(Fault):
     name = "cloud-outage"
     degrades = (Layer.SERVICE,)
     description = "cloud ingest drops packets and the REST API serves 503"
+    isolates_cloud = True
 
     def inject(self) -> None:
         self.home.cloud.available = False
@@ -406,6 +411,8 @@ class FaultInjector:
             fault.inject()
             self.events.append(event)
             self._mark(fault, stale=True)
+            if fault.isolates_cloud and self.xlf is not None:
+                self.xlf.enter_home_alone()
             if _telemetry.ENABLED:
                 _telemetry.registry().counter(
                     "faults.injected", fault=fault.name).inc()
@@ -414,6 +421,8 @@ class FaultInjector:
             event.recovered_at = self.sim.now
             fault.recover()
             self._mark(fault, stale=False)
+            if fault.isolates_cloud and self.xlf is not None:
+                self.xlf.exit_home_alone()
             if _telemetry.ENABLED:
                 _telemetry.registry().counter(
                     "faults.recovered", fault=fault.name).inc()

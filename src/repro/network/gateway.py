@@ -73,6 +73,13 @@ class Gateway(Node):
         self._lan_interfaces: List[Interface] = []
         self.nat_translations = 0
         self.blocked_packets: List[Packet] = []
+        # Home-alone (cloud-outage) posture: the gateway keeps
+        # forwarding locally but counts WAN-bound packets seen while
+        # isolated so the framework can size the observation backlog it
+        # re-syncs on recovery.
+        self.local_mode = False
+        self.local_mode_entries = 0
+        self._local_mode_wan_packets = 0
 
     # -- wiring --------------------------------------------------------------
     def connect_lan(self, link: Link) -> Interface:
@@ -112,6 +119,31 @@ class Gateway(Node):
         until traffic rebuilds it)."""
         for interface in self.interfaces:
             interface.up = True
+
+    # -- home-alone (gateway-local) mode ------------------------------------------
+    def enter_local_mode(self) -> None:
+        """Cloud unreachable: start tallying deferred WAN observations."""
+        if self.local_mode:
+            return
+        self.local_mode = True
+        self.local_mode_entries += 1
+        self._local_mode_wan_packets = 0
+        if _telemetry.ENABLED:
+            _telemetry.registry().counter("gw.local_mode.entered").inc()
+
+    def exit_local_mode(self) -> int:
+        """Cloud back: return how many WAN-bound packets were seen while
+        isolated (the deferred-observation backlog)."""
+        if not self.local_mode:
+            return 0
+        self.local_mode = False
+        count = self._local_mode_wan_packets
+        self._local_mode_wan_packets = 0
+        if _telemetry.ENABLED:
+            registry = _telemetry.registry()
+            registry.counter("gw.local_mode.exited").inc()
+            registry.counter("gw.local_mode.deferred_wan").inc(count)
+        return count
 
     # -- policy ----------------------------------------------------------------
     def add_firewall_rule(self, rule: FirewallRule) -> None:
@@ -157,6 +189,8 @@ class Gateway(Node):
         ext_port = self._nat_out[key]
         translated = packet.clone(src=self.public_address, sport=ext_port)
         self.nat_translations += 1
+        if self.local_mode:
+            self._local_mode_wan_packets += 1
         if _telemetry.ENABLED:
             registry = _telemetry.registry()
             registry.counter("gw.nat_translations").inc()

@@ -1,0 +1,46 @@
+"""Supervised actor runtime: journaled homes, replay, crash recovery.
+
+The three execution paths — serial ``run_spec``, the fork-sharded
+parallel fleet, and the lockstep exchange engine — are thin drivers
+over this package: a :class:`~repro.runtime.actors.Supervisor` owns an
+in-process :class:`~repro.runtime.actors.RuntimeBus` and an append-only
+JSONL :class:`~repro.runtime.journal.Journal`, per-home work runs inside
+:class:`~repro.runtime.actors.HomeActor`\\ s, and WAN routing lives in
+:class:`~repro.runtime.actors.FleetActor`.  Because every home is a
+deterministic function of ``(spec, seed, index)``, crash recovery is
+journal-resume (re-run the dead actor epoch by epoch, byte-identical to
+an unfailed run) and any recorded journal supports time-travel replay
+via ``python -m repro replay <journal>``.
+"""
+
+from repro.runtime.journal import (
+    JOURNAL_VERSION,
+    Journal,
+    JournalError,
+    read_journal,
+)
+from repro.runtime.actors import (
+    ActorState,
+    FleetActor,
+    HomeActor,
+    RuntimeBus,
+    Supervisor,
+    epoch_boundaries,
+)
+from repro.runtime.replay import ReplayError, ReplayReport, replay_journal
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "Journal",
+    "JournalError",
+    "read_journal",
+    "ActorState",
+    "FleetActor",
+    "HomeActor",
+    "RuntimeBus",
+    "Supervisor",
+    "epoch_boundaries",
+    "ReplayError",
+    "ReplayReport",
+    "replay_journal",
+]

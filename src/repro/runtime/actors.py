@@ -1,0 +1,417 @@
+"""The supervision tree: Supervisor → HomeActor per home + FleetActor.
+
+Actors communicate over an in-process :class:`RuntimeBus`; the
+:class:`Supervisor` is the single bus subscriber that turns runtime
+events into journal records (and assigns the global alert sequence
+``repro replay --until-alert`` addresses).  A :class:`HomeActor` wraps
+one home's :class:`~repro.scenarios.spec._HomeExecution` and *polls* its
+new observations after every epoch as plain dicts — the actor holds no
+journal handle, which is what lets the identical actor run in-parent,
+inside a forked exchange shard (events ride the shard pipe home), or as
+the in-parent replacement that resumes a crashed home.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.network.internet import CrossHomeMessage, WanExchangePort
+from repro.runtime.journal import JOURNAL_VERSION, Journal, open_journal
+from repro import telemetry as _telemetry
+from repro.telemetry import MetricsRegistry
+
+if False:  # typing only — the scenarios package imports this module
+    from repro.scenarios.spec import (HomeRunResult, ScenarioResult,
+                                      ScenarioSpec)
+
+# One epoch's routed traffic: destination home -> ordered message list.
+Inbound = Dict[int, List[CrossHomeMessage]]
+
+
+def epoch_boundaries(spec: ScenarioSpec) -> List[float]:
+    """Absolute sim times every home advances to, epoch by epoch.
+
+    The last boundary is exactly ``warmup_s + duration_s`` (no float
+    accumulation past the end), and the list is computed from the spec
+    alone so every shard — and every crash replay — sees identical
+    boundaries.
+    """
+    end = spec.warmup_s + spec.duration_s
+    boundaries: List[float] = []
+    t = spec.warmup_s
+    while True:
+        t += spec.epoch_s
+        if t >= end - 1e-9:
+            boundaries.append(end)
+            return boundaries
+        boundaries.append(t)
+
+
+def epoch_of(timestamp: float, boundaries: Sequence[float]) -> int:
+    """The epoch whose advance covers ``timestamp`` (events exactly on a
+    boundary belong to the epoch ending there)."""
+    lo, hi = 0, len(boundaries) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if boundaries[mid] < timestamp:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class ActorState(str, Enum):
+    NEW = "new"
+    RUNNING = "running"
+    DONE = "done"
+
+
+class RuntimeBus:
+    """Deterministic in-process message bus.
+
+    Single-threaded by construction: ``post`` enqueues, ``pump`` drains
+    FIFO, dispatching each message to every subscriber in subscription
+    order.  No timestamps, no threads — determinism is the point.
+    """
+
+    def __init__(self) -> None:
+        self._queue: "deque[Tuple[str, Dict[str, Any]]]" = deque()
+        self._handlers: List[Callable[[str, Dict[str, Any]], None]] = []
+        self.dispatched = 0
+
+    def subscribe(self, handler: Callable[[str, Dict[str, Any]], None]
+                  ) -> None:
+        self._handlers.append(handler)
+
+    def post(self, topic: str, data: Dict[str, Any]) -> None:
+        self._queue.append((topic, dict(data)))
+
+    def pump(self) -> int:
+        """Drain the queue; returns how many messages were dispatched."""
+        count = 0
+        while self._queue:
+            topic, data = self._queue.popleft()
+            for handler in list(self._handlers):
+                handler(topic, data)
+            count += 1
+        self.dispatched += count
+        return count
+
+
+class HomeActor:
+    """One supervised home.
+
+    Wraps the phase-split :class:`_HomeExecution` and, when
+    ``collect_events`` is on, polls the new observations each epoch
+    produced — alerts, fault transitions, home-alone windows — as plain
+    journal-ready dicts (pickle-safe, so forked shards pipe them to the
+    supervising parent).
+    """
+
+    def __init__(self, spec: ScenarioSpec, index: int,
+                 port: Optional[WanExchangePort] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 collect_events: bool = False):
+        self.spec = spec
+        self.index = index
+        self.port = port
+        self.registry = registry
+        self.collect_events = collect_events
+        self.state = ActorState.NEW
+        self._execution: Optional[_HomeExecution] = None
+        self._alerts_seen = 0
+        self._home_alone_seen = 0
+        # fault index -> whether its recovery has been reported yet.
+        self._faults_seen: Dict[int, bool] = {}
+
+    def run_once(self) -> HomeRunResult:
+        """The journal-off fast path: delegate to
+        :func:`~repro.scenarios.spec.run_home`, the exact pre-runtime
+        code path (registry swapped around the whole run)."""
+        from repro.scenarios.spec import run_home
+        result = run_home(self.spec, self.index)
+        self.state = ActorState.DONE
+        return result
+
+    # -- epoch-driven execution --------------------------------------------
+    def start(self) -> None:
+        """Build the world and arm attacks/faults (phases 1–2)."""
+        from repro.scenarios.spec import _HomeExecution
+        self._execution = _HomeExecution(self.spec, self.index,
+                                         port=self.port,
+                                         registry=self.registry)
+        self._execution.arm()
+        self.state = ActorState.RUNNING
+
+    def advance_epoch(self, epoch: int, until: float,
+                      inbound: Sequence[CrossHomeMessage] = (),
+                      ) -> Tuple[List[CrossHomeMessage], int,
+                                 List[Dict[str, Any]]]:
+        """Deliver inbound WAN messages, run to the boundary, drain the
+        outbox; returns (outbound, infected count, new events)."""
+        execution = self._execution
+        for message in inbound:
+            execution.deliver(message)
+        execution.advance(until)
+        outbound = execution.drain(epoch)
+        events = self.poll(epoch) if self.collect_events else []
+        return outbound, execution.infected_count(), events
+
+    def poll(self, epoch: int) -> List[Dict[str, Any]]:
+        """Observations that appeared since the previous poll, in a
+        deterministic order (alerts, then home-alone transitions, then
+        fault transitions — each in occurrence order)."""
+        from repro.server.store import alert_to_dict
+        events: List[Dict[str, Any]] = []
+        xlf = self._execution._xlf
+        if xlf is not None:
+            alerts = xlf.correlator.alerts
+            for alert in alerts[self._alerts_seen:]:
+                events.append({"t": "alert", "home": self.index,
+                               "epoch": epoch,
+                               "alert": alert_to_dict(alert)})
+            self._alerts_seen = len(alerts)
+            transitions: List[Tuple[str, float, Dict[str, Any]]] = []
+            for window in xlf.home_alone_events:
+                transitions.append(("enter", window.entered_at, {}))
+                if window.exited_at is not None:
+                    transitions.append(("exit", window.exited_at, {
+                        "resynced_signals": window.resynced_signals,
+                        "deferred_wan_packets": window.deferred_wan_packets,
+                    }))
+            for state, at, extra in transitions[self._home_alone_seen:]:
+                events.append({"t": "home-alone", "home": self.index,
+                               "epoch": epoch, "state": state, "at": at,
+                               **extra})
+            self._home_alone_seen = len(transitions)
+        injector = self._execution._injector
+        if injector is not None:
+            for event in injector.events:
+                recovery_reported = self._faults_seen.get(event.index)
+                if recovery_reported is None:
+                    events.append(_fault_record(
+                        "injected", self.index, epoch, event,
+                        event.injected_at))
+                    recovery_reported = False
+                if not recovery_reported and event.recovered_at is not None:
+                    events.append(_fault_record(
+                        "recovered", self.index, epoch, event,
+                        event.recovered_at))
+                    recovery_reported = True
+                self._faults_seen[event.index] = recovery_reported
+        return events
+
+    def finish(self) -> HomeRunResult:
+        """Featurize and assemble the result (phase 4), finalising the
+        home-local telemetry snapshot when one was recorded."""
+        from repro.scenarios.spec import _finalise_home_telemetry
+        result, end_time = self._execution.finish()
+        if self.registry is not None:
+            _finalise_home_telemetry(result, self.registry, end_time)
+        self.state = ActorState.DONE
+        return result
+
+
+def _fault_record(transition: str, home: int, epoch: int, event,
+                  at: float) -> Dict[str, Any]:
+    return {"t": "fault", "event": transition, "home": home, "epoch": epoch,
+            "index": event.index, "fault": event.fault,
+            "target": event.target, "at": at}
+
+
+def derived_home_events(home: HomeRunResult, boundaries: Sequence[float]
+                        ) -> List[Dict[str, Any]]:
+    """Rebuild the journal events a live actor would have polled, from a
+    completed :class:`HomeRunResult`.
+
+    Homes that ran straight through (the parallel fast path's forked
+    workers, and serial journaled runs with no interruption hook) return
+    whole :class:`HomeRunResult`\\ s; the supervising parent derives the
+    per-event records from the result.  Events are grouped per epoch in
+    poll order (alerts, home-alone transitions, fault transitions) with
+    the epoch record after each group, so the derived stream is
+    byte-identical to what a live epoch-chunked actor would have
+    journaled.  Epochs are recomputed from timestamps.
+    """
+    from repro.server.store import alert_to_dict
+    per_epoch: List[List[Dict[str, Any]]] = [[] for _ in boundaries]
+    for alert in home.alerts:
+        per_epoch[epoch_of(alert.timestamp, boundaries)].append(
+            {"t": "alert", "home": home.home_index,
+             "epoch": epoch_of(alert.timestamp, boundaries),
+             "alert": alert_to_dict(alert)})
+    for window in getattr(home, "home_alone_events", ()):
+        per_epoch[epoch_of(window.entered_at, boundaries)].append(
+            {"t": "home-alone", "home": home.home_index,
+             "epoch": epoch_of(window.entered_at, boundaries),
+             "state": "enter", "at": window.entered_at})
+        if window.exited_at is not None:
+            per_epoch[epoch_of(window.exited_at, boundaries)].append({
+                "t": "home-alone", "home": home.home_index,
+                "epoch": epoch_of(window.exited_at, boundaries),
+                "state": "exit", "at": window.exited_at,
+                "resynced_signals": window.resynced_signals,
+                "deferred_wan_packets": window.deferred_wan_packets})
+    for event in home.fault_events:
+        per_epoch[epoch_of(event.injected_at, boundaries)].append(
+            _fault_record("injected", home.home_index,
+                          epoch_of(event.injected_at, boundaries), event,
+                          event.injected_at))
+        if event.recovered_at is not None:
+            per_epoch[epoch_of(event.recovered_at, boundaries)].append(
+                _fault_record("recovered", home.home_index,
+                              epoch_of(event.recovered_at, boundaries),
+                              event, event.recovered_at))
+    events: List[Dict[str, Any]] = []
+    for epoch, (until, batch) in enumerate(zip(boundaries, per_epoch)):
+        events.extend(batch)
+        events.append({"t": "epoch", "epoch": epoch, "until": until,
+                       "home": home.home_index})
+    return events
+
+
+class FleetActor:
+    """The fleet-level actor: deterministic WAN routing state.
+
+    Collects every home's drained outbox, orders the batch globally by
+    ``(epoch, src_home, seq)``, stages it for delivery at the next epoch
+    boundary, and keeps the inbound history that crash replays consume.
+    """
+
+    def __init__(self, n_homes: int):
+        self.n_homes = n_homes
+        self.pending: Inbound = {}
+        # history[e][home] = messages delivered into `home` at epoch e's
+        # start; epoch 0 has no inbound.  The crash-replay source of
+        # truth (holds live message objects, not serialized copies).
+        self.history: List[Inbound] = []
+        self.routed = 0
+
+    def take_inbound(self) -> Inbound:
+        """Start an epoch: claim the staged traffic and append it to the
+        replay history."""
+        inbound, self.pending = self.pending, {}
+        self.history.append(inbound)
+        return inbound
+
+    def route(self, outputs: Dict[int, tuple]) -> List[CrossHomeMessage]:
+        """Merge per-home outboxes into the global order and stage them
+        for the next epoch; returns the ordered batch."""
+        messages: List[CrossHomeMessage] = []
+        for index in sorted(outputs):
+            messages.extend(outputs[index][0])
+        messages.sort(key=CrossHomeMessage.sort_key)
+        for message in messages:
+            self.pending.setdefault(message.dst_home, []).append(message)
+        self.routed += len(messages)
+        return messages
+
+    def dropped(self) -> int:
+        """Messages staged after the final epoch (no boundary left to
+        deliver them at)."""
+        return sum(len(batch) for batch in self.pending.values())
+
+
+def message_to_dict(message: CrossHomeMessage) -> Dict[str, Any]:
+    from repro.server.store import json_safe
+    return {"kind": message.kind, "src_home": message.src_home,
+            "dst_home": message.dst_home, "seq": message.seq,
+            "epoch": message.epoch, "payload": json_safe(message.payload)}
+
+
+class Supervisor:
+    """Root of the supervision tree.
+
+    Owns the :class:`RuntimeBus` and the :class:`Journal`; every driver
+    (serial, parallel, exchange) emits its lifecycle events here.  The
+    supervisor's bus subscriber assigns the global 1-based alert
+    sequence and writes one journal record per event.  With no journal
+    configured the bus still runs (events are simply not persisted), so
+    the drivers are unconditional and the journal-off path stays cheap.
+    """
+
+    def __init__(self, spec: ScenarioSpec, journal=None,
+                 engine: str = "serial", workers: int = 1):
+        self.spec = spec
+        self.engine = engine
+        self.workers = workers
+        self.journal, self._owns_journal = open_journal(journal)
+        self.bus = RuntimeBus()
+        self.alert_seq = 0
+        self.bus.subscribe(self._record)
+        self._ended = False
+
+    @property
+    def journaling(self) -> bool:
+        return self.journal is not None
+
+    # -- event intake -------------------------------------------------------
+    def emit(self, topic: str, **data: Any) -> None:
+        self.bus.post(topic, data)
+        self.bus.pump()
+        if self.journal is not None:
+            self.journal.flush()
+
+    def observe(self, events: Sequence[Dict[str, Any]]) -> None:
+        """Feed actor-polled (or derived) event dicts through the bus.
+
+        Posts the whole batch, then pumps once: same FIFO dispatch
+        order as per-event ``emit`` at a fraction of the per-record
+        cost (this path carries every derived event of a journaled
+        fleet run)."""
+        for event in events:
+            event = dict(event)
+            self.bus.post(event.pop("t"), event)
+        self.bus.pump()
+        if self.journal is not None:
+            self.journal.flush()
+
+    def epoch_boundary(self, epoch: int, until: float,
+                       on_epoch: Optional[Callable[[Optional[int], int],
+                                                   None]] = None,
+                       home: Optional[int] = None) -> None:
+        """Record an epoch boundary, make the journal durable up to it,
+        and fire the caller's ``on_epoch(home, epoch)`` hook — the
+        cooperative-interruption seam (the server raises from it)."""
+        payload: Dict[str, Any] = {"epoch": epoch, "until": until}
+        if home is not None:
+            payload["home"] = home
+        self.emit("epoch", **payload)
+        if self.journal is not None:
+            self.journal.sync()
+        if on_epoch is not None:
+            on_epoch(home, epoch)
+
+    # -- run envelope -------------------------------------------------------
+    def open(self) -> None:
+        self.emit("run-start", version=JOURNAL_VERSION, engine=self.engine,
+                  workers=self.workers, spec=self.spec.to_dict(),
+                  spec_hash=self.spec.spec_hash())
+
+    def close(self, result: ScenarioResult) -> None:
+        """Normal completion: the run-end envelope record."""
+        self.emit("run-end", homes=len(result.homes),
+                  alerts=len(result.alerts),
+                  infected=len(result.infected))
+        self._ended = True
+
+    def abort(self, reason: str) -> None:
+        """Interrupted run: the well-formed truncation marker."""
+        if self.journal is not None and not self._ended:
+            self.journal.mark_truncated(reason)
+        self._ended = True
+
+    def release(self) -> None:
+        """Close the journal handle if this supervisor opened it."""
+        if self._owns_journal and self.journal is not None:
+            self.journal.close()
+
+    # -- the journal subscriber --------------------------------------------
+    def _record(self, topic: str, data: Dict[str, Any]) -> None:
+        if topic == "alert":
+            self.alert_seq += 1
+            data = {"n": self.alert_seq, **data}
+        if self.journal is not None:
+            self.journal.append(topic, **data)

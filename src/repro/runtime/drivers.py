@@ -1,0 +1,217 @@
+"""Thin drivers: the serial and parallel fast paths over the runtime.
+
+:func:`run_fast_path` is the body of
+:func:`~repro.scenarios.spec.run_spec` for specs without cross-home
+exchange (the lockstep engine in :mod:`repro.scenarios.exchange` is the
+third driver).  A journal-off run executes exactly the pre-runtime code
+path — ``run_home`` per home, fork-sharded workers — under a supervisor
+whose bus events go nowhere.  A journal-on run takes that same straight
+path and derives each home's journal records from its completed result
+(:func:`~repro.runtime.actors.derived_home_events`); only an
+``on_epoch`` interruption hook — the server's cancellation seam, the
+replayer's ``--until-alert`` stop — epoch-chunks homes through live
+:class:`~repro.runtime.actors.HomeActor`\\ s, which journal the same
+stream record-for-record.  Either way the observations are
+byte-identical (epoch-chunked advancement processes exactly the same
+events as one straight run; the perf gate in ``BENCH_fleet.json`` pins
+journal overhead ≤ 5%).
+
+Crash recovery: a home whose forked worker died is restarted in-parent
+as a supervised actor and re-run epoch by epoch (``actor-crash`` /
+``actor-restart`` journal records); determinism makes the resumed
+observations byte-identical to an unfailed run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.runtime.actors import (
+    HomeActor,
+    Supervisor,
+    derived_home_events,
+    epoch_boundaries,
+)
+from repro.scenarios.prototype import PROTOTYPES
+from repro import telemetry as _telemetry
+from repro.telemetry import MetricsRegistry
+
+
+def run_fast_path(spec, workers, max_home_retries, retry_backoff_s,
+                  on_home, on_epoch, journal, cross_indices):
+    """Serial / fork-parallel execution of a no-exchange spec under a
+    supervisor.  See :func:`repro.scenarios.spec.run_spec` for the
+    public contract; this function assumes the spec is validated."""
+    from repro.scenarios.spec import ScenarioResult
+
+    n_homes = len(spec.homes)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = min(workers, max(n_homes, 1))
+    serial = workers <= 1 or n_homes <= 1 or not _fork_available()
+
+    supervisor = Supervisor(spec, journal=journal,
+                            engine="serial" if serial else "parallel",
+                            workers=1 if serial else workers)
+    result = ScenarioResult(spec=spec, features={}, device_types={},
+                            infected=set(), outcomes=[], alerts=[])
+    outcomes: Dict[int, object] = {}
+    try:
+        supervisor.open()
+        if serial:
+            _run_serial(spec, supervisor, result, outcomes, cross_indices,
+                        on_home, on_epoch)
+        else:
+            _run_parallel(spec, supervisor, result, outcomes, cross_indices,
+                          on_home, on_epoch, workers, max_home_retries,
+                          retry_backoff_s)
+        result.outcomes = [outcomes.get(i) for i in range(len(spec.attacks))]
+        supervisor.close(result)
+    except BaseException as exc:
+        supervisor.abort(f"{type(exc).__name__}: {exc}")
+        raise
+    finally:
+        supervisor.release()
+    if result.telemetry is not None:
+        # Fold the merged telemetry into the process registry so a CLI
+        # --telemetry export sees spec runs too.
+        _telemetry.registry().merge(result.telemetry)
+    return result
+
+
+def _fork_available() -> bool:
+    from repro.scenarios.spec import fork_available
+    return fork_available()
+
+
+def _run_chunked(spec, index, supervisor, boundaries, on_epoch):
+    """One home, epoch by epoch, under live supervision: the journaled
+    serial path and the crash-resume path share this loop."""
+    local = MetricsRegistry() if _telemetry.ENABLED else None
+    actor = HomeActor(spec, index, registry=local,
+                      collect_events=supervisor.journaling)
+    actor.start()
+    for epoch, until in enumerate(boundaries):
+        _, _, events = actor.advance_epoch(epoch, until)
+        supervisor.observe(events)
+        supervisor.epoch_boundary(epoch, until, on_epoch=on_epoch,
+                                  home=index)
+    return actor.finish()
+
+
+def _run_serial(spec, supervisor, result, outcomes, cross_indices,
+                on_home, on_epoch):
+    from repro.scenarios.spec import _merge_home
+
+    # Epoch-chunked execution exists for the interruption seam: only an
+    # on_epoch hook (server cancellation, replay --until-alert) needs
+    # the run stopped at boundaries.  A journal alone rides the straight
+    # run_home path and derives its records per home — byte-identical
+    # stream, none of the chunking overhead (see bench_journal_overhead).
+    chunked = on_epoch is not None
+    boundaries = (epoch_boundaries(spec)
+                  if chunked or supervisor.journaling else None)
+    for index in range(len(spec.homes)):
+        supervisor.emit("actor-start", home=index)
+        if chunked:
+            home = _run_chunked(spec, index, supervisor, boundaries,
+                                on_epoch)
+        else:
+            home = HomeActor(spec, index).run_once()
+            if supervisor.journaling:
+                supervisor.observe(derived_home_events(home, boundaries))
+        supervisor.emit("actor-done", home=index, alerts=len(home.alerts),
+                        infected=len(home.infected))
+        _merge_home(result, home, outcomes, cross_indices)
+        if on_home is not None:
+            on_home(home)
+
+
+def _run_parallel(spec, supervisor, result, outcomes, cross_indices,
+                  on_home, on_epoch, workers, max_home_retries,
+                  retry_backoff_s):
+    from repro.scenarios.spec import _home_task, _merge_home
+
+    n_homes = len(spec.homes)
+    # Warm the prototype cache for every distinct topology before
+    # forking: the snapshots ride into the workers via copy-on-write
+    # pages, so no worker pays the first-build cost.
+    if PROTOTYPES.enabled:
+        for home_spec in spec.homes:
+            PROTOTYPES.warm(home_spec)
+    context = multiprocessing.get_context("fork")
+    homes: List[Optional[object]] = [None] * n_homes
+    errors: Dict[int, str] = {}
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=context) as pool:
+        # Futures collected in submission order, which is home order —
+        # exactly the serial merge order.  Workers inherit the telemetry
+        # enable flag through fork and record into worker-local
+        # registries, so each result carries its home's snapshot and the
+        # merge here is identical to serial.
+        futures = [pool.submit(_home_task, (spec, index))
+                   for index in range(n_homes)]
+        for index, future in enumerate(futures):
+            try:
+                homes[index] = future.result()
+            except Exception as exc:
+                # Worker died (BrokenProcessPool) or the task raised;
+                # leave the slot empty for a supervised resume.
+                errors[index] = f"{type(exc).__name__}: {exc}"
+                if _telemetry.ENABLED:
+                    _telemetry.registry().counter(
+                        "fleet.home_worker_failures",
+                        home=f"{index:02d}").inc()
+    boundaries = epoch_boundaries(spec) if supervisor.journaling else None
+    for index, home in enumerate(homes):
+        supervisor.emit("actor-start", home=index)
+        if home is None:
+            supervisor.emit("actor-crash", homes=[index], epoch=None,
+                            error=errors.get(index, "worker died"))
+            home = _resume_home(spec, index, supervisor, boundaries,
+                                on_epoch, max_home_retries, retry_backoff_s)
+            home.degraded = True
+        elif supervisor.journaling:
+            # Workers return whole homes; derive the per-event records a
+            # live actor would have journaled, in the same global order.
+            supervisor.observe(derived_home_events(home, boundaries))
+        supervisor.emit("actor-done", home=index, alerts=len(home.alerts),
+                        infected=len(home.infected))
+        _merge_home(result, home, outcomes, cross_indices)
+        if on_home is not None:
+            on_home(home)
+
+
+def _resume_home(spec, index, supervisor, boundaries, on_epoch,
+                 max_home_retries, retry_backoff_s):
+    """Journal-resume for the fast path: restart the dead home's actor
+    in-parent and re-run it epoch by epoch.  Determinism (each home is a
+    pure function of ``spec.seed + index``) makes the resumed
+    observations byte-identical to an unfailed run."""
+    from repro.scenarios.spec import SpecError, run_home
+
+    supervisor.emit("actor-restart", homes=[index], resumed_epoch=0)
+    last_error: Optional[BaseException] = None
+    for attempt in range(max_home_retries):
+        if attempt:
+            time.sleep(retry_backoff_s * (2 ** (attempt - 1)))
+        # Retry accounting goes to the *parent* process registry, never
+        # the home-local one, so a crash-free parallel run stays
+        # byte-identical to serial.
+        if _telemetry.ENABLED:
+            _telemetry.registry().counter(
+                "fleet.home_retries", home=f"{index:02d}").inc()
+        try:
+            if supervisor.journaling:
+                return _run_chunked(spec, index, supervisor, boundaries,
+                                    on_epoch)
+            return run_home(spec, index)
+        except Exception as exc:
+            last_error = exc
+    raise SpecError(
+        f"home {index} failed after {max_home_retries} serial retries"
+    ) from last_error

@@ -1,0 +1,168 @@
+"""Append-only JSONL event journal for scenario runs.
+
+One JSON object per line, one line per runtime event: actor lifecycle
+(``actor-start``/``actor-done``/``actor-crash``/``actor-restart``),
+epoch boundaries, WAN message batches, alerts, fault transitions,
+home-alone windows, and the run envelope (``run-start``/``run-end`` or
+a ``truncated`` marker).  The journal is written as the run progresses
+with appends buffered and flushed at every event batch and epoch
+boundary, so a crash post-mortem sees whole records up to the last
+completed batch (a torn final line is tolerated by
+:func:`read_journal`).  :meth:`Journal.sync` is the flush/fsync seam
+fired at epoch boundaries and before truncation markers; journals that
+must survive process death (the server's job journals) are opened with
+``fsync=True``, which makes every single append durable.
+
+Record kinds and their fields:
+
+``run-start``
+    ``version``, ``engine`` (serial | parallel | exchange),
+    ``workers``, ``spec`` (full ``ScenarioSpec.to_dict()``),
+    ``spec_hash``.
+``actor-start`` / ``actor-done``
+    ``home``; done adds ``alerts`` and ``infected`` counts.
+``epoch``
+    ``epoch``, ``until`` (absolute sim seconds); fast-path records add
+    ``home`` (epochs are per-home there), exchange records are fleetwide.
+``wan``
+    ``epoch`` (the epoch the batch is delivered at), ``messages``
+    (list of ``{kind, src_home, dst_home, seq, epoch, payload}``).
+``alert``
+    ``n`` (global 1-based alert sequence), ``home``, ``epoch``,
+    ``alert`` (the identity-contract dict from
+    :func:`repro.server.store.alert_to_dict`).
+``fault``
+    ``event`` (injected | recovered), ``home``, ``index``, ``fault``,
+    ``target``, ``at``.
+``home-alone``
+    ``home``, ``state`` (enter | exit), ``at``; exit adds
+    ``resynced_signals`` and ``deferred_wan_packets``.
+``actor-crash`` / ``actor-restart``
+    ``homes``; crash adds ``epoch`` and ``error``, restart adds
+    ``resumed_epoch``.
+``run-end``
+    ``homes``, ``alerts``, ``infected`` totals.
+``truncated``
+    ``reason``, ``records`` — the well-formed end marker for
+    interrupted runs (cancellation, timeout, crash of the driver).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """An unreadable or structurally invalid journal."""
+
+
+class Journal:
+    """Append-only JSONL run journal.
+
+    ``fsync=True`` makes every append durable (used for server job
+    journals); the default buffers appends and rides on the
+    supervisor's per-batch :meth:`flush` and per-epoch :meth:`sync`
+    calls.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], fsync: bool = False):
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self.records = 0
+        self.alert_records = 0
+        self.closed = False
+
+    def append(self, kind: str, **data: Any) -> Dict[str, Any]:
+        if self.closed:
+            raise JournalError(f"journal {self.path} is closed")
+        record = {"t": kind, **data}
+        self._handle.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n")
+        if self.fsync:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        self.records += 1
+        if kind == "alert":
+            self.alert_records += 1
+        return record
+
+    def flush(self) -> None:
+        """Push buffered appends to the OS — called once per event
+        batch by the supervisor (per-append flushing costs ~6ms of
+        syscalls on an 800-record fleet journal)."""
+        if not self.closed:
+            self._handle.flush()
+
+    def sync(self) -> None:
+        """The durability seam fired at epoch boundaries and truncation
+        markers: always flush; fsync only when the journal was opened
+        durable (``fsync=True``) — an unconditional fsync here costs
+        ~70% wall-clock on clone-path fleet runs."""
+        if not self.closed:
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+
+    def mark_truncated(self, reason: str, **data: Any) -> None:
+        """Append the well-formed end marker for an interrupted run and
+        make it durable.  Idempotent under a closed journal."""
+        if self.closed:
+            return
+        self.append("truncated", reason=reason, records=self.records, **data)
+        self.sync()
+
+    def close(self) -> None:
+        if not self.closed:
+            self._handle.close()
+            self.closed = True
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def open_journal(journal: Union[None, str, os.PathLike, Journal]
+                 ) -> Tuple[Optional[Journal], bool]:
+    """Normalize a ``journal=`` argument: a path opens a new journal the
+    caller of this helper owns (second element True); an existing
+    :class:`Journal` is passed through, still owned by whoever made it."""
+    if journal is None:
+        return None, False
+    if isinstance(journal, Journal):
+        return journal, False
+    return Journal(journal), True
+
+
+def read_journal(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
+    """Parse a journal back into its records.
+
+    A torn *final* line (the crash mid-write the journal exists to
+    survive) is silently dropped; a malformed line anywhere else raises
+    :class:`JournalError`.
+    """
+    with open(os.fspath(path), encoding="utf-8") as handle:
+        lines = handle.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines) - 1:
+                break
+            raise JournalError(
+                f"{path}:{lineno + 1}: malformed journal line") from None
+        if not isinstance(record, dict) or "t" not in record:
+            raise JournalError(
+                f"{path}:{lineno + 1}: record has no 't' kind")
+        records.append(record)
+    return records

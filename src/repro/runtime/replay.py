@@ -1,0 +1,143 @@
+"""Time-travel replay: re-execute a journaled run and verify it.
+
+``python -m repro replay <journal> [--until-alert N]`` loads the
+journal's ``run-start`` record (which embeds the full canonical spec),
+re-executes the spec through the same supervised runtime into a scratch
+journal, and compares the regenerated alert stream — content *and*
+global sequence — against the recorded one with
+:func:`~repro.server.store.canonical_json`.  Because every home is a
+deterministic function of the spec, replay is re-execution, not tape
+playback: it exercises the entire engine and fails loudly on any
+divergence (a tampered journal, a non-deterministic regression).
+
+``--until-alert N`` stops the re-execution at the first epoch boundary
+at or after the Nth recorded alert — time travel to just past the
+moment an alert fired, with everything before it reproduced exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.runtime.journal import Journal, JournalError, read_journal
+
+
+class ReplayError(RuntimeError):
+    """The journal cannot be replayed (missing/invalid envelope,
+    out-of-range ``--until-alert``)."""
+
+
+class _ReplayStop(Exception):
+    """Internal: raised from the on_epoch hook once enough alerts have
+    been regenerated (the --until-alert cutoff)."""
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one replay: the regenerated alerts and the diff."""
+
+    journal_path: str
+    spec_name: str
+    engine: str
+    recorded_alerts: int            # alert records in the source journal
+    target_alerts: int              # how many replay had to reproduce
+    replayed: List[Dict[str, Any]] = field(default_factory=list)
+    mismatches: List[str] = field(default_factory=list)
+    truncated: bool = False         # source journal ends in `truncated`
+    until_alert: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def replay_journal(path: Union[str, os.PathLike],
+                   until_alert: Optional[int] = None,
+                   workers: int = 1) -> ReplayReport:
+    """Re-execute the journaled run and verify its alert stream.
+
+    Returns a :class:`ReplayReport`; ``report.ok`` is False when any
+    regenerated alert differs from the recorded one (by canonical JSON)
+    or the counts diverge.  Raises :class:`ReplayError` for journals
+    with no usable ``run-start`` envelope.
+    """
+    from repro.scenarios.spec import ScenarioSpec, run_spec
+    from repro.server.store import canonical_json
+
+    records = read_journal(path)
+    if not records or records[0].get("t") != "run-start":
+        raise ReplayError(f"{os.fspath(path)}: no run-start record — "
+                          "not a run journal")
+    envelope = records[0]
+    try:
+        spec = ScenarioSpec.from_dict(envelope["spec"])
+    except Exception as exc:
+        raise ReplayError(
+            f"{os.fspath(path)}: embedded spec does not load: {exc}"
+        ) from exc
+    recorded = [r for r in records if r["t"] == "alert"]
+    truncated = bool(records) and records[-1]["t"] == "truncated"
+    if until_alert is not None:
+        if until_alert < 1:
+            raise ReplayError("--until-alert must be >= 1")
+        if until_alert > len(recorded):
+            raise ReplayError(
+                f"--until-alert {until_alert} is beyond the journal's "
+                f"{len(recorded)} recorded alert(s)")
+        recorded = recorded[:until_alert]
+    target = len(recorded)
+
+    report = ReplayReport(
+        journal_path=os.fspath(path), spec_name=spec.name,
+        engine=str(envelope.get("engine", "?")),
+        recorded_alerts=len([r for r in records if r["t"] == "alert"]),
+        target_alerts=target, truncated=truncated,
+        until_alert=until_alert)
+
+    handle, scratch_path = tempfile.mkstemp(prefix="repro-replay-",
+                                            suffix=".jsonl")
+    os.close(handle)
+    try:
+        scratch = Journal(scratch_path)
+
+        def on_epoch(home: Optional[int], epoch: int) -> None:
+            if until_alert is not None and scratch.alert_records >= target:
+                raise _ReplayStop()
+
+        try:
+            run_spec(spec, workers=workers, journal=scratch,
+                     on_epoch=on_epoch)
+        except _ReplayStop:
+            pass
+        finally:
+            scratch.close()
+        replayed = [r for r in read_journal(scratch_path)
+                    if r["t"] == "alert"]
+    finally:
+        os.unlink(scratch_path)
+
+    # --until-alert stops at an epoch boundary, which may have carried
+    # a few alerts beyond the Nth; the comparison window is exactly the
+    # recorded prefix.
+    report.replayed = replayed[:target] if until_alert is not None \
+        else replayed
+
+    if len(report.replayed) != target:
+        report.mismatches.append(
+            f"alert count: journal has {target}, replay produced "
+            f"{len(report.replayed)}")
+    for original, regenerated in zip(recorded, report.replayed):
+        if original.get("n") != regenerated.get("n"):
+            report.mismatches.append(
+                f"alert #{original.get('n')}: sequence number diverged "
+                f"(replay says #{regenerated.get('n')})")
+            continue
+        if canonical_json(original["alert"]) != \
+                canonical_json(regenerated["alert"]):
+            report.mismatches.append(
+                f"alert #{original['n']} (home {original.get('home')}): "
+                "content diverged from the recorded run")
+    return report

@@ -33,98 +33,74 @@ import os
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.network.internet import CrossHomeMessage, WanExchangePort
+from repro.runtime.actors import (
+    FleetActor,
+    HomeActor,
+    Inbound,
+    Supervisor,
+    epoch_boundaries as _epoch_boundaries,
+    message_to_dict,
+)
 from repro.scenarios.prototype import PROTOTYPES
 from repro.scenarios.spec import (
     HomeRunResult,
     ScenarioResult,
     ScenarioSpec,
     SpecError,
-    _finalise_home_telemetry,
-    _HomeExecution,
     _merge_home,
     fork_available,
 )
 from repro import telemetry as _telemetry
 from repro.telemetry import MetricsRegistry
 
-# One epoch's routed traffic: destination home -> ordered message list.
-Inbound = Dict[int, List[CrossHomeMessage]]
-# One home's epoch output: (drained outbox, infected-device count).
-EpochOutput = Tuple[List[CrossHomeMessage], int]
+# One home's epoch output: (drained outbox, infected-device count,
+# journal-ready event dicts polled since the previous epoch).
+EpochOutput = Tuple[List[CrossHomeMessage], int, List[dict]]
 
 
 class ShardCrash(RuntimeError):
     """A forked shard died or reported a failure mid-epoch."""
 
 
-def _epoch_boundaries(spec: ScenarioSpec) -> List[float]:
-    """Absolute sim times every home advances to, epoch by epoch.
-
-    The last boundary is exactly ``warmup_s + duration_s`` (no float
-    accumulation past the end), and the list is computed from the spec
-    alone so every shard — and every crash replay — sees identical
-    boundaries.
-    """
-    end = spec.warmup_s + spec.duration_s
-    boundaries: List[float] = []
-    t = spec.warmup_s
-    while True:
-        t += spec.epoch_s
-        if t >= end - 1e-9:
-            boundaries.append(end)
-            return boundaries
-        boundaries.append(t)
-
-
 class _EpochShard:
-    """A set of homes advanced in lockstep inside one process.
+    """A set of home actors advanced in lockstep inside one process.
 
     Used three ways: as the single serial shard, as the body of a
     forked shard process, and as the in-parent replacement that replays
-    a crashed shard's homes from the inbound journal.
+    a crashed shard's homes from the inbound journal.  With
+    ``collect_events`` on, each advance also carries the actors' polled
+    runtime events (plain dicts) back to the supervising parent.
     """
 
-    def __init__(self, spec: ScenarioSpec, indices: List[int]):
+    def __init__(self, spec: ScenarioSpec, indices: List[int],
+                 collect_events: bool = False):
         self.spec = spec
         self.indices = list(indices)
+        self.collect_events = collect_events
         self._boundaries = _epoch_boundaries(spec)
-        self._execs: Dict[int, _HomeExecution] = {}
-        self._locals: Dict[int, Optional[MetricsRegistry]] = {}
+        self._actors: Dict[int, HomeActor] = {}
 
     def prepare(self) -> None:
         for index in self.indices:
             local = MetricsRegistry() if _telemetry.ENABLED else None
             port = WanExchangePort(index, len(self.spec.homes),
                                    self.spec.epoch_s)
-            execution = _HomeExecution(self.spec, index, port=port,
-                                       registry=local)
-            execution.arm()
-            self._execs[index] = execution
-            self._locals[index] = local
+            actor = HomeActor(self.spec, index, port=port, registry=local,
+                              collect_events=self.collect_events)
+            actor.start()
+            self._actors[index] = actor
 
     def advance(self, epoch: int, inbound: Inbound) -> Dict[int, EpochOutput]:
         """Deliver the epoch's inbound, run to the boundary, drain."""
         until = self._boundaries[epoch]
         outputs: Dict[int, EpochOutput] = {}
         for index in self.indices:
-            execution = self._execs[index]
-            for message in inbound.get(index, ()):
-                execution.deliver(message)
-            execution.advance(until)
-            outputs[index] = (execution.drain(epoch),
-                              execution.infected_count())
+            outputs[index] = self._actors[index].advance_epoch(
+                epoch, until, inbound.get(index, ()))
         return outputs
 
     def finish(self) -> List[HomeRunResult]:
-        results = []
-        for index in self.indices:
-            execution = self._execs[index]
-            result, end_time = execution.finish()
-            local = self._locals[index]
-            if local is not None:
-                _finalise_home_telemetry(result, local, end_time)
-            results.append(result)
-        return results
+        return [self._actors[index].finish() for index in self.indices]
 
 
 # Test seam: called in the forked shard process before each epoch's
@@ -135,10 +111,11 @@ def _shard_crash_hook(epoch: int, indices: List[int]) -> None:
     return None
 
 
-def _shard_main(spec: ScenarioSpec, indices: List[int], conn) -> None:
+def _shard_main(spec: ScenarioSpec, indices: List[int], conn,
+                collect_events: bool = False) -> None:
     """Forked shard body: a request/reply loop over one pipe."""
     try:
-        shard = _EpochShard(spec, indices)
+        shard = _EpochShard(spec, indices, collect_events=collect_events)
         shard.prepare()
         while True:
             request = conn.recv()
@@ -163,11 +140,13 @@ def _shard_main(spec: ScenarioSpec, indices: List[int], conn) -> None:
 class _ForkedShard:
     """Parent-side handle driving one forked :class:`_EpochShard`."""
 
-    def __init__(self, context, spec: ScenarioSpec, indices: List[int]):
+    def __init__(self, context, spec: ScenarioSpec, indices: List[int],
+                 collect_events: bool = False):
         self.indices = list(indices)
         self._conn, child_conn = context.Pipe()
         self.process = context.Process(
-            target=_shard_main, args=(spec, self.indices, child_conn))
+            target=_shard_main,
+            args=(spec, self.indices, child_conn, collect_events))
         self.process.start()
         child_conn.close()
 
@@ -203,9 +182,11 @@ class _LocalShard:
     """Uniform handle around an in-parent :class:`_EpochShard` (serial
     mode and crash replays); never calls the crash hook."""
 
-    def __init__(self, spec: ScenarioSpec, indices: List[int]):
+    def __init__(self, spec: ScenarioSpec, indices: List[int],
+                 collect_events: bool = False):
         self.indices = list(indices)
-        self._shard = _EpochShard(spec, indices)
+        self._shard = _EpochShard(spec, indices,
+                                  collect_events=collect_events)
         self._shard.prepare()
 
     def advance(self, epoch: int, inbound: Inbound) -> Dict[int, EpochOutput]:
@@ -232,19 +213,22 @@ def _shard_layout(n_homes: int, workers: int) -> List[List[int]]:
 
 def _replay_shard(spec: ScenarioSpec, indices: List[int],
                   journal: List[Inbound], upto_epoch: int,
+                  collect_events: bool = False,
                   ) -> Tuple[_LocalShard, Dict[int, EpochOutput]]:
     """Rebuild a crashed shard's homes in-parent and replay them
     through the journalled inbound up to (and including) ``upto_epoch``.
 
     Replay is deterministic — the journal holds every input the lost
     homes ever consumed — so the returned epoch output is bit-for-bit
-    what the dead shard would have produced.
+    what the dead shard would have produced.  Events polled for the
+    catch-up epochs were already journaled before the crash, so only
+    the final (resumed) epoch's output carries them to the caller.
     """
     if _telemetry.ENABLED:
         _telemetry.registry().counter(
             "fleet.shard_replays",
             homes=",".join(f"{i:02d}" for i in indices)).inc()
-    replacement = _LocalShard(spec, indices)
+    replacement = _LocalShard(spec, indices, collect_events=collect_events)
     outputs: Dict[int, EpochOutput] = {}
     for epoch in range(upto_epoch + 1):
         inbound = {index: journal[epoch].get(index, [])
@@ -258,9 +242,12 @@ def run_exchange_spec(spec: ScenarioSpec,
                       max_home_retries: int = 3,
                       retry_backoff_s: float = 0.05,
                       on_home: Optional[Callable[[HomeRunResult], None]] = None,
+                      on_epoch: Optional[Callable[[Optional[int], int],
+                                                  None]] = None,
+                      journal=None,
                       cross_indices: Set[int] = frozenset(),
                       ) -> ScenarioResult:
-    """Run a multi-home spec with cross-home attacks in lockstep epochs.
+    r"""Run a multi-home spec with cross-home attacks in lockstep epochs.
 
     Called by :func:`repro.scenarios.spec.run_spec` — not directly —
     whenever a multi-home spec schedules a cross-home attack.  The
@@ -268,6 +255,15 @@ def run_exchange_spec(spec: ScenarioSpec,
     ``retry_backoff_s`` are accepted for parity but crash recovery here
     is journal replay (deterministic, in-parent) rather than blind
     retry, so they are not consulted.
+
+    The run executes under a :class:`~repro.runtime.actors.Supervisor`:
+    homes are :class:`~repro.runtime.actors.HomeActor`\ s (in-parent or
+    inside forked shards), WAN routing state lives in a
+    :class:`~repro.runtime.actors.FleetActor`, and — when ``journal=``
+    is given — every epoch boundary, routed WAN batch, alert, fault and
+    home-alone transition lands in the append-only journal as it
+    happens, with shard deaths recorded as ``actor-crash`` /
+    ``actor-restart`` pairs.
     """
     n_homes = len(spec.homes)
     boundaries = _epoch_boundaries(spec)
@@ -277,6 +273,9 @@ def run_exchange_spec(spec: ScenarioSpec,
     workers = min(workers, n_homes)
     parallel = workers > 1 and fork_available()
 
+    supervisor = Supervisor(spec, journal=journal, engine="exchange",
+                            workers=workers if parallel else 1)
+    collect = supervisor.journaling
     fleet_registry = MetricsRegistry() if _telemetry.ENABLED else None
 
     if parallel:
@@ -286,21 +285,21 @@ def run_exchange_spec(spec: ScenarioSpec,
             for home_spec in spec.homes:
                 PROTOTYPES.warm(home_spec)
         context = multiprocessing.get_context("fork")
-        shards = [_ForkedShard(context, spec, indices)
+        shards = [_ForkedShard(context, spec, indices,
+                               collect_events=collect)
                   for indices in _shard_layout(n_homes, workers)]
     else:
-        shards = [_LocalShard(spec, list(range(n_homes)))]
+        shards = [_LocalShard(spec, list(range(n_homes)),
+                              collect_events=collect)]
 
     replayed: Set[int] = set()
-    # journal[e][home] = the messages routed *into* home at epoch e's
-    # start; epoch 0 has no inbound.  This is both the router's working
-    # state and the crash-replay source of truth.
-    journal: List[Inbound] = []
-    pending: Inbound = {}
+    fleet = FleetActor(n_homes)
     try:
+        supervisor.open()
+        for index in range(n_homes):
+            supervisor.emit("actor-start", home=index)
         for epoch in range(n_epochs):
-            inbound, pending = pending, {}
-            journal.append(inbound)
+            inbound = fleet.take_inbound()
             outputs: Dict[int, EpochOutput] = {}
             for position, shard in enumerate(shards):
                 shard_inbound = {index: inbound[index]
@@ -308,27 +307,41 @@ def run_exchange_spec(spec: ScenarioSpec,
                                  if index in inbound}
                 try:
                     outputs.update(shard.advance(epoch, shard_inbound))
-                except ShardCrash:
+                except ShardCrash as crash:
                     if _telemetry.ENABLED:
                         _telemetry.registry().counter(
                             "fleet.shard_failures").inc()
                     shard.close()
+                    supervisor.emit("actor-crash", homes=shard.indices,
+                                    epoch=epoch, error=str(crash))
+                    # Journal-resume: rebuild the lost homes in-parent
+                    # and replay them through the inbound history.  Only
+                    # the resumed epoch's events reach the journal — the
+                    # catch-up epochs were journaled before the crash.
                     replacement, replayed_out = _replay_shard(
-                        spec, shard.indices, journal, epoch)
+                        spec, shard.indices, fleet.history, epoch,
+                        collect_events=collect)
                     shards[position] = replacement
                     replayed.update(shard.indices)
+                    supervisor.emit("actor-restart", homes=shard.indices,
+                                    resumed_epoch=epoch)
                     outputs.update(replayed_out)
+            if collect:
+                # Runtime events in deterministic home order, regardless
+                # of shard layout or reply order.
+                for index in sorted(outputs):
+                    supervisor.observe(outputs[index][2])
             # Deterministic global routing order: every home's outbox,
-            # sorted by (epoch, src_home, seq).  Sends of this epoch all
-            # carry the same epoch stamp, so this is src-home-major,
+            # sorted by (epoch, src_home, seq) — src-home-major,
             # send-order-minor — independent of shard layout and of
             # which shard replied first.
-            messages: List[CrossHomeMessage] = []
-            for index in sorted(outputs):
-                messages.extend(outputs[index][0])
-            messages.sort(key=CrossHomeMessage.sort_key)
-            for message in messages:
-                pending.setdefault(message.dst_home, []).append(message)
+            messages = fleet.route(outputs)
+            if supervisor.journaling and messages:
+                # Journaled against the epoch the batch is *delivered*
+                # at (the next boundary), matching fleet.history.
+                supervisor.emit("wan", epoch=epoch + 1,
+                                messages=[message_to_dict(m)
+                                          for m in messages])
             if fleet_registry is not None:
                 fleet_registry.counter("fleet.epochs").inc()
                 for message in messages:
@@ -336,11 +349,13 @@ def run_exchange_spec(spec: ScenarioSpec,
                                            kind=message.kind).inc()
                 fleet_registry.gauge(
                     "fleet.infected_devices", epoch=f"{epoch:03d}").set(
-                    sum(infected for _, infected in outputs.values()))
+                    sum(output[1] for output in outputs.values()))
+            supervisor.epoch_boundary(epoch, boundaries[epoch],
+                                      on_epoch=on_epoch)
 
         # Messages emitted during the final epoch have no next boundary
         # to deliver at; count them rather than dropping silently.
-        dropped = sum(len(batch) for batch in pending.values())
+        dropped = fleet.dropped()
         if fleet_registry is not None and dropped:
             fleet_registry.counter("fleet.exchange_dropped").inc(dropped)
 
@@ -348,36 +363,51 @@ def run_exchange_spec(spec: ScenarioSpec,
         for position, shard in enumerate(shards):
             try:
                 results = shard.finish()
-            except ShardCrash:
+            except ShardCrash as crash:
                 if _telemetry.ENABLED:
                     _telemetry.registry().counter(
                         "fleet.shard_failures").inc()
                 shard.close()
+                supervisor.emit("actor-crash", homes=shard.indices,
+                                epoch=n_epochs - 1, error=str(crash))
+                # Every epoch was already journaled; the replay only
+                # regenerates results, so its polled events are dropped.
                 replacement, _ = _replay_shard(
-                    spec, shard.indices, journal, n_epochs - 1)
+                    spec, shard.indices, fleet.history, n_epochs - 1)
                 shards[position] = replacement
                 replayed.update(shard.indices)
+                supervisor.emit("actor-restart", homes=shard.indices,
+                                resumed_epoch=n_epochs - 1)
                 results = replacement.finish()
             for home in results:
                 homes_by_index[home.home_index] = home
+
+        result = ScenarioResult(spec=spec, features={}, device_types={},
+                                infected=set(), outcomes=[], alerts=[])
+        outcomes: Dict[int, object] = {}
+        for index in range(n_homes):
+            home = homes_by_index.get(index)
+            if home is None:
+                raise SpecError(f"home {index} produced no result "
+                                "(shard lost and replay failed)")
+            if index in replayed:
+                home.degraded = True
+            supervisor.emit("actor-done", home=index,
+                            alerts=len(home.alerts),
+                            infected=len(home.infected))
+            _merge_home(result, home, outcomes, cross_indices)
+            if on_home is not None:
+                on_home(home)
+        result.outcomes = [outcomes.get(i)
+                           for i in range(len(spec.attacks))]
+        supervisor.close(result)
+    except BaseException as exc:
+        supervisor.abort(f"{type(exc).__name__}: {exc}")
+        raise
     finally:
         for shard in shards:
             shard.close()
-
-    result = ScenarioResult(spec=spec, features={}, device_types={},
-                            infected=set(), outcomes=[], alerts=[])
-    outcomes: Dict[int, object] = {}
-    for index in range(n_homes):
-        home = homes_by_index.get(index)
-        if home is None:
-            raise SpecError(f"home {index} produced no result "
-                            "(shard lost and replay failed)")
-        if index in replayed:
-            home.degraded = True
-        _merge_home(result, home, outcomes, cross_indices)
-        if on_home is not None:
-            on_home(home)
-    result.outcomes = [outcomes.get(i) for i in range(len(spec.attacks))]
+        supervisor.release()
     if fleet_registry is not None:
         if result.telemetry is None:
             result.telemetry = MetricsRegistry()

@@ -52,7 +52,7 @@ import numpy as np
 if TYPE_CHECKING:  # the attacks package imports this module to register
     from repro.attacks.base import Attack, AttackOutcome
 
-from repro.core.framework import XLF, XlfConfig
+from repro.core.framework import XLF, HomeAloneEvent, XlfConfig
 from repro.core.signals import Alert, Layer
 from repro.device.device import Vulnerabilities
 from repro.faults import FAULTS, FaultError, FaultEvent, FaultInjector, FaultSpec
@@ -457,6 +457,7 @@ def _xlf_to_dict(config: XlfConfig) -> Dict[str, Any]:
         "audit_interval_s": config.audit_interval_s,
         "disabled_functions": list(config.disabled_functions),
         "enable_response": config.enable_response,
+        "home_alone": config.home_alone,
     }
 
 
@@ -465,7 +466,7 @@ def _xlf_from_dict(data: Dict[str, Any]) -> XlfConfig:
         "enable_device_layer", "enable_network_layer", "enable_service_layer",
         "cross_layer", "single_layer", "shaping", "monitor_token_key_hex",
         "block_matched_traffic", "audit_interval_s", "disabled_functions",
-        "enable_response"})
+        "enable_response", "home_alone"})
     defaults = XlfConfig()
     single = data.get("single_layer")
     shaping_data = _take("shaping", dict(data.get("shaping", {})),
@@ -492,6 +493,7 @@ def _xlf_from_dict(data: Dict[str, Any]) -> XlfConfig:
                                         defaults.audit_interval_s)),
         disabled_functions=tuple(data.get("disabled_functions", ())),
         enable_response=bool(data.get("enable_response", False)),
+        home_alone=bool(data.get("home_alone", True)),
     )
 
 
@@ -516,6 +518,8 @@ class HomeRunResult:
     telemetry: Optional[dict] = None
     # Injection/recovery records from this home's fault schedule.
     fault_events: List[FaultEvent] = field(default_factory=list)
+    # Gateway-local autonomy windows (cloud-outage home-alone posture).
+    home_alone_events: List[HomeAloneEvent] = field(default_factory=list)
     # Set by run_spec when this home's worker died and the home was
     # re-run serially: the observations are complete, the flag records
     # the degraded execution path.
@@ -548,6 +552,8 @@ class ScenarioResult:
     fault_events: List[FaultEvent] = field(default_factory=list)
     # Homes whose parallel worker died and were retried serially.
     degraded_homes: List[int] = field(default_factory=list)
+    # Home-alone windows, merged in home order.
+    home_alone_events: List[HomeAloneEvent] = field(default_factory=list)
 
     FEATURE_NAMES = (
         "packets_per_min",
@@ -567,6 +573,41 @@ class ScenarioResult:
 
     def detected_devices(self) -> Set[str]:
         return {alert.device for alert in self.alerts if alert.device}
+
+    def detection_latency_summary(self) -> Dict[str, Dict[str, float]]:
+        """Detection latency (first contributing signal -> alert) per
+        home plus a fleetwide row, as {count, median_s, p95_s}.
+
+        Nearest-rank percentiles over the raw latencies: deterministic,
+        interpolation-free, so the summary is part of the observations
+        identity contract.  Homes (and fleets) without latency-bearing
+        alerts are omitted.
+        """
+        summary: Dict[str, Dict[str, float]] = {}
+        fleet: List[float] = []
+        for home in self.homes:
+            values = sorted(
+                latency for latency in
+                (alert.detection_latency_s for alert in home.alerts)
+                if latency is not None)
+            if not values:
+                continue
+            fleet.extend(values)
+            summary[f"home{home.home_index:02d}"] = _latency_stats(values)
+        if fleet:
+            summary["fleet"] = _latency_stats(sorted(fleet))
+        return summary
+
+
+def _latency_stats(values: List[float]) -> Dict[str, float]:
+    """Nearest-rank stats over an ascending latency list.  Integer
+    percents keep the ceiling exact (0.95 * 20 is 19.000...004 in
+    floats, which would misrank)."""
+
+    def rank(percent: int) -> float:
+        return values[max(-(-percent * len(values) // 100) - 1, 0)]
+
+    return {"count": len(values), "median_s": rank(50), "p95_s": rank(95)}
 
 
 # ---------------------------------------------------------------------------
@@ -800,6 +841,9 @@ class _HomeExecution:
             "featurize_s": time.perf_counter() - stage_start}
         if self._xlf is not None:
             result.alerts = list(self._xlf.alerts)
+            result.home_alone_events = [
+                replace(window, home=index)
+                for window in self._xlf.home_alone_events]
         if self._injector is not None:
             result.fault_events = list(self._injector.events)
         return result, home.sim.now
@@ -914,6 +958,7 @@ def _merge_home(result: ScenarioResult, home: HomeRunResult,
     result.infected.update(home.infected)
     result.alerts.extend(home.alerts)
     result.fault_events.extend(home.fault_events)
+    result.home_alone_events.extend(home.home_alone_events)
     if home.degraded:
         result.degraded_homes.append(home.home_index)
     for index, outcome in home.outcomes:
@@ -961,6 +1006,8 @@ def run_spec(spec: ScenarioSpec,
              max_home_retries: int = 3,
              retry_backoff_s: float = 0.05,
              on_home: Optional[Callable[[HomeRunResult], None]] = None,
+             on_epoch: Optional[Callable[[Optional[int], int], None]] = None,
+             journal=None,
              ) -> ScenarioResult:
     """Materialise and run a :class:`ScenarioSpec`.
 
@@ -971,11 +1018,24 @@ def run_spec(spec: ScenarioSpec,
     self-contained, and observations merge in home-index order
     regardless of which worker finishes first.
 
+    Execution is supervised (:mod:`repro.runtime`): every path — this
+    serial/parallel fast path and the lockstep exchange engine — runs
+    its homes as actors under a :class:`~repro.runtime.actors.Supervisor`
+    whose event bus feeds the optional **journal**.  Pass ``journal=``
+    a path (or an open :class:`~repro.runtime.journal.Journal`) to
+    record an append-only JSONL event log — actor lifecycle, epoch
+    boundaries, WAN batches, alerts, faults, home-alone windows — that
+    ``python -m repro replay <journal>`` can re-execute and verify
+    byte-identically.  Journaling never changes the observations
+    (epoch-chunked advancement processes exactly the same events as one
+    straight run).
+
     The parallel path survives worker-process death: any home whose
-    worker crashed (or whose pool broke underneath it) is retried
-    serially in the parent — up to ``max_home_retries`` attempts with
-    exponential ``retry_backoff_s`` backoff — and flagged in
-    :attr:`ScenarioResult.degraded_homes`.  No observations are lost.
+    worker crashed (or whose pool broke underneath it) is resumed as a
+    supervised in-parent actor — up to ``max_home_retries`` attempts
+    with exponential ``retry_backoff_s`` backoff — and flagged in
+    :attr:`ScenarioResult.degraded_homes`.  No observations are lost,
+    and a journaled run records the ``actor-crash``/``actor-restart``.
 
     ``on_home`` is a progress hook: called once per home, in home-index
     order, right after that home's observations merge into the result.
@@ -983,13 +1043,17 @@ def run_spec(spec: ScenarioSpec,
     byte-identical with or without a hook.  The resident server
     (:mod:`repro.server`) uses it to stream per-home progress and to
     interrupt a job cooperatively: an exception raised by the hook
-    aborts the run and propagates to the caller.
+    aborts the run and propagates to the caller.  ``on_epoch(home,
+    epoch)`` is the finer-grained sibling, fired at every epoch
+    boundary (``home`` is None on fleetwide exchange boundaries); an
+    exception raised from it truncation-marks the journal and
+    propagates, which is how job cancellation interrupts a journaled
+    run cleanly.
     """
     load_builtin_attacks()
     spec.validate()
-    n_homes = len(spec.homes)
     cross_indices = _cross_home_indices(spec)
-    if cross_indices and n_homes > 1:
+    if cross_indices and len(spec.homes) > 1:
         # Homes exchange WAN messages, so they can no longer run
         # start-to-finish in isolation: hand off to the lockstep-epoch
         # engine.  Single-home specs (and fleets with only home-scoped
@@ -998,59 +1062,10 @@ def run_spec(spec: ScenarioSpec,
         return run_exchange_spec(
             spec, workers=workers, max_home_retries=max_home_retries,
             retry_backoff_s=retry_backoff_s, on_home=on_home,
+            on_epoch=on_epoch, journal=journal,
             cross_indices=cross_indices)
-    if workers is None:
-        workers = os.cpu_count() or 1
-    workers = min(workers, max(n_homes, 1))
-
-    result = ScenarioResult(spec=spec, features={}, device_types={},
-                            infected=set(), outcomes=[], alerts=[])
-    outcomes: Dict[int, AttackOutcome] = {}
-    if workers <= 1 or n_homes <= 1 or not fork_available():
-        for index in range(n_homes):
-            home = run_home(spec, index)
-            _merge_home(result, home, outcomes, cross_indices)
-            if on_home is not None:
-                on_home(home)
-    else:
-        # Warm the prototype cache for every distinct topology before
-        # forking: the snapshots ride into the workers via copy-on-write
-        # pages, so no worker pays the first-build cost.
-        if PROTOTYPES.enabled:
-            for home_spec in spec.homes:
-                PROTOTYPES.warm(home_spec)
-        context = multiprocessing.get_context("fork")
-        homes: List[Optional[HomeRunResult]] = [None] * n_homes
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=context) as pool:
-            # Futures collected in submission order, which is home
-            # order — exactly the serial merge order.  Workers inherit
-            # the telemetry enable flag through fork and record into
-            # worker-local registries, so each result carries its
-            # home's snapshot and the merge here is identical to serial.
-            futures = [pool.submit(_home_task, (spec, index))
-                       for index in range(n_homes)]
-            for index, future in enumerate(futures):
-                try:
-                    homes[index] = future.result()
-                except Exception:
-                    # Worker died (BrokenProcessPool) or the task
-                    # raised; leave the slot empty for serial retry.
-                    if _telemetry.ENABLED:
-                        _telemetry.registry().counter(
-                            "fleet.home_worker_failures",
-                            home=f"{index:02d}").inc()
-        for index, home in enumerate(homes):
-            if home is None:
-                home = _retry_home_serially(
-                    spec, index, max_home_retries, retry_backoff_s)
-                home.degraded = True
-            _merge_home(result, home, outcomes, cross_indices)
-            if on_home is not None:
-                on_home(home)
-    result.outcomes = [outcomes.get(i) for i in range(len(spec.attacks))]
-    if result.telemetry is not None:
-        # Fold the merged telemetry into the process registry so a CLI
-        # --telemetry export sees spec runs too.
-        _telemetry.registry().merge(result.telemetry)
-    return result
+    from repro.runtime.drivers import run_fast_path
+    return run_fast_path(
+        spec, workers=workers, max_home_retries=max_home_retries,
+        retry_backoff_s=retry_backoff_s, on_home=on_home,
+        on_epoch=on_epoch, journal=journal, cross_indices=cross_indices)

@@ -73,10 +73,12 @@ class ServerClient:
         return self._request("GET", "/metrics", raw=True)
 
     def submit(self, spec: Dict[str, Any], *, priority: int = 0,
-               workers: int = 1,
-               timeout_s: Optional[float] = None) -> Dict[str, Any]:
+               workers: int = 1, timeout_s: Optional[float] = None,
+               journal: Optional[str] = None) -> Dict[str, Any]:
         envelope = {"spec": spec, "priority": priority, "workers": workers,
                     "timeout_s": timeout_s}
+        if journal is not None:
+            envelope["journal"] = journal
         return self._request("POST", "/jobs", body=envelope)
 
     def jobs(self) -> List[Dict[str, Any]]:

@@ -40,7 +40,7 @@ MAX_HEADER_BYTES = 65536
 MAX_BODY_BYTES = 50 * 1024 * 1024
 
 # The job-envelope keys POST /jobs accepts alongside a raw spec.
-ENVELOPE_KEYS = {"spec", "priority", "workers", "timeout_s"}
+ENVELOPE_KEYS = {"spec", "priority", "workers", "timeout_s", "journal"}
 
 
 class HttpError(Exception):
@@ -283,6 +283,10 @@ class HttpServer:
                                         if timeout_s is not None else None)
             except (TypeError, ValueError) as exc:
                 raise HttpError(400, f"bad job envelope value: {exc}")
+            journal = data.get("journal")
+            if journal is not None and not isinstance(journal, str):
+                raise HttpError(400, "'journal' must be a string path")
+            options["journal"] = journal
         else:
             spec_data = data  # a bare ScenarioSpec: curl-friendly
         try:

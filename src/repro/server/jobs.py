@@ -44,7 +44,9 @@ TERMINAL_EVENTS = frozenset(
 
 
 class JobInterrupted(Exception):
-    """Raised inside a job's ``on_home`` hook to abort the run early."""
+    """Raised inside a job's ``on_home``/``on_epoch`` hook to abort the
+    run early (cancellation, timeout).  For journaled jobs the runtime
+    turns this into a ``truncated`` journal marker on the way out."""
 
     def __init__(self, state: JobState):
         super().__init__(state.value)
@@ -107,12 +109,14 @@ class Job:
     """One submitted scenario and everything observable about it."""
 
     def __init__(self, spec: ScenarioSpec, *, priority: int = 0,
-                 workers: int = 1, timeout_s: Optional[float] = None):
+                 workers: int = 1, timeout_s: Optional[float] = None,
+                 journal_path: Optional[str] = None):
         self.id = f"job-{next(_job_ids):06d}"
         self.spec = spec
         self.priority = priority
         self.workers = workers
         self.timeout_s = timeout_s
+        self.journal_path = journal_path
         self.state = JobState.QUEUED
         self.error: Optional[str] = None
         self.homes_total = len(spec.homes)
@@ -138,6 +142,7 @@ class Job:
             "priority": self.priority,
             "workers": self.workers,
             "timeout_s": self.timeout_s,
+            "journal": self.journal_path,
             "homes_total": self.homes_total,
             "homes_done": self.homes_done,
             "alerts": self.alerts_seen,

@@ -116,7 +116,8 @@ class FleetService:
 
     # -- submission and control (event-loop side) --------------------------
     def submit(self, spec_data: Dict[str, Any], *, priority: int = 0,
-               workers: int = 1, timeout_s: Optional[float] = None) -> Job:
+               workers: int = 1, timeout_s: Optional[float] = None,
+               journal: Optional[str] = None) -> Job:
         """Validate and enqueue one scenario; raises
         :class:`~repro.scenarios.spec.SpecError` on a malformed spec and
         :class:`ServiceDraining` once shutdown began."""
@@ -131,8 +132,10 @@ class FleetService:
             raise SpecError("job workers must be >= 1")
         if timeout_s is not None and timeout_s <= 0:
             raise SpecError("job timeout_s must be > 0")
+        if journal is not None and not str(journal).strip():
+            raise SpecError("job journal path must be non-empty")
         job = Job(spec, priority=priority, workers=workers,
-                  timeout_s=timeout_s)
+                  timeout_s=timeout_s, journal_path=journal)
         job.events.bind(self._loop)
         self.jobs[job.id] = job
         try:
@@ -244,12 +247,29 @@ class FleetService:
             if deadline is not None and time.monotonic() > deadline:
                 raise JobInterrupted(JobState.TIMEOUT)
 
+        def on_epoch(home, epoch) -> None:
+            # The epoch-granular interruption point for journaled jobs:
+            # the supervisor has just fsynced the boundary record, so an
+            # abort here leaves a well-formed, truncation-marked journal.
+            if job.cancel_requested:
+                raise JobInterrupted(JobState.CANCELLED)
+            if deadline is not None and time.monotonic() > deadline:
+                raise JobInterrupted(JobState.TIMEOUT)
+
+        journal = None
+        if job.journal_path is not None:
+            from repro.runtime.journal import Journal
+            # Durable mode: a server job's journal must survive
+            # process death, not just driver exceptions.
+            journal = Journal(job.journal_path, fsync=True)
         scratch = MetricsRegistry()
         result = None
         try:
             with telemetry.scoped_registry(scratch):
-                result = run_spec(job.spec, workers=job.workers,
-                                  on_home=on_home)
+                result = run_spec(
+                    job.spec, workers=job.workers, on_home=on_home,
+                    journal=journal,
+                    on_epoch=on_epoch if journal is not None else None)
         except JobInterrupted as exc:
             self._finish(job, exc.state)
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
@@ -262,6 +282,9 @@ class FleetService:
                          alerts=len(result.alerts),
                          infected=sorted(result.infected),
                          degraded_homes=list(result.degraded_homes))
+        finally:
+            if journal is not None:
+                journal.close()
         # Fold the job's telemetry (including retry counters recorded
         # outside any home-local registry) into the live registry.
         with self._live_lock:

@@ -108,6 +108,17 @@ def fault_event_to_dict(event: FaultEvent) -> Dict[str, Any]:
     }
 
 
+def home_alone_event_to_dict(event) -> Dict[str, Any]:
+    """JSON view of one gateway-local ("home alone") window."""
+    return {
+        "home": event.home,
+        "entered_at": event.entered_at,
+        "exited_at": event.exited_at,
+        "resynced_signals": event.resynced_signals,
+        "deferred_wan_packets": event.deferred_wan_packets,
+    }
+
+
 def metric_key(name: str, labels: LabelsKey) -> str:
     """Stable string form of a ``(name, labels)`` metric key."""
     if not labels:
@@ -167,6 +178,9 @@ def result_to_dict(result: ScenarioResult) -> Dict[str, Any]:
             "infected": sorted(result.infected),
             "fault_events": [fault_event_to_dict(e)
                              for e in result.fault_events],
+            "home_alone": [home_alone_event_to_dict(e)
+                           for e in result.home_alone_events],
+            "detection_latency": result.detection_latency_summary(),
             "telemetry": telemetry_to_dict(result.telemetry),
         },
         "execution": {

@@ -87,6 +87,9 @@ class CloudPlatform(Node):
                                       else self.INGEST_RATE_LIMIT_PPS)
         self.overloaded = False
         self.rate_limited_packets = 0
+        # Observations re-synced by gateways recovering from an outage
+        # (home-alone mode's journal catch-up).
+        self.resynced_observations = 0
         # Observers of overload transitions (bool: entered/cleared);
         # XLF wires the fault-aware correlator through this.
         self.overload_listeners: List[Any] = []
@@ -119,6 +122,15 @@ class CloudPlatform(Node):
 
     def device_ids(self) -> List[str]:
         return sorted(self._handlers)
+
+    # -- outage recovery ----------------------------------------------------
+    def receive_resync(self, count: int) -> None:
+        """Accept a gateway's locally journaled observation backlog
+        after an outage (home-alone recovery)."""
+        self.resynced_observations += count
+        if _telemetry.ENABLED:
+            _telemetry.registry().counter(
+                "cloud.resynced_observations").inc(count)
 
     # -- ingest admission control ------------------------------------------
     def _set_overloaded(self, overloaded: bool) -> None:

@@ -1,0 +1,135 @@
+"""Unit tests for the append-only JSONL run journal."""
+
+import json
+
+import pytest
+
+from repro.runtime.journal import (
+    Journal,
+    JournalError,
+    open_journal,
+    read_journal,
+)
+
+
+class TestJournal:
+    def test_append_read_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append("run-start", version=1, engine="serial")
+            journal.append("epoch", epoch=0, until=35.0)
+            journal.append("alert", n=1, home=0, epoch=0,
+                           alert={"category": "botnet-infection"})
+            journal.append("run-end", homes=1)
+            assert journal.records == 4
+            assert journal.alert_records == 1
+        records = read_journal(path)
+        assert [r["t"] for r in records] == [
+            "run-start", "epoch", "alert", "run-end"]
+        assert records[2]["alert"]["category"] == "botnet-infection"
+
+    def test_records_are_canonical_single_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append("epoch", epoch=0, until=35.0, b=2, a=1)
+        line = path.read_text().rstrip("\n")
+        assert "\n" not in line
+        # sorted keys, tight separators: the byte-identity form
+        assert line == json.dumps(json.loads(line), sort_keys=True,
+                                  separators=(",", ":"))
+
+    def test_flush_makes_appends_visible(self, tmp_path):
+        """Appends are buffered; flush() pushes whole records to a
+        concurrent reader without close()."""
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path)
+        try:
+            journal.append("run-start", version=1)
+            journal.append("epoch", epoch=0, until=35.0)
+            journal.flush()
+            assert len(read_journal(path)) == 2
+        finally:
+            journal.close()
+
+    def test_fsync_mode_flushes_every_append(self, tmp_path):
+        """Durable journals (server jobs) never buffer: each record is
+        on disk the moment append() returns."""
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path, fsync=True)
+        try:
+            journal.append("run-start", version=1)
+            assert len(read_journal(path)) == 1
+        finally:
+            journal.close()
+
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"t":"run-start","version":1}\n{"t":"epo')
+        records = read_journal(path)
+        assert [r["t"] for r in records] == ["run-start"]
+
+    def test_malformed_middle_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t":"run-start"}\nnot json\n{"t":"run-end"}\n')
+        with pytest.raises(JournalError, match="malformed"):
+            read_journal(path)
+
+    def test_record_without_kind_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t":"run-start"}\n{"epoch":0}\n')
+        with pytest.raises(JournalError, match="no 't' kind"):
+            read_journal(path)
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = Journal(tmp_path / "run.jsonl")
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.append("epoch", epoch=0)
+
+    def test_mark_truncated_appends_marker(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path)
+        journal.append("run-start", version=1)
+        journal.append("epoch", epoch=0, until=35.0)
+        journal.mark_truncated("JobInterrupted: cancelled")
+        journal.close()
+        records = read_journal(path)
+        assert records[-1]["t"] == "truncated"
+        assert records[-1]["reason"] == "JobInterrupted: cancelled"
+        assert records[-1]["records"] == 2
+
+    def test_mark_truncated_noop_when_closed(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path)
+        journal.append("run-start", version=1)
+        journal.close()
+        journal.mark_truncated("too late")     # must not raise
+        assert [r["t"] for r in read_journal(path)] == ["run-start"]
+
+    def test_fsync_mode_appends(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path, fsync=True) as journal:
+            journal.append("run-start", version=1)
+        assert read_journal(path)[0]["version"] == 1
+
+
+class TestOpenJournal:
+    def test_none_passes_through(self):
+        assert open_journal(None) == (None, False)
+
+    def test_path_opens_owned_journal(self, tmp_path):
+        journal, owned = open_journal(tmp_path / "run.jsonl")
+        try:
+            assert owned
+            assert isinstance(journal, Journal)
+        finally:
+            journal.close()
+
+    def test_existing_journal_not_owned(self, tmp_path):
+        mine = Journal(tmp_path / "run.jsonl")
+        try:
+            journal, owned = open_journal(mine)
+            assert journal is mine
+            assert not owned
+        finally:
+            mine.close()

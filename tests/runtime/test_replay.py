@@ -1,0 +1,133 @@
+"""Time-travel replay: re-execution reproduces recorded alerts."""
+
+import json
+
+import pytest
+
+from repro.runtime.replay import ReplayError, replay_journal
+from repro.core import XlfConfig
+from repro.scenarios import (
+    AttackSpec,
+    HomeSpec,
+    ScenarioSpec,
+    run_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """One recorded botnet run shared across the module's tests."""
+    path = tmp_path_factory.mktemp("journals") / "botnet.jsonl"
+    spec = ScenarioSpec(
+        name="replay-test", seed=3, warmup_s=5.0, duration_s=120.0,
+        homes=[HomeSpec()],
+        attacks=[AttackSpec(attack="mirai-botnet", home=0,
+                            params={"run_ddos": False})],
+        xlf=XlfConfig.full(), epoch_s=30.0)
+    result = run_spec(spec, journal=str(path))
+    assert result.alerts, "fixture spec must raise alerts"
+    return path
+
+
+class TestReplay:
+    def test_full_replay_is_byte_identical(self, recorded):
+        report = replay_journal(recorded)
+        assert report.ok
+        assert report.mismatches == []
+        assert report.recorded_alerts > 0
+        assert len(report.replayed) == report.recorded_alerts
+        assert report.engine == "serial"
+        assert not report.truncated
+
+    def test_until_alert_stops_early(self, recorded):
+        report = replay_journal(recorded, until_alert=1)
+        assert report.ok
+        assert report.target_alerts == 1
+        assert len(report.replayed) == 1
+
+    def test_until_alert_out_of_range_rejected(self, recorded):
+        with pytest.raises(ReplayError, match="beyond the journal"):
+            replay_journal(recorded, until_alert=10_000)
+        with pytest.raises(ReplayError, match=">= 1"):
+            replay_journal(recorded, until_alert=0)
+
+    def test_tampered_alert_detected(self, recorded, tmp_path):
+        """Flipping one recorded byte must fail the replay: the alert
+        stream comparison is canonical-JSON equality, not counting."""
+        tampered = tmp_path / "tampered.jsonl"
+        lines = recorded.read_text().splitlines()
+        for i, line in enumerate(lines):
+            record = json.loads(line)
+            if record["t"] == "alert":
+                record["alert"]["confidence"] = 0.01
+                lines[i] = json.dumps(record, sort_keys=True,
+                                      separators=(",", ":"))
+                break
+        tampered.write_text("\n".join(lines) + "\n")
+        report = replay_journal(tampered)
+        assert not report.ok
+        assert any("diverged" in m for m in report.mismatches)
+
+    def test_non_journal_rejected(self, tmp_path):
+        path = tmp_path / "not-a-journal.jsonl"
+        path.write_text('{"t":"epoch","epoch":0,"until":35.0}\n')
+        with pytest.raises(ReplayError, match="no run-start"):
+            replay_journal(path)
+
+    def test_truncated_journal_replays_its_prefix(self, tmp_path):
+        """A cancellation-truncated journal still replays: the recorded
+        prefix of alerts is reproduced exactly."""
+        spec = ScenarioSpec(
+            name="replay-truncated", seed=3, warmup_s=5.0,
+            duration_s=120.0, homes=[HomeSpec()],
+            attacks=[AttackSpec(attack="mirai-botnet", home=0,
+                                params={"run_ddos": False})],
+            xlf=XlfConfig.full(), epoch_s=30.0)
+        path = tmp_path / "truncated.jsonl"
+
+        class Stop(RuntimeError):
+            pass
+
+        def on_epoch(home, epoch):
+            if epoch == 2:
+                raise Stop()
+
+        with pytest.raises(Stop):
+            run_spec(spec, journal=str(path), on_epoch=on_epoch)
+        from repro.runtime import read_journal
+        records = read_journal(path)
+        assert records[-1]["t"] == "truncated"
+        recorded_alerts = sum(1 for r in records if r["t"] == "alert")
+        report = replay_journal(path, until_alert=recorded_alerts
+                                if recorded_alerts else None)
+        assert report.truncated
+        if recorded_alerts:
+            assert report.ok
+
+
+class TestReplayCli:
+    def test_cli_replay_round_trip(self, recorded, capsys):
+        from repro.__main__ import main
+
+        assert main(["replay", str(recorded)]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+
+    def test_cli_until_alert(self, recorded, capsys):
+        from repro.__main__ import main
+
+        assert main(["replay", str(recorded), "--until-alert", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "alerts 1..1" in out
+
+    def test_cli_missing_path_is_usage_error(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["replay"]) == 2
+
+    def test_cli_bad_journal_fails_cleanly(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{}\n")
+        assert main(["replay", str(bad)]) == 2

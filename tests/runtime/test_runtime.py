@@ -1,0 +1,252 @@
+"""The supervised runtime: journaled runs stay byte-identical.
+
+The tentpole invariant (DESIGN.md "Actor runtime & journal"): attaching
+a journal never changes what a run observes — serial, fork-parallel,
+and crash-resumed runs all produce the same observation bytes with or
+without a journal attached, and the journal's alert stream carries the
+same alerts in the same global order in every mode.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import read_journal
+from repro.runtime.actors import (
+    RuntimeBus,
+    epoch_boundaries,
+    epoch_of,
+)
+from repro.core import XlfConfig
+from repro.scenarios import (
+    AttackSpec,
+    HomeSpec,
+    ScenarioSpec,
+    run_spec,
+)
+from repro.scenarios.spec import fork_available
+from repro.server.store import canonical_json, result_to_dict
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="platform lacks fork start method")
+
+
+def botnet_spec(n_homes=1, duration_s=120.0, seed=3):
+    return ScenarioSpec(
+        name="runtime-test", seed=seed, warmup_s=5.0, duration_s=duration_s,
+        homes=[HomeSpec() for _ in range(n_homes)],
+        attacks=[AttackSpec(attack="mirai-botnet", home=0,
+                            params={"run_ddos": False})],
+        xlf=XlfConfig.full(), epoch_s=30.0)
+
+
+def observations(result):
+    return canonical_json(result_to_dict(result)["observations"])
+
+
+def alert_stream(path):
+    return [(r["n"], r["home"], canonical_json(r["alert"]))
+            for r in read_journal(path) if r["t"] == "alert"]
+
+
+class TestEpochHelpers:
+    def test_boundaries_end_exactly_at_duration(self):
+        spec = botnet_spec(duration_s=95.0)
+        bounds = epoch_boundaries(spec)
+        assert bounds[-1] == spec.warmup_s + spec.duration_s
+        assert bounds == sorted(bounds)
+
+    def test_epoch_of_assigns_boundary_to_ending_epoch(self):
+        bounds = [35.0, 65.0, 95.0]
+        assert epoch_of(10.0, bounds) == 0
+        assert epoch_of(35.0, bounds) == 0
+        assert epoch_of(35.1, bounds) == 1
+        assert epoch_of(95.0, bounds) == 2
+
+
+class TestRuntimeBus:
+    def test_fifo_dispatch_to_all_subscribers(self):
+        bus = RuntimeBus()
+        seen_a, seen_b = [], []
+        bus.subscribe(lambda topic, data: seen_a.append((topic, data)))
+        bus.subscribe(lambda topic, data: seen_b.append(topic))
+        bus.post("alert", {"n": 1})
+        bus.post("epoch", {"epoch": 0})
+        assert bus.pump() == 2
+        assert [t for t, _ in seen_a] == ["alert", "epoch"]
+        assert seen_b == ["alert", "epoch"]
+        assert bus.dispatched == 2
+
+    def test_post_copies_payload(self):
+        bus = RuntimeBus()
+        seen = []
+        bus.subscribe(lambda topic, data: seen.append(data))
+        payload = {"n": 1}
+        bus.post("alert", payload)
+        payload["n"] = 99
+        bus.pump()
+        assert seen[0]["n"] == 1
+
+
+class TestJournaledSerialRuns:
+    def test_journal_does_not_change_observations(self, tmp_path):
+        spec = botnet_spec()
+        plain = run_spec(spec)
+        journaled = run_spec(spec, journal=str(tmp_path / "run.jsonl"))
+        assert observations(plain) == observations(journaled)
+
+    def test_envelope_and_record_kinds(self, tmp_path):
+        spec = botnet_spec()
+        path = tmp_path / "run.jsonl"
+        result = run_spec(spec, journal=str(path))
+        records = read_journal(path)
+        envelope = records[0]
+        assert envelope["t"] == "run-start"
+        assert envelope["engine"] == "serial"
+        assert envelope["spec"] == spec.to_dict()
+        assert envelope["spec_hash"] == spec.spec_hash()
+        kinds = {r["t"] for r in records}
+        assert {"run-start", "actor-start", "epoch", "actor-done",
+                "run-end"} <= kinds
+        assert records[-1]["t"] == "run-end"
+        alerts = [r for r in records if r["t"] == "alert"]
+        assert [r["n"] for r in alerts] == list(range(1, len(alerts) + 1))
+        assert len(alerts) == len(result.alerts)
+
+    def test_epoch_records_cover_every_boundary(self, tmp_path):
+        spec = botnet_spec()
+        path = tmp_path / "run.jsonl"
+        run_spec(spec, journal=str(path))
+        untils = [r["until"] for r in read_journal(path)
+                  if r["t"] == "epoch"]
+        assert untils == epoch_boundaries(spec)
+
+    def test_journaled_alerts_match_result_alerts(self, tmp_path):
+        from repro.server.store import alert_to_dict
+
+        spec = botnet_spec()
+        path = tmp_path / "run.jsonl"
+        result = run_spec(spec, journal=str(path))
+        journaled = [canonical_json(r["alert"])
+                     for r in read_journal(path) if r["t"] == "alert"]
+        direct = [canonical_json(alert_to_dict(a)) for a in result.alerts]
+        assert journaled == direct
+
+    def test_hook_exception_leaves_truncated_journal(self, tmp_path):
+        """The cancellation seam: an interruption raised at an epoch
+        boundary propagates, and the journal ends in a well-formed
+        ``truncated`` marker with every line parseable."""
+        spec = botnet_spec()
+        path = tmp_path / "run.jsonl"
+
+        class Stop(RuntimeError):
+            pass
+
+        def on_epoch(home, epoch):
+            if epoch == 1:
+                raise Stop("cancel requested")
+
+        with pytest.raises(Stop):
+            run_spec(spec, journal=str(path), on_epoch=on_epoch)
+        records = read_journal(path)
+        assert records[-1]["t"] == "truncated"
+        assert "Stop" in records[-1]["reason"]
+        assert sum(1 for r in records if r["t"] == "epoch") >= 1
+        assert not any(r["t"] == "run-end" for r in records)
+
+
+@needs_fork
+class TestJournaledParallelRuns:
+    def test_parallel_journal_identical_to_serial(self, tmp_path):
+        spec = botnet_spec(n_homes=3)
+        serial = run_spec(spec, journal=str(tmp_path / "serial.jsonl"))
+        par = run_spec(spec, workers=2,
+                       journal=str(tmp_path / "par.jsonl"))
+        assert observations(serial) == observations(par)
+        assert alert_stream(tmp_path / "serial.jsonl") == \
+            alert_stream(tmp_path / "par.jsonl")
+        envelope = read_journal(tmp_path / "par.jsonl")[0]
+        assert envelope["engine"] == "parallel"
+        assert envelope["workers"] == 2
+
+    def test_worker_crash_resumes_into_identical_journal(self, tmp_path,
+                                                         monkeypatch):
+        """A dead forked worker's home restarts in-parent as a
+        supervised actor; the resumed run's observations and journaled
+        alert stream are byte-identical to the unfailed run."""
+        import repro.scenarios.spec as spec_module
+
+        spec = botnet_spec(n_homes=3)
+        clean = run_spec(spec, journal=str(tmp_path / "clean.jsonl"))
+
+        def crash_home_one(index):
+            if index == 1:
+                os._exit(1)
+
+        monkeypatch.setattr(spec_module, "_worker_crash_hook",
+                            crash_home_one)
+        crashed = run_spec(spec, workers=2,
+                           journal=str(tmp_path / "crash.jsonl"))
+        assert observations(clean) == observations(crashed)
+        assert alert_stream(tmp_path / "clean.jsonl") == \
+            alert_stream(tmp_path / "crash.jsonl")
+        records = read_journal(tmp_path / "crash.jsonl")
+        kinds = [r["t"] for r in records]
+        assert "actor-crash" in kinds and "actor-restart" in kinds
+        crash = next(r for r in records if r["t"] == "actor-crash")
+        restart = next(r for r in records if r["t"] == "actor-restart")
+        assert crash["homes"] == restart["homes"]
+        assert records[-1]["t"] == "run-end"
+        assert 1 in crashed.degraded_homes
+
+
+@needs_fork
+class TestJournaledExchangeRuns:
+    def worm_spec(self):
+        data = json.load(open("examples/specs/worm_fleet.json"))
+        data["duration_s"] = 150.0
+        data["collect_features"] = False
+        return ScenarioSpec.from_dict(data)
+
+    def test_exchange_journal_identical_across_engines(self, tmp_path):
+        spec = self.worm_spec()
+        serial = run_spec(spec, journal=str(tmp_path / "serial.jsonl"))
+        par = run_spec(spec, workers=2,
+                       journal=str(tmp_path / "par.jsonl"))
+        assert observations(serial) == observations(par)
+        assert alert_stream(tmp_path / "serial.jsonl") == \
+            alert_stream(tmp_path / "par.jsonl")
+        records = read_journal(tmp_path / "serial.jsonl")
+        assert records[0]["engine"] == "exchange"
+        # Fleet-wide epochs: one record per boundary, no home field.
+        epochs = [r for r in records if r["t"] == "epoch"]
+        assert len(epochs) == len(epoch_boundaries(spec))
+        assert all("home" not in r for r in epochs)
+
+    def test_shard_kill_resumes_into_identical_journal(self, tmp_path,
+                                                       monkeypatch):
+        import repro.scenarios.exchange as exchange_module
+
+        spec = self.worm_spec()
+        clean = run_spec(spec, workers=2,
+                         journal=str(tmp_path / "clean.jsonl"))
+
+        def crash_second_epoch(epoch, indices):
+            if epoch == 2 and 0 in indices:
+                os._exit(1)
+
+        monkeypatch.setattr(exchange_module, "_shard_crash_hook",
+                            crash_second_epoch)
+        crashed = run_spec(spec, workers=2,
+                           journal=str(tmp_path / "crash.jsonl"))
+        assert observations(clean) == observations(crashed)
+        assert alert_stream(tmp_path / "clean.jsonl") == \
+            alert_stream(tmp_path / "crash.jsonl")
+        records = read_journal(tmp_path / "crash.jsonl")
+        crash = next(r for r in records if r["t"] == "actor-crash")
+        restart = next(r for r in records if r["t"] == "actor-restart")
+        assert crash["epoch"] == 2
+        assert restart["resumed_epoch"] == 2
+        assert 0 in crash["homes"]
+        assert records[-1]["t"] == "run-end"

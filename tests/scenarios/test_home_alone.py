@@ -1,0 +1,172 @@
+"""Gateway-local "home alone" mode under cloud outages.
+
+The contract (DESIGN.md "Actor runtime & journal"): when a cloud-outage
+fault isolates a gateway, the home drops to a gateway-local XLF
+configuration — service-layer functions disabled, local layers and the
+correlator still running — keeps detecting through the outage, and
+re-synchronises its journaled observations to the cloud on recovery.
+Determinism is preserved: serial and sharded runs stay byte-identical.
+"""
+
+import json
+
+import pytest
+
+from repro.core import XLF, Layer, XlfConfig
+from repro.scenarios import ScenarioSpec, SmartHome, SmartHomeConfig, run_spec
+from repro.scenarios.spec import fork_available
+from repro.server.store import canonical_json, result_to_dict
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="platform lacks fork start method")
+
+
+def observations(result):
+    return canonical_json(result_to_dict(result)["observations"])
+
+
+# -- state-machine unit tests ------------------------------------------------
+
+class TestHomeAloneStateMachine:
+    def build(self, home_alone=True, config=None):
+        home = SmartHome(SmartHomeConfig())
+        home.run(5.0)
+        if config is None:
+            config = XlfConfig.full()
+            config.home_alone = home_alone
+        return XLF(home.sim, home.gateway, home.cloud, home.devices,
+                   home.all_lan_links, config)
+
+    def test_enter_disables_service_layer_and_flags_gateway(self):
+        xlf = self.build()
+        assert not xlf.home_alone
+        xlf.enter_home_alone()
+        assert xlf.home_alone
+        assert not xlf.config.enable_service_layer
+        assert xlf.gateway.local_mode
+        assert len(xlf.home_alone_events) == 1
+        assert xlf.home_alone_events[0].exited_at is None
+
+    def test_exit_restores_service_layer_and_stamps_window(self):
+        xlf = self.build()
+        xlf.enter_home_alone()
+        xlf.sim.now = 50.0
+        xlf.exit_home_alone()
+        assert not xlf.home_alone
+        assert xlf.config.enable_service_layer
+        assert not xlf.gateway.local_mode
+        window = xlf.home_alone_events[0]
+        assert window.exited_at == 50.0
+        assert window.resynced_signals >= 0
+
+    def test_overlapping_outages_merge_into_one_window(self):
+        xlf = self.build()
+        xlf.enter_home_alone()
+        xlf.enter_home_alone()          # second overlapping outage
+        assert len(xlf.home_alone_events) == 1
+        xlf.exit_home_alone()
+        assert xlf.home_alone           # still isolated: one fault left
+        xlf.exit_home_alone()
+        assert not xlf.home_alone
+        assert len(xlf.home_alone_events) == 1
+
+    def test_disabled_config_never_enters(self):
+        xlf = self.build(home_alone=False)
+        xlf.enter_home_alone()
+        assert not xlf.home_alone
+        assert xlf.home_alone_events == []
+        xlf.exit_home_alone()           # must not underflow or raise
+
+    def test_resync_reports_to_cloud(self):
+        xlf = self.build()
+        xlf.enter_home_alone()
+        before = xlf.cloud.resynced_observations
+        xlf.exit_home_alone()
+        assert xlf.cloud.resynced_observations >= before
+
+    def test_service_layer_stays_disabled_if_it_was_disabled(self):
+        config = XlfConfig.full()
+        config.enable_service_layer = False
+        xlf = self.build(config=config)
+        xlf.enter_home_alone()
+        xlf.exit_home_alone()
+        assert not config.enable_service_layer
+
+
+# -- fleet-scale scenario (the ISSUE acceptance test) ------------------------
+
+def outage_worm_spec(home_alone=True):
+    """The worm fleet with a mid-worm cloud outage on 2 of 8 homes."""
+    data = json.load(open("examples/specs/worm_fleet.json"))
+    data["name"] = "worm-home-alone"
+    data["duration_s"] = 200.0
+    data["collect_features"] = False
+    data["faults"] = [
+        {"fault": "cloud-outage", "home": 3, "at": 120.0,
+         "duration_s": 60.0},
+        {"fault": "cloud-outage", "home": 5, "at": 120.0,
+         "duration_s": 60.0},
+    ]
+    data["xlf"] = dict(data["xlf"], home_alone=home_alone)
+    return ScenarioSpec.from_dict(data)
+
+
+class TestHomeAloneMidWorm:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_spec(outage_worm_spec())
+
+    def test_isolated_homes_still_alert_during_outage(self, serial):
+        """The point of home-alone mode: detection does not stop when
+        the cloud goes away."""
+        windows = {e.home: e for e in serial.home_alone_events}
+        assert set(windows) == {3, 5}
+        for index in (3, 5):
+            window = windows[index]
+            home = serial.homes[index]
+            during = [a for a in home.alerts
+                      if window.entered_at <= a.timestamp
+                      <= window.exited_at]
+            assert during, f"home {index} raised no alerts mid-outage"
+            # The correlator may still use service-layer signals from
+            # *before* the outage (its local history survives), but no
+            # new service-layer signal can appear while isolated.
+            assert all(signal.layer is not Layer.SERVICE
+                       for alert in during
+                       for signal in alert.contributing_signals
+                       if signal.timestamp > window.entered_at)
+
+    def test_windows_match_fault_schedule(self, serial):
+        for event in serial.home_alone_events:
+            assert event.entered_at == 150.0     # warmup 30 + at 120
+            assert event.exited_at == 210.0      # + duration 60
+            assert event.resynced_signals > 0
+            assert event.deferred_wan_packets > 0
+
+    def test_recall_no_worse_than_legacy_degraded_path(self, serial):
+        """Home-alone homes must detect at least everything the
+        pre-refactor stale-marking path detected."""
+        legacy = run_spec(outage_worm_spec(home_alone=False))
+        assert serial.infected == legacy.infected
+        for index in (3, 5):
+            new = serial.homes[index]
+            old = legacy.homes[index]
+            assert {a.device for a in new.alerts} >= \
+                {a.device for a in old.alerts}
+            assert len(new.alerts) >= len(old.alerts)
+
+    @needs_fork
+    def test_serial_and_sharded_byte_identical(self, serial):
+        par = run_spec(outage_worm_spec(), workers=2)
+        assert observations(serial) == observations(par)
+
+    def test_home_alone_windows_serialized_in_observations(self, serial):
+        payload = result_to_dict(serial)
+        windows = payload["observations"]["home_alone"]
+        assert [w["home"] for w in windows] == [3, 5]
+        assert all(w["resynced_signals"] > 0 for w in windows)
+
+    def test_legacy_mode_records_no_windows(self):
+        legacy = run_spec(outage_worm_spec(home_alone=False))
+        assert legacy.home_alone_events == []
+        assert result_to_dict(legacy)["observations"]["home_alone"] == []
