@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Repo health check: tier-1 tests, a telemetry-enabled fleet smoke run,
-# a fault-injection scenario smoke, a resident-server smoke (submit over
-# HTTP, verify byte-identity vs direct run_spec, clean SIGTERM), and
-# validation of the benchmark artifacts (telemetry overhead, fault
-# resilience, server throughput).
+# Repo health check: tier-1 tests, a scenario fuzz smoke (25 seeds of
+# random-valid specs property-checked), a telemetry-enabled fleet smoke
+# run, a fault-injection scenario smoke, a resident-server smoke
+# (submit over HTTP, verify byte-identity vs direct run_spec, clean
+# SIGTERM), and validation of the benchmark artifacts (telemetry
+# overhead, fault resilience, streaming detection, server throughput).
 #
 # Usage:  scripts/check.sh [--fresh-bench]
 #   --fresh-bench   re-run the benchmarks even if BENCH_telemetry.json /
@@ -109,6 +110,10 @@ print(f"fault scenario ok: {injected:.0f} injected, "
       f"all attacks completed")
 PY
 python -m repro --spec examples/specs/faulty_home.json
+
+echo
+echo "== scenario fuzz smoke =="
+python -m repro fuzz --seeds 25
 
 echo
 echo "== telemetry-enabled fleet smoke run =="
@@ -224,6 +229,40 @@ for row in rows:
 assert report["passed"]
 print(f"BENCH_faults.json ok: {len(rows)} intensities, full-XLF recall "
       f">= best single layer at every one")
+PY
+
+echo
+echo "== streaming detection benchmark artifact =="
+if [ "${1:-}" = "--fresh-bench" ] || [ ! -f BENCH_streaming.json ]; then
+    python benchmarks/bench_streaming_detection.py --quick \
+        --out BENCH_streaming.json
+fi
+python - <<'PY'
+import json
+
+with open("BENCH_streaming.json") as handle:
+    report = json.load(handle)
+assert report["bench"] == "streaming_detection", report.get("bench")
+for arm in ("batch", "streaming"):
+    entry = report[arm]
+    for field in ("recall", "latency", "detected", "false_positives"):
+        assert field in entry, f"{arm} missing field: {field}"
+    assert entry["latency"]["count"] > 0, f"{arm} arm detected nothing"
+gates = report["gates"]
+assert gates["streaming_median_below_batch"], (
+    f"streaming median {report['streaming']['latency']['median_s']}s not "
+    f"below batch median {report['batch']['latency']['median_s']}s")
+assert gates["recall_not_worse"], (
+    f"streaming recall {report['streaming']['recall']} below batch "
+    f"{report['batch']['recall']}")
+assert gates["no_streaming_false_positives"], (
+    f"streaming false positives: {report['streaming']['false_positives']}")
+print(f"BENCH_streaming.json ok: streaming median "
+      f"{report['streaming']['latency']['median_s']}s vs batch "
+      f"{report['batch']['latency']['median_s']}s "
+      f"({report['speedup_median']}x), recall "
+      f"{report['streaming']['recall']} >= {report['batch']['recall']}, "
+      f"no false positives")
 PY
 
 echo

@@ -12,6 +12,10 @@ engine:
 
 Introspection scenarios:
 
+* ``fuzz`` — seeded scenario fuzzing: ``python -m repro fuzz
+  --seeds N`` generates N random valid specs from the attack/fault
+  registries and checks determinism, no-silent-detection-loss, and
+  benign precision on each (exit 1 on any violation)
 * ``tables`` — print the regenerated paper tables (I and III)
 * ``telemetry`` — telemetry-instrumented fleet run (serial + parallel,
   asserting the merged metric totals are identical)
@@ -364,6 +368,30 @@ def run_replay(args) -> int:
     return 0 if report.ok else 1
 
 
+def run_fuzz(args) -> int:
+    """Seeded scenario fuzzing: generate random valid specs and check
+    the platform's properties (determinism, no-silent-detection-loss,
+    benign precision) on each."""
+    from repro.scenarios.fuzz import run_fuzz as fuzz
+
+    def progress(seed, spec, violations):
+        for violation in violations:
+            print(f"VIOLATION {violation}")
+
+    report = fuzz(args.seeds, start_seed=args.start_seed,
+                  workers=args.workers or 2, progress=progress)
+    checked = ", ".join(f"{prop}={count}"
+                        for prop, count in sorted(report.checked.items()))
+    print(f"fuzzed {report.seeds} spec(s) from seed {args.start_seed}: "
+          f"{report.with_attacks} with attacks, {report.with_faults} "
+          f"with faults, {report.benign} benign, {report.streaming} "
+          f"with streaming detection, {report.cross_home} multi-home")
+    print(f"property checks: {checked}")
+    print(f"fuzz verdict: "
+          f"{'clean' if report.ok else f'{len(report.violations)} VIOLATION(S)'}")
+    return 0 if report.ok else 1
+
+
 def run_functions(args) -> int:
     """Print the SecurityFunction plugin registry."""
     from repro.core import REGISTRY, load_builtin_functions
@@ -387,6 +415,7 @@ SCENARIOS = {
     "tables": run_tables,
     "telemetry": run_telemetry,
     "functions": run_functions,
+    "fuzz": run_fuzz,
     "serve": run_serve,
     "replay": run_replay,
 }
@@ -430,6 +459,11 @@ def main(argv=None) -> int:
                         help="record the run to an append-only JSONL "
                              "event journal (replayable with the "
                              "'replay' scenario)")
+    parser.add_argument("--seeds", type=int, default=50,
+                        help="'fuzz' only: number of fuzz seeds to run")
+    parser.add_argument("--start-seed", type=int, default=0,
+                        help="'fuzz' only: first seed (for reproducing "
+                             "a reported violation)")
     parser.add_argument("--until-alert", type=int, default=None,
                         metavar="N",
                         help="'replay' only: stop at the epoch boundary "

@@ -23,6 +23,11 @@ from repro.core.correlator import CorrelationRule, CrossLayerCorrelator
 from repro.core.mkl import KernelSpec, MklClassifier
 from repro.core.graphlearn import CommunityModel
 from repro.core.policy import TokenLifetimePolicy
+from repro.core.streaming import (
+    OnlineWindow,
+    StreamingConfig,
+    StreamingDetector,
+)
 
 
 def __getattr__(name):
@@ -57,6 +62,9 @@ __all__ = [
     "MklClassifier",
     "KernelSpec",
     "CommunityModel",
+    "OnlineWindow",
+    "StreamingConfig",
+    "StreamingDetector",
     "TokenLifetimePolicy",
     "XLF",
     "XlfConfig",

@@ -100,6 +100,22 @@ class CoreBus:
     def signals_for(self, device: str) -> List[SecuritySignal]:
         return list(self._by_device.get(device, []))
 
+    def reporting_devices(self) -> List[str]:
+        """Devices with at least one reported signal, in first-report
+        order (deterministic: insertion order of the device pools)."""
+        return list(self._by_device)
+
+    def global_signals_in_window(self, end: float,
+                                 window_s: float) -> List[SecuritySignal]:
+        """The global pool (``device == ""``) within the window — the
+        public accessor for signals tied to no device (user-scoped API
+        abuse, platform-wide ingest anomalies)."""
+        start = end - window_s
+        if self._monotonic:
+            return self._window_slice(self._global, self._global_ts,
+                                      start, end)
+        return [s for s in self._global if start <= s.timestamp <= end]
+
     def _window_slice(self, pool: List[SecuritySignal],
                       timestamps: List[float], start: float,
                       end: float) -> List[SecuritySignal]:

@@ -179,9 +179,19 @@ class CrossLayerCorrelator:
 
     def _recent_triggers(self, rule: CorrelationRule,
                          corroborator: SecuritySignal):
-        devices = ([corroborator.device] if corroborator.device
-                   else list(self.bus._by_device))
-        found = []
+        if corroborator.device:
+            devices = [corroborator.device]
+            found = []
+        else:
+            # A device-less corroborator may corroborate any device's
+            # trigger — and a *global* trigger too: the global pool is
+            # searched directly, not only via the per-device windows
+            # (which only merge it in when at least one device has
+            # signals of its own).
+            devices = self.bus.reporting_devices()
+            found = [s for s in self.bus.global_signals_in_window(
+                         corroborator.timestamp, rule.window_s)
+                     if s.signal_type in rule.trigger_types][-1:]
         for device in devices:
             window = self.bus.signals_in_window(
                 device, corroborator.timestamp, rule.window_s)
@@ -189,13 +199,28 @@ class CrossLayerCorrelator:
                         if s.signal_type in rule.trigger_types]
             if triggers:
                 found.append(triggers[-1])
-        return found
+        # Global triggers surface once per device window they merged
+        # into; evaluating the same trigger object repeatedly is wasted
+        # work (and inflates the suppressed-alert count), so dedupe by
+        # identity.
+        unique = []
+        for trigger in found:
+            if not any(trigger is seen for seen in unique):
+                unique.append(trigger)
+        return unique
 
     def _evaluate(self, rule: CorrelationRule, trigger: SecuritySignal,
                   latest: SecuritySignal) -> None:
-        window = self.bus.signals_in_window(
-            trigger.device, latest.timestamp, rule.window_s
-        ) if trigger.device else [trigger, latest]
+        if trigger.device:
+            window = self.bus.signals_in_window(
+                trigger.device, latest.timestamp, rule.window_s)
+        elif trigger is latest:
+            # The trigger arriving is itself the newest signal; listing
+            # it twice would double-count one observation and let
+            # min_signals=2 rules alert off a single global signal.
+            window = [trigger]
+        else:
+            window = [trigger, latest]
         alert = rule.evaluate(trigger, window,
                               stale_layers=self.bus.stale_layers())
         if alert is not None:

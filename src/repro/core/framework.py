@@ -29,6 +29,7 @@ from repro.core.bus import CoreBus
 from repro.core.correlator import CrossLayerCorrelator
 from repro.core.plugin import REGISTRY, SecurityFunction, load_builtin_functions
 from repro.core.policy import TokenLifetimePolicy
+from repro.core.streaming import StreamingConfig
 from repro.core.signals import (
     Alert,
     Layer,
@@ -72,6 +73,10 @@ class XlfConfig:
     # re-sync journaled observations on recovery.  False restores the
     # pre-runtime behavior (stale-marking only).
     home_alone: bool = True
+    # Streaming detection (repro.core.streaming): incremental features,
+    # periodic in-run model refresh, community-baseline drift signals.
+    # None = batch-only detection (the pre-streaming behaviour).
+    streaming: Optional["StreamingConfig"] = None
 
     @staticmethod
     def full() -> "XlfConfig":
@@ -478,6 +483,10 @@ class XLF:
     @property
     def response_engine(self):
         return self.function("response-engine")
+
+    @property
+    def streaming_detector(self):
+        return self.function("streaming-drift")
 
     # -- world indices (shared services for functions) -----------------------------
     def refresh_allowlists(self) -> None:

@@ -29,6 +29,12 @@ def feature_matrix(features: "dict",
     order.  The one blessed way to go from fleet features to classifier
     input; row order is what links predictions back to devices, so
     every call site sharing this function can never disagree on it.
+
+    An empty fleet yields ``([], (0, 0))``: the feature width is
+    unknowable with no vectors to read it from.  Every consumer is
+    zero-row-safe — :meth:`KernelSpec.matrix` returns the empty Gram
+    matrix, :meth:`MklClassifier.decision_function` returns zero
+    scores, and :meth:`MklClassifier.fit` raises a clear error.
     """
     ordered = sorted(features) if names is None else list(names)
     if not ordered:
@@ -47,6 +53,11 @@ class KernelSpec:
     gamma: float = 1.0
 
     def matrix(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if a.shape[0] == 0 or b.shape[0] == 0:
+            # The Gram matrix of an empty side is empty; column
+            # indexing below would raise on the degenerate (0, 0)
+            # matrices an empty fleet produces.
+            return np.zeros((a.shape[0], b.shape[0]))
         xa = a[:, self.feature_indices]
         xb = b[:, self.feature_indices]
         if self.kind == "linear":
@@ -98,6 +109,10 @@ class MklClassifier:
         y = np.where(y <= 0, -1.0, 1.0)
         if x.ndim != 2 or len(y) != x.shape[0]:
             raise ValueError("features must be 2-D with one label per row")
+        if x.shape[0] == 0:
+            raise ValueError(
+                "cannot fit on an empty feature matrix (zero samples); "
+                "an empty fleet has nothing to learn from")
         matrices = [spec.matrix(x, x) for spec in self.kernels]
         alignments = np.array([
             max(kernel_alignment(k, y), 0.0) for k in matrices
@@ -119,6 +134,10 @@ class MklClassifier:
         if self._alpha is None or self._x_train is None or self.weights_ is None:
             raise RuntimeError("classifier is not fitted")
         x = np.asarray(features, dtype=float)
+        if x.shape[0] == 0:
+            # Zero rows in, zero scores out — predicting on an empty
+            # batch is well-defined even though fitting on one is not.
+            return np.zeros(0)
         combined = sum(
             w * spec.matrix(x, self._x_train)
             for w, spec in zip(self.weights_, self.kernels)

@@ -197,5 +197,6 @@ def load_builtin_functions() -> FunctionRegistry:
         import repro.security.service.analytics    # noqa: F401
         import repro.security.service.appverify    # noqa: F401
         import repro.core.response                 # noqa: F401
+        import repro.core.streaming                # noqa: F401
         _builtins_loaded = True
     return REGISTRY

@@ -1,0 +1,499 @@
+"""Streaming detection: incremental features + drift-aware model refresh.
+
+The batch pipeline (``core/mkl.py``, ``core/graphlearn.py``) learns on
+end-of-run feature windows, so its detection latency is bounded by the
+batch cadence rather than by evidence arrival.  This module makes the
+Core's learners *online*:
+
+* :class:`OnlineWindow` — a per-device incremental feature accumulator.
+  Observations land in fixed-width time buckets holding running
+  count / sum / sum-of-squares aggregates, so featurizing a device at
+  any instant is O(window buckets) and never needs the full event
+  history.  Out-of-order observations (possible when a test harness
+  drives the bus directly — the same situation that flips
+  ``CoreBus._monotonic`` off) are clamped into the oldest retained
+  bucket: deterministic, and nothing is silently dropped.
+* :class:`StreamingDetector` — periodic in-run model refresh.  Every
+  ``refresh_s`` of *simulated* time it rebuilds the
+  :class:`~repro.core.graphlearn.CommunityModel` on the rolling window,
+  refits the :class:`~repro.core.mkl.MklClassifier` on
+  correlator-alert pseudo-labels (when both classes are present), and
+  z-scores each device's current features against its community
+  baseline from the previous refresh — a device that leaves its
+  baseline raises a ``BEHAVIOR_DEVIATION`` signal on the Core bus.
+* :class:`StreamingDriftFunction` — the plugin wrapper: a Core-resident
+  :class:`~repro.core.plugin.SecurityFunction` gated on
+  ``XlfConfig.streaming``, wired through the host's generic attach path
+  (link observer + bus subscription + ``sim.every`` refresh loop).
+
+Determinism contract: the refresh loop is driven off the event clock
+(``sim.every``), every model rebuild iterates devices in sorted order,
+and all state lives inside the home's simulation — so streaming-enabled
+runs keep the serial == parallel == journal-replay byte-identity
+contract (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.graphlearn import CommunityModel
+from repro.core.mkl import KernelSpec, MklClassifier, feature_matrix
+from repro.core.plugin import SecurityFunction, register
+from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
+from repro import telemetry as _telemetry
+
+
+#: Feature order produced by :meth:`OnlineWindow.features`.  A superset
+#: of :attr:`ScenarioResult.FEATURE_NAMES`: the running sum-of-squares
+#: adds a size-dispersion column, and the bus feedback adds signal rate.
+STREAM_FEATURE_NAMES = (
+    "packets_per_min",
+    "mean_packet_size",
+    "packet_size_std",
+    "distinct_remotes",
+    "events_per_min",
+    "telemetry_per_min",
+    "signals_per_min",
+)
+
+
+def streaming_kernels() -> List[KernelSpec]:
+    """Default kernel bank over the streaming feature groups."""
+    return [
+        KernelSpec("rates", (0, 4, 5, 6), kind="rbf", gamma=0.01),
+        KernelSpec("sizes", (1, 2), kind="rbf", gamma=1e-4),
+        KernelSpec("fanout", (3,), kind="linear"),
+    ]
+
+
+@dataclass
+class StreamingConfig:
+    """Streaming-detection knobs (``XlfConfig.streaming``)."""
+
+    # Model refresh cadence on the event clock (simulated seconds).
+    refresh_s: float = 30.0
+    # Rolling window = bucket_s * window_buckets trailing seconds.
+    bucket_s: float = 10.0
+    window_buckets: int = 12
+    # Max per-feature z-score vs the baseline community before a
+    # BEHAVIOR_DEVIATION signal fires.
+    drift_threshold: float = 4.0
+    # Refreshes before drift detection arms (the first window is noise).
+    min_refreshes: int = 2
+    # CommunityModel parameters for streaming-scale features.
+    similarity_scale: float = 40.0
+    edge_threshold: float = 0.3
+    # Per-feature deviation floors (aligned with STREAM_FEATURE_NAMES):
+    # absolute units of each feature, plus a relative floor against
+    # |centroid| — near-identical peers would otherwise have ~zero
+    # spread and every benign workload wiggle would look like drift.
+    # Defaults sized so bursty resident activity stays comfortably
+    # under drift_threshold while scan/flood behaviour (orders of
+    # magnitude larger) clears it.
+    feature_floors: Tuple[float, ...] = (2.0, 64.0, 64.0, 1.0, 2.0, 2.0, 2.0)
+    rel_std_floor: float = 0.25
+    # Refit the MKL classifier on correlator-alert pseudo-labels at each
+    # refresh (skipped while only one class is present).
+    classifier_refresh: bool = True
+
+    _KEYS = ("refresh_s", "bucket_s", "window_buckets", "drift_threshold",
+             "min_refreshes", "similarity_scale", "edge_threshold",
+             "feature_floors", "rel_std_floor", "classifier_refresh")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {key: getattr(self, key) for key in self._KEYS}
+        out["feature_floors"] = list(self.feature_floors)
+        return out
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "StreamingConfig":
+        unknown = set(data) - set(StreamingConfig._KEYS)
+        if unknown:
+            raise ValueError(
+                f"unknown streaming keys {sorted(unknown)}; "
+                f"valid: {sorted(StreamingConfig._KEYS)}")
+        defaults = StreamingConfig()
+        config = StreamingConfig(
+            refresh_s=float(data.get("refresh_s", defaults.refresh_s)),
+            bucket_s=float(data.get("bucket_s", defaults.bucket_s)),
+            window_buckets=int(data.get("window_buckets",
+                                        defaults.window_buckets)),
+            drift_threshold=float(data.get("drift_threshold",
+                                           defaults.drift_threshold)),
+            min_refreshes=int(data.get("min_refreshes",
+                                       defaults.min_refreshes)),
+            similarity_scale=float(data.get("similarity_scale",
+                                            defaults.similarity_scale)),
+            edge_threshold=float(data.get("edge_threshold",
+                                          defaults.edge_threshold)),
+            feature_floors=tuple(
+                float(v) for v in data.get("feature_floors",
+                                           defaults.feature_floors)),
+            rel_std_floor=float(data.get("rel_std_floor",
+                                         defaults.rel_std_floor)),
+            classifier_refresh=bool(data.get("classifier_refresh",
+                                             defaults.classifier_refresh)),
+        )
+        config.validate()
+        return config
+
+    def validate(self) -> None:
+        if self.refresh_s <= 0:
+            raise ValueError("streaming refresh_s must be > 0")
+        if self.bucket_s <= 0:
+            raise ValueError("streaming bucket_s must be > 0")
+        if self.window_buckets < 1:
+            raise ValueError("streaming window_buckets must be >= 1")
+        if self.drift_threshold <= 0:
+            raise ValueError("streaming drift_threshold must be > 0")
+        if len(self.feature_floors) != len(STREAM_FEATURE_NAMES):
+            raise ValueError(
+                f"streaming feature_floors needs "
+                f"{len(STREAM_FEATURE_NAMES)} entries "
+                f"(one per {', '.join(STREAM_FEATURE_NAMES)})")
+
+
+class _Bucket:
+    """Running aggregates for one device over one time bucket."""
+
+    __slots__ = ("packets", "size_sum", "size_sq", "remotes", "events",
+                 "telemetry", "signals")
+
+    def __init__(self) -> None:
+        self.packets = 0
+        self.size_sum = 0
+        self.size_sq = 0
+        self.remotes: Set[str] = set()
+        self.events = 0
+        self.telemetry = 0
+        self.signals = 0
+
+
+class OnlineWindow:
+    """Per-device incremental feature accumulator over a rolling window.
+
+    Observations are folded into ``bucket_s``-wide buckets as running
+    count / sum / sum-of-squares aggregates; only the trailing
+    ``window_buckets`` buckets per device are retained, so memory stays
+    O(devices × buckets) and featurization never replays history.
+
+    Out-of-order timestamps older than the retained window are clamped
+    into the oldest retained bucket (counted in :attr:`clamped`): the
+    totals are conserved — no observation is silently lost — and the
+    clamping is a pure function of arrival order, so it stays
+    deterministic on the same event sequence.
+    """
+
+    def __init__(self, bucket_s: float = 10.0, window_buckets: int = 12):
+        if bucket_s <= 0 or window_buckets < 1:
+            raise ValueError("bucket_s must be > 0 and window_buckets >= 1")
+        self.bucket_s = bucket_s
+        self.window_buckets = window_buckets
+        self._buckets: Dict[str, Dict[int, _Bucket]] = {}
+        self._latest: Dict[str, int] = {}
+        self.clamped = 0
+
+    # -- accumulation ------------------------------------------------------
+    def track(self, device: str) -> None:
+        """Ensure ``device`` featurizes even if it never emits."""
+        self._buckets.setdefault(device, {})
+
+    @property
+    def devices(self) -> List[str]:
+        return sorted(self._buckets)
+
+    def _bucket(self, device: str, timestamp: float) -> _Bucket:
+        buckets = self._buckets.setdefault(device, {})
+        index = int(timestamp // self.bucket_s)
+        latest = self._latest.get(device)
+        if latest is None or index > latest:
+            self._latest[device] = latest = index
+            oldest = latest - self.window_buckets + 1
+            for stale in [i for i in buckets if i < oldest]:
+                del buckets[stale]
+        else:
+            oldest = latest - self.window_buckets + 1
+            if index < oldest:
+                self.clamped += 1
+                index = oldest
+        return buckets.setdefault(index, _Bucket())
+
+    def observe_packet(self, device: str, size_bytes: int, remote: str,
+                       timestamp: float) -> None:
+        bucket = self._bucket(device, timestamp)
+        bucket.packets += 1
+        bucket.size_sum += size_bytes
+        bucket.size_sq += size_bytes * size_bytes
+        bucket.remotes.add(remote)
+
+    def observe_event(self, device: str, timestamp: float) -> None:
+        self._bucket(device, timestamp).events += 1
+
+    def observe_telemetry(self, device: str, timestamp: float) -> None:
+        self._bucket(device, timestamp).telemetry += 1
+
+    def observe_signal(self, device: str, timestamp: float) -> None:
+        self._bucket(device, timestamp).signals += 1
+
+    # -- featurization -----------------------------------------------------
+    def totals(self, device: str) -> Dict[str, float]:
+        """Aggregate counts over the retained window (conservation checks)."""
+        buckets = self._buckets.get(device, {})
+        out = {"packets": 0, "size_sum": 0, "events": 0, "telemetry": 0,
+               "signals": 0}
+        for bucket in buckets.values():
+            out["packets"] += bucket.packets
+            out["size_sum"] += bucket.size_sum
+            out["events"] += bucket.events
+            out["telemetry"] += bucket.telemetry
+            out["signals"] += bucket.signals
+        return out
+
+    def features(self, device: str, now: float) -> List[float]:
+        """The :data:`STREAM_FEATURE_NAMES` vector over the trailing
+        window ending at ``now``."""
+        buckets = self._buckets.get(device, {})
+        # Bucket covering (now - bucket_s, now]: at an exact boundary the
+        # window ends with the just-completed bucket, not a fresh empty one.
+        current = max(int(math.ceil(now / self.bucket_s)) - 1, 0)
+        oldest = current - self.window_buckets + 1
+        packets = size_sum = size_sq = events = telemetry = signals = 0
+        remotes: Set[str] = set()
+        for index, bucket in buckets.items():
+            if oldest <= index <= current:
+                packets += bucket.packets
+                size_sum += bucket.size_sum
+                size_sq += bucket.size_sq
+                events += bucket.events
+                telemetry += bucket.telemetry
+                signals += bucket.signals
+                remotes |= bucket.remotes
+        span_s = min(max(now, self.bucket_s),
+                     self.bucket_s * self.window_buckets)
+        minutes = span_s / 60.0
+        mean_size = size_sum / packets if packets else 0.0
+        variance = max(size_sq / packets - mean_size * mean_size, 0.0) \
+            if packets else 0.0
+        return [
+            packets / minutes,
+            mean_size,
+            math.sqrt(variance),
+            float(len(remotes)),
+            events / minutes,
+            telemetry / minutes,
+            signals / minutes,
+        ]
+
+
+class StreamingDetector:
+    """Incremental detection: rolling features, periodic model refresh,
+    community-baseline drift signals.
+
+    At each refresh (event-clock cadence ``config.refresh_s``):
+
+    1. featurize every tracked device from the :class:`OnlineWindow`;
+    2. if a baseline exists (the model built at the previous refresh),
+       z-score each device's current vector against its *baseline*
+       community — centroid and per-feature spread computed over the
+       members' previous-refresh features, floored so near-identical
+       peers don't alarm on rounding noise — and raise a
+       ``BEHAVIOR_DEVIATION`` signal when the max z crosses
+       ``drift_threshold`` (hysteresis: one signal per excursion);
+    3. rebuild the :class:`CommunityModel` on the current window and,
+       when correlator alerts provide both classes, refit the MKL
+       classifier on alert pseudo-labels.
+
+    Comparing against the *previous* refresh's communities matters: a
+    freshly infected device may be isolated into its own singleton
+    community by the current rebuild, where its distance to its own
+    centroid is zero and drift would be invisible.
+    """
+
+    def __init__(self, sim, report: Callable[[SecuritySignal], None],
+                 config: StreamingConfig, device_names: Sequence[str],
+                 kernels: Optional[Sequence[KernelSpec]] = None,
+                 source: str = "streaming-drift"):
+        self.sim = sim
+        self.report = report
+        self.config = config
+        self.source = source
+        self.kernels = list(kernels) if kernels else streaming_kernels()
+        self.window = OnlineWindow(config.bucket_s, config.window_buckets)
+        self._tracked: Set[str] = set()
+        for name in device_names:
+            self._tracked.add(name)
+            self.window.track(name)
+        self.community: Optional[CommunityModel] = None
+        self.classifier: Optional[MklClassifier] = None
+        self.scores: Dict[str, float] = {}
+        self.z_scores: Dict[str, float] = {}
+        self.refreshes = 0
+        self.drift_signals = 0
+        self.drifted: Set[str] = set()
+        self._baseline: Dict[str, np.ndarray] = {}
+        # Pseudo-label provider (devices the correlator has alerted on);
+        # the plugin wires it to the host's correlator at attach time.
+        self.alerted_devices: Callable[[], Set[str]] = lambda: set()
+
+    # -- observation taps --------------------------------------------------
+    def observe(self, packet) -> None:
+        """Link observer: fold one LAN packet into the rolling window."""
+        device = packet.src_device
+        if not device or device not in self._tracked:
+            return
+        now = self.sim.now
+        self.window.observe_packet(device, packet.size_bytes, packet.dst,
+                                   now)
+        payload = packet.payload
+        if isinstance(payload, dict):
+            kind = payload.get("kind")
+            if kind == "event":
+                self.window.observe_event(device, now)
+            elif kind == "telemetry":
+                self.window.observe_telemetry(device, now)
+
+    def on_signal(self, signal: SecuritySignal) -> None:
+        """Bus listener: layer-function signals are behaviour too."""
+        if signal.source == self.source:
+            return     # our own drift signals must not feed back
+        if signal.device and signal.device in self._tracked:
+            self.window.observe_signal(signal.device, signal.timestamp)
+
+    # -- periodic refresh --------------------------------------------------
+    def refresh(self) -> None:
+        """One event-clock refresh: detect drift against the previous
+        baseline, then rebuild the models on the current window."""
+        now = self.sim.now
+        self.refreshes += 1
+        names = sorted(self._tracked)
+        feats = {name: np.asarray(self.window.features(name, now))
+                 for name in names}
+        if self.community is not None \
+                and self.refreshes > self.config.min_refreshes:
+            self._detect(feats, now)
+        self._refit(feats, names)
+        if _telemetry.ENABLED:
+            _telemetry.registry().counter("core.streaming.refreshes").inc()
+
+    def _detect(self, feats: Dict[str, np.ndarray], now: float) -> None:
+        config = self.config
+        baseline_model = self.community
+        for name in sorted(feats):
+            index = baseline_model.community_of(name)
+            if index is None:
+                continue
+            baseline = self._baseline.get(name)
+            if baseline is None or baseline[0] == 0.0:
+                # Cold start: a device with no packets in the baseline
+                # window has no behaviour to leave yet — its first
+                # activity burst is arrival, not drift.
+                continue
+            members = sorted(baseline_model.communities[index])
+            member_feats = np.stack([self._baseline[m] for m in members
+                                     if m in self._baseline])
+            centroid = member_feats.mean(axis=0)
+            spread = member_feats.std(axis=0)
+            scale = np.maximum(
+                spread, np.maximum(np.asarray(config.feature_floors),
+                                   config.rel_std_floor * np.abs(centroid)))
+            z = float(np.max(np.abs(feats[name] - centroid) / scale))
+            self.z_scores[name] = z
+            if z <= config.drift_threshold:
+                self.drifted.discard(name)
+                continue
+            if name in self.drifted:
+                continue   # one signal per excursion
+            self.drifted.add(name)
+            self.drift_signals += 1
+            worst = int(np.argmax(np.abs(feats[name] - centroid) / scale))
+            self.report(SecuritySignal.make(
+                Layer.CORE, SignalType.BEHAVIOR_DEVIATION,
+                source=self.source, device=name, timestamp=now,
+                severity=Severity.WARNING,
+                z_score=round(z, 6),
+                feature=STREAM_FEATURE_NAMES[worst],
+                refresh=self.refreshes))
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter(
+                    "core.streaming.drift_signals").inc()
+
+    def _refit(self, feats: Dict[str, np.ndarray],
+               names: Sequence[str]) -> None:
+        model = CommunityModel(self.config.similarity_scale,
+                               self.config.edge_threshold)
+        for name in names:
+            model.add_entity(name, feats[name])
+        if names:
+            model.build()
+        self.community = model
+        self._baseline = dict(feats)
+        if not self.config.classifier_refresh:
+            return
+        labeled = self.alerted_devices()
+        labels = [1 if name in labeled else 0 for name in names]
+        positives = sum(labels)
+        if 0 < positives < len(labels):
+            ordered, matrix = feature_matrix(
+                {name: feats[name] for name in names})
+            classifier = MklClassifier(self.kernels).fit(matrix, labels)
+            self.classifier = classifier
+            self.scores = {
+                name: float(score) for name, score in
+                zip(ordered, classifier.decision_function(matrix))}
+            if _telemetry.ENABLED:
+                _telemetry.registry().counter(
+                    "core.streaming.classifier_refits").inc()
+
+
+@register
+class StreamingDriftFunction(SecurityFunction):
+    """Plugin: Core-resident streaming drift detection.
+
+    Gated on ``XlfConfig.streaming`` (None = batch-only, the seed
+    behaviour).  Attach wires a passive link observer, a bus listener,
+    and a ``sim.every`` refresh loop; detach reverses all three.
+    """
+
+    layer = Layer.CORE
+    name = "streaming-drift"
+    order = 5
+    accessor = "streaming_detector"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._bus = None
+        self._process = None
+
+    def should_install(self, host) -> bool:
+        return getattr(host.config, "streaming", None) is not None
+
+    def attach(self, host) -> None:
+        config = host.config.streaming
+        config.validate()
+        detector = StreamingDetector(
+            host.sim, host.report_for(self.name), config,
+            [device.name for device in host.devices])
+        correlator = host.correlator
+        detector.alerted_devices = lambda: {
+            alert.device for alert in correlator.alerts if alert.device}
+        self.instance = detector
+        self._bus = host.bus
+        self._bus.subscribe(detector.on_signal)
+        self._process = host.sim.every(config.refresh_s, detector.refresh,
+                                       name="streaming-refresh")
+
+    def detach(self, host) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt()
+        self._process = None
+        if self._bus is not None:
+            self._bus.unsubscribe(self.instance.on_signal)
+            self._bus = None
+
+    def link_observer(self):
+        return self.instance.observe

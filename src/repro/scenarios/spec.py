@@ -53,6 +53,7 @@ if TYPE_CHECKING:  # the attacks package imports this module to register
     from repro.attacks.base import Attack, AttackOutcome
 
 from repro.core.framework import XLF, HomeAloneEvent, XlfConfig
+from repro.core.streaming import StreamingConfig
 from repro.core.signals import Alert, Layer
 from repro.device.device import Vulnerabilities
 from repro.faults import FAULTS, FaultError, FaultEvent, FaultInjector, FaultSpec
@@ -438,7 +439,7 @@ def _fault_from_dict(data: Dict[str, Any]) -> FaultSpec:
 
 
 def _xlf_to_dict(config: XlfConfig) -> Dict[str, Any]:
-    return {
+    out = {
         "enable_device_layer": config.enable_device_layer,
         "enable_network_layer": config.enable_network_layer,
         "enable_service_layer": config.enable_service_layer,
@@ -459,6 +460,11 @@ def _xlf_to_dict(config: XlfConfig) -> Dict[str, Any]:
         "enable_response": config.enable_response,
         "home_alone": config.home_alone,
     }
+    # Omitted when None (like HomeSpec.activity_rng): pre-streaming spec
+    # files remain in canonical form unchanged.
+    if config.streaming is not None:
+        out["streaming"] = config.streaming.to_dict()
+    return out
 
 
 def _xlf_from_dict(data: Dict[str, Any]) -> XlfConfig:
@@ -466,8 +472,14 @@ def _xlf_from_dict(data: Dict[str, Any]) -> XlfConfig:
         "enable_device_layer", "enable_network_layer", "enable_service_layer",
         "cross_layer", "single_layer", "shaping", "monitor_token_key_hex",
         "block_matched_traffic", "audit_interval_s", "disabled_functions",
-        "enable_response", "home_alone"})
+        "enable_response", "home_alone", "streaming"})
     defaults = XlfConfig()
+    streaming = None
+    if data.get("streaming") is not None:
+        try:
+            streaming = StreamingConfig.from_dict(dict(data["streaming"]))
+        except ValueError as exc:
+            raise SpecError(str(exc)) from None
     single = data.get("single_layer")
     shaping_data = _take("shaping", dict(data.get("shaping", {})),
                          {"max_delay_s", "cover_traffic_rate", "pad_to_bytes"})
@@ -494,6 +506,7 @@ def _xlf_from_dict(data: Dict[str, Any]) -> XlfConfig:
         disabled_functions=tuple(data.get("disabled_functions", ())),
         enable_response=bool(data.get("enable_response", False)),
         home_alone=bool(data.get("home_alone", True)),
+        streaming=streaming,
     )
 
 

@@ -92,6 +92,37 @@ class TestMkl:
             kernel_alignment(KERNELS[2].matrix(x, x), y_signed)
 
 
+class TestMklZeroRows:
+    """The empty-fleet path: feature_matrix() of no devices yields a
+    (0, 0) matrix, which used to crash KernelSpec.matrix on column
+    indexing.  Fitting on it is a clear error; predicting is not."""
+
+    def test_feature_matrix_empty_fleet(self):
+        from repro.core.mkl import feature_matrix
+        names, matrix = feature_matrix({})
+        assert names == []
+        assert matrix.shape == (0, 0)
+
+    @pytest.mark.parametrize("kind", ["rbf", "linear"])
+    def test_kernel_matrix_empty_sides(self, kind):
+        spec = KernelSpec("k", (0, 1), kind)
+        x = np.zeros((3, 6))
+        empty = np.empty((0, 0))
+        assert spec.matrix(empty, empty).shape == (0, 0)
+        assert spec.matrix(empty, x).shape == (0, 3)
+        assert spec.matrix(x, empty).shape == (3, 0)
+
+    def test_fit_on_zero_rows_raises_clearly(self):
+        with pytest.raises(ValueError, match="zero samples"):
+            MklClassifier(KERNELS).fit(np.empty((0, 0)), [])
+
+    def test_predict_on_zero_rows_returns_empty(self):
+        x, y = make_dataset()
+        clf = MklClassifier(KERNELS).fit(x, y)
+        assert clf.decision_function(np.empty((0, 0))).shape == (0,)
+        assert clf.predict(np.empty((0, 0))).shape == (0,)
+
+
 class TestCommunityModel:
     def build_two_communities(self):
         model = CommunityModel(similarity_scale=2.0, edge_threshold=0.4)

@@ -31,7 +31,7 @@ DEVICE_FUNCTIONS = ["encryption-policy", "delegation-proxy",
 NETWORK_FUNCTIONS = ["traffic-monitor", "activity-detector",
                      "traffic-shaper"]
 SERVICE_FUNCTIONS = ["api-guard", "security-analytics", "app-verifier"]
-CORE_FUNCTIONS = ["response-engine"]
+CORE_FUNCTIONS = ["streaming-drift", "response-engine"]
 ALL_FUNCTIONS = (DEVICE_FUNCTIONS + NETWORK_FUNCTIONS
                  + SERVICE_FUNCTIONS + CORE_FUNCTIONS)
 
@@ -122,9 +122,11 @@ class TestRegistry:
 class TestConfigMatrix:
     def test_full_attaches_exactly_the_registry_defaults(self):
         xlf = install(make_home())
-        # Shaper gates on shaping config, response engine is opt-in.
+        # Shaper gates on shaping config; response engine and streaming
+        # drift detection are opt-in.
         expected = [n for n in ALL_FUNCTIONS
-                    if n not in ("traffic-shaper", "response-engine")]
+                    if n not in ("traffic-shaper", "response-engine",
+                                 "streaming-drift")]
         assert xlf.attached_names() == expected
 
     def test_full_with_shaping_includes_the_shaper(self):

@@ -266,3 +266,94 @@ class TestCorrelator:
         assert correlator.alerts_for("dev-1")
         assert not correlator.alerts_for("ghost")
         assert correlator.cross_layer_alerts()
+
+
+class TestGlobalSignalCorrelation:
+    """Device-less (global) signals through the correlator — regression
+    coverage for two bugs: a global trigger double-counted as its own
+    corroboration, and global triggers being invisible to late-arriving
+    global corroborators."""
+
+    RULE = CorrelationRule(
+        name="platform-abuse", category="platform-abuse",
+        trigger_types=frozenset({SignalType.API_ABUSE}),
+        corroborating_types=frozenset({SignalType.AUTH_ANOMALY}),
+        min_layers=1, min_signals=2,
+    )
+
+    def make(self):
+        bus = CoreBus(Simulator())
+        return bus, CrossLayerCorrelator(bus, rules=[self.RULE])
+
+    def test_single_global_trigger_does_not_self_corroborate(self):
+        """One global signal is one observation: a min_signals=2 rule
+        must not fire from the trigger being counted as the trigger
+        *and* as the latest window signal."""
+        bus, correlator = self.make()
+        bus.report(signal(Layer.SERVICE, SignalType.API_ABUSE,
+                          device="", t=10.0))
+        assert not correlator.alerts
+
+    def test_global_corroborator_finds_global_trigger(self):
+        """A global trigger followed by a global corroborator alerts:
+        the trigger lives only in the global pool, which the lookback
+        must search directly (no device has reported anything)."""
+        bus, correlator = self.make()
+        bus.report(signal(Layer.SERVICE, SignalType.API_ABUSE,
+                          device="", t=10.0))
+        assert not correlator.alerts
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_ANOMALY,
+                          device="", t=20.0))
+        assert len(correlator.alerts) == 1
+        assert correlator.alerts[0].category == "platform-abuse"
+        assert correlator.alerts[0].device == ""
+
+    def test_global_trigger_outside_window_not_found(self):
+        bus, correlator = self.make()
+        bus.report(signal(Layer.SERVICE, SignalType.API_ABUSE,
+                          device="", t=10.0))
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_ANOMALY,
+                          device="", t=10.0 + self.RULE.window_s + 1.0))
+        assert not correlator.alerts
+
+    def test_global_trigger_seen_once_despite_device_window_merge(self):
+        """A global trigger also merged into a device's window is still
+        evaluated as one trigger (deduped by identity), producing one
+        alert — not one alert plus a cooldown-suppressed duplicate."""
+        bus, correlator = self.make()
+        # dev-1 reports something irrelevant so its window exists and
+        # the global trigger merges into it.
+        bus.report(signal(Layer.NETWORK, SignalType.SCAN_PATTERN,
+                          device="dev-1", t=5.0))
+        trigger = signal(Layer.SERVICE, SignalType.API_ABUSE,
+                         device="", t=10.0)
+        bus.report(trigger)
+        corroborator = signal(Layer.DEVICE, SignalType.AUTH_ANOMALY,
+                              device="", t=20.0)
+        triggers = correlator._recent_triggers(self.RULE, corroborator)
+        assert len(triggers) == 1 and triggers[0] is trigger
+        bus.report(corroborator)
+        assert len(correlator.alerts) == 1
+
+    def test_bus_reporting_devices_accessor(self):
+        bus = CoreBus(Simulator())
+        assert bus.reporting_devices() == []
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE,
+                          device="b", t=1.0))
+        bus.report(signal(Layer.DEVICE, SignalType.AUTH_FAILURE,
+                          device="a", t=2.0))
+        bus.report(signal(Layer.SERVICE, SignalType.API_ABUSE,
+                          device="", t=3.0))  # global: not a device
+        assert bus.reporting_devices() == ["b", "a"]  # first-report order
+
+    @pytest.mark.parametrize("order", ["monotonic", "shuffled"])
+    def test_bus_global_window_accessor(self, order):
+        bus = CoreBus(Simulator())
+        times = [1.0, 5.0, 10.0, 20.0]
+        if order == "shuffled":
+            times = times[::-1]  # forces the linear-scan fallback
+        for t in times:
+            bus.report(signal(Layer.SERVICE, SignalType.API_ABUSE,
+                              device="", t=t))
+        window = bus.global_signals_in_window(end=10.0, window_s=6.0)
+        assert sorted(s.timestamp for s in window) == [5.0, 10.0]

@@ -1,0 +1,382 @@
+"""Tests for streaming detection: the incremental feature window, the
+drift-aware refresh loop, and the plugin lifecycle.
+
+The OnlineWindow tests pin the accumulator's contract — incremental
+featurization matches a naive recomputation, out-of-order observations
+are clamped (never dropped), pruning bounds memory.  The detector tests
+pin the drift semantics: no signals on benign fleets, a signal when a
+device leaves its community baseline, one signal per excursion, cold
+starts exempt.  The plugin tests pin the opt-in gating and reversible
+attach.
+"""
+
+import math
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import XLF, XlfConfig
+from repro.core.signals import Layer, SecuritySignal, Severity, SignalType
+from repro.core.streaming import (
+    STREAM_FEATURE_NAMES,
+    OnlineWindow,
+    StreamingConfig,
+    StreamingDetector,
+)
+from repro.scenarios import SmartHome, SmartHomeConfig
+
+
+@dataclass
+class FakePacket:
+    src_device: str
+    dst: str = "10.0.0.99"
+    size_bytes: int = 100
+    payload: object = None
+
+
+def make_home(**kwargs):
+    home = SmartHome(SmartHomeConfig(**kwargs))
+    home.run(5.0)
+    return home
+
+
+def install(home, config=None):
+    xlf = XLF(home.sim, home.gateway, home.cloud, home.devices,
+              home.all_lan_links, config or XlfConfig.full())
+    xlf.refresh_allowlists()
+    return xlf
+
+
+def streaming_config(**overrides):
+    config = XlfConfig.full()
+    config.streaming = StreamingConfig(**overrides)
+    return config
+
+
+class TestOnlineWindow:
+    def test_incremental_matches_naive_recomputation(self):
+        """Bucketed running aggregates produce the same feature vector
+        as recomputing from the raw event list."""
+        window = OnlineWindow(bucket_s=10.0, window_buckets=12)
+        events = [(3.0, 120, "a"), (14.0, 80, "b"), (27.5, 300, "a"),
+                  (44.0, 64, "c"), (71.0, 128, "a"), (95.0, 256, "d")]
+        for t, size, remote in events:
+            window.observe_packet("dev", size, remote, t)
+            window.observe_event("dev", t)
+        now = 100.0
+        got = window.features("dev", now)
+
+        # Naive: same window arithmetic over the raw events.
+        current = int(math.ceil(now / 10.0)) - 1
+        in_window = [(t, size, remote) for t, size, remote in events
+                     if current - 12 + 1 <= int(t // 10.0) <= current]
+        sizes = [size for _, size, _ in in_window]
+        minutes = min(max(now, 10.0), 120.0) / 60.0
+        mean = sum(sizes) / len(sizes)
+        variance = sum(s * s for s in sizes) / len(sizes) - mean * mean
+        expected = [
+            len(sizes) / minutes,
+            mean,
+            math.sqrt(max(variance, 0.0)),
+            float(len({remote for _, _, remote in in_window})),
+            len(sizes) / minutes,   # one event per packet above
+            0.0,
+            0.0,
+        ]
+        assert got == pytest.approx(expected)
+
+    def test_window_excludes_expired_buckets(self):
+        window = OnlineWindow(bucket_s=10.0, window_buckets=3)
+        window.observe_packet("dev", 100, "a", 5.0)     # bucket 0
+        window.observe_packet("dev", 100, "b", 95.0)    # bucket 9
+        feats = window.features("dev", 100.0)
+        assert feats[3] == 1.0                          # only remote "b"
+
+    def test_pruning_bounds_memory(self):
+        window = OnlineWindow(bucket_s=1.0, window_buckets=4)
+        for t in range(100):
+            window.observe_packet("dev", 10, "r", float(t))
+        assert len(window._buckets["dev"]) <= 4
+
+    def test_out_of_order_within_window_lands_in_right_bucket(self):
+        window = OnlineWindow(bucket_s=10.0, window_buckets=12)
+        window.observe_packet("dev", 100, "a", 50.0)
+        window.observe_packet("dev", 100, "b", 15.0)    # late but retained
+        assert window.clamped == 0
+        # A query ending before the late bucket's successors still sees it.
+        assert window.features("dev", 20.0)[3] == 1.0
+
+    def test_too_old_observation_clamped_not_dropped(self):
+        window = OnlineWindow(bucket_s=10.0, window_buckets=3)
+        window.observe_packet("dev", 100, "a", 200.0)
+        window.observe_packet("dev", 50, "b", 10.0)     # far outside window
+        assert window.clamped == 1
+        totals = window.totals("dev")
+        assert totals["packets"] == 2                   # conserved
+        assert totals["size_sum"] == 150
+
+    def test_tracked_but_silent_device_featurizes_to_zero(self):
+        window = OnlineWindow()
+        window.track("quiet")
+        assert window.devices == ["quiet"]
+        assert window.features("quiet", 60.0) == [0.0] * 7
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            OnlineWindow(bucket_s=0.0)
+        with pytest.raises(ValueError):
+            OnlineWindow(window_buckets=0)
+
+
+class TestStreamingConfig:
+    def test_round_trip(self):
+        config = StreamingConfig(refresh_s=15.0, window_buckets=6,
+                                 drift_threshold=3.5,
+                                 classifier_refresh=False)
+        assert StreamingConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown streaming keys"):
+            StreamingConfig.from_dict({"refresh_seconds": 10.0})
+
+    @pytest.mark.parametrize("bad", [
+        {"refresh_s": 0.0},
+        {"bucket_s": -1.0},
+        {"window_buckets": 0},
+        {"drift_threshold": 0.0},
+        {"feature_floors": [1.0, 2.0]},
+    ])
+    def test_validation_rejects(self, bad):
+        with pytest.raises(ValueError):
+            StreamingConfig.from_dict(bad)
+
+
+class TestStreamingDetectorUnit:
+    """Detector semantics on a hand-driven clock (no full home)."""
+
+    DEVICES = ["a", "b", "c", "d"]
+
+    def make(self, **overrides):
+        sim = SimpleNamespace(now=0.0)
+        signals = []
+        config = StreamingConfig(**overrides)
+        detector = StreamingDetector(sim, signals.append, config,
+                                     self.DEVICES)
+        return sim, signals, detector
+
+    def baseline_traffic(self, detector, start, end, devices=None):
+        for device in devices or self.DEVICES:
+            for t in range(int(start), int(end)):
+                detector.window.observe_packet(device, 100, "cloud",
+                                               float(t))
+
+    def test_no_drift_on_homogeneous_fleet(self):
+        sim, signals, detector = self.make()
+        for refresh_t in (30.0, 60.0, 90.0, 120.0):
+            self.baseline_traffic(detector, refresh_t - 30, refresh_t)
+            sim.now = refresh_t
+            detector.refresh()
+        assert signals == []
+        assert detector.refreshes == 4
+
+    def test_flooding_device_raises_one_drift_signal(self):
+        sim, signals, detector = self.make()
+        for refresh_t in (30.0, 60.0):
+            self.baseline_traffic(detector, refresh_t - 30, refresh_t)
+            sim.now = refresh_t
+            detector.refresh()
+        # Device "a" floods between the second and third refresh.
+        self.baseline_traffic(detector, 60, 90)
+        for t in range(60, 90):
+            for _ in range(50):
+                detector.window.observe_packet("a", 1024, "victim",
+                                               float(t))
+        sim.now = 90.0
+        detector.refresh()
+        assert len(signals) == 1
+        signal = signals[0]
+        assert signal.signal_type == SignalType.BEHAVIOR_DEVIATION
+        assert signal.device == "a"
+        assert signal.layer == Layer.CORE
+        assert signal.detail_dict["z_score"] > detector.config.drift_threshold
+        assert signal.detail_dict["feature"] in STREAM_FEATURE_NAMES
+
+    def test_hysteresis_one_signal_per_excursion(self):
+        sim, signals, detector = self.make()
+        for refresh_t in (30.0, 60.0):
+            self.baseline_traffic(detector, refresh_t - 30, refresh_t)
+            sim.now = refresh_t
+            detector.refresh()
+
+        def flood(start, end):
+            self.baseline_traffic(detector, start, end)
+            for t in range(int(start), int(end)):
+                for _ in range(50):
+                    detector.window.observe_packet("a", 1024, "victim",
+                                                   float(t))
+
+        flood(60, 90)
+        sim.now = 90.0
+        detector.refresh()
+        flood(90, 120)                       # excursion continues
+        sim.now = 120.0
+        detector.refresh()
+        assert len(signals) == 1             # still the one signal
+        # Recovery: several windows of plain traffic clears the flood
+        # out of the rolling window and re-arms the detector.
+        for refresh_t in (150.0, 180.0, 210.0, 240.0):
+            self.baseline_traffic(detector, refresh_t - 30, refresh_t)
+            sim.now = refresh_t
+            detector.refresh()
+        assert "a" not in detector.drifted
+        flood(240, 270)                      # a second excursion
+        sim.now = 270.0
+        detector.refresh()
+        assert len(signals) == 2
+
+    def test_cold_start_device_is_exempt(self):
+        """A device silent through the baseline window then waking up
+        is arrival, not drift."""
+        sim, signals, detector = self.make()
+        awake = ["b", "c", "d"]
+        for refresh_t in (30.0, 60.0):
+            self.baseline_traffic(detector, refresh_t - 30, refresh_t,
+                                  devices=awake)
+            sim.now = refresh_t
+            detector.refresh()
+        self.baseline_traffic(detector, 60, 90, devices=awake)
+        for t in range(60, 90):              # "a" wakes up loudly
+            for _ in range(50):
+                detector.window.observe_packet("a", 1024, "cloud",
+                                               float(t))
+        sim.now = 90.0
+        detector.refresh()
+        assert signals == []
+
+    def test_own_signals_do_not_feed_back(self):
+        sim, signals, detector = self.make()
+        own = SecuritySignal.make(
+            Layer.CORE, SignalType.BEHAVIOR_DEVIATION,
+            source=detector.source, device="a", timestamp=1.0,
+            severity=Severity.WARNING)
+        other = SecuritySignal.make(
+            Layer.NETWORK, SignalType.SCAN_PATTERN,
+            source="traffic-monitor", device="a", timestamp=1.0,
+            severity=Severity.WARNING)
+        detector.on_signal(own)
+        detector.on_signal(other)
+        assert detector.window.totals("a")["signals"] == 1
+
+    def test_classifier_refits_on_mixed_pseudo_labels(self):
+        sim, signals, detector = self.make()
+        detector.alerted_devices = lambda: {"a"}
+        self.baseline_traffic(detector, 0, 30)
+        for t in range(0, 30):
+            detector.window.observe_packet("a", 1024, "victim", float(t))
+        sim.now = 30.0
+        detector.refresh()
+        assert detector.classifier is not None
+        assert set(detector.scores) == set(self.DEVICES)
+        # The alerted device separates from its peers on the combined
+        # kernel: its decision score tops the fleet.
+        assert max(detector.scores, key=detector.scores.get) == "a"
+
+    def test_no_refit_with_single_class(self):
+        sim, signals, detector = self.make()
+        self.baseline_traffic(detector, 0, 30)
+        sim.now = 30.0
+        detector.refresh()                   # no alerts: all labels 0
+        assert detector.classifier is None
+
+
+class TestOutOfOrderBusInteraction:
+    """The satellite case: a harness driving CoreBus.report out of
+    order (flipping its _monotonic fast path off) must degrade both the
+    bus queries and the accumulator gracefully — clamped, conserved,
+    still queryable."""
+
+    def test_out_of_order_reports_reach_the_window_conserved(self):
+        from repro.core.bus import CoreBus
+        from repro.sim import Simulator
+
+        bus = CoreBus(Simulator())
+        sim = SimpleNamespace(now=0.0)
+        detector = StreamingDetector(
+            sim, lambda s: None,
+            StreamingConfig(bucket_s=10.0, window_buckets=3), ["dev"])
+        bus.subscribe(detector.on_signal)
+
+        times = [200.0, 210.0, 5.0, 205.0]   # 5.0 arrives late
+        for t in times:
+            bus.report(SecuritySignal.make(
+                Layer.NETWORK, SignalType.SCAN_PATTERN,
+                source="traffic-monitor", device="dev", timestamp=t,
+                severity=Severity.WARNING))
+        # The bus degraded to its linear path yet window queries agree.
+        assert [s.timestamp for s in bus.global_signals_in_window(
+            210.0, 20.0)] == []
+        assert sorted(s.timestamp for s in bus.signals_in_window(
+            "dev", 210.0, 20.0)) == [200.0, 205.0, 210.0]
+        # The accumulator clamped the stale report instead of losing it.
+        assert detector.window.clamped == 1
+        assert detector.window.totals("dev")["signals"] == len(times)
+
+
+class TestStreamingPlugin:
+    def test_not_attached_by_default(self):
+        xlf = install(make_home())
+        assert "streaming-drift" not in xlf.attached_names()
+        assert xlf.streaming_detector is None
+
+    def test_attached_when_configured(self):
+        xlf = install(make_home(), streaming_config())
+        assert "streaming-drift" in xlf.attached_names()
+        detector = xlf.streaming_detector
+        assert detector is not None
+        assert detector.window.devices  # tracks the home's devices
+
+    def test_refresh_loop_runs_on_event_clock(self):
+        home = make_home()
+        xlf = install(home, streaming_config(refresh_s=20.0))
+        home.run(home.sim.now + 85.0)
+        assert xlf.streaming_detector.refreshes == 4
+
+    def test_uninstall_stops_refresh_and_unsubscribes(self):
+        home = make_home()
+        xlf = install(home, streaming_config(refresh_s=20.0))
+        detector = xlf.streaming_detector
+        xlf.uninstall()
+        count = detector.refreshes
+        home.run(home.sim.now + 100.0)
+        assert detector.refreshes == count
+        assert xlf.streaming_detector is None
+
+    def test_invalid_streaming_config_fails_at_attach(self):
+        home = make_home()
+        with pytest.raises(ValueError):
+            install(home, streaming_config(refresh_s=-1.0))
+
+
+class TestDriftOnRealHomes:
+    def test_benign_home_raises_no_drift_signals(self):
+        home = make_home(seed=7)
+        xlf = install(home, streaming_config())
+        home.run(300.0)
+        drift = [s for s in xlf.signals if s.source == "streaming-drift"]
+        assert drift == []
+
+    def test_infected_home_raises_drift_for_compromised_devices(self):
+        from repro.attacks import MiraiBotnet
+
+        home = make_home(seed=7)
+        xlf = install(home, streaming_config())
+        attack = MiraiBotnet(home, run_ddos=False)
+        home.sim.call_in(70.0, attack.launch)
+        home.run(180.0)
+        drift = [s for s in xlf.signals if s.source == "streaming-drift"]
+        assert drift
+        compromised = attack.outcome().compromised_devices
+        assert {s.device for s in drift} <= compromised
+        # Streaming detection lands mid-run, well before the end.
+        assert min(s.timestamp for s in drift) < 180.0

@@ -90,8 +90,11 @@ class TestAttackRegistry:
 
 class TestSpecSerialization:
     def full_spec(self):
+        from repro.core.streaming import StreamingConfig
+
         config = XlfConfig.only(Layer.NETWORK)
         config.disabled_functions = ("traffic-shaper",)
+        config.streaming = StreamingConfig(refresh_s=20.0, min_refreshes=1)
         return ScenarioSpec(
             name="round-trip",
             homes=[

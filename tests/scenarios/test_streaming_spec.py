@@ -1,0 +1,139 @@
+"""Spec-level guarantees for streaming detection.
+
+Two contracts ride on the streaming plugin being a pure *addition*:
+
+* **Alert identity** — attaching the drift detector never changes the
+  correlator's alert content.  Drift signals are advisory
+  (``BEHAVIOR_DEVIATION`` from source ``streaming-drift``); the rules
+  that fire alerts on the shipped presets are already saturated by the
+  layer monitors, so the alert stream must be byte-identical with and
+  without streaming, on both the per-home fast path and the cross-home
+  lockstep exchange engine.
+
+* **Determinism** — the serial == parallel == journal-replay
+  byte-identity contract (DESIGN.md) must survive streaming: the
+  refresh loop runs on the event clock, so observations and journal
+  alert streams stay identical across engines.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.core import XlfConfig
+from repro.core.streaming import StreamingConfig
+from repro.runtime import read_journal
+from repro.runtime.replay import replay_journal
+from repro.scenarios import AttackSpec, HomeSpec, ScenarioSpec, run_spec
+from repro.scenarios.spec import fork_available
+from repro.server.store import canonical_json, result_to_dict
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="platform lacks fork start method")
+
+
+def streamed_xlf(**overrides):
+    config = XlfConfig.full()
+    config.streaming = StreamingConfig(**overrides)
+    return config
+
+
+def botnet_spec(duration_s=120.0, n_homes=2, seed=3, xlf=None):
+    return ScenarioSpec(
+        name="streaming-spec-test", seed=seed, warmup_s=5.0,
+        duration_s=duration_s,
+        homes=[HomeSpec() for _ in range(n_homes)],
+        attacks=[AttackSpec(attack="mirai-botnet", home=0,
+                            params={"run_ddos": False})],
+        xlf=xlf or streamed_xlf(), epoch_s=30.0)
+
+
+def load_preset(name, duration_s, n_homes=None, streaming=False):
+    with open(f"examples/specs/{name}.json") as handle:
+        data = json.load(handle)
+    data["duration_s"] = duration_s
+    data["collect_features"] = False
+    if n_homes is not None:
+        data["homes"] = data["homes"][:n_homes]
+    spec = ScenarioSpec.from_dict(data)
+    if streaming:
+        spec.xlf.streaming = StreamingConfig()
+    return spec
+
+
+def alerts_json(result):
+    return canonical_json(result_to_dict(result)["observations"]["alerts"])
+
+
+def observations(result):
+    return canonical_json(result_to_dict(result)["observations"])
+
+
+def alert_stream(path):
+    return [(r["n"], r["home"], canonical_json(r["alert"]))
+            for r in read_journal(path) if r["t"] == "alert"]
+
+
+class TestAlertIdentity:
+    @pytest.mark.parametrize("preset", ["botnet", "faulty_home"])
+    def test_preset_alerts_unchanged_by_streaming(self, preset):
+        base = run_spec(load_preset(preset, 150.0))
+        streamed = run_spec(load_preset(preset, 150.0, streaming=True))
+        assert base.alerts, "preset must raise alerts for the check to bite"
+        assert alerts_json(streamed) == alerts_json(base)
+
+    def test_worm_fleet_exchange_engine_alerts_unchanged(self):
+        """The cross-home lockstep engine with streaming attached: the
+        worm's first alerts land around t=182, so the shortened fleet
+        must still run past that."""
+        base = run_spec(load_preset("worm_fleet", 190.0, n_homes=3))
+        streamed = run_spec(load_preset("worm_fleet", 190.0, n_homes=3,
+                                        streaming=True))
+        assert base.alerts
+        assert alerts_json(streamed) == alerts_json(base)
+
+
+class TestStreamingDeterminism:
+    @needs_fork
+    def test_serial_parallel_journal_identical(self, tmp_path):
+        spec = botnet_spec()
+        serial = run_spec(spec, journal=str(tmp_path / "serial.jsonl"))
+        par = run_spec(spec, workers=2,
+                       journal=str(tmp_path / "par.jsonl"))
+        assert serial.alerts
+        assert observations(par) == observations(serial)
+        stream = alert_stream(tmp_path / "serial.jsonl")
+        assert stream
+        assert alert_stream(tmp_path / "par.jsonl") == stream
+
+    def test_replay_reproduces_streaming_run(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = run_spec(botnet_spec(n_homes=1), journal=str(path))
+        assert result.alerts
+        report = replay_journal(path)
+        assert report.ok
+        assert report.mismatches == []
+        assert len(report.replayed) == report.recorded_alerts
+
+    def test_repeat_runs_byte_identical(self):
+        spec = botnet_spec(n_homes=1)
+        assert observations(run_spec(spec)) == observations(run_spec(spec))
+
+
+class TestStreamingTelemetry:
+    def test_refresh_counters_surface_in_run_telemetry(self):
+        telemetry.enable()
+        try:
+            result = run_spec(botnet_spec(n_homes=1))
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert result.telemetry is not None
+        counters = {"/".join(map(str, key)) if isinstance(key, tuple)
+                    else str(key): value
+                    for key, value in
+                    result.telemetry.snapshot()["counters"].items()}
+        refreshes = [v for k, v in counters.items()
+                     if "core.streaming.refreshes" in k]
+        assert refreshes and refreshes[0] > 0
